@@ -1,0 +1,151 @@
+// Ablations over the design choices DESIGN.md calls out:
+//  * L (decomposition depth) vs accuracy and report size
+//  * K (retained coefficients) vs accuracy
+//  * ideal top-K vs hardware threshold store
+//  * light-part width vs concurrent-flow count
+#include <cstdio>
+#include <memory>
+
+#include "analyzer/metrics.hpp"
+#include "baselines/wavesketch_adapter.hpp"
+#include "bench/support/driver.hpp"
+#include "bench/support/sweep.hpp"
+#include "sketch/calibrate.hpp"
+#include "wavelet/daubechies.hpp"
+
+namespace {
+
+using namespace umon;
+
+sketch::WaveSketchParams base_params() {
+  sketch::WaveSketchParams p;
+  p.depth = 3;
+  p.width = 256;
+  p.levels = 8;
+  p.k = 64;
+  return p;
+}
+
+void eval_and_print(const char* label, const bench::SimResult& sim,
+                    const sketch::WaveSketchParams& p) {
+  baselines::WaveSketchEstimator est(p, label);
+  bench::replay(sim, est);
+  const bench::SweepScore s = bench::evaluate(sim, est);
+  std::printf("%-28s %10.4f %10.4f %10.4f %10.4f %10zu\n", label, s.euclidean,
+              s.are, s.cosine, s.energy, est.memory_bytes() / 1024);
+}
+
+}  // namespace
+
+int main() {
+  using namespace umon;
+  bench::print_header("WaveSketch ablations (Hadoop 15% load)");
+
+  bench::SimOptions opt;
+  opt.kind = workload::WorkloadKind::kHadoop;
+  opt.load = 0.15;
+  opt.duration = 20 * kMilli;
+  opt.seed = 7;
+  bench::SimResult sim = bench::run_monitored(opt);
+  std::printf("flows: %zu, packets: %llu\n\n", sim.workload.flows.size(),
+              static_cast<unsigned long long>(sim.total_packets));
+  std::printf("%-28s %10s %10s %10s %10s %10s\n", "config", "euclid", "ARE",
+              "cosine", "energy", "mem(KB)");
+
+  // --- L sweep: deeper decomposition compresses more but coarsens the
+  // retained approximations.
+  for (int L : {4, 6, 8, 10}) {
+    auto p = base_params();
+    p.levels = L;
+    char label[64];
+    std::snprintf(label, sizeof(label), "L=%d (K=64)", L);
+    eval_and_print(label, sim, p);
+  }
+  std::printf("\n");
+
+  // --- K sweep: more retained details, better detail fidelity.
+  for (std::size_t K : {8, 16, 32, 64, 128, 256}) {
+    auto p = base_params();
+    p.k = K;
+    char label[64];
+    std::snprintf(label, sizeof(label), "K=%zu (L=8)", K);
+    eval_and_print(label, sim, p);
+  }
+  std::printf("\n");
+
+  // --- ideal vs hardware store at equal K.
+  {
+    auto p = base_params();
+    eval_and_print("store=ideal top-K", sim, p);
+
+    std::vector<sketch::SampleUpdate> calib;
+    for (std::size_t i = 0; i < std::min<std::size_t>(sim.updates.size(), 200'000); ++i) {
+      calib.push_back(sketch::SampleUpdate{sim.updates[i].flow,
+                                           sim.updates[i].window,
+                                           sim.updates[i].bytes});
+    }
+    const auto t = sketch::calibrate_thresholds(p, calib);
+    p.store = sketch::StoreKind::kThreshold;
+    p.hw_threshold_even = t.even;
+    p.hw_threshold_odd = t.odd;
+    char label[64];
+    std::snprintf(label, sizeof(label), "store=HW thr(%lld,%lld)",
+                  static_cast<long long>(t.even), static_cast<long long>(t.odd));
+    eval_and_print(label, sim, p);
+  }
+  std::printf("\n");
+
+  // --- light width: sized by *concurrent* flows per window, far below the
+  // total flow count (Section 4.2's full-version claim).
+  for (std::uint32_t W : {64, 128, 256, 512}) {
+    auto p = base_params();
+    p.width = W;
+    char label[64];
+    std::snprintf(label, sizeof(label), "W=%u (total flows %zu)", W,
+                  sim.workload.flows.size());
+    eval_and_print(label, sim, p);
+  }
+
+  // --- mother wavelet: the paper's integer Haar vs Daubechies-4, compressed
+  // offline with the same coefficient budget on the largest real curves.
+  std::printf("\n--- Mother wavelet (offline, K=32 details, top-20 flows by "
+              "length) ---\n");
+  std::printf("%-14s %12s %12s %12s\n", "basis", "euclid", "cosine",
+              "energy");
+  double haar_m[3] = {0, 0, 0};
+  double d4_m[3] = {0, 0, 0};
+  int counted = 0;
+  std::vector<std::pair<std::size_t, FlowKey>> by_len;
+  for (const FlowKey& f : sim.truth.flows()) {
+    by_len.emplace_back(sim.truth.flow_length(f), f);
+  }
+  std::sort(by_len.rbegin(), by_len.rend(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  for (std::size_t i = 0; i < std::min<std::size_t>(20, by_len.size()); ++i) {
+    const auto s = sim.truth.series(by_len[i].second);
+    if (s.values.size() < 64) continue;
+    const auto haar_rec = wavelet::haar_compress(s.values, 8, 32);
+    // D4 keeps approximations implicitly inside its coefficient vector;
+    // grant it the same total budget (32 + the n/2^L approximations).
+    const std::size_t approx =
+        std::max<std::size_t>(4, s.values.size() >> 8);
+    const auto d4_rec =
+        wavelet::d4_compress(s.values, 8, 32 + approx);
+    haar_m[0] += analyzer::euclidean_distance(s.values, haar_rec);
+    haar_m[1] += analyzer::cosine_similarity(s.values, haar_rec);
+    haar_m[2] += analyzer::energy_similarity(s.values, haar_rec);
+    d4_m[0] += analyzer::euclidean_distance(s.values, d4_rec);
+    d4_m[1] += analyzer::cosine_similarity(s.values, d4_rec);
+    d4_m[2] += analyzer::energy_similarity(s.values, d4_rec);
+    ++counted;
+  }
+  if (counted > 0) {
+    std::printf("%-14s %12.1f %12.4f %12.4f\n", "Haar (paper)",
+                haar_m[0] / counted, haar_m[1] / counted, haar_m[2] / counted);
+    std::printf("%-14s %12.1f %12.4f %12.4f\n", "Daubechies-4",
+                d4_m[0] / counted, d4_m[1] / counted, d4_m[2] / counted);
+    std::printf("(Haar needs only integer add/sub in the pipeline; D4 needs "
+                "4-tap real multiplies)\n");
+  }
+  return 0;
+}

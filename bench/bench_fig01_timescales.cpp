@@ -1,0 +1,90 @@
+// Figure 1: the same flow's rate curve at 10 us vs 10 ms observation
+// granularity. An RDMA flow contends with background traffic on a single
+// bottleneck; the microsecond view shows peaks, troughs and recoveries that
+// the 10 ms average completely masks.
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "analyzer/groundtruth.hpp"
+#include "bench/support/driver.hpp"
+#include "netsim/network.hpp"
+
+int main() {
+  using namespace umon;
+  bench::print_header("Figure 1: flow rate at different timescales");
+
+  netsim::NetworkConfig cfg;
+  cfg.link.bandwidth_gbps = 40.0;
+  cfg.queue_sample_interval = 0;
+  netsim::Network net(cfg);
+  const int s0 = net.add_host();
+  const int s1 = net.add_host();
+  const int dst = net.add_host();
+  const int sw = net.add_switch();
+  net.connect(s0, sw);
+  net.connect(s1, sw);
+  net.connect(dst, sw);
+  net.build_routes();
+
+  // The measured flow uses a 10 us window shift (2^13 ns ~ 8.192 us is the
+  // paper's hardware-friendly stand-in; here we use exactly 10 us buckets).
+  const Nanos win10us = 10 * kMicro;
+  std::vector<double> bytes_10us;
+  FlowKey probe;
+  probe.src_ip = 0x0A000001;
+  probe.dst_ip = 0x0A0000FE;
+  probe.src_port = 31337;
+  probe.dst_port = 4791;
+  probe.proto = 17;
+  net.set_host_tx_hook([&](int, const PacketRecord& r) {
+    if (!(r.flow == probe)) return;
+    const auto idx = static_cast<std::size_t>(r.timestamp / win10us);
+    if (idx >= bytes_10us.size()) bytes_10us.resize(idx + 1, 0.0);
+    bytes_10us[idx] += r.size;
+  });
+
+  netsim::FlowSpec rdma;
+  rdma.key = probe;
+  rdma.src_host = s0;
+  rdma.dst_host = dst;
+  rdma.bytes = 1ull << 32;
+  net.start_flow(rdma);
+
+  // Background contender cycling on/off to induce oscillation.
+  netsim::FlowSpec bg;
+  bg.key = probe;
+  bg.key.src_port = 31338;
+  bg.src_host = s1;
+  bg.dst_host = dst;
+  bg.bytes = 1ull << 32;
+  bg.start_time = 1 * kMilli;
+  bg.on_off = netsim::OnOffPattern{700 * kMicro, 900 * kMicro};
+  net.start_flow(bg);
+
+  net.run_until(10 * kMilli);
+  net.finish();
+  bytes_10us.resize(1000, 0.0);
+
+  std::printf("window  rate_10us_gbps  rate_10ms_gbps\n");
+  double total = 0;
+  for (double b : bytes_10us) total += b;
+  // 1000 windows of 10 us = 10 ms = 1e7 ns; Gbps == bits/ns.
+  const double avg_gbps = total * 8.0 / 1e7;
+  for (std::size_t i = 0; i < bytes_10us.size(); i += 25) {
+    const double gbps = bytes_10us[i] * 8.0 / static_cast<double>(win10us);
+    std::printf("%6zu  %14.2f  %14.2f\n", i, gbps, avg_gbps);
+  }
+
+  // Summary statistics that distinguish the two views.
+  double mx = 0, mn = 1e9;
+  for (double b : bytes_10us) {
+    const double gbps = b * 8.0 / static_cast<double>(win10us);
+    mx = std::max(mx, gbps);
+    mn = std::min(mn, gbps);
+  }
+  std::printf("\n10us view: min %.2f Gbps, max %.2f Gbps (oscillation)\n", mn,
+              mx);
+  std::printf("10ms view: flat %.2f Gbps (masks the dynamics)\n", avg_gbps);
+  return 0;
+}

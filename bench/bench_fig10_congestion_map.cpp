@@ -1,0 +1,83 @@
+// Figure 10: (a) time-location map of congestion events, (b) congestion
+// duration CDF, (c) replay of a long-lasting event — all from the analyzer's
+// view of the mirrored CE stream.
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "analyzer/analyzer.hpp"
+#include "bench/support/driver.hpp"
+#include "common/stats.hpp"
+
+int main() {
+  using namespace umon;
+  bench::print_header("Figure 10: congestion events across the network");
+
+  bench::SimOptions opt;
+  opt.kind = workload::WorkloadKind::kWebSearch;
+  opt.load = 0.35;
+  opt.duration = 20 * kMilli;
+  opt.seed = 21;
+  bench::SimResult sim = bench::run_monitored(opt);
+
+  analyzer::Analyzer an;
+  an.ingest_mirrored(bench::sample_stream(sim.ce_stream, /*1/16*/ 4));
+  const auto events = an.events();
+  std::printf("workload: WebSearch 35%%, 1/16 sampling, %zu events\n\n",
+              events.size());
+
+  // --- (a) time-location map: one row per congested link, 500 us columns.
+  std::printf("--- Figure 10a: congestion time-location map ---\n");
+  std::map<std::pair<int, int>, int> link_ids;
+  for (const auto& ev : events) {
+    link_ids.try_emplace({ev.switch_id, ev.egress_port},
+                         static_cast<int>(link_ids.size()));
+  }
+  const Nanos col_width = 500 * kMicro;
+  const auto cols = static_cast<std::size_t>(opt.duration / col_width) + 1;
+  std::vector<std::string> rows(link_ids.size(), std::string(cols, '.'));
+  for (const auto& ev : events) {
+    const int row = link_ids[{ev.switch_id, ev.egress_port}];
+    for (Nanos t = ev.start; t <= ev.end; t += col_width) {
+      const auto c = static_cast<std::size_t>(t / col_width);
+      if (c < cols) rows[static_cast<std::size_t>(row)][c] = '#';
+    }
+  }
+  std::printf("link (switch:port)   0ms%*s20ms\n", static_cast<int>(cols) - 3,
+              "");
+  for (const auto& [key, row] : link_ids) {
+    std::printf("link %2d (%2d:%d)      |%s|\n", row, key.first, key.second,
+                rows[static_cast<std::size_t>(row)].c_str());
+  }
+
+  // --- (b) duration CDF.
+  std::printf("\n--- Figure 10b: congestion duration CDF ---\n");
+  EmpiricalCdf cdf(an.event_durations_us());
+  std::printf("%-14s %10s\n", "duration(us)", "CDF");
+  for (double d : {10.0, 25.0, 50.0, 100.0, 150.0, 200.0, 300.0, 500.0, 1000.0}) {
+    std::printf("%-14.0f %10.3f\n", d, cdf.fraction_below(d));
+  }
+  std::printf("p50 = %.1f us, p90 = %.1f us, max = %.1f us\n",
+              cdf.quantile(0.5), cdf.quantile(0.9), cdf.quantile(1.0));
+
+  // --- (c) replay of the longest event: handled with rate curves in
+  // examples/congestion_replay; here we print its participant inventory.
+  if (!events.empty()) {
+    const auto longest = *std::max_element(
+        events.begin(), events.end(), [](const auto& a, const auto& b) {
+          return a.duration() < b.duration();
+        });
+    std::printf(
+        "\n--- Figure 10c: longest event (see examples/congestion_replay for "
+        "the rate plot) ---\n");
+    std::printf("switch %d port %d, start %.1f us, duration %.1f us, "
+                "%zu flows, %zu mirrored packets\n",
+                longest.switch_id, longest.egress_port,
+                static_cast<double>(longest.start) / 1000.0,
+                static_cast<double>(longest.duration()) / 1000.0,
+                longest.flows.size(), longest.packets);
+  }
+  return 0;
+}

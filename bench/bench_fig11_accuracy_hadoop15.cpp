@@ -1,0 +1,14 @@
+// Figure 11: accuracy vs memory on the 15%-load Facebook Hadoop workload.
+#include "bench/support/accuracy_main.hpp"
+
+int main() {
+  using namespace umon;
+  bench::SimOptions opt;
+  opt.kind = workload::WorkloadKind::kHadoop;
+  opt.load = 0.15;
+  opt.duration = 20 * kMilli;
+  opt.seed = 7;
+  return bench::run_accuracy_bench(
+      "Figure 11: accuracy on 15%-load Hadoop (8.192 us windows)", opt,
+      {200, 400, 800, 1200, 1600});
+}

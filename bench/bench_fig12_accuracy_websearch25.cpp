@@ -1,0 +1,14 @@
+// Figure 12: accuracy vs memory on the 25%-load WebSearch workload.
+#include "bench/support/accuracy_main.hpp"
+
+int main() {
+  using namespace umon;
+  bench::SimOptions opt;
+  opt.kind = workload::WorkloadKind::kWebSearch;
+  opt.load = 0.25;
+  opt.duration = 20 * kMilli;
+  opt.seed = 13;
+  return bench::run_accuracy_bench(
+      "Figure 12: accuracy on 25%-load WebSearch (8.192 us windows)", opt,
+      {200, 400, 800, 1200, 1600});
+}

@@ -1,0 +1,96 @@
+// Figure 14: recall of congestion events and the number of captured flows,
+// as a function of the episode's maximum queue length, across sampling
+// ratios. One simulation per workload; sampling is applied offline to the
+// recorded CE stream (exactly equivalent to the PSN-mask ACL rule).
+#include <cstdio>
+#include <vector>
+
+#include "bench/support/driver.hpp"
+#include "uevent/detector.hpp"
+
+namespace {
+
+using namespace umon;
+
+void run_panel(const char* title, workload::WorkloadKind kind, double load,
+               std::uint64_t seed) {
+  bench::print_header(title);
+  bench::SimOptions opt;
+  opt.kind = kind;
+  opt.load = load;
+  opt.duration = 20 * kMilli;
+  opt.seed = seed;
+  bench::SimResult sim = bench::run_monitored(opt);
+  std::printf("flows: %zu, packets: %llu, CE-marked: %zu, episodes: %zu\n",
+              sim.workload.flows.size(),
+              static_cast<unsigned long long>(sim.total_packets),
+              sim.ce_stream.size(), sim.net->all_episodes().size());
+
+  const std::vector<int> sample_bits = {0, 2, 4, 6, 7, 8};  // 1 .. 1/256
+  constexpr std::uint64_t kBucket = 25 * 1024;
+
+  for (int pass = 0; pass < 2; ++pass) {
+    std::printf("\n%s\n", pass == 0 ? "--- Congestion recall ---"
+                                    : "--- Avg captured flows ---");
+    std::printf("%-14s", "maxQ(KB)");
+    for (int w : sample_bits) std::printf(" %8s", ("p=1/" + std::to_string(1 << w)).c_str());
+    if (pass == 1) std::printf(" %9s", "trueAvg");
+    std::printf("\n");
+
+    // Score per sampling rate, then print bucket rows side by side.
+    std::vector<std::vector<uevent::RecallBucket>> per_rate;
+    for (int w : sample_bits) {
+      uevent::EventScorer scorer;
+      for (const auto& m : bench::sample_stream(sim.ce_stream, w)) {
+        scorer.collect(m);
+      }
+      auto scores = scorer.score(*sim.net);
+      // Clamp the tail: everything beyond 300 KB lands in the last bucket
+      // (the paper's x-axis stops at 250 KB).
+      for (auto& s : scores) {
+        s.max_queue_bytes = std::min<std::uint64_t>(s.max_queue_bytes,
+                                                    300 * 1024 - 1);
+      }
+      per_rate.push_back(uevent::EventScorer::bucketize(scores, kBucket));
+    }
+    // Union of bucket edges.
+    std::vector<std::uint64_t> edges;
+    for (const auto& buckets : per_rate) {
+      for (const auto& b : buckets) edges.push_back(b.queue_lo);
+    }
+    std::sort(edges.begin(), edges.end());
+    edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+
+    for (std::uint64_t lo : edges) {
+      std::printf("%3llu-%-9llu",
+                  static_cast<unsigned long long>(lo / 1024),
+                  static_cast<unsigned long long>((lo + kBucket) / 1024));
+      double true_avg = 0;
+      for (const auto& buckets : per_rate) {
+        double v = 0;
+        for (const auto& b : buckets) {
+          if (b.queue_lo == lo) {
+            v = pass == 0 ? b.recall() : b.avg_captured_flows;
+            true_avg = b.avg_true_flows;
+          }
+        }
+        std::printf(" %8.3f", v);
+      }
+      if (pass == 1) std::printf(" %9.2f", true_avg);
+      std::printf("\n");
+    }
+  }
+  std::printf("kmin = 20 KB, kmax = 200 KB\n");
+}
+
+}  // namespace
+
+int main() {
+  run_panel("Figure 14 a/d: 35%-load WebSearch",
+            umon::workload::WorkloadKind::kWebSearch, 0.35, 21);
+  run_panel("Figure 14 b/e: 15%-load Hadoop",
+            umon::workload::WorkloadKind::kHadoop, 0.15, 22);
+  run_panel("Figure 14 c/f: 35%-load Hadoop",
+            umon::workload::WorkloadKind::kHadoop, 0.35, 23);
+  return 0;
+}

@@ -1,0 +1,94 @@
+// Figure 16 + Table 2: workload characterization — flow-size CDF,
+// per-port flow inter-arrival CDF, queue-length CDF, and the packet/flow
+// counts of all six simulation settings.
+#include <cstdio>
+#include <vector>
+
+#include "bench/support/driver.hpp"
+#include "common/stats.hpp"
+#include "workload/cdf.hpp"
+
+int main() {
+  using namespace umon;
+
+  // --- Figure 16a: flow size distribution ---------------------------------
+  bench::print_header("Figure 16a: flow size CDF");
+  std::printf("%-12s %12s %12s\n", "size(KB)", "Hadoop", "WebSearch");
+  const auto hd = workload::hadoop_cdf();
+  const auto ws = workload::websearch_cdf();
+  for (double kb : {0.25, 0.5, 1.0, 5.0, 10.0, 50.0, 100.0, 500.0, 1000.0,
+                    5000.0, 10000.0, 30000.0}) {
+    std::printf("%-12.2f %12.3f %12.3f\n", kb, hd.cdf(kb * 1000),
+                ws.cdf(kb * 1000));
+  }
+
+  // --- Figure 16b: flow inter-arrival per port ------------------------------
+  bench::print_header("Figure 16b: flow inter-arrival time CDF (per port)");
+  struct Combo {
+    workload::WorkloadKind kind;
+    double load;
+  };
+  const std::vector<Combo> combos = {
+      {workload::WorkloadKind::kHadoop, 0.15},
+      {workload::WorkloadKind::kHadoop, 0.35},
+      {workload::WorkloadKind::kWebSearch, 0.15},
+      {workload::WorkloadKind::kWebSearch, 0.35},
+  };
+  std::printf("%-24s %10s %10s %10s %10s\n", "workload", "p20(us)", "p50(us)",
+              "p80(us)", "mean(us)");
+  for (const auto& c : combos) {
+    workload::WorkloadParams wp;
+    wp.load = c.load;
+    wp.duration = 20 * kMilli;
+    wp.seed = 5;
+    const auto w = workload::generate(c.kind, wp);
+    auto gaps = workload::interarrival_per_port(w);
+    for (auto& g : gaps) g /= 1000.0;  // ns -> us
+    EmpiricalCdf cdf(gaps);
+    std::printf("%-18s %3.0f%% %10.1f %10.1f %10.1f %10.1f\n",
+                workload::to_string(c.kind).c_str(), c.load * 100,
+                cdf.quantile(0.2), cdf.quantile(0.5), cdf.quantile(0.8),
+                mean(cdf.samples()));
+  }
+
+  // --- Figure 16c + Table 2: simulated runs --------------------------------
+  bench::print_header("Figure 16c: queue length CDF + Table 2: run inventory");
+  std::printf("%-24s %10s %10s | %12s %12s %12s\n", "workload", "packets",
+              "flows", "q>20KB", "q>200KB", "maxQ(KB)");
+  const std::vector<double> loads = {0.15, 0.25, 0.35};
+  for (auto kind :
+       {workload::WorkloadKind::kWebSearch, workload::WorkloadKind::kHadoop}) {
+    for (double load : loads) {
+      bench::SimOptions opt;
+      opt.kind = kind;
+      opt.load = load;
+      opt.duration = 20 * kMilli;
+      opt.seed = 5;
+      opt.sample_queues = true;
+      bench::SimResult sim = bench::run_monitored(opt);
+
+      const auto& samples = sim.net->queue_samples();
+      std::uint64_t over_kmin = 0, over_kmax = 0, mx = 0;
+      for (std::uint64_t q : samples) {
+        over_kmin += q > 20 * 1024 ? 1 : 0;
+        over_kmax += q > 200 * 1024 ? 1 : 0;
+        mx = std::max(mx, q);
+      }
+      char label[64];
+      std::snprintf(label, sizeof(label), "%s %.0f%%",
+                    workload::to_string(kind).c_str(), load * 100);
+      std::printf("%-24s %10llu %10zu | %11.3f%% %11.3f%% %12llu\n", label,
+                  static_cast<unsigned long long>(sim.total_packets),
+                  sim.workload.flows.size(),
+                  100.0 * static_cast<double>(over_kmin) /
+                      static_cast<double>(samples.size()),
+                  100.0 * static_cast<double>(over_kmax) /
+                      static_cast<double>(samples.size()),
+                  static_cast<unsigned long long>(mx / 1024));
+    }
+  }
+  std::printf(
+      "\n(q>threshold columns are time fractions over per-us samples of all "
+      "switch egress queues.)\n");
+  return 0;
+}

@@ -1,0 +1,14 @@
+// Figure 17: accuracy by flow size on the 25%-load WebSearch workload.
+#include "bench/support/bysize_main.hpp"
+
+int main() {
+  using namespace umon;
+  bench::SimOptions opt;
+  opt.kind = workload::WorkloadKind::kWebSearch;
+  opt.load = 0.25;
+  opt.duration = 20 * kMilli;
+  opt.seed = 13;
+  return bench::run_bysize_bench(
+      "Figure 17: accuracy by flow size, WebSearch 25% load", opt,
+      /*memory_kb=*/800);
+}

@@ -1,0 +1,14 @@
+// Figure 18: accuracy by flow size on the 15%-load Hadoop workload.
+#include "bench/support/bysize_main.hpp"
+
+int main() {
+  using namespace umon;
+  bench::SimOptions opt;
+  opt.kind = workload::WorkloadKind::kHadoop;
+  opt.load = 0.15;
+  opt.duration = 20 * kMilli;
+  opt.seed = 7;
+  return bench::run_bysize_bench(
+      "Figure 18: accuracy by flow size, Hadoop 15% load", opt,
+      /*memory_kb=*/800);
+}

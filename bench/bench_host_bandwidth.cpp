@@ -1,0 +1,69 @@
+// Section 7.1 bandwidth usage: per-host report bandwidth of WaveSketch vs
+// per-packet header mirroring (the Valinor/Lumina-style alternative).
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench/support/driver.hpp"
+#include "sketch/wavesketch_full.hpp"
+
+int main() {
+  using namespace umon;
+  bench::print_header("Host bandwidth: WaveSketch reports vs packet mirroring");
+
+  bench::SimOptions opt;
+  opt.kind = workload::WorkloadKind::kHadoop;
+  opt.load = 0.15;
+  opt.duration = 20 * kMilli;
+  opt.seed = 7;
+  bench::SimResult sim = bench::run_monitored(opt);
+
+  // Deploy one full WaveSketch per host and replay the TX stream into the
+  // matching host's sketch.
+  // Per-host deployment: the light width follows the *concurrent* flows in
+  // a window at one host (tens), not the total flow count (Section 4.2),
+  // and K=32 suffices for host-local traffic.
+  sketch::WaveSketchParams sp;
+  sp.depth = 3;
+  sp.width = 128;
+  sp.levels = 8;
+  sp.k = 32;
+  sp.heavy_k = 32;
+  const int hosts = sim.net->host_count();
+  std::vector<std::unique_ptr<sketch::WaveSketchFull>> sketches;
+  for (int h = 0; h < hosts; ++h) {
+    sketches.push_back(std::make_unique<sketch::WaveSketchFull>(sp));
+  }
+  for (const auto& u : sim.updates) {
+    const int host = static_cast<int>(u.flow.src_ip & 0xFF);
+    if (host < hosts) {
+      sketches[static_cast<std::size_t>(host)]->update_window(u.flow, u.window,
+                                                              u.bytes);
+    }
+  }
+
+  const double seconds = static_cast<double>(opt.duration) / 1e9;
+  std::uint64_t total_report = 0;
+  for (const auto& sk : sketches) total_report += sk->report_wire_bytes();
+  const double report_mbps =
+      static_cast<double>(total_report) * 8.0 / seconds / 1e6 / hosts;
+
+  // Per-packet mirroring baseline: 64 B header per transmitted packet.
+  const double mirror_mbps = static_cast<double>(sim.total_packets) * 64.0 *
+                             8.0 / seconds / 1e6 / hosts;
+
+  std::printf("workload: Hadoop 15%% load, period %0.0f ms, %d hosts\n",
+              seconds * 1e3, hosts);
+  std::printf("packets: %llu, flows: %zu\n",
+              static_cast<unsigned long long>(sim.total_packets),
+              sim.workload.flows.size());
+  std::printf("\n%-36s %12s\n", "scheme", "Mbps/host");
+  std::printf("%-36s %12.2f\n", "WaveSketch full (upload per 20 ms)",
+              report_mbps);
+  std::printf("%-36s %12.2f\n", "per-packet 64B header mirroring",
+              mirror_mbps);
+  std::printf("\nWaveSketch uses %.3f%% of the mirroring bandwidth\n",
+              100.0 * report_mbps / mirror_mbps);
+  std::printf("(paper: ~5 Mbps per host, 0.253%% of per-packet mirroring)\n");
+  return 0;
+}

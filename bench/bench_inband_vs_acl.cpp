@@ -1,0 +1,126 @@
+// Extension bench (Section 5, last paragraph): the commodity-switch ACL
+// mirror path vs a programmable-switch in-band detector (ConQuest-style
+// queue observation with batched reports) and vs ACL + de-duplication.
+// Compares recall, flow coverage, and report bandwidth.
+#include <cstdio>
+#include <map>
+
+#include "bench/support/driver.hpp"
+#include "uevent/detector.hpp"
+#include "uevent/inband.hpp"
+
+int main() {
+  using namespace umon;
+  bench::print_header(
+      "Extension: ACL mirror vs programmable in-band detection");
+
+  bench::SimOptions opt;
+  opt.kind = workload::WorkloadKind::kWebSearch;
+  opt.load = 0.35;
+  opt.duration = 20 * kMilli;
+  opt.seed = 21;
+
+  // The in-band watcher needs the queue-observer hook, so run a dedicated
+  // sim with all detectors attached simultaneously.
+  netsim::NetworkConfig cfg;
+  cfg.queue_sample_interval = 0;
+  cfg.seed = opt.seed;
+  auto net = netsim::Network::fat_tree(cfg, 4);
+
+  std::vector<uevent::MirroredPacket> ce_stream;
+  uevent::QueueWatcher watcher(/*threshold=*/20 * 1024);
+  uevent::DedupFilter dedup(50 * kMicro);
+  std::uint64_t dedup_mirrors = 0;
+  net->set_switch_enqueue_hook(
+      [&](netsim::PortId port, const PacketRecord& pkt) {
+        if (pkt.ecn != Ecn::kCe) return;
+        uevent::MirroredPacket m;
+        m.pkt = pkt;
+        m.switch_id = port.node;
+        m.egress_port = port.port;
+        m.switch_timestamp = pkt.timestamp;
+        ce_stream.push_back(m);
+        if (dedup.admit(port, pkt.flow, pkt.timestamp)) ++dedup_mirrors;
+      });
+  net->set_queue_observer_hook(
+      [&](netsim::PortId port, std::uint64_t qbytes, const PacketRecord& pkt) {
+        watcher.observe(port, qbytes, pkt);
+      });
+
+  workload::WorkloadParams wp;
+  wp.hosts = net->host_count();
+  wp.load = opt.load;
+  wp.duration = opt.duration;
+  wp.seed = opt.seed;
+  const workload::Workload w = workload::generate(opt.kind, wp);
+  workload::install(w, *net);
+  net->run_until(opt.duration + 5 * kMilli);
+  net->finish();
+  watcher.finish(net->now());
+
+  // Ground truth severity buckets.
+  const auto episodes = net->all_episodes();
+  std::size_t severe = 0;
+  for (const auto& ep : episodes) severe += ep.max_bytes >= 200 * 1024;
+
+  const double seconds = static_cast<double>(opt.duration) / 1e9;
+  auto mbps = [&](double bytes) { return bytes * 8 / seconds / 1e6; };
+
+  std::printf("workload: WebSearch 35%%, episodes %zu (severe %zu)\n\n",
+              episodes.size(), severe);
+  std::printf("%-34s %10s %12s %14s\n", "detector", "events",
+              "flows/event", "bandwidth");
+
+  // (1) ACL mirror, 1/64 sampling.
+  {
+    uevent::EventScorer scorer;
+    for (const auto& m : bench::sample_stream(ce_stream, 6)) scorer.collect(m);
+    const auto scores = scorer.score(*net);
+    std::size_t detected = 0;
+    double flows = 0;
+    std::size_t n = 0;
+    for (const auto& s : scores) {
+      if (s.max_queue_bytes < 200 * 1024) continue;
+      detected += s.detected;
+      flows += static_cast<double>(s.captured_flows);
+      ++n;
+    }
+    std::printf("%-34s %10zu %12.1f %11.1f Mbps  (severe recall %.3f)\n",
+                "ACL mirror 1/64", scorer.mirrored_count(),
+                n ? flows / static_cast<double>(n) : 0,
+                mbps(static_cast<double>(scorer.mirrored_count()) *
+                     uevent::MirroredPacket::kWireBytes),
+                n ? static_cast<double>(detected) / static_cast<double>(n)
+                  : 0.0);
+  }
+
+  // (2) ACL mirror + per-flow dedup (50 us suppression), unsampled.
+  std::printf("%-34s %10llu %12s %11.1f Mbps  (suppressed %.1f%%)\n",
+              "ACL mirror + dedup (50 us)",
+              static_cast<unsigned long long>(dedup_mirrors), "-",
+              mbps(static_cast<double>(dedup_mirrors) *
+                   uevent::MirroredPacket::kWireBytes),
+              100.0 * static_cast<double>(dedup.suppressed()) /
+                  static_cast<double>(std::max<std::uint64_t>(1, dedup.seen())));
+
+  // (3) In-band queue watcher with batched reports.
+  {
+    double flows = 0;
+    for (const auto& ev : watcher.events()) {
+      flows += static_cast<double>(ev.contributions.size());
+    }
+    std::printf("%-34s %10zu %12.1f %11.3f Mbps  (exact queue vantage)\n",
+                "in-band watcher (batched)", watcher.events().size(),
+                watcher.events().empty()
+                    ? 0
+                    : flows / static_cast<double>(watcher.events().size()),
+                mbps(static_cast<double>(watcher.report_bytes())));
+  }
+
+  std::printf(
+      "\nThe in-band detector sees every event exactly (it reads the queue) "
+      "and batching\ncuts bandwidth by orders of magnitude — the paper's "
+      "argument for adopting\nprogrammable-switch designs where available, "
+      "with the ACL path as the commodity fallback.\n");
+  return 0;
+}

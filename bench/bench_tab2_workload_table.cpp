@@ -1,0 +1,32 @@
+// Table 2: packets and flows of the six simulation workloads
+// (WebSearch / Facebook Hadoop at 15/25/35% load, 20 ms each).
+#include <cstdio>
+
+#include "bench/support/driver.hpp"
+
+int main() {
+  using namespace umon;
+  bench::print_header("Table 2: simulation workloads");
+  std::printf("%-18s %10s %12s %10s %14s\n", "workload", "load", "packets",
+              "flows", "bytes(MB)");
+  for (auto kind :
+       {workload::WorkloadKind::kWebSearch, workload::WorkloadKind::kHadoop}) {
+    for (double load : {0.15, 0.25, 0.35}) {
+      bench::SimOptions opt;
+      opt.kind = kind;
+      opt.load = load;
+      opt.duration = 20 * kMilli;
+      opt.seed = 5;
+      bench::SimResult sim = bench::run_monitored(opt);
+      std::printf("%-18s %9.0f%% %12llu %10zu %14.1f\n",
+                  workload::to_string(kind).c_str(), load * 100,
+                  static_cast<unsigned long long>(sim.total_packets),
+                  sim.workload.flows.size(),
+                  static_cast<double>(sim.workload.total_bytes()) / 1e6);
+    }
+  }
+  std::printf(
+      "\n(paper: WebSearch 994K-2.07M packets / 367-815 flows; Hadoop "
+      "943K-2.13M packets / 4966-11773 flows)\n");
+  return 0;
+}

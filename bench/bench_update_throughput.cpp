@@ -1,0 +1,171 @@
+// Update-cost benchmarks (google-benchmark): validates the O(1) amortized
+// update claim of Section 4.2 — cost per packet stays flat as the stream
+// grows, and only the window-boundary fraction (epsilon = n/m) matters.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "baselines/fourier.hpp"
+#include "baselines/omniwindow.hpp"
+#include "baselines/persist_cms.hpp"
+#include "common/rng.hpp"
+#include "sketch/wavesketch.hpp"
+#include "sketch/wavesketch_full.hpp"
+
+namespace {
+
+using namespace umon;
+
+FlowKey flow(std::uint32_t id) {
+  FlowKey f;
+  f.src_ip = 0x0A000000u | id;
+  f.dst_ip = 0x0A0000FE;
+  f.src_port = static_cast<std::uint16_t>(id);
+  f.dst_port = 4791;
+  f.proto = 17;
+  return f;
+}
+
+/// Pre-generated update stream with `ppw` packets per window (epsilon =
+/// 1/ppw): heavier load -> fewer transform events per packet.
+struct Stream {
+  std::vector<std::pair<FlowKey, WindowId>> updates;
+  explicit Stream(int packets_per_window, int flows = 64,
+                  int total = 1 << 16) {
+    Rng rng(9);
+    WindowId w = 0;
+    int in_window = 0;
+    for (int i = 0; i < total; ++i) {
+      updates.emplace_back(flow(static_cast<std::uint32_t>(rng.below(
+                               static_cast<std::uint64_t>(flows)))),
+                           w);
+      if (++in_window >= packets_per_window) {
+        in_window = 0;
+        ++w;
+      }
+    }
+  }
+};
+
+sketch::WaveSketchParams params(sketch::StoreKind store) {
+  sketch::WaveSketchParams p;
+  p.depth = 3;
+  p.width = 256;
+  p.levels = 8;
+  p.k = 64;
+  p.store = store;
+  p.hw_threshold_even = 2000;
+  p.hw_threshold_odd = 3000;
+  return p;
+}
+
+void BM_WaveSketchUpdate(benchmark::State& state) {
+  const Stream stream(static_cast<int>(state.range(0)));
+  sketch::WaveSketchBasic ws(params(sketch::StoreKind::kTopK));
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto& [f, w] = stream.updates[i];
+    ws.update_window(f, w, 1048);
+    i = (i + 1) % stream.updates.size();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_WaveSketchUpdate)->Arg(1)->Arg(4)->Arg(16)->Arg(64)
+    ->Name("WaveSketch-Ideal/packets_per_window");
+
+void BM_WaveSketchHwUpdate(benchmark::State& state) {
+  const Stream stream(static_cast<int>(state.range(0)));
+  sketch::WaveSketchBasic ws(params(sketch::StoreKind::kThreshold));
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto& [f, w] = stream.updates[i];
+    ws.update_window(f, w, 1048);
+    i = (i + 1) % stream.updates.size();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_WaveSketchHwUpdate)->Arg(1)->Arg(16)
+    ->Name("WaveSketch-HW/packets_per_window");
+
+void BM_WaveSketchFullUpdate(benchmark::State& state) {
+  const Stream stream(16);
+  sketch::WaveSketchFull ws(params(sketch::StoreKind::kTopK));
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto& [f, w] = stream.updates[i];
+    ws.update_window(f, w, 1048);
+    i = (i + 1) % stream.updates.size();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_WaveSketchFullUpdate)->Name("WaveSketch-Full/heavy+light");
+
+void BM_OmniWindowUpdate(benchmark::State& state) {
+  const Stream stream(16);
+  baselines::OmniWindowParams p;
+  p.depth = 3;
+  p.width = 256;
+  p.sub_windows = 64;
+  baselines::OmniWindowAvg ow(p);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto& [f, w] = stream.updates[i];
+    ow.update(f, w, 1048);
+    i = (i + 1) % stream.updates.size();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_OmniWindowUpdate)->Name("OmniWindow-Avg/update");
+
+void BM_PersistCmsUpdate(benchmark::State& state) {
+  const Stream stream(16);
+  baselines::PersistCmsParams p;
+  p.depth = 3;
+  p.width = 256;
+  p.segments_per_bucket = 32;
+  baselines::PersistCms pc(p);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto& [f, w] = stream.updates[i];
+    pc.update(f, w, 1048);
+    i = (i + 1) % stream.updates.size();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PersistCmsUpdate)->Name("Persist-CMS/update");
+
+void BM_FourierUpdate(benchmark::State& state) {
+  const Stream stream(16);
+  baselines::FourierParams p;
+  p.depth = 3;
+  p.width = 256;
+  p.coefficients = 64;
+  baselines::FourierSketch fs(p);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto& [f, w] = stream.updates[i];
+    fs.update(f, w, 1048);
+    i = (i + 1) % stream.updates.size();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FourierUpdate)->Name("Fourier/update(buffering)");
+
+void BM_Reconstruction(benchmark::State& state) {
+  sketch::WaveSketchBasic ws(params(sketch::StoreKind::kTopK));
+  const FlowKey f = flow(1);
+  Rng rng(3);
+  const auto n = static_cast<WindowId>(state.range(0));
+  for (WindowId w = 0; w < n; ++w) {
+    ws.update_window(f, w, static_cast<Count>(500 + rng.below(2000)));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ws.query(f));
+  }
+}
+BENCHMARK(BM_Reconstruction)->Arg(256)->Arg(1024)->Arg(4096)
+    ->Name("Query+Reconstruct/windows");
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,71 @@
+// Shared main() body for the accuracy-vs-memory benches (Figures 11 & 12):
+// run the workload sim once, sweep memory budgets across all five schemes,
+// and print one table per metric, mirroring the figure panels.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/support/driver.hpp"
+#include "bench/support/sweep.hpp"
+
+namespace umon::bench {
+
+inline int run_accuracy_bench(const std::string& title, const SimOptions& opt,
+                              const std::vector<std::size_t>& memory_kb) {
+  print_header(title);
+  std::printf("workload: %s, load %.0f%%, %lld ms, window 8.192 us\n",
+              workload::to_string(opt.kind).c_str(), opt.load * 100,
+              static_cast<long long>(opt.duration / kMilli));
+  SimResult sim = run_monitored(opt);
+  std::printf("flows: %zu, packets: %llu, tx updates: %zu\n\n",
+              sim.workload.flows.size(),
+              static_cast<unsigned long long>(sim.total_packets),
+              sim.updates.size());
+
+  struct Cell {
+    SweepScore score;
+    std::size_t actual_kb = 0;
+  };
+  std::vector<std::vector<Cell>> grid(memory_kb.size());
+  for (std::size_t mi = 0; mi < memory_kb.size(); ++mi) {
+    for (Scheme s : all_schemes()) {
+      auto est = make_estimator(s, memory_kb[mi] * 1024, sim);
+      replay(sim, *est);
+      Cell c;
+      c.score = evaluate(sim, *est);
+      c.actual_kb = est->memory_bytes() / 1024;
+      grid[mi].push_back(c);
+    }
+  }
+
+  const char* metric_names[] = {"Euclidean Distance (Gbps, lower is better)",
+                                "ARE (lower is better)",
+                                "Cosine Similarity (higher is better)",
+                                "Energy Similarity (higher is better)"};
+  for (int metric = 0; metric < 4; ++metric) {
+    std::printf("--- %s ---\n", metric_names[metric]);
+    std::printf("%-12s", "Memory(KB)");
+    for (Scheme s : all_schemes()) {
+      std::printf(" %16s", scheme_name(s).c_str());
+    }
+    std::printf("\n");
+    for (std::size_t mi = 0; mi < memory_kb.size(); ++mi) {
+      std::printf("%-12zu", memory_kb[mi]);
+      for (std::size_t si = 0; si < grid[mi].size(); ++si) {
+        const SweepScore& sc = grid[mi][si].score;
+        const double v = metric == 0   ? sc.euclidean
+                         : metric == 1 ? sc.are
+                         : metric == 2 ? sc.cosine
+                                       : sc.energy;
+        std::printf(" %16.4f", v);
+      }
+      std::printf("\n");
+    }
+    std::printf("\n");
+  }
+  return 0;
+}
+
+}  // namespace umon::bench

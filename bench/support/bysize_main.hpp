@@ -1,0 +1,71 @@
+// Shared main() for the accuracy-by-flow-size benches (Figures 17 & 18):
+// fix the memory budget and bucket the metrics by flow length (number of
+// active 8.192 us windows), in decades.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/support/driver.hpp"
+#include "bench/support/sweep.hpp"
+
+namespace umon::bench {
+
+inline int run_bysize_bench(const std::string& title, const SimOptions& opt,
+                            std::size_t memory_kb) {
+  print_header(title);
+  std::printf("workload: %s, load %.0f%%, memory %zu KB\n",
+              workload::to_string(opt.kind).c_str(), opt.load * 100,
+              memory_kb);
+  SimResult sim = run_monitored(opt);
+  std::printf("flows: %zu, packets: %llu\n\n", sim.workload.flows.size(),
+              static_cast<unsigned long long>(sim.total_packets));
+
+  struct Bucket {
+    std::size_t lo, hi;
+    const char* label;
+  };
+  const std::vector<Bucket> buckets = {
+      {1, 10, "1-10"},
+      {11, 100, "10^1-10^2"},
+      {101, 1000, "10^2-10^3"},
+      {1001, SIZE_MAX, ">10^3"},
+  };
+
+  // Build every estimator once, then evaluate per bucket.
+  std::vector<std::unique_ptr<baselines::SeriesEstimator>> ests;
+  for (Scheme s : all_schemes()) {
+    ests.push_back(make_estimator(s, memory_kb * 1024, sim));
+    replay(sim, *ests.back());
+  }
+
+  const char* metric_names[] = {"Euclidean Distance (Gbps)", "ARE",
+                                "Cosine Similarity", "Energy Similarity"};
+  for (int metric = 0; metric < 4; ++metric) {
+    std::printf("--- %s by flow length (windows) ---\n", metric_names[metric]);
+    std::printf("%-12s", "FlowLen");
+    for (Scheme s : all_schemes()) {
+      std::printf(" %16s", scheme_name(s).c_str());
+    }
+    std::printf("  %8s\n", "flows");
+    for (const auto& b : buckets) {
+      std::printf("%-12s", b.label);
+      int flows = 0;
+      for (std::size_t si = 0; si < ests.size(); ++si) {
+        const SweepScore sc = evaluate(sim, *ests[si], b.lo, b.hi);
+        flows = sc.flows;
+        const double v = metric == 0   ? sc.euclidean
+                         : metric == 1 ? sc.are
+                         : metric == 2 ? sc.cosine
+                                       : sc.energy;
+        std::printf(" %16.4f", v);
+      }
+      std::printf("  %8d\n", flows);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}
+
+}  // namespace umon::bench

@@ -1,0 +1,77 @@
+#include "bench/support/driver.hpp"
+
+#include <cstdio>
+
+namespace umon::bench {
+
+SimResult run_monitored(const SimOptions& opt) {
+  SimResult result;
+  result.truth = analyzer::GroundTruth(opt.window_shift);
+  result.duration = opt.duration;
+
+  netsim::NetworkConfig cfg;
+  cfg.queue_sample_interval = opt.sample_queues ? 1 * kMicro : 0;
+  cfg.seed = opt.seed;
+  result.net = netsim::Network::fat_tree(cfg, 4);
+
+  workload::WorkloadParams wp;
+  wp.hosts = result.net->host_count();
+  wp.load = opt.load;
+  wp.duration = opt.duration;
+  wp.seed = opt.seed;
+  result.workload = workload::generate(opt.kind, wp);
+
+  result.net->set_host_tx_hook([&result, &opt](int, const PacketRecord& r) {
+    result.truth.add(r.flow, r.timestamp, r.size);
+    result.total_packets += 1;
+    const WindowId w = window_of(r.timestamp, opt.window_shift);
+    // Aggregate consecutive packets of the same flow+window (the common
+    // case) so estimator sweeps replay fewer updates.
+    if (!result.updates.empty() && result.updates.back().flow == r.flow &&
+        result.updates.back().window == w) {
+      result.updates.back().bytes += r.size;
+    } else {
+      result.updates.push_back(TxUpdate{r.flow, w, r.size});
+    }
+  });
+
+  result.net->set_switch_enqueue_hook(
+      [&result](netsim::PortId port, const PacketRecord& pkt) {
+        if (pkt.ecn != Ecn::kCe) return;
+        uevent::MirroredPacket m;
+        m.pkt = pkt;
+        m.switch_id = port.node;
+        m.egress_port = port.port;
+        m.vlan = static_cast<std::uint16_t>(port.port + 100);
+        m.switch_timestamp = pkt.timestamp;
+        result.ce_stream.push_back(m);
+      });
+
+  workload::install(result.workload, *result.net);
+  result.net->run_until(opt.duration + opt.drain);
+  result.net->finish();
+  return result;
+}
+
+std::vector<uevent::MirroredPacket> sample_stream(
+    const std::vector<uevent::MirroredPacket>& stream, int w_bits) {
+  const uevent::AclRule rule = uevent::AclRule::ce_sampled(w_bits);
+  std::vector<uevent::MirroredPacket> out;
+  for (const auto& m : stream) {
+    if (rule.matches(m.pkt)) out.push_back(m);
+  }
+  return out;
+}
+
+void print_header(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+void print_row(const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    std::printf("%s%-14s", i == 0 ? "" : " ", cells[i].c_str());
+  }
+  std::printf("\n");
+}
+
+}  // namespace umon::bench

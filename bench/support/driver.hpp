@@ -1,0 +1,63 @@
+// Shared driver for the figure/table benches: runs a monitored workload on
+// the fat-tree simulator once and exposes everything the evaluation needs —
+// the host-TX update stream, exact ground truth, the unsampled CE mirror
+// stream, and the queue episode ground truth.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analyzer/groundtruth.hpp"
+#include "common/types.hpp"
+#include "netsim/network.hpp"
+#include "uevent/acl.hpp"
+#include "workload/generator.hpp"
+
+namespace umon::bench {
+
+/// One aggregated host-TX update: all bytes of `flow` within `window`.
+struct TxUpdate {
+  FlowKey flow;
+  WindowId window = 0;
+  Count bytes = 0;
+};
+
+struct SimResult {
+  std::unique_ptr<netsim::Network> net;  ///< kept alive for episode queries
+  workload::Workload workload;
+  std::vector<TxUpdate> updates;         ///< in arrival order
+  analyzer::GroundTruth truth;
+  /// Every CE-marked egress packet, unsampled (PSNs preserved so sampling
+  /// ratios can be applied offline).
+  std::vector<uevent::MirroredPacket> ce_stream;
+  std::uint64_t total_packets = 0;
+  Nanos duration = 0;
+
+  SimResult() : truth(kDefaultWindowShift) {}
+};
+
+struct SimOptions {
+  workload::WorkloadKind kind = workload::WorkloadKind::kHadoop;
+  double load = 0.15;
+  Nanos duration = 20 * kMilli;
+  Nanos drain = 5 * kMilli;   ///< extra time to let flows finish
+  std::uint64_t seed = 7;
+  int window_shift = kDefaultWindowShift;
+  bool sample_queues = false;
+};
+
+/// Run the workload on a fat-tree (k=4) with monitoring hooks attached.
+SimResult run_monitored(const SimOptions& opt);
+
+/// Apply a 1/2^w PSN sampling rule to a CE stream (offline equivalent of the
+/// ACL rule in Figure 8).
+std::vector<uevent::MirroredPacket> sample_stream(
+    const std::vector<uevent::MirroredPacket>& stream, int w_bits);
+
+/// Pretty-print helpers for the bench tables.
+void print_header(const std::string& title);
+void print_row(const std::vector<std::string>& cells);
+
+}  // namespace umon::bench

@@ -1,0 +1,151 @@
+#include "bench/support/sweep.hpp"
+
+#include <algorithm>
+
+#include "baselines/fourier.hpp"
+#include "baselines/omniwindow.hpp"
+#include "baselines/persist_cms.hpp"
+#include "baselines/wavesketch_adapter.hpp"
+#include "sketch/calibrate.hpp"
+
+namespace umon::bench {
+namespace {
+
+constexpr int kDepth = 3;
+constexpr std::uint32_t kWidth = 256;
+constexpr std::uint32_t kBuckets = kDepth * kWidth;
+constexpr int kLevels = 8;
+/// Expected window count of a 20 ms period at 8.192 us (sizes the
+/// approximation-array share of the budget).
+constexpr std::uint32_t kExpectedWindows = 2442;
+
+sketch::WaveSketchParams wavesketch_params(std::size_t per_bucket) {
+  sketch::WaveSketchParams p;
+  p.depth = kDepth;
+  p.width = kWidth;
+  p.levels = kLevels;
+  const std::size_t fixed = 12 + kLevels * 4 + (kExpectedWindows >> kLevels) * 4;
+  p.k = per_bucket > fixed + 24 ? (per_bucket - fixed) / 6 : 4;
+  p.max_windows = 1u << 16;
+  return p;
+}
+
+}  // namespace
+
+std::string scheme_name(Scheme s) {
+  switch (s) {
+    case Scheme::kFourier: return "Fourier";
+    case Scheme::kOmniWindowAvg: return "OmniWindow-Avg";
+    case Scheme::kPersistCms: return "Persist-CMS";
+    case Scheme::kWaveSketchIdeal: return "WaveSketch-Ideal";
+    case Scheme::kWaveSketchHw: return "WaveSketch-HW";
+  }
+  return "?";
+}
+
+std::vector<Scheme> all_schemes() {
+  return {Scheme::kFourier, Scheme::kOmniWindowAvg, Scheme::kPersistCms,
+          Scheme::kWaveSketchIdeal, Scheme::kWaveSketchHw};
+}
+
+std::unique_ptr<baselines::SeriesEstimator> make_estimator(
+    Scheme scheme, std::size_t memory_bytes, const SimResult& sim) {
+  const std::size_t per_bucket = memory_bytes / kBuckets;
+  switch (scheme) {
+    case Scheme::kFourier: {
+      baselines::FourierParams p;
+      p.depth = kDepth;
+      p.width = kWidth;
+      p.coefficients = static_cast<std::uint32_t>(
+          std::max<std::size_t>(2, (per_bucket - 12) / 10));
+      return std::make_unique<baselines::FourierSketch>(p);
+    }
+    case Scheme::kOmniWindowAvg: {
+      baselines::OmniWindowParams p;
+      p.depth = kDepth;
+      p.width = kWidth;
+      p.sub_windows = static_cast<std::uint32_t>(
+          std::max<std::size_t>(2, (per_bucket - 12) / 4));
+      p.max_windows = 1u << 12;  // covers a 20 ms period of 8.192 us windows
+      return std::make_unique<baselines::OmniWindowAvg>(p);
+    }
+    case Scheme::kPersistCms: {
+      baselines::PersistCmsParams p;
+      p.depth = kDepth;
+      p.width = kWidth;
+      p.segments_per_bucket = static_cast<std::uint32_t>(
+          std::max<std::size_t>(3, (per_bucket - 16) / 8));
+      return std::make_unique<baselines::PersistCms>(p);
+    }
+    case Scheme::kWaveSketchIdeal: {
+      return std::make_unique<baselines::WaveSketchEstimator>(
+          wavesketch_params(per_bucket), "WaveSketch-Ideal");
+    }
+    case Scheme::kWaveSketchHw: {
+      sketch::WaveSketchParams p = wavesketch_params(per_bucket);
+      // Calibrate thresholds from a prefix of the trace using the ideal
+      // store (Section 4.3's offline calibration step).
+      std::vector<sketch::SampleUpdate> calib;
+      const std::size_t n = std::min<std::size_t>(sim.updates.size(), 200'000);
+      calib.reserve(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        calib.push_back(sketch::SampleUpdate{
+            sim.updates[i].flow, sim.updates[i].window, sim.updates[i].bytes});
+      }
+      const sketch::HwThresholds t = sketch::calibrate_thresholds(p, calib);
+      p.store = sketch::StoreKind::kThreshold;
+      p.hw_threshold_even = t.even;
+      p.hw_threshold_odd = t.odd;
+      return std::make_unique<baselines::WaveSketchEstimator>(
+          p, "WaveSketch-HW");
+    }
+  }
+  return nullptr;
+}
+
+void replay(const SimResult& sim, baselines::SeriesEstimator& est) {
+  for (const auto& u : sim.updates) {
+    est.update(u.flow, u.window, u.bytes);
+  }
+}
+
+SweepScore evaluate(const SimResult& sim,
+                    const baselines::SeriesEstimator& est,
+                    std::size_t min_windows, std::size_t max_windows) {
+  SweepScore score;
+  for (const FlowKey& f : sim.truth.flows()) {
+    const std::size_t len = sim.truth.flow_length(f);
+    if (len < min_windows || len > max_windows) continue;
+    const auto truth = sim.truth.series(f);
+    if (truth.empty()) continue;
+    const baselines::Series got = est.query(f);
+    std::vector<double> aligned(truth.values.size(), 0.0);
+    for (std::size_t i = 0; i < aligned.size(); ++i) {
+      aligned[i] = got.at(truth.w0 + static_cast<WindowId>(i));
+    }
+    // Metrics operate on Gbps curves so Euclidean distances are comparable
+    // with the paper's figures.
+    const double to_gbps = 8.0 / static_cast<double>(window_length());
+    std::vector<double> t_gbps(truth.values.size());
+    std::vector<double> e_gbps(aligned.size());
+    for (std::size_t i = 0; i < truth.values.size(); ++i) {
+      t_gbps[i] = truth.values[i] * to_gbps;
+      e_gbps[i] = aligned[i] * to_gbps;
+    }
+    const auto m = analyzer::curve_metrics(t_gbps, e_gbps);
+    score.euclidean += m.euclidean;
+    score.are += m.are;
+    score.cosine += m.cosine;
+    score.energy += m.energy;
+    score.flows += 1;
+  }
+  if (score.flows > 0) {
+    score.euclidean /= score.flows;
+    score.are /= score.flows;
+    score.cosine /= score.flows;
+    score.energy /= score.flows;
+  }
+  return score;
+}
+
+}  // namespace umon::bench

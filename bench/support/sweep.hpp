@@ -1,0 +1,53 @@
+// Accuracy-sweep support for Figures 11/12/17/18: build each estimator for
+// a given total memory budget, replay a TX update stream into it, and score
+// reconstructed curves against ground truth.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analyzer/metrics.hpp"
+#include "baselines/estimator.hpp"
+#include "bench/support/driver.hpp"
+
+namespace umon::bench {
+
+/// Schemes swept by the accuracy benches (paper order).
+enum class Scheme {
+  kFourier,
+  kOmniWindowAvg,
+  kPersistCms,
+  kWaveSketchIdeal,
+  kWaveSketchHw,
+};
+std::string scheme_name(Scheme s);
+std::vector<Scheme> all_schemes();
+
+/// Build an estimator whose total memory approximates `memory_bytes`. All
+/// schemes share the same grid geometry (d=3, w=256) and divide the rest of
+/// the budget into their per-bucket structures. `sim` provides a calibration
+/// trace for the hardware thresholds.
+std::unique_ptr<baselines::SeriesEstimator> make_estimator(
+    Scheme scheme, std::size_t memory_bytes, const SimResult& sim);
+
+/// Replay the sim's update stream into an estimator.
+void replay(const SimResult& sim, baselines::SeriesEstimator& est);
+
+/// Per-flow metric evaluation: average the four Appendix E metrics over all
+/// flows that sent data (optionally filtered by active-window count).
+struct SweepScore {
+  double euclidean = 0;
+  double are = 0;
+  double cosine = 0;
+  double energy = 0;
+  int flows = 0;
+};
+SweepScore evaluate(const SimResult& sim,
+                    const baselines::SeriesEstimator& est,
+                    std::size_t min_windows = 1,
+                    std::size_t max_windows = SIZE_MAX);
+
+}  // namespace umon::bench

@@ -1,0 +1,228 @@
+// umon_sim: command-line driver for full uMon experiments.
+//
+// Runs a workload on the fat-tree simulator with uFlow (WaveSketch at every
+// host) and uEvent (CE match + PSN sampling + mirror at every switch)
+// attached, then prints the analyzer's view: accuracy, bandwidth, events.
+//
+// Usage:
+//   umon_sim [--workload websearch|hadoop] [--load 0.15] [--ms 20]
+//            [--sample-bits 6] [--k 64] [--width 256] [--depth 3]
+//            [--pfc] [--dctcp] [--seed 7]
+//
+// Example:
+//   ./build/examples/umon_sim --workload hadoop --load 0.35 --sample-bits 4
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analyzer/analyzer.hpp"
+#include "analyzer/groundtruth.hpp"
+#include "analyzer/metrics.hpp"
+#include "netsim/network.hpp"
+#include "sketch/wavesketch_full.hpp"
+#include "uevent/acl.hpp"
+#include "uevent/detector.hpp"
+#include "workload/generator.hpp"
+
+namespace {
+
+using namespace umon;
+
+struct Options {
+  workload::WorkloadKind kind = workload::WorkloadKind::kHadoop;
+  double load = 0.15;
+  Nanos duration = 20 * kMilli;
+  int sample_bits = 6;
+  std::size_t k = 64;
+  std::uint32_t width = 256;
+  int depth = 3;
+  bool pfc = false;
+  bool dctcp = false;
+  std::uint64_t seed = 7;
+};
+
+bool parse(int argc, char** argv, Options& opt) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&](const char* what) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", what);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--workload") {
+      const std::string v = next("--workload");
+      if (v == "websearch") {
+        opt.kind = workload::WorkloadKind::kWebSearch;
+      } else if (v == "hadoop") {
+        opt.kind = workload::WorkloadKind::kHadoop;
+      } else {
+        std::fprintf(stderr, "unknown workload '%s'\n", v.c_str());
+        return false;
+      }
+    } else if (arg == "--load") {
+      opt.load = std::atof(next("--load"));
+    } else if (arg == "--ms") {
+      opt.duration = static_cast<Nanos>(std::atof(next("--ms")) * 1e6);
+    } else if (arg == "--sample-bits") {
+      opt.sample_bits = std::atoi(next("--sample-bits"));
+    } else if (arg == "--k") {
+      opt.k = static_cast<std::size_t>(std::atoi(next("--k")));
+    } else if (arg == "--width") {
+      opt.width = static_cast<std::uint32_t>(std::atoi(next("--width")));
+    } else if (arg == "--depth") {
+      opt.depth = std::atoi(next("--depth"));
+    } else if (arg == "--pfc") {
+      opt.pfc = true;
+    } else if (arg == "--dctcp") {
+      opt.dctcp = true;
+    } else if (arg == "--seed") {
+      opt.seed = static_cast<std::uint64_t>(std::atoll(next("--seed")));
+    } else if (arg == "--help" || arg == "-h") {
+      return false;
+    } else {
+      std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  if (!parse(argc, argv, opt)) {
+    std::printf(
+        "usage: umon_sim [--workload websearch|hadoop] [--load F] [--ms N]\n"
+        "                [--sample-bits N] [--k N] [--width N] [--depth N]\n"
+        "                [--pfc] [--dctcp] [--seed N]\n");
+    return 2;
+  }
+
+  netsim::NetworkConfig cfg;
+  cfg.queue_sample_interval = 0;
+  cfg.pfc.enabled = opt.pfc;
+  cfg.seed = opt.seed;
+  auto net = netsim::Network::fat_tree(cfg, 4);
+
+  sketch::WaveSketchParams sp;
+  sp.depth = opt.depth;
+  sp.width = opt.width;
+  sp.levels = 8;
+  sp.k = opt.k;
+  std::vector<std::unique_ptr<sketch::WaveSketchFull>> sketches;
+  for (int h = 0; h < net->host_count(); ++h) {
+    sketches.push_back(std::make_unique<sketch::WaveSketchFull>(sp));
+  }
+  analyzer::GroundTruth truth;
+  std::uint64_t packets = 0;
+  net->set_host_tx_hook([&](int host, const PacketRecord& r) {
+    ++packets;
+    truth.add(r.flow, r.timestamp, r.size);
+    sketches[static_cast<std::size_t>(host)]->update(
+        r.flow, r.timestamp, static_cast<Count>(r.size));
+  });
+
+  uevent::EventScorer scorer;
+  uevent::AclMirror mirror(
+      uevent::AclRule::ce_sampled(opt.sample_bits),
+      [&scorer](const uevent::MirroredPacket& m) { scorer.collect(m); });
+  net->set_switch_enqueue_hook(
+      [&](netsim::PortId port, const PacketRecord& pkt) {
+        mirror.on_switch_enqueue(port, pkt, pkt.timestamp);
+      });
+
+  workload::WorkloadParams wp;
+  wp.hosts = net->host_count();
+  wp.load = opt.load;
+  wp.duration = opt.duration;
+  wp.seed = opt.seed;
+  workload::Workload w = workload::generate(opt.kind, wp);
+  if (opt.dctcp) {
+    for (auto& f : w.flows) f.use_dctcp = true;
+  }
+  workload::install(w, *net);
+  net->run_until(opt.duration + 5 * kMilli);
+  net->finish();
+
+  // --- analyzer view --------------------------------------------------------
+  analyzer::Analyzer an;
+  for (int h = 0; h < net->host_count(); ++h) {
+    an.ingest_host_sketch(h, *sketches[static_cast<std::size_t>(h)]);
+  }
+  an.ingest_mirrored(scorer.mirrored());
+
+  std::printf("uMon simulation report\n");
+  std::printf("  workload:        %s, %.0f%% load, %.1f ms, %s%s\n",
+              workload::to_string(opt.kind).c_str(), opt.load * 100,
+              static_cast<double>(opt.duration) / 1e6,
+              opt.dctcp ? "DCTCP" : "DCQCN", opt.pfc ? " + PFC" : "");
+  std::printf("  flows / packets: %zu / %llu\n", w.flows.size(),
+              static_cast<unsigned long long>(packets));
+  std::printf("  drops:           %llu\n",
+              static_cast<unsigned long long>(net->total_drops()));
+  if (opt.pfc) {
+    std::printf("  PFC pauses:      %llu (total paused %.1f us)\n",
+                static_cast<unsigned long long>(net->pfc_stats().pause_frames),
+                static_cast<double>(net->pfc_stats().total_paused) / 1e3);
+  }
+
+  // uFlow accuracy over heavy flows.
+  double cos = 0, are = 0;
+  int evaluated = 0;
+  for (const auto& f : w.flows) {
+    if (f.bytes < 100'000) continue;
+    const auto t = truth.series(f.key);
+    const auto est = an.query_rate(f.key);
+    if (t.empty() || est.empty()) continue;
+    std::vector<double> aligned(t.values.size(), 0.0);
+    for (std::size_t i = 0; i < aligned.size(); ++i) {
+      aligned[i] = est.bytes_at(t.w0 + static_cast<WindowId>(i));
+    }
+    const auto m = analyzer::curve_metrics(t.values, aligned);
+    cos += m.cosine;
+    are += m.are;
+    ++evaluated;
+  }
+  std::printf("\nuFlow (WaveSketch d=%d w=%u K=%zu)\n", opt.depth, opt.width,
+              opt.k);
+  if (evaluated > 0) {
+    std::printf("  heavy flows evaluated: %d\n", evaluated);
+    std::printf("  avg cosine similarity: %.4f\n", cos / evaluated);
+    std::printf("  avg relative error:    %.4f\n", are / evaluated);
+  }
+  const double seconds = static_cast<double>(opt.duration) / 1e9;
+  std::printf("  report bandwidth:      %.2f Mbps/host\n",
+              static_cast<double>(an.report_bytes_ingested()) * 8 / seconds /
+                  1e6 / net->host_count());
+
+  // uEvent summary.
+  const auto scores = scorer.score(*net);
+  std::size_t severe = 0, severe_detected = 0;
+  for (const auto& s : scores) {
+    if (s.max_queue_bytes >= 200 * 1024) {
+      ++severe;
+      severe_detected += s.detected ? 1 : 0;
+    }
+  }
+  const auto events = an.events();
+  std::printf("\nuEvent (CE match, 1/%d sampling)\n", 1 << opt.sample_bits);
+  std::printf("  ground-truth episodes: %zu (severe: %zu)\n", scores.size(),
+              severe);
+  if (severe > 0) {
+    std::printf("  severe recall:         %.3f\n",
+                static_cast<double>(severe_detected) /
+                    static_cast<double>(severe));
+  }
+  std::printf("  events assembled:      %zu\n", events.size());
+  std::printf("  mirror bandwidth:      %.2f Mbps (max over switches: see "
+              "bench_fig15)\n",
+              static_cast<double>(an.mirror_bytes_ingested()) * 8 / seconds /
+                  1e6);
+  return 0;
+}

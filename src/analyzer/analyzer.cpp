@@ -1,0 +1,116 @@
+#include "analyzer/analyzer.hpp"
+
+#include <algorithm>
+
+namespace umon::analyzer {
+
+void Analyzer::ingest_host_sketch(int host,
+                                  const sketch::WaveSketchFull& sk) {
+  const Nanos offset =
+      clocks_.host_offset.contains(host) ? clocks_.host_offset.at(host) : 0;
+  // PTP residuals are nanosecond-scale, far below a window, so correcting a
+  // window id means shifting by whole windows of offset (usually zero).
+  const WindowId window_offset = offset >> window_shift_;
+  for (const FlowKey& f : sk.heavy_flows()) {
+    auto q = sk.query(f);
+    if (q.empty()) continue;
+    CurveFragment frag;
+    frag.w0 = q.w0 - window_offset;
+    frag.bytes_per_window = std::move(q.series);
+    curves_.add(f, std::move(frag));
+  }
+  report_bytes_ += sk.report_wire_bytes();
+}
+
+void Analyzer::ingest_flow_curve(const FlowKey& flow, RateCurve curve) {
+  report_bytes_ += curve.bytes_per_window.size() / 8;  // rough wire share
+  CurveFragment frag;
+  frag.w0 = curve.w0;
+  frag.bytes_per_window = std::move(curve.bytes_per_window);
+  curves_.add(flow, std::move(frag));
+}
+
+void Analyzer::ingest_mirrored(
+    const std::vector<uevent::MirroredPacket>& packets) {
+  mirrored_.insert(mirrored_.end(), packets.begin(), packets.end());
+  mirror_bytes_ += packets.size() * uevent::MirroredPacket::kWireBytes;
+  std::sort(mirrored_.begin(), mirrored_.end(),
+            [](const uevent::MirroredPacket& a,
+               const uevent::MirroredPacket& b) {
+              if (a.switch_id != b.switch_id) return a.switch_id < b.switch_id;
+              if (a.egress_port != b.egress_port)
+                return a.egress_port < b.egress_port;
+              return a.switch_timestamp < b.switch_timestamp;
+            });
+}
+
+RateCurve Analyzer::query_rate(const FlowKey& flow) const {
+  WindowId first = 0, last = 0;
+  if (!curves_.extent(flow, first, last)) return RateCurve{};
+  RateCurve out;
+  out.w0 = first;
+  out.window_shift = window_shift_;
+  out.bytes_per_window = curves_.range(flow, first, last + 1);
+  return out;
+}
+
+std::vector<CongestionEvent> Analyzer::events(Nanos quiet_gap) const {
+  std::vector<CongestionEvent> out;
+  CongestionEvent cur;
+  std::vector<std::uint64_t> seen;
+  auto flush = [&] {
+    if (cur.packets > 0) out.push_back(cur);
+    cur = CongestionEvent{};
+    seen.clear();
+  };
+  for (const auto& m : mirrored_) {
+    const bool same_port =
+        m.switch_id == cur.switch_id && m.egress_port == cur.egress_port;
+    const bool contiguous =
+        same_port && m.switch_timestamp - cur.end <= quiet_gap;
+    if (!contiguous) flush();
+    if (cur.packets == 0) {
+      cur.switch_id = m.switch_id;
+      cur.egress_port = m.egress_port;
+      cur.start = m.switch_timestamp;
+    }
+    cur.end = m.switch_timestamp;
+    cur.packets += 1;
+    const std::uint64_t fk = m.pkt.flow.packed();
+    if (std::find(seen.begin(), seen.end(), fk) == seen.end()) {
+      seen.push_back(fk);
+      cur.flows.push_back(m.pkt.flow);
+    }
+  }
+  flush();
+  return out;
+}
+
+Analyzer::Replay Analyzer::replay(const CongestionEvent& ev,
+                                  Nanos margin) const {
+  Replay r;
+  r.event = ev;
+  r.from = window_of(ev.start - margin, window_shift_);
+  r.to = window_of(ev.end + margin, window_shift_) + 1;
+  for (const FlowKey& f : ev.flows) {
+    const RateCurve curve = query_rate(f);
+    if (curve.empty()) continue;
+    std::vector<double> series;
+    series.reserve(static_cast<std::size_t>(r.to - r.from));
+    for (WindowId w = r.from; w < r.to; ++w) {
+      series.push_back(curve.gbps_at(w));
+    }
+    r.gbps_series.emplace_back(f, std::move(series));
+  }
+  return r;
+}
+
+std::vector<double> Analyzer::event_durations_us(Nanos quiet_gap) const {
+  std::vector<double> out;
+  for (const auto& ev : events(quiet_gap)) {
+    out.push_back(static_cast<double>(ev.duration()) / 1000.0);
+  }
+  return out;
+}
+
+}  // namespace umon::analyzer

@@ -1,0 +1,77 @@
+#include "analyzer/burstiness.hpp"
+
+#include <algorithm>
+
+namespace umon::analyzer {
+
+std::vector<Burst> find_bursts(std::span<const double> curve,
+                               double threshold) {
+  std::vector<Burst> out;
+  Burst cur;
+  bool open = false;
+  for (std::size_t i = 0; i < curve.size(); ++i) {
+    if (curve[i] >= threshold) {
+      if (!open) {
+        open = true;
+        cur = Burst{};
+        cur.start = i;
+      }
+      cur.length += 1;
+      cur.peak = std::max(cur.peak, curve[i]);
+      cur.bytes += curve[i];
+    } else if (open) {
+      out.push_back(cur);
+      open = false;
+    }
+  }
+  if (open) out.push_back(cur);
+  return out;
+}
+
+BurstProfile burst_profile(std::span<const double> curve, double threshold) {
+  BurstProfile p;
+  const auto bursts = find_bursts(curve, threshold);
+  p.bursts = bursts.size();
+
+  double total = 0;
+  std::size_t active = 0;
+  for (double v : curve) {
+    p.peak = std::max(p.peak, v);
+    total += v;
+    active += v > 0 ? 1 : 0;
+  }
+  p.mean = active == 0 ? 0 : total / static_cast<double>(active);
+  p.peak_to_mean = p.mean == 0 ? 0 : p.peak / p.mean;
+
+  double burst_windows = 0, burst_bytes = 0;
+  for (const auto& b : bursts) {
+    burst_windows += static_cast<double>(b.length);
+    burst_bytes += b.bytes;
+  }
+  if (!bursts.empty()) {
+    p.mean_burst_windows = burst_windows / static_cast<double>(bursts.size());
+    double gaps = 0;
+    for (std::size_t i = 1; i < bursts.size(); ++i) {
+      gaps += static_cast<double>(bursts[i].start -
+                                  (bursts[i - 1].start + bursts[i - 1].length));
+    }
+    p.mean_gap_windows =
+        bursts.size() > 1 ? gaps / static_cast<double>(bursts.size() - 1) : 0;
+  }
+  p.burst_volume_fraction = total == 0 ? 0 : burst_bytes / total;
+  return p;
+}
+
+double suggest_kmin_bytes(std::span<const Burst> bursts, double quantile) {
+  if (bursts.empty()) return 0;
+  std::vector<double> volumes;
+  volumes.reserve(bursts.size());
+  for (const auto& b : bursts) volumes.push_back(b.bytes);
+  std::sort(volumes.begin(), volumes.end());
+  const auto idx = static_cast<std::size_t>(
+      std::clamp(quantile, 0.0, 1.0) *
+      static_cast<double>(volumes.size() - 1));
+  return volumes[idx];
+}
+
+}  // namespace umon::analyzer

@@ -1,0 +1,47 @@
+// Microscopic traffic-behavior modeling (use case B3): burst statistics
+// extracted from microsecond-level rate curves — peak rates, burst
+// durations, inter-burst gaps, and peak-to-mean ratios. These are the
+// quantities the paper says inform chip parameters (buffer sizing, ECN
+// thresholds, meters).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace umon::analyzer {
+
+/// One burst: a maximal run of windows with rate above the threshold.
+struct Burst {
+  std::size_t start = 0;     ///< window offset in the curve
+  std::size_t length = 0;    ///< windows
+  double peak = 0;           ///< max rate inside the burst
+  double bytes = 0;          ///< total volume (same unit as the curve)
+};
+
+/// Segment a curve into bursts: windows with value >= threshold.
+std::vector<Burst> find_bursts(std::span<const double> curve,
+                               double threshold);
+
+struct BurstProfile {
+  std::size_t bursts = 0;
+  double peak = 0;                  ///< global peak
+  double mean = 0;                  ///< mean over active (nonzero) windows
+  double peak_to_mean = 0;
+  double mean_burst_windows = 0;    ///< average burst length
+  double mean_gap_windows = 0;      ///< average inter-burst gap
+  double burst_volume_fraction = 0; ///< bytes inside bursts / total bytes
+};
+
+/// Aggregate burst statistics of one curve.
+BurstProfile burst_profile(std::span<const double> curve, double threshold);
+
+/// Suggested ECN KMin for a link, derived from the observed burst volumes:
+/// the q-th percentile of per-burst byte volume (a burst smaller than KMin
+/// should not trigger marking). This is the paper's "guide network
+/// specifications" use, made concrete.
+double suggest_kmin_bytes(std::span<const Burst> bursts, double quantile);
+
+}  // namespace umon::analyzer

@@ -1,0 +1,61 @@
+#include "analyzer/curve_store.hpp"
+
+namespace umon::analyzer {
+
+void FlowCurveStore::add(const FlowKey& flow, CurveFragment fragment) {
+  Entry& e = flows_[flow.packed()];
+  e.key = flow;
+  for (std::size_t i = 0; i < fragment.bytes_per_window.size(); ++i) {
+    const double v = fragment.bytes_per_window[i];
+    if (v == 0) continue;  // keep the map sparse
+    e.windows[fragment.w0 + static_cast<WindowId>(i)] += v;
+  }
+}
+
+std::vector<double> FlowCurveStore::range(const FlowKey& flow, WindowId from,
+                                          WindowId to) const {
+  std::vector<double> out(
+      static_cast<std::size_t>(to > from ? to - from : 0), 0.0);
+  auto it = flows_.find(flow.packed());
+  if (it == flows_.end()) return out;
+  const auto& windows = it->second.windows;
+  for (auto w = windows.lower_bound(from); w != windows.end() && w->first < to;
+       ++w) {
+    out[static_cast<std::size_t>(w->first - from)] = w->second;
+  }
+  return out;
+}
+
+bool FlowCurveStore::extent(const FlowKey& flow, WindowId& first,
+                            WindowId& last) const {
+  auto it = flows_.find(flow.packed());
+  if (it == flows_.end() || it->second.windows.empty()) return false;
+  first = it->second.windows.begin()->first;
+  last = it->second.windows.rbegin()->first;
+  return true;
+}
+
+double FlowCurveStore::total_bytes(const FlowKey& flow) const {
+  auto it = flows_.find(flow.packed());
+  if (it == flows_.end()) return 0;
+  double total = 0;
+  for (const auto& [w, v] : it->second.windows) total += v;
+  return total;
+}
+
+double FlowCurveStore::average_gbps(const FlowKey& flow) const {
+  WindowId first = 0, last = 0;
+  if (!extent(flow, first, last)) return 0;
+  const double span_ns = static_cast<double>((last - first + 1))
+                         * static_cast<double>(window_length(window_shift_));
+  return total_bytes(flow) * 8.0 / span_ns;
+}
+
+std::vector<FlowKey> FlowCurveStore::flows() const {
+  std::vector<FlowKey> out;
+  out.reserve(flows_.size());
+  for (const auto& [k, e] : flows_) out.push_back(e.key);
+  return out;
+}
+
+}  // namespace umon::analyzer

@@ -1,0 +1,58 @@
+// Multi-period rate-curve storage. WaveSketch uploads one report per bucket
+// per measurement period ("longer flows are handled in multiple reporting
+// periods", Section 7.1); the analyzer must stitch those fragments into one
+// continuous per-flow curve and serve range queries over absolute windows.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace umon::analyzer {
+
+/// One reconstructed fragment of a flow's curve (the analyzer-side form of
+/// a bucket report).
+struct CurveFragment {
+  WindowId w0 = 0;
+  std::vector<double> bytes_per_window;
+};
+
+class FlowCurveStore {
+ public:
+  explicit FlowCurveStore(int window_shift = kDefaultWindowShift)
+      : window_shift_(window_shift) {}
+
+  /// Add a fragment for `flow`. Overlapping windows accumulate (a window
+  /// split across two periods uploads partial counts in each).
+  void add(const FlowKey& flow, CurveFragment fragment);
+
+  /// Dense curve over [from, to) absolute windows (zeros where unknown).
+  [[nodiscard]] std::vector<double> range(const FlowKey& flow, WindowId from,
+                                          WindowId to) const;
+
+  /// Full extent of a flow's stored curve; false if unknown.
+  bool extent(const FlowKey& flow, WindowId& first, WindowId& last) const;
+
+  /// Total bytes stored for a flow (e.g., to rank heavy flows).
+  [[nodiscard]] double total_bytes(const FlowKey& flow) const;
+
+  /// Average rate in Gbps over the flow's active extent.
+  [[nodiscard]] double average_gbps(const FlowKey& flow) const;
+
+  [[nodiscard]] std::size_t flow_count() const { return flows_.size(); }
+  [[nodiscard]] std::vector<FlowKey> flows() const;
+
+ private:
+  struct Entry {
+    FlowKey key;
+    std::map<WindowId, double> windows;  // sparse accumulated counters
+  };
+
+  int window_shift_;
+  std::unordered_map<std::uint64_t, Entry> flows_;
+};
+
+}  // namespace umon::analyzer

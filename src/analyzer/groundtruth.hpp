@@ -1,0 +1,79 @@
+// Ground-truth collection: exact per-flow window-counter series built from
+// the simulator's host-TX stream, used by tests and the accuracy benches.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace umon::analyzer {
+
+class GroundTruth {
+ public:
+  explicit GroundTruth(int window_shift = kDefaultWindowShift)
+      : window_shift_(window_shift) {}
+
+  void add(const FlowKey& flow, Nanos ts, Count bytes) {
+    auto& e = flows_[flow.packed()];
+    e.key = flow;
+    e.windows[window_of(ts, window_shift_)] += bytes;
+  }
+
+  /// Dense series for one flow, from its first to last active window.
+  struct Series {
+    WindowId w0 = 0;
+    std::vector<double> values;
+    [[nodiscard]] bool empty() const { return values.empty(); }
+  };
+  [[nodiscard]] Series series(const FlowKey& flow) const {
+    auto it = flows_.find(flow.packed());
+    Series s;
+    if (it == flows_.end() || it->second.windows.empty()) return s;
+    const auto& w = it->second.windows;
+    s.w0 = w.begin()->first;
+    const WindowId last = w.rbegin()->first;
+    s.values.assign(static_cast<std::size_t>(last - s.w0 + 1), 0.0);
+    for (const auto& [win, count] : w) {
+      s.values[static_cast<std::size_t>(win - s.w0)] =
+          static_cast<double>(count);
+    }
+    return s;
+  }
+
+  [[nodiscard]] std::vector<FlowKey> flows() const {
+    std::vector<FlowKey> out;
+    out.reserve(flows_.size());
+    for (const auto& [k, e] : flows_) out.push_back(e.key);
+    return out;
+  }
+
+  /// Number of active (flow, window) counters — the quantity whose blow-up
+  /// Figure 3 plots.
+  [[nodiscard]] std::uint64_t active_counters() const {
+    std::uint64_t total = 0;
+    for (const auto& [k, e] : flows_) total += e.windows.size();
+    return total;
+  }
+
+  /// Active windows of one flow (its "flow length" for Figures 17/18).
+  [[nodiscard]] std::size_t flow_length(const FlowKey& flow) const {
+    auto it = flows_.find(flow.packed());
+    return it == flows_.end() ? 0 : it->second.windows.size();
+  }
+
+  [[nodiscard]] int window_shift() const { return window_shift_; }
+  [[nodiscard]] std::size_t flow_count() const { return flows_.size(); }
+
+ private:
+  struct Entry {
+    FlowKey key;
+    std::map<WindowId, Count> windows;
+  };
+  int window_shift_;
+  std::unordered_map<std::uint64_t, Entry> flows_;
+};
+
+}  // namespace umon::analyzer

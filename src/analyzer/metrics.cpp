@@ -1,0 +1,83 @@
+#include "analyzer/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+
+namespace umon::analyzer {
+namespace {
+
+double at_or_zero(std::span<const double> xs, std::size_t i) {
+  return i < xs.size() ? xs[i] : 0.0;
+}
+
+std::size_t common_length(std::span<const double> a,
+                          std::span<const double> b) {
+  return std::max(a.size(), b.size());
+}
+
+}  // namespace
+
+double euclidean_distance(std::span<const double> truth,
+                          std::span<const double> estimate) {
+  const std::size_t n = common_length(truth, estimate);
+  double sum = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double d = at_or_zero(truth, i) - at_or_zero(estimate, i);
+    sum += d * d;
+  }
+  return std::sqrt(sum);
+}
+
+double cosine_similarity(std::span<const double> truth,
+                         std::span<const double> estimate) {
+  const std::size_t n = common_length(truth, estimate);
+  double dot = 0, n1 = 0, n2 = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double a = at_or_zero(truth, i);
+    const double b = at_or_zero(estimate, i);
+    dot += a * b;
+    n1 += a * a;
+    n2 += b * b;
+  }
+  if (n1 == 0 && n2 == 0) return 1.0;
+  if (n1 == 0 || n2 == 0) return 0.0;
+  return dot / (std::sqrt(n1) * std::sqrt(n2));
+}
+
+double energy_similarity(std::span<const double> truth,
+                         std::span<const double> estimate) {
+  const std::size_t n = common_length(truth, estimate);
+  double e1 = 0, e2 = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    e1 += at_or_zero(truth, i) * at_or_zero(truth, i);
+    e2 += at_or_zero(estimate, i) * at_or_zero(estimate, i);
+  }
+  if (e1 == 0 && e2 == 0) return 1.0;
+  if (e1 == 0 || e2 == 0) return 0.0;
+  return e1 <= e2 ? std::sqrt(e1 / e2) : std::sqrt(e2 / e1);
+}
+
+double average_relative_error(std::span<const double> truth,
+                              std::span<const double> estimate) {
+  double sum = 0;
+  std::size_t counted = 0;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    if (truth[i] <= 0) continue;
+    sum += std::abs(at_or_zero(estimate, i) - truth[i]) / truth[i];
+    ++counted;
+  }
+  return counted == 0 ? 0.0 : sum / static_cast<double>(counted);
+}
+
+CurveMetrics curve_metrics(std::span<const double> truth,
+                           std::span<const double> estimate) {
+  return CurveMetrics{
+      euclidean_distance(truth, estimate),
+      cosine_similarity(truth, estimate),
+      energy_similarity(truth, estimate),
+      average_relative_error(truth, estimate),
+  };
+}
+
+}  // namespace umon::analyzer

@@ -1,0 +1,36 @@
+// Accuracy metrics from Appendix E: Euclidean distance, cosine similarity,
+// energy similarity, and average relative error (ARE) between a true and an
+// estimated flow-rate curve.
+#pragma once
+
+#include <span>
+
+namespace umon::analyzer {
+
+double euclidean_distance(std::span<const double> truth,
+                          std::span<const double> estimate);
+
+/// Cosine of the angle between the two curves as vectors (1 = identical
+/// direction). Returns 1 when both curves are all-zero, 0 when only one is.
+double cosine_similarity(std::span<const double> truth,
+                         std::span<const double> estimate);
+
+/// min(E1,E2)/max(E1,E2) on curve energies (sum of squares); 1 is best.
+double energy_similarity(std::span<const double> truth,
+                         std::span<const double> estimate);
+
+/// Mean of |est - truth| / truth over windows where truth > 0.
+double average_relative_error(std::span<const double> truth,
+                              std::span<const double> estimate);
+
+struct CurveMetrics {
+  double euclidean = 0;
+  double cosine = 0;
+  double energy = 0;
+  double are = 0;
+};
+
+CurveMetrics curve_metrics(std::span<const double> truth,
+                           std::span<const double> estimate);
+
+}  // namespace umon::analyzer

@@ -1,0 +1,75 @@
+#include "analyzer/transport.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace umon::analyzer {
+
+double jain_fairness(std::span<const double> rates) {
+  if (rates.empty()) return 1.0;
+  double sum = 0, sum_sq = 0;
+  for (double r : rates) {
+    sum += r;
+    sum_sq += r * r;
+  }
+  if (sum_sq == 0) return 1.0;
+  return (sum * sum) /
+         (static_cast<double>(rates.size()) * sum_sq);
+}
+
+std::vector<double> fairness_over_time(
+    const std::vector<std::vector<double>>& curves) {
+  std::size_t length = 0;
+  for (const auto& c : curves) length = std::max(length, c.size());
+  std::vector<double> out(length, 1.0);
+  std::vector<double> column(curves.size());
+  for (std::size_t w = 0; w < length; ++w) {
+    for (std::size_t f = 0; f < curves.size(); ++f) {
+      column[f] = w < curves[f].size() ? curves[f][w] : 0.0;
+    }
+    out[w] = jain_fairness(column);
+  }
+  return out;
+}
+
+std::int64_t convergence_window(std::span<const double> curve,
+                                double tolerance) {
+  if (curve.empty()) return -1;
+  const double final_rate = curve.back();
+  if (final_rate <= 0) return -1;
+  const double lo = final_rate * (1 - tolerance);
+  const double hi = final_rate * (1 + tolerance);
+  // Walk backwards to the last window outside the band. A "settled" suffix
+  // consisting only of the final window counts as never converging.
+  for (std::size_t i = curve.size(); i-- > 0;) {
+    if (curve[i] < lo || curve[i] > hi) {
+      const auto settled_at = static_cast<std::int64_t>(i) + 1;
+      return settled_at >= static_cast<std::int64_t>(curve.size()) - 1
+                 ? -1
+                 : settled_at;
+    }
+  }
+  return 0;  // always within the band
+}
+
+double idle_fraction(std::span<const double> curve, double idle_threshold) {
+  if (curve.empty()) return 0.0;
+  std::size_t idle = 0;
+  for (double v : curve) idle += v < idle_threshold ? 1 : 0;
+  return static_cast<double>(idle) / static_cast<double>(curve.size());
+}
+
+double oscillation_index(std::span<const double> curve) {
+  if (curve.size() < 2) return 0.0;
+  double change = 0, sum = 0;
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    change += std::abs(curve[i] - curve[i - 1]);
+    sum += curve[i];
+  }
+  const double mean_rate = sum / static_cast<double>(curve.size() - 1);
+  return mean_rate == 0 ? 0.0
+                        : change / static_cast<double>(curve.size() - 1) /
+                              mean_rate;
+}
+
+}  // namespace umon::analyzer

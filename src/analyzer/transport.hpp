@@ -1,0 +1,36 @@
+// Transport-algorithm analysis helpers (use case B1): convergence and
+// fairness of congestion control, computed from microsecond-level rate
+// curves reconstructed by the analyzer.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace umon::analyzer {
+
+/// Jain's fairness index over per-flow average rates: 1 = perfectly fair,
+/// 1/n = one flow takes everything.
+double jain_fairness(std::span<const double> rates);
+
+/// Per-window Jain's index across a set of aligned rate curves (all series
+/// must share the same length; shorter ones are zero-padded by the caller).
+std::vector<double> fairness_over_time(
+    const std::vector<std::vector<double>>& curves);
+
+/// Convergence time: the first window after which the rate stays within
+/// +-`tolerance` (fraction) of the final value for the rest of the curve.
+/// Returns the window index, or -1 if the curve never settles.
+std::int64_t convergence_window(std::span<const double> curve,
+                                double tolerance = 0.2);
+
+/// Fraction of windows with rate below `idle_threshold` — the "gaps"
+/// signature of app-limited flows (Figure 9a).
+double idle_fraction(std::span<const double> curve, double idle_threshold);
+
+/// Rate oscillation measure: mean absolute window-to-window change divided
+/// by the mean rate (0 = steady, large = thrashing).
+double oscillation_index(std::span<const double> curve);
+
+}  // namespace umon::analyzer

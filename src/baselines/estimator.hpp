@@ -1,0 +1,34 @@
+// Common interface for rate-curve estimators, so the accuracy benches
+// (Figures 11, 12, 17, 18) can sweep WaveSketch and every baseline with the
+// same driver.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace umon::baselines {
+
+struct Series {
+  WindowId w0 = 0;
+  std::vector<double> values;
+  [[nodiscard]] bool empty() const { return values.empty(); }
+  [[nodiscard]] double at(WindowId w) const {
+    if (w < w0 || w >= w0 + static_cast<WindowId>(values.size())) return 0;
+    return values[static_cast<std::size_t>(w - w0)];
+  }
+};
+
+class SeriesEstimator {
+ public:
+  virtual ~SeriesEstimator() = default;
+  virtual void update(const FlowKey& flow, WindowId w, Count v) = 0;
+  [[nodiscard]] virtual Series query(const FlowKey& flow) const = 0;
+  [[nodiscard]] virtual std::size_t memory_bytes() const = 0;
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+}  // namespace umon::baselines

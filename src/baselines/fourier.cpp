@@ -1,0 +1,136 @@
+#include "baselines/fourier.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "wavelet/haar.hpp"  // next_pow2
+
+namespace umon::baselines {
+
+void fft(std::vector<std::complex<double>>& a, bool inverse) {
+  const std::size_t n = a.size();
+  if (n <= 1) return;
+  // Bit-reversal permutation.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(a[i], a[j]);
+  }
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double ang =
+        2 * std::numbers::pi / static_cast<double>(len) * (inverse ? 1 : -1);
+    const std::complex<double> wlen(std::cos(ang), std::sin(ang));
+    for (std::size_t i = 0; i < n; i += len) {
+      std::complex<double> w(1);
+      for (std::size_t j = 0; j < len / 2; ++j) {
+        const auto u = a[i + j];
+        const auto v = a[i + j + len / 2] * w;
+        a[i + j] = u + v;
+        a[i + j + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+  if (inverse) {
+    for (auto& x : a) x /= static_cast<double>(n);
+  }
+}
+
+std::vector<double> fourier_compress(std::vector<double> signal,
+                                     std::uint32_t budget) {
+  const auto length = static_cast<std::uint32_t>(signal.size());
+  if (length == 0) return {};
+  const std::uint32_t n = wavelet::next_pow2(length);
+  std::vector<std::complex<double>> spec(signal.begin(), signal.end());
+  spec.resize(n, {0, 0});
+  fft(spec, /*inverse=*/false);
+
+  // Rank the non-redundant half-spectrum bins by magnitude.
+  struct Bin {
+    std::uint32_t idx;
+    double mag;
+    std::uint32_t cost;
+  };
+  std::vector<Bin> bins;
+  bins.reserve(n / 2 + 1);
+  for (std::uint32_t i = 0; i <= n / 2; ++i) {
+    const std::uint32_t cost = (i == 0 || i == n / 2) ? 1u : 2u;
+    bins.push_back(Bin{i, std::abs(spec[i]), cost});
+  }
+  std::sort(bins.begin(), bins.end(),
+            [](const Bin& a, const Bin& b) { return a.mag > b.mag; });
+
+  std::vector<bool> keep(n, false);
+  std::uint32_t used = 0;
+  for (const Bin& b : bins) {
+    if (used + b.cost > budget) continue;
+    used += b.cost;
+    keep[b.idx] = true;
+    if (b.idx != 0 && b.idx != n / 2) keep[n - b.idx] = true;
+  }
+  for (std::uint32_t i = 0; i < n; ++i) {
+    if (!keep[i]) spec[i] = {0, 0};
+  }
+  fft(spec, /*inverse=*/true);
+  std::vector<double> out(length);
+  for (std::uint32_t i = 0; i < length; ++i) out[i] = spec[i].real();
+  return out;
+}
+
+FourierSketch::FourierSketch(const FourierParams& p) : params_(p) {
+  hashes_.reserve(static_cast<std::size_t>(params_.depth));
+  for (int r = 0; r < params_.depth; ++r) {
+    hashes_.emplace_back(params_.seed + static_cast<std::uint64_t>(r) * 0xF0F0);
+  }
+  grid_.resize(static_cast<std::size_t>(params_.depth) * params_.width);
+}
+
+void FourierSketch::update(const FlowKey& flow, WindowId w, Count v) {
+  for (int r = 0; r < params_.depth; ++r) {
+    const std::uint32_t col =
+        hashes_[static_cast<std::size_t>(r)].bucket(flow.packed(), params_.width);
+    Bucket& b = grid_[static_cast<std::size_t>(r) * params_.width + col];
+    if (!b.started) {
+      b.started = true;
+      b.w0 = w;
+    }
+    if (w < b.w0) continue;
+    const auto offset = static_cast<std::uint64_t>(w - b.w0);
+    if (offset >= params_.max_windows) continue;
+    if (offset >= b.series.size()) b.series.resize(offset + 1, 0);
+    b.series[offset] += v;
+  }
+}
+
+Series FourierSketch::query(const FlowKey& flow) const {
+  const Bucket* best = nullptr;
+  Count best_total = 0;
+  for (int r = 0; r < params_.depth; ++r) {
+    const std::uint32_t col =
+        hashes_[static_cast<std::size_t>(r)].bucket(flow.packed(), params_.width);
+    const Bucket& b = grid_[static_cast<std::size_t>(r) * params_.width + col];
+    if (!b.started) return Series{};
+    Count total = 0;
+    for (Count c : b.series) total += c;
+    if (best == nullptr || total < best_total) {
+      best = &b;
+      best_total = total;
+    }
+  }
+  Series s;
+  if (best == nullptr) return s;
+  s.w0 = best->w0;
+  std::vector<double> sig(best->series.begin(), best->series.end());
+  s.values = fourier_compress(std::move(sig), params_.coefficients);
+  for (double& x : s.values) x = std::max(0.0, x);
+  return s;
+}
+
+std::size_t FourierSketch::memory_bytes() const {
+  // Report-size accounting: K complex coefficients (8B) + bin index (2B).
+  return grid_.size() * (params_.coefficients * 10 + 12);
+}
+
+}  // namespace umon::baselines

@@ -1,0 +1,56 @@
+// Fourier-transform baseline (Section 7.1): buffer each bucket's window
+// series, then keep only the K spectral coefficients with the largest
+// magnitude (conjugate pairs counted as two slots). This is CPU-only — the
+// paper notes only WaveSketch and OmniWindow-Avg fit the data plane — so
+// memory is charged at the *report* size: the retained coefficients.
+#pragma once
+
+#include <complex>
+#include <cstdint>
+#include <vector>
+
+#include "baselines/estimator.hpp"
+#include "common/hash.hpp"
+#include "common/types.hpp"
+
+namespace umon::baselines {
+
+struct FourierParams {
+  int depth = 3;
+  std::uint32_t width = 256;
+  std::uint32_t coefficients = 32;  ///< retained spectral slots per bucket
+  std::uint32_t max_windows = 1u << 16;
+  std::uint64_t seed = 0xC0FFEE;
+};
+
+/// In-place iterative radix-2 FFT (size must be a power of two).
+void fft(std::vector<std::complex<double>>& a, bool inverse);
+
+/// Keep the `budget` largest-magnitude bins of a real signal's spectrum
+/// (DC/Nyquist cost one slot, other bins two for the conjugate), zero the
+/// rest, and return the inverse transform truncated to `length`.
+std::vector<double> fourier_compress(std::vector<double> signal,
+                                     std::uint32_t budget);
+
+class FourierSketch final : public SeriesEstimator {
+ public:
+  explicit FourierSketch(const FourierParams& p);
+
+  void update(const FlowKey& flow, WindowId w, Count v) override;
+  [[nodiscard]] Series query(const FlowKey& flow) const override;
+  [[nodiscard]] std::size_t memory_bytes() const override;
+  [[nodiscard]] std::string name() const override { return "Fourier"; }
+
+ private:
+  struct Bucket {
+    bool started = false;
+    WindowId w0 = 0;
+    std::vector<Count> series;  // dense buffered window counters
+  };
+
+  FourierParams params_;
+  std::vector<SeededHash> hashes_;
+  std::vector<Bucket> grid_;
+};
+
+}  // namespace umon::baselines

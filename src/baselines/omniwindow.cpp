@@ -1,0 +1,72 @@
+#include "baselines/omniwindow.hpp"
+
+#include <bit>
+
+namespace umon::baselines {
+
+OmniWindowAvg::OmniWindowAvg(const OmniWindowParams& p) : params_(p) {
+  // Round the coarsening factor up to a power of two covering max_windows.
+  std::uint32_t factor = 1;
+  while (factor * params_.sub_windows < params_.max_windows) factor <<= 1;
+  coarsening_ = factor;
+  coarse_shift_ = std::countr_zero(factor);
+  hashes_.reserve(static_cast<std::size_t>(params_.depth));
+  for (int r = 0; r < params_.depth; ++r) {
+    hashes_.emplace_back(params_.seed + static_cast<std::uint64_t>(r) * 0x9177);
+  }
+  grid_.resize(static_cast<std::size_t>(params_.depth) * params_.width);
+  for (auto& b : grid_) b.coarse.assign(params_.sub_windows, 0);
+}
+
+void OmniWindowAvg::update(const FlowKey& flow, WindowId w, Count v) {
+  for (int r = 0; r < params_.depth; ++r) {
+    const std::uint32_t col =
+        hashes_[static_cast<std::size_t>(r)].bucket(flow.packed(), params_.width);
+    Bucket& b = grid_[static_cast<std::size_t>(r) * params_.width + col];
+    if (!b.started) {
+      b.started = true;
+      b.w0 = w;
+    }
+    if (w < b.w0) continue;  // late packet before the bucket epoch: drop
+    const auto offset = static_cast<std::uint64_t>(w - b.w0);
+    const std::uint64_t idx = offset >> coarse_shift_;
+    if (idx >= b.coarse.size()) continue;  // beyond the covered period
+    b.coarse[idx] += v;
+    if (offset > b.max_offset) b.max_offset = static_cast<std::uint32_t>(offset);
+  }
+}
+
+Series OmniWindowAvg::query(const FlowKey& flow) const {
+  const Bucket* best = nullptr;
+  Count best_total = 0;
+  for (int r = 0; r < params_.depth; ++r) {
+    const std::uint32_t col =
+        hashes_[static_cast<std::size_t>(r)].bucket(flow.packed(), params_.width);
+    const Bucket& b = bucket(r, col);
+    if (!b.started) return Series{};
+    Count total = 0;
+    for (Count c : b.coarse) total += c;
+    if (best == nullptr || total < best_total) {
+      best = &b;
+      best_total = total;
+    }
+  }
+  Series s;
+  if (best == nullptr) return s;
+  s.w0 = best->w0;
+  const std::uint32_t length = best->max_offset + 1;
+  s.values.resize(length);
+  const double denom = static_cast<double>(coarsening_);
+  for (std::uint32_t i = 0; i < length; ++i) {
+    s.values[i] =
+        static_cast<double>(best->coarse[i >> coarse_shift_]) / denom;
+  }
+  return s;
+}
+
+std::size_t OmniWindowAvg::memory_bytes() const {
+  // 4-byte coarse counters plus per-bucket epoch metadata.
+  return grid_.size() * (params_.sub_windows * 4 + 12);
+}
+
+}  // namespace umon::baselines

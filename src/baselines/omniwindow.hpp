@@ -1,0 +1,56 @@
+// OmniWindow-Avg baseline (Section 7.1): the memory budget buys m coarse
+// sub-windows per bucket; every microsecond-level window inside a sub-window
+// is reported as the sub-window average.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "baselines/estimator.hpp"
+#include "common/hash.hpp"
+#include "common/types.hpp"
+
+namespace umon::baselines {
+
+struct OmniWindowParams {
+  int depth = 3;
+  std::uint32_t width = 256;
+  /// Coarse sub-windows per bucket.
+  std::uint32_t sub_windows = 32;
+  /// Fine windows covered per bucket period (defines the coarsening factor).
+  std::uint32_t max_windows = 1u << 12;
+  std::uint64_t seed = 0xC0FFEE;
+};
+
+class OmniWindowAvg final : public SeriesEstimator {
+ public:
+  explicit OmniWindowAvg(const OmniWindowParams& p);
+
+  void update(const FlowKey& flow, WindowId w, Count v) override;
+  [[nodiscard]] Series query(const FlowKey& flow) const override;
+  [[nodiscard]] std::size_t memory_bytes() const override;
+  [[nodiscard]] std::string name() const override { return "OmniWindow-Avg"; }
+
+ private:
+  struct Bucket {
+    bool started = false;
+    WindowId w0 = 0;
+    std::uint32_t max_offset = 0;
+    std::vector<Count> coarse;
+  };
+
+  /// Fine windows per coarse sub-window (power of two).
+  [[nodiscard]] std::uint32_t coarsening() const { return coarsening_; }
+
+  [[nodiscard]] const Bucket& bucket(int row, std::uint32_t col) const {
+    return grid_[static_cast<std::size_t>(row) * params_.width + col];
+  }
+
+  OmniWindowParams params_;
+  std::uint32_t coarsening_;
+  int coarse_shift_;
+  std::vector<SeededHash> hashes_;
+  std::vector<Bucket> grid_;
+};
+
+}  // namespace umon::baselines

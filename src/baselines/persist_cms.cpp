@@ -1,0 +1,178 @@
+#include "baselines/persist_cms.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace umon::baselines {
+
+void PlaFitter::add(double t, double y) {
+  assert(!finished_);
+  if (!open_) {
+    if (knots_.empty()) {
+      knots_.emplace_back(t, y);
+      t0_ = t;
+      y0_ = y;
+    } else {
+      // Continue from the last knot so segments join continuously.
+      t0_ = knots_.back().first;
+      y0_ = knots_.back().second;
+    }
+    slope_lo_ = -std::numeric_limits<double>::infinity();
+    slope_hi_ = std::numeric_limits<double>::infinity();
+    open_ = true;
+    if (t == t0_) return;  // first point coincides with the origin knot
+  }
+  const double dt = t - t0_;
+  if (dt <= 0) return;
+  const double lo = (y - tolerance_ - y0_) / dt;
+  const double hi = (y + tolerance_ - y0_) / dt;
+  if (lo > slope_hi_ || hi < slope_lo_) {
+    close_segment();
+    // Re-open a segment anchored at the new knot and absorb this point.
+    open_ = false;
+    add(t, y);
+    if (knots_.size() >= max_knots_) refit();
+    return;
+  }
+  slope_lo_ = std::max(slope_lo_, lo);
+  slope_hi_ = std::min(slope_hi_, hi);
+  last_t_ = t;
+  last_y_ = y;
+}
+
+void PlaFitter::close_segment() {
+  if (!open_ || last_t_ <= t0_) return;
+  double slope = (slope_lo_ + slope_hi_) / 2;
+  if (!std::isfinite(slope)) slope = 0;
+  knots_.emplace_back(last_t_, y0_ + slope * (last_t_ - t0_));
+  open_ = false;
+}
+
+void PlaFitter::finish() {
+  if (finished_) return;
+  close_segment();
+  finished_ = true;
+}
+
+void PlaFitter::refit() {
+  // Double the tolerance and re-fit the existing knots until within budget.
+  while (knots_.size() >= max_knots_) {
+    tolerance_ *= 2;
+    std::vector<std::pair<double, double>> pts;
+    pts.swap(knots_);
+    open_ = false;
+    finished_ = false;
+    for (const auto& [t, y] : pts) {
+      // Recursion is bounded: re-adding strictly fewer points than before.
+      const double dt0 = open_ ? t - t0_ : 1;
+      (void)dt0;
+      add(t, y);
+    }
+    close_segment();
+    open_ = false;
+    if (pts.size() <= knots_.size()) break;  // cannot shrink further
+  }
+}
+
+double PlaFitter::value_at(double t) const {
+  if (knots_.empty()) return 0;
+  if (t <= knots_.front().first) return knots_.front().second;
+  // Include the open segment's current extent when not finished.
+  if (t >= knots_.back().first) {
+    if (open_ && last_t_ > t0_ && t <= last_t_) {
+      const double slope = (slope_lo_ + slope_hi_) / 2;
+      if (std::isfinite(slope)) return y0_ + slope * (t - t0_);
+    }
+    if (open_ && last_t_ > t0_) {
+      const double slope = (slope_lo_ + slope_hi_) / 2;
+      if (std::isfinite(slope))
+        return y0_ + slope * (std::min(t, last_t_) - t0_);
+    }
+    return knots_.back().second;
+  }
+  const auto it = std::lower_bound(
+      knots_.begin(), knots_.end(), t,
+      [](const auto& k, double x) { return k.first < x; });
+  const auto& [t1, y1] = *it;
+  const auto& [t0, y0] = *(it - 1);
+  if (t1 == t0) return y1;
+  return y0 + (y1 - y0) * (t - t0) / (t1 - t0);
+}
+
+void PersistCms::Bucket::close_window() {
+  cumulative += static_cast<double>(cur_count);
+  pla.add(static_cast<double>(cur_offset) + 1.0, cumulative);
+  cur_count = 0;
+}
+
+PersistCms::PersistCms(const PersistCmsParams& p) : params_(p) {
+  hashes_.reserve(static_cast<std::size_t>(params_.depth));
+  for (int r = 0; r < params_.depth; ++r) {
+    hashes_.emplace_back(params_.seed + static_cast<std::uint64_t>(r) * 0x51ED);
+  }
+  grid_.assign(static_cast<std::size_t>(params_.depth) * params_.width,
+               Bucket(params_.segments_per_bucket, params_.initial_tolerance));
+}
+
+void PersistCms::update(const FlowKey& flow, WindowId w, Count v) {
+  for (int r = 0; r < params_.depth; ++r) {
+    const std::uint32_t col =
+        hashes_[static_cast<std::size_t>(r)].bucket(flow.packed(), params_.width);
+    Bucket& b = grid_[static_cast<std::size_t>(r) * params_.width + col];
+    if (!b.started) {
+      b.started = true;
+      b.w0 = w;
+      b.pla.add(0.0, 0.0);  // cumulative starts at zero
+    }
+    if (w < b.w0) continue;
+    const auto offset = static_cast<std::uint32_t>(w - b.w0);
+    if (offset == b.cur_offset) {
+      b.cur_count += v;
+    } else {
+      b.close_window();
+      b.cur_offset = offset;
+      b.cur_count = v;
+    }
+    if (offset > b.max_offset) b.max_offset = offset;
+  }
+}
+
+Series PersistCms::query(const FlowKey& flow) const {
+  const Bucket* best = nullptr;
+  double best_total = 0;
+  for (int r = 0; r < params_.depth; ++r) {
+    const std::uint32_t col =
+        hashes_[static_cast<std::size_t>(r)].bucket(flow.packed(), params_.width);
+    const Bucket& b = grid_[static_cast<std::size_t>(r) * params_.width + col];
+    if (!b.started) return Series{};
+    const double total = b.cumulative + static_cast<double>(b.cur_count);
+    if (best == nullptr || total < best_total) {
+      best = &b;
+      best_total = total;
+    }
+  }
+  Series s;
+  if (best == nullptr) return s;
+  // Fold the still-open window into a copy so queries see current data.
+  Bucket copy = *best;
+  copy.close_window();
+  copy.pla.finish();
+  s.w0 = copy.w0;
+  const std::uint32_t length = copy.max_offset + 1;
+  s.values.resize(length);
+  for (std::uint32_t i = 0; i < length; ++i) {
+    const double rate = copy.pla.value_at(static_cast<double>(i) + 1.0) -
+                        copy.pla.value_at(static_cast<double>(i));
+    s.values[i] = std::max(0.0, rate);
+  }
+  return s;
+}
+
+std::size_t PersistCms::memory_bytes() const {
+  // Each knot is (t, y) packed into 8 bytes plus bucket metadata.
+  return grid_.size() * (params_.segments_per_bucket * 8 + 16);
+}
+
+}  // namespace umon::baselines

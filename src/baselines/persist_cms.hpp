@@ -1,0 +1,87 @@
+// Persist-CMS baseline [Wei et al., SIGMOD'15]: a Count-Min sketch whose
+// buckets store a piecewise-linear approximation (PLA) of the cumulative
+// count over window index, built online with the O'Rourke feasible-slope
+// cone. The window rate is the slope of the cumulative curve.
+//
+// The segment budget per bucket is fixed by the memory grant; when a bucket
+// exhausts it, the error tolerance doubles and the breakpoints are re-fitted
+// (the standard budgeted-PLA fallback).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "baselines/estimator.hpp"
+#include "common/hash.hpp"
+#include "common/types.hpp"
+
+namespace umon::baselines {
+
+struct PersistCmsParams {
+  int depth = 3;
+  std::uint32_t width = 256;
+  std::uint32_t segments_per_bucket = 16;
+  double initial_tolerance = 1500.0;  ///< one MTU of cumulative-byte error
+  std::uint64_t seed = 0xC0FFEE;
+};
+
+/// Online PLA of an increasing step function y(t); emits knots (t, y).
+class PlaFitter {
+ public:
+  PlaFitter(std::uint32_t max_knots, double tolerance)
+      : max_knots_(max_knots), tolerance_(tolerance) {}
+
+  void add(double t, double y);
+  void finish();
+
+  /// Piecewise-linear interpolation through the knots (clamped outside).
+  [[nodiscard]] double value_at(double t) const;
+
+  [[nodiscard]] const std::vector<std::pair<double, double>>& knots() const {
+    return knots_;
+  }
+  [[nodiscard]] double tolerance() const { return tolerance_; }
+
+ private:
+  void close_segment();
+  void refit();
+
+  std::uint32_t max_knots_;
+  double tolerance_;
+  std::vector<std::pair<double, double>> knots_;
+  // Current segment state (O'Rourke cone).
+  bool open_ = false;
+  double t0_ = 0, y0_ = 0;        // segment origin
+  double last_t_ = 0, last_y_ = 0;
+  double slope_lo_ = 0, slope_hi_ = 0;
+  bool finished_ = false;
+};
+
+class PersistCms final : public SeriesEstimator {
+ public:
+  explicit PersistCms(const PersistCmsParams& p);
+
+  void update(const FlowKey& flow, WindowId w, Count v) override;
+  [[nodiscard]] Series query(const FlowKey& flow) const override;
+  [[nodiscard]] std::size_t memory_bytes() const override;
+  [[nodiscard]] std::string name() const override { return "Persist-CMS"; }
+
+ private:
+  struct Bucket {
+    bool started = false;
+    WindowId w0 = 0;
+    std::uint32_t cur_offset = 0;
+    Count cur_count = 0;
+    double cumulative = 0;
+    std::uint32_t max_offset = 0;
+    PlaFitter pla;
+    Bucket(std::uint32_t knots, double tol) : pla(knots, tol) {}
+    void close_window();
+  };
+
+  PersistCmsParams params_;
+  std::vector<SeededHash> hashes_;
+  std::vector<Bucket> grid_;
+};
+
+}  // namespace umon::baselines

@@ -1,0 +1,4 @@
+// The adapters are header-only; this translation unit anchors the vtables.
+#include "baselines/wavesketch_adapter.hpp"
+
+namespace umon::baselines {}  // namespace umon::baselines

@@ -1,0 +1,62 @@
+// SeriesEstimator adapters over the WaveSketch variants so the accuracy
+// benches can sweep all schemes uniformly.
+#pragma once
+
+#include <string>
+
+#include "baselines/estimator.hpp"
+#include "sketch/params.hpp"
+#include "sketch/wavesketch.hpp"
+#include "sketch/wavesketch_full.hpp"
+
+namespace umon::baselines {
+
+class WaveSketchEstimator final : public SeriesEstimator {
+ public:
+  WaveSketchEstimator(const sketch::WaveSketchParams& p, std::string label)
+      : sketch_(p), label_(std::move(label)) {}
+
+  void update(const FlowKey& flow, WindowId w, Count v) override {
+    sketch_.update_window(flow, w, v);
+  }
+  [[nodiscard]] Series query(const FlowKey& flow) const override {
+    auto q = sketch_.query(flow);
+    return Series{q.w0, std::move(q.series)};
+  }
+  [[nodiscard]] std::size_t memory_bytes() const override {
+    return sketch_.memory_bytes();
+  }
+  [[nodiscard]] std::string name() const override { return label_; }
+
+  [[nodiscard]] sketch::WaveSketchBasic& sketch() { return sketch_; }
+
+ private:
+  sketch::WaveSketchBasic sketch_;
+  std::string label_;
+};
+
+class WaveSketchFullEstimator final : public SeriesEstimator {
+ public:
+  WaveSketchFullEstimator(const sketch::WaveSketchParams& p, std::string label)
+      : sketch_(p), label_(std::move(label)) {}
+
+  void update(const FlowKey& flow, WindowId w, Count v) override {
+    sketch_.update_window(flow, w, v);
+  }
+  [[nodiscard]] Series query(const FlowKey& flow) const override {
+    auto q = sketch_.query(flow);
+    return Series{q.w0, std::move(q.series)};
+  }
+  [[nodiscard]] std::size_t memory_bytes() const override {
+    return sketch_.memory_bytes();
+  }
+  [[nodiscard]] std::string name() const override { return label_; }
+
+  [[nodiscard]] sketch::WaveSketchFull& sketch() { return sketch_; }
+
+ private:
+  sketch::WaveSketchFull sketch_;
+  std::string label_;
+};
+
+}  // namespace umon::baselines

@@ -1,0 +1,39 @@
+// Seeded 64-bit hash family used by all sketches (pairwise-independent in
+// practice via splitmix64 finalization over seed-perturbed input).
+#pragma once
+
+#include <cstdint>
+
+namespace umon {
+
+/// splitmix64 finalizer: a fast, well-distributed 64->64 mixing function.
+constexpr std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+/// One member of a seeded hash family. Different `seed` values give
+/// independent hash functions, as required by the Count-Min rows.
+class SeededHash {
+ public:
+  explicit constexpr SeededHash(std::uint64_t seed) : seed_(mix64(seed)) {}
+
+  [[nodiscard]] constexpr std::uint64_t operator()(std::uint64_t key) const {
+    return mix64(key ^ seed_);
+  }
+
+  /// Hash reduced to a bucket index in [0, width).
+  [[nodiscard]] constexpr std::uint32_t bucket(std::uint64_t key,
+                                               std::uint32_t width) const {
+    // Lemire fast-range: unbiased multiply-shift reduction.
+    return static_cast<std::uint32_t>(
+        (static_cast<unsigned __int128>((*this)(key)) * width) >> 64);
+  }
+
+ private:
+  std::uint64_t seed_;
+};
+
+}  // namespace umon

@@ -1,0 +1,64 @@
+// Deterministic random number generation. Every stochastic component takes an
+// explicit Rng so whole-system runs are reproducible from a single seed.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+#include "common/hash.hpp"
+
+namespace umon {
+
+/// xoshiro256** — small, fast, high-quality PRNG. Satisfies
+/// std::uniform_random_bit_generator so <random> distributions accept it.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x5EEDBA5EULL) {
+    // Seed the full 256-bit state via splitmix64, per the reference impl.
+    for (auto& word : state_) {
+      seed = seed + 0x9E3779B97F4A7C15ULL;
+      word = mix64(seed);
+    }
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform integer in [0, n).
+  std::uint64_t below(std::uint64_t n) {
+    return static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>((*this)()) * n) >> 64);
+  }
+
+  /// Exponential variate with the given mean (for Poisson arrivals).
+  double exponential(double mean);
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t state_[4];
+};
+
+}  // namespace umon

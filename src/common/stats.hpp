@@ -1,0 +1,47 @@
+// Small statistics helpers shared by benches and the analyzer.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace umon {
+
+/// Empirical CDF over a sample: quantile() and fraction-below queries.
+class EmpiricalCdf {
+ public:
+  EmpiricalCdf() = default;
+  explicit EmpiricalCdf(std::vector<double> samples) : sorted_(std::move(samples)) {
+    std::sort(sorted_.begin(), sorted_.end());
+  }
+
+  [[nodiscard]] bool empty() const { return sorted_.empty(); }
+  [[nodiscard]] std::size_t size() const { return sorted_.size(); }
+
+  /// Value at quantile q in [0,1].
+  [[nodiscard]] double quantile(double q) const {
+    if (sorted_.empty()) return 0.0;
+    q = std::clamp(q, 0.0, 1.0);
+    const auto idx = static_cast<std::size_t>(q * static_cast<double>(sorted_.size() - 1));
+    return sorted_[idx];
+  }
+
+  /// Fraction of samples <= x.
+  [[nodiscard]] double fraction_below(double x) const {
+    if (sorted_.empty()) return 0.0;
+    const auto it = std::upper_bound(sorted_.begin(), sorted_.end(), x);
+    return static_cast<double>(it - sorted_.begin()) /
+           static_cast<double>(sorted_.size());
+  }
+
+  [[nodiscard]] const std::vector<double>& samples() const { return sorted_; }
+
+ private:
+  std::vector<double> sorted_;
+};
+
+double mean(std::span<const double> xs);
+double percentile(std::vector<double> xs, double p);
+
+}  // namespace umon

@@ -1,0 +1,133 @@
+// DCQCN reaction-point (RP) rate controller [Zhu et al., SIGCOMM'15].
+//
+// State machine summary:
+//  * On CNP: target <- current, current *= (1 - alpha/2), alpha rises toward
+//    1 (alpha = (1-g)alpha + g), and the increase stages reset.
+//  * Without CNPs alpha decays every alpha_timer (alpha *= 1-g).
+//  * Rate increases fire from two independent clocks — an elapsed-time timer
+//    and a sent-bytes counter. The first F events of each clock run fast
+//    recovery (current converges to target); after F of either, additive
+//    increase raises the target by rai; after F of *both*, hyper increase
+//    raises it by rhai.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace umon::netsim {
+
+struct DcqcnConfig {
+  double line_rate_gbps = 100.0;
+  double min_rate_gbps = 0.1;
+  double g = 1.0 / 256.0;
+  Nanos alpha_timer = 55 * kMicro;    ///< alpha decay interval
+  Nanos increase_timer = 55 * kMicro; ///< time-based increase interval
+  std::uint64_t byte_counter = 10ull * 1024 * 1024;  ///< bytes per increase
+  int fast_recovery_stages = 5;       ///< F
+  double rai_gbps = 0.04;             ///< additive increase: 40 Mbps
+  double rhai_gbps = 0.4;             ///< hyper increase: 400 Mbps
+  /// NP side: minimum spacing between CNPs of one flow.
+  Nanos cnp_interval = 50 * kMicro;
+};
+
+class DcqcnRp {
+ public:
+  explicit DcqcnRp(const DcqcnConfig& cfg)
+      : cfg_(cfg),
+        current_gbps_(cfg.line_rate_gbps),
+        target_gbps_(cfg.line_rate_gbps) {}
+
+  [[nodiscard]] double rate_gbps() const { return current_gbps_; }
+  [[nodiscard]] double target_gbps() const { return target_gbps_; }
+  [[nodiscard]] double alpha() const { return alpha_; }
+
+  /// RP reaction to a CNP at time `now`.
+  void on_cnp(Nanos now) {
+    target_gbps_ = current_gbps_;
+    current_gbps_ = std::max(cfg_.min_rate_gbps,
+                             current_gbps_ * (1.0 - alpha_ / 2.0));
+    alpha_ = (1.0 - cfg_.g) * alpha_ + cfg_.g;
+    timer_stage_ = 0;
+    byte_stage_ = 0;
+    bytes_since_increase_ = 0;
+    last_cnp_ = now;
+    last_timer_fire_ = now;
+    last_alpha_update_ = now;
+  }
+
+  /// Account transmitted bytes (drives the byte-counter clock).
+  void on_bytes_sent(std::uint64_t bytes, Nanos now) {
+    bytes_since_increase_ += bytes;
+    while (bytes_since_increase_ >= cfg_.byte_counter) {
+      bytes_since_increase_ -= cfg_.byte_counter;
+      ++byte_stage_;
+      increase(now);
+    }
+  }
+
+  /// Poll the time-based clocks; call periodically (e.g., when pacing the
+  /// next packet). Safe to call at any frequency.
+  void on_time(Nanos now) {
+    while (now - last_alpha_update_ >= cfg_.alpha_timer) {
+      last_alpha_update_ += cfg_.alpha_timer;
+      if (last_alpha_update_ > last_cnp_ + cfg_.alpha_timer) {
+        alpha_ = (1.0 - cfg_.g) * alpha_;
+      }
+    }
+    while (now - last_timer_fire_ >= cfg_.increase_timer) {
+      last_timer_fire_ += cfg_.increase_timer;
+      ++timer_stage_;
+      increase(now);
+    }
+  }
+
+ private:
+  void increase(Nanos) {
+    const bool timer_fast = timer_stage_ <= cfg_.fast_recovery_stages;
+    const bool byte_fast = byte_stage_ <= cfg_.fast_recovery_stages;
+    if (timer_fast && byte_fast) {
+      // Fast recovery: converge halfway to the target.
+    } else if (!timer_fast && !byte_fast) {
+      target_gbps_ += cfg_.rhai_gbps;  // hyper increase
+    } else {
+      target_gbps_ += cfg_.rai_gbps;   // additive increase
+    }
+    target_gbps_ = std::min(target_gbps_, cfg_.line_rate_gbps);
+    current_gbps_ = (target_gbps_ + current_gbps_) / 2.0;
+  }
+
+  DcqcnConfig cfg_;
+  double current_gbps_;
+  double target_gbps_;
+  double alpha_ = 1.0;
+  int timer_stage_ = 0;
+  int byte_stage_ = 0;
+  std::uint64_t bytes_since_increase_ = 0;
+  Nanos last_cnp_ = 0;
+  Nanos last_timer_fire_ = 0;
+  Nanos last_alpha_update_ = 0;
+};
+
+/// DCQCN notification-point (NP): decides when a CE-marked arrival triggers
+/// a CNP (at most one per cnp_interval per flow).
+class DcqcnNp {
+ public:
+  explicit DcqcnNp(Nanos cnp_interval) : interval_(cnp_interval) {}
+
+  /// Returns true if a CNP should be generated for this CE arrival.
+  bool on_ce_arrival(Nanos now) {
+    if (armed_ && now - last_cnp_ < interval_) return false;
+    armed_ = true;
+    last_cnp_ = now;
+    return true;
+  }
+
+ private:
+  Nanos interval_;
+  bool armed_ = false;
+  Nanos last_cnp_ = 0;
+};
+
+}  // namespace umon::netsim

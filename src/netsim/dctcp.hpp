@@ -1,0 +1,97 @@
+// DCTCP sender state machine [Alizadeh et al., SIGCOMM'10]: window-based
+// congestion control that scales the window cut by the EWMA fraction of
+// CE-marked ACKs:
+//   per ACK:      track (marked, total)
+//   per window:   alpha = (1-g) alpha + g * F,  F = marked/total
+//                 if F > 0: cwnd *= (1 - alpha/2)
+//   otherwise:    slow start (cwnd += acked) below ssthresh, else
+//                 congestion avoidance (cwnd += MSS*MSS/cwnd per ACK).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace umon::netsim {
+
+struct DctcpConfig {
+  std::uint32_t mss = 1000;
+  double g = 1.0 / 16.0;
+  std::uint64_t init_cwnd = 10 * 1000;
+  std::uint64_t min_cwnd = 1000;
+  /// Bounded near the 100 Gbps x 40 us BDP; an uncapped window lets a
+  /// bottleneck-rate-limited flow grow a multi-MB standing queue the moment
+  /// a competitor arrives, which starves late joiners for milliseconds.
+  std::uint64_t max_cwnd = 512ull * 1024;
+  Nanos rto = 2 * kMilli;
+};
+
+class DctcpSender {
+ public:
+  explicit DctcpSender(const DctcpConfig& cfg)
+      : cfg_(cfg), cwnd_(cfg.init_cwnd), ssthresh_(cfg.max_cwnd) {}
+
+  /// Bytes that may be in flight right now.
+  [[nodiscard]] std::uint64_t cwnd() const { return cwnd_; }
+  [[nodiscard]] double alpha() const { return alpha_; }
+  [[nodiscard]] bool in_slow_start() const { return cwnd_ < ssthresh_; }
+
+  /// Process one ACK covering `bytes`, with the DCTCP ECN echo.
+  void on_ack(std::uint64_t bytes, bool ece, std::uint64_t acked_total,
+              std::uint64_t sent_total) {
+    total_bytes_ += bytes;
+    if (ece) marked_bytes_ += bytes;
+
+    if (in_slow_start()) {
+      cwnd_ += bytes;
+    } else {
+      // Congestion avoidance: ~one MSS per RTT.
+      cwnd_ += static_cast<std::uint64_t>(
+          std::max<double>(1.0, static_cast<double>(cfg_.mss) *
+                                    static_cast<double>(cfg_.mss) /
+                                    static_cast<double>(cwnd_)));
+    }
+    cwnd_ = std::min(cwnd_, cfg_.max_cwnd);
+
+    // One observation window per RTT, delimited in sequence space: when the
+    // ACKs cover everything sent at the time the window opened.
+    if (acked_total >= window_end_) {
+      const double f =
+          total_bytes_ == 0
+              ? 0.0
+              : static_cast<double>(marked_bytes_) /
+                    static_cast<double>(total_bytes_);
+      alpha_ = (1.0 - cfg_.g) * alpha_ + cfg_.g * f;
+      if (marked_bytes_ > 0) {
+        cwnd_ = std::max<std::uint64_t>(
+            cfg_.min_cwnd,
+            static_cast<std::uint64_t>(static_cast<double>(cwnd_) *
+                                       (1.0 - alpha_ / 2.0)));
+        ssthresh_ = cwnd_;
+      }
+      marked_bytes_ = 0;
+      total_bytes_ = 0;
+      window_end_ = sent_total;
+    }
+  }
+
+  /// Timeout: collapse to one segment and re-enter slow start.
+  void on_timeout() {
+    ssthresh_ = std::max<std::uint64_t>(cfg_.min_cwnd, cwnd_ / 2);
+    cwnd_ = cfg_.mss;
+  }
+
+  [[nodiscard]] const DctcpConfig& config() const { return cfg_; }
+
+ private:
+  DctcpConfig cfg_;
+  std::uint64_t cwnd_;
+  std::uint64_t ssthresh_;
+  double alpha_ = 0.0;
+  std::uint64_t marked_bytes_ = 0;
+  std::uint64_t total_bytes_ = 0;
+  std::uint64_t window_end_ = 0;
+};
+
+}  // namespace umon::netsim

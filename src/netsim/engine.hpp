@@ -1,0 +1,75 @@
+// Discrete-event simulation engine: a calendar of timestamped callbacks.
+// Deterministic: ties break by insertion order.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <utility>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace umon::netsim {
+
+class Engine {
+ public:
+  using Callback = std::function<void()>;
+
+  [[nodiscard]] Nanos now() const { return now_; }
+
+  /// Schedule `fn` at absolute time `at` (>= now).
+  void schedule_at(Nanos at, Callback fn) {
+    events_.push(Event{at, next_seq_++, std::move(fn)});
+  }
+
+  /// Schedule `fn` after a relative delay.
+  void schedule(Nanos delay, Callback fn) {
+    schedule_at(now_ + delay, std::move(fn));
+  }
+
+  /// Run until the calendar empties or the clock passes `until`.
+  void run_until(Nanos until) {
+    while (!events_.empty()) {
+      const Event& top = events_.top();
+      if (top.at > until) break;
+      // Move the callback out before popping so it may schedule new events.
+      Event ev = std::move(const_cast<Event&>(top));
+      events_.pop();
+      now_ = ev.at;
+      ev.fn();
+    }
+    if (now_ < until) now_ = until;
+  }
+
+  /// Drain every remaining event (use in tests with finite workloads).
+  void run_all() {
+    while (!events_.empty()) {
+      Event ev = std::move(const_cast<Event&>(events_.top()));
+      events_.pop();
+      now_ = ev.at;
+      ev.fn();
+    }
+  }
+
+  [[nodiscard]] std::size_t pending() const { return events_.size(); }
+
+ private:
+  struct Event {
+    Nanos at;
+    std::uint64_t seq;
+    Callback fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  Nanos now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> events_;
+};
+
+}  // namespace umon::netsim

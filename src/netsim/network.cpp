@@ -1,0 +1,584 @@
+#include "netsim/network.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+
+#include "common/hash.hpp"
+
+namespace umon::netsim {
+
+namespace {
+
+/// Serialization time of `bytes` at `gbps` (1 Gbps == 1 bit/ns).
+Nanos serialize_ns(std::uint64_t bytes, double gbps) {
+  return static_cast<Nanos>(static_cast<double>(bytes) * 8.0 / gbps);
+}
+
+PacketRecord to_record(const SimPacket& pkt, Nanos now, int port) {
+  PacketRecord r;
+  r.flow = pkt.flow;
+  r.timestamp = now;
+  r.size = pkt.size;
+  r.psn = pkt.psn;
+  r.ecn = pkt.ecn;
+  r.port = static_cast<std::uint16_t>(port);
+  return r;
+}
+
+}  // namespace
+
+struct Network::Port {
+  int peer_node = -1;
+  LinkConfig link;
+  EcnQueue queue;
+  bool transmitting = false;
+  bool tx_paused = false;      ///< peer asked us to stop (PFC)
+  Nanos pause_started = 0;
+  bool pfc_over_xoff = false;  ///< this queue currently holds > XOFF bytes
+  Port(const LinkConfig& l, const EcnConfig& ecn, std::uint64_t buffer,
+       std::uint64_t episode_threshold, std::uint64_t seed)
+      : link(l), queue(ecn, buffer, episode_threshold, seed) {}
+};
+
+struct Network::Node {
+  int id = -1;
+  bool is_host = false;
+  std::string name;
+  std::vector<Port> ports;
+  /// routes[dst_host] = candidate egress port indices (ECMP set).
+  std::vector<std::vector<std::uint16_t>> routes;
+  /// Receiver-side DCQCN NP state per flow.
+  std::unordered_map<std::uint64_t, DcqcnNp> np;
+  /// PFC: number of this node's queues currently above XOFF; transitions
+  /// 0->1 and 1->0 broadcast PAUSE / RESUME to every neighbor.
+  int pfc_congested_queues = 0;
+  bool pfc_pausing_peers = false;
+};
+
+struct Network::FlowSender {
+  FlowSpec spec;
+  DcqcnRp rp;
+  DctcpSender dctcp;
+  std::uint64_t bytes_left = 0;
+  std::uint32_t psn = 0;
+  Nanos cycle_start = 0;
+  bool done = false;
+  // Window-transport bookkeeping (payload bytes).
+  std::uint64_t sent_bytes = 0;
+  std::uint64_t acked_bytes = 0;
+  Nanos last_progress = 0;
+  bool rto_armed = false;
+  bool resend_scheduled = false;
+  FlowSender(const FlowSpec& s, const DcqcnConfig& cfg,
+             const DctcpConfig& tcfg)
+      : spec(s),
+        rp(cfg),
+        dctcp(tcfg),
+        bytes_left(s.bytes),
+        cycle_start(s.start_time) {}
+};
+
+Network::Network(const NetworkConfig& cfg) : cfg_(cfg), rng_(cfg.seed) {}
+Network::~Network() = default;
+
+Nanos Network::host_clock_offset(int host) const {
+  if (cfg_.host_clock_jitter == 0) return 0;
+  // Deterministic per-host offset in [-jitter, +jitter].
+  const std::uint64_t h = mix64(cfg_.seed ^ (0xC10Cull << 32) ^
+                                static_cast<std::uint64_t>(host));
+  const auto span = static_cast<std::uint64_t>(2 * cfg_.host_clock_jitter + 1);
+  return static_cast<Nanos>(h % span) - cfg_.host_clock_jitter;
+}
+
+int Network::add_host(std::string name) {
+  auto node = std::make_unique<Node>();
+  node->id = static_cast<int>(nodes_.size());
+  node->is_host = true;
+  node->name = name.empty() ? "host" + std::to_string(node->id) : std::move(name);
+  nodes_.push_back(std::move(node));
+  ++host_count_;
+  return nodes_.back()->id;
+}
+
+int Network::add_switch(std::string name) {
+  auto node = std::make_unique<Node>();
+  node->id = static_cast<int>(nodes_.size());
+  node->is_host = false;
+  node->name = name.empty() ? "sw" + std::to_string(node->id) : std::move(name);
+  nodes_.push_back(std::move(node));
+  return nodes_.back()->id;
+}
+
+void Network::connect(int a, int b, std::optional<LinkConfig> link) {
+  const LinkConfig l = link.value_or(cfg_.link);
+  // Host NICs do not ECN-mark; switches do.
+  auto make_port = [&](Node& from, int to) {
+    EcnConfig ecn = cfg_.ecn;
+    ecn.enabled = !from.is_host && cfg_.ecn.enabled;
+    const std::uint64_t buffer =
+        from.is_host ? cfg_.host_buffer_bytes : cfg_.switch_buffer_bytes;
+    from.ports.emplace_back(l, ecn, buffer, cfg_.episode_threshold_bytes,
+                            cfg_.seed ^ (static_cast<std::uint64_t>(from.id) << 20) ^
+                                static_cast<std::uint64_t>(from.ports.size()));
+    from.ports.back().peer_node = to;
+  };
+  make_port(*nodes_[static_cast<std::size_t>(a)], b);
+  make_port(*nodes_[static_cast<std::size_t>(b)], a);
+}
+
+void Network::build_routes() {
+  // BFS per destination host over the node graph; the ECMP next-hop set of a
+  // node is every neighbor strictly closer to the destination.
+  const std::size_t n = nodes_.size();
+  for (auto& node : nodes_) {
+    node->routes.assign(static_cast<std::size_t>(host_count_), {});
+  }
+  for (int dst = 0; dst < host_count_; ++dst) {
+    std::vector<int> dist(n, -1);
+    std::deque<int> bfs;
+    dist[static_cast<std::size_t>(dst)] = 0;
+    bfs.push_back(dst);
+    while (!bfs.empty()) {
+      const int u = bfs.front();
+      bfs.pop_front();
+      for (const Port& p : nodes_[static_cast<std::size_t>(u)]->ports) {
+        if (dist[static_cast<std::size_t>(p.peer_node)] < 0) {
+          dist[static_cast<std::size_t>(p.peer_node)] =
+              dist[static_cast<std::size_t>(u)] + 1;
+          bfs.push_back(p.peer_node);
+        }
+      }
+    }
+    for (auto& node : nodes_) {
+      if (node->id == dst) continue;
+      const int my_dist = dist[static_cast<std::size_t>(node->id)];
+      if (my_dist < 0) continue;  // unreachable
+      auto& candidates = node->routes[static_cast<std::size_t>(dst)];
+      for (std::uint16_t i = 0; i < node->ports.size(); ++i) {
+        const int peer = node->ports[i].peer_node;
+        if (dist[static_cast<std::size_t>(peer)] == my_dist - 1) {
+          candidates.push_back(i);
+        }
+      }
+    }
+  }
+  if (cfg_.queue_sample_interval > 0) {
+    engine_.schedule(cfg_.queue_sample_interval, [this] { sample_queues(); });
+  }
+}
+
+std::unique_ptr<Network> Network::fat_tree(const NetworkConfig& cfg, int k) {
+  assert(k % 2 == 0);
+  auto net = std::make_unique<Network>(cfg);
+  const int half = k / 2;
+  const int hosts = k * half * half;
+  const int edges_per_pod = half;
+  std::vector<int> host_ids(static_cast<std::size_t>(hosts));
+  for (int h = 0; h < hosts; ++h) host_ids[static_cast<std::size_t>(h)] = net->add_host();
+
+  std::vector<std::vector<int>> edge(static_cast<std::size_t>(k));
+  std::vector<std::vector<int>> agg(static_cast<std::size_t>(k));
+  for (int p = 0; p < k; ++p) {
+    for (int i = 0; i < half; ++i) {
+      edge[static_cast<std::size_t>(p)].push_back(
+          net->add_switch("edge" + std::to_string(p) + "_" + std::to_string(i)));
+      agg[static_cast<std::size_t>(p)].push_back(
+          net->add_switch("agg" + std::to_string(p) + "_" + std::to_string(i)));
+    }
+  }
+  std::vector<int> core;
+  for (int c = 0; c < half * half; ++c) core.push_back(net->add_switch("core" + std::to_string(c)));
+
+  for (int p = 0; p < k; ++p) {
+    for (int e = 0; e < edges_per_pod; ++e) {
+      // Hosts under this edge switch.
+      for (int i = 0; i < half; ++i) {
+        const int host = p * half * half + e * half + i;
+        net->connect(host_ids[static_cast<std::size_t>(host)],
+                     edge[static_cast<std::size_t>(p)][static_cast<std::size_t>(e)]);
+      }
+      // Edge to every aggregation switch in the pod.
+      for (int a = 0; a < half; ++a) {
+        net->connect(edge[static_cast<std::size_t>(p)][static_cast<std::size_t>(e)],
+                     agg[static_cast<std::size_t>(p)][static_cast<std::size_t>(a)]);
+      }
+    }
+    // Aggregation a connects to core group a.
+    for (int a = 0; a < half; ++a) {
+      for (int c = 0; c < half; ++c) {
+        net->connect(agg[static_cast<std::size_t>(p)][static_cast<std::size_t>(a)],
+                     core[static_cast<std::size_t>(a * half + c)]);
+      }
+    }
+  }
+  net->build_routes();
+  return net;
+}
+
+void Network::start_flow(const FlowSpec& spec) {
+  auto fs = std::make_unique<FlowSender>(spec, cfg_.dcqcn, cfg_.dctcp);
+  FlowSender* raw = fs.get();
+  senders_[spec.key.packed()] = std::move(fs);
+  stats_[spec.key.packed()] = FlowStats{};
+  if (spec.use_dctcp) {
+    engine_.schedule_at(spec.start_time, [this, raw] {
+      raw->last_progress = engine_.now();
+      window_send(*raw);
+    });
+  } else {
+    engine_.schedule_at(spec.start_time, [this, raw] { pace_flow(*raw); });
+  }
+}
+
+void Network::window_send(FlowSender& fs) {
+  if (fs.done) return;
+  const Nanos now = engine_.now();
+  Node& host = *nodes_[static_cast<std::size_t>(fs.spec.src_host)];
+  const std::uint32_t mss = fs.dctcp.config().mss;
+  while (fs.sent_bytes < fs.spec.bytes &&
+         fs.sent_bytes - fs.acked_bytes + mss <= fs.dctcp.cwnd()) {
+    if (host.ports[0].queue.bytes() >= cfg_.host_backlog_bytes) {
+      if (!fs.resend_scheduled) {
+        fs.resend_scheduled = true;
+        engine_.schedule(10 * kMicro, [this, &fs] {
+          fs.resend_scheduled = false;
+          window_send(fs);
+        });
+      }
+      return;
+    }
+    SimPacket pkt;
+    pkt.flow = fs.spec.key;
+    pkt.kind = PacketKind::kData;
+    pkt.psn = fs.psn++;
+    const auto payload = static_cast<std::uint32_t>(
+        std::min<std::uint64_t>(mss, fs.spec.bytes - fs.sent_bytes));
+    pkt.size = payload + kHeaderBytes;
+    pkt.src_host = fs.spec.src_host;
+    pkt.dst_host = fs.spec.dst_host;
+    pkt.sent_at = now;
+    pkt.wants_ack = true;
+    pkt.acked_bytes = payload;  // echoed back by the receiver's ACK
+    fs.sent_bytes += payload;
+    FlowStats& st = stats_[fs.spec.key.packed()];
+    st.bytes_sent += payload;
+    st.packets_sent += 1;
+    enqueue_on_port(host, 0, pkt);
+  }
+  arm_rto(fs);
+}
+
+void Network::arm_rto(FlowSender& fs) {
+  if (fs.rto_armed || fs.done || fs.acked_bytes >= fs.sent_bytes) return;
+  fs.rto_armed = true;
+  const Nanos rto = fs.dctcp.config().rto;
+  engine_.schedule_at(fs.last_progress + rto, [this, &fs] {
+    fs.rto_armed = false;
+    if (fs.done) return;
+    const Nanos now = engine_.now();
+    if (fs.acked_bytes < fs.sent_bytes &&
+        now - fs.last_progress >= fs.dctcp.config().rto) {
+      // Go-back-N: collapse the window and resend from the last ACK.
+      fs.dctcp.on_timeout();
+      fs.sent_bytes = fs.acked_bytes;
+      fs.last_progress = now;
+      window_send(fs);
+    } else {
+      arm_rto(fs);
+    }
+  });
+}
+
+void Network::pace_flow(FlowSender& fs) {
+  if (fs.done) return;
+  if (fs.bytes_left == 0) {
+    fs.done = true;
+    stats_[fs.spec.key.packed()].finished = true;
+    return;
+  }
+  const Nanos now = engine_.now();
+  // Honor the on-off duty cycle: sleep through off periods.
+  if (fs.spec.on_off.active()) {
+    const Nanos cycle =
+        fs.spec.on_off.on_duration + fs.spec.on_off.off_duration;
+    const Nanos pos = (now - fs.cycle_start) % cycle;
+    if (pos >= fs.spec.on_off.on_duration) {
+      const Nanos resume = now + (cycle - pos);
+      engine_.schedule_at(resume, [this, &fs] { pace_flow(fs); });
+      return;
+    }
+  }
+  send_one_packet(fs);
+}
+
+void Network::send_one_packet(FlowSender& fs) {
+  const Nanos now = engine_.now();
+  Node& host = *nodes_[static_cast<std::size_t>(fs.spec.src_host)];
+  // NIC TX ring full (e.g., the port is PFC-paused): hold off pacing.
+  if (host.ports[0].queue.bytes() >= cfg_.host_backlog_bytes) {
+    engine_.schedule(10 * kMicro, [this, &fs] { pace_flow(fs); });
+    return;
+  }
+  if (fs.spec.use_dcqcn) fs.rp.on_time(now);
+
+  SimPacket pkt;
+  pkt.flow = fs.spec.key;
+  pkt.kind = PacketKind::kData;
+  pkt.psn = fs.psn++;
+  const std::uint32_t payload =
+      static_cast<std::uint32_t>(std::min<std::uint64_t>(kMtuBytes, fs.bytes_left));
+  pkt.size = payload + kHeaderBytes;
+  pkt.src_host = fs.spec.src_host;
+  pkt.dst_host = fs.spec.dst_host;
+  pkt.sent_at = now;
+  fs.bytes_left -= payload;
+
+  FlowStats& st = stats_[fs.spec.key.packed()];
+  st.bytes_sent += payload;
+  st.packets_sent += 1;
+
+  enqueue_on_port(host, 0, pkt);
+
+  if (fs.spec.use_dcqcn) fs.rp.on_bytes_sent(pkt.size, now);
+
+  double rate = fs.spec.use_dcqcn ? fs.rp.rate_gbps() : cfg_.link.bandwidth_gbps;
+  if (fs.spec.rate_cap_gbps > 0) rate = std::min(rate, fs.spec.rate_cap_gbps);
+  rate = std::min(rate, cfg_.link.bandwidth_gbps);
+  const Nanos gap = serialize_ns(pkt.size, rate);
+  engine_.schedule(std::max<Nanos>(gap, 1), [this, &fs] { pace_flow(fs); });
+}
+
+void Network::enqueue_on_port(Node& node, std::size_t port_idx, SimPacket pkt) {
+  Port& port = node.ports[port_idx];
+  const Nanos now = engine_.now();
+  // The hook fires after enqueue so the record reflects the CE decision.
+  if (!port.queue.enqueue(pkt, now)) return;  // tail drop
+  if (!node.is_host && pkt.kind == PacketKind::kData) {
+    const PortId pid{node.id, static_cast<int>(port_idx)};
+    if (switch_enqueue_hook_) {
+      switch_enqueue_hook_(pid, to_record(pkt, now, static_cast<int>(port_idx)));
+    }
+    if (queue_observer_hook_) {
+      queue_observer_hook_(pid, port.queue.bytes(),
+                           to_record(pkt, now, static_cast<int>(port_idx)));
+    }
+  }
+  if (cfg_.pfc.enabled && !port.pfc_over_xoff &&
+      port.queue.bytes() >= cfg_.pfc.xoff_bytes) {
+    port.pfc_over_xoff = true;
+    node.pfc_congested_queues += 1;
+    pfc_check(node);
+  }
+  if (!port.transmitting && !port.tx_paused) transmit(node, port_idx);
+}
+
+void Network::transmit(Node& node, std::size_t port_idx) {
+  Port& port = node.ports[port_idx];
+  if (port.queue.empty() || port.tx_paused) {
+    port.transmitting = false;
+    return;
+  }
+  port.transmitting = true;
+  const Nanos now = engine_.now();
+  SimPacket pkt = port.queue.dequeue(now);
+  if (cfg_.pfc.enabled && port.pfc_over_xoff &&
+      port.queue.bytes() <= cfg_.pfc.xon_bytes) {
+    port.pfc_over_xoff = false;
+    node.pfc_congested_queues -= 1;
+    pfc_check(node);
+  }
+  const Nanos ser = serialize_ns(pkt.size, port.link.bandwidth_gbps);
+
+  if (node.is_host && pkt.kind == PacketKind::kData && host_tx_hook_) {
+    // The host's local clock (PTP residual offset) stamps the record.
+    host_tx_hook_(node.id,
+                  to_record(pkt, now + host_clock_offset(node.id), 0));
+    FlowStats& st = stats_[pkt.flow.packed()];
+    if (st.first_tx < 0) st.first_tx = now;
+    st.last_tx = now;
+  }
+
+  const int peer = port.peer_node;
+  engine_.schedule(ser + port.link.propagation_delay,
+                   [this, peer, pkt] {
+                     Node& dst = *nodes_[static_cast<std::size_t>(peer)];
+                     if (dst.is_host) {
+                       host_receive(dst, pkt);
+                     } else {
+                       switch_receive(dst, pkt);
+                     }
+                   });
+  engine_.schedule(ser, [this, id = node.id, port_idx] {
+    transmit(*nodes_[static_cast<std::size_t>(id)], port_idx);
+  });
+}
+
+void Network::switch_receive(Node& sw, SimPacket pkt) {
+  const int dst =
+      pkt.kind == PacketKind::kData ? pkt.dst_host : pkt.src_host;
+  const auto& candidates = sw.routes[static_cast<std::size_t>(dst)];
+  if (candidates.empty()) return;  // no route: drop
+  const std::uint64_t h = mix64(pkt.flow.packed() ^ 0x5CA1AB1Eu);
+  const std::uint16_t port = candidates[h % candidates.size()];
+  enqueue_on_port(sw, port, pkt);
+}
+
+void Network::host_receive(Node& host, SimPacket pkt) {
+  const Nanos now = engine_.now();
+  if (pkt.kind == PacketKind::kCnp) {
+    auto it = senders_.find(pkt.flow.packed());
+    if (it != senders_.end() && it->second->spec.use_dcqcn) {
+      it->second->rp.on_cnp(now);
+      stats_[pkt.flow.packed()].cnps_received += 1;
+    }
+    return;
+  }
+  if (pkt.kind == PacketKind::kAck) {
+    auto it = senders_.find(pkt.flow.packed());
+    if (it == senders_.end()) return;
+    FlowSender& fs = *it->second;
+    if (fs.done) return;
+    fs.acked_bytes += pkt.acked_bytes;
+    fs.last_progress = now;
+    fs.dctcp.on_ack(pkt.acked_bytes, pkt.ecn == Ecn::kCe, fs.acked_bytes,
+                    fs.sent_bytes);
+    if (fs.acked_bytes >= fs.spec.bytes) {
+      fs.done = true;
+      stats_[fs.spec.key.packed()].finished = true;
+      return;
+    }
+    window_send(fs);
+    return;
+  }
+  // Window-transport data at the receiver: ACK with the DCTCP ECN echo.
+  if (pkt.wants_ack) {
+    SimPacket ack;
+    ack.flow = pkt.flow;  // original flow key; routed back via src_host
+    ack.kind = PacketKind::kAck;
+    ack.size = kAckBytes;
+    ack.ecn = pkt.ecn == Ecn::kCe ? Ecn::kCe : Ecn::kNotEct;
+    ack.src_host = pkt.src_host;
+    ack.dst_host = pkt.dst_host;
+    ack.sent_at = now;
+    ack.acked_bytes = pkt.acked_bytes;
+    enqueue_on_port(host, 0, ack);
+    return;
+  }
+  // Rate-transport data at the receiver: DCQCN NP reacts to CE marks.
+  if (pkt.ecn == Ecn::kCe) {
+    auto [it, inserted] = host.np.try_emplace(pkt.flow.packed(),
+                                              DcqcnNp(cfg_.dcqcn.cnp_interval));
+    if (it->second.on_ce_arrival(now)) {
+      SimPacket cnp;
+      cnp.flow = pkt.flow;  // original flow key; routed by src_host
+      cnp.kind = PacketKind::kCnp;
+      cnp.size = kCnpBytes;
+      cnp.ecn = Ecn::kNotEct;
+      cnp.src_host = pkt.src_host;
+      cnp.dst_host = pkt.dst_host;
+      cnp.sent_at = now;
+      enqueue_on_port(host, 0, cnp);
+    }
+  }
+}
+
+void Network::pfc_check(Node& node) {
+  const bool want_pause = node.pfc_congested_queues > 0;
+  if (want_pause == node.pfc_pausing_peers) return;
+  node.pfc_pausing_peers = want_pause;
+  // Broadcast PAUSE/RESUME to every neighbor after one propagation delay
+  // (PFC frames are tiny, highest priority, and never queued behind data).
+  for (const Port& p : node.ports) {
+    const int peer = p.peer_node;
+    const int me = node.id;
+    engine_.schedule(p.link.propagation_delay, [this, peer, me, want_pause] {
+      Node& n = *nodes_[static_cast<std::size_t>(peer)];
+      const Nanos now = engine_.now();
+      for (std::size_t i = 0; i < n.ports.size(); ++i) {
+        Port& q = n.ports[i];
+        if (q.peer_node != me || q.tx_paused == want_pause) continue;
+        q.tx_paused = want_pause;
+        if (want_pause) {
+          q.pause_started = now;
+        } else {
+          const Nanos paused = now - q.pause_started;
+          pfc_stats_.total_paused += paused;
+          pfc_stats_.longest_pause = std::max(pfc_stats_.longest_pause, paused);
+          if (!q.transmitting && !q.queue.empty()) transmit(n, i);
+        }
+      }
+      if (want_pause) {
+        pfc_stats_.pause_frames += 1;
+      } else {
+        pfc_stats_.resume_frames += 1;
+      }
+    });
+  }
+}
+
+void Network::sample_queues() {
+  for (const auto& node : nodes_) {
+    if (node->is_host) continue;
+    for (const Port& p : node->ports) {
+      queue_samples_.push_back(p.queue.bytes());
+    }
+  }
+  engine_.schedule(cfg_.queue_sample_interval, [this] { sample_queues(); });
+}
+
+void Network::run_until(Nanos t) { engine_.run_until(t); }
+Nanos Network::now() const { return engine_.now(); }
+
+const FlowStats* Network::flow_stats(const FlowKey& key) const {
+  auto it = stats_.find(key.packed());
+  return it == stats_.end() ? nullptr : &it->second;
+}
+
+std::vector<CongestionEpisode> Network::all_episodes() const {
+  std::vector<CongestionEpisode> out;
+  for (const auto& node : nodes_) {
+    if (node->is_host) continue;
+    for (const Port& p : node->ports) {
+      out.insert(out.end(), p.queue.episodes().begin(),
+                 p.queue.episodes().end());
+    }
+  }
+  return out;
+}
+
+const std::vector<CongestionEpisode>* Network::port_episodes(PortId id) const {
+  const Node& node = *nodes_[static_cast<std::size_t>(id.node)];
+  if (id.port < 0 || static_cast<std::size_t>(id.port) >= node.ports.size()) {
+    return nullptr;
+  }
+  return &node.ports[static_cast<std::size_t>(id.port)].queue.episodes();
+}
+
+std::vector<PortId> Network::switch_ports() const {
+  std::vector<PortId> out;
+  for (const auto& node : nodes_) {
+    if (node->is_host) continue;
+    for (std::size_t i = 0; i < node->ports.size(); ++i) {
+      out.push_back(PortId{node->id, static_cast<int>(i)});
+    }
+  }
+  return out;
+}
+
+std::uint64_t Network::total_drops() const {
+  std::uint64_t total = 0;
+  for (const auto& node : nodes_) {
+    for (const Port& p : node->ports) total += p.queue.drops();
+  }
+  return total;
+}
+
+void Network::finish() {
+  const Nanos now = engine_.now();
+  for (auto& node : nodes_) {
+    for (Port& p : node->ports) p.queue.finish(now);
+  }
+}
+
+}  // namespace umon::netsim

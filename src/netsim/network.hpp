@@ -1,0 +1,211 @@
+// The simulated data center network: hosts, output-queued switches, links,
+// ECMP routing, RoCEv2-like flows under DCQCN, and monitoring hooks.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "netsim/dcqcn.hpp"
+#include "netsim/dctcp.hpp"
+#include "netsim/engine.hpp"
+#include "netsim/packet.hpp"
+#include "netsim/queue.hpp"
+
+namespace umon::netsim {
+
+struct LinkConfig {
+  double bandwidth_gbps = 100.0;
+  Nanos propagation_delay = 1 * kMicro;  ///< 1 us per hop (Section 7)
+};
+
+/// Hop-level PFC backpressure: when any egress queue of a node exceeds
+/// `xoff_bytes`, the node asks every neighbor to pause transmission toward
+/// it; once all its queues drain below `xon_bytes` it resumes them. This is
+/// the output-queued approximation of per-ingress PFC — it reproduces the
+/// phenomena the paper cares about (losslessness, head-of-line blocking,
+/// pause propagation) without per-ingress buffers.
+struct PfcConfig {
+  bool enabled = false;
+  std::uint64_t xoff_bytes = 512 * 1024;
+  std::uint64_t xon_bytes = 256 * 1024;
+};
+
+struct NetworkConfig {
+  LinkConfig link;
+  EcnConfig ecn;
+  DcqcnConfig dcqcn;
+  DctcpConfig dctcp;
+  PfcConfig pfc;
+  std::uint64_t switch_buffer_bytes = 12ull * 1024 * 1024;
+  /// Host NIC TX buffer; senders stop pacing while their backlog exceeds
+  /// `host_backlog_bytes` (the TX-ring-full condition), so hosts never drop.
+  std::uint64_t host_buffer_bytes = 64ull * 1024 * 1024;
+  std::uint64_t host_backlog_bytes = 1ull * 1024 * 1024;
+  /// Queue depth at which a congestion episode opens (ground truth).
+  std::uint64_t episode_threshold_bytes = 20 * 1024;
+  /// Periodic queue-length sampling interval (0 disables).
+  Nanos queue_sample_interval = 1 * kMicro;
+  /// Residual clock error of the hosts' PTP sync: each host gets a fixed
+  /// offset drawn uniformly from [-jitter, +jitter], applied to the
+  /// timestamps its monitoring hooks observe (Section 6.1: nanosecond-level
+  /// sync errors stay within two measurement windows).
+  Nanos host_clock_jitter = 0;
+  std::uint64_t seed = 1;
+};
+
+/// Traffic shapes for a flow's source.
+struct OnOffPattern {
+  Nanos on_duration = 0;
+  Nanos off_duration = 0;
+  [[nodiscard]] bool active() const { return on_duration > 0; }
+};
+
+struct FlowSpec {
+  FlowKey key;
+  int src_host = 0;
+  int dst_host = 0;
+  std::uint64_t bytes = 0;          ///< payload bytes to transfer
+  Nanos start_time = 0;
+  /// Optional fixed rate cap (e.g., app-limited); 0 = line rate / DCQCN.
+  double rate_cap_gbps = 0.0;
+  OnOffPattern on_off;              ///< optional duty cycle
+  bool use_dcqcn = true;
+  /// Window-based DCTCP transport instead of rate-based DCQCN (overrides
+  /// use_dcqcn; ACK-clocked, go-back-N on timeout).
+  bool use_dctcp = false;
+};
+
+struct FlowStats {
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t packets_sent = 0;
+  std::uint64_t cnps_received = 0;
+  Nanos first_tx = -1;
+  Nanos last_tx = -1;
+  bool finished = false;
+};
+
+/// Identifies one unidirectional switch egress (a "link" for Figure 10a).
+struct PortId {
+  int node = -1;   ///< switch node id
+  int port = -1;   ///< egress port index on that switch
+  friend bool operator==(const PortId&, const PortId&) = default;
+};
+
+class Network {
+ public:
+  explicit Network(const NetworkConfig& cfg);
+  ~Network();
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  // --- topology construction ---------------------------------------------
+  /// Add a host; returns its node id.
+  int add_host(std::string name = {});
+  /// Add a switch; returns its node id.
+  int add_switch(std::string name = {});
+  /// Connect two nodes with a bidirectional pair of links.
+  void connect(int a, int b, std::optional<LinkConfig> link = std::nullopt);
+  /// Compute shortest-path ECMP next-hop tables (call once after connect()).
+  void build_routes();
+
+  /// Convenience builder: a k-ary fat-tree (k even). Hosts are the first
+  /// (k^3/4) node ids.
+  static std::unique_ptr<Network> fat_tree(const NetworkConfig& cfg, int k);
+
+  // --- workload -------------------------------------------------------------
+  void start_flow(const FlowSpec& spec);
+
+  // --- running ---------------------------------------------------------------
+  void run_until(Nanos t);
+  [[nodiscard]] Nanos now() const;
+  Engine& engine() { return engine_; }
+
+  // --- monitoring hooks ------------------------------------------------------
+  /// Fired when a host NIC transmits a data packet (the uFlow vantage).
+  using HostTxHook = std::function<void(int host, const PacketRecord&)>;
+  /// Fired when a switch enqueues a packet on an egress port (the uEvent
+  /// vantage; `record.ecn` reflects any CE mark just applied).
+  using SwitchEnqueueHook =
+      std::function<void(PortId, const PacketRecord&)>;
+  /// Fired like SwitchEnqueueHook but with the post-enqueue queue depth —
+  /// the programmable-switch vantage (ConQuest/BurstRadar-style designs
+  /// observe the queue directly in the data plane, Section 5).
+  using QueueObserverHook =
+      std::function<void(PortId, std::uint64_t queue_bytes,
+                         const PacketRecord&)>;
+  void set_host_tx_hook(HostTxHook h) { host_tx_hook_ = std::move(h); }
+  void set_switch_enqueue_hook(SwitchEnqueueHook h) {
+    switch_enqueue_hook_ = std::move(h);
+  }
+  void set_queue_observer_hook(QueueObserverHook h) {
+    queue_observer_hook_ = std::move(h);
+  }
+
+  // --- results ---------------------------------------------------------------
+  [[nodiscard]] const FlowStats* flow_stats(const FlowKey& key) const;
+  [[nodiscard]] std::vector<CongestionEpisode> all_episodes() const;
+  /// Episodes of one egress port.
+  [[nodiscard]] const std::vector<CongestionEpisode>* port_episodes(
+      PortId id) const;
+  /// All switch egress ports (stable order; index = "link id" in plots).
+  [[nodiscard]] std::vector<PortId> switch_ports() const;
+  /// Periodic queue length samples (bytes) across all switch ports.
+  [[nodiscard]] const std::vector<std::uint64_t>& queue_samples() const {
+    return queue_samples_;
+  }
+  [[nodiscard]] std::uint64_t total_drops() const;
+  [[nodiscard]] int host_count() const { return host_count_; }
+
+  /// The fixed clock offset of one host (0 when jitter is disabled). The
+  /// analyzer's ClockModel subtracts exactly this during alignment.
+  [[nodiscard]] Nanos host_clock_offset(int host) const;
+
+  /// PFC accounting (meaningful when cfg.pfc.enabled).
+  struct PfcStats {
+    std::uint64_t pause_frames = 0;   ///< PAUSE messages sent
+    std::uint64_t resume_frames = 0;  ///< RESUME messages sent
+    Nanos total_paused = 0;           ///< summed pause time across ports
+    Nanos longest_pause = 0;          ///< longest single pause (storm hint)
+  };
+  [[nodiscard]] const PfcStats& pfc_stats() const { return pfc_stats_; }
+  /// Close open episodes etc.; call after the final run_until.
+  void finish();
+
+ private:
+  struct Port;
+  struct Node;
+  struct FlowSender;
+
+  void host_receive(Node& host, SimPacket pkt);
+  void switch_receive(Node& sw, SimPacket pkt);
+  void transmit(Node& node, std::size_t port_idx);
+  void enqueue_on_port(Node& node, std::size_t port_idx, SimPacket pkt);
+  void pace_flow(FlowSender& fs);
+  void send_one_packet(FlowSender& fs);
+  void window_send(FlowSender& fs);
+  void arm_rto(FlowSender& fs);
+  void sample_queues();
+  void pfc_check(Node& node);
+
+  NetworkConfig cfg_;
+  Engine engine_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  int host_count_ = 0;
+  std::unordered_map<std::uint64_t, std::unique_ptr<FlowSender>> senders_;
+  std::unordered_map<std::uint64_t, FlowStats> stats_;
+  HostTxHook host_tx_hook_;
+  SwitchEnqueueHook switch_enqueue_hook_;
+  QueueObserverHook queue_observer_hook_;
+  std::vector<std::uint64_t> queue_samples_;
+  PfcStats pfc_stats_;
+  Rng rng_;
+};
+
+}  // namespace umon::netsim

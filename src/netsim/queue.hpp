@@ -1,0 +1,135 @@
+// Egress queue with RED/ECN marking (the DCQCN CP algorithm) and congestion
+// episode tracking for ground truth.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <unordered_set>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "netsim/packet.hpp"
+
+namespace umon::netsim {
+
+struct EcnConfig {
+  std::uint64_t kmin_bytes = 20 * 1024;    ///< KMin = 20 KiB (Section 7.2)
+  std::uint64_t kmax_bytes = 200 * 1024;   ///< KMax = 200 KiB
+  double pmax = 0.01;                      ///< max marking probability
+  bool enabled = true;
+};
+
+/// A maximal period during which the queue stayed above the episode
+/// threshold; the unit of "congestion event" ground truth in Figure 14.
+struct CongestionEpisode {
+  Nanos start = 0;
+  Nanos end = 0;
+  std::uint64_t max_bytes = 0;           ///< peak queue length
+  std::vector<FlowKey> flows;            ///< flows enqueued during episode
+  [[nodiscard]] Nanos duration() const { return end - start; }
+};
+
+class EcnQueue {
+ public:
+  EcnQueue(const EcnConfig& cfg, std::uint64_t buffer_bytes,
+           std::uint64_t episode_threshold_bytes, std::uint64_t rng_seed)
+      : cfg_(cfg),
+        buffer_bytes_(buffer_bytes),
+        episode_threshold_(episode_threshold_bytes),
+        rng_(rng_seed) {}
+
+  /// Try to enqueue; marks CE per RED and tracks episodes. Returns false on
+  /// tail drop.
+  bool enqueue(SimPacket& pkt, Nanos now) {
+    if (bytes_ + pkt.size > buffer_bytes_) {
+      ++drops_;
+      episode_maybe_close(now);
+      return false;
+    }
+    if (cfg_.enabled && pkt.ecn != Ecn::kNotEct && should_mark()) {
+      pkt.ecn = Ecn::kCe;
+    }
+    bytes_ += pkt.size;
+    if (bytes_ > peak_bytes_) peak_bytes_ = bytes_;
+    episode_track(pkt, now);
+    queue_.push_back(pkt);
+    return true;
+  }
+
+  /// Pop the head (caller checks empty()).
+  SimPacket dequeue(Nanos now) {
+    SimPacket pkt = queue_.front();
+    queue_.pop_front();
+    bytes_ -= pkt.size;
+    episode_maybe_close(now);
+    return pkt;
+  }
+
+  [[nodiscard]] bool empty() const { return queue_.empty(); }
+  [[nodiscard]] std::uint64_t bytes() const { return bytes_; }
+  [[nodiscard]] std::uint64_t peak_bytes() const { return peak_bytes_; }
+  [[nodiscard]] std::uint64_t drops() const { return drops_; }
+
+  /// Close any open episode at simulation end.
+  void finish(Nanos now) {
+    if (open_) {
+      open_episode_.end = now;
+      episodes_.push_back(std::move(open_episode_));
+      open_ = false;
+    }
+  }
+
+  [[nodiscard]] const std::vector<CongestionEpisode>& episodes() const {
+    return episodes_;
+  }
+
+ private:
+  [[nodiscard]] bool should_mark() {
+    if (bytes_ <= cfg_.kmin_bytes) return false;
+    if (bytes_ >= cfg_.kmax_bytes) return true;
+    const double frac =
+        static_cast<double>(bytes_ - cfg_.kmin_bytes) /
+        static_cast<double>(cfg_.kmax_bytes - cfg_.kmin_bytes);
+    return rng_.uniform() < frac * cfg_.pmax;
+  }
+
+  void episode_track(const SimPacket& pkt, Nanos now) {
+    if (bytes_ < episode_threshold_) return;
+    if (!open_) {
+      open_ = true;
+      open_episode_ = CongestionEpisode{};
+      open_episode_.start = now;
+      seen_.clear();
+    }
+    if (bytes_ > open_episode_.max_bytes) open_episode_.max_bytes = bytes_;
+    if (pkt.kind == PacketKind::kData &&
+        seen_.insert(pkt.flow.packed()).second) {
+      open_episode_.flows.push_back(pkt.flow);
+    }
+  }
+
+  void episode_maybe_close(Nanos now) {
+    if (open_ && bytes_ < episode_threshold_) {
+      open_episode_.end = now;
+      episodes_.push_back(std::move(open_episode_));
+      open_ = false;
+    }
+  }
+
+  EcnConfig cfg_;
+  std::uint64_t buffer_bytes_;
+  std::uint64_t episode_threshold_;
+  Rng rng_;
+  std::deque<SimPacket> queue_;
+  std::uint64_t bytes_ = 0;
+  std::uint64_t peak_bytes_ = 0;
+  std::uint64_t drops_ = 0;
+
+  bool open_ = false;
+  CongestionEpisode open_episode_;
+  std::unordered_set<std::uint64_t> seen_;
+  std::vector<CongestionEpisode> episodes_;
+};
+
+}  // namespace umon::netsim

@@ -1,0 +1,75 @@
+#include "pisa/resources.hpp"
+
+namespace umon::pisa {
+namespace {
+
+// Structural register-array counts per Figure 7. Every array needs its own
+// stateful ALU, so these drive most resources.
+//   heavy part: key, vote, w0, i, c, approx, L per-level details, and two
+//               parity filter queues at {storage, tail, threshold} each.
+//   light part: the same minus key/vote, once per hash row.
+std::uint32_t heavy_arrays(const sketch::WaveSketchParams& p) {
+  return 2 + 4 + static_cast<std::uint32_t>(p.levels) + 6;
+}
+std::uint32_t light_arrays(const sketch::WaveSketchParams& p) {
+  return (4 + static_cast<std::uint32_t>(p.levels) + 6) *
+         static_cast<std::uint32_t>(p.depth);
+}
+
+// Calibration constants fitted once against the paper's Tofino2 compiler
+// report (Table 1, config: heavy h=256 L=8 K=64, light w=256 L=8 K=64 d=1).
+// They cover fixed pipeline logic (period management, report export,
+// resubmission) that does not scale with the sketch geometry.
+constexpr std::uint32_t kSaluFixed = 11;
+constexpr std::uint32_t kSramPerArray = 3;
+constexpr std::uint32_t kSramFixed = 20;
+constexpr std::uint32_t kMapRamPerArray = 2;
+constexpr std::uint32_t kMapRamFixed = 22;
+constexpr std::uint32_t kHashBitsPerArray = 8;   // register index bits
+constexpr std::uint32_t kHashFixed = 240;        // salts / selection
+constexpr std::uint32_t kFlowKeyBytes = 13;
+constexpr std::uint32_t kXbarPerArray = 6;
+constexpr std::uint32_t kGatewayFixed = 13;
+
+}  // namespace
+
+ResourceUsage estimate(const sketch::WaveSketchParams& p) {
+  const std::uint32_t arrays = heavy_arrays(p) + light_arrays(p);
+  const auto d1 = static_cast<std::uint32_t>(p.depth) + 1;  // light rows + heavy
+
+  ResourceUsage u;
+  u.stateful_alus = arrays + kSaluFixed;
+  u.sram_blocks = arrays * kSramPerArray + kSramFixed;
+  u.map_ram_blocks = arrays * kMapRamPerArray + kMapRamFixed;
+  u.hash_bits = kFlowKeyBytes * 8 * d1 + kHashBitsPerArray * arrays + kHashFixed;
+  u.exact_match_xbar = kFlowKeyBytes * d1 + kXbarPerArray * (arrays - 1);
+  // One gateway (branch) per level comparison in each part, the window
+  // judge, and the parity filters.
+  u.gateways = 2 * static_cast<std::uint32_t>(p.levels) + kGatewayFixed;
+  // VLIW: one move per array, two shift/compare ops per level per part, and
+  // fixed header handling.
+  u.vliw_instructions =
+      arrays + 4 * static_cast<std::uint32_t>(p.levels) + 5;
+  return u;
+}
+
+std::vector<ResourceRow> table(const ResourceUsage& u,
+                               const ChipCapacity& cap) {
+  auto pct = [](std::uint32_t used, std::uint32_t total) {
+    return 100.0 * static_cast<double>(used) / static_cast<double>(total);
+  };
+  return {
+      {"Exact Match Input xbar", u.exact_match_xbar,
+       pct(u.exact_match_xbar, cap.exact_match_xbar)},
+      {"Hash Bit", u.hash_bits, pct(u.hash_bits, cap.hash_bits)},
+      {"Gateway", u.gateways, pct(u.gateways, cap.gateways)},
+      {"SRAM", u.sram_blocks, pct(u.sram_blocks, cap.sram_blocks)},
+      {"Map RAM", u.map_ram_blocks, pct(u.map_ram_blocks, cap.map_ram_blocks)},
+      {"VLIW Instr", u.vliw_instructions,
+       pct(u.vliw_instructions, cap.vliw_instructions)},
+      {"Stateful ALU", u.stateful_alus,
+       pct(u.stateful_alus, cap.stateful_alus)},
+  };
+}
+
+}  // namespace umon::pisa

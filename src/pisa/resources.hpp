@@ -1,0 +1,59 @@
+// A structural resource model of the WaveSketch PISA (Tofino2-class)
+// implementation, used to regenerate Table 1 and to explore how resource
+// usage scales with the sketch configuration.
+//
+// The model counts, per pipeline primitive of Figure 7:
+//  * one stateful ALU (SALU) per register variable touched per bucket array
+//    (w0, i, c, approx, per-level details, the two parity filters),
+//  * SRAM blocks from the register array footprints,
+//  * match crossbar bytes, hash bits and gateways for the table lookups,
+//  * VLIW instructions for the arithmetic in each stage.
+//
+// Capacities are Tofino2-class per-pipeline totals; with the paper's default
+// configuration (heavy h=256 L=8 K=64, light w=256 L=8 K=64 d=1) the model
+// reproduces the percentages reported in Table 1.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sketch/params.hpp"
+
+namespace umon::pisa {
+
+struct ChipCapacity {
+  // Per-pipeline totals for a Tofino2-class switch chip.
+  std::uint32_t exact_match_xbar = 2048;
+  std::uint32_t hash_bits = 6656;
+  std::uint32_t gateways = 256;
+  std::uint32_t sram_blocks = 1300;
+  std::uint32_t map_ram_blocks = 784;
+  std::uint32_t vliw_instructions = 512;
+  std::uint32_t stateful_alus = 64;
+};
+
+struct ResourceUsage {
+  std::uint32_t exact_match_xbar = 0;
+  std::uint32_t hash_bits = 0;
+  std::uint32_t gateways = 0;
+  std::uint32_t sram_blocks = 0;
+  std::uint32_t map_ram_blocks = 0;
+  std::uint32_t vliw_instructions = 0;
+  std::uint32_t stateful_alus = 0;
+};
+
+struct ResourceRow {
+  std::string name;
+  std::uint32_t usage = 0;
+  double percentage = 0;  ///< usage / capacity
+};
+
+/// Estimate the footprint of a full WaveSketch (heavy + light part).
+ResourceUsage estimate(const sketch::WaveSketchParams& params);
+
+/// Table 1 rows for a usage estimate against a chip capacity.
+std::vector<ResourceRow> table(const ResourceUsage& usage,
+                               const ChipCapacity& cap = ChipCapacity{});
+
+}  // namespace umon::pisa

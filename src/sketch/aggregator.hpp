@@ -1,0 +1,100 @@
+// Agg-Evict-style software front-end (Section 8 "Future work"): a small
+// direct-mapped cache that coalesces per-flow updates within the current
+// window before they reach the sketch, cutting hash work on CPU platforms.
+// Entries are flushed when the flow's window advances, when a colliding flow
+// claims the slot, or at an explicit flush().
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/hash.hpp"
+#include "common/types.hpp"
+
+namespace umon::sketch {
+
+/// `Sink` receives (flow, window, aggregated value) — e.g., a lambda over
+/// WaveSketchBasic::update_window.
+template <typename Sink>
+class AggregatingFrontEnd {
+ public:
+  AggregatingFrontEnd(std::size_t slots, Sink sink,
+                      std::uint64_t seed = 0xA66E)
+      : hash_(seed), slots_(slots), sink_(std::move(sink)) {}
+
+  void update(const FlowKey& flow, WindowId w, Count v) {
+    Slot& s = slots_[hash_.bucket(flow.packed(),
+                                  static_cast<std::uint32_t>(slots_.size()))];
+    if (s.valid && s.flow == flow && s.window == w) {
+      s.value += v;  // hit: pure aggregation, no sketch work
+      ++hits_;
+      return;
+    }
+    if (s.valid) evict(s);
+    s.valid = true;
+    s.flow = flow;
+    s.window = w;
+    s.value = v;
+    ++misses_;
+  }
+
+  /// Push every resident entry into the sink (call before querying or at
+  /// period end — aggregated counts are not visible until evicted).
+  void flush() {
+    for (Slot& s : slots_) {
+      if (s.valid) {
+        evict(s);
+        s.valid = false;
+      }
+    }
+  }
+
+  [[nodiscard]] std::uint64_t hits() const { return hits_; }
+  [[nodiscard]] std::uint64_t misses() const { return misses_; }
+  [[nodiscard]] double hit_rate() const {
+    const std::uint64_t total = hits_ + misses_;
+    return total == 0 ? 0.0
+                      : static_cast<double>(hits_) /
+                            static_cast<double>(total);
+  }
+
+ private:
+  struct Slot {
+    bool valid = false;
+    FlowKey flow;
+    WindowId window = 0;
+    Count value = 0;
+  };
+
+  void evict(const Slot& s) { sink_(s.flow, s.window, s.value); }
+
+  SeededHash hash_;
+  std::vector<Slot> slots_;
+  Sink sink_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+/// Duty-cycled monitoring (Section 9, [64]): activate measurement only in
+/// sampled epochs when continuous monitoring is not compulsory. Updates
+/// outside an active epoch are dropped; the duty cycle bounds both CPU and
+/// upload bandwidth proportionally.
+class EpochSampler {
+ public:
+  /// Monitor `active` out of every `period` nanoseconds.
+  EpochSampler(Nanos period, Nanos active) : period_(period), active_(active) {}
+
+  [[nodiscard]] bool is_active(Nanos t) const {
+    return t % period_ < active_;
+  }
+
+  [[nodiscard]] double duty_cycle() const {
+    return static_cast<double>(active_) / static_cast<double>(period_);
+  }
+
+ private:
+  Nanos period_;
+  Nanos active_;
+};
+
+}  // namespace umon::sketch

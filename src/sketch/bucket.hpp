@@ -1,0 +1,139 @@
+// One WaveSketch bucket: windowed counting (Algorithm 1 "Counting") feeding
+// the online Haar transform and a coefficient store.
+#pragma once
+
+#include <optional>
+#include <variant>
+
+#include "common/types.hpp"
+#include "sketch/params.hpp"
+#include "sketch/report.hpp"
+#include "wavelet/online.hpp"
+#include "wavelet/store.hpp"
+
+namespace umon::sketch {
+
+class WaveBucket {
+ public:
+  WaveBucket(const WaveSketchParams& p)
+      : levels_(p.levels),
+        max_windows_(p.max_windows),
+        haar_(p.levels),
+        store_(make_store(p)) {}
+
+  /// Add `v` (bytes or packets) at absolute window `w`. Returns a finished
+  /// report when the bucket rolled over into a new measurement period
+  /// (window offset exceeded max_windows).
+  std::optional<BucketReport> add(WindowId w, Count v) {
+    std::optional<BucketReport> rolled;
+    if (started_ && w - w0_ >= static_cast<WindowId>(max_windows_)) {
+      rolled = flush();
+    }
+    if (!started_) {
+      started_ = true;
+      w0_ = w;
+      offset_ = 0;
+      count_ = v;
+      return rolled;
+    }
+    // Late (out-of-order) packets fold into the current window: the
+    // transform requires monotone offsets, and at 8.192 us granularity a
+    // reordered packet is at most one window late.
+    if (w <= w0_ + static_cast<WindowId>(offset_)) {
+      count_ += v;
+      return rolled;
+    }
+    const auto offset = static_cast<std::uint32_t>(w - w0_);
+    if (offset == offset_) {
+      count_ += v;
+    } else {
+      transform_current();
+      offset_ = offset;
+      count_ = v;
+    }
+    return rolled;
+  }
+
+  /// Finish the period: flush the in-progress counter and pending details,
+  /// emit the report, and reset for the next period.
+  BucketReport flush() {
+    BucketReport r = snapshot();
+    reset();
+    return r;
+  }
+
+  /// Report for the data collected so far without resetting (used for
+  /// mid-period queries; the copy models the analyzer-side reconstruction).
+  [[nodiscard]] BucketReport snapshot() const {
+    WaveBucket copy = *this;
+    if (copy.started_) copy.transform_current();
+    BucketReport r;
+    r.w0 = copy.w0_;
+    auto emit = [&copy](const wavelet::DetailCoeff& d) { copy.emit(d); };
+    wavelet::Decomposition geo = copy.haar_.finalize(emit);
+    r.length = copy.haar_.length();
+    r.levels = geo.levels;
+    r.approx = std::move(geo.approx);
+    r.details = std::visit([](const auto& s) { return s.sorted(); },
+                           copy.store_);
+    if (!copy.started_) r.length = 0;
+    return r;
+  }
+
+  [[nodiscard]] bool started() const { return started_; }
+  [[nodiscard]] WindowId w0() const { return w0_; }
+
+  /// Resident memory charged to this bucket (Section 4.2 analysis): the
+  /// window state, L pending details, the approximation array, and the
+  /// coefficient store capacity. Counters are 32-bit (a 100 Gbps link moves
+  /// at most ~102 KB per 8.192 us window) and stored details carry 2 bytes
+  /// of level/index metadata, matching the wire format.
+  [[nodiscard]] std::size_t memory_bytes() const {
+    const std::size_t store_cap =
+        std::visit([](const auto& s) { return s.capacity(); }, store_);
+    return 12 +                                      // w0, i, c
+           static_cast<std::size_t>(levels_) * 4 +   // pending details
+           haar_.approx().size() * 4 + store_cap * 6;
+  }
+
+  void reset() {
+    started_ = false;
+    w0_ = 0;
+    offset_ = 0;
+    count_ = 0;
+    haar_.reset();
+    std::visit([](auto& s) { s.clear(); }, store_);
+  }
+
+ private:
+  using Store = std::variant<wavelet::TopKStore, wavelet::ThresholdStore>;
+
+  static Store make_store(const WaveSketchParams& p) {
+    if (p.store == StoreKind::kTopK) return wavelet::TopKStore(p.k);
+    // Split the budget between the two parity queues.
+    return wavelet::ThresholdStore((p.k + 1) / 2, p.hw_threshold_even,
+                                   p.hw_threshold_odd);
+  }
+
+  void emit(const wavelet::DetailCoeff& d) {
+    std::visit([&d](auto& s) { s.offer(d); }, store_);
+  }
+
+  void transform_current() {
+    haar_.transform(offset_, count_, [this](const wavelet::DetailCoeff& d) {
+      emit(d);
+    });
+    count_ = 0;
+  }
+
+  int levels_;
+  std::uint32_t max_windows_;
+  bool started_ = false;
+  WindowId w0_ = 0;
+  std::uint32_t offset_ = 0;
+  Count count_ = 0;
+  wavelet::OnlineHaar haar_;
+  Store store_;
+};
+
+}  // namespace umon::sketch

@@ -1,0 +1,80 @@
+#include "sketch/calibrate.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sketch/bucket.hpp"
+#include "sketch/wavesketch.hpp"
+#include "wavelet/store.hpp"
+
+namespace umon::sketch {
+namespace {
+
+/// A shadow run that mirrors the real update path but records, per bucket,
+/// the final min-weight of the top-K heap.
+class ShadowSketch {
+ public:
+  explicit ShadowSketch(const WaveSketchParams& p) : sketch_(ideal(p)) {}
+
+  static WaveSketchParams ideal(WaveSketchParams p) {
+    p.store = StoreKind::kTopK;
+    return p;
+  }
+
+  void add(const SampleUpdate& u) {
+    sketch_.update_window(u.flow, u.window, u.value);
+  }
+
+  /// Min weights of all touched buckets' heaps.
+  std::vector<double> min_weights() {
+    std::vector<double> out;
+    const auto& p = sketch_.params();
+    for (int r = 0; r < p.depth; ++r) {
+      for (std::uint32_t c = 0; c < p.width; ++c) {
+        const WaveBucket& b = sketch_.bucket(r, c);
+        if (!b.started()) continue;
+        // The snapshot's retained details bound the heap's minimum weight;
+        // take the smallest retained L2 weight as the queue minimum.
+        auto rep = b.snapshot();
+        if (rep.details.empty()) continue;
+        double mn = -1;
+        for (const auto& d : rep.details) {
+          const double w = wavelet::l2_weight(d);
+          if (mn < 0 || w < mn) mn = w;
+        }
+        // Only full queues define a meaningful eviction threshold.
+        if (rep.details.size() >= p.k) out.push_back(mn);
+      }
+    }
+    return out;
+  }
+
+ private:
+  WaveSketchBasic sketch_;
+};
+
+}  // namespace
+
+HwThresholds calibrate_thresholds(const WaveSketchParams& params,
+                                  std::span<const SampleUpdate> samples) {
+  ShadowSketch shadow(params);
+  for (const auto& u : samples) shadow.add(u);
+  std::vector<double> mins = shadow.min_weights();
+  HwThresholds t;
+  if (mins.empty()) return t;
+  std::nth_element(mins.begin(), mins.begin() + mins.size() / 2, mins.end());
+  const double median = mins[mins.size() / 2];
+
+  // The ideal weight of a level-l coefficient is |v| / sqrt(2^(l+1)); the
+  // hardware compares |v| >> (l/2) against an integer threshold. Matching
+  // the two at the smallest level of each parity (l=0 and l=1):
+  //   even: |v| >= median * sqrt(2)  ->  threshold_even = median * sqrt(2)
+  //   odd:  |v| >= median * 2        ->  threshold_odd  = median * 2
+  t.even = static_cast<Count>(std::llround(median * std::sqrt(2.0)));
+  t.odd = static_cast<Count>(std::llround(median * 2.0));
+  t.even = std::max<Count>(1, t.even);
+  t.odd = std::max<Count>(1, t.odd);
+  return t;
+}
+
+}  // namespace umon::sketch

@@ -1,0 +1,33 @@
+// Hardware threshold calibration (Section 4.3): run the *ideal* top-K store
+// over sample traces, collect the minimum retained weight of every bucket's
+// priority queue, and use the median as the threshold reference for the
+// PISA implementation's parity queues.
+#pragma once
+
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "common/types.hpp"
+#include "sketch/params.hpp"
+
+namespace umon::sketch {
+
+/// One sample stream: (flow, window, value) updates in time order.
+struct SampleUpdate {
+  FlowKey flow;
+  WindowId window = 0;
+  Count value = 0;
+};
+
+struct HwThresholds {
+  Count even = 1;
+  Count odd = 1;
+};
+
+/// Measure `samples` with an ideal WaveSketch configured by `params` and
+/// derive the per-parity integer thresholds for the hardware store.
+HwThresholds calibrate_thresholds(const WaveSketchParams& params,
+                                  std::span<const SampleUpdate> samples);
+
+}  // namespace umon::sketch

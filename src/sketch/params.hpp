@@ -1,0 +1,37 @@
+// Configuration for all WaveSketch variants (Section 7.1 defaults).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace umon::sketch {
+
+enum class StoreKind : std::uint8_t {
+  kTopK,       ///< ideal weighted top-K (CPU / "WaveSketch-Ideal")
+  kThreshold,  ///< calibrated threshold queues ("WaveSketch-HW")
+};
+
+struct WaveSketchParams {
+  int depth = 3;               ///< d: number of hash rows
+  std::uint32_t width = 256;   ///< w: buckets per row
+  int levels = 8;              ///< L: wavelet decomposition depth
+  std::size_t k = 64;          ///< K: retained detail coefficients per bucket
+  int window_shift = kDefaultWindowShift;  ///< 8.192 us windows by default
+  /// Offsets beyond this roll the bucket into a new reporting period
+  /// ("longer flows are handled in multiple reporting periods").
+  std::uint32_t max_windows = 1u << 16;
+  StoreKind store = StoreKind::kTopK;
+  /// Thresholds for the hardware store (per level parity), produced by
+  /// calibrate_thresholds(). Ignored for kTopK.
+  Count hw_threshold_even = 1;
+  Count hw_threshold_odd = 1;
+  std::uint64_t seed = 0xC0FFEE;
+
+  /// Heavy-part rows for the full version (h in Table 1).
+  std::uint32_t heavy_rows = 256;
+  std::size_t heavy_k = 64;
+};
+
+}  // namespace umon::sketch

@@ -1,0 +1,127 @@
+#include "sketch/serialize.hpp"
+
+#include <cstring>
+
+namespace umon::sketch {
+namespace {
+
+constexpr std::uint16_t kMagic = 0xA10E;
+constexpr std::uint8_t kVersion = 1;
+/// Upper bounds that a well-formed report never exceeds; decoding rejects
+/// anything larger so a corrupt length cannot trigger a giant allocation.
+constexpr std::uint32_t kMaxCoeffs = 1u << 20;
+
+template <typename T>
+void put(std::vector<std::uint8_t>& out, T value) {
+  std::uint8_t buf[sizeof(T)];
+  std::memcpy(buf, &value, sizeof(T));
+  out.insert(out.end(), buf, buf + sizeof(T));
+}
+
+template <typename T>
+bool get(std::span<const std::uint8_t> in, std::size_t& offset, T& value) {
+  if (offset + sizeof(T) > in.size()) return false;
+  std::memcpy(&value, in.data() + offset, sizeof(T));
+  offset += sizeof(T);
+  return true;
+}
+
+}  // namespace
+
+std::size_t encode_report(const TaggedReport& report,
+                          std::vector<std::uint8_t>& out) {
+  const std::size_t start = out.size();
+  put(out, kMagic);
+  put(out, kVersion);
+  put(out, static_cast<std::uint8_t>(report.row));
+  put(out, static_cast<std::uint32_t>(report.col));
+  put(out, static_cast<std::int64_t>(report.report.w0));
+  put(out, report.report.length);
+  put(out, static_cast<std::uint8_t>(report.report.levels));
+  put(out, static_cast<std::uint32_t>(report.report.approx.size()));
+  put(out, static_cast<std::uint32_t>(report.report.details.size()));
+  for (Count a : report.report.approx) {
+    put(out, static_cast<std::int32_t>(a));
+  }
+  for (const auto& d : report.report.details) {
+    put(out, d.level);
+    // 24-bit index: the maximum window offset (2^16 default) fits easily.
+    put(out, static_cast<std::uint8_t>(d.index & 0xFF));
+    put(out, static_cast<std::uint16_t>(d.index >> 8));
+    put(out, static_cast<std::int32_t>(d.value));
+  }
+  return out.size() - start;
+}
+
+std::vector<std::uint8_t> encode_batch(
+    std::span<const TaggedReport> reports) {
+  std::vector<std::uint8_t> out;
+  put(out, static_cast<std::uint32_t>(reports.size()));
+  for (const auto& r : reports) encode_report(r, out);
+  return out;
+}
+
+std::optional<TaggedReport> decode_report(std::span<const std::uint8_t> in,
+                                          std::size_t& offset) {
+  std::uint16_t magic;
+  std::uint8_t version, row, levels;
+  std::uint32_t col, length, approx_count, detail_count;
+  std::int64_t w0;
+  if (!get(in, offset, magic) || magic != kMagic) return std::nullopt;
+  if (!get(in, offset, version) || version != kVersion) return std::nullopt;
+  if (!get(in, offset, row) || !get(in, offset, col) ||
+      !get(in, offset, w0) || !get(in, offset, length) ||
+      !get(in, offset, levels) || !get(in, offset, approx_count) ||
+      !get(in, offset, detail_count)) {
+    return std::nullopt;
+  }
+  if (approx_count > kMaxCoeffs || detail_count > kMaxCoeffs) {
+    return std::nullopt;
+  }
+  TaggedReport out;
+  out.row = row;
+  out.col = col;
+  out.report.w0 = w0;
+  out.report.length = length;
+  out.report.levels = levels;
+  out.report.approx.reserve(approx_count);
+  for (std::uint32_t i = 0; i < approx_count; ++i) {
+    std::int32_t a;
+    if (!get(in, offset, a)) return std::nullopt;
+    out.report.approx.push_back(a);
+  }
+  out.report.details.reserve(detail_count);
+  for (std::uint32_t i = 0; i < detail_count; ++i) {
+    std::uint8_t level, idx_lo;
+    std::uint16_t idx_hi;
+    std::int32_t value;
+    if (!get(in, offset, level) || !get(in, offset, idx_lo) ||
+        !get(in, offset, idx_hi) || !get(in, offset, value)) {
+      return std::nullopt;
+    }
+    out.report.details.push_back(wavelet::DetailCoeff{
+        level, static_cast<std::uint32_t>(idx_lo) |
+                   (static_cast<std::uint32_t>(idx_hi) << 8),
+        value});
+  }
+  return out;
+}
+
+std::optional<std::vector<TaggedReport>> decode_batch(
+    std::span<const std::uint8_t> in) {
+  std::size_t offset = 0;
+  std::uint32_t count;
+  if (!get(in, offset, count)) return std::nullopt;
+  if (count > kMaxCoeffs) return std::nullopt;
+  std::vector<TaggedReport> out;
+  out.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    auto r = decode_report(in, offset);
+    if (!r) return std::nullopt;
+    out.push_back(std::move(*r));
+  }
+  if (offset != in.size()) return std::nullopt;  // trailing garbage
+  return out;
+}
+
+}  // namespace umon::sketch

@@ -1,0 +1,40 @@
+// Binary wire format for WaveSketch reports — the bytes a host actually
+// uploads to the uMon analyzer each measurement period.
+//
+// Layout (little-endian):
+//   ReportHeader { magic, version, row, col, w0, length, levels,
+//                  approx_count, detail_count }
+//   approx_count x int32 approximation coefficients
+//   detail_count x { uint8 level, uint24 index, int32 value } (6 bytes was
+//   the analysis figure; we round the index to 3 bytes for alignment-free
+//   packing, total 8 bytes per detail on the wire here)
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "sketch/report.hpp"
+#include "sketch/wavesketch.hpp"
+
+namespace umon::sketch {
+
+/// Append the encoded report to `out`. Returns bytes written.
+std::size_t encode_report(const TaggedReport& report,
+                          std::vector<std::uint8_t>& out);
+
+/// Encode a whole flush batch with a count prefix.
+std::vector<std::uint8_t> encode_batch(std::span<const TaggedReport> reports);
+
+/// Decode one report starting at `in[offset]`; advances `offset`. Returns
+/// nullopt on malformed input (truncation, bad magic, absurd counts).
+std::optional<TaggedReport> decode_report(std::span<const std::uint8_t> in,
+                                          std::size_t& offset);
+
+/// Decode a batch produced by encode_batch. Returns nullopt if any report
+/// is malformed.
+std::optional<std::vector<TaggedReport>> decode_batch(
+    std::span<const std::uint8_t> in);
+
+}  // namespace umon::sketch

@@ -1,0 +1,63 @@
+#include "sketch/wavesketch.hpp"
+
+namespace umon::sketch {
+
+WaveSketchBasic::WaveSketchBasic(const WaveSketchParams& params)
+    : params_(params) {
+  hashes_.reserve(static_cast<std::size_t>(params_.depth));
+  for (int r = 0; r < params_.depth; ++r) {
+    hashes_.emplace_back(params_.seed + static_cast<std::uint64_t>(r) * 0x1234567);
+  }
+  grid_.assign(static_cast<std::size_t>(params_.depth) * params_.width,
+               WaveBucket(params_));
+}
+
+void WaveSketchBasic::update_window(const FlowKey& flow, WindowId w, Count v) {
+  for (int r = 0; r < params_.depth; ++r) {
+    const std::uint32_t c = column(r, flow);
+    if (auto rolled = bucket_mut(r, c).add(w, v)) {
+      rolled_.push_back(TaggedReport{r, c, std::move(*rolled)});
+    }
+  }
+}
+
+WaveSketchBasic::QueryResult WaveSketchBasic::query(const FlowKey& flow) const {
+  QueryResult best;
+  double best_total = -1;
+  for (int r = 0; r < params_.depth; ++r) {
+    const WaveBucket& b = bucket(r, column(r, flow));
+    if (!b.started()) {
+      // An untouched bucket proves the flow sent nothing this period.
+      return QueryResult{};
+    }
+    BucketReport rep = b.snapshot();
+    const double total = rep.total();
+    if (best_total < 0 || total < best_total) {
+      best_total = total;
+      best.w0 = rep.w0;
+      best.series = rep.reconstruct();
+    }
+  }
+  return best;
+}
+
+std::vector<TaggedReport> WaveSketchBasic::flush() {
+  std::vector<TaggedReport> out = std::move(rolled_);
+  rolled_.clear();
+  for (int r = 0; r < params_.depth; ++r) {
+    for (std::uint32_t c = 0; c < params_.width; ++c) {
+      WaveBucket& b = bucket_mut(r, c);
+      if (!b.started()) continue;
+      out.push_back(TaggedReport{r, c, b.flush()});
+    }
+  }
+  return out;
+}
+
+std::size_t WaveSketchBasic::memory_bytes() const {
+  std::size_t total = 0;
+  for (const auto& b : grid_) total += b.memory_bytes();
+  return total;
+}
+
+}  // namespace umon::sketch

@@ -1,0 +1,130 @@
+#include "sketch/wavesketch_full.hpp"
+
+#include <algorithm>
+
+namespace umon::sketch {
+
+WaveSketchFull::WaveSketchFull(const WaveSketchParams& params)
+    : params_(params),
+      heavy_hash_(params.seed ^ 0xBEEFCAFEULL),
+      heavy_(params.heavy_rows, HeavySlot(params)),
+      light_(params) {}
+
+void WaveSketchFull::update_window(const FlowKey& flow, WindowId w, Count v) {
+  // The light part counts everything so heavy eviction is free (Section 4.2).
+  light_.update_window(flow, w, v);
+
+  HeavySlot& slot = heavy_[heavy_index(flow)];
+  if (!slot.occupied) {
+    slot.occupied = true;
+    slot.key = flow;
+    slot.vote = 1;
+    slot.bucket.reset();
+    slot.bucket.add(w, v);
+    return;
+  }
+  if (slot.key == flow) {
+    slot.vote += 1;
+    slot.bucket.add(w, v);
+    return;
+  }
+  // Majority vote: a competing flow decays the incumbent; on reaching zero
+  // the challenger takes the slot and the incumbent's coefficients are
+  // simply dropped (its complete series lives in the light part).
+  slot.vote -= 1;
+  if (slot.vote < 0) {
+    slot.key = flow;
+    slot.vote = 1;
+    slot.bucket.reset();
+    slot.bucket.add(w, v);
+  }
+}
+
+bool WaveSketchFull::is_heavy(const FlowKey& flow) const {
+  const HeavySlot& slot = heavy_[heavy_index(flow)];
+  return slot.occupied && slot.key == flow;
+}
+
+std::vector<FlowKey> WaveSketchFull::heavy_flows() const {
+  std::vector<FlowKey> out;
+  for (const auto& s : heavy_) {
+    if (s.occupied) out.push_back(s.key);
+  }
+  return out;
+}
+
+WaveSketchBasic::QueryResult WaveSketchFull::query(const FlowKey& flow) const {
+  if (is_heavy(flow)) {
+    const HeavySlot& slot = heavy_[heavy_index(flow)];
+    BucketReport rep = slot.bucket.snapshot();
+    WaveSketchBasic::QueryResult r;
+    r.w0 = rep.w0;
+    r.series = rep.reconstruct();
+    return r;
+  }
+
+  // Mice flow: take each light bucket's series, subtract the reconstructed
+  // series of heavy flows that collide there, then keep the candidate with
+  // the smallest residual total.
+  WaveSketchBasic::QueryResult best;
+  double best_total = -1;
+  const std::vector<FlowKey> heavies = heavy_flows();
+  for (int r = 0; r < params_.depth; ++r) {
+    const std::uint32_t col = light_.column(r, flow);
+    const WaveBucket& b = light_.bucket(r, col);
+    if (!b.started()) return WaveSketchBasic::QueryResult{};
+    BucketReport rep = b.snapshot();
+    WaveSketchBasic::QueryResult cand;
+    cand.w0 = rep.w0;
+    cand.series = rep.reconstruct();
+
+    for (const FlowKey& hf : heavies) {
+      if (hf == flow || light_.column(r, hf) != col) continue;
+      const HeavySlot& hs = heavy_[heavy_index(hf)];
+      BucketReport hrep = hs.bucket.snapshot();
+      if (hrep.empty()) continue;
+      std::vector<double> hseries = hrep.reconstruct();
+      for (std::size_t i = 0; i < hseries.size(); ++i) {
+        const WindowId w = hrep.w0 + static_cast<WindowId>(i);
+        const WindowId off = w - cand.w0;
+        if (off < 0 || off >= static_cast<WindowId>(cand.series.size()))
+          continue;
+        cand.series[static_cast<std::size_t>(off)] =
+            std::max(0.0, cand.series[static_cast<std::size_t>(off)] -
+                              hseries[i]);
+      }
+    }
+
+    double total = 0;
+    for (double x : cand.series) total += x;
+    if (best_total < 0 || total < best_total) {
+      best_total = total;
+      best = std::move(cand);
+    }
+  }
+  return best;
+}
+
+std::size_t WaveSketchFull::memory_bytes() const {
+  std::size_t total = light_.memory_bytes();
+  for (const auto& s : heavy_) {
+    total += 13 + 8 + s.bucket.memory_bytes();  // key + vote + bucket
+  }
+  return total;
+}
+
+std::size_t WaveSketchFull::report_wire_bytes() const {
+  std::size_t total = 0;
+  for (const auto& s : heavy_) {
+    if (s.occupied) total += 13 + s.bucket.snapshot().wire_bytes();
+  }
+  for (int r = 0; r < params_.depth; ++r) {
+    for (std::uint32_t c = 0; c < params_.width; ++c) {
+      const WaveBucket& b = light_.bucket(r, c);
+      if (b.started()) total += b.snapshot().wire_bytes();
+    }
+  }
+  return total;
+}
+
+}  // namespace umon::sketch

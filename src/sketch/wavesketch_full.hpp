@@ -1,0 +1,71 @@
+// WaveSketch full version (Section 4.2): a heavy part (hash table with
+// majority vote, one WaveBucket per elected heavy flow) plus a light part
+// (the basic sketch) that counts *every* packet. Because heavy flows are
+// counted in both parts simultaneously, evicting a heavy candidate requires
+// no coefficient merge — the light part already holds its complete series.
+// Conversely, querying a mice flow subtracts the reconstructed heavy-flow
+// series that collide in its light buckets.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/hash.hpp"
+#include "common/types.hpp"
+#include "sketch/bucket.hpp"
+#include "sketch/wavesketch.hpp"
+
+namespace umon::sketch {
+
+class WaveSketchFull {
+ public:
+  explicit WaveSketchFull(const WaveSketchParams& params);
+
+  void update(const FlowKey& flow, Nanos ts, Count v) {
+    update_window(flow, window_of(ts, params_.window_shift), v);
+  }
+  void update_window(const FlowKey& flow, WindowId w, Count v);
+
+  /// True if the flow currently owns a heavy slot.
+  [[nodiscard]] bool is_heavy(const FlowKey& flow) const;
+
+  /// Rate-curve query: heavy flows answer from their dedicated bucket; mice
+  /// flows answer from the light part with heavy contributions subtracted.
+  [[nodiscard]] WaveSketchBasic::QueryResult query(const FlowKey& flow) const;
+
+  /// All currently elected heavy flows.
+  [[nodiscard]] std::vector<FlowKey> heavy_flows() const;
+
+  [[nodiscard]] std::size_t memory_bytes() const;
+  [[nodiscard]] const WaveSketchParams& params() const { return params_; }
+  [[nodiscard]] const WaveSketchBasic& light() const { return light_; }
+
+  /// Total bytes a full flush would upload (heavy + light reports).
+  std::size_t report_wire_bytes() const;
+
+ private:
+  struct HeavySlot {
+    bool occupied = false;
+    FlowKey key;
+    std::int64_t vote = 0;
+    WaveBucket bucket;
+    explicit HeavySlot(const WaveSketchParams& p) : bucket(heavy_params(p)) {}
+  };
+
+  static WaveSketchParams heavy_params(WaveSketchParams p) {
+    p.k = p.heavy_k;
+    return p;
+  }
+
+  [[nodiscard]] std::uint32_t heavy_index(const FlowKey& flow) const {
+    return heavy_hash_.bucket(flow.packed(), params_.heavy_rows);
+  }
+
+  WaveSketchParams params_;
+  SeededHash heavy_hash_;
+  std::vector<HeavySlot> heavy_;
+  WaveSketchBasic light_;
+};
+
+}  // namespace umon::sketch

@@ -1,0 +1,118 @@
+#include "trace/trace.hpp"
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+
+namespace umon::trace {
+namespace {
+
+constexpr char kMagic[4] = {'U', 'M', 'T', 'R'};
+constexpr std::size_t kRecordBytes = 13 +  // flow key
+                                     8 +   // timestamp
+                                     4 +   // size
+                                     4 +   // psn
+                                     1 +   // ecn
+                                     2;    // port
+constexpr std::size_t kHeaderBytes = 4 + 4 + 8 + 4;
+constexpr std::uint64_t kMaxRecords = 1ull << 32;
+
+void put_key(std::uint8_t* p, const FlowKey& k) {
+  std::memcpy(p, &k.src_ip, 4);
+  std::memcpy(p + 4, &k.dst_ip, 4);
+  std::memcpy(p + 8, &k.src_port, 2);
+  std::memcpy(p + 10, &k.dst_port, 2);
+  p[12] = k.proto;
+}
+
+FlowKey get_key(const std::uint8_t* p) {
+  FlowKey k;
+  std::memcpy(&k.src_ip, p, 4);
+  std::memcpy(&k.dst_ip, p + 4, 4);
+  std::memcpy(&k.src_port, p + 8, 2);
+  std::memcpy(&k.dst_port, p + 10, 2);
+  k.proto = p[12];
+  return k;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode(std::span<const PacketRecord> records,
+                                 const TraceMeta& meta) {
+  std::vector<std::uint8_t> out(kHeaderBytes + records.size() * kRecordBytes);
+  std::uint8_t* p = out.data();
+  std::memcpy(p, kMagic, 4);
+  std::memcpy(p + 4, &meta.version, 4);
+  const std::uint64_t count = records.size();
+  std::memcpy(p + 8, &count, 8);
+  const std::int32_t shift = meta.window_shift;
+  std::memcpy(p + 16, &shift, 4);
+  p += kHeaderBytes;
+  for (const auto& r : records) {
+    put_key(p, r.flow);
+    std::memcpy(p + 13, &r.timestamp, 8);
+    std::memcpy(p + 21, &r.size, 4);
+    std::memcpy(p + 25, &r.psn, 4);
+    p[29] = static_cast<std::uint8_t>(r.ecn);
+    std::memcpy(p + 30, &r.port, 2);
+    p += kRecordBytes;
+  }
+  return out;
+}
+
+std::optional<DecodedTrace> decode(std::span<const std::uint8_t> bytes) {
+  if (bytes.size() < kHeaderBytes) return std::nullopt;
+  if (std::memcmp(bytes.data(), kMagic, 4) != 0) return std::nullopt;
+  DecodedTrace out;
+  std::memcpy(&out.meta.version, bytes.data() + 4, 4);
+  if (out.meta.version != 1) return std::nullopt;
+  std::uint64_t count = 0;
+  std::memcpy(&count, bytes.data() + 8, 8);
+  std::int32_t shift = 0;
+  std::memcpy(&shift, bytes.data() + 16, 4);
+  out.meta.window_shift = shift;
+  if (count > kMaxRecords) return std::nullopt;
+  if (bytes.size() != kHeaderBytes + count * kRecordBytes) return std::nullopt;
+  out.records.reserve(count);
+  const std::uint8_t* p = bytes.data() + kHeaderBytes;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    PacketRecord r;
+    r.flow = get_key(p);
+    std::memcpy(&r.timestamp, p + 13, 8);
+    std::memcpy(&r.size, p + 21, 4);
+    std::memcpy(&r.psn, p + 25, 4);
+    const std::uint8_t ecn = p[29];
+    if (ecn > 3) return std::nullopt;
+    r.ecn = static_cast<Ecn>(ecn);
+    std::memcpy(&r.port, p + 30, 2);
+    out.records.push_back(r);
+    p += kRecordBytes;
+  }
+  return out;
+}
+
+bool write_file(const std::string& path,
+                std::span<const PacketRecord> records, const TraceMeta& meta) {
+  const auto bytes = encode(records, meta);
+  std::unique_ptr<std::FILE, int (*)(std::FILE*)> f(
+      std::fopen(path.c_str(), "wb"), &std::fclose);
+  if (!f) return false;
+  return std::fwrite(bytes.data(), 1, bytes.size(), f.get()) == bytes.size();
+}
+
+std::optional<DecodedTrace> read_file(const std::string& path) {
+  std::unique_ptr<std::FILE, int (*)(std::FILE*)> f(
+      std::fopen(path.c_str(), "rb"), &std::fclose);
+  if (!f) return std::nullopt;
+  std::fseek(f.get(), 0, SEEK_END);
+  const long size = std::ftell(f.get());
+  if (size < 0) return std::nullopt;
+  std::fseek(f.get(), 0, SEEK_SET);
+  std::vector<std::uint8_t> bytes(static_cast<std::size_t>(size));
+  if (std::fread(bytes.data(), 1, bytes.size(), f.get()) != bytes.size()) {
+    return std::nullopt;
+  }
+  return decode(bytes);
+}
+
+}  // namespace umon::trace

@@ -1,0 +1,59 @@
+// Packet-trace persistence: a compact binary format for PacketRecord
+// streams, so expensive simulations can be captured once and replayed into
+// sketches/benches, and so real traces (e.g., converted pcaps) can drive
+// the same pipeline.
+//
+// File layout (little-endian):
+//   TraceHeader { magic "UMTR", version, record_count, window_shift }
+//   record_count x packed records (33 bytes each)
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace umon::trace {
+
+struct TraceMeta {
+  std::uint32_t version = 1;
+  int window_shift = kDefaultWindowShift;
+};
+
+/// Serialize records (with metadata) into a byte buffer.
+std::vector<std::uint8_t> encode(std::span<const PacketRecord> records,
+                                 const TraceMeta& meta = {});
+
+/// Parse a buffer produced by encode(); nullopt on malformed input.
+struct DecodedTrace {
+  TraceMeta meta;
+  std::vector<PacketRecord> records;
+};
+std::optional<DecodedTrace> decode(std::span<const std::uint8_t> bytes);
+
+/// Convenience file I/O. write_file returns false on I/O failure;
+/// read_file returns nullopt on I/O failure or malformed content.
+bool write_file(const std::string& path,
+                std::span<const PacketRecord> records,
+                const TraceMeta& meta = {});
+std::optional<DecodedTrace> read_file(const std::string& path);
+
+/// A recorder to wire directly into netsim::Network::set_host_tx_hook.
+class TraceRecorder {
+ public:
+  void record(const PacketRecord& r) { records_.push_back(r); }
+  [[nodiscard]] const std::vector<PacketRecord>& records() const {
+    return records_;
+  }
+  bool save(const std::string& path, const TraceMeta& meta = {}) const {
+    return write_file(path, records_, meta);
+  }
+
+ private:
+  std::vector<PacketRecord> records_;
+};
+
+}  // namespace umon::trace

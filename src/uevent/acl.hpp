@@ -1,0 +1,92 @@
+// ACL-based match / sample / mirror pipeline (Section 5): the commodity-
+// switch mechanism that captures transient congestion events. A rule matches
+// the ECN field (CE) and the low bits of the packet sequence number, so the
+// mirroring probability is 1/2^w without per-flow state (Figure 8).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "common/types.hpp"
+#include "netsim/network.hpp"
+
+namespace umon::uevent {
+
+/// One ternary ACL rule over the fields the paper matches. A zero
+/// `psn_mask` matches every PSN (no sampling).
+struct AclRule {
+  Ecn ecn_match = Ecn::kCe;
+  std::uint32_t psn_mask = 0;     ///< low-bit mask, e.g. 0b111 for 1/8
+  std::uint32_t psn_value = 0;    ///< required masked value (usually 0)
+
+  [[nodiscard]] bool matches(const PacketRecord& pkt) const {
+    if (pkt.ecn != ecn_match) return false;
+    return (pkt.psn & psn_mask) == psn_value;
+  }
+
+  /// Build the standard uMon rule for a sampling ratio of 1/2^w.
+  static AclRule ce_sampled(int w_bits) {
+    AclRule r;
+    r.psn_mask = w_bits <= 0 ? 0u : ((1u << w_bits) - 1u);
+    r.psn_value = 0;
+    return r;
+  }
+};
+
+/// A mirrored event packet as received by the analyzer: the original header
+/// fields plus the switch timestamp and the VLAN tag encoding the egress
+/// port (Section 5 "Match and mirror the event packets").
+struct MirroredPacket {
+  PacketRecord pkt;
+  int switch_id = -1;
+  int egress_port = -1;
+  std::uint16_t vlan = 0;
+  Nanos switch_timestamp = 0;
+
+  /// Bytes on the mirror wire: truncated original header (64 B) plus the
+  /// remote-mirroring encapsulation (VLAN + ERSPAN-style overhead).
+  static constexpr std::uint32_t kWireBytes = 64 + 18;
+};
+
+/// The per-switch mirroring agent: applies the ACL to every egress packet
+/// and forwards matches to the collector callback.
+class AclMirror {
+ public:
+  using Collector = std::function<void(const MirroredPacket&)>;
+
+  AclMirror(AclRule rule, Collector collector)
+      : rule_(rule), collector_(std::move(collector)) {}
+
+  /// Hook for netsim::Network::set_switch_enqueue_hook.
+  void on_switch_enqueue(netsim::PortId port, const PacketRecord& pkt,
+                         Nanos now) {
+    ++seen_;
+    if (!rule_.matches(pkt)) return;
+    ++mirrored_;
+    mirrored_bytes_ += MirroredPacket::kWireBytes;
+    if (collector_) {
+      MirroredPacket m;
+      m.pkt = pkt;
+      m.switch_id = port.node;
+      m.egress_port = port.port;
+      m.vlan = static_cast<std::uint16_t>(port.port + 100);
+      m.switch_timestamp = now;
+      collector_(m);
+    }
+  }
+
+  [[nodiscard]] std::uint64_t packets_seen() const { return seen_; }
+  [[nodiscard]] std::uint64_t packets_mirrored() const { return mirrored_; }
+  [[nodiscard]] std::uint64_t mirrored_bytes() const { return mirrored_bytes_; }
+
+ private:
+  AclRule rule_;
+  Collector collector_;
+  std::uint64_t seen_ = 0;
+  std::uint64_t mirrored_ = 0;
+  std::uint64_t mirrored_bytes_ = 0;
+};
+
+}  // namespace umon::uevent

@@ -1,0 +1,89 @@
+#include "uevent/detector.hpp"
+
+#include <algorithm>
+
+namespace umon::uevent {
+
+std::vector<EpisodeScore> EventScorer::score(const netsim::Network& net,
+                                             Nanos slack) const {
+  // Index the mirror stream per (switch, port), sorted by switch timestamp,
+  // so each episode scan is a binary search plus a bounded walk.
+  struct Key {
+    int sw;
+    int port;
+    bool operator<(const Key& o) const {
+      return sw != o.sw ? sw < o.sw : port < o.port;
+    }
+  };
+  std::map<Key, std::vector<const MirroredPacket*>> by_port;
+  for (const auto& m : mirrored_) {
+    by_port[Key{m.switch_id, m.egress_port}].push_back(&m);
+  }
+  for (auto& [k, v] : by_port) {
+    std::sort(v.begin(), v.end(),
+              [](const MirroredPacket* a, const MirroredPacket* b) {
+                return a->switch_timestamp < b->switch_timestamp;
+              });
+  }
+
+  std::vector<EpisodeScore> out;
+  for (const netsim::PortId& port : net.switch_ports()) {
+    const auto* episodes = net.port_episodes(port);
+    if (episodes == nullptr) continue;
+    const auto it = by_port.find(Key{port.node, port.port});
+    const std::vector<const MirroredPacket*>* stream =
+        it == by_port.end() ? nullptr : &it->second;
+    for (const auto& ep : *episodes) {
+      EpisodeScore s;
+      s.port = port;
+      s.max_queue_bytes = ep.max_bytes;
+      s.duration = ep.duration();
+      s.true_flows = ep.flows.size();
+      if (stream != nullptr) {
+        const Nanos lo = ep.start - slack;
+        const Nanos hi = ep.end + slack;
+        auto first = std::lower_bound(
+            stream->begin(), stream->end(), lo,
+            [](const MirroredPacket* m, Nanos t) {
+              return m->switch_timestamp < t;
+            });
+        std::unordered_set<std::uint64_t> flows;
+        for (auto p = first; p != stream->end(); ++p) {
+          if ((*p)->switch_timestamp > hi) break;
+          s.detected = true;
+          flows.insert((*p)->pkt.flow.packed());
+        }
+        s.captured_flows = flows.size();
+      }
+      out.push_back(s);
+    }
+  }
+  return out;
+}
+
+std::vector<RecallBucket> EventScorer::bucketize(
+    const std::vector<EpisodeScore>& scores, std::uint64_t bucket_bytes) {
+  std::map<std::uint64_t, RecallBucket> buckets;
+  for (const auto& s : scores) {
+    const std::uint64_t idx = s.max_queue_bytes / bucket_bytes;
+    RecallBucket& b = buckets[idx];
+    b.queue_lo = idx * bucket_bytes;
+    b.queue_hi = (idx + 1) * bucket_bytes;
+    b.episodes += 1;
+    b.detected += s.detected ? 1 : 0;
+    b.avg_captured_flows += static_cast<double>(s.captured_flows);
+    b.avg_true_flows += static_cast<double>(s.true_flows);
+  }
+  std::vector<RecallBucket> out;
+  out.reserve(buckets.size());
+  for (auto& [idx, b] : buckets) {
+    if (b.episodes > 0) {
+      b.avg_captured_flows /= static_cast<double>(b.episodes);
+      b.avg_true_flows /= static_cast<double>(b.episodes);
+    }
+    out.push_back(b);
+  }
+  return out;
+}
+
+}  // namespace umon::uevent

@@ -1,0 +1,67 @@
+// Analyzer-side event scoring: match mirrored packets against the ground
+// truth congestion episodes the simulator recorded, producing the recall /
+// captured-flow / bandwidth statistics of Figures 14 and 15.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/types.hpp"
+#include "netsim/network.hpp"
+#include "uevent/acl.hpp"
+
+namespace umon::uevent {
+
+/// Scoring result for one ground-truth episode.
+struct EpisodeScore {
+  netsim::PortId port;
+  std::uint64_t max_queue_bytes = 0;
+  Nanos duration = 0;
+  std::size_t true_flows = 0;     ///< flows that traversed the queue
+  bool detected = false;          ///< >= 1 mirrored packet in the window
+  std::size_t captured_flows = 0; ///< distinct flows among mirrored packets
+};
+
+/// Buckets episodes by their maximum queue length and aggregates recall and
+/// captured-flow statistics, as plotted in Figure 14.
+struct RecallBucket {
+  std::uint64_t queue_lo = 0;  ///< bucket lower edge (bytes)
+  std::uint64_t queue_hi = 0;
+  std::size_t episodes = 0;
+  std::size_t detected = 0;
+  double avg_captured_flows = 0;
+  double avg_true_flows = 0;
+  [[nodiscard]] double recall() const {
+    return episodes == 0 ? 0.0
+                         : static_cast<double>(detected) /
+                               static_cast<double>(episodes);
+  }
+};
+
+class EventScorer {
+ public:
+  /// Collector callback to wire into an AclMirror.
+  void collect(const MirroredPacket& m) { mirrored_.push_back(m); }
+
+  /// Score all episodes of `net` against the collected mirror stream.
+  /// `slack` widens the match window to tolerate mirror-path latency.
+  std::vector<EpisodeScore> score(const netsim::Network& net,
+                                  Nanos slack = 10 * kMicro) const;
+
+  /// Aggregate scores into queue-length buckets of `bucket_bytes`.
+  static std::vector<RecallBucket> bucketize(
+      const std::vector<EpisodeScore>& scores, std::uint64_t bucket_bytes);
+
+  [[nodiscard]] const std::vector<MirroredPacket>& mirrored() const {
+    return mirrored_;
+  }
+  [[nodiscard]] std::size_t mirrored_count() const { return mirrored_.size(); }
+
+ private:
+  std::vector<MirroredPacket> mirrored_;
+};
+
+}  // namespace umon::uevent

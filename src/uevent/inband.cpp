@@ -1,0 +1,49 @@
+#include "uevent/inband.hpp"
+
+#include <algorithm>
+
+namespace umon::uevent {
+
+void QueueWatcher::observe(netsim::PortId port, std::uint64_t queue_bytes,
+                           const PacketRecord& pkt) {
+  OpenEvent& open = open_[Key{port.node, port.port}];
+  if (!open.active) {
+    if (queue_bytes < threshold_) return;
+    open.active = true;
+    open.ev = InbandEvent{};
+    open.ev.port = port;
+    open.ev.start = pkt.timestamp;
+    open.flow_index.clear();
+  }
+  if (queue_bytes <= hysteresis_) {
+    close(open, pkt.timestamp);
+    return;
+  }
+  open.ev.end = pkt.timestamp;
+  open.ev.max_queue_bytes = std::max(open.ev.max_queue_bytes, queue_bytes);
+  auto [it, inserted] =
+      open.flow_index.try_emplace(pkt.flow.packed(),
+                                  open.ev.contributions.size());
+  if (inserted) {
+    open.ev.contributions.emplace_back(pkt.flow, pkt.size);
+  } else {
+    open.ev.contributions[it->second].second += pkt.size;
+  }
+}
+
+void QueueWatcher::close(OpenEvent& open, Nanos now) {
+  open.active = false;
+  open.ev.end = std::max(open.ev.end, now);
+  std::sort(open.ev.contributions.begin(), open.ev.contributions.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+  report_bytes_ += open.ev.wire_bytes();
+  events_.push_back(std::move(open.ev));
+}
+
+void QueueWatcher::finish(Nanos now) {
+  for (auto& [key, open] : open_) {
+    if (open.active) close(open, now);
+  }
+}
+
+}  // namespace umon::uevent

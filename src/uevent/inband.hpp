@@ -1,0 +1,132 @@
+// Programmable-switch event detection (Section 5, last paragraph): when
+// programmable switches are available, uMon can adopt ConQuest/BurstRadar-
+// style designs that observe the queue directly in the data plane, achieve
+// exact event capture, de-duplicate event packets, and batch-report
+// [Flow Event Telemetry, SIGCOMM'20].
+//
+// QueueWatcher implements that vantage over the simulator's queue-observer
+// hook: it opens an event when the queue depth crosses a threshold, tracks
+// each flow's byte contribution while the event lasts (ConQuest's
+// per-flow-in-queue query), and emits one compact batched record per event
+// instead of mirroring packets.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hpp"
+#include "netsim/network.hpp"
+
+namespace umon::uevent {
+
+/// One batched event report, as a programmable switch would emit it.
+struct InbandEvent {
+  netsim::PortId port;
+  Nanos start = 0;
+  Nanos end = 0;
+  std::uint64_t max_queue_bytes = 0;
+  /// Distinct flows seen while the queue was congested, with their byte
+  /// contribution (sorted descending by the reporter).
+  std::vector<std::pair<FlowKey, std::uint64_t>> contributions;
+
+  /// Report size on the wire: fixed header + one compact entry per flow.
+  [[nodiscard]] std::size_t wire_bytes() const {
+    return 32 + contributions.size() * 17;  // 13 B key + 4 B bytes
+  }
+};
+
+class QueueWatcher {
+ public:
+  /// `threshold` opens an event; it closes when depth falls below
+  /// `hysteresis` (defaults to half the threshold).
+  explicit QueueWatcher(std::uint64_t threshold_bytes,
+                        std::uint64_t hysteresis_bytes = 0)
+      : threshold_(threshold_bytes),
+        hysteresis_(hysteresis_bytes == 0 ? threshold_bytes / 2
+                                          : hysteresis_bytes) {}
+
+  /// Wire into netsim::Network::set_queue_observer_hook.
+  void observe(netsim::PortId port, std::uint64_t queue_bytes,
+               const PacketRecord& pkt);
+
+  /// Close any open events (end of run).
+  void finish(Nanos now);
+
+  [[nodiscard]] const std::vector<InbandEvent>& events() const {
+    return events_;
+  }
+  /// Total report bandwidth consumed (batched records, not mirrors).
+  [[nodiscard]] std::size_t report_bytes() const { return report_bytes_; }
+
+ private:
+  struct Key {
+    int node, port;
+    bool operator==(const Key&) const = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const {
+      return std::hash<std::uint64_t>{}(
+          (static_cast<std::uint64_t>(static_cast<std::uint32_t>(k.node))
+           << 32) |
+          static_cast<std::uint32_t>(k.port));
+    }
+  };
+  struct OpenEvent {
+    bool active = false;
+    InbandEvent ev;
+    std::unordered_map<std::uint64_t, std::size_t> flow_index;
+  };
+
+  void close(OpenEvent& open, Nanos now);
+
+  std::uint64_t threshold_;
+  std::uint64_t hysteresis_;
+  std::unordered_map<Key, OpenEvent, KeyHash> open_;
+  std::vector<InbandEvent> events_;
+  std::size_t report_bytes_ = 0;
+};
+
+/// Event-packet de-duplication for the mirror path: suppress repeats of the
+/// same flow on the same port within a suppression window, so an elephant
+/// flow contributes one mirrored packet per window instead of thousands
+/// (the "effective de-duplication" of Section 5).
+class DedupFilter {
+ public:
+  explicit DedupFilter(Nanos suppression_window)
+      : window_(suppression_window) {}
+
+  /// True if this packet should be mirrored (first of its flow+port within
+  /// the suppression window).
+  bool admit(netsim::PortId port, const FlowKey& flow, Nanos now) {
+    const std::uint64_t key =
+        flow.packed() ^ mix(static_cast<std::uint64_t>(
+                                static_cast<std::uint32_t>(port.node)) << 16 |
+                            static_cast<std::uint32_t>(port.port));
+    auto [it, inserted] = last_.try_emplace(key, now);
+    ++seen_;
+    if (!inserted && now - it->second < window_) {
+      ++suppressed_;
+      return false;
+    }
+    it->second = now;
+    return true;
+  }
+
+  [[nodiscard]] std::uint64_t seen() const { return seen_; }
+  [[nodiscard]] std::uint64_t suppressed() const { return suppressed_; }
+
+ private:
+  static std::uint64_t mix(std::uint64_t x) {
+    x ^= x >> 33;
+    x *= 0xFF51AFD7ED558CCDULL;
+    return x ^ (x >> 29);
+  }
+  Nanos window_;
+  std::unordered_map<std::uint64_t, Nanos> last_;
+  std::uint64_t seen_ = 0;
+  std::uint64_t suppressed_ = 0;
+};
+
+}  // namespace umon::uevent

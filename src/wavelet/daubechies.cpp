@@ -1,0 +1,138 @@
+#include "wavelet/daubechies.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "common/types.hpp"
+#include "wavelet/haar.hpp"
+#include "wavelet/online.hpp"
+#include "wavelet/reconstruct.hpp"
+#include "wavelet/store.hpp"
+
+namespace umon::wavelet {
+namespace {
+
+// D4 scaling filter (sum = sqrt(2), orthonormal).
+const double kSqrt3 = std::sqrt(3.0);
+const double kDen = 4.0 * std::sqrt(2.0);
+const double kH[4] = {(1 + kSqrt3) / kDen, (3 + kSqrt3) / kDen,
+                      (3 - kSqrt3) / kDen, (1 - kSqrt3) / kDen};
+// Wavelet filter g[k] = (-1)^k h[3-k].
+const double kG[4] = {kH[3], -kH[2], kH[1], -kH[0]};
+
+}  // namespace
+
+void d4_step(std::span<const double> in, std::span<double> approx,
+             std::span<double> detail) {
+  const std::size_t n = in.size();
+  assert(n >= 4 && (n & (n - 1)) == 0);
+  assert(approx.size() == n / 2 && detail.size() == n / 2);
+  for (std::size_t i = 0; i < n / 2; ++i) {
+    double a = 0, d = 0;
+    for (std::size_t k = 0; k < 4; ++k) {
+      const double x = in[(2 * i + k) % n];  // periodic boundary
+      a += kH[k] * x;
+      d += kG[k] * x;
+    }
+    approx[i] = a;
+    detail[i] = d;
+  }
+}
+
+void d4_inverse_step(std::span<const double> approx,
+                     std::span<const double> detail, std::span<double> out) {
+  const std::size_t half = approx.size();
+  const std::size_t n = half * 2;
+  assert(detail.size() == half && out.size() == n);
+  std::fill(out.begin(), out.end(), 0.0);
+  // Transpose of the analysis operator (orthonormal => inverse).
+  for (std::size_t i = 0; i < half; ++i) {
+    for (std::size_t k = 0; k < 4; ++k) {
+      const std::size_t j = (2 * i + k) % n;
+      out[j] += kH[k] * approx[i] + kG[k] * detail[i];
+    }
+  }
+}
+
+std::vector<double> d4_forward(std::span<const double> signal, int levels) {
+  std::size_t n = next_pow2(static_cast<std::uint32_t>(signal.size()));
+  n = std::max<std::size_t>(n, 4);
+  std::vector<double> buf(signal.begin(), signal.end());
+  buf.resize(n, 0.0);
+  std::vector<double> out(n);
+  std::size_t cur = n;
+  int done = 0;
+  while (done < levels && cur >= 8) {  // keep >= 4 approximations
+    std::vector<double> a(cur / 2), d(cur / 2);
+    d4_step(std::span(buf.data(), cur), a, d);
+    std::copy(d.begin(), d.end(), out.begin() + static_cast<long>(cur / 2));
+    std::copy(a.begin(), a.end(), buf.begin());
+    cur /= 2;
+    ++done;
+  }
+  std::copy(buf.begin(), buf.begin() + static_cast<long>(cur), out.begin());
+  return out;
+}
+
+std::vector<double> d4_inverse(std::span<const double> coeffs,
+                               std::size_t length, int levels) {
+  std::size_t n = coeffs.size();
+  std::vector<double> buf(coeffs.begin(), coeffs.end());
+  // Find the deepest level actually used (mirror of d4_forward).
+  std::size_t cur = n;
+  int done = 0;
+  while (done < levels && cur >= 8) {
+    cur /= 2;
+    ++done;
+  }
+  while (cur < n) {
+    std::vector<double> merged(cur * 2);
+    d4_inverse_step(std::span(buf.data(), cur),
+                    std::span(buf.data() + cur, cur), merged);
+    std::copy(merged.begin(), merged.end(), buf.begin());
+    cur *= 2;
+  }
+  buf.resize(length);
+  return buf;
+}
+
+std::vector<double> d4_compress(std::span<const double> signal, int levels,
+                                std::size_t keep) {
+  std::vector<double> coeffs = d4_forward(signal, levels);
+  if (keep < coeffs.size()) {
+    std::vector<double> mags;
+    mags.reserve(coeffs.size());
+    for (double c : coeffs) mags.push_back(std::abs(c));
+    std::nth_element(mags.begin(), mags.end() - static_cast<long>(keep),
+                     mags.end());
+    const double threshold = mags[mags.size() - keep];
+    std::size_t kept = 0;
+    for (double& c : coeffs) {
+      if (std::abs(c) >= threshold && kept < keep) {
+        ++kept;
+      } else {
+        c = 0.0;
+      }
+    }
+  }
+  return d4_inverse(coeffs, signal.size(), levels);
+}
+
+std::vector<double> haar_compress(std::span<const double> signal, int levels,
+                                  std::size_t keep) {
+  // Run the paper's streaming pipeline: online transform + weighted top-K
+  // (the approximations are always kept, matching WaveSketch; `keep` counts
+  // detail coefficients).
+  OnlineHaar haar(levels);
+  TopKStore store(keep);
+  auto sink = [&store](const DetailCoeff& d) { store.offer(d); };
+  for (std::uint32_t i = 0; i < signal.size(); ++i) {
+    haar.transform(i, static_cast<Count>(std::llround(signal[i])), sink);
+  }
+  Decomposition geo = haar.finalize(sink);
+  return reconstruct(geo.approx, store.sorted(),
+                     static_cast<std::uint32_t>(signal.size()), levels);
+}
+
+}  // namespace umon::wavelet

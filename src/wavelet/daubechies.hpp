@@ -1,0 +1,42 @@
+// Daubechies-4 (db2) orthonormal wavelet transform, used by the
+// mother-wavelet ablation: the paper picks the Haar variant because its
+// integer add/subtract form fits switch pipelines; D4 is the natural
+// alternative with smoother basis functions but real-valued multiplies.
+// Periodic boundary handling; power-of-two lengths.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace umon::wavelet {
+
+/// One analysis step: n/2 approximations then n/2 details (n = in.size(),
+/// power of two, >= 4).
+void d4_step(std::span<const double> in, std::span<double> approx,
+             std::span<double> detail);
+
+/// One synthesis step (exact inverse of d4_step).
+void d4_inverse_step(std::span<const double> approx,
+                     std::span<const double> detail, std::span<double> out);
+
+/// Full decomposition over `levels` (capped by the signal length). The
+/// returned layout is [approx..., detail_Llast..., ..., detail_L0...]
+/// like the classic pyramid ordering.
+std::vector<double> d4_forward(std::span<const double> signal, int levels);
+
+/// Inverse of d4_forward for the same length/levels.
+std::vector<double> d4_inverse(std::span<const double> coeffs,
+                               std::size_t length, int levels);
+
+/// Compress a signal by keeping only the `keep` largest-magnitude D4
+/// coefficients (orthonormal, so plain magnitude ranking is L2-optimal),
+/// then reconstruct.
+std::vector<double> d4_compress(std::span<const double> signal, int levels,
+                                std::size_t keep);
+
+/// Same operation with the paper's un-normalized Haar pipeline, for
+/// side-by-side ablation.
+std::vector<double> haar_compress(std::span<const double> signal, int levels,
+                                  std::size_t keep);
+
+}  // namespace umon::wavelet

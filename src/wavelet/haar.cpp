@@ -1,0 +1,72 @@
+#include "wavelet/haar.hpp"
+
+#include <bit>
+#include <cassert>
+#include <cmath>
+
+namespace umon::wavelet {
+
+std::uint32_t next_pow2(std::uint32_t n) {
+  return n <= 1 ? 1 : std::bit_ceil(n);
+}
+
+int effective_levels(std::uint32_t padded_length, int levels) {
+  const int depth = std::countr_zero(padded_length);  // log2 of a power of 2
+  return levels < depth ? levels : depth;
+}
+
+Decomposition haar_forward(std::span<const Count> signal, int levels) {
+  Decomposition out;
+  out.padded_length = next_pow2(static_cast<std::uint32_t>(signal.size()));
+  out.levels = effective_levels(out.padded_length, levels);
+
+  std::vector<Count> current(signal.begin(), signal.end());
+  current.resize(out.padded_length, 0);
+
+  out.details.resize(static_cast<std::size_t>(out.levels));
+  for (int l = 0; l < out.levels; ++l) {
+    const std::size_t half = current.size() / 2;
+    std::vector<Count> next(half);
+    auto& det = out.details[static_cast<std::size_t>(l)];
+    det.resize(half);
+    for (std::size_t j = 0; j < half; ++j) {
+      next[j] = current[2 * j] + current[2 * j + 1];
+      det[j] = current[2 * j] - current[2 * j + 1];
+    }
+    current = std::move(next);
+  }
+  out.approx = std::move(current);
+  return out;
+}
+
+std::vector<Count> haar_inverse(const Decomposition& d) {
+  std::vector<Count> current = d.approx;
+  for (int l = d.levels - 1; l >= 0; --l) {
+    const auto& det = d.details[static_cast<std::size_t>(l)];
+    assert(det.size() == current.size());
+    std::vector<Count> next(current.size() * 2);
+    for (std::size_t j = 0; j < current.size(); ++j) {
+      // Integer-exact because a and d always share parity in a lossless
+      // decomposition (a = x0 + x1, d = x0 - x1).
+      next[2 * j] = (current[j] + det[j]) / 2;
+      next[2 * j + 1] = (current[j] - det[j]) / 2;
+    }
+    current = std::move(next);
+  }
+  return current;
+}
+
+void haar_step_orthonormal(std::span<const double> in,
+                           std::span<double> approx_out,
+                           std::span<double> detail_out) {
+  assert(in.size() % 2 == 0);
+  assert(approx_out.size() == in.size() / 2);
+  assert(detail_out.size() == in.size() / 2);
+  const double inv_sqrt2 = 1.0 / std::sqrt(2.0);
+  for (std::size_t j = 0; j < approx_out.size(); ++j) {
+    approx_out[j] = (in[2 * j] + in[2 * j + 1]) * inv_sqrt2;
+    detail_out[j] = (in[2 * j] - in[2 * j + 1]) * inv_sqrt2;
+  }
+}
+
+}  // namespace umon::wavelet

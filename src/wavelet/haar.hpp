@@ -1,0 +1,48 @@
+// Offline reference implementations of the Haar transform.
+//
+// Two variants:
+//  * the textbook orthonormal Haar DWT (used in tests to validate energy
+//    arguments), and
+//  * the paper's un-normalized integer variant (sum / difference without the
+//    1/sqrt(2) factor), which is what WaveSketch computes online.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+#include "wavelet/coeff.hpp"
+
+namespace umon::wavelet {
+
+/// Result of a full un-normalized decomposition over `levels` levels.
+struct Decomposition {
+  /// Last-level approximation coefficients: block sums over 2^levels windows.
+  std::vector<Count> approx;
+  /// details[l][j] = d_l[j], for l in [0, levels).
+  std::vector<std::vector<Count>> details;
+  int levels = 0;
+  std::uint32_t padded_length = 0;  ///< input length padded to a power of two
+};
+
+/// Round up to the next power of two (minimum 1).
+std::uint32_t next_pow2(std::uint32_t n);
+
+/// Effective number of decomposition levels for a padded length: the paper's
+/// L capped by log2(padded length).
+int effective_levels(std::uint32_t padded_length, int levels);
+
+/// Un-normalized forward Haar transform (pads with zeros to a power of two).
+Decomposition haar_forward(std::span<const Count> signal, int levels);
+
+/// Exact inverse of haar_forward; returns `padded_length` samples.
+std::vector<Count> haar_inverse(const Decomposition& d);
+
+/// Orthonormal Haar DWT over one level: out[i] = (x[2i]+x[2i+1])/sqrt(2),
+/// detail[i] = (x[2i]-x[2i+1])/sqrt(2). Used by tests for Parseval checks.
+void haar_step_orthonormal(std::span<const double> in,
+                           std::span<double> approx_out,
+                           std::span<double> detail_out);
+
+}  // namespace umon::wavelet

@@ -1,0 +1,109 @@
+// Online (streaming) un-normalized Haar transform — Algorithm 1 of the paper.
+//
+// Window counters arrive in increasing offset order; each finished counter is
+// folded into the last-level approximation array and into one pending detail
+// coefficient per level. When a level's detail position advances, the
+// finished coefficient is emitted to the coefficient store (the compression
+// stage). Memory is O(n/2^L + L) plus whatever the store keeps.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/types.hpp"
+#include "wavelet/coeff.hpp"
+#include "wavelet/haar.hpp"
+
+namespace umon::wavelet {
+
+/// Streaming transformer. `Sink` is any callable taking a DetailCoeff
+/// (typically TopKStore::offer or ThresholdStore::offer via a lambda).
+class OnlineHaar {
+ public:
+  explicit OnlineHaar(int levels)
+      : levels_(levels),
+        pending_(static_cast<std::size_t>(levels), Pending{}) {}
+
+  /// Algorithm 1, Transformation(i, c): fold the finished counter for window
+  /// offset `i` (0-based, strictly increasing across calls). Offsets may
+  /// skip values; missing windows are implicit zeros.
+  template <typename Sink>
+  void transform(std::uint32_t i, Count c, Sink&& emit) {
+    const std::size_t pos_a = i >> levels_;
+    if (pos_a >= approx_.size()) approx_.resize(pos_a + 1, 0);
+    approx_[pos_a] += c;
+    for (int l = 0; l < levels_; ++l) {
+      auto& pend = pending_[static_cast<std::size_t>(l)];
+      const std::uint32_t pos_d = i >> (l + 1);
+      if (pos_d > pend.index && pend.touched) {
+        if (pend.value != 0) {
+          emit(DetailCoeff{static_cast<std::uint8_t>(l), pend.index,
+                           pend.value});
+        }
+        pend = Pending{};
+      }
+      pend.index = pos_d;
+      pend.touched = true;
+      const bool sign = ((i >> l) & 1) != 0;
+      pend.value += sign ? -c : c;
+    }
+    if (i >= length_) length_ = i + 1;
+  }
+
+  /// Flush all pending detail coefficients and return the finished
+  /// decomposition geometry (Algorithm 2's preamble: pad to a power of two).
+  /// Pending details at levels >= log2(padded length) are zero-padding
+  /// artifacts that reconstruction derives from the approximations, so they
+  /// are not emitted (they would waste top-K slots on redundant values).
+  template <typename Sink>
+  Decomposition finalize(Sink&& emit) {
+    Decomposition geo;
+    geo.padded_length = next_pow2(length_);
+    geo.levels = effective_levels(geo.padded_length, levels_);
+    for (int l = 0; l < geo.levels; ++l) {
+      auto& pend = pending_[static_cast<std::size_t>(l)];
+      if (pend.touched && pend.value != 0) {
+        emit(DetailCoeff{static_cast<std::uint8_t>(l), pend.index, pend.value});
+      }
+      pend = Pending{};
+    }
+    // With padded_length < 2^L the single stored entry already equals the
+    // level-`geo.levels` approximation (all deeper blocks are zero padding).
+    geo.approx = approx_;
+    const std::size_t approx_len =
+        std::max<std::size_t>(1, geo.padded_length >> geo.levels);
+    geo.approx.resize(approx_len, 0);
+    return geo;
+  }
+
+  [[nodiscard]] const std::vector<Count>& approx() const { return approx_; }
+  [[nodiscard]] std::uint32_t length() const { return length_; }
+  [[nodiscard]] int levels() const { return levels_; }
+
+  /// Number of resident counters (approximation array + L pending details);
+  /// the memory bound from Section 4.2's compression-ratio analysis.
+  [[nodiscard]] std::size_t resident_coefficients() const {
+    return approx_.size() + pending_.size();
+  }
+
+  void reset() {
+    approx_.clear();
+    for (auto& p : pending_) p = Pending{};
+    length_ = 0;
+  }
+
+ private:
+  struct Pending {
+    std::uint32_t index = 0;
+    Count value = 0;
+    bool touched = false;
+  };
+
+  int levels_;
+  std::vector<Count> approx_;
+  std::vector<Pending> pending_;
+  std::uint32_t length_ = 0;  ///< highest offset seen + 1
+};
+
+}  // namespace umon::wavelet

@@ -1,0 +1,44 @@
+#include "wavelet/reconstruct.hpp"
+
+#include <cassert>
+
+#include "wavelet/haar.hpp"
+
+namespace umon::wavelet {
+
+std::vector<double> reconstruct(std::span<const Count> approx,
+                                std::span<const DetailCoeff> details,
+                                std::uint32_t length, int levels) {
+  if (length == 0) return {};
+  const std::uint32_t padded = next_pow2(length);
+  const int eff = effective_levels(padded, levels);
+  assert(approx.size() >= static_cast<std::size_t>(padded >> eff));
+
+  // Bucket retained details per level for O(1) lookup during upsampling.
+  std::vector<std::vector<double>> det_by_level(
+      static_cast<std::size_t>(eff));
+  for (int l = 0; l < eff; ++l) {
+    det_by_level[static_cast<std::size_t>(l)].assign(padded >> (l + 1), 0.0);
+  }
+  for (const auto& d : details) {
+    if (d.level >= eff) continue;  // padding artifact / beyond depth
+    auto& row = det_by_level[d.level];
+    if (d.index < row.size()) row[d.index] = static_cast<double>(d.value);
+  }
+
+  std::vector<double> current(approx.begin(),
+                              approx.begin() + (padded >> eff));
+  for (int l = eff - 1; l >= 0; --l) {
+    const auto& det = det_by_level[static_cast<std::size_t>(l)];
+    std::vector<double> next(current.size() * 2);
+    for (std::size_t j = 0; j < current.size(); ++j) {
+      next[2 * j] = (current[j] + det[j]) / 2.0;
+      next[2 * j + 1] = (current[j] - det[j]) / 2.0;
+    }
+    current = std::move(next);
+  }
+  current.resize(length);
+  return current;
+}
+
+}  // namespace umon::wavelet

@@ -1,0 +1,24 @@
+// Reconstruction (Algorithm 2): rebuild a window-counter series from the
+// last-level approximations and the retained detail coefficients, treating
+// every discarded detail as zero.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+#include "wavelet/coeff.hpp"
+
+namespace umon::wavelet {
+
+/// Rebuild `length` window counters. `approx` are the level-
+/// min(levels, log2(next_pow2(length))) block sums; `details` any subset of
+/// the decomposition's detail coefficients (levels beyond the effective depth
+/// are ignored). Returns real-valued counters (halving introduces fractions
+/// once coefficients are missing).
+std::vector<double> reconstruct(std::span<const Count> approx,
+                                std::span<const DetailCoeff> details,
+                                std::uint32_t length, int levels);
+
+}  // namespace umon::wavelet

@@ -1,0 +1,58 @@
+#include "wavelet/store.hpp"
+
+namespace umon::wavelet {
+
+void TopKStore::offer(const DetailCoeff& d) {
+  if (d.value == 0 || capacity_ == 0) return;
+  if (heap_.size() < capacity_) {
+    heap_.push_back(d);
+    std::push_heap(heap_.begin(), heap_.end(), WeightLess{});
+    return;
+  }
+  // Replace the minimum only if strictly heavier (stable under ties).
+  if (l2_weight(d) > l2_weight(heap_.front())) {
+    std::pop_heap(heap_.begin(), heap_.end(), WeightLess{});
+    heap_.back() = d;
+    std::push_heap(heap_.begin(), heap_.end(), WeightLess{});
+  }
+}
+
+double TopKStore::min_weight() const {
+  if (heap_.size() < capacity_ || heap_.empty()) return 0.0;
+  return l2_weight(heap_.front());
+}
+
+std::vector<DetailCoeff> TopKStore::sorted() const {
+  std::vector<DetailCoeff> out = heap_;
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    if (a.level != b.level) return a.level < b.level;
+    return a.index < b.index;
+  });
+  return out;
+}
+
+Count ThresholdStore::shifted_magnitude(const DetailCoeff& d) {
+  const Count mag = d.value < 0 ? -d.value : d.value;
+  const int shift = d.level / 2;  // same for odd levels: (level-1)/2 == level/2
+  return mag >> shift;
+}
+
+void ThresholdStore::offer(const DetailCoeff& d) {
+  if (d.value == 0 || capacity_ == 0) return;
+  const int parity = d.level & 1;
+  auto& q = queue_[parity];
+  if (q.size() >= capacity_) return;  // register array full: drop
+  if (shifted_magnitude(d) >= threshold_[parity]) q.push_back(d);
+}
+
+std::vector<DetailCoeff> ThresholdStore::sorted() const {
+  std::vector<DetailCoeff> out = queue_[0];
+  out.insert(out.end(), queue_[1].begin(), queue_[1].end());
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    if (a.level != b.level) return a.level < b.level;
+    return a.index < b.index;
+  });
+  return out;
+}
+
+}  // namespace umon::wavelet

@@ -1,0 +1,93 @@
+// Coefficient stores: the compression stage of WaveSketch.
+//
+// TopKStore is the ideal (CPU) version: a weighted min-heap keeping the K
+// detail coefficients with the largest L2 contribution (Appendix A proves
+// this minimizes reconstruction error).
+//
+// ThresholdStore is the hardware (PISA) approximation from Section 4.3:
+// coefficients are split by level parity into two queues; within one parity
+// the 1/sqrt(2^l) weights differ by exact powers of two, so weighting becomes
+// a right shift, and top-k is approximated by a calibrated threshold.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "wavelet/coeff.hpp"
+
+namespace umon::wavelet {
+
+/// Ideal weighted top-K store (min-heap on the L2 weight).
+class TopKStore {
+ public:
+  explicit TopKStore(std::size_t capacity) : capacity_(capacity) {}
+
+  /// Offer one finished detail coefficient. Zero-valued coefficients are
+  /// dropped losslessly (reconstruction already treats them as zero).
+  void offer(const DetailCoeff& d);
+
+  /// Smallest retained weight, or 0 if the heap is not yet full. Used by the
+  /// hardware-threshold calibrator.
+  [[nodiscard]] double min_weight() const;
+
+  [[nodiscard]] const std::vector<DetailCoeff>& retained() const {
+    return heap_;
+  }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  [[nodiscard]] std::size_t size() const { return heap_.size(); }
+
+  void clear() { heap_.clear(); }
+
+  /// Sorted copy (by level then index) for serialization and tests.
+  [[nodiscard]] std::vector<DetailCoeff> sorted() const;
+
+ private:
+  struct WeightLess {
+    bool operator()(const DetailCoeff& a, const DetailCoeff& b) const {
+      const double wa = l2_weight(a);
+      const double wb = l2_weight(b);
+      if (wa != wb) return wa > wb;  // min-heap: largest weight sinks
+      if (a.level != b.level) return a.level < b.level;
+      return a.index < b.index;
+    }
+  };
+  std::size_t capacity_;
+  std::vector<DetailCoeff> heap_;  // std::*_heap with WeightLess
+};
+
+/// Hardware approximation: parity-split shift weighting + threshold filter.
+class ThresholdStore {
+ public:
+  /// `threshold` is compared against |value| >> (level/2) (even levels) or
+  /// |value| >> ((level-1)/2) (odd levels); see Figure 7. Capacity bounds
+  /// each parity queue (register array size in hardware); once a queue is
+  /// full further coefficients are dropped, as a pipeline cannot evict.
+  ThresholdStore(std::size_t capacity_per_parity, Count threshold_even,
+                 Count threshold_odd)
+      : capacity_(capacity_per_parity),
+        threshold_{threshold_even, threshold_odd} {}
+
+  void offer(const DetailCoeff& d);
+
+  [[nodiscard]] std::vector<DetailCoeff> sorted() const;
+  [[nodiscard]] std::size_t size() const {
+    return queue_[0].size() + queue_[1].size();
+  }
+  [[nodiscard]] std::size_t capacity() const { return capacity_ * 2; }
+
+  void clear() {
+    queue_[0].clear();
+    queue_[1].clear();
+  }
+
+  /// Shifted magnitude used for the threshold comparison.
+  static Count shifted_magnitude(const DetailCoeff& d);
+
+ private:
+  std::size_t capacity_;
+  Count threshold_[2];                   // [even parity, odd parity]
+  std::vector<DetailCoeff> queue_[2];    // [even, odd]
+};
+
+}  // namespace umon::wavelet

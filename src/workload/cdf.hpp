@@ -1,0 +1,49 @@
+// Piecewise-linear inverse-CDF sampling of empirical flow-size
+// distributions, as used by the paper's simulation workloads.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace umon::workload {
+
+/// An empirical distribution given as (value, cumulative probability)
+/// points with probabilities nondecreasing and ending at 1.0. Sampling
+/// interpolates linearly between points (log-linear would change little
+/// at these point densities).
+class SizeCdf {
+ public:
+  SizeCdf() = default;
+  explicit SizeCdf(std::vector<std::pair<double, double>> points);
+
+  /// Inverse-CDF sample.
+  [[nodiscard]] double sample(Rng& rng) const;
+
+  /// Analytic mean of the piecewise-linear distribution.
+  [[nodiscard]] double mean() const;
+
+  /// CDF value at x (for plots / tests).
+  [[nodiscard]] double cdf(double x) const;
+
+  [[nodiscard]] const std::vector<std::pair<double, double>>& points() const {
+    return points_;
+  }
+
+ private:
+  std::vector<std::pair<double, double>> points_;
+};
+
+/// DCTCP WebSearch flow-size distribution [Alizadeh et al., SIGCOMM'10]:
+/// large flows dominate bytes (mean ~= 1.7 MB).
+SizeCdf websearch_cdf();
+
+/// Facebook Hadoop flow-size distribution [Roy et al., SIGCOMM'15]: mostly
+/// small flows with a moderate tail (mean ~= 190 KB), so at equal load it
+/// produces an order of magnitude more flows than WebSearch (Table 2).
+SizeCdf hadoop_cdf();
+
+}  // namespace umon::workload

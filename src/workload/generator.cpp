@@ -1,0 +1,75 @@
+#include "workload/generator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+namespace umon::workload {
+
+Workload generate(const SizeCdf& cdf, const WorkloadParams& params) {
+  Rng rng(params.seed);
+  Workload out;
+  out.mean_flow_bytes = cdf.mean();
+
+  // Aggregate byte budget for the period and the matching Poisson rate.
+  const double total_bytes = static_cast<double>(params.hosts) *
+                             params.host_link_gbps * params.load *
+                             static_cast<double>(params.duration) / 8.0;
+  const double expected_flows = total_bytes / out.mean_flow_bytes;
+  const double mean_gap_ns =
+      static_cast<double>(params.duration) / expected_flows;
+
+  double t = 0;
+  std::uint32_t id = 0;
+  while (true) {
+    t += rng.exponential(mean_gap_ns);
+    if (t >= static_cast<double>(params.duration)) break;
+    netsim::FlowSpec spec;
+    spec.src_host = static_cast<int>(rng.below(static_cast<std::uint64_t>(params.hosts)));
+    do {
+      spec.dst_host = static_cast<int>(rng.below(static_cast<std::uint64_t>(params.hosts)));
+    } while (spec.dst_host == spec.src_host);
+    spec.bytes = std::max<std::uint64_t>(
+        1, static_cast<std::uint64_t>(std::llround(cdf.sample(rng))));
+    spec.start_time = static_cast<Nanos>(t);
+    spec.key.src_ip = 0x0A000000u | static_cast<std::uint32_t>(spec.src_host);
+    spec.key.dst_ip = 0x0A000000u | static_cast<std::uint32_t>(spec.dst_host);
+    spec.key.src_port = static_cast<std::uint16_t>(params.base_port + (id % 50000));
+    spec.key.dst_port = 4791;
+    spec.key.proto = 17;
+    ++id;
+    out.flows.push_back(spec);
+  }
+  return out;
+}
+
+std::string to_string(WorkloadKind kind) {
+  return kind == WorkloadKind::kWebSearch ? "WebSearch" : "Facebook Hadoop";
+}
+
+Workload generate(WorkloadKind kind, const WorkloadParams& params) {
+  return generate(
+      kind == WorkloadKind::kWebSearch ? websearch_cdf() : hadoop_cdf(),
+      params);
+}
+
+void install(const Workload& w, netsim::Network& net) {
+  for (const auto& f : w.flows) net.start_flow(f);
+}
+
+std::vector<double> interarrival_per_port(const Workload& w) {
+  std::map<int, std::vector<Nanos>> arrivals;
+  for (const auto& f : w.flows) {
+    arrivals[f.dst_host].push_back(f.start_time);
+  }
+  std::vector<double> gaps;
+  for (auto& [host, times] : arrivals) {
+    std::sort(times.begin(), times.end());
+    for (std::size_t i = 1; i < times.size(); ++i) {
+      gaps.push_back(static_cast<double>(times[i] - times[i - 1]));
+    }
+  }
+  return gaps;
+}
+
+}  // namespace umon::workload

@@ -1,0 +1,53 @@
+// Workload generation: Poisson flow arrivals sized to a target link load,
+// with flow sizes drawn from an empirical CDF and endpoints placed uniformly
+// at random (Appendix D).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "netsim/network.hpp"
+#include "workload/cdf.hpp"
+
+namespace umon::workload {
+
+struct WorkloadParams {
+  int hosts = 16;
+  double host_link_gbps = 100.0;
+  double load = 0.15;             ///< fraction of aggregate host bandwidth
+  Nanos duration = 20 * kMilli;   ///< measurement period (20 ms in the paper)
+  std::uint64_t seed = 7;
+  std::uint16_t base_port = 10000;
+};
+
+/// A generated workload: the flow list plus its nominal statistics.
+struct Workload {
+  std::vector<netsim::FlowSpec> flows;
+  double mean_flow_bytes = 0;
+
+  [[nodiscard]] std::uint64_t total_bytes() const {
+    std::uint64_t sum = 0;
+    for (const auto& f : flows) sum += f.bytes;
+    return sum;
+  }
+};
+
+/// Draw a workload from `cdf` hitting the target load in expectation.
+Workload generate(const SizeCdf& cdf, const WorkloadParams& params);
+
+/// Named workload presets matching the paper's six simulation settings.
+enum class WorkloadKind { kWebSearch, kHadoop };
+[[nodiscard]] std::string to_string(WorkloadKind kind);
+Workload generate(WorkloadKind kind, const WorkloadParams& params);
+
+/// Start every flow of a workload on a network.
+void install(const Workload& w, netsim::Network& net);
+
+/// Flow inter-arrival times grouped per destination host (the paper's
+/// "ToR switch port" vantage for Figure 16b), in nanoseconds.
+std::vector<double> interarrival_per_port(const Workload& w);
+
+}  // namespace umon::workload

@@ -1,0 +1,196 @@
+// Tests for the uMon analyzer: ingestion, rate queries, event grouping,
+// replay, and clock alignment.
+#include <gtest/gtest.h>
+
+#include "analyzer/analyzer.hpp"
+#include "analyzer/groundtruth.hpp"
+#include "sketch/wavesketch_full.hpp"
+#include "uevent/acl.hpp"
+
+namespace umon::analyzer {
+namespace {
+
+FlowKey flow(std::uint32_t id) {
+  FlowKey f;
+  f.src_ip = 0x0A000000u | id;
+  f.dst_ip = 0x0A0000FF;
+  f.src_port = static_cast<std::uint16_t>(5000 + id);
+  f.dst_port = 4791;
+  f.proto = 17;
+  return f;
+}
+
+uevent::MirroredPacket mirrored(const FlowKey& f, int sw, int port, Nanos ts) {
+  uevent::MirroredPacket m;
+  m.pkt.flow = f;
+  m.pkt.ecn = Ecn::kCe;
+  m.pkt.size = 1048;
+  m.switch_id = sw;
+  m.egress_port = port;
+  m.switch_timestamp = ts;
+  return m;
+}
+
+TEST(RateCurve, UnitConversion) {
+  RateCurve c;
+  c.w0 = 10;
+  c.window_shift = 13;  // 8192 ns windows
+  c.bytes_per_window = {8192.0, 0.0};
+  // 8192 bytes in 8192 ns == 8 bits/ns == 8 Gbps.
+  EXPECT_NEAR(c.gbps_at(10), 8.0, 1e-12);
+  EXPECT_NEAR(c.gbps_at(11), 0.0, 1e-12);
+  EXPECT_NEAR(c.gbps_at(9), 0.0, 1e-12);
+  EXPECT_EQ(c.gbps().size(), 2u);
+}
+
+TEST(Analyzer, IngestAndQueryCurve) {
+  Analyzer an;
+  RateCurve c;
+  c.w0 = 5;
+  c.bytes_per_window = {100, 200, 300};
+  an.ingest_flow_curve(flow(1), c);
+  const RateCurve got = an.query_rate(flow(1));
+  ASSERT_FALSE(got.empty());
+  EXPECT_NEAR(got.bytes_at(6), 200.0, 1e-12);
+  EXPECT_TRUE(an.query_rate(flow(2)).empty());
+}
+
+TEST(Analyzer, IngestHostSketchCollectsHeavyFlows) {
+  sketch::WaveSketchParams p;
+  p.width = 64;
+  p.levels = 4;
+  p.k = 256;
+  p.heavy_rows = 32;
+  sketch::WaveSketchFull sk(p);
+  const FlowKey f = flow(3);
+  for (WindowId w = 100; w < 132; ++w) sk.update_window(f, w, 2048);
+
+  Analyzer an;
+  an.ingest_host_sketch(/*host=*/0, sk);
+  EXPECT_GE(an.known_flows(), 1u);
+  EXPECT_GT(an.report_bytes_ingested(), 0u);
+  const RateCurve c = an.query_rate(f);
+  ASSERT_FALSE(c.empty());
+  EXPECT_NEAR(c.bytes_at(110), 2048.0, 1e-9);
+}
+
+TEST(Analyzer, ClockOffsetCorrectsWholeWindows) {
+  sketch::WaveSketchParams p;
+  p.width = 16;
+  p.levels = 3;
+  p.k = 64;
+  sketch::WaveSketchFull sk(p);
+  const FlowKey f = flow(4);
+  for (WindowId w = 50; w < 58; ++w) sk.update_window(f, w, 1000);
+
+  Analyzer an;
+  ClockModel clocks;
+  clocks.host_offset[7] = 2 << 13;  // two windows fast
+  an.set_clock_model(clocks);
+  an.ingest_host_sketch(/*host=*/7, sk);
+  const RateCurve c = an.query_rate(f);
+  ASSERT_FALSE(c.empty());
+  EXPECT_EQ(c.w0, 48);  // shifted back by two windows
+}
+
+TEST(Analyzer, EventGroupingByQuietGap) {
+  Analyzer an;
+  std::vector<uevent::MirroredPacket> ms;
+  // Burst 1 on (sw0, port0): 3 packets within 20 us.
+  ms.push_back(mirrored(flow(1), 0, 0, 100 * kMicro));
+  ms.push_back(mirrored(flow(2), 0, 0, 110 * kMicro));
+  ms.push_back(mirrored(flow(1), 0, 0, 120 * kMicro));
+  // Quiet 200 us -> new event on same port.
+  ms.push_back(mirrored(flow(1), 0, 0, 320 * kMicro));
+  // Different port -> separate event even if close in time.
+  ms.push_back(mirrored(flow(3), 0, 1, 321 * kMicro));
+  an.ingest_mirrored(ms);
+
+  const auto events = an.events(50 * kMicro);
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].packets, 3u);
+  EXPECT_EQ(events[0].flows.size(), 2u);
+  EXPECT_EQ(events[0].duration(), 20 * kMicro);
+  EXPECT_EQ(events[1].packets, 1u);
+  EXPECT_EQ(events[2].egress_port, 1);
+}
+
+TEST(Analyzer, EventDurationsInMicros) {
+  Analyzer an;
+  std::vector<uevent::MirroredPacket> ms;
+  ms.push_back(mirrored(flow(1), 0, 0, 0));
+  ms.push_back(mirrored(flow(1), 0, 0, 30 * kMicro));
+  an.ingest_mirrored(ms);
+  const auto durations = an.event_durations_us();
+  ASSERT_EQ(durations.size(), 1u);
+  EXPECT_NEAR(durations[0], 30.0, 1e-9);
+}
+
+TEST(Analyzer, ReplayJoinsEventsWithCurves) {
+  Analyzer an;
+  const FlowKey f1 = flow(1);
+  const FlowKey f2 = flow(2);
+
+  // Two flows with known curves around window 1000.
+  RateCurve c1;
+  c1.w0 = 990;
+  c1.bytes_per_window.assign(40, 8192.0);  // 8 Gbps flat
+  an.ingest_flow_curve(f1, c1);
+  RateCurve c2;
+  c2.w0 = 995;
+  c2.bytes_per_window.assign(20, 4096.0);  // 4 Gbps flat
+  an.ingest_flow_curve(f2, c2);
+
+  std::vector<uevent::MirroredPacket> ms;
+  const Nanos t0 = window_start(1000);
+  ms.push_back(mirrored(f1, 2, 1, t0));
+  ms.push_back(mirrored(f2, 2, 1, t0 + 10 * kMicro));
+  an.ingest_mirrored(ms);
+
+  const auto events = an.events();
+  ASSERT_EQ(events.size(), 1u);
+  const auto replay = an.replay(events[0], /*margin=*/8192 * 4);
+  EXPECT_LE(replay.from, 1000);
+  EXPECT_GT(replay.to, 1001);
+  ASSERT_EQ(replay.gbps_series.size(), 2u);
+  // Window 1000 is inside both curves.
+  const auto idx = static_cast<std::size_t>(1000 - replay.from);
+  EXPECT_NEAR(replay.gbps_series[0].second[idx], 8.0, 1e-9);
+  EXPECT_NEAR(replay.gbps_series[1].second[idx], 4.0, 1e-9);
+}
+
+TEST(Analyzer, MirrorByteAccounting) {
+  Analyzer an;
+  std::vector<uevent::MirroredPacket> ms(10, mirrored(flow(1), 0, 0, 0));
+  an.ingest_mirrored(ms);
+  EXPECT_EQ(an.mirror_bytes_ingested(),
+            10u * uevent::MirroredPacket::kWireBytes);
+}
+
+// --- GroundTruth -------------------------------------------------------------
+
+TEST(GroundTruth, AccumulatesWindows) {
+  GroundTruth gt(13);
+  const FlowKey f = flow(9);
+  gt.add(f, 0, 100);
+  gt.add(f, 100, 50);          // same window 0
+  gt.add(f, 8192 * 3, 200);    // window 3
+  const auto s = gt.series(f);
+  ASSERT_EQ(s.values.size(), 4u);
+  EXPECT_EQ(s.w0, 0);
+  EXPECT_NEAR(s.values[0], 150.0, 1e-12);
+  EXPECT_NEAR(s.values[1], 0.0, 1e-12);
+  EXPECT_NEAR(s.values[3], 200.0, 1e-12);
+  EXPECT_EQ(gt.active_counters(), 2u);
+  EXPECT_EQ(gt.flow_length(f), 2u);
+  EXPECT_EQ(gt.flow_count(), 1u);
+}
+
+TEST(GroundTruth, UnknownFlowEmpty) {
+  GroundTruth gt;
+  EXPECT_TRUE(gt.series(flow(1)).empty());
+  EXPECT_EQ(gt.flow_length(flow(1)), 0u);
+}
+
+}  // namespace
+}  // namespace umon::analyzer

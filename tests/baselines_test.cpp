@@ -1,0 +1,214 @@
+// Tests for the baseline estimators: OmniWindow-Avg, Persist-CMS, Fourier.
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "analyzer/metrics.hpp"
+#include "baselines/fourier.hpp"
+#include "baselines/omniwindow.hpp"
+#include "baselines/persist_cms.hpp"
+#include "common/rng.hpp"
+
+namespace umon::baselines {
+namespace {
+
+FlowKey flow(std::uint32_t id) {
+  FlowKey f;
+  f.src_ip = 0x0A000000u | id;
+  f.dst_ip = 0x0A800001u;
+  f.src_port = static_cast<std::uint16_t>(2000 + id);
+  f.dst_port = 80;
+  f.proto = 6;
+  return f;
+}
+
+// --- OmniWindow-Avg ---------------------------------------------------------
+
+TEST(OmniWindow, CoarseAveragesPreserveTotals) {
+  OmniWindowParams p;
+  p.depth = 1;
+  p.width = 8;
+  p.sub_windows = 4;
+  p.max_windows = 64;  // coarsening = 16 fine windows per sub-window
+  OmniWindowAvg ow(p);
+  const FlowKey f = flow(1);
+  for (WindowId w = 0; w < 64; ++w) ow.update(f, w, 160);
+  Series s = ow.query(f);
+  ASSERT_EQ(s.values.size(), 64u);
+  for (double v : s.values) EXPECT_NEAR(v, 160.0, 1e-9);
+}
+
+TEST(OmniWindow, BurstSmearedAcrossSubWindow) {
+  OmniWindowParams p;
+  p.depth = 1;
+  p.width = 8;
+  p.sub_windows = 2;
+  p.max_windows = 32;  // coarsening = 16
+  OmniWindowAvg ow(p);
+  const FlowKey f = flow(2);
+  ow.update(f, 0, 1600);   // a single-window burst
+  ow.update(f, 31, 0);     // extend the series
+  Series s = ow.query(f);
+  ASSERT_EQ(s.values.size(), 32u);
+  // The burst is averaged over the 16-window sub-window: exactly the
+  // information loss Figure 13 visualizes.
+  EXPECT_NEAR(s.values[0], 100.0, 1e-9);
+  EXPECT_NEAR(s.values[15], 100.0, 1e-9);
+  EXPECT_NEAR(s.values[16], 0.0, 1e-9);
+}
+
+TEST(OmniWindow, MemoryMatchesConfiguredCounters) {
+  OmniWindowParams p;
+  p.depth = 2;
+  p.width = 16;
+  p.sub_windows = 8;
+  OmniWindowAvg ow(p);
+  EXPECT_EQ(ow.memory_bytes(), 2u * 16u * (8u * 4u + 12u));
+}
+
+// --- Persist-CMS ------------------------------------------------------------
+
+TEST(PlaFitter, ExactLineNeedsTwoKnots) {
+  PlaFitter pla(16, 0.5);
+  for (int t = 0; t <= 10; ++t) pla.add(t, 3.0 * t);
+  pla.finish();
+  EXPECT_LE(pla.knots().size(), 3u);
+  for (int t = 0; t <= 10; ++t) {
+    EXPECT_NEAR(pla.value_at(t), 3.0 * t, 0.5 + 1e-9);
+  }
+}
+
+TEST(PlaFitter, RespectsTolerance) {
+  Rng rng(17);
+  PlaFitter pla(64, 100.0);
+  std::vector<double> ys;
+  double y = 0;
+  for (int t = 0; t <= 200; ++t) {
+    y += static_cast<double>(rng.below(50));
+    ys.push_back(y);
+    pla.add(t, y);
+  }
+  pla.finish();
+  for (int t = 0; t <= 200; ++t) {
+    EXPECT_NEAR(pla.value_at(t), ys[static_cast<std::size_t>(t)], 201.0)
+        << "t=" << t;  // tolerance may have doubled once
+  }
+}
+
+TEST(PlaFitter, BudgetTriggersRefit) {
+  // A zig-zag forces a knot per point at tight tolerance; the budget must
+  // bound the knot count by inflating the tolerance.
+  PlaFitter pla(8, 0.1);
+  double y = 0;
+  for (int t = 0; t < 100; ++t) {
+    y += (t % 2 == 0) ? 100 : 1;
+    pla.add(t, y);
+  }
+  pla.finish();
+  EXPECT_LE(pla.knots().size(), 16u);  // bounded (refit may overshoot briefly)
+  EXPECT_GT(pla.tolerance(), 0.1);
+}
+
+TEST(PersistCms, ConstantRateRecovered) {
+  PersistCmsParams p;
+  p.depth = 1;
+  p.width = 4;
+  p.segments_per_bucket = 8;
+  PersistCms pc(p);
+  const FlowKey f = flow(3);
+  for (WindowId w = 0; w < 128; ++w) pc.update(f, w, 1000);
+  Series s = pc.query(f);
+  ASSERT_GE(s.values.size(), 127u);
+  double total = 0;
+  for (double v : s.values) total += v;
+  EXPECT_NEAR(total, 128.0 * 1000.0, 0.05 * 128 * 1000);
+  // Interior windows should be near the true rate.
+  for (std::size_t i = 4; i + 4 < s.values.size(); ++i) {
+    EXPECT_NEAR(s.values[i], 1000.0, 300.0) << "i=" << i;
+  }
+}
+
+TEST(PersistCms, StepChangeTracked) {
+  PersistCmsParams p;
+  p.depth = 1;
+  p.width = 4;
+  p.segments_per_bucket = 16;
+  PersistCms pc(p);
+  const FlowKey f = flow(4);
+  for (WindowId w = 0; w < 64; ++w) pc.update(f, w, w < 32 ? 2000 : 100);
+  Series s = pc.query(f);
+  ASSERT_GE(s.values.size(), 63u);
+  EXPECT_GT(s.values[10], 1000.0);
+  EXPECT_LT(s.values[50], 1000.0);
+}
+
+// --- Fourier ----------------------------------------------------------------
+
+TEST(Fft, RoundTrip) {
+  Rng rng(5);
+  std::vector<std::complex<double>> a(64);
+  std::vector<std::complex<double>> orig(64);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    a[i] = {rng.uniform() * 10, 0};
+    orig[i] = a[i];
+  }
+  fft(a, false);
+  fft(a, true);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_NEAR(a[i].real(), orig[i].real(), 1e-9);
+    EXPECT_NEAR(a[i].imag(), 0.0, 1e-9);
+  }
+}
+
+TEST(Fft, ParsevalHolds) {
+  Rng rng(6);
+  std::vector<std::complex<double>> a(128);
+  double time_energy = 0;
+  for (auto& x : a) {
+    x = {rng.uniform() * 4 - 2, 0};
+    time_energy += std::norm(x);
+  }
+  fft(a, false);
+  double freq_energy = 0;
+  for (const auto& x : a) freq_energy += std::norm(x);
+  EXPECT_NEAR(freq_energy, time_energy * 128, 1e-6 * freq_energy);
+}
+
+TEST(FourierCompress, FullBudgetIsLossless) {
+  Rng rng(7);
+  std::vector<double> sig(32);
+  for (auto& x : sig) x = static_cast<double>(rng.below(1000));
+  auto out = fourier_compress(sig, 64);
+  ASSERT_EQ(out.size(), sig.size());
+  for (std::size_t i = 0; i < sig.size(); ++i) {
+    EXPECT_NEAR(out[i], sig[i], 1e-6);
+  }
+}
+
+TEST(FourierCompress, DcOnlyGivesMean) {
+  std::vector<double> sig{10, 20, 30, 40};
+  auto out = fourier_compress(sig, 1);
+  for (double v : out) EXPECT_NEAR(v, 25.0, 1e-9);
+}
+
+TEST(FourierSketch, SmoothSineTrackedWithFewCoefficients) {
+  FourierParams p;
+  p.depth = 1;
+  p.width = 4;
+  p.coefficients = 8;
+  FourierSketch fs(p);
+  const FlowKey f = flow(5);
+  std::vector<double> truth(256);
+  for (WindowId w = 0; w < 256; ++w) {
+    const double v = 1000 + 800 * std::sin(2 * 3.14159265 * static_cast<double>(w) / 64.0);
+    truth[static_cast<std::size_t>(w)] = v;
+    fs.update(f, w, static_cast<Count>(v));
+  }
+  Series s = fs.query(f);
+  ASSERT_EQ(s.values.size(), 256u);
+  EXPECT_GT(analyzer::cosine_similarity(truth, s.values), 0.98);
+}
+
+}  // namespace
+}  // namespace umon::baselines

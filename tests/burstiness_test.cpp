@@ -1,0 +1,66 @@
+// Tests for the burst-profiling helpers (use case B3).
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "analyzer/burstiness.hpp"
+
+namespace umon::analyzer {
+namespace {
+
+TEST(Bursts, SegmentsRunsAboveThreshold) {
+  const std::vector<double> curve{0, 5, 6, 0, 0, 7, 0, 8, 9, 10};
+  const auto bursts = find_bursts(curve, 5.0);
+  ASSERT_EQ(bursts.size(), 3u);
+  EXPECT_EQ(bursts[0].start, 1u);
+  EXPECT_EQ(bursts[0].length, 2u);
+  EXPECT_DOUBLE_EQ(bursts[0].peak, 6.0);
+  EXPECT_DOUBLE_EQ(bursts[0].bytes, 11.0);
+  EXPECT_EQ(bursts[1].start, 5u);
+  EXPECT_EQ(bursts[2].start, 7u);
+  EXPECT_EQ(bursts[2].length, 3u);  // runs to the curve's end
+}
+
+TEST(Bursts, EmptyAndFlatCurves) {
+  EXPECT_TRUE(find_bursts({}, 1.0).empty());
+  const std::vector<double> flat{1, 1, 1};
+  EXPECT_TRUE(find_bursts(flat, 5.0).empty());
+  const auto whole = find_bursts(flat, 0.5);
+  ASSERT_EQ(whole.size(), 1u);
+  EXPECT_EQ(whole[0].length, 3u);
+}
+
+TEST(BurstProfile, ComputesAggregates) {
+  // Two bursts of length 2 separated by a 2-window gap.
+  const std::vector<double> curve{10, 10, 0, 0, 20, 20};
+  const auto p = burst_profile(curve, 5.0);
+  EXPECT_EQ(p.bursts, 2u);
+  EXPECT_DOUBLE_EQ(p.peak, 20.0);
+  EXPECT_DOUBLE_EQ(p.mean, 15.0);  // over the 4 active windows
+  EXPECT_NEAR(p.peak_to_mean, 20.0 / 15.0, 1e-12);
+  EXPECT_DOUBLE_EQ(p.mean_burst_windows, 2.0);
+  EXPECT_DOUBLE_EQ(p.mean_gap_windows, 2.0);
+  EXPECT_DOUBLE_EQ(p.burst_volume_fraction, 1.0);
+}
+
+TEST(BurstProfile, ZeroCurve) {
+  const std::vector<double> curve{0, 0, 0};
+  const auto p = burst_profile(curve, 1.0);
+  EXPECT_EQ(p.bursts, 0u);
+  EXPECT_DOUBLE_EQ(p.peak_to_mean, 0.0);
+}
+
+TEST(SuggestKmin, QuantileOfBurstVolumes) {
+  std::vector<Burst> bursts(4);
+  bursts[0].bytes = 100;
+  bursts[1].bytes = 200;
+  bursts[2].bytes = 300;
+  bursts[3].bytes = 400;
+  EXPECT_DOUBLE_EQ(suggest_kmin_bytes(bursts, 0.0), 100.0);
+  EXPECT_DOUBLE_EQ(suggest_kmin_bytes(bursts, 1.0), 400.0);
+  EXPECT_DOUBLE_EQ(suggest_kmin_bytes(bursts, 0.5), 200.0);
+  EXPECT_DOUBLE_EQ(suggest_kmin_bytes({}, 0.5), 0.0);
+}
+
+}  // namespace
+}  // namespace umon::analyzer

@@ -1,0 +1,190 @@
+// Tests for the DCTCP window transport: state machine unit tests plus
+// end-to-end behaviour in the simulator.
+#include <gtest/gtest.h>
+
+#include "netsim/dctcp.hpp"
+#include "netsim/network.hpp"
+
+namespace umon::netsim {
+namespace {
+
+FlowKey flow(std::uint32_t id) {
+  FlowKey f;
+  f.src_ip = 0x0A000000u | id;
+  f.dst_ip = 0x0A0000FA;
+  f.src_port = static_cast<std::uint16_t>(9000 + id);
+  f.dst_port = 80;
+  f.proto = 6;
+  return f;
+}
+
+// --- state machine ------------------------------------------------------------
+
+TEST(DctcpSender, SlowStartDoublesPerRtt) {
+  DctcpConfig cfg;
+  DctcpSender s(cfg);
+  const std::uint64_t before = s.cwnd();
+  // ACK a full window without marks.
+  std::uint64_t acked = 0;
+  while (acked < before) {
+    s.on_ack(cfg.mss, false, acked + cfg.mss, before);
+    acked += cfg.mss;
+  }
+  EXPECT_GE(s.cwnd(), before * 2 - cfg.mss);
+  EXPECT_TRUE(s.in_slow_start());
+}
+
+TEST(DctcpSender, FullMarkingHalvesLikeTcp) {
+  DctcpConfig cfg;
+  DctcpSender s(cfg);
+  // Converge alpha to 1 with fully marked windows, then the cut tends to
+  // cwnd/2 (classic-TCP behaviour under persistent congestion).
+  std::uint64_t sent = 0, acked = 0;
+  for (int window = 0; window < 60; ++window) {
+    const std::uint64_t w = s.cwnd();
+    sent = acked + w;
+    std::uint64_t end = sent;
+    while (acked < end) {
+      s.on_ack(cfg.mss, true, acked + cfg.mss, sent);
+      acked += cfg.mss;
+    }
+  }
+  EXPECT_GT(s.alpha(), 0.9);
+  EXPECT_LT(s.cwnd(), 64ull * cfg.mss);  // driven down, not collapsed to 0
+  EXPECT_GE(s.cwnd(), cfg.min_cwnd);
+}
+
+TEST(DctcpSender, SparseMarkingCutsGently) {
+  DctcpConfig cfg;
+  DctcpSender s(cfg);
+  // Grow out of slow start first.
+  std::uint64_t sent = 0, acked = 0;
+  for (int window = 0; window < 20; ++window) {
+    const std::uint64_t w = s.cwnd();
+    sent = acked + w;
+    std::uint64_t end = sent;
+    while (acked < end) {
+      // Mark ~6% of the ACK stream.
+      const bool mark = (acked / cfg.mss) % 16 == 0;
+      s.on_ack(cfg.mss, mark, acked + cfg.mss, sent);
+      acked += cfg.mss;
+    }
+  }
+  // alpha should settle near the marking fraction, far from 1.
+  EXPECT_LT(s.alpha(), 0.4);
+  EXPECT_GT(s.alpha(), 0.01);
+}
+
+TEST(DctcpSender, TimeoutCollapsesWindow) {
+  DctcpConfig cfg;
+  DctcpSender s(cfg);
+  s.on_timeout();
+  EXPECT_EQ(s.cwnd(), cfg.mss);
+}
+
+// --- end to end -----------------------------------------------------------------
+
+TEST(DctcpE2e, FlowCompletesAndIsAckClocked) {
+  NetworkConfig cfg;
+  cfg.queue_sample_interval = 0;
+  cfg.link.bandwidth_gbps = 10.0;
+  Network net(cfg);
+  const int h0 = net.add_host();
+  const int h1 = net.add_host();
+  const int sw = net.add_switch();
+  net.connect(h0, sw);
+  net.connect(h1, sw);
+  net.build_routes();
+
+  FlowSpec spec;
+  spec.key = flow(1);
+  spec.src_host = h0;
+  spec.dst_host = h1;
+  spec.bytes = 2ull << 20;
+  spec.use_dctcp = true;
+  net.start_flow(spec);
+  net.run_until(50 * kMilli);
+  net.finish();
+
+  const FlowStats* st = net.flow_stats(spec.key);
+  ASSERT_NE(st, nullptr);
+  EXPECT_TRUE(st->finished);
+  EXPECT_GE(st->bytes_sent, spec.bytes);  // go-back-N may resend
+}
+
+TEST(DctcpE2e, TwoFlowsShareBottleneckFairly) {
+  NetworkConfig cfg;
+  cfg.queue_sample_interval = 0;
+  cfg.link.bandwidth_gbps = 10.0;
+  Network net(cfg);
+  const int h0 = net.add_host();
+  const int h1 = net.add_host();
+  const int h2 = net.add_host();
+  const int sw = net.add_switch();
+  net.connect(h0, sw);
+  net.connect(h1, sw);
+  net.connect(h2, sw);
+  net.build_routes();
+
+  FlowSpec a;
+  a.key = flow(2);
+  a.src_host = h0;
+  a.dst_host = h2;
+  a.bytes = 1ull << 30;  // long-lived
+  a.use_dctcp = true;
+  net.start_flow(a);
+  FlowSpec b = a;
+  b.key = flow(3);
+  b.src_host = h1;
+  net.start_flow(b);
+
+  net.run_until(60 * kMilli);
+  const FlowStats* sa = net.flow_stats(a.key);
+  const FlowStats* sb = net.flow_stats(b.key);
+  ASSERT_NE(sa, nullptr);
+  ASSERT_NE(sb, nullptr);
+  // 60 ms at 10 Gbps moves at most 75 MB; Gbps = bits / (60e-3 s) / 1e9.
+  const double total_gbps =
+      static_cast<double>(sa->bytes_sent + sb->bytes_sent) * 8.0 / 60e-3 /
+      1e9;
+  // Bottleneck is 10G; the pair should drive meaningful utilization and
+  // split it roughly evenly.
+  EXPECT_GT(total_gbps, 4.0);
+  const double ratio = static_cast<double>(sa->bytes_sent) /
+                       static_cast<double>(sb->bytes_sent);
+  EXPECT_GT(ratio, 0.5);
+  EXPECT_LT(ratio, 2.0);
+}
+
+TEST(DctcpE2e, EcnKeepsQueuesShort) {
+  // With DCTCP + ECN the bottleneck queue should hover near the marking
+  // threshold rather than filling the buffer.
+  NetworkConfig cfg;
+  cfg.queue_sample_interval = 10 * kMicro;
+  cfg.link.bandwidth_gbps = 10.0;
+  Network net(cfg);
+  const int h0 = net.add_host();
+  const int h1 = net.add_host();
+  const int sw = net.add_switch();
+  net.connect(h0, sw);
+  net.connect(h1, sw);
+  net.build_routes();
+
+  FlowSpec spec;
+  spec.key = flow(4);
+  spec.src_host = h0;
+  spec.dst_host = h1;
+  spec.bytes = 1ull << 30;
+  spec.use_dctcp = true;
+  net.start_flow(spec);
+  net.run_until(50 * kMilli);
+
+  std::uint64_t mx = 0;
+  for (std::uint64_t q : net.queue_samples()) mx = std::max(mx, q);
+  EXPECT_LT(mx, 2 * cfg.ecn.kmax_bytes + 64 * 1024)
+      << "ECN must keep the queue near KMax, not at the 12 MB buffer";
+  EXPECT_EQ(net.total_drops(), 0u);
+}
+
+}  // namespace
+}  // namespace umon::netsim

@@ -1,0 +1,212 @@
+// Tests for the programmable-switch event detection path (QueueWatcher,
+// DedupFilter) and the multi-period curve store.
+#include <gtest/gtest.h>
+
+#include "analyzer/curve_store.hpp"
+#include "netsim/network.hpp"
+#include "uevent/inband.hpp"
+
+namespace umon {
+namespace {
+
+FlowKey flow(std::uint32_t id) {
+  FlowKey f;
+  f.src_ip = 0x0A000000u | id;
+  f.dst_ip = 0x0A0000F9;
+  f.src_port = static_cast<std::uint16_t>(1100 + id);
+  f.dst_port = 4791;
+  f.proto = 17;
+  return f;
+}
+
+PacketRecord pkt(std::uint32_t fid, Nanos ts, std::uint32_t size = 1048) {
+  PacketRecord p;
+  p.flow = flow(fid);
+  p.timestamp = ts;
+  p.size = size;
+  p.ecn = Ecn::kEct0;
+  return p;
+}
+
+// --- QueueWatcher -------------------------------------------------------------
+
+TEST(QueueWatcher, OpensAndClosesOnThreshold) {
+  uevent::QueueWatcher qw(/*threshold=*/10'000, /*hysteresis=*/5'000);
+  const netsim::PortId port{3, 1};
+  qw.observe(port, 8'000, pkt(1, 100));    // below: nothing
+  qw.observe(port, 12'000, pkt(1, 200));   // opens
+  qw.observe(port, 15'000, pkt(2, 300));   // grows
+  qw.observe(port, 4'000, pkt(1, 400));    // below hysteresis: closes
+  qw.finish(500);
+  ASSERT_EQ(qw.events().size(), 1u);
+  const auto& ev = qw.events()[0];
+  EXPECT_EQ(ev.port, port);
+  EXPECT_EQ(ev.start, 200);
+  EXPECT_EQ(ev.max_queue_bytes, 15'000u);
+  ASSERT_EQ(ev.contributions.size(), 2u);
+}
+
+TEST(QueueWatcher, ContributionsAccumulateAndSort) {
+  uevent::QueueWatcher qw(1'000);
+  const netsim::PortId port{0, 0};
+  qw.observe(port, 2'000, pkt(1, 10, 100));
+  qw.observe(port, 3'000, pkt(2, 20, 5000));
+  qw.observe(port, 3'000, pkt(1, 30, 100));
+  qw.finish(40);
+  ASSERT_EQ(qw.events().size(), 1u);
+  const auto& c = qw.events()[0].contributions;
+  ASSERT_EQ(c.size(), 2u);
+  EXPECT_EQ(c[0].first, flow(2));  // biggest contributor first
+  EXPECT_EQ(c[0].second, 5000u);
+  EXPECT_EQ(c[1].second, 200u);
+}
+
+TEST(QueueWatcher, SeparateEventsPerPort) {
+  uevent::QueueWatcher qw(1'000);
+  qw.observe(netsim::PortId{0, 0}, 2'000, pkt(1, 10));
+  qw.observe(netsim::PortId{0, 1}, 2'000, pkt(2, 11));
+  qw.finish(100);
+  EXPECT_EQ(qw.events().size(), 2u);
+}
+
+TEST(QueueWatcher, BatchReportIsTiny) {
+  uevent::QueueWatcher qw(1'000);
+  const netsim::PortId port{0, 0};
+  // 1000 packets of one elephant flow during the event: one record.
+  for (int i = 0; i < 1000; ++i) {
+    qw.observe(port, 2'000, pkt(1, i));
+  }
+  qw.finish(2000);
+  ASSERT_EQ(qw.events().size(), 1u);
+  // Batched record ~49 B vs 1000 mirrored packets at 82 B each.
+  EXPECT_LT(qw.report_bytes(), 100u);
+}
+
+// --- DedupFilter --------------------------------------------------------------
+
+TEST(DedupFilter, SuppressesRepeatsWithinWindow) {
+  uevent::DedupFilter dd(100);
+  const netsim::PortId port{1, 2};
+  EXPECT_TRUE(dd.admit(port, flow(1), 0));
+  EXPECT_FALSE(dd.admit(port, flow(1), 50));
+  EXPECT_FALSE(dd.admit(port, flow(1), 99));
+  EXPECT_TRUE(dd.admit(port, flow(1), 105));
+  EXPECT_EQ(dd.suppressed(), 2u);
+  EXPECT_EQ(dd.seen(), 4u);
+}
+
+TEST(DedupFilter, DistinctFlowsAndPortsIndependent) {
+  uevent::DedupFilter dd(100);
+  EXPECT_TRUE(dd.admit(netsim::PortId{1, 0}, flow(1), 0));
+  EXPECT_TRUE(dd.admit(netsim::PortId{1, 0}, flow(2), 1));
+  EXPECT_TRUE(dd.admit(netsim::PortId{1, 1}, flow(1), 2));
+  EXPECT_EQ(dd.suppressed(), 0u);
+}
+
+// --- FlowCurveStore -------------------------------------------------------------
+
+TEST(CurveStore, StitchesPeriodsAndAccumulatesOverlap) {
+  analyzer::FlowCurveStore store;
+  analyzer::CurveFragment f1;
+  f1.w0 = 100;
+  f1.bytes_per_window = {10, 20, 30};
+  analyzer::CurveFragment f2;
+  f2.w0 = 102;  // overlaps one window, extends two
+  f2.bytes_per_window = {5, 40, 50};
+  store.add(flow(1), f1);
+  store.add(flow(1), f2);
+
+  const auto r = store.range(flow(1), 99, 106);
+  ASSERT_EQ(r.size(), 7u);
+  EXPECT_DOUBLE_EQ(r[0], 0);    // 99
+  EXPECT_DOUBLE_EQ(r[1], 10);   // 100
+  EXPECT_DOUBLE_EQ(r[2], 20);   // 101
+  EXPECT_DOUBLE_EQ(r[3], 35);   // 102: 30 + 5 accumulated
+  EXPECT_DOUBLE_EQ(r[4], 40);   // 103
+  EXPECT_DOUBLE_EQ(r[5], 50);   // 104
+  EXPECT_DOUBLE_EQ(r[6], 0);    // 105
+
+  WindowId first = 0, last = 0;
+  ASSERT_TRUE(store.extent(flow(1), first, last));
+  EXPECT_EQ(first, 100);
+  EXPECT_EQ(last, 104);
+  EXPECT_DOUBLE_EQ(store.total_bytes(flow(1)), 155.0);
+}
+
+TEST(CurveStore, UnknownFlowConventions) {
+  analyzer::FlowCurveStore store;
+  EXPECT_TRUE(store.range(flow(9), 0, 4) == std::vector<double>(4, 0.0));
+  WindowId a, b;
+  EXPECT_FALSE(store.extent(flow(9), a, b));
+  EXPECT_DOUBLE_EQ(store.average_gbps(flow(9)), 0.0);
+}
+
+TEST(CurveStore, AverageGbps) {
+  analyzer::FlowCurveStore store(13);  // 8192 ns windows
+  analyzer::CurveFragment f;
+  f.w0 = 0;
+  f.bytes_per_window = {8192, 8192};  // 8 Gbps for two windows
+  store.add(flow(2), f);
+  EXPECT_NEAR(store.average_gbps(flow(2)), 8.0, 1e-9);
+  EXPECT_EQ(store.flow_count(), 1u);
+}
+
+// --- host clock jitter ------------------------------------------------------------
+
+TEST(ClockJitter, OffsetsDeterministicAndBounded) {
+  netsim::NetworkConfig cfg;
+  cfg.host_clock_jitter = 300;  // +-300 ns, sub-window PTP residual
+  netsim::Network net(cfg);
+  const int h0 = net.add_host();
+  const int h1 = net.add_host();
+  bool distinct = false;
+  for (int h : {h0, h1}) {
+    const Nanos o = net.host_clock_offset(h);
+    EXPECT_GE(o, -300);
+    EXPECT_LE(o, 300);
+    EXPECT_EQ(o, net.host_clock_offset(h));  // stable
+  }
+  distinct = net.host_clock_offset(h0) != net.host_clock_offset(h1);
+  EXPECT_TRUE(distinct);
+}
+
+TEST(ClockJitter, ZeroWhenDisabled) {
+  netsim::NetworkConfig cfg;
+  netsim::Network net(cfg);
+  const int h0 = net.add_host();
+  EXPECT_EQ(net.host_clock_offset(h0), 0);
+}
+
+TEST(ClockJitter, HookTimestampsCarryOffset) {
+  netsim::NetworkConfig cfg;
+  cfg.queue_sample_interval = 0;
+  cfg.host_clock_jitter = 100'000;  // exaggerated for observability
+  netsim::Network net(cfg);
+  const int h0 = net.add_host();
+  const int h1 = net.add_host();
+  const int sw = net.add_switch();
+  net.connect(h0, sw);
+  net.connect(h1, sw);
+  net.build_routes();
+
+  std::vector<Nanos> stamps;
+  net.set_host_tx_hook(
+      [&](int, const PacketRecord& r) { stamps.push_back(r.timestamp); });
+  netsim::FlowSpec spec;
+  spec.key = flow(5);
+  spec.src_host = h0;
+  spec.dst_host = h1;
+  spec.bytes = netsim::kMtuBytes;
+  spec.start_time = kMilli;
+  net.start_flow(spec);
+  net.run_until(5 * kMilli);
+  ASSERT_EQ(stamps.size(), 1u);
+  // True TX time is ~1 ms; the recorded stamp deviates by exactly the
+  // host's offset.
+  const Nanos offset = net.host_clock_offset(h0);
+  EXPECT_NEAR(static_cast<double>(stamps[0] - kMilli),
+              static_cast<double>(offset), 1000.0);
+}
+
+}  // namespace
+}  // namespace umon

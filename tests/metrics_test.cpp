@@ -1,0 +1,78 @@
+// Tests for the Appendix E accuracy metrics.
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "analyzer/metrics.hpp"
+
+namespace umon::analyzer {
+namespace {
+
+TEST(Metrics, IdenticalCurves) {
+  const std::vector<double> a{1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(euclidean_distance(a, a), 0.0);
+  EXPECT_NEAR(cosine_similarity(a, a), 1.0, 1e-12);
+  EXPECT_NEAR(energy_similarity(a, a), 1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(average_relative_error(a, a), 0.0);
+}
+
+TEST(Metrics, KnownEuclidean) {
+  const std::vector<double> a{0, 0, 0};
+  const std::vector<double> b{3, 4, 0};
+  EXPECT_DOUBLE_EQ(euclidean_distance(a, b), 5.0);
+}
+
+TEST(Metrics, CosineOrthogonal) {
+  const std::vector<double> a{1, 0};
+  const std::vector<double> b{0, 1};
+  EXPECT_DOUBLE_EQ(cosine_similarity(a, b), 0.0);
+}
+
+TEST(Metrics, CosineScaleInvariant) {
+  const std::vector<double> a{1, 2, 3};
+  const std::vector<double> b{10, 20, 30};
+  EXPECT_NEAR(cosine_similarity(a, b), 1.0, 1e-12);
+}
+
+TEST(Metrics, EnergySimilaritySymmetricRatio) {
+  const std::vector<double> a{2, 0};
+  const std::vector<double> b{4, 0};
+  // sqrt(E1/E2) = sqrt(4/16) = 0.5 regardless of argument order.
+  EXPECT_NEAR(energy_similarity(a, b), 0.5, 1e-12);
+  EXPECT_NEAR(energy_similarity(b, a), 0.5, 1e-12);
+}
+
+TEST(Metrics, AreSkipsZeroTruthWindows) {
+  const std::vector<double> truth{0, 10, 0, 20};
+  const std::vector<double> est{5, 11, 7, 18};
+  // Only windows 1 and 3 count: (0.1 + 0.1)/2.
+  EXPECT_NEAR(average_relative_error(truth, est), 0.1, 1e-12);
+}
+
+TEST(Metrics, MismatchedLengthsZeroPad) {
+  const std::vector<double> truth{3, 4};
+  const std::vector<double> est{3};
+  EXPECT_DOUBLE_EQ(euclidean_distance(truth, est), 4.0);
+}
+
+TEST(Metrics, AllZeroConventions) {
+  const std::vector<double> z{0, 0};
+  const std::vector<double> x{1, 1};
+  EXPECT_NEAR(cosine_similarity(z, z), 1.0, 1e-12);
+  EXPECT_NEAR(cosine_similarity(z, x), 0.0, 1e-12);
+  EXPECT_NEAR(energy_similarity(z, z), 1.0, 1e-12);
+  EXPECT_NEAR(energy_similarity(z, x), 0.0, 1e-12);
+}
+
+TEST(Metrics, BundleMatchesIndividuals) {
+  const std::vector<double> a{1, 5, 2, 8};
+  const std::vector<double> b{2, 4, 2, 7};
+  const CurveMetrics m = curve_metrics(a, b);
+  EXPECT_DOUBLE_EQ(m.euclidean, euclidean_distance(a, b));
+  EXPECT_DOUBLE_EQ(m.cosine, cosine_similarity(a, b));
+  EXPECT_DOUBLE_EQ(m.energy, energy_similarity(a, b));
+  EXPECT_DOUBLE_EQ(m.are, average_relative_error(a, b));
+}
+
+}  // namespace
+}  // namespace umon::analyzer

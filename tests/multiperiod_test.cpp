@@ -1,0 +1,102 @@
+// Multi-period stitching: a flow that spans several measurement periods
+// must reconstruct as one continuous curve at the analyzer ("longer flows
+// are handled in multiple reporting periods", Section 7.1).
+#include <gtest/gtest.h>
+
+#include "analyzer/analyzer.hpp"
+#include "sketch/wavesketch_full.hpp"
+
+namespace umon::analyzer {
+namespace {
+
+FlowKey flow(std::uint32_t id) {
+  FlowKey f;
+  f.src_ip = 0x0A000000u | id;
+  f.dst_ip = 0x0A0000F8;
+  f.src_port = static_cast<std::uint16_t>(1200 + id);
+  f.dst_port = 4791;
+  f.proto = 17;
+  return f;
+}
+
+sketch::WaveSketchParams params() {
+  sketch::WaveSketchParams p;
+  p.depth = 2;
+  p.width = 32;
+  p.levels = 4;
+  p.k = 512;  // lossless
+  p.heavy_rows = 16;
+  return p;
+}
+
+TEST(MultiPeriod, FlowSpansTwoUploads) {
+  Analyzer an;
+  const FlowKey f = flow(1);
+
+  // Period 1: windows 100..149; the host uploads and resets its sketch.
+  {
+    sketch::WaveSketchFull sk(params());
+    for (WindowId w = 100; w < 150; ++w) sk.update_window(f, w, 1000);
+    an.ingest_host_sketch(0, sk);
+  }
+  // Period 2: windows 150..199 from a fresh sketch.
+  {
+    sketch::WaveSketchFull sk(params());
+    for (WindowId w = 150; w < 200; ++w) sk.update_window(f, w, 2000);
+    an.ingest_host_sketch(0, sk);
+  }
+
+  const RateCurve c = an.query_rate(f);
+  ASSERT_FALSE(c.empty());
+  EXPECT_EQ(c.w0, 100);
+  EXPECT_EQ(c.bytes_per_window.size(), 100u);
+  EXPECT_NEAR(c.bytes_at(120), 1000.0, 1e-9);
+  EXPECT_NEAR(c.bytes_at(170), 2000.0, 1e-9);
+  EXPECT_NEAR(c.bytes_at(149), 1000.0, 1e-9);
+  EXPECT_NEAR(c.bytes_at(150), 2000.0, 1e-9);
+}
+
+TEST(MultiPeriod, WindowSplitAcrossPeriodsAccumulates) {
+  Analyzer an;
+  const FlowKey f = flow(2);
+  // Both periods contribute bytes to the boundary window 150.
+  {
+    sketch::WaveSketchFull sk(params());
+    for (WindowId w = 140; w <= 150; ++w) sk.update_window(f, w, 500);
+    an.ingest_host_sketch(0, sk);
+  }
+  {
+    sketch::WaveSketchFull sk(params());
+    for (WindowId w = 150; w < 160; ++w) sk.update_window(f, w, 300);
+    an.ingest_host_sketch(0, sk);
+  }
+  const RateCurve c = an.query_rate(f);
+  EXPECT_NEAR(c.bytes_at(150), 800.0, 1e-9);
+  EXPECT_NEAR(c.bytes_at(149), 500.0, 1e-9);
+  EXPECT_NEAR(c.bytes_at(151), 300.0, 1e-9);
+}
+
+TEST(MultiPeriod, DifferentHostsDifferentFlows) {
+  Analyzer an;
+  const FlowKey a = flow(3);
+  const FlowKey b = flow(4);
+  {
+    sketch::WaveSketchFull sk(params());
+    for (WindowId w = 0; w < 20; ++w) sk.update_window(a, w, 100);
+    an.ingest_host_sketch(0, sk);
+  }
+  {
+    sketch::WaveSketchFull sk(params());
+    for (WindowId w = 0; w < 20; ++w) sk.update_window(b, w, 900);
+    an.ingest_host_sketch(1, sk);
+  }
+  EXPECT_EQ(an.known_flows(), 2u);
+  EXPECT_NEAR(an.query_rate(a).bytes_at(5), 100.0, 1e-9);
+  EXPECT_NEAR(an.query_rate(b).bytes_at(5), 900.0, 1e-9);
+  EXPECT_NEAR(an.curves().average_gbps(b) /
+                  an.curves().average_gbps(a),
+              9.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace umon::analyzer

@@ -1,0 +1,426 @@
+// Tests for the network simulator substrate: engine, ECN queue, DCQCN, and
+// end-to-end packet flow through topologies.
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "netsim/dcqcn.hpp"
+#include "netsim/engine.hpp"
+#include "netsim/network.hpp"
+#include "netsim/queue.hpp"
+
+namespace umon::netsim {
+namespace {
+
+FlowKey flow(std::uint32_t id, int src, int dst) {
+  FlowKey f;
+  f.src_ip = 0x0A000000u | static_cast<std::uint32_t>(src);
+  f.dst_ip = 0x0A000000u | static_cast<std::uint32_t>(dst);
+  f.src_port = static_cast<std::uint16_t>(10000 + id);
+  f.dst_port = 4791;
+  f.proto = 17;
+  return f;
+}
+
+// --- Engine -----------------------------------------------------------------
+
+TEST(Engine, RunsInTimeOrder) {
+  Engine e;
+  std::vector<int> order;
+  e.schedule_at(30, [&] { order.push_back(3); });
+  e.schedule_at(10, [&] { order.push_back(1); });
+  e.schedule_at(20, [&] { order.push_back(2); });
+  e.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(e.now(), 30);
+}
+
+TEST(Engine, TieBreaksByInsertion) {
+  Engine e;
+  std::vector<int> order;
+  e.schedule_at(5, [&] { order.push_back(1); });
+  e.schedule_at(5, [&] { order.push_back(2); });
+  e.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(Engine, RunUntilStopsAndAdvancesClock) {
+  Engine e;
+  int fired = 0;
+  e.schedule_at(100, [&] { ++fired; });
+  e.schedule_at(200, [&] { ++fired; });
+  e.run_until(150);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(e.now(), 150);
+  e.run_until(250);
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Engine, EventsMayScheduleEvents) {
+  Engine e;
+  int count = 0;
+  std::function<void()> chain = [&] {
+    if (++count < 5) e.schedule(10, chain);
+  };
+  e.schedule_at(0, chain);
+  e.run_all();
+  EXPECT_EQ(count, 5);
+  EXPECT_EQ(e.now(), 40);
+}
+
+// --- EcnQueue ---------------------------------------------------------------
+
+EcnConfig test_ecn() {
+  EcnConfig c;
+  c.kmin_bytes = 2000;
+  c.kmax_bytes = 8000;
+  c.pmax = 0.1;
+  return c;
+}
+
+TEST(EcnQueue, FifoAndByteAccounting) {
+  EcnQueue q(test_ecn(), 100000, 2000, 1);
+  SimPacket a;
+  a.size = 1000;
+  a.psn = 1;
+  SimPacket b;
+  b.size = 500;
+  b.psn = 2;
+  ASSERT_TRUE(q.enqueue(a, 0));
+  ASSERT_TRUE(q.enqueue(b, 1));
+  EXPECT_EQ(q.bytes(), 1500u);
+  EXPECT_EQ(q.dequeue(2).psn, 1u);
+  EXPECT_EQ(q.dequeue(3).psn, 2u);
+  EXPECT_EQ(q.bytes(), 0u);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EcnQueue, TailDropAtBufferLimit) {
+  EcnQueue q(test_ecn(), 2048, 2000, 1);
+  SimPacket a;
+  a.size = 1500;
+  ASSERT_TRUE(q.enqueue(a, 0));
+  SimPacket b;
+  b.size = 1500;
+  EXPECT_FALSE(q.enqueue(b, 1));
+  EXPECT_EQ(q.drops(), 1u);
+}
+
+TEST(EcnQueue, MarksAboveKmaxAlways) {
+  EcnConfig c = test_ecn();
+  EcnQueue q(c, 1 << 20, 2000, 1);
+  // Fill beyond KMax.
+  for (int i = 0; i < 9; ++i) {
+    SimPacket p;
+    p.size = 1000;
+    p.ecn = Ecn::kEct0;
+    ASSERT_TRUE(q.enqueue(p, i));
+  }
+  SimPacket p;
+  p.size = 1000;
+  p.ecn = Ecn::kEct0;
+  ASSERT_TRUE(q.enqueue(p, 10));
+  // The queue already held 9000 > kmax when this one was admitted.
+  // Drain and check the last packet is CE.
+  SimPacket last;
+  for (int i = 0; i < 10; ++i) last = q.dequeue(20 + i);
+  EXPECT_EQ(last.ecn, Ecn::kCe);
+}
+
+TEST(EcnQueue, NeverMarksBelowKmin) {
+  EcnQueue q(test_ecn(), 1 << 20, 1 << 20, 1);
+  for (int i = 0; i < 100; ++i) {
+    SimPacket p;
+    p.size = 10;
+    p.ecn = Ecn::kEct0;
+    ASSERT_TRUE(q.enqueue(p, i));
+    EXPECT_NE(q.dequeue(i).ecn, Ecn::kCe);
+  }
+}
+
+TEST(EcnQueue, NotEctNeverMarked) {
+  EcnQueue q(test_ecn(), 1 << 20, 1 << 20, 1);
+  for (int i = 0; i < 20; ++i) {
+    SimPacket p;
+    p.size = 1000;
+    p.ecn = Ecn::kNotEct;
+    ASSERT_TRUE(q.enqueue(p, 0));
+  }
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(q.dequeue(1).ecn, Ecn::kNotEct);
+}
+
+TEST(EcnQueue, EpisodeTracking) {
+  EcnQueue q(test_ecn(), 1 << 20, 3000, 1);
+  SimPacket p;
+  p.size = 1000;
+  p.flow = flow(1, 0, 1);
+  // Build up to 4000 bytes (opens an episode at >= 3000).
+  for (int i = 0; i < 4; ++i) ASSERT_TRUE(q.enqueue(p, i));
+  // Drain below the threshold (closes it).
+  q.dequeue(10);
+  q.dequeue(11);
+  q.finish(100);
+  ASSERT_EQ(q.episodes().size(), 1u);
+  const auto& ep = q.episodes()[0];
+  EXPECT_EQ(ep.max_bytes, 4000u);
+  EXPECT_EQ(ep.start, 2);   // the enqueue that reached 3000
+  EXPECT_EQ(ep.end, 11);    // the dequeue that fell below
+  ASSERT_EQ(ep.flows.size(), 1u);
+  EXPECT_EQ(ep.flows[0], p.flow);
+}
+
+// --- DCQCN ------------------------------------------------------------------
+
+TEST(Dcqcn, CnpCutsRate) {
+  DcqcnConfig cfg;
+  DcqcnRp rp(cfg);
+  EXPECT_DOUBLE_EQ(rp.rate_gbps(), 100.0);
+  rp.on_cnp(1000);
+  // alpha starts at 1: cut by half.
+  EXPECT_NEAR(rp.rate_gbps(), 50.0, 1e-9);
+  EXPECT_NEAR(rp.target_gbps(), 100.0, 1e-9);
+}
+
+TEST(Dcqcn, RepeatedCnpsConvergeToMinRate) {
+  DcqcnConfig cfg;
+  DcqcnRp rp(cfg);
+  for (int i = 0; i < 200; ++i) rp.on_cnp(i * 1000);
+  EXPECT_NEAR(rp.rate_gbps(), cfg.min_rate_gbps, 1e-6);
+}
+
+TEST(Dcqcn, FastRecoveryConvergesToTarget) {
+  DcqcnConfig cfg;
+  DcqcnRp rp(cfg);
+  rp.on_cnp(0);
+  const double target = rp.target_gbps();
+  // Let several increase timers elapse without CNPs.
+  for (int i = 1; i <= 4; ++i) {
+    rp.on_time(i * cfg.increase_timer);
+  }
+  EXPECT_GT(rp.rate_gbps(), 50.0);
+  EXPECT_LE(rp.rate_gbps(), target + 1e-9);
+  EXPECT_NEAR(rp.rate_gbps(), target, target * 0.2);
+}
+
+TEST(Dcqcn, AlphaDecaysWithoutCnp) {
+  DcqcnConfig cfg;
+  DcqcnRp rp(cfg);
+  rp.on_cnp(0);
+  const double alpha_after_cnp = rp.alpha();
+  rp.on_time(10 * cfg.alpha_timer);
+  EXPECT_LT(rp.alpha(), alpha_after_cnp);
+}
+
+TEST(Dcqcn, AdditiveAndHyperIncreaseRaiseTarget) {
+  DcqcnConfig cfg;
+  DcqcnRp rp(cfg);
+  rp.on_cnp(0);
+  // Push far past the fast-recovery stages via the timer clock only.
+  for (int i = 1; i <= 30; ++i) rp.on_time(i * cfg.increase_timer);
+  EXPECT_GT(rp.rate_gbps(), 90.0);
+  // Byte-counter clock as well -> hyper increase caps at line rate.
+  rp.on_bytes_sent(cfg.byte_counter * 20, 31 * cfg.increase_timer);
+  EXPECT_LE(rp.target_gbps(), cfg.line_rate_gbps + 1e-9);
+}
+
+TEST(DcqcnNp, CnpRateLimited) {
+  DcqcnNp np(50 * kMicro);
+  EXPECT_TRUE(np.on_ce_arrival(0));
+  EXPECT_FALSE(np.on_ce_arrival(10 * kMicro));
+  EXPECT_FALSE(np.on_ce_arrival(49 * kMicro));
+  EXPECT_TRUE(np.on_ce_arrival(51 * kMicro));
+}
+
+// --- Network end-to-end -------------------------------------------------------
+
+NetworkConfig quiet_config() {
+  NetworkConfig cfg;
+  cfg.queue_sample_interval = 0;  // keep tests lean
+  return cfg;
+}
+
+TEST(Network, SingleFlowDelivers) {
+  NetworkConfig cfg = quiet_config();
+  Network net(cfg);
+  const int h0 = net.add_host();
+  const int h1 = net.add_host();
+  const int sw = net.add_switch();
+  net.connect(h0, sw);
+  net.connect(h1, sw);
+  net.build_routes();
+
+  std::uint64_t tx_bytes = 0;
+  std::uint64_t tx_packets = 0;
+  net.set_host_tx_hook([&](int host, const PacketRecord& r) {
+    EXPECT_EQ(host, h0);
+    tx_bytes += r.size;
+    ++tx_packets;
+  });
+
+  FlowSpec spec;
+  spec.key = flow(1, h0, h1);
+  spec.src_host = h0;
+  spec.dst_host = h1;
+  spec.bytes = 100 * kMtuBytes;
+  spec.start_time = 0;
+  net.start_flow(spec);
+  net.run_until(10 * kMilli);
+  net.finish();
+
+  const FlowStats* st = net.flow_stats(spec.key);
+  ASSERT_NE(st, nullptr);
+  EXPECT_TRUE(st->finished);
+  EXPECT_EQ(st->bytes_sent, spec.bytes);
+  EXPECT_EQ(st->packets_sent, 100u);
+  EXPECT_EQ(tx_packets, 100u);
+  EXPECT_EQ(tx_bytes, 100u * (kMtuBytes + kHeaderBytes));
+  EXPECT_EQ(net.total_drops(), 0u);
+}
+
+TEST(Network, ThroughputBoundedByLineRate) {
+  NetworkConfig cfg = quiet_config();
+  cfg.link.bandwidth_gbps = 10.0;
+  Network net(cfg);
+  const int h0 = net.add_host();
+  const int h1 = net.add_host();
+  const int sw = net.add_switch();
+  net.connect(h0, sw);
+  net.connect(h1, sw);
+  net.build_routes();
+
+  FlowSpec spec;
+  spec.key = flow(2, h0, h1);
+  spec.src_host = h0;
+  spec.dst_host = h1;
+  spec.bytes = 100ull << 20;  // 100 MB: cannot finish in 1 ms at 10 Gbps
+  spec.use_dcqcn = false;
+  net.start_flow(spec);
+  net.run_until(1 * kMilli);
+
+  const FlowStats* st = net.flow_stats(spec.key);
+  // At 10 Gbps, 1 ms moves at most 1.25 MB (plus headers).
+  EXPECT_LE(st->bytes_sent, 1'300'000u);
+  EXPECT_GT(st->bytes_sent, 1'000'000u);
+}
+
+TEST(Network, ContentionTriggersEcnAndCnps) {
+  NetworkConfig cfg = quiet_config();
+  cfg.link.bandwidth_gbps = 10.0;  // small links so the bottleneck fills fast
+  Network net(cfg);
+  const int h0 = net.add_host();
+  const int h1 = net.add_host();
+  const int h2 = net.add_host();
+  const int sw = net.add_switch();
+  net.connect(h0, sw);
+  net.connect(h1, sw);
+  net.connect(h2, sw);
+  net.build_routes();
+
+  // Two senders converge on h2: the shared egress queue must mark CE.
+  for (int i = 0; i < 2; ++i) {
+    FlowSpec spec;
+    spec.key = flow(static_cast<std::uint32_t>(10 + i), i, h2);
+    spec.src_host = i == 0 ? h0 : h1;
+    spec.dst_host = h2;
+    spec.bytes = 4ull << 20;
+    net.start_flow(spec);
+  }
+  net.run_until(20 * kMilli);
+  net.finish();
+
+  std::uint64_t cnps = 0;
+  for (int i = 0; i < 2; ++i) {
+    const FlowStats* st = net.flow_stats(flow(static_cast<std::uint32_t>(10 + i), i, h2));
+    ASSERT_NE(st, nullptr);
+    EXPECT_TRUE(st->finished);
+    cnps += st->cnps_received;
+  }
+  EXPECT_GT(cnps, 0u) << "congestion must generate CNPs";
+  EXPECT_FALSE(net.all_episodes().empty());
+}
+
+TEST(Network, FatTreeConnectivityAllPairs) {
+  NetworkConfig cfg = quiet_config();
+  auto net = Network::fat_tree(cfg, 4);
+  ASSERT_EQ(net->host_count(), 16);
+
+  // One small flow between every (i, i+5 mod 16) pair crosses pods.
+  std::vector<FlowSpec> specs;
+  for (int i = 0; i < 16; ++i) {
+    FlowSpec spec;
+    const int dst = (i + 5) % 16;
+    spec.key = flow(static_cast<std::uint32_t>(100 + i), i, dst);
+    spec.src_host = i;
+    spec.dst_host = dst;
+    spec.bytes = 10 * kMtuBytes;
+    specs.push_back(spec);
+    net->start_flow(spec);
+  }
+  net->run_until(5 * kMilli);
+  for (const auto& spec : specs) {
+    const FlowStats* st = net->flow_stats(spec.key);
+    ASSERT_NE(st, nullptr);
+    EXPECT_TRUE(st->finished) << "flow from " << spec.src_host;
+    EXPECT_EQ(st->bytes_sent, spec.bytes);
+  }
+}
+
+TEST(Network, FatTreeTopologySizes) {
+  NetworkConfig cfg = quiet_config();
+  auto net = Network::fat_tree(cfg, 4);
+  // k=4: 16 hosts, 8 edge + 8 agg + 4 core = 20 switches. Egress ports:
+  // edge: 2 host + 2 agg = 4; agg: 2 edge + 2 core = 4; core: 4 agg.
+  EXPECT_EQ(net->switch_ports().size(), 8u * 4 + 8u * 4 + 4u * 4);
+}
+
+TEST(Network, OnOffFlowHasGaps) {
+  NetworkConfig cfg = quiet_config();
+  Network net(cfg);
+  const int h0 = net.add_host();
+  const int h1 = net.add_host();
+  const int sw = net.add_switch();
+  net.connect(h0, sw);
+  net.connect(h1, sw);
+  net.build_routes();
+
+  FlowSpec spec;
+  spec.key = flow(42, h0, h1);
+  spec.src_host = h0;
+  spec.dst_host = h1;
+  spec.bytes = 1ull << 30;  // never finishes
+  spec.on_off = OnOffPattern{100 * kMicro, 100 * kMicro};
+  spec.rate_cap_gbps = 10.0;
+  spec.use_dcqcn = false;
+  net.start_flow(spec);
+
+  std::vector<Nanos> stamps;
+  net.set_host_tx_hook(
+      [&](int, const PacketRecord& r) { stamps.push_back(r.timestamp); });
+  net.run_until(1 * kMilli);
+
+  ASSERT_GT(stamps.size(), 10u);
+  // There must be inter-packet gaps of roughly the off duration.
+  Nanos max_gap = 0;
+  for (std::size_t i = 1; i < stamps.size(); ++i) {
+    max_gap = std::max(max_gap, stamps[i] - stamps[i - 1]);
+  }
+  EXPECT_GE(max_gap, 90 * kMicro);
+}
+
+TEST(Network, QueueSamplingCollects) {
+  NetworkConfig cfg;
+  cfg.queue_sample_interval = 10 * kMicro;
+  Network net(cfg);
+  const int h0 = net.add_host();
+  const int h1 = net.add_host();
+  const int sw = net.add_switch();
+  net.connect(h0, sw);
+  net.connect(h1, sw);
+  net.build_routes();
+  net.run_until(1 * kMilli);
+  // 2 switch egress ports sampled every 10 us for 1 ms ~ 200 samples.
+  EXPECT_GT(net.queue_samples().size(), 150u);
+}
+
+}  // namespace
+}  // namespace umon::netsim

@@ -1,0 +1,73 @@
+// Tests for the PISA resource model (Table 1).
+#include <gtest/gtest.h>
+
+#include "pisa/resources.hpp"
+
+namespace umon::pisa {
+namespace {
+
+sketch::WaveSketchParams paper_config() {
+  sketch::WaveSketchParams p;
+  p.depth = 1;        // light part d=1 in Table 1
+  p.width = 256;
+  p.levels = 8;
+  p.k = 64;
+  p.heavy_rows = 256;
+  p.heavy_k = 64;
+  return p;
+}
+
+TEST(PisaModel, ReproducesTable1) {
+  const ResourceUsage u = estimate(paper_config());
+  EXPECT_EQ(u.exact_match_xbar, 248u);
+  EXPECT_EQ(u.hash_bits, 752u);
+  EXPECT_EQ(u.gateways, 29u);
+  EXPECT_EQ(u.sram_blocks, 134u);
+  EXPECT_EQ(u.map_ram_blocks, 98u);
+  EXPECT_EQ(u.vliw_instructions, 75u);
+  EXPECT_EQ(u.stateful_alus, 49u);
+}
+
+TEST(PisaModel, Table1Percentages) {
+  const auto rows = table(estimate(paper_config()));
+  ASSERT_EQ(rows.size(), 7u);
+  EXPECT_EQ(rows[0].name, "Exact Match Input xbar");
+  EXPECT_NEAR(rows[0].percentage, 12.11, 0.05);
+  EXPECT_NEAR(rows[1].percentage, 11.30, 0.05);
+  EXPECT_NEAR(rows[2].percentage, 11.33, 0.05);
+  EXPECT_NEAR(rows[3].percentage, 10.31, 0.05);
+  EXPECT_NEAR(rows[4].percentage, 12.50, 0.05);
+  EXPECT_NEAR(rows[5].percentage, 14.65, 0.05);
+  EXPECT_NEAR(rows[6].percentage, 76.56, 0.05);
+}
+
+TEST(PisaModel, SaluIndependentOfWidthAndK) {
+  // Section 7.1: "increasing the number of buckets (W) and retained
+  // coefficients (K) does not result in an increased SALU usage."
+  auto p = paper_config();
+  const std::uint32_t base = estimate(p).stateful_alus;
+  p.width = 1024;
+  p.k = 256;
+  p.heavy_k = 256;
+  EXPECT_EQ(estimate(p).stateful_alus, base);
+}
+
+TEST(PisaModel, SaluGrowsWithLevels) {
+  auto p = paper_config();
+  const std::uint32_t base = estimate(p).stateful_alus;
+  p.levels = 12;
+  EXPECT_GT(estimate(p).stateful_alus, base);
+}
+
+TEST(PisaModel, DeeperLightPartCostsMore) {
+  auto p = paper_config();
+  const ResourceUsage u1 = estimate(p);
+  p.depth = 3;
+  const ResourceUsage u3 = estimate(p);
+  EXPECT_GT(u3.stateful_alus, u1.stateful_alus);
+  EXPECT_GT(u3.sram_blocks, u1.sram_blocks);
+  EXPECT_GT(u3.hash_bits, u1.hash_bits);
+}
+
+}  // namespace
+}  // namespace umon::pisa

@@ -1,0 +1,127 @@
+// Spec-level property tests tying the implementation to the paper's math:
+//  * Corollary A.2: reconstruction L2 error equals the L2 norm of the
+//    dropped (normalized) coefficients — an exact identity, not a bound.
+//  * Count-Min overestimation bound.
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "sketch/wavesketch.hpp"
+#include "wavelet/haar.hpp"
+#include "wavelet/online.hpp"
+#include "wavelet/reconstruct.hpp"
+#include "wavelet/store.hpp"
+
+namespace umon::wavelet {
+namespace {
+
+std::vector<Count> random_signal(std::uint32_t n, Rng& rng) {
+  std::vector<Count> s(n);
+  for (auto& x : s) x = static_cast<Count>(rng.below(5000));
+  return s;
+}
+
+/// Appendix A / Corollary A.2: squared L2 reconstruction error ==
+/// sum over dropped details of value^2 / 2^(level+1).
+class ParsevalIdentity : public ::testing::TestWithParam<std::tuple<int, int>> {
+};
+
+TEST_P(ParsevalIdentity, ErrorEqualsDroppedEnergy) {
+  const auto [n_log2, k] = GetParam();
+  const std::uint32_t n = 1u << n_log2;
+  Rng rng(static_cast<std::uint64_t>(n * 131 + k));
+  const std::vector<Count> signal = random_signal(n, rng);
+
+  const int levels = 8;
+  OnlineHaar haar(levels);
+  std::vector<DetailCoeff> all;
+  auto collect = [&all](const DetailCoeff& d) { all.push_back(d); };
+  for (std::uint32_t i = 0; i < n; ++i) haar.transform(i, signal[i], collect);
+  Decomposition geo = haar.finalize(collect);
+
+  TopKStore store(static_cast<std::size_t>(k));
+  for (const auto& d : all) store.offer(d);
+  const auto kept = store.sorted();
+
+  // Energy of the dropped coefficients in the *normalized* basis.
+  std::set<std::pair<int, std::uint32_t>> kept_set;
+  for (const auto& d : kept) kept_set.insert({d.level, d.index});
+  double dropped_energy = 0;
+  for (const auto& d : all) {
+    if (kept_set.contains({d.level, d.index})) continue;
+    dropped_energy += static_cast<double>(d.value) *
+                      static_cast<double>(d.value) /
+                      static_cast<double>(std::uint64_t{2} << d.level);
+  }
+
+  const auto rec = reconstruct(geo.approx, kept, n, levels);
+  double err = 0;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const double diff = rec[i] - static_cast<double>(signal[i]);
+    err += diff * diff;
+  }
+  EXPECT_NEAR(err, dropped_energy, 1e-6 * std::max(1.0, dropped_energy))
+      << "n=" << n << " k=" << k;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizesAndBudgets, ParsevalIdentity,
+    ::testing::Combine(::testing::Values(4, 6, 8, 10),
+                       ::testing::Values(0, 1, 4, 16, 64)));
+
+}  // namespace
+}  // namespace umon::wavelet
+
+namespace umon::sketch {
+namespace {
+
+FlowKey flow(std::uint32_t id) {
+  FlowKey f;
+  f.src_ip = 0x0B000000u | id;
+  f.dst_ip = 0x0B0000FF;
+  f.src_port = static_cast<std::uint16_t>(1300 + (id & 0xFFFF));
+  f.dst_port = 4791;
+  f.proto = 17;
+  return f;
+}
+
+TEST(CountMinProperty, OverestimateBoundedByEpsilonTotal) {
+  // Classic CM bound: estimate <= truth + e/w * total, w.h.p. with d rows.
+  // Our per-window variant inherits it window-wise (lossless K).
+  WaveSketchParams p;
+  p.depth = 4;
+  p.width = 128;
+  p.levels = 4;
+  p.k = 4096;
+  WaveSketchBasic ws(p);
+  Rng rng(77);
+
+  const int flows = 2000;
+  const WindowId w = 42;
+  std::vector<Count> truth(static_cast<std::size_t>(flows));
+  Count total = 0;
+  for (int i = 0; i < flows; ++i) {
+    const Count v = static_cast<Count>(1 + rng.below(1000));
+    truth[static_cast<std::size_t>(i)] = v;
+    total += v;
+    ws.update_window(flow(static_cast<std::uint32_t>(i)), w, v);
+  }
+
+  const double epsilon = std::exp(1.0) / p.width;  // e/w
+  int violations = 0;
+  for (int i = 0; i < flows; ++i) {
+    const auto q = ws.query(flow(static_cast<std::uint32_t>(i)));
+    const double est = q.at(w);
+    const double t = static_cast<double>(truth[static_cast<std::size_t>(i)]);
+    EXPECT_GE(est, t - 1e-6) << "Count-Min never underestimates";
+    if (est > t + epsilon * static_cast<double>(total)) ++violations;
+  }
+  // With d=4 rows the failure probability per flow is e^-4 ~ 1.8%.
+  EXPECT_LT(violations, flows / 20);
+}
+
+}  // namespace
+}  // namespace umon::sketch

@@ -1,0 +1,260 @@
+// Failure-injection and property tests across the stack: out-of-order
+// packets, adversarial inputs, parameter sweeps, and conservation laws.
+#include <map>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "analyzer/metrics.hpp"
+#include "common/hash.hpp"
+#include "common/rng.hpp"
+#include "netsim/network.hpp"
+#include "sketch/wavesketch.hpp"
+#include "sketch/wavesketch_full.hpp"
+
+namespace umon {
+namespace {
+
+FlowKey flow(std::uint32_t id) {
+  FlowKey f;
+  f.src_ip = 0x0A000000u | id;
+  f.dst_ip = 0x0A0000FC;
+  f.src_port = static_cast<std::uint16_t>(7000 + id);
+  f.dst_port = 4791;
+  f.proto = 17;
+  return f;
+}
+
+// --- Sketch robustness -------------------------------------------------------
+
+TEST(SketchRobustness, LatePacketsFoldIntoCurrentWindow) {
+  sketch::WaveSketchParams p;
+  p.depth = 1;
+  p.width = 4;
+  p.levels = 3;
+  p.k = 64;
+  sketch::WaveSketchBasic ws(p);
+  const FlowKey f = flow(1);
+  ws.update_window(f, 100, 500);
+  ws.update_window(f, 105, 300);
+  ws.update_window(f, 101, 200);  // late: folds into window 105
+  ws.update_window(f, 50, 100);   // very late: also folds, never crashes
+  auto q = ws.query(f);
+  EXPECT_NEAR(q.at(100), 500.0, 1e-9);
+  EXPECT_NEAR(q.at(105), 600.0, 1e-9);
+  // No giant allocations: the series stays 6 windows long.
+  EXPECT_EQ(q.series.size(), 6u);
+}
+
+TEST(SketchRobustness, ZeroValueUpdatesAreHarmless) {
+  sketch::WaveSketchParams p;
+  p.depth = 2;
+  p.width = 8;
+  p.levels = 4;
+  p.k = 16;
+  sketch::WaveSketchBasic ws(p);
+  const FlowKey f = flow(2);
+  for (WindowId w = 0; w < 64; ++w) ws.update_window(f, w, 0);
+  auto q = ws.query(f);
+  for (WindowId w = 0; w < 64; ++w) EXPECT_NEAR(q.at(w), 0.0, 1e-9);
+}
+
+TEST(SketchRobustness, ManyFlowsNoCrashAndTotalsConserved) {
+  sketch::WaveSketchParams p;
+  p.depth = 3;
+  p.width = 32;  // heavy collisions on purpose
+  p.levels = 6;
+  p.k = 1024;    // lossless
+  sketch::WaveSketchBasic ws(p);
+  Rng rng(7);
+  // Ordered feed: per flow, windows ascending.
+  double grand_total = 0;
+  for (std::uint32_t fid = 0; fid < 200; ++fid) {
+    for (WindowId w = 0; w < 64; ++w) {
+      if (rng.uniform() < 0.5) continue;
+      const Count v = static_cast<Count>(1 + rng.below(1500));
+      ws.update_window(flow(fid), w, v);
+      grand_total += static_cast<double>(v);
+    }
+  }
+  // With lossless K, every row conserves the total count: sum over one
+  // row's buckets' reconstructions equals the injected total.
+  auto reports = ws.flush();
+  std::map<int, double> row_totals;
+  for (const auto& r : reports) {
+    for (double v : r.report.reconstruct()) row_totals[r.row] += v;
+  }
+  for (const auto& [row, total] : row_totals) {
+    EXPECT_NEAR(total, grand_total, grand_total * 1e-9) << "row " << row;
+  }
+}
+
+class SketchParamSweep
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(SketchParamSweep, SingleFlowLosslessAcrossGeometries) {
+  const auto [depth, levels, length] = GetParam();
+  sketch::WaveSketchParams p;
+  p.depth = depth;
+  p.width = 16;
+  p.levels = levels;
+  p.k = static_cast<std::size_t>(length) + 16;  // lossless
+  sketch::WaveSketchBasic ws(p);
+  const FlowKey f = flow(9);
+  Rng rng(static_cast<std::uint64_t>(depth * 100 + levels * 10 + length));
+  std::vector<double> truth(static_cast<std::size_t>(length), 0);
+  for (WindowId w = 0; w < length; ++w) {
+    const Count v = static_cast<Count>(rng.below(5000));
+    truth[static_cast<std::size_t>(w)] = static_cast<double>(v);
+    if (v > 0) ws.update_window(f, w, v);
+  }
+  auto q = ws.query(f);
+  for (WindowId w = 0; w < length; ++w) {
+    ASSERT_NEAR(q.at(w), truth[static_cast<std::size_t>(w)], 1e-9)
+        << "d=" << depth << " L=" << levels << " n=" << length
+        << " w=" << w;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, SketchParamSweep,
+    ::testing::Combine(::testing::Values(1, 2, 4),
+                       ::testing::Values(2, 5, 8, 12),
+                       ::testing::Values(1, 17, 100, 300)));
+
+// --- Hash quality -------------------------------------------------------------
+
+TEST(HashQuality, BucketsRoughlyUniform) {
+  SeededHash h(42);
+  const std::uint32_t width = 64;
+  std::vector<int> counts(width, 0);
+  for (std::uint32_t i = 0; i < 64000; ++i) {
+    counts[h.bucket(flow(i).packed(), width)] += 1;
+  }
+  for (int c : counts) {
+    EXPECT_GT(c, 700);   // expected 1000 +- ~30%
+    EXPECT_LT(c, 1300);
+  }
+}
+
+TEST(HashQuality, SeedsIndependent) {
+  SeededHash h1(1), h2(2);
+  int same = 0;
+  const std::uint32_t width = 256;
+  for (std::uint32_t i = 0; i < 10000; ++i) {
+    const std::uint64_t k = flow(i).packed();
+    same += h1.bucket(k, width) == h2.bucket(k, width) ? 1 : 0;
+  }
+  // Independent hashes agree with probability ~1/256.
+  EXPECT_LT(same, 100);
+}
+
+// --- Simulator conservation laws ---------------------------------------------
+
+TEST(SimConservation, BytesInEqualsBytesOutPlusDrops) {
+  netsim::NetworkConfig cfg;
+  cfg.queue_sample_interval = 0;
+  cfg.switch_buffer_bytes = 64 * 1024;  // tiny buffer: force drops
+  cfg.link.bandwidth_gbps = 10.0;
+  netsim::Network net(cfg);
+  const int h0 = net.add_host();
+  const int h1 = net.add_host();
+  const int h2 = net.add_host();
+  const int sw = net.add_switch();
+  net.connect(h0, sw);
+  net.connect(h1, sw);
+  net.connect(h2, sw);
+  net.build_routes();
+
+  std::uint64_t delivered = 0;
+  // Count deliveries at the receiver by hooking its NIC... hosts have no rx
+  // hook; infer via switch egress to h2 minus drops instead: count switch
+  // enqueues toward h2.
+  std::uint64_t enqueued_to_h2 = 0;
+  net.set_switch_enqueue_hook(
+      [&](netsim::PortId, const PacketRecord& r) { enqueued_to_h2 += r.size; });
+  (void)delivered;
+
+  std::uint64_t sent_wire = 0;
+  net.set_host_tx_hook(
+      [&](int, const PacketRecord& r) { sent_wire += r.size; });
+
+  for (int i = 0; i < 2; ++i) {
+    netsim::FlowSpec spec;
+    spec.key = flow(static_cast<std::uint32_t>(50 + i));
+    spec.src_host = i == 0 ? h0 : h1;
+    spec.dst_host = h2;
+    spec.bytes = 2ull << 20;
+    net.start_flow(spec);
+  }
+  net.run_until(50 * kMilli);
+  net.finish();
+
+  std::uint64_t dropped_bytes_bound = net.total_drops() * (netsim::kMtuBytes + netsim::kHeaderBytes);
+  // Every transmitted byte was either enqueued at the switch or tail-dropped.
+  EXPECT_LE(enqueued_to_h2, sent_wire);
+  EXPECT_GE(enqueued_to_h2 + dropped_bytes_bound, sent_wire);
+  EXPECT_GT(net.total_drops(), 0u) << "tiny buffer must drop";
+}
+
+TEST(SimConservation, NoRouteMeansNoDelivery) {
+  netsim::NetworkConfig cfg;
+  cfg.queue_sample_interval = 0;
+  netsim::Network net(cfg);
+  const int h0 = net.add_host();
+  const int h1 = net.add_host();  // disconnected
+  net.add_switch();               // island switch
+  const int sw2 = net.add_switch();
+  net.connect(h0, sw2);
+  net.build_routes();
+
+  netsim::FlowSpec spec;
+  spec.key = flow(60);
+  spec.src_host = h0;
+  spec.dst_host = h1;
+  spec.bytes = 10 * netsim::kMtuBytes;
+  net.start_flow(spec);
+  net.run_until(1 * kMilli);  // must not hang or crash
+  const auto* st = net.flow_stats(spec.key);
+  ASSERT_NE(st, nullptr);
+  EXPECT_TRUE(st->finished);  // sender drains; packets die at the switch
+}
+
+// --- Metric sanity under adversarial curves ----------------------------------
+
+TEST(MetricProperties, EuclideanTriangleInequality) {
+  Rng rng(3);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<double> a(32), b(32), c(32);
+    for (int i = 0; i < 32; ++i) {
+      a[static_cast<std::size_t>(i)] = rng.uniform() * 100;
+      b[static_cast<std::size_t>(i)] = rng.uniform() * 100;
+      c[static_cast<std::size_t>(i)] = rng.uniform() * 100;
+    }
+    const double ab = analyzer::euclidean_distance(a, b);
+    const double bc = analyzer::euclidean_distance(b, c);
+    const double ac = analyzer::euclidean_distance(a, c);
+    EXPECT_LE(ac, ab + bc + 1e-9);
+  }
+}
+
+TEST(MetricProperties, CosineAndEnergyBounded) {
+  Rng rng(4);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<double> a(16), b(16);
+    for (int i = 0; i < 16; ++i) {
+      a[static_cast<std::size_t>(i)] = rng.uniform() * 1000;
+      b[static_cast<std::size_t>(i)] = rng.uniform() * 1000;
+    }
+    const double cos = analyzer::cosine_similarity(a, b);
+    const double e = analyzer::energy_similarity(a, b);
+    EXPECT_GE(cos, 0.0);
+    EXPECT_LE(cos, 1.0 + 1e-12);
+    EXPECT_GE(e, 0.0);
+    EXPECT_LE(e, 1.0 + 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace umon

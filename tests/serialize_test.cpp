@@ -1,0 +1,192 @@
+// Tests for the report wire format and the software front-ends
+// (aggregation cache, duty-cycled monitoring).
+#include <cstring>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "sketch/aggregator.hpp"
+#include "sketch/serialize.hpp"
+#include "sketch/wavesketch.hpp"
+
+namespace umon::sketch {
+namespace {
+
+FlowKey flow(std::uint32_t id) {
+  FlowKey f;
+  f.src_ip = 0x0A000000u | id;
+  f.dst_ip = 0x0A0000FD;
+  f.src_port = static_cast<std::uint16_t>(6000 + id);
+  f.dst_port = 4791;
+  f.proto = 17;
+  return f;
+}
+
+TaggedReport sample_report() {
+  TaggedReport r;
+  r.row = 2;
+  r.col = 197;
+  r.report.w0 = 123456789;
+  r.report.length = 777;
+  r.report.levels = 8;
+  r.report.approx = {10, -5, 0, 99999};
+  r.report.details = {
+      {0, 3, -42}, {3, 70000, 17}, {7, 1, 1 << 30}, {2, 0, -(1 << 29)}};
+  return r;
+}
+
+TEST(Serialize, RoundTripSingle) {
+  const TaggedReport orig = sample_report();
+  std::vector<std::uint8_t> buf;
+  const std::size_t n = encode_report(orig, buf);
+  EXPECT_EQ(n, buf.size());
+
+  std::size_t offset = 0;
+  auto got = decode_report(buf, offset);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(offset, buf.size());
+  EXPECT_EQ(got->row, orig.row);
+  EXPECT_EQ(got->col, orig.col);
+  EXPECT_EQ(got->report.w0, orig.report.w0);
+  EXPECT_EQ(got->report.length, orig.report.length);
+  EXPECT_EQ(got->report.levels, orig.report.levels);
+  EXPECT_EQ(got->report.approx, orig.report.approx);
+  EXPECT_EQ(got->report.details, orig.report.details);
+}
+
+TEST(Serialize, RoundTripBatchFromRealSketch) {
+  WaveSketchParams p;
+  p.depth = 2;
+  p.width = 16;
+  p.levels = 4;
+  p.k = 16;
+  WaveSketchBasic ws(p);
+  Rng rng(4);
+  for (int fid = 0; fid < 8; ++fid) {
+    for (WindowId w = 0; w < 200; ++w) {
+      if (rng.uniform() < 0.5) continue;
+      ws.update_window(flow(static_cast<std::uint32_t>(fid)), w,
+                       static_cast<Count>(100 + rng.below(2000)));
+    }
+  }
+  const auto reports = ws.flush();
+  ASSERT_FALSE(reports.empty());
+  const auto bytes = encode_batch(reports);
+  const auto back = decode_batch(bytes);
+  ASSERT_TRUE(back.has_value());
+  ASSERT_EQ(back->size(), reports.size());
+  for (std::size_t i = 0; i < reports.size(); ++i) {
+    EXPECT_EQ((*back)[i].row, reports[i].row);
+    EXPECT_EQ((*back)[i].col, reports[i].col);
+    EXPECT_EQ((*back)[i].report.approx, reports[i].report.approx);
+    EXPECT_EQ((*back)[i].report.details, reports[i].report.details);
+    // Reconstruction from the decoded report is identical.
+    const auto a = (*back)[i].report.reconstruct();
+    const auto b = reports[i].report.reconstruct();
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t j = 0; j < a.size(); ++j) EXPECT_EQ(a[j], b[j]);
+  }
+}
+
+TEST(Serialize, RejectsTruncation) {
+  std::vector<std::uint8_t> buf;
+  encode_report(sample_report(), buf);
+  for (std::size_t cut : {std::size_t{0}, std::size_t{1}, buf.size() / 2,
+                          buf.size() - 1}) {
+    std::size_t offset = 0;
+    auto got = decode_report(std::span(buf.data(), cut), offset);
+    EXPECT_FALSE(got.has_value()) << "cut=" << cut;
+  }
+}
+
+TEST(Serialize, RejectsBadMagicAndGarbage) {
+  std::vector<std::uint8_t> buf;
+  encode_report(sample_report(), buf);
+  buf[0] ^= 0xFF;
+  std::size_t offset = 0;
+  EXPECT_FALSE(decode_report(buf, offset).has_value());
+
+  // Batch with trailing garbage is rejected.
+  const TaggedReport r = sample_report();
+  auto batch = encode_batch(std::span(&r, 1));
+  batch.push_back(0x00);
+  EXPECT_FALSE(decode_batch(batch).has_value());
+}
+
+TEST(Serialize, RejectsAbsurdCounts) {
+  // Craft a header claiming 2^30 approximation coefficients.
+  TaggedReport r = sample_report();
+  std::vector<std::uint8_t> buf;
+  encode_report(r, buf);
+  // approx_count lives after magic(2) version(1) row(1) col(4) w0(8)
+  // length(4) levels(1) = offset 21.
+  const std::uint32_t absurd = 1u << 30;
+  std::memcpy(buf.data() + 21, &absurd, sizeof(absurd));
+  std::size_t offset = 0;
+  EXPECT_FALSE(decode_report(buf, offset).has_value());
+}
+
+// --- AggregatingFrontEnd ----------------------------------------------------
+
+TEST(Aggregator, CoalescesSameWindowUpdates) {
+  std::vector<std::tuple<FlowKey, WindowId, Count>> sunk;
+  auto sink = [&](const FlowKey& f, WindowId w, Count v) {
+    sunk.emplace_back(f, w, v);
+  };
+  AggregatingFrontEnd agg(64, sink);
+  const FlowKey f = flow(1);
+  for (int i = 0; i < 10; ++i) agg.update(f, 5, 100);
+  EXPECT_TRUE(sunk.empty());  // still resident
+  agg.update(f, 6, 1);        // window advance evicts the aggregate
+  ASSERT_EQ(sunk.size(), 1u);
+  EXPECT_EQ(std::get<1>(sunk[0]), 5);
+  EXPECT_EQ(std::get<2>(sunk[0]), 1000);
+  EXPECT_EQ(agg.hits(), 9u);
+  EXPECT_EQ(agg.misses(), 2u);
+}
+
+TEST(Aggregator, FlushDrainsEverything) {
+  Count total = 0;
+  auto sink = [&](const FlowKey&, WindowId, Count v) { total += v; };
+  AggregatingFrontEnd agg(16, sink);
+  for (std::uint32_t id = 0; id < 40; ++id) agg.update(flow(id), 1, 7);
+  agg.flush();
+  EXPECT_EQ(total, 40 * 7);
+  agg.flush();  // idempotent
+  EXPECT_EQ(total, 40 * 7);
+}
+
+TEST(Aggregator, ConservesValuesUnderRandomTraffic) {
+  Count total_in = 0, total_out = 0;
+  auto sink = [&](const FlowKey&, WindowId, Count v) { total_out += v; };
+  AggregatingFrontEnd agg(32, sink);
+  Rng rng(12);
+  for (int i = 0; i < 10000; ++i) {
+    const Count v = static_cast<Count>(1 + rng.below(1500));
+    total_in += v;
+    agg.update(flow(static_cast<std::uint32_t>(rng.below(100))),
+               static_cast<WindowId>(rng.below(50)), v);
+  }
+  agg.flush();
+  EXPECT_EQ(total_in, total_out);
+  EXPECT_GT(agg.hit_rate(), 0.0);
+}
+
+// --- EpochSampler ------------------------------------------------------------
+
+TEST(EpochSampler, DutyCycleGates) {
+  EpochSampler s(/*period=*/1000, /*active=*/250);
+  EXPECT_NEAR(s.duty_cycle(), 0.25, 1e-12);
+  EXPECT_TRUE(s.is_active(0));
+  EXPECT_TRUE(s.is_active(249));
+  EXPECT_FALSE(s.is_active(250));
+  EXPECT_FALSE(s.is_active(999));
+  EXPECT_TRUE(s.is_active(1000));
+  // Long-run fraction approaches the duty cycle.
+  int active = 0;
+  for (Nanos t = 0; t < 100000; ++t) active += s.is_active(t) ? 1 : 0;
+  EXPECT_NEAR(active / 100000.0, 0.25, 0.01);
+}
+
+}  // namespace
+}  // namespace umon::sketch

@@ -1,0 +1,108 @@
+// Tests for the binary trace format.
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "trace/trace.hpp"
+
+namespace umon::trace {
+namespace {
+
+std::vector<PacketRecord> sample_records(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<PacketRecord> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    PacketRecord r;
+    r.flow.src_ip = static_cast<std::uint32_t>(rng());
+    r.flow.dst_ip = static_cast<std::uint32_t>(rng());
+    r.flow.src_port = static_cast<std::uint16_t>(rng());
+    r.flow.dst_port = static_cast<std::uint16_t>(rng());
+    r.flow.proto = static_cast<std::uint8_t>(rng.below(256));
+    r.timestamp = static_cast<Nanos>(rng.below(1ull << 40));
+    r.size = static_cast<std::uint32_t>(rng.below(9000));
+    r.psn = static_cast<std::uint32_t>(rng());
+    r.ecn = static_cast<Ecn>(rng.below(4));
+    r.port = static_cast<std::uint16_t>(rng.below(64));
+    out.push_back(r);
+  }
+  return out;
+}
+
+bool equal(const PacketRecord& a, const PacketRecord& b) {
+  return a.flow == b.flow && a.timestamp == b.timestamp && a.size == b.size &&
+         a.psn == b.psn && a.ecn == b.ecn && a.port == b.port;
+}
+
+TEST(Trace, EncodeDecodeRoundTrip) {
+  const auto records = sample_records(1000, 42);
+  TraceMeta meta;
+  meta.window_shift = 10;
+  const auto bytes = encode(records, meta);
+  const auto back = decode(bytes);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->meta.window_shift, 10);
+  ASSERT_EQ(back->records.size(), records.size());
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    EXPECT_TRUE(equal(back->records[i], records[i])) << "i=" << i;
+  }
+}
+
+TEST(Trace, EmptyTraceValid) {
+  const auto bytes = encode({});
+  const auto back = decode(bytes);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_TRUE(back->records.empty());
+}
+
+TEST(Trace, RejectsCorruption) {
+  const auto records = sample_records(10, 7);
+  auto bytes = encode(records);
+  // Bad magic.
+  auto bad = bytes;
+  bad[0] = 'X';
+  EXPECT_FALSE(decode(bad).has_value());
+  // Truncated.
+  EXPECT_FALSE(decode(std::span(bytes.data(), bytes.size() - 1)).has_value());
+  // Trailing garbage.
+  bad = bytes;
+  bad.push_back(0);
+  EXPECT_FALSE(decode(bad).has_value());
+  // Absurd count.
+  bad = bytes;
+  const std::uint64_t absurd = 1ull << 40;
+  std::memcpy(bad.data() + 8, &absurd, 8);
+  EXPECT_FALSE(decode(bad).has_value());
+  // Invalid ECN codepoint.
+  bad = bytes;
+  bad[20 + 29] = 7;  // first record's ecn byte (header is 20 bytes)
+  EXPECT_FALSE(decode(bad).has_value());
+}
+
+TEST(Trace, FileRoundTrip) {
+  const auto records = sample_records(257, 9);
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "umon_trace_test.bin")
+          .string();
+  ASSERT_TRUE(write_file(path, records));
+  const auto back = read_file(path);
+  ASSERT_TRUE(back.has_value());
+  ASSERT_EQ(back->records.size(), records.size());
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    EXPECT_TRUE(equal(back->records[i], records[i]));
+  }
+  std::filesystem::remove(path);
+  EXPECT_FALSE(read_file(path).has_value());  // gone
+}
+
+TEST(Trace, RecorderAccumulates) {
+  TraceRecorder rec;
+  for (const auto& r : sample_records(5, 3)) rec.record(r);
+  EXPECT_EQ(rec.records().size(), 5u);
+}
+
+}  // namespace
+}  // namespace umon::trace

@@ -1,0 +1,70 @@
+// Tests for the transport-analysis helpers (fairness, convergence, gaps).
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "analyzer/transport.hpp"
+
+namespace umon::analyzer {
+namespace {
+
+TEST(Fairness, PerfectlyFair) {
+  const std::vector<double> rates{10, 10, 10, 10};
+  EXPECT_NEAR(jain_fairness(rates), 1.0, 1e-12);
+}
+
+TEST(Fairness, OneFlowDominates) {
+  const std::vector<double> rates{100, 0, 0, 0};
+  EXPECT_NEAR(jain_fairness(rates), 0.25, 1e-12);
+}
+
+TEST(Fairness, EmptyAndZeroConventions) {
+  EXPECT_NEAR(jain_fairness({}), 1.0, 1e-12);
+  const std::vector<double> zeros{0, 0};
+  EXPECT_NEAR(jain_fairness(zeros), 1.0, 1e-12);
+}
+
+TEST(Fairness, OverTimeTracksShift) {
+  // Flow A dominates early, B late; mid-point is fair.
+  const std::vector<std::vector<double>> curves{
+      {10, 5, 0},
+      {0, 5, 10},
+  };
+  const auto f = fairness_over_time(curves);
+  ASSERT_EQ(f.size(), 3u);
+  EXPECT_NEAR(f[0], 0.5, 1e-12);
+  EXPECT_NEAR(f[1], 1.0, 1e-12);
+  EXPECT_NEAR(f[2], 0.5, 1e-12);
+}
+
+TEST(Convergence, DetectsSettling) {
+  std::vector<double> curve{100, 60, 30, 12, 10, 10.5, 9.8, 10.1};
+  const auto w = convergence_window(curve, 0.2);
+  EXPECT_EQ(w, 3);  // from window 3 on, within 20% of 10.1
+}
+
+TEST(Convergence, AlwaysWithinBand) {
+  const std::vector<double> curve{10, 10, 10};
+  EXPECT_EQ(convergence_window(curve), 0);
+}
+
+TEST(Convergence, NeverSettles) {
+  const std::vector<double> curve{10, 100, 10, 100};
+  // Last window is 100; prior 10 is outside the band at position size-2.
+  EXPECT_EQ(convergence_window(curve, 0.1), -1);
+}
+
+TEST(IdleFraction, CountsGaps) {
+  const std::vector<double> curve{0, 5, 0, 5, 0, 0};
+  EXPECT_NEAR(idle_fraction(curve, 1.0), 4.0 / 6.0, 1e-12);
+}
+
+TEST(Oscillation, SteadyVsThrashing) {
+  const std::vector<double> steady{10, 10, 10, 10};
+  const std::vector<double> thrash{10, 0, 10, 0, 10};
+  EXPECT_NEAR(oscillation_index(steady), 0.0, 1e-12);
+  EXPECT_GT(oscillation_index(thrash), 1.0);
+}
+
+}  // namespace
+}  // namespace umon::analyzer

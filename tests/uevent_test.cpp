@@ -1,0 +1,175 @@
+// Tests for the uEvent pipeline: ACL rules, PSN sampling, mirroring, and
+// episode scoring.
+#include <gtest/gtest.h>
+
+#include "netsim/network.hpp"
+#include "uevent/acl.hpp"
+#include "uevent/detector.hpp"
+
+namespace umon::uevent {
+namespace {
+
+PacketRecord ce_packet(std::uint32_t psn, Nanos ts = 0) {
+  PacketRecord p;
+  p.flow.src_ip = 0x0A000001;
+  p.flow.dst_ip = 0x0A000002;
+  p.flow.src_port = 1234;
+  p.flow.dst_port = 4791;
+  p.flow.proto = 17;
+  p.psn = psn;
+  p.size = 1048;
+  p.timestamp = ts;
+  p.ecn = Ecn::kCe;
+  return p;
+}
+
+TEST(AclRule, MatchesOnlyCe) {
+  const AclRule r = AclRule::ce_sampled(0);
+  PacketRecord p = ce_packet(5);
+  EXPECT_TRUE(r.matches(p));
+  p.ecn = Ecn::kEct0;
+  EXPECT_FALSE(r.matches(p));
+  p.ecn = Ecn::kNotEct;
+  EXPECT_FALSE(r.matches(p));
+}
+
+TEST(AclRule, PsnSamplingRatioExact) {
+  // w=3 bits -> 1/8 of sequence numbers match (Figure 8).
+  const AclRule r = AclRule::ce_sampled(3);
+  int matched = 0;
+  for (std::uint32_t psn = 0; psn < 8000; ++psn) {
+    if (r.matches(ce_packet(psn))) ++matched;
+  }
+  EXPECT_EQ(matched, 1000);
+}
+
+TEST(AclRule, ZeroBitsMatchesAll) {
+  const AclRule r = AclRule::ce_sampled(0);
+  for (std::uint32_t psn = 0; psn < 100; ++psn) {
+    EXPECT_TRUE(r.matches(ce_packet(psn)));
+  }
+}
+
+TEST(AclMirror, CountsAndForwards) {
+  std::vector<MirroredPacket> got;
+  AclMirror mirror(AclRule::ce_sampled(1),
+                   [&](const MirroredPacket& m) { got.push_back(m); });
+  for (std::uint32_t psn = 0; psn < 10; ++psn) {
+    mirror.on_switch_enqueue(netsim::PortId{3, 2}, ce_packet(psn), 100 + psn);
+  }
+  EXPECT_EQ(mirror.packets_seen(), 10u);
+  EXPECT_EQ(mirror.packets_mirrored(), 5u);  // even PSNs
+  EXPECT_EQ(mirror.mirrored_bytes(), 5u * MirroredPacket::kWireBytes);
+  ASSERT_EQ(got.size(), 5u);
+  EXPECT_EQ(got[0].switch_id, 3);
+  EXPECT_EQ(got[0].egress_port, 2);
+  EXPECT_EQ(got[0].vlan, 102);  // port-distinguishing VLAN tag
+  EXPECT_EQ(got[0].switch_timestamp, 100);
+}
+
+TEST(AclMirror, NonCePacketsIgnored) {
+  int called = 0;
+  AclMirror mirror(AclRule::ce_sampled(0),
+                   [&](const MirroredPacket&) { ++called; });
+  PacketRecord p = ce_packet(0);
+  p.ecn = Ecn::kEct0;
+  mirror.on_switch_enqueue(netsim::PortId{0, 0}, p, 0);
+  EXPECT_EQ(called, 0);
+  EXPECT_EQ(mirror.packets_seen(), 1u);
+}
+
+// --- End-to-end scoring on a congested simulation ---------------------------
+
+TEST(EventScorer, DetectsCongestionInSimulation) {
+  netsim::NetworkConfig cfg;
+  cfg.link.bandwidth_gbps = 10.0;
+  cfg.queue_sample_interval = 0;
+  netsim::Network net(cfg);
+  const int h0 = net.add_host();
+  const int h1 = net.add_host();
+  const int h2 = net.add_host();
+  const int sw = net.add_switch();
+  net.connect(h0, sw);
+  net.connect(h1, sw);
+  net.connect(h2, sw);
+  net.build_routes();
+
+  EventScorer scorer;
+  AclMirror mirror(AclRule::ce_sampled(0),
+                   [&](const MirroredPacket& m) { scorer.collect(m); });
+  net.set_switch_enqueue_hook(
+      [&](netsim::PortId port, const PacketRecord& pkt) {
+        mirror.on_switch_enqueue(port, pkt, pkt.timestamp);
+      });
+
+  for (int i = 0; i < 2; ++i) {
+    netsim::FlowSpec spec;
+    spec.key.src_ip = 0x0A000000u | static_cast<std::uint32_t>(i);
+    spec.key.dst_ip = 0x0A0000FF;
+    spec.key.src_port = static_cast<std::uint16_t>(7000 + i);
+    spec.key.dst_port = 4791;
+    spec.key.proto = 17;
+    spec.src_host = i == 0 ? h0 : h1;
+    spec.dst_host = h2;
+    spec.bytes = 4ull << 20;
+    net.start_flow(spec);
+  }
+  net.run_until(30 * kMilli);
+  net.finish();
+
+  auto scores = scorer.score(net);
+  ASSERT_FALSE(scores.empty());
+  // Severe episodes (above KMax = 200 KiB) must all be detected with full
+  // mirroring.
+  int severe = 0, severe_detected = 0;
+  for (const auto& s : scores) {
+    if (s.max_queue_bytes >= cfg.ecn.kmax_bytes) {
+      ++severe;
+      severe_detected += s.detected ? 1 : 0;
+      EXPECT_GE(s.captured_flows, 1u);
+    }
+  }
+  if (severe > 0) {
+    EXPECT_EQ(severe, severe_detected);
+  }
+  EXPECT_GT(mirror.packets_mirrored(), 0u);
+}
+
+TEST(EventScorer, BucketizeAggregates) {
+  std::vector<EpisodeScore> scores;
+  for (int i = 0; i < 10; ++i) {
+    EpisodeScore s;
+    s.max_queue_bytes = static_cast<std::uint64_t>(i) * 10 * 1024;
+    s.detected = i >= 5;
+    s.captured_flows = static_cast<std::size_t>(i);
+    scores.push_back(s);
+  }
+  auto buckets = EventScorer::bucketize(scores, 50 * 1024);
+  ASSERT_EQ(buckets.size(), 2u);
+  EXPECT_EQ(buckets[0].episodes, 5u);  // 0..40 KB
+  EXPECT_EQ(buckets[0].detected, 0u);
+  EXPECT_NEAR(buckets[0].recall(), 0.0, 1e-12);
+  EXPECT_EQ(buckets[1].episodes, 5u);  // 50..90 KB
+  EXPECT_NEAR(buckets[1].recall(), 1.0, 1e-12);
+  EXPECT_NEAR(buckets[1].avg_captured_flows, 7.0, 1e-12);
+}
+
+TEST(EventScorer, SamplingReducesMirrorVolumeMonotonically) {
+  // Same CE stream through rules of decreasing sampling ratio.
+  std::vector<std::uint64_t> volumes;
+  for (int w : {0, 2, 4, 6}) {
+    AclMirror mirror(AclRule::ce_sampled(w), nullptr);
+    for (std::uint32_t psn = 0; psn < 4096; ++psn) {
+      mirror.on_switch_enqueue(netsim::PortId{0, 0}, ce_packet(psn), psn);
+    }
+    volumes.push_back(mirror.mirrored_bytes());
+  }
+  for (std::size_t i = 1; i < volumes.size(); ++i) {
+    EXPECT_LT(volumes[i], volumes[i - 1]);
+  }
+  EXPECT_EQ(volumes[0], 4096u * MirroredPacket::kWireBytes);
+  EXPECT_EQ(volumes[3], 64u * MirroredPacket::kWireBytes);
+}
+
+}  // namespace
+}  // namespace umon::uevent

@@ -1,0 +1,116 @@
+// Tests for the workload substrate: CDF sampling and flow generation.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "netsim/network.hpp"
+#include "workload/cdf.hpp"
+#include "workload/generator.hpp"
+
+namespace umon::workload {
+namespace {
+
+TEST(SizeCdf, SamplesWithinSupport) {
+  SizeCdf cdf({{10, 0.0}, {100, 0.5}, {1000, 1.0}});
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = cdf.sample(rng);
+    EXPECT_GE(x, 10.0);
+    EXPECT_LE(x, 1000.0);
+  }
+}
+
+TEST(SizeCdf, MeanMatchesAnalytic) {
+  // Uniform on [0, 100]: mean 50.
+  SizeCdf cdf({{0, 0.0}, {100, 1.0}});
+  EXPECT_NEAR(cdf.mean(), 50.0, 1e-9);
+  Rng rng(2);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += cdf.sample(rng);
+  EXPECT_NEAR(sum / n, 50.0, 1.5);
+}
+
+TEST(SizeCdf, CdfQueryRoundTrip) {
+  SizeCdf cdf({{10, 0.0}, {20, 0.25}, {40, 0.75}, {80, 1.0}});
+  EXPECT_NEAR(cdf.cdf(10), 0.0, 1e-12);
+  EXPECT_NEAR(cdf.cdf(20), 0.25, 1e-12);
+  EXPECT_NEAR(cdf.cdf(30), 0.5, 1e-12);
+  EXPECT_NEAR(cdf.cdf(80), 1.0, 1e-12);
+  EXPECT_NEAR(cdf.cdf(5), 0.0, 1e-12);
+  EXPECT_NEAR(cdf.cdf(100), 1.0, 1e-12);
+}
+
+TEST(SizeCdf, WorkloadShapes) {
+  const SizeCdf ws = websearch_cdf();
+  const SizeCdf hd = hadoop_cdf();
+  // WebSearch mean flow is roughly an order of magnitude larger (Table 2's
+  // flow-count ratio at equal load).
+  EXPECT_GT(ws.mean() / hd.mean(), 8.0);
+  EXPECT_LT(ws.mean() / hd.mean(), 30.0);
+  // Hadoop is dominated by small flows.
+  EXPECT_GT(hd.cdf(10e3), 0.7);
+  EXPECT_LT(ws.cdf(10e3), 0.3);
+}
+
+TEST(Generator, LoadScalesByteVolume) {
+  WorkloadParams p;
+  p.hosts = 16;
+  p.load = 0.15;
+  p.duration = 20 * kMilli;
+  const Workload w15 = generate(WorkloadKind::kWebSearch, p);
+  p.load = 0.35;
+  p.seed = 8;
+  const Workload w35 = generate(WorkloadKind::kWebSearch, p);
+
+  const double target15 = 16 * 100e9 * 0.15 * 0.020 / 8;  // bytes
+  const double target35 = 16 * 100e9 * 0.35 * 0.020 / 8;
+  EXPECT_NEAR(static_cast<double>(w15.total_bytes()), target15, 0.4 * target15);
+  EXPECT_NEAR(static_cast<double>(w35.total_bytes()), target35, 0.4 * target35);
+  EXPECT_GT(w35.flows.size(), w15.flows.size());
+}
+
+TEST(Generator, HadoopHasManyMoreFlowsThanWebSearch) {
+  WorkloadParams p;
+  const Workload ws = generate(WorkloadKind::kWebSearch, p);
+  const Workload hd = generate(WorkloadKind::kHadoop, p);
+  EXPECT_GT(hd.flows.size(), 5 * ws.flows.size());
+}
+
+TEST(Generator, FlowsWellFormed) {
+  WorkloadParams p;
+  p.hosts = 16;
+  const Workload w = generate(WorkloadKind::kHadoop, p);
+  ASSERT_FALSE(w.flows.empty());
+  for (const auto& f : w.flows) {
+    EXPECT_GE(f.src_host, 0);
+    EXPECT_LT(f.src_host, 16);
+    EXPECT_NE(f.src_host, f.dst_host);
+    EXPECT_GT(f.bytes, 0u);
+    EXPECT_GE(f.start_time, 0);
+    EXPECT_LT(f.start_time, p.duration);
+    EXPECT_EQ(f.key.proto, 17);
+  }
+}
+
+TEST(Generator, DeterministicForSeed) {
+  WorkloadParams p;
+  const Workload a = generate(WorkloadKind::kWebSearch, p);
+  const Workload b = generate(WorkloadKind::kWebSearch, p);
+  ASSERT_EQ(a.flows.size(), b.flows.size());
+  for (std::size_t i = 0; i < a.flows.size(); ++i) {
+    EXPECT_EQ(a.flows[i].bytes, b.flows[i].bytes);
+    EXPECT_EQ(a.flows[i].start_time, b.flows[i].start_time);
+  }
+}
+
+TEST(Generator, InterarrivalStatistics) {
+  WorkloadParams p;
+  p.load = 0.35;
+  const Workload w = generate(WorkloadKind::kHadoop, p);
+  const auto gaps = interarrival_per_port(w);
+  ASSERT_GT(gaps.size(), 100u);
+  for (double g : gaps) EXPECT_GE(g, 0.0);
+}
+
+}  // namespace
+}  // namespace umon::workload
