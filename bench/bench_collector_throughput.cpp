@@ -1,0 +1,143 @@
+// Collector ingest scaling: decoded-reports/sec through the sharded pipeline
+// for shard counts {1, 2, 4, 8}. The workload is decode-heavy on purpose —
+// long wavelet series (16384 windows) with sparse support, so the parallel
+// section (decode + inverse transform + zero-stripping) dominates and the
+// serial sections (front-door framing scan, per-epoch sink flush) stay thin.
+// Expect near-linear scaling up to the core count of the machine.
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "analyzer/analyzer.hpp"
+#include "collector/collector.hpp"
+#include "collector/uplink.hpp"
+#include "common/rng.hpp"
+#include "sketch/serialize.hpp"
+#include "wavelet/haar.hpp"
+
+namespace {
+
+using namespace umon;
+
+constexpr int kHosts = 8;
+constexpr int kReportsPerHost = 256;
+constexpr std::uint32_t kSeriesLength = 16384;
+constexpr int kLevels = 8;
+
+FlowKey flow(std::uint32_t id) {
+  FlowKey f;
+  f.src_ip = 0x0A000000u | id;
+  f.dst_ip = 0x0A0000FC;
+  f.src_port = static_cast<std::uint16_t>(id & 0xFFFF);
+  f.dst_port = 4791;
+  f.proto = 17;
+  return f;
+}
+
+/// One decode-heavy flow-tagged report: a long series whose reconstruction
+/// walks the full padded length but whose nonzero support stays small (one
+/// approximation block plus a few details), mimicking a bursty flow.
+sketch::TaggedReport make_report(std::uint32_t flow_id, Rng& rng) {
+  sketch::TaggedReport t;
+  t.flow = flow(flow_id);
+  t.report.w0 = 0;
+  t.report.length = kSeriesLength;
+  t.report.levels = kLevels;
+  const std::uint32_t approx_n =
+      wavelet::next_pow2(kSeriesLength) >> kLevels;
+  t.report.approx.assign(approx_n, 0);
+  t.report.approx[rng.below(approx_n)] =
+      static_cast<Count>(1000 + rng.below(9000));
+  for (int d = 0; d < 16; ++d) {
+    wavelet::DetailCoeff c;
+    c.level = static_cast<std::uint8_t>(rng.below(kLevels));
+    c.index = static_cast<std::uint32_t>(
+        rng.below(kSeriesLength >> (c.level + 1)));
+    c.value = static_cast<std::int32_t>(rng.below(2000)) - 1000;
+    t.report.details.push_back(c);
+  }
+  return t;
+}
+
+struct EncodedLoad {
+  // One epoch per host, several payloads each.
+  std::vector<collector::HostUplink::EpochUpload> uploads;  // index = host
+  std::uint64_t total_reports = 0;
+};
+
+EncodedLoad build_load() {
+  EncodedLoad load;
+  Rng rng(42);
+  for (int h = 0; h < kHosts; ++h) {
+    std::vector<sketch::TaggedReport> reports;
+    reports.reserve(kReportsPerHost);
+    for (int r = 0; r < kReportsPerHost; ++r) {
+      reports.push_back(make_report(
+          static_cast<std::uint32_t>(h * kReportsPerHost + r), rng));
+    }
+    collector::HostUplink up(h, /*max_reports_per_payload=*/32);
+    load.uploads.push_back(up.encode_epoch(std::move(reports)));
+    load.total_reports += load.uploads.back().reports;
+  }
+  return load;
+}
+
+double run_once(const EncodedLoad& load, int shards) {
+  analyzer::Analyzer an;
+  collector::CollectorConfig cfg;
+  cfg.shards = shards;
+  cfg.queue_capacity = 64;
+  cfg.overflow = collector::OverflowPolicy::kBlock;
+  collector::Collector col(cfg, an);
+  col.start();
+
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int h = 0; h < kHosts; ++h) {
+    const auto& up = load.uploads[static_cast<std::size_t>(h)];
+    for (const auto& p : up.payloads) {
+      col.submit_report_payload(h, up.epoch, p.bytes);
+    }
+  }
+  for (int h = 0; h < kHosts; ++h) {
+    const auto& up = load.uploads[static_cast<std::size_t>(h)];
+    col.seal_epoch(h, up.epoch, up.end_seq);
+  }
+  col.stop();
+  const auto t1 = std::chrono::steady_clock::now();
+
+  const auto st = col.stats();
+  if (st.reports_decoded != load.total_reports || st.reports_lost != 0) {
+    std::fprintf(stderr, "BUG: decoded %llu of %llu (lost %llu)\n",
+                 static_cast<unsigned long long>(st.reports_decoded),
+                 static_cast<unsigned long long>(load.total_reports),
+                 static_cast<unsigned long long>(st.reports_lost));
+  }
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Collector ingest throughput (decode-bound synthetic load)\n");
+  std::printf(
+      "load: %d hosts x %d flow-tagged reports, series length %u, "
+      "levels %d\n\n",
+      kHosts, kReportsPerHost, kSeriesLength, kLevels);
+
+  const EncodedLoad load = build_load();
+  // Warm up allocators and page in the payloads.
+  run_once(load, 1);
+
+  std::printf("%-8s %16s %14s %10s\n", "shards", "reports/sec", "seconds",
+              "speedup");
+  double base_rate = 0;
+  for (int shards : {1, 2, 4, 8}) {
+    double best = 1e100;
+    for (int rep = 0; rep < 3; ++rep) best = std::min(best, run_once(load, shards));
+    const double rate = static_cast<double>(load.total_reports) / best;
+    if (shards == 1) base_rate = rate;
+    std::printf("%-8d %16.0f %14.4f %9.2fx\n", shards, rate, best,
+                rate / base_rate);
+  }
+  return 0;
+}

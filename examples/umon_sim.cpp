@@ -8,9 +8,16 @@
 //   umon_sim [--workload websearch|hadoop] [--load 0.15] [--ms 20]
 //            [--sample-bits 6] [--k 64] [--width 256] [--depth 3]
 //            [--pfc] [--dctcp] [--seed 7]
+//            [--collector-shards N] [--report-loss F]
+//
+// With --collector-shards (or --report-loss) the host sketches reach the
+// analyzer through the full collection tier — per-host uplink encode, the
+// simulated lossy upload channel, and the sharded collector — instead of
+// being ingested in-process.
 //
 // Example:
 //   ./build/examples/umon_sim --workload hadoop --load 0.35 --sample-bits 4
+//   ./build/examples/umon_sim --collector-shards 4 --report-loss 0.01
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -21,7 +28,10 @@
 #include "analyzer/analyzer.hpp"
 #include "analyzer/groundtruth.hpp"
 #include "analyzer/metrics.hpp"
+#include "collector/collector.hpp"
+#include "collector/uplink.hpp"
 #include "netsim/network.hpp"
+#include "netsim/upload_channel.hpp"
 #include "sketch/wavesketch_full.hpp"
 #include "uevent/acl.hpp"
 #include "uevent/detector.hpp"
@@ -42,6 +52,8 @@ struct Options {
   bool pfc = false;
   bool dctcp = false;
   std::uint64_t seed = 7;
+  int collector_shards = 0;  ///< 0 = in-process ingest (no collector tier)
+  double report_loss = 0.0;
 };
 
 bool parse(int argc, char** argv, Options& opt) {
@@ -82,6 +94,10 @@ bool parse(int argc, char** argv, Options& opt) {
       opt.dctcp = true;
     } else if (arg == "--seed") {
       opt.seed = static_cast<std::uint64_t>(std::atoll(next("--seed")));
+    } else if (arg == "--collector-shards") {
+      opt.collector_shards = std::atoi(next("--collector-shards"));
+    } else if (arg == "--report-loss") {
+      opt.report_loss = std::atof(next("--report-loss"));
     } else if (arg == "--help" || arg == "-h") {
       return false;
     } else {
@@ -100,7 +116,8 @@ int main(int argc, char** argv) {
     std::printf(
         "usage: umon_sim [--workload websearch|hadoop] [--load F] [--ms N]\n"
         "                [--sample-bits N] [--k N] [--width N] [--depth N]\n"
-        "                [--pfc] [--dctcp] [--seed N]\n");
+        "                [--pfc] [--dctcp] [--seed N]\n"
+        "                [--collector-shards N] [--report-loss F]\n");
     return 2;
   }
 
@@ -152,10 +169,51 @@ int main(int argc, char** argv) {
 
   // --- analyzer view --------------------------------------------------------
   analyzer::Analyzer an;
-  for (int h = 0; h < net->host_count(); ++h) {
-    an.ingest_host_sketch(h, *sketches[static_cast<std::size_t>(h)]);
+  const bool use_collector = opt.collector_shards > 0 || opt.report_loss > 0;
+  collector::CollectorStats cstats;
+  std::uint64_t payloads_dropped = 0;
+  if (use_collector) {
+    // Full collection tier: uplink encode -> lossy upload channel -> sharded
+    // collector -> analyzer.
+    collector::CollectorConfig ccfg;
+    ccfg.shards = opt.collector_shards > 0 ? opt.collector_shards : 2;
+    collector::Collector col(ccfg, an);
+    col.start();
+
+    netsim::UploadChannelConfig ucfg;
+    ucfg.loss_rate = opt.report_loss;
+    ucfg.jitter = 20 * kMicro;
+    ucfg.seed = opt.seed;
+    netsim::UploadChannel channel(
+        ucfg, [&col](netsim::UploadChannel::Delivery&& d) {
+          col.submit_report_payload(d.host, d.epoch, std::move(d.payload));
+        });
+
+    std::vector<std::uint32_t> end_seq(
+        static_cast<std::size_t>(net->host_count()), 0);
+    for (int h = 0; h < net->host_count(); ++h) {
+      collector::HostUplink up(h, /*max_reports_per_payload=*/64);
+      auto upload =
+          up.flush_epoch(*sketches[static_cast<std::size_t>(h)]);
+      end_seq[static_cast<std::size_t>(h)] = upload.end_seq;
+      for (auto& p : upload.payloads) {
+        channel.send(h, upload.epoch, std::move(p.bytes), /*now=*/0);
+      }
+    }
+    channel.flush();
+    for (int h = 0; h < net->host_count(); ++h) {
+      col.seal_epoch(h, 0, end_seq[static_cast<std::size_t>(h)]);
+    }
+    col.submit_mirror_batch(scorer.mirrored());
+    col.stop();
+    cstats = col.stats();
+    payloads_dropped = channel.payloads_dropped();
+  } else {
+    for (int h = 0; h < net->host_count(); ++h) {
+      an.ingest_host_sketch(h, *sketches[static_cast<std::size_t>(h)]);
+    }
+    an.ingest_mirrored(scorer.mirrored());
   }
-  an.ingest_mirrored(scorer.mirrored());
 
   std::printf("uMon simulation report\n");
   std::printf("  workload:        %s, %.0f%% load, %.1f ms, %s%s\n",
@@ -224,5 +282,24 @@ int main(int argc, char** argv) {
               "bench_fig15)\n",
               static_cast<double>(an.mirror_bytes_ingested()) * 8 / seconds /
                   1e6);
+
+  if (use_collector) {
+    std::printf("\ncollector (%d shards, %.1f%% report loss)\n",
+                opt.collector_shards > 0 ? opt.collector_shards : 2,
+                opt.report_loss * 100);
+    std::printf("  payloads:        %llu submitted, %llu dropped in channel, "
+                "%llu malformed\n",
+                static_cast<unsigned long long>(cstats.payloads_submitted),
+                static_cast<unsigned long long>(payloads_dropped),
+                static_cast<unsigned long long>(cstats.payloads_malformed));
+    std::printf("  reports:         %llu decoded, %llu lost (seq gaps), "
+                "%llu shed\n",
+                static_cast<unsigned long long>(cstats.reports_decoded),
+                static_cast<unsigned long long>(cstats.reports_lost),
+                static_cast<unsigned long long>(cstats.reports_shed));
+    std::printf("  epochs flushed:  %llu (%llu curve fragments)\n",
+                static_cast<unsigned long long>(cstats.epochs_flushed),
+                static_cast<unsigned long long>(cstats.fragments_ingested));
+  }
   return 0;
 }

@@ -19,7 +19,21 @@ void Analyzer::ingest_host_sketch(int host,
     frag.bytes_per_window = std::move(q.series);
     curves_.add(f, std::move(frag));
   }
-  report_bytes_ += sk.report_wire_bytes();
+  const std::size_t wire = sk.report_wire_bytes();
+  report_bytes_ += wire;
+  report_bytes_by_host_[host] += wire;
+}
+
+void Analyzer::ingest_report_batch(const DecodedReportBatch& batch) {
+  const Nanos offset = clocks_.host_offset.contains(batch.host)
+                           ? clocks_.host_offset.at(batch.host)
+                           : 0;
+  const WindowId window_offset = offset >> window_shift_;
+  for (const SparseFragment& f : batch.fragments) {
+    curves_.add_sparse(f.flow, f.windows, window_offset);
+  }
+  report_bytes_ += batch.wire_bytes;
+  report_bytes_by_host_[batch.host] += batch.wire_bytes;
 }
 
 void Analyzer::ingest_flow_curve(const FlowKey& flow, RateCurve curve) {
@@ -32,16 +46,22 @@ void Analyzer::ingest_flow_curve(const FlowKey& flow, RateCurve curve) {
 
 void Analyzer::ingest_mirrored(
     const std::vector<uevent::MirroredPacket>& packets) {
+  const auto less = [](const uevent::MirroredPacket& a,
+                       const uevent::MirroredPacket& b) {
+    if (a.switch_id != b.switch_id) return a.switch_id < b.switch_id;
+    if (a.egress_port != b.egress_port) return a.egress_port < b.egress_port;
+    return a.switch_timestamp < b.switch_timestamp;
+  };
+  // Sort only the incoming batch and merge it in; re-sorting the whole
+  // accumulated vector per batch is O(n log n) every time, which turns the
+  // collector's many-small-batches delivery pattern quadratic.
+  const auto middle_idx = mirrored_.size();
   mirrored_.insert(mirrored_.end(), packets.begin(), packets.end());
   mirror_bytes_ += packets.size() * uevent::MirroredPacket::kWireBytes;
-  std::sort(mirrored_.begin(), mirrored_.end(),
-            [](const uevent::MirroredPacket& a,
-               const uevent::MirroredPacket& b) {
-              if (a.switch_id != b.switch_id) return a.switch_id < b.switch_id;
-              if (a.egress_port != b.egress_port)
-                return a.egress_port < b.egress_port;
-              return a.switch_timestamp < b.switch_timestamp;
-            });
+  const auto middle =
+      mirrored_.begin() + static_cast<std::ptrdiff_t>(middle_idx);
+  std::sort(middle, mirrored_.end(), less);
+  std::inplace_merge(mirrored_.begin(), middle, mirrored_.end(), less);
 }
 
 RateCurve Analyzer::query_rate(const FlowKey& flow) const {

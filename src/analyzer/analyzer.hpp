@@ -2,6 +2,11 @@
 // mirrored event packets from switches, aligns their clocks, reconstructs
 // per-flow rate curves, groups event packets into congestion events, and
 // replays an event by plotting the rate variation of the flows involved.
+//
+// Thread safety: the Analyzer is externally synchronized. The collector tier
+// (umon::collector) decodes in parallel but serializes every sink call (epoch
+// flushes, mirror batches) behind its own mutex; direct in-process users are
+// single-threaded. Do not call mutating and querying members concurrently.
 #pragma once
 
 #include <cstdint>
@@ -89,6 +94,24 @@ class Analyzer {
   /// Ingest the mirror stream from the uEvent pipeline.
   void ingest_mirrored(const std::vector<uevent::MirroredPacket>& packets);
 
+  /// One sealed epoch's worth of decoded reports from a single host, as
+  /// delivered by the collector tier. Fragments are sparse (zero windows
+  /// already stripped by the decode shards) so the serial ingest section
+  /// only pays for windows that carry bytes.
+  struct SparseFragment {
+    FlowKey flow;
+    std::vector<std::pair<WindowId, double>> windows;
+  };
+  struct DecodedReportBatch {
+    int host = -1;
+    std::uint32_t epoch = 0;
+    std::vector<SparseFragment> fragments;
+    std::size_t wire_bytes = 0;  ///< encoded payload bytes, for accounting
+  };
+  /// Batch-ingest a sealed epoch: applies the host's clock correction and
+  /// stitches every fragment into the per-flow curve store in one pass.
+  void ingest_report_batch(const DecodedReportBatch& batch);
+
   void set_clock_model(ClockModel m) { clocks_ = std::move(m); }
 
   // --- queries --------------------------------------------------------------
@@ -119,6 +142,15 @@ class Analyzer {
   [[nodiscard]] std::size_t report_bytes_ingested() const {
     return report_bytes_;
   }
+  /// Report bytes attributed to one host (0 if never heard from).
+  [[nodiscard]] std::size_t report_bytes_from(int host) const {
+    auto it = report_bytes_by_host_.find(host);
+    return it == report_bytes_by_host_.end() ? 0 : it->second;
+  }
+  [[nodiscard]] const std::unordered_map<int, std::size_t>&
+  report_bytes_by_host() const {
+    return report_bytes_by_host_;
+  }
   [[nodiscard]] std::size_t mirror_bytes_ingested() const {
     return mirror_bytes_;
   }
@@ -135,6 +167,7 @@ class Analyzer {
   std::vector<uevent::MirroredPacket> mirrored_;
   std::size_t report_bytes_ = 0;
   std::size_t mirror_bytes_ = 0;
+  std::unordered_map<int, std::size_t> report_bytes_by_host_;
 };
 
 }  // namespace umon::analyzer

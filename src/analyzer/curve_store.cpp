@@ -12,6 +12,28 @@ void FlowCurveStore::add(const FlowKey& flow, CurveFragment fragment) {
   }
 }
 
+void FlowCurveStore::add_sparse(
+    const FlowKey& flow,
+    std::span<const std::pair<WindowId, double>> windows,
+    WindowId window_offset) {
+  if (windows.empty()) return;
+  Entry& e = flows_[flow.packed()];
+  e.key = flow;
+  // Sorted input lets every insert reuse the previous position as a hint,
+  // keeping the per-window cost amortized O(1) for fresh ranges.
+  auto hint = e.windows.begin();
+  for (const auto& [w, v] : windows) {
+    if (v == 0) continue;
+    const WindowId key = w - window_offset;
+    hint = e.windows.lower_bound(key);
+    if (hint != e.windows.end() && hint->first == key) {
+      hint->second += v;
+    } else {
+      hint = e.windows.emplace_hint(hint, key, v);
+    }
+  }
+}
+
 std::vector<double> FlowCurveStore::range(const FlowKey& flow, WindowId from,
                                           WindowId to) const {
   std::vector<double> out(

@@ -6,7 +6,9 @@
 
 #include <cstdint>
 #include <map>
+#include <span>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/types.hpp"
@@ -28,6 +30,14 @@ class FlowCurveStore {
   /// Add a fragment for `flow`. Overlapping windows accumulate (a window
   /// split across two periods uploads partial counts in each).
   void add(const FlowKey& flow, CurveFragment fragment);
+
+  /// Add an already-sparse fragment: (absolute window, bytes) pairs, sorted
+  /// by window. `window_offset` is subtracted from every window id (host
+  /// clock correction). The collector's decode shards strip zeros in
+  /// parallel so this serial section only touches non-zero windows.
+  void add_sparse(const FlowKey& flow,
+                  std::span<const std::pair<WindowId, double>> windows,
+                  WindowId window_offset = 0);
 
   /// Dense curve over [from, to) absolute windows (zeros where unknown).
   [[nodiscard]] std::vector<double> range(const FlowKey& flow, WindowId from,

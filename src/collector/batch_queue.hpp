@@ -1,0 +1,113 @@
+// Bounded per-shard ingest queue with explicit overflow policy. The
+// collector is backpressure-aware by construction: a queue never grows past
+// its capacity, and what happens at the limit is a policy decision the
+// operator picks (shed newest, shed oldest, or stall the producer).
+//
+// Concurrency model: one logical producer (the collector front door, which
+// serializes submitters behind its own mutex) and one consumer (the shard
+// worker). Items are whole byte-batches — hundreds of reports each — so the
+// short critical section here is amortized across a lot of decode work; a
+// mutex-guarded ring is indistinguishable from a lock-free SPSC ring at this
+// granularity and supports drop-oldest, which a pure SPSC ring cannot.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <utility>
+
+namespace umon::collector {
+
+/// What a full queue does with the next batch.
+enum class OverflowPolicy {
+  kDropNewest,  ///< shed the incoming batch (freshest data sacrificed)
+  kDropOldest,  ///< evict the queue head to admit the incoming batch
+  kBlock,       ///< stall the producer until the consumer drains a slot
+};
+
+template <typename T>
+class BatchQueue {
+ public:
+  enum class PushResult {
+    kOk,             ///< admitted without shedding
+    kRejected,       ///< policy kDropNewest shed the incoming item
+    kEvictedOldest,  ///< admitted; policy kDropOldest shed the head
+  };
+
+  BatchQueue(std::size_t capacity, OverflowPolicy policy)
+      : capacity_(capacity == 0 ? 1 : capacity), policy_(policy) {}
+
+  /// Push under the configured policy. When the result is kEvictedOldest,
+  /// `evicted` receives the shed item so the caller can account for it.
+  PushResult push(T item, T& evicted) {
+    std::unique_lock lock(mutex_);
+    if (items_.size() >= capacity_) {
+      switch (policy_) {
+        case OverflowPolicy::kDropNewest:
+          return PushResult::kRejected;
+        case OverflowPolicy::kDropOldest:
+          evicted = std::move(items_.front());
+          items_.pop_front();
+          items_.push_back(std::move(item));
+          not_empty_.notify_one();
+          return PushResult::kEvictedOldest;
+        case OverflowPolicy::kBlock:
+          not_full_.wait(lock, [&] {
+            return items_.size() < capacity_ || closed_;
+          });
+          if (closed_) return PushResult::kRejected;
+          break;
+      }
+    }
+    items_.push_back(std::move(item));
+    not_empty_.notify_one();
+    return PushResult::kOk;
+  }
+
+  /// Push ignoring capacity (control messages — seal/stop markers must
+  /// never be shed or the pipeline wedges).
+  void push_control(T item) {
+    {
+      std::lock_guard lock(mutex_);
+      items_.push_back(std::move(item));
+    }
+    not_empty_.notify_one();
+  }
+
+  /// Blocking pop; returns false once the queue is closed and drained.
+  bool pop(T& out) {
+    std::unique_lock lock(mutex_);
+    not_empty_.wait(lock, [&] { return !items_.empty() || closed_; });
+    if (items_.empty()) return false;
+    out = std::move(items_.front());
+    items_.pop_front();
+    not_full_.notify_one();
+    return true;
+  }
+
+  void close() {
+    {
+      std::lock_guard lock(mutex_);
+      closed_ = true;
+    }
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    std::lock_guard lock(mutex_);
+    return items_.size();
+  }
+
+ private:
+  const std::size_t capacity_;
+  const OverflowPolicy policy_;
+  mutable std::mutex mutex_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace umon::collector

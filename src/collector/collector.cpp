@@ -1,0 +1,400 @@
+#include "collector/collector.hpp"
+
+#include <atomic>
+#include <cstring>
+#include <span>
+
+#include "sketch/serialize.hpp"
+
+namespace umon::collector {
+namespace {
+
+/// (host, epoch) packed into one map key.
+std::uint64_t epoch_key(int host, std::uint32_t epoch) {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(host)) << 32) |
+         epoch;
+}
+
+/// Shard routing for light (grid-addressed) reports: a flow always maps to
+/// the same (host, row, col) buckets, so this keeps its fragments together
+/// even without a flow tag.
+std::uint64_t mix_route(std::uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xFF51AFD7ED558CCDULL;
+  x ^= x >> 29;
+  return x;
+}
+
+}  // namespace
+
+struct Collector::ShardMsg {
+  enum class Kind { kReports, kMirror, kSeal, kStop };
+  Kind kind = Kind::kStop;
+  int host = -1;
+  std::uint32_t epoch = 0;
+  std::vector<std::uint8_t> bytes;  ///< kReports: concatenated report frames
+  std::uint32_t report_count = 0;
+  std::vector<uevent::MirroredPacket> mirror;
+};
+
+struct Collector::Shard {
+  struct StagedEpoch {
+    std::vector<analyzer::Analyzer::SparseFragment> fragments;
+    std::size_t wire_bytes = 0;
+  };
+
+  Shard(std::size_t capacity, OverflowPolicy policy)
+      : queue(capacity, policy) {}
+
+  BatchQueue<ShardMsg> queue;
+  /// Touched only by this shard's worker thread (and by stop() after join).
+  std::unordered_map<std::uint64_t, StagedEpoch> staging;
+};
+
+struct Collector::HostSeqState {
+  std::uint32_t epoch_start_seq = 0;  ///< first seq of the open epoch
+  std::uint32_t max_seq_next = 0;     ///< highest (seq + 1) seen
+  std::uint64_t received = 0;         ///< reports arrived this epoch
+};
+
+struct Collector::PendingEpoch {
+  int host = -1;
+  std::uint32_t epoch = 0;
+  std::vector<analyzer::Analyzer::SparseFragment> fragments;
+  std::size_t wire_bytes = 0;
+  int acks = 0;  ///< shards that have drained their share
+};
+
+struct Collector::Counters {
+  std::atomic<std::uint64_t> payloads_submitted{0};
+  std::atomic<std::uint64_t> payloads_malformed{0};
+  std::atomic<std::uint64_t> batches_enqueued{0};
+  std::atomic<std::uint64_t> batches_shed{0};
+  std::atomic<std::uint64_t> reports_scanned{0};
+  std::atomic<std::uint64_t> reports_decoded{0};
+  std::atomic<std::uint64_t> reports_malformed{0};
+  std::atomic<std::uint64_t> reports_shed{0};
+  std::atomic<std::uint64_t> reports_lost{0};
+  std::atomic<std::uint64_t> mirror_packets{0};
+  std::atomic<std::uint64_t> epochs_flushed{0};
+  std::atomic<std::uint64_t> fragments_ingested{0};
+};
+
+Collector::Collector(const CollectorConfig& cfg, analyzer::Analyzer& sink)
+    : cfg_(cfg), sink_(sink), counters_(std::make_unique<Counters>()) {
+  if (cfg_.shards < 1) cfg_.shards = 1;
+  shards_.reserve(static_cast<std::size_t>(cfg_.shards));
+  for (int s = 0; s < cfg_.shards; ++s) {
+    shards_.push_back(
+        std::make_unique<Shard>(cfg_.queue_capacity, cfg_.overflow));
+  }
+}
+
+Collector::~Collector() { stop(); }
+
+void Collector::start() {
+  if (running_) return;
+  running_ = true;
+  workers_.reserve(shards_.size());
+  for (int s = 0; s < cfg_.shards; ++s) {
+    workers_.emplace_back([this, s] { worker(s); });
+  }
+}
+
+void Collector::stop() {
+  if (!running_) return;
+  for (auto& sh : shards_) {
+    ShardMsg msg;
+    msg.kind = ShardMsg::Kind::kStop;
+    sh->queue.push_control(std::move(msg));
+  }
+  for (auto& w : workers_) w.join();
+  workers_.clear();
+  running_ = false;
+
+  // Flush whatever never got sealed (end of run): merge the per-shard
+  // staging remainders and deliver them. Workers are joined, so this is
+  // plain single-threaded code.
+  std::unordered_map<std::uint64_t, PendingEpoch> leftovers;
+  {
+    std::lock_guard el(epoch_mutex_);
+    leftovers = std::move(pending_);
+    pending_.clear();
+  }
+  for (auto& sh : shards_) {
+    for (auto& [key, staged] : sh->staging) {
+      PendingEpoch& p = leftovers[key];
+      p.host = static_cast<int>(key >> 32);
+      p.epoch = static_cast<std::uint32_t>(key);
+      p.wire_bytes += staged.wire_bytes;
+      p.fragments.insert(p.fragments.end(),
+                         std::make_move_iterator(staged.fragments.begin()),
+                         std::make_move_iterator(staged.fragments.end()));
+    }
+    sh->staging.clear();
+  }
+  for (auto& [key, p] : leftovers) flush_epoch_to_sink(std::move(p));
+}
+
+bool Collector::submit_report_payload(int host, std::uint32_t epoch,
+                                      std::vector<std::uint8_t> payload) {
+  std::lock_guard lock(front_mutex_);
+  counters_->payloads_submitted.fetch_add(1, std::memory_order_relaxed);
+
+  const std::span<const std::uint8_t> in(payload);
+  std::size_t offset = 0;
+  std::uint32_t count = 0;
+  if (in.size() < sizeof(count)) {
+    counters_->payloads_malformed.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  std::memcpy(&count, in.data(), sizeof(count));
+  offset += sizeof(count);
+
+  // Scan the whole payload before committing anything: a payload that fails
+  // the framing scan is discarded atomically, not half-routed.
+  const auto n_shards = static_cast<std::size_t>(cfg_.shards);
+  std::vector<std::vector<std::uint8_t>> route_bytes(n_shards);
+  std::vector<std::uint32_t> route_count(n_shards, 0);
+  std::uint32_t max_seq_next = 0;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    auto frame = sketch::scan_report(in, offset);
+    if (!frame) {
+      counters_->payloads_malformed.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    std::size_t shard;
+    if (frame->has_flow) {
+      shard = std::hash<FlowKey>{}(frame->flow) % n_shards;
+    } else {
+      shard = mix_route((static_cast<std::uint64_t>(
+                             static_cast<std::uint32_t>(host))
+                         << 40) ^
+                        (static_cast<std::uint64_t>(frame->row) << 32) ^
+                        frame->col) %
+              n_shards;
+    }
+    route_bytes[shard].insert(route_bytes[shard].end(),
+                              in.begin() + frame->begin,
+                              in.begin() + frame->end);
+    route_count[shard] += 1;
+    if (frame->seq + 1 > max_seq_next) max_seq_next = frame->seq + 1;
+  }
+  if (offset != in.size()) {  // trailing garbage
+    counters_->payloads_malformed.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+
+  counters_->reports_scanned.fetch_add(count, std::memory_order_relaxed);
+  bytes_by_host_[host] += payload.size();
+  HostSeqState& st = seq_state_[host];
+  st.received += count;
+  if (max_seq_next > st.max_seq_next) st.max_seq_next = max_seq_next;
+
+  for (std::size_t s = 0; s < n_shards; ++s) {
+    if (route_bytes[s].empty()) continue;
+    ShardMsg msg;
+    msg.kind = ShardMsg::Kind::kReports;
+    msg.host = host;
+    msg.epoch = epoch;
+    msg.report_count = route_count[s];
+    msg.bytes = std::move(route_bytes[s]);
+    ShardMsg evicted;
+    switch (shards_[s]->queue.push(std::move(msg), evicted)) {
+      case BatchQueue<ShardMsg>::PushResult::kOk:
+        counters_->batches_enqueued.fetch_add(1, std::memory_order_relaxed);
+        break;
+      case BatchQueue<ShardMsg>::PushResult::kRejected:
+        counters_->batches_shed.fetch_add(1, std::memory_order_relaxed);
+        counters_->reports_shed.fetch_add(route_count[s],
+                                          std::memory_order_relaxed);
+        break;
+      case BatchQueue<ShardMsg>::PushResult::kEvictedOldest:
+        counters_->batches_enqueued.fetch_add(1, std::memory_order_relaxed);
+        counters_->batches_shed.fetch_add(1, std::memory_order_relaxed);
+        counters_->reports_shed.fetch_add(evicted.report_count,
+                                          std::memory_order_relaxed);
+        break;
+    }
+  }
+  return true;
+}
+
+void Collector::submit_mirror_batch(
+    std::vector<uevent::MirroredPacket> packets) {
+  if (packets.empty()) return;
+  std::lock_guard lock(front_mutex_);
+  ShardMsg msg;
+  msg.kind = ShardMsg::Kind::kMirror;
+  msg.mirror = std::move(packets);
+  // Mirror ingest is a cheap sorted merge; round-robin keeps any shard from
+  // becoming the designated mirror worker.
+  const std::size_t s = mirror_rr_++ % shards_.size();
+  ShardMsg evicted;
+  switch (shards_[s]->queue.push(std::move(msg), evicted)) {
+    case BatchQueue<ShardMsg>::PushResult::kOk:
+      counters_->batches_enqueued.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case BatchQueue<ShardMsg>::PushResult::kRejected:
+      counters_->batches_shed.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case BatchQueue<ShardMsg>::PushResult::kEvictedOldest:
+      counters_->batches_enqueued.fetch_add(1, std::memory_order_relaxed);
+      counters_->batches_shed.fetch_add(1, std::memory_order_relaxed);
+      counters_->reports_shed.fetch_add(evicted.report_count,
+                                        std::memory_order_relaxed);
+      break;
+  }
+}
+
+void Collector::seal_epoch(int host, std::uint32_t epoch,
+                           std::optional<std::uint32_t> end_seq) {
+  {
+    std::lock_guard lock(front_mutex_);
+    HostSeqState& st = seq_state_[host];
+    std::uint32_t end = end_seq.value_or(st.max_seq_next);
+    if (end < st.epoch_start_seq) end = st.epoch_start_seq;
+    const std::uint64_t expected = end - st.epoch_start_seq;
+    if (expected > st.received) {
+      counters_->reports_lost.fetch_add(expected - st.received,
+                                        std::memory_order_relaxed);
+    }
+    st.epoch_start_seq = end;
+    st.max_seq_next = end;
+    st.received = 0;
+  }
+  for (auto& sh : shards_) {
+    ShardMsg msg;
+    msg.kind = ShardMsg::Kind::kSeal;
+    msg.host = host;
+    msg.epoch = epoch;
+    sh->queue.push_control(std::move(msg));
+  }
+}
+
+void Collector::worker(int shard_id) {
+  Shard& sh = *shards_[static_cast<std::size_t>(shard_id)];
+  ShardMsg msg;
+  while (sh.queue.pop(msg)) {
+    switch (msg.kind) {
+      case ShardMsg::Kind::kReports:
+        handle_reports(shard_id, msg);
+        break;
+      case ShardMsg::Kind::kMirror: {
+        const std::uint64_t n = msg.mirror.size();
+        {
+          std::lock_guard sink_lock(sink_mutex_);
+          sink_.ingest_mirrored(msg.mirror);
+        }
+        counters_->mirror_packets.fetch_add(n, std::memory_order_relaxed);
+        break;
+      }
+      case ShardMsg::Kind::kSeal:
+        handle_seal(shard_id, msg);
+        break;
+      case ShardMsg::Kind::kStop:
+        return;
+    }
+  }
+}
+
+void Collector::handle_reports(int shard_id, ShardMsg& msg) {
+  Shard& sh = *shards_[static_cast<std::size_t>(shard_id)];
+  Shard::StagedEpoch& staged = sh.staging[epoch_key(msg.host, msg.epoch)];
+  staged.wire_bytes += msg.bytes.size();
+
+  const std::span<const std::uint8_t> in(msg.bytes);
+  std::size_t offset = 0;
+  while (offset < in.size()) {
+    auto report = sketch::decode_report(in, offset);
+    if (!report) {
+      // Frames passed the front-door scan, so this is defensive; count the
+      // remainder of the batch as malformed and move on.
+      counters_->reports_malformed.fetch_add(1, std::memory_order_relaxed);
+      break;
+    }
+    counters_->reports_decoded.fetch_add(1, std::memory_order_relaxed);
+    if (!report->flow) continue;  // light-part report: accounting only
+    const std::vector<double> series = report->report.reconstruct();
+    analyzer::Analyzer::SparseFragment frag;
+    frag.flow = *report->flow;
+    for (std::size_t i = 0; i < series.size(); ++i) {
+      if (series[i] == 0) continue;
+      frag.windows.emplace_back(
+          report->report.w0 + static_cast<WindowId>(i), series[i]);
+    }
+    if (!frag.windows.empty()) staged.fragments.push_back(std::move(frag));
+  }
+}
+
+void Collector::handle_seal(int shard_id, const ShardMsg& msg) {
+  Shard& sh = *shards_[static_cast<std::size_t>(shard_id)];
+  const std::uint64_t key = epoch_key(msg.host, msg.epoch);
+  Shard::StagedEpoch staged;
+  if (auto it = sh.staging.find(key); it != sh.staging.end()) {
+    staged = std::move(it->second);
+    sh.staging.erase(it);
+  }
+
+  std::unique_lock el(epoch_mutex_);
+  PendingEpoch& p = pending_[key];
+  p.host = msg.host;
+  p.epoch = msg.epoch;
+  p.wire_bytes += staged.wire_bytes;
+  p.fragments.insert(p.fragments.end(),
+                     std::make_move_iterator(staged.fragments.begin()),
+                     std::make_move_iterator(staged.fragments.end()));
+  p.acks += 1;
+  if (p.acks < cfg_.shards) return;
+  PendingEpoch done = std::move(p);
+  pending_.erase(key);
+  el.unlock();
+  flush_epoch_to_sink(std::move(done));
+}
+
+void Collector::flush_epoch_to_sink(PendingEpoch&& done) {
+  analyzer::Analyzer::DecodedReportBatch batch;
+  batch.host = done.host;
+  batch.epoch = done.epoch;
+  batch.wire_bytes = done.wire_bytes;
+  batch.fragments = std::move(done.fragments);
+  const std::uint64_t n = batch.fragments.size();
+  {
+    std::lock_guard sink_lock(sink_mutex_);
+    sink_.ingest_report_batch(batch);
+  }
+  counters_->epochs_flushed.fetch_add(1, std::memory_order_relaxed);
+  counters_->fragments_ingested.fetch_add(n, std::memory_order_relaxed);
+}
+
+CollectorStats Collector::stats() const {
+  CollectorStats out;
+  out.payloads_submitted =
+      counters_->payloads_submitted.load(std::memory_order_relaxed);
+  out.payloads_malformed =
+      counters_->payloads_malformed.load(std::memory_order_relaxed);
+  out.batches_enqueued =
+      counters_->batches_enqueued.load(std::memory_order_relaxed);
+  out.batches_shed = counters_->batches_shed.load(std::memory_order_relaxed);
+  out.reports_scanned =
+      counters_->reports_scanned.load(std::memory_order_relaxed);
+  out.reports_decoded =
+      counters_->reports_decoded.load(std::memory_order_relaxed);
+  out.reports_malformed =
+      counters_->reports_malformed.load(std::memory_order_relaxed);
+  out.reports_shed = counters_->reports_shed.load(std::memory_order_relaxed);
+  out.reports_lost = counters_->reports_lost.load(std::memory_order_relaxed);
+  out.mirror_packets =
+      counters_->mirror_packets.load(std::memory_order_relaxed);
+  out.epochs_flushed =
+      counters_->epochs_flushed.load(std::memory_order_relaxed);
+  out.fragments_ingested =
+      counters_->fragments_ingested.load(std::memory_order_relaxed);
+  {
+    std::lock_guard lock(front_mutex_);
+    out.bytes_by_host = bytes_by_host_;
+  }
+  return out;
+}
+
+}  // namespace umon::collector

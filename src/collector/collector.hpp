@@ -1,0 +1,147 @@
+// umon::collector — the telemetry ingest tier between hosts and the
+// analyzer (the collection layer the paper's Section 6 assumes but the
+// in-process benches short-circuit).
+//
+// Pipeline shape:
+//
+//   host uplinks ──payloads──▶ front door ──frames──▶ shard queues
+//                              (framing scan,          (bounded,
+//                               flow-hash split,        backpressure
+//                               seq-gap accounting)     policy)
+//                                                          │ decode +
+//                                                          ▼ reconstruct
+//                                                   per-shard epoch staging
+//                                                          │ seal barrier
+//                                                          ▼
+//                                                 Analyzer::ingest_report_batch
+//                                                 (serialized, one batch per
+//                                                  sealed (host, epoch))
+//
+// * The front door performs a cheap framing-level scan (no coefficient
+//   parsing, no allocation per coefficient) and routes every report frame by
+//   FlowKey hash, so all fragments of a flow land on the same shard; light
+//   (grid-addressed) reports route by (host, row, col).
+// * Shard workers do the expensive work in parallel: full decode, wavelet
+//   reconstruction, and zero-stripping into sparse fragments.
+// * The epoch manager seals a (host, epoch) once every shard has drained its
+//   share, then flushes the merged fragments into the Analyzer in one batch
+//   under the sink mutex — the Analyzer itself stays single-threaded.
+// * Loss is first-class: per-host sequence accounting counts reports that
+//   never arrived (upload-channel drops), bounded queues count what the
+//   backpressure policy shed, and malformed payloads are counted instead of
+//   trusted. decode_report()'s nullopt path finally has a consumer.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "analyzer/analyzer.hpp"
+#include "collector/batch_queue.hpp"
+#include "common/types.hpp"
+#include "uevent/acl.hpp"
+
+namespace umon::collector {
+
+struct CollectorConfig {
+  int shards = 4;
+  /// Batches (not reports) each shard queue holds before the policy kicks in.
+  std::size_t queue_capacity = 256;
+  OverflowPolicy overflow = OverflowPolicy::kBlock;
+  int window_shift = kDefaultWindowShift;
+};
+
+/// Snapshot of the collector's counters. Reports can leave the pipeline for
+/// exactly four reasons, each with its own counter: lost upstream (sequence
+/// gaps), shed by backpressure, malformed, or decoded and delivered.
+struct CollectorStats {
+  std::uint64_t payloads_submitted = 0;
+  std::uint64_t payloads_malformed = 0;  ///< framing scan failed; discarded
+  std::uint64_t batches_enqueued = 0;
+  std::uint64_t batches_shed = 0;        ///< overflow policy dropped a batch
+  std::uint64_t reports_scanned = 0;
+  std::uint64_t reports_decoded = 0;
+  std::uint64_t reports_malformed = 0;   ///< shard-side decode_report failed
+  std::uint64_t reports_shed = 0;        ///< inside batches_shed
+  std::uint64_t reports_lost = 0;        ///< sequence gaps (upstream loss)
+  std::uint64_t mirror_packets = 0;
+  std::uint64_t epochs_flushed = 0;
+  std::uint64_t fragments_ingested = 0;
+  std::unordered_map<int, std::uint64_t> bytes_by_host;
+};
+
+class Collector {
+ public:
+  Collector(const CollectorConfig& cfg, analyzer::Analyzer& sink);
+  ~Collector();
+  Collector(const Collector&) = delete;
+  Collector& operator=(const Collector&) = delete;
+
+  /// Spawn the shard workers. Must be called before submitting.
+  void start();
+  /// Drain every queue, flush all staged epochs (sealed or not), and join
+  /// the workers. Idempotent. After stop() the sink holds everything the
+  /// pipeline accepted.
+  void stop();
+
+  // --- producer side (thread-safe; serialized at the front door) -----------
+  /// One encode_batch() payload from `host` for measurement period `epoch`.
+  /// Returns false if the payload failed the framing scan (malformed).
+  bool submit_report_payload(int host, std::uint32_t epoch,
+                             std::vector<std::uint8_t> payload);
+
+  /// A batch of mirrored event packets from the uEvent pipeline.
+  void submit_mirror_batch(std::vector<uevent::MirroredPacket> packets);
+
+  /// Declare `epoch` of `host` complete. `end_seq` is the host's next unused
+  /// sequence number; providing it lets the collector count trailing losses
+  /// (payloads dropped after the last one that arrived). Once every shard
+  /// drains its share of the epoch, the merged batch flushes to the sink.
+  void seal_epoch(int host, std::uint32_t epoch,
+                  std::optional<std::uint32_t> end_seq = std::nullopt);
+
+  [[nodiscard]] CollectorStats stats() const;
+  [[nodiscard]] const CollectorConfig& config() const { return cfg_; }
+
+ private:
+  struct ShardMsg;
+  struct Shard;
+  struct HostSeqState;
+  struct PendingEpoch;
+
+  void worker(int shard_id);
+  void handle_reports(int shard_id, ShardMsg& msg);
+  void handle_seal(int shard_id, const ShardMsg& msg);
+  void flush_epoch_to_sink(PendingEpoch&& done);
+
+  CollectorConfig cfg_;
+  analyzer::Analyzer& sink_;
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::vector<std::thread> workers_;
+  bool running_ = false;
+
+  /// Serializes submit/seal callers; owns the sequence accounting and the
+  /// per-host byte tallies.
+  mutable std::mutex front_mutex_;
+  std::unordered_map<int, HostSeqState> seq_state_;
+  std::unordered_map<int, std::uint64_t> bytes_by_host_;
+  std::size_t mirror_rr_ = 0;  ///< round-robin cursor for mirror batches
+
+  /// Guards the epoch-completion barrier state.
+  mutable std::mutex epoch_mutex_;
+  std::unordered_map<std::uint64_t, PendingEpoch> pending_;
+
+  /// Serializes every call into the (externally synchronized) Analyzer.
+  std::mutex sink_mutex_;
+
+  // Counters shared across threads (relaxed; exact once stop() returns).
+  struct Counters;
+  std::unique_ptr<Counters> counters_;
+};
+
+}  // namespace umon::collector

@@ -1,0 +1,127 @@
+// Simulated control-plane upload channel between hosts and the collector
+// tier. Report uploads in a real deployment ride a best-effort management
+// network: payloads can be delayed, reordered across hosts, and dropped.
+// This channel models exactly that — configurable i.i.d. loss and uniform
+// delivery jitter — so benches can show graceful accuracy degradation
+// instead of assuming perfect delivery.
+//
+// Deterministic: loss and jitter derive from the seeded Rng only, and
+// deliveries with equal deliver-time break ties by send order.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <utility>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace umon::netsim {
+
+struct UploadChannelConfig {
+  /// Probability that a payload is silently dropped in transit.
+  double loss_rate = 0.0;
+  /// Fixed one-way latency added to every surviving payload.
+  Nanos base_delay = 50 * kMicro;
+  /// Extra delay drawn uniformly from [0, jitter) per payload; large values
+  /// reorder deliveries across (and within) hosts.
+  Nanos jitter = 0;
+  std::uint64_t seed = 1;
+};
+
+/// Carries opaque report payloads from per-host uplinks to the collector.
+/// `send()` decides loss/delay at enqueue time; `advance_to()`/`flush()`
+/// hand surviving payloads to the sink in delivery-time order.
+class UploadChannel {
+ public:
+  struct Delivery {
+    int host = -1;
+    std::uint32_t epoch = 0;
+    std::vector<std::uint8_t> payload;
+    Nanos deliver_at = 0;
+  };
+  using Sink = std::function<void(Delivery&&)>;
+
+  UploadChannel(const UploadChannelConfig& cfg, Sink sink)
+      : cfg_(cfg), sink_(std::move(sink)), rng_(cfg.seed ^ 0x0C17A57EULL) {}
+
+  /// Submit one payload at local time `now`. Returns false if the channel
+  /// dropped it (the caller learns what a real host would not).
+  bool send(int host, std::uint32_t epoch, std::vector<std::uint8_t> payload,
+            Nanos now) {
+    ++payloads_sent_;
+    bytes_sent_ += payload.size();
+    if (cfg_.loss_rate > 0 && rng_.uniform() < cfg_.loss_rate) {
+      ++payloads_dropped_;
+      bytes_dropped_ += payload.size();
+      return false;
+    }
+    Nanos at = now + cfg_.base_delay;
+    if (cfg_.jitter > 0) {
+      at += static_cast<Nanos>(
+          rng_.below(static_cast<std::uint64_t>(cfg_.jitter)));
+    }
+    in_flight_.push(InFlight{
+        Delivery{host, epoch, std::move(payload), at}, next_tie_++});
+    return true;
+  }
+
+  /// Deliver everything with deliver_at <= t, in delivery order.
+  void advance_to(Nanos t) {
+    while (!in_flight_.empty() && in_flight_.top().d.deliver_at <= t) {
+      InFlight top = std::move(const_cast<InFlight&>(in_flight_.top()));
+      in_flight_.pop();
+      ++payloads_delivered_;
+      if (sink_) sink_(std::move(top.d));
+    }
+  }
+
+  /// Deliver every pending payload (end of run).
+  void flush() {
+    while (!in_flight_.empty()) {
+      InFlight top = std::move(const_cast<InFlight&>(in_flight_.top()));
+      in_flight_.pop();
+      ++payloads_delivered_;
+      if (sink_) sink_(std::move(top.d));
+    }
+  }
+
+  [[nodiscard]] std::uint64_t payloads_sent() const { return payloads_sent_; }
+  [[nodiscard]] std::uint64_t payloads_dropped() const {
+    return payloads_dropped_;
+  }
+  [[nodiscard]] std::uint64_t payloads_delivered() const {
+    return payloads_delivered_;
+  }
+  [[nodiscard]] std::uint64_t bytes_sent() const { return bytes_sent_; }
+  [[nodiscard]] std::uint64_t bytes_dropped() const { return bytes_dropped_; }
+  [[nodiscard]] std::size_t pending() const { return in_flight_.size(); }
+
+ private:
+  struct InFlight {
+    Delivery d;
+    std::uint64_t tie = 0;
+  };
+  struct Later {
+    bool operator()(const InFlight& a, const InFlight& b) const {
+      if (a.d.deliver_at != b.d.deliver_at)
+        return a.d.deliver_at > b.d.deliver_at;
+      return a.tie > b.tie;
+    }
+  };
+
+  UploadChannelConfig cfg_;
+  Sink sink_;
+  Rng rng_;
+  std::uint64_t next_tie_ = 0;
+  std::uint64_t payloads_sent_ = 0;
+  std::uint64_t payloads_dropped_ = 0;
+  std::uint64_t payloads_delivered_ = 0;
+  std::uint64_t bytes_sent_ = 0;
+  std::uint64_t bytes_dropped_ = 0;
+  std::priority_queue<InFlight, std::vector<InFlight>, Later> in_flight_;
+};
+
+}  // namespace umon::netsim

@@ -16,7 +16,11 @@ void WaveSketchBasic::update_window(const FlowKey& flow, WindowId w, Count v) {
   for (int r = 0; r < params_.depth; ++r) {
     const std::uint32_t c = column(r, flow);
     if (auto rolled = bucket_mut(r, c).add(w, v)) {
-      rolled_.push_back(TaggedReport{r, c, std::move(*rolled)});
+      TaggedReport t;
+      t.row = r;
+      t.col = c;
+      t.report = std::move(*rolled);
+      rolled_.push_back(std::move(t));
     }
   }
 }
@@ -48,7 +52,11 @@ std::vector<TaggedReport> WaveSketchBasic::flush() {
     for (std::uint32_t c = 0; c < params_.width; ++c) {
       WaveBucket& b = bucket_mut(r, c);
       if (!b.started()) continue;
-      out.push_back(TaggedReport{r, c, b.flush()});
+      TaggedReport t;
+      t.row = r;
+      t.col = c;
+      t.report = b.flush();
+      out.push_back(std::move(t));
     }
   }
   return out;

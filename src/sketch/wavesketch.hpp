@@ -2,6 +2,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <span>
 #include <vector>
 
@@ -18,6 +19,12 @@ namespace umon::sketch {
 struct TaggedReport {
   int row = 0;
   std::uint32_t col = 0;
+  /// Position in the host's upload stream (v2 wire field). The uplink stamps
+  /// consecutive values so the collector can count gaps left by lost reports.
+  std::uint32_t seq = 0;
+  /// Set for heavy-part reports: the flow the bucket is dedicated to. Light
+  /// (grid-addressed) reports leave it empty. v2 wire field.
+  std::optional<FlowKey> flow;
   BucketReport report;
 };
 

@@ -25,7 +25,14 @@ void WaveSketchFull::update_window(const FlowKey& flow, WindowId w, Count v) {
   }
   if (slot.key == flow) {
     slot.vote += 1;
-    slot.bucket.add(w, v);
+    if (auto rolled = slot.bucket.add(w, v)) {
+      // A flow active past max_windows rolls its bucket into a new period;
+      // keep the finished report so flush_reports() can upload it.
+      TaggedReport t;
+      t.flow = flow;
+      t.report = std::move(*rolled);
+      heavy_rolled_.push_back(std::move(t));
+    }
     return;
   }
   // Majority vote: a competing flow decays the incumbent; on reaching zero
@@ -111,6 +118,28 @@ std::size_t WaveSketchFull::memory_bytes() const {
     total += 13 + 8 + s.bucket.memory_bytes();  // key + vote + bucket
   }
   return total;
+}
+
+std::vector<TaggedReport> WaveSketchFull::flush_reports(bool include_light) {
+  std::vector<TaggedReport> out = std::move(heavy_rolled_);
+  heavy_rolled_.clear();
+  for (std::size_t i = 0; i < heavy_.size(); ++i) {
+    HeavySlot& s = heavy_[i];
+    if (!s.occupied) continue;
+    TaggedReport t;
+    t.col = static_cast<std::uint32_t>(i);
+    t.flow = s.key;
+    t.report = s.bucket.flush();
+    if (!t.report.empty()) out.push_back(std::move(t));
+    s.occupied = false;
+    s.vote = 0;
+  }
+  if (include_light) {
+    auto light = light_.flush();
+    out.insert(out.end(), std::make_move_iterator(light.begin()),
+               std::make_move_iterator(light.end()));
+  }
+  return out;
 }
 
 std::size_t WaveSketchFull::report_wire_bytes() const {

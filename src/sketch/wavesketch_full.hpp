@@ -44,6 +44,13 @@ class WaveSketchFull {
   /// Total bytes a full flush would upload (heavy + light reports).
   std::size_t report_wire_bytes() const;
 
+  /// End the measurement period for the wire path: emit one flow-tagged
+  /// report per occupied heavy slot (plus any reports from mid-period heavy
+  /// roll-overs) and, when `include_light`, every active light bucket's
+  /// report, then reset all state. The returned batch is what a host's
+  /// uplink serializes toward the collector.
+  std::vector<TaggedReport> flush_reports(bool include_light = true);
+
  private:
   struct HeavySlot {
     bool occupied = false;
@@ -66,6 +73,9 @@ class WaveSketchFull {
   SeededHash heavy_hash_;
   std::vector<HeavySlot> heavy_;
   WaveSketchBasic light_;
+  /// Heavy-bucket reports produced by mid-period roll-overs (a flow active
+  /// past max_windows); drained by flush_reports().
+  std::vector<TaggedReport> heavy_rolled_;
 };
 
 }  // namespace umon::sketch

@@ -98,5 +98,112 @@ TEST(MultiPeriod, DifferentHostsDifferentFlows) {
               9.0, 1e-6);
 }
 
+// --- FlowCurveStore-level coverage (the primitive under the stitching) -----
+
+TEST(FlowCurveStore, OverlappingFragmentsAcrossPeriodBoundary) {
+  FlowCurveStore store;
+  const FlowKey f = flow(10);
+  // Period boundaries rarely align with window edges: the host flushes
+  // mid-window, so the boundary window appears in both fragments with
+  // partial counts. Overlap spans windows 18..21.
+  CurveFragment a;
+  a.w0 = 10;
+  a.bytes_per_window.assign(12, 100.0);  // windows 10..21
+  CurveFragment b;
+  b.w0 = 18;
+  b.bytes_per_window.assign(10, 40.0);  // windows 18..27
+  store.add(f, std::move(a));
+  store.add(f, std::move(b));
+
+  const auto dense = store.range(f, 10, 28);
+  ASSERT_EQ(dense.size(), 18u);
+  EXPECT_NEAR(dense[7], 100.0, 1e-9);   // window 17: first only
+  EXPECT_NEAR(dense[8], 140.0, 1e-9);   // window 18: both accumulate
+  EXPECT_NEAR(dense[11], 140.0, 1e-9);  // window 21: last overlap
+  EXPECT_NEAR(dense[12], 40.0, 1e-9);   // window 22: second only
+  EXPECT_NEAR(store.total_bytes(f), 12 * 100.0 + 10 * 40.0, 1e-9);
+}
+
+TEST(FlowCurveStore, OutOfOrderFragmentArrival) {
+  // Upload-channel jitter can deliver period N+1 before period N; the store
+  // must not care about arrival order.
+  FlowCurveStore in_order;
+  FlowCurveStore reversed;
+  const FlowKey f = flow(11);
+  CurveFragment first;
+  first.w0 = 0;
+  first.bytes_per_window = {1, 2, 3, 4};
+  CurveFragment second;
+  second.w0 = 4;
+  second.bytes_per_window = {5, 6, 7, 8};
+
+  in_order.add(f, first);
+  in_order.add(f, second);
+  reversed.add(f, second);
+  reversed.add(f, first);
+
+  WindowId lo = 0, hi = 0;
+  ASSERT_TRUE(reversed.extent(f, lo, hi));
+  EXPECT_EQ(lo, 0);
+  EXPECT_EQ(hi, 7);
+  EXPECT_EQ(in_order.range(f, 0, 8), reversed.range(f, 0, 8));
+}
+
+TEST(FlowCurveStore, AddSparseMatchesDenseAdd) {
+  FlowCurveStore dense_store;
+  FlowCurveStore sparse_store;
+  const FlowKey f = flow(12);
+
+  CurveFragment frag;
+  frag.w0 = 50;
+  frag.bytes_per_window = {0, 9, 0, 0, 3, 7, 0, 1};
+  dense_store.add(f, frag);
+
+  std::vector<std::pair<WindowId, double>> sparse;
+  for (std::size_t i = 0; i < frag.bytes_per_window.size(); ++i) {
+    if (frag.bytes_per_window[i] != 0) {
+      sparse.emplace_back(frag.w0 + static_cast<WindowId>(i),
+                          frag.bytes_per_window[i]);
+    }
+  }
+  sparse_store.add_sparse(f, sparse);
+
+  EXPECT_EQ(dense_store.range(f, 50, 58), sparse_store.range(f, 50, 58));
+  EXPECT_NEAR(dense_store.total_bytes(f), sparse_store.total_bytes(f), 1e-9);
+}
+
+TEST(FlowCurveStore, AddSparseAppliesWindowOffset) {
+  // The collector passes the host clock correction as a window offset.
+  FlowCurveStore store;
+  const FlowKey f = flow(13);
+  const std::vector<std::pair<WindowId, double>> windows = {
+      {100, 5.0}, {101, 6.0}, {105, 7.0}};
+  store.add_sparse(f, windows, /*window_offset=*/100);
+
+  WindowId lo = 0, hi = 0;
+  ASSERT_TRUE(store.extent(f, lo, hi));
+  EXPECT_EQ(lo, 0);
+  EXPECT_EQ(hi, 5);
+  const auto dense = store.range(f, 0, 6);
+  EXPECT_NEAR(dense[0], 5.0, 1e-9);
+  EXPECT_NEAR(dense[1], 6.0, 1e-9);
+  EXPECT_NEAR(dense[5], 7.0, 1e-9);
+}
+
+TEST(FlowCurveStore, SparseFragmentsOutOfOrderAcrossEpochs) {
+  // Jittered epochs arriving out of order through add_sparse accumulate the
+  // same as in-order arrival, including on the shared boundary window.
+  FlowCurveStore store;
+  const FlowKey f = flow(14);
+  const std::vector<std::pair<WindowId, double>> late = {{8, 2.0}, {9, 4.0}};
+  const std::vector<std::pair<WindowId, double>> early = {{7, 1.0}, {8, 3.0}};
+  store.add_sparse(f, late);
+  store.add_sparse(f, early);
+  const auto dense = store.range(f, 7, 10);
+  EXPECT_NEAR(dense[0], 1.0, 1e-9);
+  EXPECT_NEAR(dense[1], 5.0, 1e-9);
+  EXPECT_NEAR(dense[2], 4.0, 1e-9);
+}
+
 }  // namespace
 }  // namespace umon::analyzer

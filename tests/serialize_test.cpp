@@ -26,6 +26,7 @@ TaggedReport sample_report() {
   TaggedReport r;
   r.row = 2;
   r.col = 197;
+  r.seq = 41;
   r.report.w0 = 123456789;
   r.report.length = 777;
   r.report.levels = 8;
@@ -47,11 +48,106 @@ TEST(Serialize, RoundTripSingle) {
   EXPECT_EQ(offset, buf.size());
   EXPECT_EQ(got->row, orig.row);
   EXPECT_EQ(got->col, orig.col);
+  EXPECT_EQ(got->seq, orig.seq);
+  EXPECT_FALSE(got->flow.has_value());
   EXPECT_EQ(got->report.w0, orig.report.w0);
   EXPECT_EQ(got->report.length, orig.report.length);
   EXPECT_EQ(got->report.levels, orig.report.levels);
   EXPECT_EQ(got->report.approx, orig.report.approx);
   EXPECT_EQ(got->report.details, orig.report.details);
+}
+
+TEST(Serialize, RoundTripFlowTagged) {
+  TaggedReport orig = sample_report();
+  orig.flow = flow(9);
+  std::vector<std::uint8_t> buf;
+  encode_report(orig, buf);
+  std::size_t offset = 0;
+  auto got = decode_report(buf, offset);
+  ASSERT_TRUE(got.has_value());
+  ASSERT_TRUE(got->flow.has_value());
+  EXPECT_EQ(*got->flow, flow(9));
+  EXPECT_EQ(got->report.approx, orig.report.approx);
+}
+
+TEST(Serialize, DecodesVersion1Payloads) {
+  // Hand-craft the v1 layout: magic, version, row, col, w0, length, levels,
+  // approx_count, detail_count, then coefficients — no flags/seq/flow.
+  std::vector<std::uint8_t> buf;
+  auto put = [&buf](auto v) {
+    std::uint8_t tmp[sizeof(v)];
+    std::memcpy(tmp, &v, sizeof(v));
+    buf.insert(buf.end(), tmp, tmp + sizeof(v));
+  };
+  put(std::uint16_t{0xA10E});
+  put(std::uint8_t{1});                // version 1
+  put(std::uint8_t{2});                // row
+  put(std::uint32_t{197});             // col
+  put(std::int64_t{123456789});        // w0
+  put(std::uint32_t{7});               // length -> padded 8
+  put(std::uint8_t{2});                // levels -> eff 2, needs >= 2 approx
+  put(std::uint32_t{2});               // approx_count
+  put(std::uint32_t{1});               // detail_count
+  put(std::int32_t{11});
+  put(std::int32_t{22});
+  put(std::uint8_t{0});                // detail level
+  put(std::uint8_t{3});                // index lo
+  put(std::uint16_t{0});               // index hi
+  put(std::int32_t{-5});               // value
+
+  std::size_t offset = 0;
+  auto got = decode_report(buf, offset);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(offset, buf.size());
+  EXPECT_EQ(got->row, 2);
+  EXPECT_EQ(got->col, 197u);
+  EXPECT_EQ(got->seq, 0u);  // v1 carries no sequence number
+  EXPECT_FALSE(got->flow.has_value());
+  EXPECT_EQ(got->report.length, 7u);
+  EXPECT_EQ(got->report.approx, (std::vector<Count>{11, 22}));
+}
+
+TEST(Serialize, BatchSequenceStamping) {
+  std::vector<TaggedReport> reports(5, sample_report());
+  const auto bytes = encode_batch(reports, /*first_seq=*/100);
+  const auto back = decode_batch(bytes);
+  ASSERT_TRUE(back.has_value());
+  ASSERT_EQ(back->size(), 5u);
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ((*back)[i].seq, 100u + i);
+  }
+  // The in-memory reports keep their own seq.
+  EXPECT_EQ(reports[0].seq, 41u);
+}
+
+TEST(Serialize, ScanMatchesDecode) {
+  std::vector<TaggedReport> reports;
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    TaggedReport r = sample_report();
+    if (i % 2 == 0) r.flow = flow(i);
+    reports.push_back(std::move(r));
+  }
+  const auto bytes = encode_batch(reports, /*first_seq=*/7);
+  std::size_t offset = sizeof(std::uint32_t);  // skip the count prefix
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    const std::size_t begin = offset;
+    auto frame = scan_report(bytes, offset);
+    ASSERT_TRUE(frame.has_value()) << i;
+    EXPECT_EQ(frame->begin, begin);
+    EXPECT_EQ(frame->seq, 7u + i);
+    EXPECT_EQ(frame->has_flow, i % 2 == 0);
+    if (frame->has_flow) {
+      EXPECT_EQ(frame->flow, flow(i));
+    }
+    // The scanned slice decodes standalone.
+    std::size_t inner = 0;
+    auto full = decode_report(
+        std::span(bytes.data() + frame->begin, frame->end - frame->begin),
+        inner);
+    ASSERT_TRUE(full.has_value());
+    EXPECT_EQ(full->seq, frame->seq);
+  }
+  EXPECT_EQ(offset, bytes.size());
 }
 
 TEST(Serialize, RoundTripBatchFromRealSketch) {
@@ -113,17 +209,93 @@ TEST(Serialize, RejectsBadMagicAndGarbage) {
   EXPECT_FALSE(decode_batch(batch).has_value());
 }
 
+// v2 header layout: magic(2) version(1) flags(1) row(1) col(4) seq(4)
+// w0(8) length(4) levels(1) approx_count(4) detail_count(4).
+constexpr std::size_t kOffLength = 13 + 8;
+constexpr std::size_t kOffLevels = kOffLength + 4;
+constexpr std::size_t kOffApproxCount = kOffLevels + 1;
+constexpr std::size_t kOffDetailCount = kOffApproxCount + 4;
+
 TEST(Serialize, RejectsAbsurdCounts) {
   // Craft a header claiming 2^30 approximation coefficients.
   TaggedReport r = sample_report();
   std::vector<std::uint8_t> buf;
   encode_report(r, buf);
-  // approx_count lives after magic(2) version(1) row(1) col(4) w0(8)
-  // length(4) levels(1) = offset 21.
   const std::uint32_t absurd = 1u << 30;
-  std::memcpy(buf.data() + 21, &absurd, sizeof(absurd));
+  std::memcpy(buf.data() + kOffApproxCount, &absurd, sizeof(absurd));
   std::size_t offset = 0;
   EXPECT_FALSE(decode_report(buf, offset).has_value());
+
+  // Same for the detail count.
+  buf.clear();
+  encode_report(r, buf);
+  std::memcpy(buf.data() + kOffDetailCount, &absurd, sizeof(absurd));
+  offset = 0;
+  EXPECT_FALSE(decode_report(buf, offset).has_value());
+}
+
+TEST(Serialize, RejectsAbsurdLength) {
+  TaggedReport r = sample_report();
+  std::vector<std::uint8_t> buf;
+  encode_report(r, buf);
+  const std::uint32_t absurd = 1u << 30;  // > kMaxLength (2^24)
+  std::memcpy(buf.data() + kOffLength, &absurd, sizeof(absurd));
+  std::size_t offset = 0;
+  EXPECT_FALSE(decode_report(buf, offset).has_value());
+}
+
+// A header claiming more windows than its approximations cover must be
+// rejected: reconstruct() reads `next_pow2(length) >> levels` approximation
+// slots unconditionally, so trusting such a header is an out-of-bounds read
+// (the assert guarding it compiles out in Release).
+TEST(Serialize, RejectsApproxCountInconsistentWithLength) {
+  TaggedReport r = sample_report();
+  std::vector<std::uint8_t> buf;
+  encode_report(r, buf);
+  // length 777 (padded 1024), levels 8 -> needs >= 4 approximations; claim
+  // a larger length with the same 4 coefficients.
+  const std::uint32_t stretched = 1u << 16;  // padded 65536 -> needs 256
+  std::memcpy(buf.data() + kOffLength, &stretched, sizeof(stretched));
+  std::size_t offset = 0;
+  EXPECT_FALSE(decode_report(buf, offset).has_value());
+
+  // Also reject absurd levels outright.
+  buf.clear();
+  encode_report(r, buf);
+  buf[kOffLevels] = 200;
+  offset = 0;
+  EXPECT_FALSE(decode_report(buf, offset).has_value());
+}
+
+// Details at the 24-bit index ceiling decode fine and reconstruct safely —
+// out-of-range indices are ignored, never written out of bounds.
+TEST(Serialize, MaxDetailIndexReconstructsSafely) {
+  TaggedReport r = sample_report();
+  r.report.details.push_back({0, (1u << 24) - 1, 12345});
+  std::vector<std::uint8_t> buf;
+  encode_report(r, buf);
+  std::size_t offset = 0;
+  auto got = decode_report(buf, offset);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->report.details.back().index, (1u << 24) - 1);
+  const auto series = got->report.reconstruct();
+  EXPECT_EQ(series.size(), got->report.length);
+}
+
+// Every truncation point of a valid report must decode to nullopt — the
+// header is parsed field-by-field with bounds checks, so no cut can read
+// past the buffer (run under ASan in CI).
+TEST(Serialize, RejectsEveryHeaderTruncation) {
+  TaggedReport r = sample_report();
+  r.flow = flow(3);
+  std::vector<std::uint8_t> buf;
+  encode_report(r, buf);
+  for (std::size_t cut = 0; cut < buf.size(); ++cut) {
+    std::size_t offset = 0;
+    EXPECT_FALSE(
+        decode_report(std::span(buf.data(), cut), offset).has_value())
+        << "cut=" << cut;
+  }
 }
 
 // --- AggregatingFrontEnd ----------------------------------------------------
