@@ -9,21 +9,38 @@
 //            [--sample-bits 6] [--k 64] [--width 256] [--depth 3]
 //            [--pfc] [--dctcp] [--seed 7]
 //            [--collector-shards N] [--report-loss F]
+//            [--metrics-out FILE] [--trace-out FILE] [--log-level LEVEL]
 //
 // With --collector-shards (or --report-loss) the host sketches reach the
 // analyzer through the full collection tier — per-host uplink encode, the
 // simulated lossy upload channel, and the sharded collector — instead of
 // being ingested in-process.
 //
+// --metrics-out writes a Prometheus text snapshot of the pipeline's own
+// telemetry; --trace-out writes Chrome trace_event JSON (open it in
+// chrome://tracing or ui.perfetto.dev). Either flag turns on detailed
+// self-monitoring (latency histograms, spans), implies the collector tier,
+// and appends a self-monitoring summary to the report. --log-level
+// trace|debug|info|warn|error|off controls the structured logger (default
+// warn).
+//
 // Example:
 //   ./build/examples/umon_sim --workload hadoop --load 0.35 --sample-bits 4
 //   ./build/examples/umon_sim --collector-shards 4 --report-loss 0.01
+//   ./build/examples/umon_sim --metrics-out metrics.prom --trace-out t.json
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <memory>
 #include <string>
 #include <vector>
+
+#include "telemetry/export.hpp"
+#include "telemetry/log.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/tracing.hpp"
 
 #include "analyzer/analyzer.hpp"
 #include "analyzer/groundtruth.hpp"
@@ -54,6 +71,13 @@ struct Options {
   std::uint64_t seed = 7;
   int collector_shards = 0;  ///< 0 = in-process ingest (no collector tier)
   double report_loss = 0.0;
+  std::string metrics_out;   ///< Prometheus text snapshot path ("" = off)
+  std::string trace_out;     ///< Chrome trace JSON path ("" = off)
+  std::string log_level;     ///< "" = leave logger at its default (warn)
+
+  [[nodiscard]] bool telemetry_requested() const {
+    return !metrics_out.empty() || !trace_out.empty();
+  }
 };
 
 bool parse(int argc, char** argv, Options& opt) {
@@ -98,6 +122,12 @@ bool parse(int argc, char** argv, Options& opt) {
       opt.collector_shards = std::atoi(next("--collector-shards"));
     } else if (arg == "--report-loss") {
       opt.report_loss = std::atof(next("--report-loss"));
+    } else if (arg == "--metrics-out") {
+      opt.metrics_out = next("--metrics-out");
+    } else if (arg == "--trace-out") {
+      opt.trace_out = next("--trace-out");
+    } else if (arg == "--log-level") {
+      opt.log_level = next("--log-level");
     } else if (arg == "--help" || arg == "-h") {
       return false;
     } else {
@@ -117,8 +147,22 @@ int main(int argc, char** argv) {
         "usage: umon_sim [--workload websearch|hadoop] [--load F] [--ms N]\n"
         "                [--sample-bits N] [--k N] [--width N] [--depth N]\n"
         "                [--pfc] [--dctcp] [--seed N]\n"
-        "                [--collector-shards N] [--report-loss F]\n");
+        "                [--collector-shards N] [--report-loss F]\n"
+        "                [--metrics-out FILE] [--trace-out FILE]\n"
+        "                [--log-level trace|debug|info|warn|error|off]\n");
     return 2;
+  }
+
+  if (!opt.log_level.empty()) {
+    telemetry::Logger::global().set_level(
+        telemetry::parse_log_level(opt.log_level));
+  }
+  if (opt.telemetry_requested()) {
+    // Detailed self-monitoring: latency histograms and (if requested) spans.
+    telemetry::set_detail_enabled(true);
+  }
+  if (!opt.trace_out.empty()) {
+    telemetry::TraceRecorder::global().enable();
   }
 
   netsim::NetworkConfig cfg;
@@ -169,15 +213,21 @@ int main(int argc, char** argv) {
 
   // --- analyzer view --------------------------------------------------------
   analyzer::Analyzer an;
-  const bool use_collector = opt.collector_shards > 0 || opt.report_loss > 0;
+  // Telemetry export implies the collector tier so the metrics snapshot
+  // covers the whole pipeline, not just the in-process subsystems.
+  const bool use_collector = opt.collector_shards > 0 || opt.report_loss > 0 ||
+                             opt.telemetry_requested();
   collector::CollectorStats cstats;
   std::uint64_t payloads_dropped = 0;
+  // Kept alive past its stop() so its private registry can be exported.
+  std::unique_ptr<collector::Collector> collector_tier;
   if (use_collector) {
     // Full collection tier: uplink encode -> lossy upload channel -> sharded
     // collector -> analyzer.
     collector::CollectorConfig ccfg;
     ccfg.shards = opt.collector_shards > 0 ? opt.collector_shards : 2;
-    collector::Collector col(ccfg, an);
+    collector_tier = std::make_unique<collector::Collector>(ccfg, an);
+    collector::Collector& col = *collector_tier;
     col.start();
 
     netsim::UploadChannelConfig ucfg;
@@ -300,6 +350,76 @@ int main(int argc, char** argv) {
     std::printf("  epochs flushed:  %llu (%llu curve fragments)\n",
                 static_cast<unsigned long long>(cstats.epochs_flushed),
                 static_cast<unsigned long long>(cstats.fragments_ingested));
+  }
+
+  // --- self-monitoring ------------------------------------------------------
+  if (opt.telemetry_requested()) {
+    const telemetry::MetricRegistry* regs[] = {
+        &telemetry::MetricRegistry::global(),
+        collector_tier ? &collector_tier->telemetry_registry() : nullptr};
+    const auto samples = telemetry::merged_snapshot(regs);
+
+    std::printf("\nself-monitoring\n");
+    // The busiest latency histograms: where this run spent its time.
+    std::vector<const telemetry::MetricRegistry::Sample*> hists;
+    for (const auto& s : samples) {
+      if (s.kind == telemetry::MetricRegistry::Kind::kHistogram &&
+          s.hist_count > 0) {
+        hists.push_back(&s);
+      }
+    }
+    std::sort(hists.begin(), hists.end(), [](const auto* a, const auto* b) {
+      return a->hist_count > b->hist_count;
+    });
+    if (hists.size() > 5) hists.resize(5);
+    for (const auto* h : hists) {
+      std::printf("  %-42s %8llu obs, mean %.2f\n", h->name.c_str(),
+                  static_cast<unsigned long long>(h->hist_count),
+                  h->hist_sum / static_cast<double>(h->hist_count));
+    }
+    // Every way the pipeline lost or discarded data, by counter.
+    std::uint64_t total_lost = 0;
+    for (const auto& s : samples) {
+      if (s.kind != telemetry::MetricRegistry::Kind::kCounter ||
+          s.counter_value == 0) {
+        continue;
+      }
+      const bool lossy = s.name.find("drop") != std::string::npos ||
+                         s.name.find("_shed") != std::string::npos ||
+                         s.name.find("lost") != std::string::npos ||
+                         s.name.find("malformed") != std::string::npos ||
+                         s.name.find("evictions") != std::string::npos ||
+                         s.name.find("prunes") != std::string::npos;
+      if (!lossy) continue;
+      std::printf("  %-42s %8llu\n", s.name.c_str(),
+                  static_cast<unsigned long long>(s.counter_value));
+      total_lost += s.counter_value;
+    }
+    std::printf("  total drops/sheds/prunes:                  %8llu\n",
+                static_cast<unsigned long long>(total_lost));
+
+    if (!opt.metrics_out.empty()) {
+      std::ofstream os(opt.metrics_out);
+      if (!os) {
+        std::fprintf(stderr, "cannot write %s\n", opt.metrics_out.c_str());
+        return 1;
+      }
+      telemetry::write_prometheus(os, regs);
+      std::printf("  metrics snapshot:      %s (%zu series)\n",
+                  opt.metrics_out.c_str(), samples.size());
+    }
+    if (!opt.trace_out.empty()) {
+      auto& rec = telemetry::TraceRecorder::global();
+      std::ofstream os(opt.trace_out);
+      if (!os) {
+        std::fprintf(stderr, "cannot write %s\n", opt.trace_out.c_str());
+        return 1;
+      }
+      rec.write_chrome_json(os);
+      std::printf("  trace:                 %s (%zu spans, %llu dropped)\n",
+                  opt.trace_out.c_str(), rec.snapshot().size(),
+                  static_cast<unsigned long long>(rec.dropped()));
+    }
   }
   return 0;
 }

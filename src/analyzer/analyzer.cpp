@@ -2,7 +2,56 @@
 
 #include <algorithm>
 
+#include "telemetry/metrics.hpp"
+#include "telemetry/tracing.hpp"
+
 namespace umon::analyzer {
+
+namespace {
+
+// Process-global umon_analyzer_* instruments. Analyzers are usually
+// singletons; when tests construct several, totals aggregate, which is what
+// the fleet view wants (per-instance accounting stays on the Analyzer's own
+// report_bytes_* members).
+struct Instruments {
+  telemetry::Counter* host_sketches;
+  telemetry::Counter* report_batches;
+  telemetry::Counter* fragments;
+  telemetry::Counter* report_bytes;
+  telemetry::Counter* mirror_packets;
+  telemetry::Gauge* curve_store_bytes;
+  telemetry::Histogram* reconstruct_latency_us;
+};
+
+const Instruments& instruments() {
+  static const Instruments ins = [] {
+    auto& reg = telemetry::MetricRegistry::global();
+    Instruments i;
+    i.host_sketches =
+        reg.counter("umon_analyzer_host_sketches_total", {},
+                    "Full host sketches ingested at period end");
+    i.report_batches =
+        reg.counter("umon_analyzer_report_batches_total", {},
+                    "Sealed epoch report batches ingested");
+    i.fragments = reg.counter("umon_analyzer_fragments_total", {},
+                              "Curve fragments stitched into the store");
+    i.report_bytes = reg.counter("umon_analyzer_report_bytes_total", {},
+                                 "Encoded report bytes ingested");
+    i.mirror_packets = reg.counter("umon_analyzer_mirror_packets_total", {},
+                                   "Mirrored event packets ingested");
+    i.curve_store_bytes =
+        reg.gauge("umon_analyzer_curve_store_bytes", {},
+                  "Approximate resident bytes of the per-flow curve store");
+    i.reconstruct_latency_us = reg.histogram(
+        "umon_analyzer_reconstruct_latency_us",
+        telemetry::Histogram::latency_us_bounds(), {},
+        "Per-flow rate curve reconstruction latency (query_rate)");
+    return i;
+  }();
+  return ins;
+}
+
+}  // namespace
 
 void Analyzer::ingest_host_sketch(int host,
                                   const sketch::WaveSketchFull& sk) {
@@ -22,9 +71,14 @@ void Analyzer::ingest_host_sketch(int host,
   const std::size_t wire = sk.report_wire_bytes();
   report_bytes_ += wire;
   report_bytes_by_host_[host] += wire;
+  instruments().host_sketches->inc();
+  instruments().report_bytes->inc(wire);
+  instruments().curve_store_bytes->set(
+      static_cast<std::int64_t>(curves_.memory_bytes()));
 }
 
 void Analyzer::ingest_report_batch(const DecodedReportBatch& batch) {
+  UMON_TRACE_SPAN("analyzer/ingest_batch");
   const Nanos offset = clocks_.host_offset.contains(batch.host)
                            ? clocks_.host_offset.at(batch.host)
                            : 0;
@@ -34,6 +88,11 @@ void Analyzer::ingest_report_batch(const DecodedReportBatch& batch) {
   }
   report_bytes_ += batch.wire_bytes;
   report_bytes_by_host_[batch.host] += batch.wire_bytes;
+  instruments().report_batches->inc();
+  instruments().fragments->inc(batch.fragments.size());
+  instruments().report_bytes->inc(batch.wire_bytes);
+  instruments().curve_store_bytes->set(
+      static_cast<std::int64_t>(curves_.memory_bytes()));
 }
 
 void Analyzer::ingest_flow_curve(const FlowKey& flow, RateCurve curve) {
@@ -58,6 +117,7 @@ void Analyzer::ingest_mirrored(
   const auto middle_idx = mirrored_.size();
   mirrored_.insert(mirrored_.end(), packets.begin(), packets.end());
   mirror_bytes_ += packets.size() * uevent::MirroredPacket::kWireBytes;
+  instruments().mirror_packets->inc(packets.size());
   const auto middle =
       mirrored_.begin() + static_cast<std::ptrdiff_t>(middle_idx);
   std::sort(middle, mirrored_.end(), less);
@@ -65,6 +125,8 @@ void Analyzer::ingest_mirrored(
 }
 
 RateCurve Analyzer::query_rate(const FlowKey& flow) const {
+  UMON_TRACE_SPAN("analyzer/curve_reconstruct");
+  telemetry::ScopedTimer timer(instruments().reconstruct_latency_us);
   WindowId first = 0, last = 0;
   if (!curves_.extent(flow, first, last)) return RateCurve{};
   RateCurve out;
@@ -75,6 +137,7 @@ RateCurve Analyzer::query_rate(const FlowKey& flow) const {
 }
 
 std::vector<CongestionEvent> Analyzer::events(Nanos quiet_gap) const {
+  UMON_TRACE_SPAN("analyzer/event_grouping");
   std::vector<CongestionEvent> out;
   CongestionEvent cur;
   std::vector<std::uint64_t> seen;

@@ -8,7 +8,10 @@ void FlowCurveStore::add(const FlowKey& flow, CurveFragment fragment) {
   for (std::size_t i = 0; i < fragment.bytes_per_window.size(); ++i) {
     const double v = fragment.bytes_per_window[i];
     if (v == 0) continue;  // keep the map sparse
-    e.windows[fragment.w0 + static_cast<WindowId>(i)] += v;
+    const WindowId key = fragment.w0 + static_cast<WindowId>(i);
+    auto [it, inserted] = e.windows.try_emplace(key, 0.0);
+    it->second += v;
+    if (inserted) ++total_windows_;
   }
 }
 
@@ -30,6 +33,7 @@ void FlowCurveStore::add_sparse(
       hint->second += v;
     } else {
       hint = e.windows.emplace_hint(hint, key, v);
+      ++total_windows_;
     }
   }
 }

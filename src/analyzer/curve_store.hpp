@@ -55,14 +55,31 @@ class FlowCurveStore {
   [[nodiscard]] std::size_t flow_count() const { return flows_.size(); }
   [[nodiscard]] std::vector<FlowKey> flows() const;
 
+  /// Total stored non-zero windows across all flows (tracked incrementally,
+  /// O(1) to read).
+  [[nodiscard]] std::size_t window_count() const { return total_windows_; }
+
+  /// Approximate resident bytes of the store: per-flow entry overhead plus
+  /// per-window map node cost (key + value + three pointers + color, the
+  /// usual std::map node layout).
+  [[nodiscard]] std::size_t memory_bytes() const {
+    return flows_.size() * kEntryBytes + total_windows_ * kWindowNodeBytes;
+  }
+
  private:
   struct Entry {
     FlowKey key;
     std::map<WindowId, double> windows;  // sparse accumulated counters
   };
 
+  static constexpr std::size_t kEntryBytes =
+      sizeof(Entry) + 2 * sizeof(void*);  // hash node overhead
+  static constexpr std::size_t kWindowNodeBytes =
+      sizeof(std::pair<WindowId, double>) + 4 * sizeof(void*);
+
   int window_shift_;
   std::unordered_map<std::uint64_t, Entry> flows_;
+  std::size_t total_windows_ = 0;
 };
 
 }  // namespace umon::analyzer

@@ -5,6 +5,8 @@
 #include <span>
 
 #include "sketch/serialize.hpp"
+#include "telemetry/log.hpp"
+#include "telemetry/tracing.hpp"
 
 namespace umon::collector {
 namespace {
@@ -65,24 +67,79 @@ struct Collector::PendingEpoch {
   int acks = 0;  ///< shards that have drained their share
 };
 
-struct Collector::Counters {
-  std::atomic<std::uint64_t> payloads_submitted{0};
-  std::atomic<std::uint64_t> payloads_malformed{0};
-  std::atomic<std::uint64_t> batches_enqueued{0};
-  std::atomic<std::uint64_t> batches_shed{0};
-  std::atomic<std::uint64_t> reports_scanned{0};
-  std::atomic<std::uint64_t> reports_decoded{0};
-  std::atomic<std::uint64_t> reports_malformed{0};
-  std::atomic<std::uint64_t> reports_shed{0};
-  std::atomic<std::uint64_t> reports_lost{0};
-  std::atomic<std::uint64_t> mirror_packets{0};
-  std::atomic<std::uint64_t> epochs_flushed{0};
-  std::atomic<std::uint64_t> fragments_ingested{0};
+/// Every counter lives in the collector's private registry so stats() can
+/// materialize the whole CollectorStats view from one snapshot pass and the
+/// exporters can dump the same instruments verbatim.
+struct Collector::Instruments {
+  explicit Instruments(int shards) {
+    payloads_submitted = reg.counter(
+        "umon_collector_payloads_submitted_total", {},
+        "Upload payloads offered to the front door");
+    payloads_malformed = reg.counter(
+        "umon_collector_payloads_malformed_total", {},
+        "Payloads rejected by the framing scan");
+    batches_enqueued = reg.counter(
+        "umon_collector_batches_enqueued_total", {},
+        "Routed batches admitted to shard queues");
+    batches_shed = reg.counter("umon_collector_batches_shed_total", {},
+                               "Batches shed by the overflow policy");
+    reports_scanned = reg.counter("umon_collector_reports_scanned_total", {},
+                                  "Report frames seen by the framing scan");
+    reports_decoded = reg.counter("umon_collector_reports_decoded_total", {},
+                                  "Reports fully decoded by shard workers");
+    reports_malformed = reg.counter(
+        "umon_collector_reports_malformed_total", {},
+        "Reports that failed shard-side decode");
+    reports_shed = reg.counter("umon_collector_reports_shed_total", {},
+                               "Reports inside shed batches");
+    reports_lost = reg.counter("umon_collector_reports_lost_total", {},
+                               "Reports lost upstream (sequence gaps)");
+    mirror_packets = reg.counter("umon_collector_mirror_packets_total", {},
+                                 "Mirrored event packets delivered");
+    epochs_flushed = reg.counter("umon_collector_epochs_flushed_total", {},
+                                 "Sealed (host, epoch) batches flushed");
+    fragments_ingested = reg.counter(
+        "umon_collector_fragments_ingested_total", {},
+        "Sparse curve fragments handed to the analyzer");
+    decode_latency_us = reg.histogram(
+        "umon_collector_decode_latency_us",
+        telemetry::Histogram::latency_us_bounds(), {},
+        "Shard-side batch decode + reconstruct latency");
+    flush_latency_us = reg.histogram(
+        "umon_collector_epoch_flush_latency_us",
+        telemetry::Histogram::latency_us_bounds(), {},
+        "Sealed-epoch flush into the analyzer");
+    queue_depth.reserve(static_cast<std::size_t>(shards));
+    for (int s = 0; s < shards; ++s) {
+      queue_depth.push_back(
+          reg.gauge("umon_collector_queue_depth_batches",
+                    {{"shard", std::to_string(s)}},
+                    "Batches resident in one shard queue"));
+    }
+  }
+
+  telemetry::MetricRegistry reg;
+  telemetry::Counter* payloads_submitted;
+  telemetry::Counter* payloads_malformed;
+  telemetry::Counter* batches_enqueued;
+  telemetry::Counter* batches_shed;
+  telemetry::Counter* reports_scanned;
+  telemetry::Counter* reports_decoded;
+  telemetry::Counter* reports_malformed;
+  telemetry::Counter* reports_shed;
+  telemetry::Counter* reports_lost;
+  telemetry::Counter* mirror_packets;
+  telemetry::Counter* epochs_flushed;
+  telemetry::Counter* fragments_ingested;
+  telemetry::Histogram* decode_latency_us;
+  telemetry::Histogram* flush_latency_us;
+  std::vector<telemetry::Gauge*> queue_depth;
 };
 
 Collector::Collector(const CollectorConfig& cfg, analyzer::Analyzer& sink)
-    : cfg_(cfg), sink_(sink), counters_(std::make_unique<Counters>()) {
+    : cfg_(cfg), sink_(sink) {
   if (cfg_.shards < 1) cfg_.shards = 1;
+  ins_ = std::make_unique<Instruments>(cfg_.shards);
   shards_.reserve(static_cast<std::size_t>(cfg_.shards));
   for (int s = 0; s < cfg_.shards; ++s) {
     shards_.push_back(
@@ -91,6 +148,10 @@ Collector::Collector(const CollectorConfig& cfg, analyzer::Analyzer& sink)
 }
 
 Collector::~Collector() { stop(); }
+
+const telemetry::MetricRegistry& Collector::telemetry_registry() const {
+  return ins_->reg;
+}
 
 void Collector::start() {
   if (running_) return;
@@ -139,13 +200,16 @@ void Collector::stop() {
 bool Collector::submit_report_payload(int host, std::uint32_t epoch,
                                       std::vector<std::uint8_t> payload) {
   std::lock_guard lock(front_mutex_);
-  counters_->payloads_submitted.fetch_add(1, std::memory_order_relaxed);
+  ins_->payloads_submitted->inc();
 
   const std::span<const std::uint8_t> in(payload);
   std::size_t offset = 0;
   std::uint32_t count = 0;
   if (in.size() < sizeof(count)) {
-    counters_->payloads_malformed.fetch_add(1, std::memory_order_relaxed);
+    ins_->payloads_malformed->inc();
+    UMON_LOG(kWarn, "collector", "payload shorter than its header",
+             {"host", std::to_string(host)},
+             {"bytes", std::to_string(in.size())});
     return false;
   }
   std::memcpy(&count, in.data(), sizeof(count));
@@ -160,7 +224,10 @@ bool Collector::submit_report_payload(int host, std::uint32_t epoch,
   for (std::uint32_t i = 0; i < count; ++i) {
     auto frame = sketch::scan_report(in, offset);
     if (!frame) {
-      counters_->payloads_malformed.fetch_add(1, std::memory_order_relaxed);
+      ins_->payloads_malformed->inc();
+      UMON_LOG(kWarn, "collector", "payload failed framing scan",
+               {"host", std::to_string(host)},
+               {"frame", std::to_string(i)});
       return false;
     }
     std::size_t shard;
@@ -181,11 +248,13 @@ bool Collector::submit_report_payload(int host, std::uint32_t epoch,
     if (frame->seq + 1 > max_seq_next) max_seq_next = frame->seq + 1;
   }
   if (offset != in.size()) {  // trailing garbage
-    counters_->payloads_malformed.fetch_add(1, std::memory_order_relaxed);
+    ins_->payloads_malformed->inc();
+    UMON_LOG(kWarn, "collector", "payload has trailing garbage",
+             {"host", std::to_string(host)});
     return false;
   }
 
-  counters_->reports_scanned.fetch_add(count, std::memory_order_relaxed);
+  ins_->reports_scanned->inc(count);
   bytes_by_host_[host] += payload.size();
   HostSeqState& st = seq_state_[host];
   st.received += count;
@@ -202,18 +271,23 @@ bool Collector::submit_report_payload(int host, std::uint32_t epoch,
     ShardMsg evicted;
     switch (shards_[s]->queue.push(std::move(msg), evicted)) {
       case BatchQueue<ShardMsg>::PushResult::kOk:
-        counters_->batches_enqueued.fetch_add(1, std::memory_order_relaxed);
+        ins_->batches_enqueued->inc();
+        ins_->queue_depth[s]->add(1);
         break;
       case BatchQueue<ShardMsg>::PushResult::kRejected:
-        counters_->batches_shed.fetch_add(1, std::memory_order_relaxed);
-        counters_->reports_shed.fetch_add(route_count[s],
-                                          std::memory_order_relaxed);
+        ins_->batches_shed->inc();
+        ins_->reports_shed->inc(route_count[s]);
+        UMON_LOG(kDebug, "collector", "backpressure shed incoming batch",
+                 {"shard", std::to_string(s)},
+                 {"reports", std::to_string(route_count[s])});
         break;
       case BatchQueue<ShardMsg>::PushResult::kEvictedOldest:
-        counters_->batches_enqueued.fetch_add(1, std::memory_order_relaxed);
-        counters_->batches_shed.fetch_add(1, std::memory_order_relaxed);
-        counters_->reports_shed.fetch_add(evicted.report_count,
-                                          std::memory_order_relaxed);
+        ins_->batches_enqueued->inc();
+        ins_->batches_shed->inc();
+        ins_->reports_shed->inc(evicted.report_count);
+        UMON_LOG(kDebug, "collector", "backpressure evicted oldest batch",
+                 {"shard", std::to_string(s)},
+                 {"reports", std::to_string(evicted.report_count)});
         break;
     }
   }
@@ -233,16 +307,16 @@ void Collector::submit_mirror_batch(
   ShardMsg evicted;
   switch (shards_[s]->queue.push(std::move(msg), evicted)) {
     case BatchQueue<ShardMsg>::PushResult::kOk:
-      counters_->batches_enqueued.fetch_add(1, std::memory_order_relaxed);
+      ins_->batches_enqueued->inc();
+      ins_->queue_depth[s]->add(1);
       break;
     case BatchQueue<ShardMsg>::PushResult::kRejected:
-      counters_->batches_shed.fetch_add(1, std::memory_order_relaxed);
+      ins_->batches_shed->inc();
       break;
     case BatchQueue<ShardMsg>::PushResult::kEvictedOldest:
-      counters_->batches_enqueued.fetch_add(1, std::memory_order_relaxed);
-      counters_->batches_shed.fetch_add(1, std::memory_order_relaxed);
-      counters_->reports_shed.fetch_add(evicted.report_count,
-                                        std::memory_order_relaxed);
+      ins_->batches_enqueued->inc();
+      ins_->batches_shed->inc();
+      ins_->reports_shed->inc(evicted.report_count);
       break;
   }
 }
@@ -256,8 +330,11 @@ void Collector::seal_epoch(int host, std::uint32_t epoch,
     if (end < st.epoch_start_seq) end = st.epoch_start_seq;
     const std::uint64_t expected = end - st.epoch_start_seq;
     if (expected > st.received) {
-      counters_->reports_lost.fetch_add(expected - st.received,
-                                        std::memory_order_relaxed);
+      ins_->reports_lost->inc(expected - st.received);
+      UMON_LOG(kInfo, "collector", "sequence gap at epoch seal",
+               {"host", std::to_string(host)},
+               {"epoch", std::to_string(epoch)},
+               {"lost", std::to_string(expected - st.received)});
     }
     st.epoch_start_seq = end;
     st.max_seq_next = end;
@@ -274,19 +351,23 @@ void Collector::seal_epoch(int host, std::uint32_t epoch,
 
 void Collector::worker(int shard_id) {
   Shard& sh = *shards_[static_cast<std::size_t>(shard_id)];
+  telemetry::Gauge* depth =
+      ins_->queue_depth[static_cast<std::size_t>(shard_id)];
   ShardMsg msg;
   while (sh.queue.pop(msg)) {
     switch (msg.kind) {
       case ShardMsg::Kind::kReports:
+        depth->add(-1);
         handle_reports(shard_id, msg);
         break;
       case ShardMsg::Kind::kMirror: {
+        depth->add(-1);
         const std::uint64_t n = msg.mirror.size();
         {
           std::lock_guard sink_lock(sink_mutex_);
           sink_.ingest_mirrored(msg.mirror);
         }
-        counters_->mirror_packets.fetch_add(n, std::memory_order_relaxed);
+        ins_->mirror_packets->inc(n);
         break;
       }
       case ShardMsg::Kind::kSeal:
@@ -299,21 +380,27 @@ void Collector::worker(int shard_id) {
 }
 
 void Collector::handle_reports(int shard_id, ShardMsg& msg) {
+  UMON_TRACE_SPAN("collector/batch_decode");
+  telemetry::ScopedTimer timer(ins_->decode_latency_us);
   Shard& sh = *shards_[static_cast<std::size_t>(shard_id)];
   Shard::StagedEpoch& staged = sh.staging[epoch_key(msg.host, msg.epoch)];
   staged.wire_bytes += msg.bytes.size();
 
   const std::span<const std::uint8_t> in(msg.bytes);
   std::size_t offset = 0;
+  std::uint64_t decoded = 0;  // batched into the counter once per payload
   while (offset < in.size()) {
     auto report = sketch::decode_report(in, offset);
     if (!report) {
       // Frames passed the front-door scan, so this is defensive; count the
       // remainder of the batch as malformed and move on.
-      counters_->reports_malformed.fetch_add(1, std::memory_order_relaxed);
+      ins_->reports_malformed->inc();
+      UMON_LOG(kWarn, "collector", "shard-side decode failed",
+               {"host", std::to_string(msg.host)},
+               {"shard", std::to_string(shard_id)});
       break;
     }
-    counters_->reports_decoded.fetch_add(1, std::memory_order_relaxed);
+    ++decoded;
     if (!report->flow) continue;  // light-part report: accounting only
     const std::vector<double> series = report->report.reconstruct();
     analyzer::Analyzer::SparseFragment frag;
@@ -325,9 +412,11 @@ void Collector::handle_reports(int shard_id, ShardMsg& msg) {
     }
     if (!frag.windows.empty()) staged.fragments.push_back(std::move(frag));
   }
+  ins_->reports_decoded->inc(decoded);
 }
 
 void Collector::handle_seal(int shard_id, const ShardMsg& msg) {
+  UMON_TRACE_SPAN("collector/epoch_seal");
   Shard& sh = *shards_[static_cast<std::size_t>(shard_id)];
   const std::uint64_t key = epoch_key(msg.host, msg.epoch);
   Shard::StagedEpoch staged;
@@ -353,6 +442,8 @@ void Collector::handle_seal(int shard_id, const ShardMsg& msg) {
 }
 
 void Collector::flush_epoch_to_sink(PendingEpoch&& done) {
+  UMON_TRACE_SPAN("collector/epoch_flush");
+  telemetry::ScopedTimer timer(ins_->flush_latency_us);
   analyzer::Analyzer::DecodedReportBatch batch;
   batch.host = done.host;
   batch.epoch = done.epoch;
@@ -363,33 +454,44 @@ void Collector::flush_epoch_to_sink(PendingEpoch&& done) {
     std::lock_guard sink_lock(sink_mutex_);
     sink_.ingest_report_batch(batch);
   }
-  counters_->epochs_flushed.fetch_add(1, std::memory_order_relaxed);
-  counters_->fragments_ingested.fetch_add(n, std::memory_order_relaxed);
+  ins_->epochs_flushed->inc();
+  ins_->fragments_ingested->inc(n);
 }
 
 CollectorStats Collector::stats() const {
   CollectorStats out;
-  out.payloads_submitted =
-      counters_->payloads_submitted.load(std::memory_order_relaxed);
-  out.payloads_malformed =
-      counters_->payloads_malformed.load(std::memory_order_relaxed);
-  out.batches_enqueued =
-      counters_->batches_enqueued.load(std::memory_order_relaxed);
-  out.batches_shed = counters_->batches_shed.load(std::memory_order_relaxed);
-  out.reports_scanned =
-      counters_->reports_scanned.load(std::memory_order_relaxed);
-  out.reports_decoded =
-      counters_->reports_decoded.load(std::memory_order_relaxed);
-  out.reports_malformed =
-      counters_->reports_malformed.load(std::memory_order_relaxed);
-  out.reports_shed = counters_->reports_shed.load(std::memory_order_relaxed);
-  out.reports_lost = counters_->reports_lost.load(std::memory_order_relaxed);
-  out.mirror_packets =
-      counters_->mirror_packets.load(std::memory_order_relaxed);
-  out.epochs_flushed =
-      counters_->epochs_flushed.load(std::memory_order_relaxed);
-  out.fragments_ingested =
-      counters_->fragments_ingested.load(std::memory_order_relaxed);
+  // One pass over the registry snapshot instead of field-by-field counter
+  // reads: every series is resolved at the same point in the snapshot loop,
+  // and new instruments show up in exports without touching this view.
+  for (const auto& s : ins_->reg.snapshot()) {
+    if (s.kind != telemetry::MetricRegistry::Kind::kCounter) continue;
+    const std::uint64_t v = s.counter_value;
+    if (s.name == "umon_collector_payloads_submitted_total") {
+      out.payloads_submitted = v;
+    } else if (s.name == "umon_collector_payloads_malformed_total") {
+      out.payloads_malformed = v;
+    } else if (s.name == "umon_collector_batches_enqueued_total") {
+      out.batches_enqueued = v;
+    } else if (s.name == "umon_collector_batches_shed_total") {
+      out.batches_shed = v;
+    } else if (s.name == "umon_collector_reports_scanned_total") {
+      out.reports_scanned = v;
+    } else if (s.name == "umon_collector_reports_decoded_total") {
+      out.reports_decoded = v;
+    } else if (s.name == "umon_collector_reports_malformed_total") {
+      out.reports_malformed = v;
+    } else if (s.name == "umon_collector_reports_shed_total") {
+      out.reports_shed = v;
+    } else if (s.name == "umon_collector_reports_lost_total") {
+      out.reports_lost = v;
+    } else if (s.name == "umon_collector_mirror_packets_total") {
+      out.mirror_packets = v;
+    } else if (s.name == "umon_collector_epochs_flushed_total") {
+      out.epochs_flushed = v;
+    } else if (s.name == "umon_collector_fragments_ingested_total") {
+      out.fragments_ingested = v;
+    }
+  }
   {
     std::lock_guard lock(front_mutex_);
     out.bytes_by_host = bytes_by_host_;

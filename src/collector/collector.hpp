@@ -43,6 +43,7 @@
 #include "analyzer/analyzer.hpp"
 #include "collector/batch_queue.hpp"
 #include "common/types.hpp"
+#include "telemetry/metrics.hpp"
 #include "uevent/acl.hpp"
 
 namespace umon::collector {
@@ -58,6 +59,10 @@ struct CollectorConfig {
 /// Snapshot of the collector's counters. Reports can leave the pipeline for
 /// exactly four reasons, each with its own counter: lost upstream (sequence
 /// gaps), shed by backpressure, malformed, or decoded and delivered.
+///
+/// This struct is a *view*: the source of truth is the collector's private
+/// telemetry::MetricRegistry (umon_collector_* instruments), and stats()
+/// materializes the view from one registry snapshot pass.
 struct CollectorStats {
   std::uint64_t payloads_submitted = 0;
   std::uint64_t payloads_malformed = 0;  ///< framing scan failed; discarded
@@ -104,8 +109,16 @@ class Collector {
   void seal_epoch(int host, std::uint32_t epoch,
                   std::optional<std::uint32_t> end_seq = std::nullopt);
 
+  /// One-pass snapshot of every counter through the registry (consistent
+  /// enough for monitoring; exact once stop() returned).
   [[nodiscard]] CollectorStats stats() const;
   [[nodiscard]] const CollectorConfig& config() const { return cfg_; }
+
+  /// The collector's private metric registry (umon_collector_* series:
+  /// the CollectorStats counters plus per-shard queue-depth gauges and
+  /// decode/flush latency histograms). Pass it to the telemetry exporters
+  /// alongside MetricRegistry::global().
+  [[nodiscard]] const telemetry::MetricRegistry& telemetry_registry() const;
 
  private:
   struct ShardMsg;
@@ -139,9 +152,10 @@ class Collector {
   /// Serializes every call into the (externally synchronized) Analyzer.
   std::mutex sink_mutex_;
 
-  // Counters shared across threads (relaxed; exact once stop() returns).
-  struct Counters;
-  std::unique_ptr<Counters> counters_;
+  // Registry-backed instruments shared across threads (relaxed; exact once
+  // stop() returns). Private per instance so stats stay attributable.
+  struct Instruments;
+  std::unique_ptr<Instruments> ins_;
 };
 
 }  // namespace umon::collector

@@ -37,6 +37,7 @@ class Engine {
       Event ev = std::move(const_cast<Event&>(top));
       events_.pop();
       now_ = ev.at;
+      ++processed_;
       ev.fn();
     }
     if (now_ < until) now_ = until;
@@ -48,11 +49,14 @@ class Engine {
       Event ev = std::move(const_cast<Event&>(events_.top()));
       events_.pop();
       now_ = ev.at;
+      ++processed_;
       ev.fn();
     }
   }
 
   [[nodiscard]] std::size_t pending() const { return events_.size(); }
+  /// Calendar events executed so far (telemetry).
+  [[nodiscard]] std::uint64_t events_processed() const { return processed_; }
 
  private:
   struct Event {
@@ -68,6 +72,7 @@ class Engine {
   };
 
   Nanos now_ = 0;
+  std::uint64_t processed_ = 0;
   std::uint64_t next_seq_ = 0;
   std::priority_queue<Event, std::vector<Event>, Later> events_;
 };

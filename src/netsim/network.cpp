@@ -579,6 +579,88 @@ void Network::finish() {
   for (auto& node : nodes_) {
     for (Port& p : node->ports) p.queue.finish(now);
   }
+  flush_telemetry();
+}
+
+void Network::flush_telemetry() {
+  // All netsim counting happens on plain single-threaded members in the sim
+  // hot path; this settles the run's totals into the process-wide registry
+  // in one pass (idempotent via delta tracking, so finish() stays safe to
+  // call more than once).
+  struct Instruments {
+    telemetry::Counter* events;
+    telemetry::Counter* drops;
+    telemetry::Counter* ce_marks;
+    telemetry::Counter* pause_frames;
+    telemetry::Counter* resume_frames;
+    telemetry::Counter* paused_ns;
+    telemetry::Counter* episodes;
+    telemetry::Histogram* peak_queue;
+    telemetry::Histogram* sampled_queue;
+  };
+  static const Instruments ins = [] {
+    auto& reg = telemetry::MetricRegistry::global();
+    Instruments i;
+    i.events = reg.counter("umon_netsim_events_processed_total", {},
+                           "Discrete-event calendar callbacks executed");
+    i.drops = reg.counter("umon_netsim_packet_drops_total", {},
+                          "Packets tail-dropped at switch egress queues");
+    i.ce_marks = reg.counter("umon_netsim_ecn_ce_marks_total", {},
+                             "Packets CE-marked by RED/ECN");
+    i.pause_frames = reg.counter("umon_netsim_pfc_pause_frames_total", {},
+                                 "PFC PAUSE messages sent");
+    i.resume_frames = reg.counter("umon_netsim_pfc_resume_frames_total", {},
+                                  "PFC RESUME messages sent");
+    i.paused_ns = reg.counter("umon_netsim_pfc_paused_ns_total", {},
+                              "Summed pause time across ports");
+    i.episodes = reg.counter("umon_netsim_congestion_episodes_total", {},
+                             "Ground-truth congestion episodes closed");
+    i.peak_queue = reg.histogram(
+        "umon_netsim_port_peak_queue_bytes",
+        {1024, 4096, 16384, 65536, 262144, 1048576, 4194304}, {},
+        "Peak egress queue depth per switch port over the run");
+    i.sampled_queue = reg.histogram(
+        "umon_netsim_queue_occupancy_bytes",
+        {1024, 4096, 16384, 65536, 262144, 1048576, 4194304}, {},
+        "Periodic egress queue-depth samples");
+    return i;
+  }();
+
+  std::uint64_t drops = 0, marks = 0, episodes = 0;
+  for (const auto& node : nodes_) {
+    for (const Port& p : node->ports) {
+      drops += p.queue.drops();
+      marks += p.queue.ce_marks();
+      episodes += p.queue.episodes().size();
+      if (!node->is_host && !flushed_.peaks_done) {
+        ins.peak_queue->observe(static_cast<double>(p.queue.peak_bytes()));
+      }
+    }
+  }
+  flushed_.peaks_done = true;
+  // Deltas vs. the last flush of *this* network instance; the registry
+  // aggregates across instances (it is a process-lifetime monotonic view).
+  ins.events->inc(engine_.events_processed() - flushed_.events);
+  ins.drops->inc(drops - flushed_.drops);
+  ins.ce_marks->inc(marks - flushed_.ce_marks);
+  ins.episodes->inc(episodes - flushed_.episodes);
+  ins.pause_frames->inc(pfc_stats_.pause_frames - flushed_.pause_frames);
+  ins.resume_frames->inc(pfc_stats_.resume_frames - flushed_.resume_frames);
+  ins.paused_ns->inc(
+      static_cast<std::uint64_t>(pfc_stats_.total_paused) -
+      flushed_.paused_ns);
+  for (std::size_t i = flushed_.queue_samples; i < queue_samples_.size();
+       ++i) {
+    ins.sampled_queue->observe(static_cast<double>(queue_samples_[i]));
+  }
+  flushed_.events = engine_.events_processed();
+  flushed_.drops = drops;
+  flushed_.ce_marks = marks;
+  flushed_.episodes = episodes;
+  flushed_.pause_frames = pfc_stats_.pause_frames;
+  flushed_.resume_frames = pfc_stats_.resume_frames;
+  flushed_.paused_ns = static_cast<std::uint64_t>(pfc_stats_.total_paused);
+  flushed_.queue_samples = queue_samples_.size();
 }
 
 }  // namespace umon::netsim

@@ -12,6 +12,7 @@
 
 #include "common/rng.hpp"
 #include "common/types.hpp"
+#include "telemetry/metrics.hpp"
 #include "netsim/dcqcn.hpp"
 #include "netsim/dctcp.hpp"
 #include "netsim/engine.hpp"
@@ -175,7 +176,9 @@ class Network {
     Nanos longest_pause = 0;          ///< longest single pause (storm hint)
   };
   [[nodiscard]] const PfcStats& pfc_stats() const { return pfc_stats_; }
-  /// Close open episodes etc.; call after the final run_until.
+  /// Close open episodes etc.; call after the final run_until. Also settles
+  /// this run's umon_netsim_* totals into telemetry::MetricRegistry::global()
+  /// (events processed, drops, CE marks, PFC pauses, queue occupancy).
   void finish();
 
  private:
@@ -193,6 +196,7 @@ class Network {
   void arm_rto(FlowSender& fs);
   void sample_queues();
   void pfc_check(Node& node);
+  void flush_telemetry();
 
   NetworkConfig cfg_;
   Engine engine_;
@@ -206,6 +210,16 @@ class Network {
   std::vector<std::uint64_t> queue_samples_;
   PfcStats pfc_stats_;
   Rng rng_;
+
+  /// Totals already settled into the global registry (finish() is
+  /// idempotent; counters there stay monotonic across instances).
+  struct TelemetryFlushed {
+    std::uint64_t events = 0, drops = 0, ce_marks = 0, episodes = 0;
+    std::uint64_t pause_frames = 0, resume_frames = 0, paused_ns = 0;
+    std::size_t queue_samples = 0;
+    bool peaks_done = false;
+  };
+  TelemetryFlushed flushed_;
 };
 
 }  // namespace umon::netsim

@@ -49,6 +49,7 @@ class EcnQueue {
     }
     if (cfg_.enabled && pkt.ecn != Ecn::kNotEct && should_mark()) {
       pkt.ecn = Ecn::kCe;
+      ++ce_marks_;
     }
     bytes_ += pkt.size;
     if (bytes_ > peak_bytes_) peak_bytes_ = bytes_;
@@ -70,6 +71,7 @@ class EcnQueue {
   [[nodiscard]] std::uint64_t bytes() const { return bytes_; }
   [[nodiscard]] std::uint64_t peak_bytes() const { return peak_bytes_; }
   [[nodiscard]] std::uint64_t drops() const { return drops_; }
+  [[nodiscard]] std::uint64_t ce_marks() const { return ce_marks_; }
 
   /// Close any open episode at simulation end.
   void finish(Nanos now) {
@@ -125,6 +127,7 @@ class EcnQueue {
   std::uint64_t bytes_ = 0;
   std::uint64_t peak_bytes_ = 0;
   std::uint64_t drops_ = 0;
+  std::uint64_t ce_marks_ = 0;
 
   bool open_ = false;
   CongestionEpisode open_episode_;

@@ -6,6 +6,7 @@
 #include <variant>
 
 #include "common/types.hpp"
+#include "sketch/instruments.hpp"
 #include "sketch/params.hpp"
 #include "sketch/report.hpp"
 #include "wavelet/online.hpp"
@@ -116,7 +117,9 @@ class WaveBucket {
   }
 
   void emit(const wavelet::DetailCoeff& d) {
-    std::visit([&d](auto& s) { s.offer(d); }, store_);
+    const bool pruned = std::visit([&d](auto& s) { return s.offer(d); },
+                                   store_);
+    if (pruned) sketch_instruments().coeff_prunes->inc();
   }
 
   void transform_current() {

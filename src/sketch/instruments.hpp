@@ -1,0 +1,40 @@
+// Shared umon_sketch_* instruments (process-wide registry). Sketches are
+// created by the dozen — one per host — so per-instance registries would
+// shred attribution without adding signal; the interesting numbers are the
+// fleet totals: how much the hot path updates, how often heavy slots churn,
+// and how many coefficients the compression stage prunes (the lossy step
+// that trades accuracy for report bandwidth).
+#pragma once
+
+#include "telemetry/metrics.hpp"
+
+namespace umon::sketch {
+
+struct SketchInstruments {
+  telemetry::Counter* updates;          ///< light-part update_window calls
+  telemetry::Counter* heavy_evictions;  ///< majority-vote slot takeovers
+  telemetry::Counter* heavy_rollovers;  ///< mid-period heavy bucket rollovers
+  telemetry::Counter* coeff_prunes;     ///< nonzero coefficients discarded
+};
+
+inline const SketchInstruments& sketch_instruments() {
+  static const SketchInstruments ins = [] {
+    auto& reg = telemetry::MetricRegistry::global();
+    SketchInstruments i;
+    i.updates = reg.counter("umon_sketch_updates_total", {},
+                            "Packet updates applied to the light part");
+    i.heavy_evictions =
+        reg.counter("umon_sketch_heavy_evictions_total", {},
+                    "Heavy slots taken over by majority vote");
+    i.heavy_rollovers =
+        reg.counter("umon_sketch_heavy_rollovers_total", {},
+                    "Mid-period heavy bucket rollovers");
+    i.coeff_prunes =
+        reg.counter("umon_sketch_coeff_prunes_total", {},
+                    "Nonzero wavelet coefficients pruned by the store");
+    return i;
+  }();
+  return ins;
+}
+
+}  // namespace umon::sketch

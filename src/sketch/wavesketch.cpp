@@ -1,5 +1,7 @@
 #include "sketch/wavesketch.hpp"
 
+#include "sketch/instruments.hpp"
+
 namespace umon::sketch {
 
 WaveSketchBasic::WaveSketchBasic(const WaveSketchParams& params)
@@ -13,6 +15,7 @@ WaveSketchBasic::WaveSketchBasic(const WaveSketchParams& params)
 }
 
 void WaveSketchBasic::update_window(const FlowKey& flow, WindowId w, Count v) {
+  sketch_instruments().updates->inc();
   for (int r = 0; r < params_.depth; ++r) {
     const std::uint32_t c = column(r, flow);
     if (auto rolled = bucket_mut(r, c).add(w, v)) {

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "sketch/instruments.hpp"
+
 namespace umon::sketch {
 
 WaveSketchFull::WaveSketchFull(const WaveSketchParams& params)
@@ -28,6 +30,7 @@ void WaveSketchFull::update_window(const FlowKey& flow, WindowId w, Count v) {
     if (auto rolled = slot.bucket.add(w, v)) {
       // A flow active past max_windows rolls its bucket into a new period;
       // keep the finished report so flush_reports() can upload it.
+      sketch_instruments().heavy_rollovers->inc();
       TaggedReport t;
       t.flow = flow;
       t.report = std::move(*rolled);
@@ -40,6 +43,7 @@ void WaveSketchFull::update_window(const FlowKey& flow, WindowId w, Count v) {
   // simply dropped (its complete series lives in the light part).
   slot.vote -= 1;
   if (slot.vote < 0) {
+    sketch_instruments().heavy_evictions->inc();
     slot.key = flow;
     slot.vote = 1;
     slot.bucket.reset();

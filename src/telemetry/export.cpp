@@ -1,0 +1,193 @@
+#include "telemetry/export.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+#include <string>
+
+namespace umon::telemetry {
+namespace {
+
+/// Prometheus label values escape backslash, double-quote, and newline.
+std::string escape_label(const std::string& v) {
+  std::string out;
+  out.reserve(v.size());
+  for (char c : v) {
+    if (c == '\\' || c == '"') out.push_back('\\');
+    if (c == '\n') {
+      out.append("\\n");
+      continue;
+    }
+    out.push_back(c);
+  }
+  return out;
+}
+
+std::string label_block(const Labels& labels) {
+  if (labels.empty()) return {};
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out.push_back(',');
+    first = false;
+    out.append(k);
+    out.append("=\"");
+    out.append(escape_label(v));
+    out.push_back('"');
+  }
+  out.push_back('}');
+  return out;
+}
+
+/// Like label_block but with one extra label appended (histogram `le`).
+std::string label_block_with(const Labels& labels, const char* key,
+                             const std::string& value) {
+  Labels all = labels;
+  all.emplace_back(key, value);
+  return label_block(all);
+}
+
+std::string format_double(double v) {
+  if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%g", v);
+  return buf;
+}
+
+const char* kind_name(MetricRegistry::Kind k) {
+  switch (k) {
+    case MetricRegistry::Kind::kCounter: return "counter";
+    case MetricRegistry::Kind::kGauge: return "gauge";
+    case MetricRegistry::Kind::kHistogram: return "histogram";
+  }
+  return "untyped";
+}
+
+}  // namespace
+
+std::vector<MetricRegistry::Sample> merged_snapshot(
+    std::span<const MetricRegistry* const> registries) {
+  std::vector<MetricRegistry::Sample> all;
+  for (const MetricRegistry* r : registries) {
+    if (r == nullptr) continue;
+    auto part = r->snapshot();
+    all.insert(all.end(), std::make_move_iterator(part.begin()),
+               std::make_move_iterator(part.end()));
+  }
+  std::sort(all.begin(), all.end(),
+            [](const MetricRegistry::Sample& a,
+               const MetricRegistry::Sample& b) {
+              if (a.name != b.name) return a.name < b.name;
+              return a.labels < b.labels;
+            });
+  return all;
+}
+
+void write_prometheus(std::ostream& os,
+                      std::span<const MetricRegistry* const> registries) {
+  const auto samples = merged_snapshot(registries);
+  std::string last_name;
+  for (const auto& s : samples) {
+    if (s.name != last_name) {
+      last_name = s.name;
+      if (!s.help.empty()) {
+        os << "# HELP " << s.name << " " << s.help << "\n";
+      }
+      os << "# TYPE " << s.name << " " << kind_name(s.kind) << "\n";
+    }
+    switch (s.kind) {
+      case MetricRegistry::Kind::kCounter:
+        os << s.name << label_block(s.labels) << " " << s.counter_value
+           << "\n";
+        break;
+      case MetricRegistry::Kind::kGauge:
+        os << s.name << label_block(s.labels) << " " << s.gauge_value << "\n";
+        break;
+      case MetricRegistry::Kind::kHistogram: {
+        std::uint64_t cumulative = 0;
+        for (std::size_t i = 0; i < s.bounds.size(); ++i) {
+          cumulative += s.bucket_counts[i];
+          os << s.name << "_bucket"
+             << label_block_with(s.labels, "le", format_double(s.bounds[i]))
+             << " " << cumulative << "\n";
+        }
+        cumulative += s.bucket_counts[s.bounds.size()];
+        os << s.name << "_bucket"
+           << label_block_with(s.labels, "le", "+Inf") << " " << cumulative
+           << "\n";
+        os << s.name << "_sum" << label_block(s.labels) << " "
+           << format_double(s.hist_sum) << "\n";
+        os << s.name << "_count" << label_block(s.labels) << " "
+           << s.hist_count << "\n";
+        break;
+      }
+    }
+  }
+}
+
+void write_text(std::ostream& os,
+                std::span<const MetricRegistry* const> registries) {
+  for (const auto& s : merged_snapshot(registries)) {
+    os << s.name << label_block(s.labels) << " = ";
+    switch (s.kind) {
+      case MetricRegistry::Kind::kCounter:
+        os << s.counter_value;
+        break;
+      case MetricRegistry::Kind::kGauge:
+        os << s.gauge_value;
+        break;
+      case MetricRegistry::Kind::kHistogram:
+        os << "count=" << s.hist_count << " sum=" << format_double(s.hist_sum)
+           << " mean="
+           << format_double(s.hist_count == 0
+                                ? 0.0
+                                : s.hist_sum /
+                                      static_cast<double>(s.hist_count));
+        break;
+    }
+    os << "\n";
+  }
+}
+
+void write_jsonl(std::ostream& os,
+                 std::span<const MetricRegistry* const> registries,
+                 std::uint64_t sequence) {
+  for (const auto& s : merged_snapshot(registries)) {
+    os << "{\"seq\":" << sequence << ",\"name\":\"" << s.name << "\"";
+    if (!s.labels.empty()) {
+      os << ",\"labels\":{";
+      bool first = true;
+      for (const auto& [k, v] : s.labels) {
+        if (!first) os << ",";
+        first = false;
+        os << "\"" << k << "\":\"" << escape_label(v) << "\"";
+      }
+      os << "}";
+    }
+    os << ",\"kind\":\"" << kind_name(s.kind) << "\"";
+    switch (s.kind) {
+      case MetricRegistry::Kind::kCounter:
+        os << ",\"value\":" << s.counter_value;
+        break;
+      case MetricRegistry::Kind::kGauge:
+        os << ",\"value\":" << s.gauge_value;
+        break;
+      case MetricRegistry::Kind::kHistogram: {
+        os << ",\"count\":" << s.hist_count << ",\"sum\":";
+        // JSON has no Inf; histogram sums of finite observations are finite.
+        os << (std::isfinite(s.hist_sum) ? format_double(s.hist_sum) : "0");
+        os << ",\"buckets\":[";
+        for (std::size_t i = 0; i < s.bucket_counts.size(); ++i) {
+          if (i) os << ",";
+          os << s.bucket_counts[i];
+        }
+        os << "]";
+        break;
+      }
+    }
+    os << "}\n";
+  }
+}
+
+}  // namespace umon::telemetry

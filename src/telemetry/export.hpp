@@ -1,0 +1,33 @@
+// umon::telemetry — exporters. Three formats over the same snapshot:
+//   * write_prometheus: Prometheus text exposition (scrape endpoints, the CI
+//     parse check, and grep-ability).
+//   * write_text: aligned human dump for end-of-run summaries.
+//   * write_jsonl: one JSON object per series per call, with a caller-chosen
+//     sequence number — benches append one batch per epoch and get a
+//     timeseries-of-snapshots file.
+//
+// All writers accept several registries and merge their samples by name, so
+// a per-instance registry (e.g. one Collector's) exports alongside the
+// global one.
+#pragma once
+
+#include <iosfwd>
+#include <span>
+
+#include "telemetry/metrics.hpp"
+
+namespace umon::telemetry {
+
+void write_prometheus(std::ostream& os,
+                      std::span<const MetricRegistry* const> registries);
+void write_text(std::ostream& os,
+                std::span<const MetricRegistry* const> registries);
+void write_jsonl(std::ostream& os,
+                 std::span<const MetricRegistry* const> registries,
+                 std::uint64_t sequence);
+
+/// Merged, sorted samples from several registries (what the writers use).
+[[nodiscard]] std::vector<MetricRegistry::Sample> merged_snapshot(
+    std::span<const MetricRegistry* const> registries);
+
+}  // namespace umon::telemetry

@@ -1,0 +1,91 @@
+#include "telemetry/log.hpp"
+
+#include <cstdio>
+
+#include "telemetry/metrics.hpp"
+
+namespace umon::telemetry {
+
+const char* to_string(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "trace";
+    case LogLevel::kDebug: return "debug";
+    case LogLevel::kInfo: return "info";
+    case LogLevel::kWarn: return "warn";
+    case LogLevel::kError: return "error";
+    case LogLevel::kOff: return "off";
+  }
+  return "?";
+}
+
+LogLevel parse_log_level(std::string_view s) {
+  if (s == "trace") return LogLevel::kTrace;
+  if (s == "debug") return LogLevel::kDebug;
+  if (s == "info") return LogLevel::kInfo;
+  if (s == "warn") return LogLevel::kWarn;
+  if (s == "error") return LogLevel::kError;
+  if (s == "off") return LogLevel::kOff;
+  return LogLevel::kWarn;
+}
+
+Logger& Logger::global() {
+  static auto* l = new Logger();
+  return *l;
+}
+
+void Logger::set_sink(std::function<void(const std::string&)> sink) {
+  std::lock_guard lock(sink_mu_);
+  sink_ = std::move(sink);
+}
+
+void Logger::write(LogLevel level, const char* component,
+                   std::string_view message,
+                   std::initializer_list<LogField> fields,
+                   std::uint64_t suppressed_before) {
+  std::string line;
+  line.reserve(64 + message.size());
+  line.push_back('[');
+  line.append(to_string(level));
+  line.append("] ");
+  line.append(component);
+  line.append(": ");
+  line.append(message);
+  for (const LogField& f : fields) {
+    line.push_back(' ');
+    line.append(f.key);
+    line.push_back('=');
+    line.append(f.value);
+  }
+  if (suppressed_before > 0) {
+    line.append(" suppressed=");
+    line.append(std::to_string(suppressed_before));
+  }
+  emitted_.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard lock(sink_mu_);
+  if (sink_) {
+    sink_(line);
+  } else {
+    std::fprintf(stderr, "%s\n", line.c_str());
+  }
+}
+
+bool LogSite::acquire(std::uint64_t* suppressed) {
+  constexpr std::uint64_t kWindowNs = 1'000'000'000;
+  const std::uint64_t now = monotonic_ns();
+  std::uint64_t start = window_start_ns_.load(std::memory_order_relaxed);
+  if (start == 0 || now - start >= kWindowNs) {
+    // One caller wins the rollover; losers just count into the (new) window.
+    if (window_start_ns_.compare_exchange_strong(start, now,
+                                                std::memory_order_relaxed)) {
+      in_window_.store(0, std::memory_order_relaxed);
+    }
+  }
+  if (in_window_.fetch_add(1, std::memory_order_relaxed) >= kMaxPerWindow) {
+    suppressed_since_emit_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  *suppressed = suppressed_since_emit_.exchange(0, std::memory_order_relaxed);
+  return true;
+}
+
+}  // namespace umon::telemetry

@@ -1,0 +1,122 @@
+// umon::telemetry — leveled structured logging half.
+//
+//   UMON_LOG(kWarn, "collector", "payload malformed",
+//            {"host", std::to_string(host)}, {"bytes", "12"});
+//
+// prints (to the configured sink, stderr by default):
+//
+//   [warn] collector: payload malformed host=3 bytes=12
+//
+// Properties the hot paths rely on:
+//   * A log below the active level costs one relaxed atomic load and a
+//     branch; the message and field expressions are NOT evaluated.
+//   * Every call site gets its own token-bucket rate limiter (default
+//     kMaxPerWindow messages per second); suppressed messages are counted
+//     and the count is attached to the next message that passes, so bursts
+//     cannot melt the sink but are still visible.
+//   * The default level is kWarn — hot paths log at kDebug/kTrace and stay
+//     silent unless an operator opts in (umon_sim --log-level debug).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <initializer_list>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+namespace umon::telemetry {
+
+enum class LogLevel : int {
+  kTrace = 0,
+  kDebug = 1,
+  kInfo = 2,
+  kWarn = 3,
+  kError = 4,
+  kOff = 5,
+};
+
+[[nodiscard]] const char* to_string(LogLevel level);
+/// Parse "trace|debug|info|warn|error|off"; returns kWarn for junk.
+[[nodiscard]] LogLevel parse_log_level(std::string_view s);
+
+struct LogField {
+  std::string_view key;
+  std::string value;
+};
+
+class Logger {
+ public:
+  static Logger& global();
+
+  void set_level(LogLevel level) {
+    level_.store(static_cast<int>(level), std::memory_order_relaxed);
+  }
+  [[nodiscard]] LogLevel level() const {
+    return static_cast<LogLevel>(level_.load(std::memory_order_relaxed));
+  }
+  [[nodiscard]] bool enabled(LogLevel l) const { return l >= level(); }
+
+  /// Redirect output (tests, file sinks). The sink receives one formatted
+  /// line without trailing newline. Pass nullptr to restore stderr.
+  void set_sink(std::function<void(const std::string&)> sink);
+
+  /// Total lines emitted and total suppressed by per-site rate limits.
+  [[nodiscard]] std::uint64_t lines_emitted() const {
+    return emitted_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t lines_suppressed() const {
+    return suppressed_.load(std::memory_order_relaxed);
+  }
+
+  void write(LogLevel level, const char* component, std::string_view message,
+             std::initializer_list<LogField> fields,
+             std::uint64_t suppressed_before);
+  void note_suppressed() {
+    suppressed_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<int> level_{static_cast<int>(LogLevel::kWarn)};
+  std::atomic<std::uint64_t> emitted_{0};
+  std::atomic<std::uint64_t> suppressed_{0};
+  std::mutex sink_mu_;
+  std::function<void(const std::string&)> sink_;  // null = stderr
+};
+
+/// Per-call-site token bucket: at most kMaxPerWindow lines per one-second
+/// window. Thread-safe; one instance per UMON_LOG expansion.
+class LogSite {
+ public:
+  static constexpr std::uint64_t kMaxPerWindow = 32;
+
+  /// True if this call may emit; on true, *suppressed receives the number of
+  /// calls this site swallowed since the last emitted line.
+  bool acquire(std::uint64_t* suppressed);
+
+ private:
+  std::atomic<std::uint64_t> window_start_ns_{0};
+  std::atomic<std::uint64_t> in_window_{0};
+  std::atomic<std::uint64_t> suppressed_since_emit_{0};
+};
+
+// Fields are optional: UMON_LOG(kInfo, "comp", "msg") or with any number of
+// {"key", value} pairs appended.
+#define UMON_LOG(level_, component_, message_, ...)                         \
+  do {                                                                      \
+    if (::umon::telemetry::Logger::global().enabled(                        \
+            ::umon::telemetry::LogLevel::level_)) {                         \
+      static ::umon::telemetry::LogSite umon_log_site_;                     \
+      std::uint64_t umon_log_suppressed_ = 0;                               \
+      if (umon_log_site_.acquire(&umon_log_suppressed_)) {                  \
+        ::umon::telemetry::Logger::global().write(                          \
+            ::umon::telemetry::LogLevel::level_, component_, message_,      \
+            {__VA_ARGS__}, umon_log_suppressed_);                           \
+      } else {                                                              \
+        ::umon::telemetry::Logger::global().note_suppressed();              \
+      }                                                                     \
+    }                                                                       \
+  } while (0)
+
+}  // namespace umon::telemetry

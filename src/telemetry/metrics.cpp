@@ -1,0 +1,190 @@
+#include "telemetry/metrics.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <functional>
+
+namespace umon::telemetry {
+namespace {
+
+std::atomic<bool> g_detail_enabled{false};
+
+/// Registration key: name plus every label pair, separated by bytes that
+/// cannot appear in valid metric names.
+std::string series_key(std::string_view name, const Labels& labels) {
+  std::string key(name);
+  for (const auto& [k, v] : labels) {
+    key.push_back('\x01');
+    key.append(k);
+    key.push_back('\x02');
+    key.append(v);
+  }
+  return key;
+}
+
+bool labels_less(const Labels& a, const Labels& b) {
+  return std::lexicographical_compare(a.begin(), a.end(), b.begin(), b.end());
+}
+
+}  // namespace
+
+bool detail_enabled() {
+  return g_detail_enabled.load(std::memory_order_relaxed);
+}
+
+void set_detail_enabled(bool on) {
+  g_detail_enabled.store(on, std::memory_order_relaxed);
+}
+
+std::uint64_t monotonic_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  std::sort(bounds_.begin(), bounds_.end());
+  bounds_.erase(std::unique(bounds_.begin(), bounds_.end()), bounds_.end());
+  buckets_ = std::make_unique<std::atomic<std::uint64_t>[]>(bounds_.size() + 1);
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) buckets_[i] = 0;
+}
+
+std::vector<double> Histogram::latency_us_bounds() {
+  return {1,    2,    5,     10,    20,    50,    100,    200,    500,
+          1000, 2000, 5000,  10000, 20000, 50000, 100000, 200000, 500000};
+}
+
+MetricRegistry& MetricRegistry::global() {
+  // Leaked on purpose: instruments are referenced from function-local statics
+  // all over the codebase and must outlive every other static destructor.
+  static auto* r = new MetricRegistry();
+  return *r;
+}
+
+MetricRegistry::Instrument* MetricRegistry::get_or_create(
+    std::string_view name, Labels&& labels, Kind kind, std::string_view help,
+    std::vector<double>* bounds) {
+  // Shard by name so the cardinality count for one name is shard-local.
+  Shard& shard =
+      shards_[std::hash<std::string_view>{}(name) % kShards];
+  std::lock_guard lock(shard.mu);
+  const std::string key = series_key(name, labels);
+  if (auto it = shard.by_key.find(key); it != shard.by_key.end()) {
+    Instrument* ins = it->second;
+    if (ins->kind == kind) return ins;
+    // Kind conflict: hand back a detached instrument so the caller still has
+    // something safe to increment, but never export the ambiguity.
+    auto detached = std::make_unique<Instrument>();
+    detached->name = std::string(name);
+    detached->kind = kind;
+    detached->exported = false;
+    if (kind == Kind::kHistogram) {
+      detached->hist = std::make_unique<Histogram>(
+          bounds ? *bounds : std::vector<double>{});
+    }
+    shard.items.push_back(std::move(detached));
+    return shard.items.back().get();
+  }
+
+  std::size_t& series = shard.series_per_name[std::string(name)];
+  if (series >= kMaxSeriesPerName && !labels.empty()) {
+    series_over_cap_.fetch_add(1, std::memory_order_relaxed);
+    // Redirect to the shared overflow series for this name (created on
+    // first overflow, then found by key lookup).
+    Labels overflow{{"overflow", "true"}};
+    const std::string okey = series_key(name, overflow);
+    if (auto it = shard.by_key.find(okey); it != shard.by_key.end()) {
+      return it->second;
+    }
+    auto ins = std::make_unique<Instrument>();
+    ins->name = std::string(name);
+    ins->labels = std::move(overflow);
+    ins->help = std::string(help);
+    ins->kind = kind;
+    if (kind == Kind::kHistogram) {
+      ins->hist = std::make_unique<Histogram>(
+          bounds ? *bounds : std::vector<double>{});
+    }
+    shard.by_key.emplace(okey, ins.get());
+    shard.items.push_back(std::move(ins));
+    return shard.items.back().get();
+  }
+
+  series += 1;
+  auto ins = std::make_unique<Instrument>();
+  ins->name = std::string(name);
+  ins->labels = std::move(labels);
+  ins->help = std::string(help);
+  ins->kind = kind;
+  if (kind == Kind::kHistogram) {
+    ins->hist = std::make_unique<Histogram>(bounds ? *bounds
+                                                   : std::vector<double>{});
+  }
+  shard.by_key.emplace(key, ins.get());
+  shard.items.push_back(std::move(ins));
+  return shard.items.back().get();
+}
+
+Counter* MetricRegistry::counter(std::string_view name, Labels labels,
+                                 std::string_view help) {
+  return &get_or_create(name, std::move(labels), Kind::kCounter, help,
+                        nullptr)
+              ->counter;
+}
+
+Gauge* MetricRegistry::gauge(std::string_view name, Labels labels,
+                             std::string_view help) {
+  return &get_or_create(name, std::move(labels), Kind::kGauge, help, nullptr)
+              ->gauge;
+}
+
+Histogram* MetricRegistry::histogram(std::string_view name,
+                                     std::vector<double> bounds, Labels labels,
+                                     std::string_view help) {
+  return get_or_create(name, std::move(labels), Kind::kHistogram, help,
+                       &bounds)
+      ->hist.get();
+}
+
+std::vector<MetricRegistry::Sample> MetricRegistry::snapshot() const {
+  std::vector<Sample> out;
+  for (const Shard& shard : shards_) {
+    std::lock_guard lock(shard.mu);
+    for (const auto& ins : shard.items) {
+      if (!ins->exported) continue;
+      Sample s;
+      s.name = ins->name;
+      s.labels = ins->labels;
+      s.help = ins->help;
+      s.kind = ins->kind;
+      switch (ins->kind) {
+        case Kind::kCounter:
+          s.counter_value = ins->counter.value();
+          break;
+        case Kind::kGauge:
+          s.gauge_value = ins->gauge.value();
+          break;
+        case Kind::kHistogram: {
+          const Histogram& h = *ins->hist;
+          s.bounds = h.bounds();
+          s.bucket_counts.resize(s.bounds.size() + 1);
+          for (std::size_t i = 0; i <= s.bounds.size(); ++i) {
+            s.bucket_counts[i] = h.bucket_count(i);
+          }
+          s.hist_count = h.count();
+          s.hist_sum = h.sum();
+          break;
+        }
+      }
+      out.push_back(std::move(s));
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const Sample& a, const Sample& b) {
+    if (a.name != b.name) return a.name < b.name;
+    return labels_less(a.labels, b.labels);
+  });
+  return out;
+}
+
+}  // namespace umon::telemetry

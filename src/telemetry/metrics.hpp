@@ -1,0 +1,212 @@
+// umon::telemetry — self-monitoring for the monitor (metrics half).
+//
+// A monitoring system that cannot observe itself leaves its operators blind
+// exactly when accuracy degrades: reports stall in a queue, a decode shard
+// falls behind, a lossy channel silently sheds. This registry gives every
+// layer named instruments with a hot path cheap enough to leave on in
+// production:
+//
+//   * Counter / Gauge increments are a single relaxed atomic add — always on.
+//   * Histogram::observe and ScopedTimer read a clock, so they are gated by
+//     the process-wide detail switch (set_detail_enabled); when the switch is
+//     off a timer costs one relaxed load and a branch.
+//   * Registration is sharded by instrument name (one short-lock map probe,
+//     done once per call site); after registration the instrument pointer is
+//     stable for the process lifetime and all access is lock-free.
+//
+// Naming convention (enforced by review, exported verbatim to Prometheus):
+//   umon_<subsystem>_<name>_<unit>   e.g. umon_collector_reports_lost_total
+// Label sets are capped at kMaxSeriesPerName per name; past the cap every
+// extra label set shares one {"overflow"="true"} series instead of growing
+// without bound (label values come from data — host ids, shard ids — and a
+// bug upstream must not OOM the monitor's monitor).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace umon::telemetry {
+
+/// Key/value pairs attached to one instrument, e.g. {{"shard", "3"}}.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+/// Monotonic event count.
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  [[nodiscard]] std::uint64_t value() const {
+    return v_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+/// Instantaneous signed level (queue depth, resident bytes).
+class Gauge {
+ public:
+  void set(std::int64_t v) { v_.store(v, std::memory_order_relaxed); }
+  void add(std::int64_t d) { v_.fetch_add(d, std::memory_order_relaxed); }
+  [[nodiscard]] std::int64_t value() const {
+    return v_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::int64_t> v_{0};
+};
+
+/// Fixed-bucket histogram: `bounds` are ascending inclusive upper bounds;
+/// one implicit +Inf bucket catches overflow. Thread-safe, relaxed.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void observe(double v) {
+    std::size_t i = 0;
+    while (i < bounds_.size() && v > bounds_[i]) ++i;
+    buckets_[i].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(v, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] const std::vector<double>& bounds() const { return bounds_; }
+  /// Per-bucket (non-cumulative) count; index bounds().size() is +Inf.
+  [[nodiscard]] std::uint64_t bucket_count(std::size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] double sum() const {
+    return sum_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] double mean() const {
+    const std::uint64_t n = count();
+    return n == 0 ? 0.0 : sum() / static_cast<double>(n);
+  }
+
+  /// Default boundaries for microsecond latency histograms.
+  static std::vector<double> latency_us_bounds();
+
+ private:
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> buckets_;
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// Process-wide switch for instrumentation that must read a clock (timers,
+/// spans). Counters and gauges ignore it — they are cheap enough to always
+/// run. Off by default.
+[[nodiscard]] bool detail_enabled();
+void set_detail_enabled(bool on);
+
+/// Monotonic nanosecond clock used by timers and the trace recorder.
+[[nodiscard]] std::uint64_t monotonic_ns();
+
+/// RAII latency probe: observes elapsed *microseconds* into `h` at scope
+/// exit. When detail is disabled construction is one relaxed load + branch
+/// and no clock is read.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram* h)
+      : h_(detail_enabled() ? h : nullptr),
+        start_(h_ ? monotonic_ns() : 0) {}
+  ~ScopedTimer() {
+    if (h_) {
+      h_->observe(static_cast<double>(monotonic_ns() - start_) / 1e3);
+    }
+  }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  Histogram* h_;
+  std::uint64_t start_;
+};
+
+class MetricRegistry {
+ public:
+  enum class Kind { kCounter, kGauge, kHistogram };
+
+  /// Distinct label sets allowed per instrument name before new sets are
+  /// collapsed into the shared {"overflow"="true"} series.
+  static constexpr std::size_t kMaxSeriesPerName = 64;
+
+  MetricRegistry() = default;
+  MetricRegistry(const MetricRegistry&) = delete;
+  MetricRegistry& operator=(const MetricRegistry&) = delete;
+
+  /// The process-wide registry. Subsystems register here; per-instance
+  /// pipelines (e.g. each Collector) own a private registry instead so that
+  /// their stats stay attributable to one instance.
+  static MetricRegistry& global();
+
+  /// Get-or-create. The returned pointer is stable for the registry's
+  /// lifetime; repeated calls with the same (name, labels) return the same
+  /// instrument. A name must keep one kind — re-registering it as another
+  /// kind returns a detached instrument that is never exported.
+  Counter* counter(std::string_view name, Labels labels = {},
+                   std::string_view help = {});
+  Gauge* gauge(std::string_view name, Labels labels = {},
+               std::string_view help = {});
+  Histogram* histogram(std::string_view name, std::vector<double> bounds,
+                       Labels labels = {}, std::string_view help = {});
+
+  /// Label sets discarded by the cardinality cap (their traffic lands on the
+  /// overflow series, so counts are conserved; only the labels are lost).
+  [[nodiscard]] std::uint64_t series_over_cap() const {
+    return series_over_cap_.load(std::memory_order_relaxed);
+  }
+
+  /// One exported time series, fully resolved (histograms carry their
+  /// per-bucket counts). Sorted by (name, labels) for stable output.
+  struct Sample {
+    std::string name;
+    Labels labels;
+    std::string help;
+    Kind kind = Kind::kCounter;
+    std::uint64_t counter_value = 0;
+    std::int64_t gauge_value = 0;
+    std::vector<double> bounds;                 // histogram only
+    std::vector<std::uint64_t> bucket_counts;   // bounds.size() + 1 (+Inf)
+    std::uint64_t hist_count = 0;
+    double hist_sum = 0;
+  };
+  [[nodiscard]] std::vector<Sample> snapshot() const;
+
+ private:
+  struct Instrument {
+    std::string name;
+    Labels labels;
+    std::string help;
+    Kind kind = Kind::kCounter;
+    bool exported = true;
+    Counter counter;
+    Gauge gauge;
+    std::unique_ptr<Histogram> hist;
+  };
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<std::string, Instrument*> by_key;
+    std::unordered_map<std::string, std::size_t> series_per_name;
+    std::vector<std::unique_ptr<Instrument>> items;
+  };
+
+  Instrument* get_or_create(std::string_view name, Labels&& labels, Kind kind,
+                            std::string_view help,
+                            std::vector<double>* bounds);
+
+  static constexpr std::size_t kShards = 8;
+  Shard shards_[kShards];
+  std::atomic<std::uint64_t> series_over_cap_{0};
+};
+
+}  // namespace umon::telemetry

@@ -1,0 +1,133 @@
+#include "telemetry/tracing.hpp"
+
+#include <cstdio>
+#include <ostream>
+#include <thread>
+#include <unordered_map>
+
+namespace umon::telemetry {
+namespace {
+
+/// Dense per-thread id for the tid column (std::thread::id is opaque).
+std::uint32_t current_tid() {
+  static std::mutex mu;
+  static std::unordered_map<std::thread::id, std::uint32_t> ids;
+  std::lock_guard lock(mu);
+  return ids.emplace(std::this_thread::get_id(),
+                     static_cast<std::uint32_t>(ids.size() + 1))
+      .first->second;
+}
+
+}  // namespace
+
+TraceRecorder& TraceRecorder::global() {
+  static auto* r = new TraceRecorder();
+  return *r;
+}
+
+void TraceRecorder::enable(std::size_t capacity) {
+  std::lock_guard lock(mu_);
+  capacity_ = capacity == 0 ? 1 : capacity;
+  ring_.clear();
+  ring_.reserve(capacity_);
+  total_ = 0;
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+void TraceRecorder::disable() {
+  enabled_.store(false, std::memory_order_relaxed);
+}
+
+void TraceRecorder::record(SpanEvent ev) {
+  ev.tid = current_tid();
+  std::lock_guard lock(mu_);
+  if (capacity_ == 0) return;
+  if (ring_.size() < capacity_) {
+    ring_.push_back(ev);
+  } else {
+    ring_[total_ % capacity_] = ev;
+  }
+  total_ += 1;
+}
+
+void TraceRecorder::record_complete(const char* name, const char* category,
+                                    std::uint64_t ts_ns,
+                                    std::uint64_t dur_ns) {
+  if (!enabled()) return;
+  SpanEvent ev;
+  ev.name = name;
+  ev.category = category;
+  ev.phase = 'X';
+  ev.ts_ns = ts_ns;
+  ev.dur_ns = dur_ns;
+  record(ev);
+}
+
+void TraceRecorder::record_instant(const char* name, const char* category) {
+  if (!enabled()) return;
+  SpanEvent ev;
+  ev.name = name;
+  ev.category = category;
+  ev.phase = 'i';
+  ev.ts_ns = monotonic_ns();
+  record(ev);
+}
+
+std::vector<SpanEvent> TraceRecorder::snapshot() const {
+  std::lock_guard lock(mu_);
+  if (total_ <= ring_.size()) return ring_;
+  // The ring wrapped: rotate so the oldest surviving event comes first.
+  std::vector<SpanEvent> out;
+  out.reserve(ring_.size());
+  const std::size_t head = total_ % capacity_;
+  out.insert(out.end(), ring_.begin() + static_cast<std::ptrdiff_t>(head),
+             ring_.end());
+  out.insert(out.end(), ring_.begin(),
+             ring_.begin() + static_cast<std::ptrdiff_t>(head));
+  return out;
+}
+
+std::uint64_t TraceRecorder::dropped() const {
+  std::lock_guard lock(mu_);
+  return total_ > ring_.size() ? total_ - ring_.size() : 0;
+}
+
+void TraceRecorder::clear() {
+  std::lock_guard lock(mu_);
+  ring_.clear();
+  total_ = 0;
+}
+
+void TraceRecorder::write_chrome_json(std::ostream& os) const {
+  const std::vector<SpanEvent> events = snapshot();
+  // Rebase onto the earliest event: raw monotonic timestamps are hours of
+  // uptime, and default double formatting would round away the microseconds.
+  std::uint64_t t0 = 0;
+  for (const SpanEvent& ev : events) {
+    if (t0 == 0 || ev.ts_ns < t0) t0 = ev.ts_ns;
+  }
+  char num[32];
+  const auto us = [&num](std::uint64_t ns) -> const char* {
+    std::snprintf(num, sizeof(num), "%llu.%03llu",
+                  static_cast<unsigned long long>(ns / 1000),
+                  static_cast<unsigned long long>(ns % 1000));
+    return num;
+  };
+  os << "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
+  bool first = true;
+  for (const SpanEvent& ev : events) {
+    if (!first) os << ",";
+    first = false;
+    os << "{\"name\":\"" << ev.name << "\",\"cat\":\"" << ev.category
+       << "\",\"ph\":\"" << ev.phase << "\",\"pid\":1,\"tid\":" << ev.tid
+       << ",\"ts\":" << us(ev.ts_ns - t0);
+    if (ev.phase == 'X') {
+      os << ",\"dur\":" << us(ev.dur_ns);
+    }
+    if (ev.phase == 'i') os << ",\"s\":\"t\"";
+    os << "}";
+  }
+  os << "]}\n";
+}
+
+}  // namespace umon::telemetry

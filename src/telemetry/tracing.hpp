@@ -1,0 +1,101 @@
+// umon::telemetry — pipeline tracing half.
+//
+// TraceRecorder captures begin/end spans of the pipeline's phases (epoch
+// seal, batch decode, curve reconstruct, event grouping, ...) into a bounded
+// ring buffer and exports them as Chrome trace_event JSON, loadable in
+// chrome://tracing or https://ui.perfetto.dev.
+//
+// Cost model: disabled (the default), a span is one relaxed load and a
+// branch — no clock read, no allocation. Enabled, each span reads the
+// monotonic clock twice and takes a short mutex to claim a ring slot; the
+// ring overwrites its oldest events when full (dropped() counts them), so
+// tracing can stay on for a whole run with bounded memory.
+//
+// Span names must be string literals (the recorder stores the pointer).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "telemetry/metrics.hpp"
+
+namespace umon::telemetry {
+
+struct SpanEvent {
+  const char* name = "";
+  const char* category = "umon";
+  char phase = 'X';           ///< 'X' complete span, 'i' instant event
+  std::uint64_t ts_ns = 0;    ///< start, monotonic_ns()
+  std::uint64_t dur_ns = 0;   ///< duration ('X' only)
+  std::uint32_t tid = 0;      ///< small per-thread id assigned on first use
+};
+
+class TraceRecorder {
+ public:
+  static TraceRecorder& global();
+
+  /// Start recording into a fresh ring of `capacity` events.
+  void enable(std::size_t capacity = 1 << 16);
+  void disable();
+  [[nodiscard]] bool enabled() const {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  void record_complete(const char* name, const char* category,
+                       std::uint64_t ts_ns, std::uint64_t dur_ns);
+  void record_instant(const char* name, const char* category);
+
+  /// Events currently held, oldest first. Total recorded may exceed this;
+  /// dropped() says by how much.
+  [[nodiscard]] std::vector<SpanEvent> snapshot() const;
+  [[nodiscard]] std::uint64_t dropped() const;
+
+  /// Chrome trace_event JSON ({"traceEvents":[...]}; ts/dur in µs).
+  void write_chrome_json(std::ostream& os) const;
+
+  void clear();
+
+ private:
+  void record(SpanEvent ev);
+
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mu_;
+  std::vector<SpanEvent> ring_;
+  std::size_t capacity_ = 0;
+  std::uint64_t total_ = 0;  ///< events ever recorded since enable()
+};
+
+/// RAII span: records a complete ('X') event on scope exit. No-op (one
+/// relaxed load) while the recorder is disabled.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* name, const char* category = "umon")
+      : name_(name),
+        category_(category),
+        start_(TraceRecorder::global().enabled() ? monotonic_ns() : 0) {}
+  ~ScopedSpan() {
+    if (start_ != 0 && TraceRecorder::global().enabled()) {
+      TraceRecorder::global().record_complete(name_, category_, start_,
+                                              monotonic_ns() - start_);
+    }
+  }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  const char* name_;
+  const char* category_;
+  std::uint64_t start_;
+};
+
+#define UMON_TRACE_CONCAT_(a, b) a##b
+#define UMON_TRACE_CONCAT(a, b) UMON_TRACE_CONCAT_(a, b)
+/// Trace the enclosing scope as one complete span. `name` must be a literal.
+#define UMON_TRACE_SPAN(name)                             \
+  ::umon::telemetry::ScopedSpan UMON_TRACE_CONCAT(        \
+      umon_trace_span_, __COUNTER__)(name)
+
+}  // namespace umon::telemetry

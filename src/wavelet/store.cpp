@@ -2,12 +2,13 @@
 
 namespace umon::wavelet {
 
-void TopKStore::offer(const DetailCoeff& d) {
-  if (d.value == 0 || capacity_ == 0) return;
+bool TopKStore::offer(const DetailCoeff& d) {
+  if (d.value == 0) return false;  // lossless drop, not a prune
+  if (capacity_ == 0) return true;
   if (heap_.size() < capacity_) {
     heap_.push_back(d);
     std::push_heap(heap_.begin(), heap_.end(), WeightLess{});
-    return;
+    return false;
   }
   // Replace the minimum only if strictly heavier (stable under ties).
   if (l2_weight(d) > l2_weight(heap_.front())) {
@@ -15,6 +16,7 @@ void TopKStore::offer(const DetailCoeff& d) {
     heap_.back() = d;
     std::push_heap(heap_.begin(), heap_.end(), WeightLess{});
   }
+  return true;  // either the incumbent minimum or the offer was discarded
 }
 
 double TopKStore::min_weight() const {
@@ -37,12 +39,17 @@ Count ThresholdStore::shifted_magnitude(const DetailCoeff& d) {
   return mag >> shift;
 }
 
-void ThresholdStore::offer(const DetailCoeff& d) {
-  if (d.value == 0 || capacity_ == 0) return;
+bool ThresholdStore::offer(const DetailCoeff& d) {
+  if (d.value == 0) return false;  // lossless drop, not a prune
+  if (capacity_ == 0) return true;
   const int parity = d.level & 1;
   auto& q = queue_[parity];
-  if (q.size() >= capacity_) return;  // register array full: drop
-  if (shifted_magnitude(d) >= threshold_[parity]) q.push_back(d);
+  if (q.size() >= capacity_) return true;  // register array full: drop
+  if (shifted_magnitude(d) >= threshold_[parity]) {
+    q.push_back(d);
+    return false;
+  }
+  return true;  // below threshold: filtered out
 }
 
 std::vector<DetailCoeff> ThresholdStore::sorted() const {

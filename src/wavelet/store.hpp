@@ -25,7 +25,10 @@ class TopKStore {
 
   /// Offer one finished detail coefficient. Zero-valued coefficients are
   /// dropped losslessly (reconstruction already treats them as zero).
-  void offer(const DetailCoeff& d);
+  /// Returns true when a nonzero coefficient was pruned by the offer — the
+  /// incoming one or an evicted incumbent — so callers can count compression
+  /// loss.
+  bool offer(const DetailCoeff& d);
 
   /// Smallest retained weight, or 0 if the heap is not yet full. Used by the
   /// hardware-threshold calibrator.
@@ -68,7 +71,9 @@ class ThresholdStore {
       : capacity_(capacity_per_parity),
         threshold_{threshold_even, threshold_odd} {}
 
-  void offer(const DetailCoeff& d);
+  /// Returns true when the nonzero coefficient was filtered or dropped
+  /// (below threshold, or its parity queue was full).
+  bool offer(const DetailCoeff& d);
 
   [[nodiscard]] std::vector<DetailCoeff> sorted() const;
   [[nodiscard]] std::size_t size() const {

@@ -1,0 +1,220 @@
+// umon_prom_check: validate a Prometheus text exposition file.
+//
+//   umon_prom_check FILE [--require PREFIX]...
+//
+// Exit 0 iff the file parses as the text exposition format (HELP/TYPE
+// comments, `name{labels} value` samples, histogram bucket monotonicity and
+// _sum/_count presence) and at least one sample name starts with each
+// --require prefix. CI runs it over umon_sim --metrics-out to catch exporter
+// regressions without a Prometheus server in the loop.
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace {
+
+int g_errors = 0;
+
+void error(std::size_t line_no, const std::string& line, const char* what) {
+  std::fprintf(stderr, "line %zu: %s: %s\n", line_no, what, line.c_str());
+  ++g_errors;
+}
+
+bool valid_metric_name(const std::string& s) {
+  if (s.empty()) return false;
+  if (!std::isalpha(static_cast<unsigned char>(s[0])) && s[0] != '_') {
+    return false;
+  }
+  for (char c : s) {
+    if (!std::isalnum(static_cast<unsigned char>(c)) && c != '_' &&
+        c != ':') {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Parse `name{k="v",...}` off the front of `line`; returns chars consumed
+/// (0 on error). Label values may contain escaped quotes.
+std::size_t parse_series(const std::string& line, std::string* name) {
+  std::size_t i = 0;
+  while (i < line.size() && line[i] != '{' && line[i] != ' ') ++i;
+  *name = line.substr(0, i);
+  if (!valid_metric_name(*name)) return 0;
+  if (i < line.size() && line[i] == '{') {
+    ++i;
+    while (i < line.size() && line[i] != '}') {
+      // key
+      const std::size_t kstart = i;
+      while (i < line.size() && line[i] != '=') ++i;
+      if (i == kstart || i >= line.size()) return 0;
+      ++i;  // '='
+      if (i >= line.size() || line[i] != '"') return 0;
+      ++i;
+      while (i < line.size() && line[i] != '"') {
+        if (line[i] == '\\') ++i;  // escaped char
+        ++i;
+      }
+      if (i >= line.size()) return 0;  // unterminated value
+      ++i;                             // closing quote
+      if (i < line.size() && line[i] == ',') ++i;
+    }
+    if (i >= line.size()) return 0;  // missing '}'
+    ++i;
+  }
+  return i;
+}
+
+bool parse_value(const std::string& s, double* out) {
+  if (s == "+Inf") {
+    *out = HUGE_VAL;
+    return true;
+  }
+  if (s == "-Inf") {
+    *out = -HUGE_VAL;
+    return true;
+  }
+  char* end = nullptr;
+  *out = std::strtod(s.c_str(), &end);
+  return end != nullptr && *end == '\0' && end != s.c_str();
+}
+
+/// Strip a known suffix; returns the base name or "" when absent.
+std::string strip_suffix(const std::string& name, const char* suffix) {
+  const std::size_t n = std::strlen(suffix);
+  if (name.size() <= n || name.compare(name.size() - n, n, suffix) != 0) {
+    return {};
+  }
+  return name.substr(0, name.size() - n);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: umon_prom_check FILE [--require PREFIX]...\n");
+    return 2;
+  }
+  std::vector<std::string> required;
+  for (int i = 2; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--require") == 0 && i + 1 < argc) {
+      required.emplace_back(argv[++i]);
+    } else {
+      std::fprintf(stderr, "unknown argument '%s'\n", argv[i]);
+      return 2;
+    }
+  }
+  std::ifstream in(argv[1]);
+  if (!in) {
+    std::fprintf(stderr, "cannot read %s\n", argv[1]);
+    return 2;
+  }
+
+  std::map<std::string, std::string> type_of;       // from # TYPE
+  std::set<std::string> sample_names;               // every sample seen
+  std::map<std::string, double> last_bucket_value;  // per histogram series
+  std::size_t samples = 0, line_no = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      // "# HELP name text" / "# TYPE name kind"; other comments are legal.
+      if (line.rfind("# TYPE ", 0) == 0) {
+        const std::string rest = line.substr(7);
+        const std::size_t sp = rest.find(' ');
+        if (sp == std::string::npos) {
+          error(line_no, line, "malformed TYPE comment");
+          continue;
+        }
+        const std::string name = rest.substr(0, sp);
+        const std::string kind = rest.substr(sp + 1);
+        if (!valid_metric_name(name)) {
+          error(line_no, line, "invalid metric name in TYPE");
+        }
+        if (kind != "counter" && kind != "gauge" && kind != "histogram" &&
+            kind != "summary" && kind != "untyped") {
+          error(line_no, line, "unknown metric kind in TYPE");
+        }
+        type_of[name] = kind;
+      }
+      continue;
+    }
+
+    std::string name;
+    const std::size_t consumed = parse_series(line, &name);
+    if (consumed == 0) {
+      error(line_no, line, "malformed series");
+      continue;
+    }
+    if (consumed >= line.size() || line[consumed] != ' ') {
+      error(line_no, line, "missing value");
+      continue;
+    }
+    double value = 0;
+    if (!parse_value(line.substr(consumed + 1), &value)) {
+      error(line_no, line, "malformed value");
+      continue;
+    }
+    ++samples;
+    sample_names.insert(name);
+
+    // Histogram invariants: one series' buckets are written contiguously and
+    // end with +Inf, so tracking the previous bucket value per name suffices
+    // to check that counts are cumulative.
+    if (const std::string base = strip_suffix(name, "_bucket");
+        !base.empty() && type_of.count(base) &&
+        type_of[base] == "histogram") {
+      double& prev = last_bucket_value[base];
+      if (value + 1e-9 < prev) {
+        error(line_no, line, "histogram buckets not cumulative");
+      }
+      prev = std::strstr(line.c_str(), "le=\"+Inf\"") != nullptr ? 0.0
+                                                                 : value;
+    }
+  }
+
+  if (samples == 0) {
+    std::fprintf(stderr, "no samples found\n");
+    ++g_errors;
+  }
+  // Every TYPE-declared histogram must have its _sum and _count series.
+  for (const auto& [name, kind] : type_of) {
+    if (kind != "histogram") continue;
+    if (!sample_names.count(name + "_sum") ||
+        !sample_names.count(name + "_count")) {
+      std::fprintf(stderr, "histogram %s missing _sum/_count\n",
+                   name.c_str());
+      ++g_errors;
+    }
+  }
+  for (const std::string& prefix : required) {
+    bool found = false;
+    for (const std::string& n : sample_names) {
+      if (n.rfind(prefix, 0) == 0) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      std::fprintf(stderr, "no sample with required prefix '%s'\n",
+                   prefix.c_str());
+      ++g_errors;
+    }
+  }
+
+  if (g_errors > 0) {
+    std::fprintf(stderr, "%d error(s) in %s\n", g_errors, argv[1]);
+    return 1;
+  }
+  std::printf("%s: %zu samples OK\n", argv[1], samples);
+  return 0;
+}

@@ -1,0 +1,486 @@
+// umon::telemetry — the self-monitoring subsystem. Covers: histogram bucket
+// boundary semantics, registry get-or-create stability and kind conflicts,
+// the label cardinality cap (counts conserved through the overflow series),
+// ScopedTimer gating by the detail switch, the trace ring (wrap, drop
+// accounting) and a round-trip of its Chrome JSON through a small parser,
+// exporter golden strings, and the logger's level gate + per-site rate limit.
+// TelemetryConcurrency.* runs under TSan via the collector_concurrency ctest
+// entry.
+#include <cctype>
+#include <cmath>
+#include <map>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <variant>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "telemetry/export.hpp"
+#include "telemetry/log.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/tracing.hpp"
+
+namespace umon::telemetry {
+namespace {
+
+// --- minimal JSON parser (just enough for the Chrome trace format) ---------
+
+struct JsonValue;
+using JsonObject = std::map<std::string, JsonValue>;
+using JsonArray = std::vector<JsonValue>;
+
+struct JsonValue {
+  std::variant<std::nullptr_t, bool, double, std::string, JsonArray,
+               JsonObject>
+      v = nullptr;
+  [[nodiscard]] const JsonObject& object() const {
+    return std::get<JsonObject>(v);
+  }
+  [[nodiscard]] const JsonArray& array() const {
+    return std::get<JsonArray>(v);
+  }
+  [[nodiscard]] const std::string& str() const {
+    return std::get<std::string>(v);
+  }
+  [[nodiscard]] double num() const { return std::get<double>(v); }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string text) : s_(std::move(text)) {}
+
+  JsonValue parse() {
+    JsonValue v = value();
+    skip_ws();
+    if (pos_ != s_.size()) fail("trailing characters");
+    return v;
+  }
+
+  [[nodiscard]] bool ok() const { return error_.empty(); }
+  [[nodiscard]] const std::string& error() const { return error_; }
+
+ private:
+  void fail(const char* what) {
+    if (error_.empty()) {
+      error_ = std::string(what) + " at offset " + std::to_string(pos_);
+    }
+    pos_ = s_.size();  // halt
+  }
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[pos_]))) {
+      ++pos_;
+    }
+  }
+  char peek() {
+    skip_ws();
+    return pos_ < s_.size() ? s_[pos_] : '\0';
+  }
+  bool consume(char c) {
+    if (peek() != c) return false;
+    ++pos_;
+    return true;
+  }
+
+  JsonValue value() {
+    switch (peek()) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return JsonValue{string()};
+      case 't': return literal("true", JsonValue{true});
+      case 'f': return literal("false", JsonValue{false});
+      case 'n': return literal("null", JsonValue{nullptr});
+      default: return number();
+    }
+  }
+  JsonValue literal(const char* word, JsonValue out) {
+    for (const char* p = word; *p; ++p) {
+      if (pos_ >= s_.size() || s_[pos_++] != *p) fail("bad literal");
+    }
+    return out;
+  }
+  std::string string() {
+    if (!consume('"')) fail("expected string");
+    std::string out;
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      char c = s_[pos_++];
+      if (c == '\\') {
+        if (pos_ >= s_.size()) break;
+        const char esc = s_[pos_++];
+        switch (esc) {
+          case 'n': c = '\n'; break;
+          case 't': c = '\t'; break;
+          case '"': c = '"'; break;
+          case '\\': c = '\\'; break;
+          case '/': c = '/'; break;
+          default: fail("unsupported escape"); continue;
+        }
+      }
+      out.push_back(c);
+    }
+    if (pos_ >= s_.size() || s_[pos_++] != '"') fail("unterminated string");
+    return out;
+  }
+  JsonValue number() {
+    skip_ws();
+    const std::size_t start = pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+            s_[pos_] == '-' || s_[pos_] == '+' || s_[pos_] == '.' ||
+            s_[pos_] == 'e' || s_[pos_] == 'E')) {
+      ++pos_;
+    }
+    if (pos_ == start) {
+      fail("expected number");
+      return JsonValue{};
+    }
+    return JsonValue{std::stod(s_.substr(start, pos_ - start))};
+  }
+  JsonValue object() {
+    consume('{');
+    JsonObject out;
+    if (consume('}')) return JsonValue{std::move(out)};
+    do {
+      std::string key = string();
+      if (!consume(':')) fail("expected ':'");
+      out.emplace(std::move(key), value());
+    } while (consume(','));
+    if (!consume('}')) fail("expected '}'");
+    return JsonValue{std::move(out)};
+  }
+  JsonValue array() {
+    consume('[');
+    JsonArray out;
+    if (consume(']')) return JsonValue{std::move(out)};
+    do {
+      out.push_back(value());
+    } while (consume(','));
+    if (!consume(']')) fail("expected ']'");
+    return JsonValue{std::move(out)};
+  }
+
+  const std::string s_;
+  std::size_t pos_ = 0;
+  std::string error_;
+};
+
+// --- histogram --------------------------------------------------------------
+
+TEST(TelemetryHistogram, BucketBoundariesAreInclusiveUpperBounds) {
+  Histogram h({1.0, 2.0, 5.0});
+  h.observe(-1.0);  // below every bound: first bucket
+  h.observe(0.5);
+  h.observe(1.0);   // exactly on a bound lands in that bucket (le semantics)
+  h.observe(1.5);
+  h.observe(2.0);
+  h.observe(5.0);
+  h.observe(100.0);  // above the last bound: +Inf bucket
+
+  EXPECT_EQ(h.bucket_count(0), 3u);  // -1, 0.5, 1.0
+  EXPECT_EQ(h.bucket_count(1), 2u);  // 1.5, 2.0
+  EXPECT_EQ(h.bucket_count(2), 1u);  // 5.0
+  EXPECT_EQ(h.bucket_count(3), 1u);  // 100.0 (+Inf)
+  EXPECT_EQ(h.count(), 7u);
+  EXPECT_NEAR(h.sum(), 109.0, 1e-9);
+  EXPECT_NEAR(h.mean(), 109.0 / 7.0, 1e-9);
+}
+
+TEST(TelemetryHistogram, DefaultLatencyBoundsAreAscending) {
+  const auto b = Histogram::latency_us_bounds();
+  ASSERT_GE(b.size(), 2u);
+  for (std::size_t i = 1; i < b.size(); ++i) EXPECT_LT(b[i - 1], b[i]);
+}
+
+// --- registry ---------------------------------------------------------------
+
+TEST(TelemetryRegistry, GetOrCreateReturnsStablePointers) {
+  MetricRegistry reg;
+  Counter* a = reg.counter("umon_test_ops_total", {{"shard", "0"}});
+  Counter* b = reg.counter("umon_test_ops_total", {{"shard", "0"}});
+  Counter* c = reg.counter("umon_test_ops_total", {{"shard", "1"}});
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  a->inc(3);
+  EXPECT_EQ(b->value(), 3u);
+}
+
+TEST(TelemetryRegistry, KindConflictYieldsDetachedInstrument) {
+  MetricRegistry reg;
+  reg.counter("umon_test_confused");
+  Gauge* g = reg.gauge("umon_test_confused");  // same name, wrong kind
+  ASSERT_NE(g, nullptr);
+  g->set(42);  // usable, but never exported
+  const auto samples = reg.snapshot();
+  ASSERT_EQ(samples.size(), 1u);
+  EXPECT_EQ(samples[0].kind, MetricRegistry::Kind::kCounter);
+}
+
+TEST(TelemetryRegistry, LabelCardinalityCapConservesCounts) {
+  MetricRegistry reg;
+  constexpr std::size_t kSets = MetricRegistry::kMaxSeriesPerName + 10;
+  for (std::size_t i = 0; i < kSets; ++i) {
+    reg.counter("umon_test_hot_total", {{"host", std::to_string(i)}})->inc();
+  }
+  EXPECT_GT(reg.series_over_cap(), 0u);
+
+  std::uint64_t total = 0;
+  bool saw_overflow = false;
+  std::size_t series = 0;
+  for (const auto& s : reg.snapshot()) {
+    ASSERT_EQ(s.name, "umon_test_hot_total");
+    total += s.counter_value;
+    ++series;
+    for (const auto& [k, v] : s.labels) {
+      if (k == "overflow" && v == "true") saw_overflow = true;
+    }
+  }
+  EXPECT_EQ(total, kSets);  // the cap drops labels, never counts
+  EXPECT_TRUE(saw_overflow);
+  EXPECT_LE(series, MetricRegistry::kMaxSeriesPerName + 1);
+}
+
+// --- detail switch / ScopedTimer -------------------------------------------
+
+TEST(TelemetryTimer, ScopedTimerIsGatedByDetailSwitch) {
+  Histogram h(Histogram::latency_us_bounds());
+  set_detail_enabled(false);
+  { ScopedTimer t(&h); }
+  EXPECT_EQ(h.count(), 0u);
+
+  set_detail_enabled(true);
+  { ScopedTimer t(&h); }
+  EXPECT_EQ(h.count(), 1u);
+  set_detail_enabled(false);
+}
+
+// --- tracing ----------------------------------------------------------------
+
+TEST(TelemetryTrace, RingWrapsAndCountsDrops) {
+  auto& rec = TraceRecorder::global();
+  rec.enable(/*capacity=*/4);
+  for (int i = 0; i < 6; ++i) {
+    rec.record_complete("trace_test/span", "test",
+                        static_cast<std::uint64_t>(1000 + i), 10);
+  }
+  const auto events = rec.snapshot();
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_EQ(rec.dropped(), 2u);
+  // Oldest-first: the two earliest events were overwritten.
+  EXPECT_EQ(events.front().ts_ns, 1002u);
+  EXPECT_EQ(events.back().ts_ns, 1005u);
+  rec.disable();
+  rec.clear();
+}
+
+TEST(TelemetryTrace, ChromeJsonRoundTrips) {
+  auto& rec = TraceRecorder::global();
+  rec.enable(/*capacity=*/64);
+  rec.record_complete("collector/batch_decode", "umon", 5'000, 1'500);
+  rec.record_complete("analyzer/curve_reconstruct", "umon", 8'000, 250);
+  rec.record_instant("collector/epoch_seal", "umon");
+  std::ostringstream os;
+  rec.write_chrome_json(os);
+  rec.disable();
+  rec.clear();
+
+  JsonParser parser(os.str());
+  const JsonValue root = parser.parse();
+  ASSERT_TRUE(parser.ok()) << parser.error() << "\n" << os.str();
+  const JsonArray& events = root.object().at("traceEvents").array();
+  ASSERT_EQ(events.size(), 3u);
+
+  const JsonObject& first = events[0].object();
+  EXPECT_EQ(first.at("name").str(), "collector/batch_decode");
+  EXPECT_EQ(first.at("ph").str(), "X");
+  EXPECT_NEAR(first.at("ts").num(), 0.0, 1e-9);     // rebased to earliest
+  EXPECT_NEAR(first.at("dur").num(), 1.5, 1e-9);    // µs
+  const JsonObject& second = events[1].object();
+  EXPECT_NEAR(second.at("ts").num(), 3.0, 1e-9);    // 8000ns - 5000ns
+  const JsonObject& instant = events[2].object();
+  EXPECT_EQ(instant.at("ph").str(), "i");
+  EXPECT_EQ(instant.count("dur"), 0u);
+}
+
+TEST(TelemetryTrace, DisabledSpanRecordsNothing) {
+  auto& rec = TraceRecorder::global();
+  rec.disable();
+  rec.clear();
+  { UMON_TRACE_SPAN("trace_test/never"); }
+  EXPECT_TRUE(rec.snapshot().empty());
+}
+
+// --- exporters --------------------------------------------------------------
+
+TEST(TelemetryExport, PrometheusGolden) {
+  MetricRegistry reg;
+  reg.counter("umon_test_reports_total", {{"shard", "0"}}, "Reports seen")
+      ->inc(7);
+  reg.gauge("umon_test_depth", {}, "Queue depth")->set(-2);
+  Histogram* h =
+      reg.histogram("umon_test_lat_us", {1.0, 10.0}, {}, "Latency");
+  h->observe(0.5);
+  h->observe(4.0);
+  h->observe(99.0);
+
+  std::ostringstream os;
+  const MetricRegistry* regs[] = {&reg};
+  write_prometheus(os, regs);
+  EXPECT_EQ(os.str(),
+            "# HELP umon_test_depth Queue depth\n"
+            "# TYPE umon_test_depth gauge\n"
+            "umon_test_depth -2\n"
+            "# HELP umon_test_lat_us Latency\n"
+            "# TYPE umon_test_lat_us histogram\n"
+            "umon_test_lat_us_bucket{le=\"1\"} 1\n"
+            "umon_test_lat_us_bucket{le=\"10\"} 2\n"
+            "umon_test_lat_us_bucket{le=\"+Inf\"} 3\n"
+            "umon_test_lat_us_sum 103.5\n"
+            "umon_test_lat_us_count 3\n"
+            "# HELP umon_test_reports_total Reports seen\n"
+            "# TYPE umon_test_reports_total counter\n"
+            "umon_test_reports_total{shard=\"0\"} 7\n");
+}
+
+TEST(TelemetryExport, TextAndJsonlGolden) {
+  MetricRegistry reg;
+  reg.counter("umon_test_b_total")->inc(2);
+  reg.gauge("umon_test_a")->set(5);
+
+  std::ostringstream text;
+  const MetricRegistry* regs[] = {&reg};
+  write_text(text, regs);
+  EXPECT_EQ(text.str(),
+            "umon_test_a = 5\n"
+            "umon_test_b_total = 2\n");
+
+  std::ostringstream jsonl;
+  write_jsonl(jsonl, regs, /*sequence=*/3);
+  EXPECT_EQ(jsonl.str(),
+            "{\"seq\":3,\"name\":\"umon_test_a\",\"kind\":\"gauge\","
+            "\"value\":5}\n"
+            "{\"seq\":3,\"name\":\"umon_test_b_total\",\"kind\":\"counter\","
+            "\"value\":2}\n");
+  // Each line must itself be valid JSON.
+  std::istringstream lines(jsonl.str());
+  std::string line;
+  while (std::getline(lines, line)) {
+    JsonParser p(line);
+    p.parse();
+    EXPECT_TRUE(p.ok()) << p.error() << ": " << line;
+  }
+}
+
+TEST(TelemetryExport, MergesSeveralRegistriesAndIgnoresNull) {
+  MetricRegistry a, b;
+  a.counter("umon_test_x_total")->inc(1);
+  b.counter("umon_test_y_total")->inc(2);
+  const MetricRegistry* regs[] = {&a, nullptr, &b};
+  const auto merged = merged_snapshot(regs);
+  ASSERT_EQ(merged.size(), 2u);
+  EXPECT_EQ(merged[0].name, "umon_test_x_total");
+  EXPECT_EQ(merged[1].name, "umon_test_y_total");
+}
+
+// --- logger -----------------------------------------------------------------
+
+TEST(TelemetryLog, ParseLevels) {
+  EXPECT_EQ(parse_log_level("trace"), LogLevel::kTrace);
+  EXPECT_EQ(parse_log_level("debug"), LogLevel::kDebug);
+  EXPECT_EQ(parse_log_level("info"), LogLevel::kInfo);
+  EXPECT_EQ(parse_log_level("warn"), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level("error"), LogLevel::kError);
+  EXPECT_EQ(parse_log_level("off"), LogLevel::kOff);
+  EXPECT_EQ(parse_log_level("bogus"), LogLevel::kWarn);
+}
+
+TEST(TelemetryLog, LevelGateAndFieldFormatting) {
+  auto& log = Logger::global();
+  std::vector<std::string> lines;
+  log.set_sink([&lines](const std::string& l) { lines.push_back(l); });
+  log.set_level(LogLevel::kInfo);
+
+  UMON_LOG(kDebug, "test", "below level");  // must not evaluate or emit
+  UMON_LOG(kInfo, "test", "payload decoded", {"host", "3"}, {"bytes", "12"});
+
+  log.set_sink(nullptr);
+  log.set_level(LogLevel::kWarn);
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(lines[0], "[info] test: payload decoded host=3 bytes=12");
+}
+
+TEST(TelemetryLog, PerSiteRateLimitSuppressesBursts) {
+  auto& log = Logger::global();
+  std::vector<std::string> lines;
+  log.set_sink([&lines](const std::string& l) { lines.push_back(l); });
+  log.set_level(LogLevel::kInfo);
+  const std::uint64_t suppressed_before = log.lines_suppressed();
+
+  for (int i = 0; i < 100; ++i) {
+    UMON_LOG(kInfo, "test", "burst");  // one call site: one token bucket
+  }
+
+  log.set_sink(nullptr);
+  log.set_level(LogLevel::kWarn);
+  EXPECT_LE(lines.size(), LogSite::kMaxPerWindow);
+  EXPECT_GE(log.lines_suppressed() - suppressed_before,
+            100 - LogSite::kMaxPerWindow);
+}
+
+// --- concurrency (runs under TSan via the collector_concurrency entry) ------
+
+TEST(TelemetryConcurrency, ConcurrentCounterAndHistogramUpdates) {
+  MetricRegistry reg;
+  constexpr int kThreads = 8;
+  constexpr int kIters = 20'000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&reg, t] {
+      // Every thread races get-or-create on shared names AND its own series.
+      Counter* shared = reg.counter("umon_test_shared_total");
+      Counter* own =
+          reg.counter("umon_test_shared_total", {{"t", std::to_string(t)}});
+      Histogram* h = reg.histogram("umon_test_conc_us", {1.0, 10.0, 100.0});
+      for (int i = 0; i < kIters; ++i) {
+        shared->inc();
+        own->inc();
+        h->observe(static_cast<double>(i % 128));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  EXPECT_EQ(reg.counter("umon_test_shared_total")->value(),
+            static_cast<std::uint64_t>(kThreads) * kIters);
+  Histogram* h = reg.histogram("umon_test_conc_us", {1.0, 10.0, 100.0});
+  EXPECT_EQ(h->count(), static_cast<std::uint64_t>(kThreads) * kIters);
+  std::uint64_t bucket_total = 0;
+  for (std::size_t i = 0; i <= 3; ++i) bucket_total += h->bucket_count(i);
+  EXPECT_EQ(bucket_total, h->count());
+}
+
+TEST(TelemetryConcurrency, ConcurrentTraceRecordingAndSnapshots) {
+  auto& rec = TraceRecorder::global();
+  rec.enable(/*capacity=*/256);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([] {
+      for (int i = 0; i < 1'000; ++i) {
+        UMON_TRACE_SPAN("trace_test/conc");
+      }
+    });
+  }
+  // A reader races the writers, as umon_sim's exporter would.
+  threads.emplace_back([&rec] {
+    for (int i = 0; i < 50; ++i) (void)rec.snapshot();
+  });
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(rec.snapshot().size() + rec.dropped(), 4'000u);
+  rec.disable();
+  rec.clear();
+}
+
+}  // namespace
+}  // namespace umon::telemetry
