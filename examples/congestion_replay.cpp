@@ -96,7 +96,8 @@ int main() {
   std::printf(
       "\nReplaying longest event: switch %d port %d, %lld us, %zu flows\n",
       longest.switch_id, longest.egress_port,
-      static_cast<long long>(longest.duration() / 1000), longest.flows.size());
+      static_cast<long long>(longest.duration() / kMicro),
+      longest.flows.size());
 
   static const char* levels[] = {" ", ".", ":", "-", "=", "+", "*", "#"};
   for (const auto& [flow, series] : replay.gbps_series) {

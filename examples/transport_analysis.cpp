@@ -193,7 +193,8 @@ int main() {
     tail += fairness[i];
     ++n_tail;
   }
-  std::printf("  Jain fairness (last quarter): %.3f\n", tail / n_tail);
+  std::printf("  Jain fairness (last quarter): %.3f\n",
+              tail / static_cast<double>(n_tail));
   std::printf("  incumbent oscillation index:  %.3f\n",
               analyzer::oscillation_index(ca));
   return 0;

@@ -236,7 +236,9 @@ int main(int argc, char** argv) {
     ucfg.seed = opt.seed;
     netsim::UploadChannel channel(
         ucfg, [&col](netsim::UploadChannel::Delivery&& d) {
-          col.submit_report_payload(d.host, d.epoch, std::move(d.payload));
+          // Malformed payloads surface in the end-of-run collector stats.
+          (void)col.submit_report_payload(d.host, d.epoch,
+                                          std::move(d.payload));
         });
 
     std::vector<std::uint32_t> end_seq(
@@ -247,7 +249,9 @@ int main(int argc, char** argv) {
           up.flush_epoch(*sketches[static_cast<std::size_t>(h)]);
       end_seq[static_cast<std::size_t>(h)] = upload.end_seq;
       for (auto& p : upload.payloads) {
-        channel.send(h, upload.epoch, std::move(p.bytes), /*now=*/0);
+        // In-transit drops are the point of --report-loss; the channel
+        // tallies them and seal_epoch() accounts the sequence gaps.
+        (void)channel.send(h, upload.epoch, std::move(p.bytes), /*now=*/0);
       }
     }
     channel.flush();

@@ -72,9 +72,8 @@ double FlowCurveStore::total_bytes(const FlowKey& flow) const {
 double FlowCurveStore::average_gbps(const FlowKey& flow) const {
   WindowId first = 0, last = 0;
   if (!extent(flow, first, last)) return 0;
-  const double span_ns = static_cast<double>((last - first + 1))
-                         * static_cast<double>(window_length(window_shift_));
-  return total_bytes(flow) * 8.0 / span_ns;
+  const Nanos span_ns = (last - first + 1) * window_length(window_shift_);
+  return total_bytes(flow) * 8.0 / static_cast<double>(span_ns);
 }
 
 std::vector<FlowKey> FlowCurveStore::flows() const {

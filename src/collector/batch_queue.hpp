@@ -40,7 +40,8 @@ class BatchQueue {
 
   /// Push under the configured policy. When the result is kEvictedOldest,
   /// `evicted` receives the shed item so the caller can account for it.
-  PushResult push(T item, T& evicted) {
+  /// Ignoring the result silently loses the shed-batch accounting.
+  [[nodiscard]] PushResult push(T item, T& evicted) {
     std::unique_lock lock(mutex_);
     if (items_.size() >= capacity_) {
       switch (policy_) {
@@ -76,7 +77,8 @@ class BatchQueue {
   }
 
   /// Blocking pop; returns false once the queue is closed and drained.
-  bool pop(T& out) {
+  /// Ignoring the result risks consuming a default-constructed T.
+  [[nodiscard]] bool pop(T& out) {
     std::unique_lock lock(mutex_);
     not_empty_.wait(lock, [&] { return !items_.empty() || closed_; });
     if (items_.empty()) return false;

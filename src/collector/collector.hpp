@@ -96,8 +96,10 @@ class Collector {
   // --- producer side (thread-safe; serialized at the front door) -----------
   /// One encode_batch() payload from `host` for measurement period `epoch`.
   /// Returns false if the payload failed the framing scan (malformed).
-  bool submit_report_payload(int host, std::uint32_t epoch,
-                             std::vector<std::uint8_t> payload);
+  /// The rejection is also counted in stats(); callers that deliberately
+  /// tolerate malformed uplinks should still say so with a (void) cast.
+  [[nodiscard]] bool submit_report_payload(int host, std::uint32_t epoch,
+                                           std::vector<std::uint8_t> payload);
 
   /// A batch of mirrored event packets from the uEvent pipeline.
   void submit_mirror_batch(std::vector<uevent::MirroredPacket> packets);

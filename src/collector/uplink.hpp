@@ -7,6 +7,7 @@
 
 #include <cstdint>
 #include <span>
+#include <type_traits>
 #include <vector>
 
 #include "sketch/serialize.hpp"
@@ -16,17 +17,22 @@ namespace umon::collector {
 
 class HostUplink {
  public:
+  // umon-lint: wire-struct
   struct Payload {
     std::uint32_t epoch = 0;
     std::vector<std::uint8_t> bytes;
     std::size_t reports = 0;
   };
+  static_assert(std::is_nothrow_move_constructible_v<Payload>,
+                "payloads move through the lossy upload channel");
+  // umon-lint: wire-struct
   struct EpochUpload {
     std::uint32_t epoch = 0;
     std::uint32_t end_seq = 0;  ///< pass to Collector::seal_epoch
     std::size_t reports = 0;
     std::vector<Payload> payloads;
   };
+  static_assert(std::is_nothrow_move_constructible_v<EpochUpload>);
 
   explicit HostUplink(int host, std::size_t max_reports_per_payload = 256)
       : host_(host),
@@ -35,15 +41,18 @@ class HostUplink {
 
   /// Flush the sketch and encode one epoch's upload. Advances the epoch and
   /// sequence counters even if the result is later lost in transit — that
-  /// is exactly how the collector detects the loss.
-  EpochUpload flush_epoch(sketch::WaveSketchFull& sk,
-                          bool include_light = true) {
+  /// is exactly how the collector detects the loss. Discarding the return
+  /// value silently loses the epoch while still consuming its sequence
+  /// range, hence [[nodiscard]].
+  [[nodiscard]] EpochUpload flush_epoch(sketch::WaveSketchFull& sk,
+                                        bool include_light = true) {
     return encode_epoch(sk.flush_reports(include_light));
   }
 
   /// Encode an explicit report batch as one epoch (synthetic sources and
   /// tests). Reports are stamped seq = next_seq, next_seq + 1, ...
-  EpochUpload encode_epoch(std::vector<sketch::TaggedReport> reports) {
+  [[nodiscard]] EpochUpload encode_epoch(
+      std::vector<sketch::TaggedReport> reports) {
     EpochUpload up;
     up.epoch = epoch_++;
     up.reports = reports.size();

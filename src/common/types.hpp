@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <functional>
 #include <string>
+#include <type_traits>
 
 namespace umon {
 
@@ -35,6 +36,7 @@ constexpr Nanos window_length(int shift = kDefaultWindowShift) {
 }
 
 /// 5-tuple flow identifier.
+// umon-lint: wire-struct
 struct FlowKey {
   std::uint32_t src_ip = 0;
   std::uint32_t dst_ip = 0;
@@ -57,6 +59,12 @@ struct FlowKey {
   [[nodiscard]] std::string to_string() const;
 };
 
+// The 13 canonical bytes pad to 16; the v2 wire encoding writes the five
+// fields individually, so layout changes here must show up in review.
+static_assert(std::is_trivially_copyable_v<FlowKey>);
+static_assert(std::is_standard_layout_v<FlowKey>);
+static_assert(sizeof(FlowKey) == 16, "5-tuple is 13 bytes padded to 16");
+
 /// ECN codepoints (RFC 3168 two-bit field).
 enum class Ecn : std::uint8_t {
   kNotEct = 0b00,
@@ -68,6 +76,7 @@ enum class Ecn : std::uint8_t {
 /// A measured packet as seen by the monitoring layer. The simulator produces
 /// richer internal events; this is the projection both WaveSketch and the
 /// uEvent pipeline consume.
+// umon-lint: wire-struct
 struct PacketRecord {
   FlowKey flow;
   Nanos timestamp = 0;       ///< local observation time (ns)
@@ -76,6 +85,10 @@ struct PacketRecord {
   Ecn ecn = Ecn::kEct0;
   std::uint16_t port = 0;    ///< switch egress port (uEvent context)
 };
+
+static_assert(std::is_trivially_copyable_v<PacketRecord>,
+              "PacketRecord is copied by value across the mirror path");
+static_assert(std::is_standard_layout_v<PacketRecord>);
 
 }  // namespace umon
 

@@ -2,6 +2,7 @@
 #pragma once
 
 #include <cstdint>
+#include <type_traits>
 
 #include "common/types.hpp"
 
@@ -25,6 +26,12 @@ struct SimPacket {
   bool wants_ack = false;        ///< window transport: receiver must ACK
   std::uint32_t acked_bytes = 0; ///< kAck: payload bytes acknowledged
 };
+
+// SimPackets cross queues and links by value millions of times per run; the
+// copy must stay trivial and the footprint deliberate (queue memory model).
+static_assert(std::is_trivially_copyable_v<SimPacket>);
+static_assert(std::is_standard_layout_v<SimPacket>);
+static_assert(sizeof(SimPacket) <= 64, "keep one packet within a cache line");
 
 /// RoCEv2-ish framing constants.
 constexpr std::uint32_t kMtuBytes = 1000;     ///< payload per data packet

@@ -48,9 +48,10 @@ class UploadChannel {
       : cfg_(cfg), sink_(std::move(sink)), rng_(cfg.seed ^ 0x0C17A57EULL) {}
 
   /// Submit one payload at local time `now`. Returns false if the channel
-  /// dropped it (the caller learns what a real host would not).
-  bool send(int host, std::uint32_t epoch, std::vector<std::uint8_t> payload,
-            Nanos now) {
+  /// dropped it (the caller learns what a real host would not; drops are
+  /// also tallied in payloads_dropped()).
+  [[nodiscard]] bool send(int host, std::uint32_t epoch,
+                          std::vector<std::uint8_t> payload, Nanos now) {
     ++payloads_sent_;
     bytes_sent_ += payload.size();
     if (cfg_.loss_rate > 0 && rng_.uniform() < cfg_.loss_rate) {

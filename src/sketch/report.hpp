@@ -3,6 +3,7 @@
 #pragma once
 
 #include <cstdint>
+#include <type_traits>
 #include <vector>
 
 #include "common/types.hpp"
@@ -39,5 +40,13 @@ struct BucketReport {
     return sum;
   }
 };
+
+// BucketReport owns heap-allocated coefficient vectors, so it is encoded
+// field-by-field (serialize.cpp), never memcpy'd; what must hold is that
+// moving a report between pipeline stages can never throw mid-batch.
+static_assert(!std::is_trivially_copyable_v<BucketReport>,
+              "encode field-wise; a memcpy would ship vector pointers");
+static_assert(std::is_nothrow_move_constructible_v<BucketReport>);
+static_assert(std::is_nothrow_move_assignable_v<BucketReport>);
 
 }  // namespace umon::sketch

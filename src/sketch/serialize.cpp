@@ -1,6 +1,7 @@
 #include "sketch/serialize.hpp"
 
 #include <cstring>
+#include <type_traits>
 
 #include "wavelet/haar.hpp"
 
@@ -21,9 +22,11 @@ constexpr int kMaxLevels = 30;
 
 template <typename T>
 void put(std::vector<std::uint8_t>& out, T value) {
-  std::uint8_t buf[sizeof(T)];
-  std::memcpy(buf, &value, sizeof(T));
-  out.insert(out.end(), buf, buf + sizeof(T));
+  static_assert(std::is_trivially_copyable_v<T>,
+                "wire fields are raw little-endian bytes");
+  const std::size_t pos = out.size();
+  out.resize(pos + sizeof(T));
+  std::memcpy(out.data() + pos, &value, sizeof(T));
 }
 
 template <typename T>
@@ -48,6 +51,11 @@ struct Header {
   std::uint32_t approx_count = 0;
   std::uint32_t detail_count = 0;
 };
+
+// The decoder memcpy's individual fields out of the byte stream into this
+// staging struct; it must stay a flat aggregate with no hidden state.
+static_assert(std::is_trivially_copyable_v<Header>);
+static_assert(std::is_standard_layout_v<Header>);
 
 /// Parse and validate a header (v1 or v2). The consistency check against
 /// length/levels mirrors what wavelet::reconstruct assumes, so a report that

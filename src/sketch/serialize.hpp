@@ -20,6 +20,7 @@
 #include <cstdint>
 #include <optional>
 #include <span>
+#include <type_traits>
 #include <vector>
 
 #include "sketch/report.hpp"
@@ -32,24 +33,25 @@ std::size_t encode_report(const TaggedReport& report,
                           std::vector<std::uint8_t>& out);
 
 /// Encode a whole flush batch with a count prefix.
-std::vector<std::uint8_t> encode_batch(std::span<const TaggedReport> reports);
+[[nodiscard]] std::vector<std::uint8_t> encode_batch(
+    std::span<const TaggedReport> reports);
 
 /// Encode a batch stamping consecutive sequence numbers: report i is written
 /// with seq = first_seq + i (the in-memory reports are left untouched).
-std::vector<std::uint8_t> encode_batch(std::span<const TaggedReport> reports,
-                                       std::uint32_t first_seq);
+[[nodiscard]] std::vector<std::uint8_t> encode_batch(
+    std::span<const TaggedReport> reports, std::uint32_t first_seq);
 
 /// Decode one report starting at `in[offset]`; advances `offset`. Returns
 /// nullopt on malformed input (truncation, bad magic, absurd counts, or
 /// coefficient counts inconsistent with `length`/`levels` — the last check
 /// guarantees `report.reconstruct()` on a decoded report never reads out of
 /// bounds, so adversarial bytes cannot reach UB downstream).
-std::optional<TaggedReport> decode_report(std::span<const std::uint8_t> in,
-                                          std::size_t& offset);
+[[nodiscard]] std::optional<TaggedReport> decode_report(
+    std::span<const std::uint8_t> in, std::size_t& offset);
 
 /// Decode a batch produced by encode_batch. Returns nullopt if any report
 /// is malformed.
-std::optional<std::vector<TaggedReport>> decode_batch(
+[[nodiscard]] std::optional<std::vector<TaggedReport>> decode_batch(
     std::span<const std::uint8_t> in);
 
 /// Routing metadata of one report, produced by a framing-level scan that
@@ -66,10 +68,15 @@ struct ReportFrame {
   std::uint32_t col = 0;
 };
 
+// Frames are copied into per-shard routing vectors on the collector's front
+// door; the copy must stay a flat memcpy-able value.
+static_assert(std::is_trivially_copyable_v<ReportFrame>);
+static_assert(std::is_standard_layout_v<ReportFrame>);
+
 /// Scan one report's framing starting at `in[offset]`; advances `offset`
 /// past the whole report. Applies the same header validation as
 /// decode_report (a frame that scans clean also decodes clean).
-std::optional<ReportFrame> scan_report(std::span<const std::uint8_t> in,
-                                       std::size_t& offset);
+[[nodiscard]] std::optional<ReportFrame> scan_report(
+    std::span<const std::uint8_t> in, std::size_t& offset);
 
 }  // namespace umon::sketch

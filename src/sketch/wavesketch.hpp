@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <optional>
 #include <span>
+#include <type_traits>
 #include <vector>
 
 #include "common/hash.hpp"
@@ -16,6 +17,7 @@ namespace umon::sketch {
 
 /// A bucket report tagged with its grid position, as uploaded to the
 /// analyzer at the end of each measurement period.
+// umon-lint: wire-struct
 struct TaggedReport {
   int row = 0;
   std::uint32_t col = 0;
@@ -27,6 +29,11 @@ struct TaggedReport {
   std::optional<FlowKey> flow;
   BucketReport report;
 };
+
+// Encoded field-wise by sketch::encode_report; batches of these move through
+// the collector's shard queues, so moves must never throw mid-pipeline.
+static_assert(std::is_nothrow_move_constructible_v<TaggedReport>);
+static_assert(std::is_nothrow_move_assignable_v<TaggedReport>);
 
 class WaveSketchBasic {
  public:
@@ -56,7 +63,8 @@ class WaveSketchBasic {
   [[nodiscard]] QueryResult query(const FlowKey& flow) const;
 
   /// End the measurement period: upload every active bucket and reset.
-  std::vector<TaggedReport> flush();
+  /// Discarding the result destroys the period's coefficients.
+  [[nodiscard]] std::vector<TaggedReport> flush();
 
   /// Reports produced by mid-period rollovers (kept until flush()).
   [[nodiscard]] const std::vector<TaggedReport>& rolled_reports() const {

@@ -42,14 +42,16 @@ class WaveSketchFull {
   [[nodiscard]] const WaveSketchBasic& light() const { return light_; }
 
   /// Total bytes a full flush would upload (heavy + light reports).
-  std::size_t report_wire_bytes() const;
+  [[nodiscard]] std::size_t report_wire_bytes() const;
 
   /// End the measurement period for the wire path: emit one flow-tagged
   /// report per occupied heavy slot (plus any reports from mid-period heavy
   /// roll-overs) and, when `include_light`, every active light bucket's
   /// report, then reset all state. The returned batch is what a host's
-  /// uplink serializes toward the collector.
-  std::vector<TaggedReport> flush_reports(bool include_light = true);
+  /// uplink serializes toward the collector. Discarding the result loses
+  /// the period's reports while still resetting the sketch.
+  [[nodiscard]] std::vector<TaggedReport> flush_reports(
+      bool include_light = true);
 
  private:
   struct HeavySlot {

@@ -28,6 +28,7 @@
 #include <mutex>
 #include <string>
 #include <string_view>
+#include <type_traits>
 #include <unordered_map>
 #include <utility>
 #include <vector>
@@ -180,6 +181,11 @@ class MetricRegistry {
     std::uint64_t hist_count = 0;
     double hist_sum = 0;
   };
+  // Snapshots are merged, sorted, and shipped to exporters wholesale; the
+  // copies must stay cheap to move and free of back-references into the
+  // registry (a Sample outlives the lock that produced it).
+  static_assert(std::is_nothrow_move_constructible_v<Sample>);
+  static_assert(std::is_nothrow_move_assignable_v<Sample>);
   [[nodiscard]] std::vector<Sample> snapshot() const;
 
  private:

@@ -107,10 +107,11 @@ void TraceRecorder::write_chrome_json(std::ostream& os) const {
     if (t0 == 0 || ev.ts_ns < t0) t0 = ev.ts_ns;
   }
   char num[32];
+  constexpr std::uint64_t kNsPerMicro = 1'000;
   const auto us = [&num](std::uint64_t ns) -> const char* {
     std::snprintf(num, sizeof(num), "%llu.%03llu",
-                  static_cast<unsigned long long>(ns / 1000),
-                  static_cast<unsigned long long>(ns % 1000));
+                  static_cast<unsigned long long>(ns / kNsPerMicro),
+                  static_cast<unsigned long long>(ns % kNsPerMicro));
     return num;
   };
   os << "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";

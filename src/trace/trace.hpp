@@ -24,22 +24,23 @@ struct TraceMeta {
 };
 
 /// Serialize records (with metadata) into a byte buffer.
-std::vector<std::uint8_t> encode(std::span<const PacketRecord> records,
-                                 const TraceMeta& meta = {});
+[[nodiscard]] std::vector<std::uint8_t> encode(
+    std::span<const PacketRecord> records, const TraceMeta& meta = {});
 
 /// Parse a buffer produced by encode(); nullopt on malformed input.
 struct DecodedTrace {
   TraceMeta meta;
   std::vector<PacketRecord> records;
 };
-std::optional<DecodedTrace> decode(std::span<const std::uint8_t> bytes);
+[[nodiscard]] std::optional<DecodedTrace> decode(
+    std::span<const std::uint8_t> bytes);
 
 /// Convenience file I/O. write_file returns false on I/O failure;
 /// read_file returns nullopt on I/O failure or malformed content.
-bool write_file(const std::string& path,
-                std::span<const PacketRecord> records,
-                const TraceMeta& meta = {});
-std::optional<DecodedTrace> read_file(const std::string& path);
+[[nodiscard]] bool write_file(const std::string& path,
+                              std::span<const PacketRecord> records,
+                              const TraceMeta& meta = {});
+[[nodiscard]] std::optional<DecodedTrace> read_file(const std::string& path);
 
 /// A recorder to wire directly into netsim::Network::set_host_tx_hook.
 class TraceRecorder {

@@ -4,6 +4,7 @@
 
 #include <cmath>
 #include <cstdint>
+#include <type_traits>
 
 #include "common/types.hpp"
 
@@ -19,6 +20,12 @@ struct DetailCoeff {
 
   friend bool operator==(const DetailCoeff&, const DetailCoeff&) = default;
 };
+
+static_assert(std::is_trivially_copyable_v<DetailCoeff>);
+static_assert(std::is_standard_layout_v<DetailCoeff>);
+static_assert(sizeof(DetailCoeff) == 16,
+              "u8 level + u32 index + i64 value, padded to 16 in memory "
+              "(the wire spends kDetailWireBytes, not sizeof)");
 
 /// L2 contribution of dropping an un-normalized detail coefficient: the
 /// normalized Haar coefficient is value / sqrt(2^(level+1)), and by the

@@ -1,11 +1,18 @@
 // Tests for the uMon analyzer: ingestion, rate queries, event grouping,
-// replay, and clock alignment.
+// replay, clock alignment, and (under TSan via the analyzer_concurrency
+// ctest entry) racing collector ingest against parallel read-side queries.
+#include <thread>
+#include <vector>
+
 #include <gtest/gtest.h>
 
 #include "analyzer/analyzer.hpp"
 #include "analyzer/groundtruth.hpp"
+#include "collector/collector.hpp"
+#include "collector/uplink.hpp"
 #include "sketch/wavesketch_full.hpp"
 #include "uevent/acl.hpp"
+#include "wavelet/haar.hpp"
 
 namespace umon::analyzer {
 namespace {
@@ -190,6 +197,90 @@ TEST(GroundTruth, UnknownFlowEmpty) {
   GroundTruth gt;
   EXPECT_TRUE(gt.series(flow(1)).empty());
   EXPECT_EQ(gt.flow_length(flow(1)), 0u);
+}
+
+/// A flow-tagged report whose reconstruction is exact (levels=0 stores the
+/// raw series as approximation coefficients).
+sketch::TaggedReport exact_report(const FlowKey& f, WindowId w0,
+                                  std::vector<Count> values) {
+  sketch::TaggedReport t;
+  t.flow = f;
+  t.report.w0 = w0;
+  t.report.length = static_cast<std::uint32_t>(values.size());
+  t.report.levels = 0;
+  values.resize(wavelet::next_pow2(t.report.length), 0);
+  t.report.approx = std::move(values);
+  return t;
+}
+
+// The Analyzer is externally synchronized for writes (the collector's sink
+// mutex serializes ingest), but its const query surface must be safe to
+// share across reader threads once ingest has quiesced: many threads
+// querying rates and curve totals concurrently is exactly how a dashboard
+// fans out. TSan (ctest -R analyzer_concurrency) checks race freedom; the
+// assertions check the readers all see the complete, exact curves.
+TEST(AnalyzerConcurrency, ParallelQueriesAfterCollectorIngest) {
+  constexpr int kHosts = 3;
+  constexpr int kEpochs = 4;
+  constexpr std::uint32_t kFlowsPerHost = 4;
+  constexpr WindowId kWindowsPerEpoch = 16;
+  constexpr Count kBytesPerWindow = 100;
+
+  Analyzer an;
+  collector::CollectorConfig cfg;
+  cfg.shards = 3;
+  cfg.queue_capacity = 2;  // small on purpose: exercise backpressure
+  cfg.overflow = collector::OverflowPolicy::kBlock;
+  collector::Collector col(cfg, an);
+  col.start();
+
+  std::vector<std::thread> producers;
+  producers.reserve(kHosts);
+  for (int h = 0; h < kHosts; ++h) {
+    producers.emplace_back([&, h] {
+      collector::HostUplink up(h, /*max_reports_per_payload=*/2);
+      for (int e = 0; e < kEpochs; ++e) {
+        std::vector<sketch::TaggedReport> reports;
+        for (std::uint32_t i = 0; i < kFlowsPerHost; ++i) {
+          std::vector<Count> values(kWindowsPerEpoch, kBytesPerWindow);
+          reports.push_back(exact_report(
+              flow(static_cast<std::uint32_t>(h) * 100 + i),
+              static_cast<WindowId>(e) * kWindowsPerEpoch,
+              std::move(values)));
+        }
+        const auto upload = up.encode_epoch(std::move(reports));
+        for (const auto& p : upload.payloads) {
+          ASSERT_TRUE(col.submit_report_payload(h, upload.epoch, p.bytes));
+        }
+        col.seal_epoch(h, upload.epoch, upload.end_seq);
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  col.stop();  // quiesce: everything accepted is now in the sink
+
+  const double expected_total =
+      static_cast<double>(kBytesPerWindow) * kEpochs * kWindowsPerEpoch;
+  std::vector<std::thread> readers;
+  readers.reserve(4);
+  for (int r = 0; r < 4; ++r) {
+    readers.emplace_back([&] {
+      for (int pass = 0; pass < 8; ++pass) {
+        for (int h = 0; h < kHosts; ++h) {
+          for (std::uint32_t i = 0; i < kFlowsPerHost; ++i) {
+            const FlowKey f = flow(static_cast<std::uint32_t>(h) * 100 + i);
+            const RateCurve c = an.query_rate(f);
+            ASSERT_FALSE(c.empty());
+            EXPECT_EQ(c.w0, 0);
+            EXPECT_NEAR(c.bytes_at(0),
+                        static_cast<double>(kBytesPerWindow), 1e-9);
+            EXPECT_NEAR(an.curves().total_bytes(f), expected_total, 1e-6);
+          }
+        }
+      }
+    });
+  }
+  for (auto& t : readers) t.join();
 }
 
 }  // namespace

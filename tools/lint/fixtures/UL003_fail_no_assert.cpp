@@ -1,0 +1,12 @@
+// Golden fixture: a wire-format struct without an adjacent static_assert
+// trips UL003 — nothing pins its size or trivial copyability, so a stray
+// member (or a vtable) could silently change the encoded bytes.
+#include <cstdint>
+
+// umon-lint: wire-struct
+struct WireHeader {
+  std::uint16_t magic = 0;
+  std::uint8_t version = 0;
+  std::uint8_t flags = 0;
+  std::uint32_t seq = 0;
+};

@@ -1,0 +1,14 @@
+// Golden fixture: a wire-format struct with its layout pinned by
+// static_asserts adjacent to the definition satisfies UL003.
+#include <cstdint>
+#include <type_traits>
+
+// umon-lint: wire-struct
+struct WireHeader {
+  std::uint16_t magic = 0;
+  std::uint8_t version = 0;
+  std::uint8_t flags = 0;
+  std::uint32_t seq = 0;
+};
+static_assert(sizeof(WireHeader) == 8, "v2 header prefix is 8 bytes");
+static_assert(std::is_trivially_copyable_v<WireHeader>);

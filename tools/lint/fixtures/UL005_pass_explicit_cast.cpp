@@ -1,0 +1,7 @@
+// Golden fixture: floating-point math on time values is fine when the
+// conversion is explicit — the precision decision is visible in the code.
+#include <cstdint>
+
+using Nanos = std::int64_t;
+
+inline double to_micros(Nanos t) { return static_cast<double>(t) / 1e3; }

@@ -1,0 +1,677 @@
+#!/usr/bin/env python3
+"""umon-lint: domain-invariant static analysis for the uMon tree.
+
+uMon's correctness rests on conventions the C++ compiler never checks:
+nanosecond timestamps shifted into 8.192 us windows, seq-stamped wire
+structs that must decode bit-exactly under loss, and a relaxed-atomics
+policy that is only sound at registered telemetry counter sites. This
+linter turns those conventions into named, machine-checked rules.
+
+Rules
+-----
+UL001  raw-time-literal      Raw time-unit integer literals (1'000,
+                             1'000'000, 1'000'000'000) in time-typed
+                             context outside src/common/types.hpp. Use
+                             kMicro / kMilli / kSecond or define a named
+                             constexpr on the same line.
+UL002  unregistered-relaxed  std::memory_order_relaxed outside the files
+                             registered in tools/lint/atomics_policy.txt.
+                             Relaxed atomics are a reviewed policy
+                             decision (monotonic telemetry counters),
+                             not a default.
+UL003  wire-struct-assert    A wire-format struct definition without an
+                             adjacent static_assert pinning its layout /
+                             copyability. Wire structs are those in the
+                             WIRE_FORMAT_FILES list below plus any struct
+                             annotated `// umon-lint: wire-struct`.
+UL004  nondeterministic-hot  rand()/srand()/std::rand or
+                             std::chrono::system_clock inside src/netsim,
+                             src/sketch, or src/collector. Hot paths must
+                             be deterministic (seeded umon::Rng) and
+                             wall-clock free.
+UL005  time-float-arith      float/double arithmetic mixed with
+                             Nanos/WindowId values without an explicit
+                             static_cast. Silent promotion of 64-bit
+                             nanosecond timestamps through double loses
+                             precision past 2^53 ns (~104 days).
+
+Suppressions
+------------
+  // umon-lint: allow(UL001)          this line, or the next line when the
+                                      comment stands alone on its line
+  // umon-lint: allow(UL001,UL005)    multiple rules
+  // umon-lint: allow-file(UL004)     whole file (place near the top)
+  // umon-lint: wire-struct           mark a struct as wire-format (UL003)
+
+Output
+------
+Human-readable `path:line: RULE: message` by default; `--json` emits a
+machine-readable document (schema_version, findings, counts). Exit codes:
+0 clean, 1 findings, 2 usage/internal error. There is deliberately no
+--fix mode: every rule names an invariant a human must decide how to
+restore.
+
+Self-test
+---------
+`--self-test` runs the golden fixtures in tools/lint/fixtures/: every
+ULxxx_pass_*.cpp must scan clean and every ULxxx_fail_*.cpp must trip
+exactly its own rule. Wired into ctest as tier-1 (umon_lint_selftest).
+"""
+
+from __future__ import annotations
+
+import argparse
+import fnmatch
+import json
+import os
+import re
+import sys
+from dataclasses import dataclass, field
+
+SCHEMA_VERSION = 1
+
+SOURCE_EXTENSIONS = (".hpp", ".cpp", ".h", ".cc", ".cxx", ".hh")
+
+# Directories never scanned when walking a tree.
+SKIP_DIR_NAMES = {"build", "build-tsan", ".git", "fixtures", "__pycache__"}
+
+# UL001: the file that is allowed to define the raw unit constants.
+TIME_CONSTANT_HOME = "src/common/types.hpp"
+
+# UL001: integer literals that denote a time unit when they appear in a
+# time-typed context. Digit separators are normalized away first.
+TIME_UNIT_VALUES = {1000, 1000000, 1000000000}
+
+# UL001/UL005: a line is "time-typed context" when it mentions one of
+# these. Deliberately conservative: plain loop bounds and byte counts do
+# not match.
+TIME_CONTEXT_RE = re.compile(
+    r"\b(Nanos|WindowId|nanos\w*|ns|usec\w*|micro\w*|milli\w*|"
+    r"timestamp\w*|deadline\w*|timeout\w*|latency\w*|delay\w*|"
+    r"jitter\w*|duration\w*|window_of|window_start|window_length|"
+    r"deliver_at|sent_at)\b|\w+_ns\b",
+    re.IGNORECASE,
+)
+
+# UL001: a named constexpr definition is the sanctioned way to introduce
+# a literal-backed constant.
+NAMED_CONSTEXPR_RE = re.compile(r"\bconstexpr\b[^=;]*\bk[A-Z]\w*\s*=")
+
+# UL003: files whose top-level structs are wire-format by definition.
+WIRE_FORMAT_FILES = {
+    "src/sketch/report.hpp",
+    "src/sketch/serialize.hpp",
+    "src/sketch/serialize.cpp",
+    "src/collector/uplink.hpp",
+    "src/netsim/packet.hpp",
+    "src/wavelet/coeff.hpp",
+}
+
+# UL003: how many lines past the struct's closing brace the static_assert
+# may sit.
+WIRE_ASSERT_WINDOW = 12
+
+# UL004: directories whose hot paths must stay deterministic.
+DETERMINISTIC_DIRS = ("src/netsim", "src/sketch", "src/collector")
+UL004_RE = re.compile(r"(?<![\w:])(?:std::)?s?rand\s*\(|\bsystem_clock\b")
+
+# UL005: float literal (1.5, .5, 1e3, 1.0f) — not part of an identifier.
+FLOAT_LITERAL_RE = re.compile(
+    r"(?<![\w.])(?:\d+\.\d*(?:[eE][+-]?\d+)?|\.\d+(?:[eE][+-]?\d+)?"
+    r"|\d+[eE][+-]?\d+)[fF]?(?![\w.])"
+)
+UL005_TIME_TOKEN_RE = re.compile(r"\b(Nanos|WindowId)\b|\b\w+_ns\b")
+UL005_CAST_RE = re.compile(
+    r"static_cast<\s*(?:double|float|Nanos|WindowId|long double|"
+    r"std::u?int\d+_t|u?int\d+_t)\s*>"
+)
+ARITH_OP_RE = re.compile(r"[+\-*/]")
+
+ALLOW_RE = re.compile(r"umon-lint:\s*allow\(([^)]*)\)")
+ALLOW_FILE_RE = re.compile(r"umon-lint:\s*allow-file\(([^)]*)\)")
+WIRE_MARKER_RE = re.compile(r"umon-lint:\s*wire-struct\b")
+
+STRUCT_DEF_RE = re.compile(r"^(?:struct|class)\s+(\w+)\s*(?::[^;{]*)?\{?\s*$")
+
+RULES = {
+    "UL001": "raw time-unit literal; use kMicro/kMilli/kSecond or a named "
+             "constexpr (src/common/types.hpp owns the raw values)",
+    "UL002": "memory_order_relaxed outside the registered counter sites in "
+             "tools/lint/atomics_policy.txt",
+    "UL003": "wire-format struct without an adjacent static_assert on its "
+             "sizeof / copyability",
+    "UL004": "non-deterministic primitive (rand()/system_clock) in a "
+             "deterministic hot path; use the seeded umon::Rng and "
+             "simulation/monotonic time",
+    "UL005": "float/double arithmetic on Nanos/WindowId without an explicit "
+             "static_cast",
+}
+
+
+@dataclass
+class Finding:
+    file: str
+    line: int
+    rule: str
+    message: str
+    snippet: str
+
+    def to_dict(self) -> dict:
+        return {
+            "file": self.file,
+            "line": self.line,
+            "rule": self.rule,
+            "message": self.message,
+            "snippet": self.snippet,
+        }
+
+
+@dataclass
+class SourceFile:
+    """One parsed translation unit: raw lines plus comment/string-stripped
+    lines (rules match the stripped text so commented-out code and string
+    contents never trip them), the per-line suppression sets, and the
+    file-level suppression set."""
+
+    rel_path: str
+    raw_lines: list = field(default_factory=list)
+    code_lines: list = field(default_factory=list)
+    comment_lines: list = field(default_factory=list)
+    line_allows: dict = field(default_factory=dict)   # line no -> {rules}
+    file_allows: set = field(default_factory=set)
+    wire_marked_lines: set = field(default_factory=set)
+
+
+def strip_comments_and_strings(text: str):
+    """Blank out comments and string/char literals while preserving line
+    structure. Returns (code_lines, comment_lines): comment text is kept
+    separately so suppression directives can be read from it."""
+    code = []
+    comments = []
+    cur_code = []
+    cur_comment = []
+    i = 0
+    n = len(text)
+    state = "code"  # code | line_comment | block_comment | string | char
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if c == "\n":
+            code.append("".join(cur_code))
+            comments.append("".join(cur_comment))
+            cur_code, cur_comment = [], []
+            if state == "line_comment":
+                state = "code"
+            i += 1
+            continue
+        if state == "code":
+            if c == "/" and nxt == "/":
+                state = "line_comment"
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                state = "block_comment"
+                i += 2
+                continue
+            if c == '"':
+                # Raw strings are rare here; handle the common R"( ... )".
+                if cur_code and cur_code[-1:] == ["R"]:
+                    end = text.find(')"', i + 2)
+                    if end == -1:
+                        end = n - 2
+                    for ch in text[i:end + 2]:
+                        if ch == "\n":
+                            code.append("".join(cur_code))
+                            comments.append("".join(cur_comment))
+                            cur_code, cur_comment = [], []
+                        else:
+                            cur_code.append(" ")
+                    i = end + 2
+                    continue
+                state = "string"
+                cur_code.append('"')
+                i += 1
+                continue
+            if c == "'" and re.match(r"'(\\.|[^\\])'", text[i:i + 4] or ""):
+                # char literal (never a digit separator, which sits between
+                # digits and is handled below)
+                m = re.match(r"'(\\.|[^\\])'", text[i:])
+                cur_code.append(" " * len(m.group(0)))
+                i += len(m.group(0))
+                continue
+            cur_code.append(c)
+            i += 1
+            continue
+        if state == "line_comment":
+            cur_comment.append(c)
+            i += 1
+            continue
+        if state == "block_comment":
+            if c == "*" and nxt == "/":
+                state = "code"
+                i += 2
+            else:
+                cur_comment.append(c)
+                i += 1
+            continue
+        if state == "string":
+            if c == "\\":
+                i += 2
+                continue
+            if c == '"':
+                state = "code"
+                cur_code.append('"')
+            i += 1
+            continue
+    if cur_code or cur_comment or (text and not text.endswith("\n")):
+        code.append("".join(cur_code))
+        comments.append("".join(cur_comment))
+    return code, comments
+
+
+def parse_file(path: str, rel_path: str) -> SourceFile:
+    with open(path, "r", encoding="utf-8", errors="replace") as f:
+        text = f.read()
+    sf = SourceFile(rel_path=rel_path)
+    sf.raw_lines = text.splitlines()
+    sf.code_lines, sf.comment_lines = strip_comments_and_strings(text)
+    # Pad in case the stripper and splitlines disagree on a trailing line.
+    while len(sf.code_lines) < len(sf.raw_lines):
+        sf.code_lines.append("")
+        sf.comment_lines.append("")
+
+    for idx, comment in enumerate(sf.comment_lines):
+        lineno = idx + 1
+        if not comment:
+            continue
+        m = ALLOW_FILE_RE.search(comment)
+        if m:
+            sf.file_allows |= {r.strip() for r in m.group(1).split(",")}
+        m = ALLOW_RE.search(comment)
+        if m:
+            rules = {r.strip() for r in m.group(1).split(",")}
+            targets = [lineno]
+            # A directive on its own line covers the next line too.
+            if sf.code_lines[idx].strip() == "":
+                targets.append(lineno + 1)
+            for t in targets:
+                sf.line_allows.setdefault(t, set()).update(rules)
+        if WIRE_MARKER_RE.search(comment):
+            sf.wire_marked_lines.add(lineno)
+    return sf
+
+
+def suppressed(sf: SourceFile, lineno: int, rule: str) -> bool:
+    if rule in sf.file_allows:
+        return True
+    return rule in sf.line_allows.get(lineno, set())
+
+
+def normalize_separators(line: str) -> str:
+    """Remove C++14 digit separators (1'000 -> 1000)."""
+    return re.sub(r"(?<=\d)'(?=\d)", "", line)
+
+
+# --------------------------------------------------------------------------
+# Rules
+# --------------------------------------------------------------------------
+
+INT_LITERAL_RE = re.compile(r"(?<![\w.])(\d+)(?:[uUlL]{0,3})(?![\w.'])")
+
+
+def _unit_literal_position(norm: str, m: re.Match) -> bool:
+    """True when the literal sits where it acts as a unit factor: operand of
+    * / % or the right-hand side of an assignment/return. Loop bounds,
+    comparisons, and plain call arguments (window counts, byte values) are
+    not unit positions."""
+    before = norm[:m.start()].rstrip()
+    after = norm[m.end():].lstrip()
+    if before.endswith(("*", "/", "%")):
+        return True
+    # Plain '=' (not ==, <=, >=, !=) introduces the value of a variable.
+    if before.endswith("=") and not before.endswith(("==", "<=", ">=", "!=")):
+        return True
+    if re.search(r"\breturn$", before):
+        return True
+    if after[:1] in ("*", "/", "%"):
+        return True
+    return False
+
+
+def check_ul001(sf: SourceFile) -> list:
+    findings = []
+    if sf.rel_path.replace(os.sep, "/").endswith(TIME_CONSTANT_HOME):
+        return findings
+    for idx, code in enumerate(sf.code_lines):
+        lineno = idx + 1
+        norm = normalize_separators(code)
+        if not TIME_CONTEXT_RE.search(norm):
+            continue
+        if NAMED_CONSTEXPR_RE.search(norm):
+            continue
+        for m in INT_LITERAL_RE.finditer(norm):
+            if int(m.group(1)) not in TIME_UNIT_VALUES:
+                continue
+            if not _unit_literal_position(norm, m):
+                continue
+            findings.append(Finding(
+                sf.rel_path, lineno, "UL001",
+                f"raw time-unit literal {m.group(1)} in time-typed "
+                "context; use kMicro/kMilli/kSecond or a named constexpr",
+                sf.raw_lines[idx].strip()))
+            break
+    return findings
+
+
+def check_ul002(sf: SourceFile, atomics_allow: list) -> list:
+    findings = []
+    rel = sf.rel_path.replace(os.sep, "/")
+    for pattern in atomics_allow:
+        if fnmatch.fnmatch(rel, pattern):
+            return findings
+    for idx, code in enumerate(sf.code_lines):
+        if "memory_order_relaxed" in code:
+            findings.append(Finding(
+                sf.rel_path, idx + 1, "UL002",
+                "memory_order_relaxed at an unregistered site; register the "
+                "file in tools/lint/atomics_policy.txt after review or use "
+                "seq_cst/acq_rel",
+                sf.raw_lines[idx].strip()))
+    return findings
+
+
+def _struct_extent(sf: SourceFile, start_idx: int):
+    """Return the index of the line holding the struct's closing brace, by
+    brace counting from the definition line. None if unbalanced."""
+    depth = 0
+    opened = False
+    for idx in range(start_idx, len(sf.code_lines)):
+        for c in sf.code_lines[idx]:
+            if c == "{":
+                depth += 1
+                opened = True
+            elif c == "}":
+                depth -= 1
+                if opened and depth == 0:
+                    return idx
+    return None
+
+
+def check_ul003(sf: SourceFile) -> list:
+    findings = []
+    rel = sf.rel_path.replace(os.sep, "/")
+    in_wire_file = any(rel.endswith(w) for w in WIRE_FORMAT_FILES)
+    for idx, code in enumerate(sf.code_lines):
+        lineno = idx + 1
+        m = STRUCT_DEF_RE.match(code.rstrip())
+        if not m:
+            continue
+        name = m.group(1)
+        # Column-0 `struct`s in wire files are wire-format by definition;
+        # classes (agents, stateful pipelines) and nested structs only count
+        # when explicitly marked (marker on the definition line or within
+        # 3 lines above it).
+        marked = any(l in sf.wire_marked_lines
+                     for l in range(lineno - 3, lineno + 1))
+        top_level_struct = (code.startswith("struct")
+                            and not code.startswith((" ", "\t")))
+        if not (marked or (in_wire_file and top_level_struct)):
+            continue
+        close_idx = _struct_extent(sf, idx)
+        if close_idx is None:
+            close_idx = idx
+        window_end = min(len(sf.code_lines), close_idx + 1 + WIRE_ASSERT_WINDOW)
+        window = "\n".join(sf.code_lines[idx:window_end])
+        has_assert = re.search(
+            r"static_assert\s*\([^;]*\b" + re.escape(name) + r"\b",
+            window, re.DOTALL)
+        if not has_assert:
+            findings.append(Finding(
+                sf.rel_path, lineno, "UL003",
+                f"wire-format struct {name} has no adjacent static_assert "
+                "pinning sizeof/trivial copyability (within "
+                f"{WIRE_ASSERT_WINDOW} lines of its closing brace)",
+                sf.raw_lines[idx].strip()))
+    return findings
+
+
+def check_ul004(sf: SourceFile) -> list:
+    findings = []
+    rel = sf.rel_path.replace(os.sep, "/")
+    if not any(d in rel for d in DETERMINISTIC_DIRS):
+        return findings
+    for idx, code in enumerate(sf.code_lines):
+        m = UL004_RE.search(code)
+        if m:
+            findings.append(Finding(
+                sf.rel_path, idx + 1, "UL004",
+                f"non-deterministic primitive `{m.group(0).strip()}` in a "
+                "deterministic hot path; use the seeded umon::Rng / "
+                "simulation time",
+                sf.raw_lines[idx].strip()))
+    return findings
+
+
+def check_ul005(sf: SourceFile) -> list:
+    findings = []
+    for idx, code in enumerate(sf.code_lines):
+        norm = normalize_separators(code)
+        if not UL005_TIME_TOKEN_RE.search(norm):
+            continue
+        if not FLOAT_LITERAL_RE.search(norm):
+            continue
+        # Arithmetic must remain after the float literals themselves are
+        # removed (the '-' in 1e-9 is not arithmetic) and increment /
+        # decrement operators are ignored.
+        residue = FLOAT_LITERAL_RE.sub("", norm)
+        residue = residue.replace("++", "").replace("--", "")
+        if not ARITH_OP_RE.search(residue):
+            continue
+        if UL005_CAST_RE.search(norm):
+            continue
+        findings.append(Finding(
+            sf.rel_path, idx + 1, "UL005",
+            "float/double arithmetic mixed with Nanos/WindowId without an "
+            "explicit static_cast (precision loss past 2^53 ns)",
+            sf.raw_lines[idx].strip()))
+    return findings
+
+
+ALL_CHECKS = ("UL001", "UL002", "UL003", "UL004", "UL005")
+
+
+def scan_file(path: str, rel_path: str, atomics_allow: list,
+              rules=ALL_CHECKS) -> list:
+    sf = parse_file(path, rel_path)
+    findings = []
+    if "UL001" in rules:
+        findings += check_ul001(sf)
+    if "UL002" in rules:
+        findings += check_ul002(sf, atomics_allow)
+    if "UL003" in rules:
+        findings += check_ul003(sf)
+    if "UL004" in rules:
+        findings += check_ul004(sf)
+    if "UL005" in rules:
+        findings += check_ul005(sf)
+    return [f for f in findings if not suppressed(sf, f.line, f.rule)]
+
+
+def load_atomics_policy(path: str) -> list:
+    patterns = []
+    if not os.path.exists(path):
+        return patterns
+    with open(path, "r", encoding="utf-8") as f:
+        for line in f:
+            line = line.split("#", 1)[0].strip()
+            if line:
+                patterns.append(line)
+    return patterns
+
+
+def iter_source_files(roots: list, repo_root: str):
+    for root in roots:
+        root_abs = os.path.abspath(root)
+        if os.path.isfile(root_abs):
+            yield root_abs, os.path.relpath(root_abs, repo_root)
+            continue
+        for dirpath, dirnames, filenames in os.walk(root_abs):
+            dirnames[:] = sorted(d for d in dirnames
+                                 if d not in SKIP_DIR_NAMES)
+            for fn in sorted(filenames):
+                if fn.endswith(SOURCE_EXTENSIONS):
+                    full = os.path.join(dirpath, fn)
+                    yield full, os.path.relpath(full, repo_root)
+
+
+# --------------------------------------------------------------------------
+# Self-test over golden fixtures
+# --------------------------------------------------------------------------
+
+def run_self_test(fixtures_dir: str) -> int:
+    """Every ULxxx_pass_*.cpp must scan clean; every ULxxx_fail_*.cpp must
+    trip its own rule (and only its own rule)."""
+    policy = os.path.join(fixtures_dir, "atomics_policy.txt")
+    atomics_allow = load_atomics_policy(policy)
+    failures = []
+    checked = 0
+    names = sorted(os.listdir(fixtures_dir))
+    for fn in names:
+        if not fn.endswith(SOURCE_EXTENSIONS):
+            continue
+        m = re.match(r"(UL\d{3})_(pass|fail)_", fn)
+        if not m:
+            failures.append(f"{fn}: fixture name must be "
+                            "ULxxx_{pass|fail}_<slug>{ext}")
+            continue
+        rule, kind = m.group(1), m.group(2)
+        if rule not in RULES:
+            failures.append(f"{fn}: unknown rule {rule}")
+            continue
+        checked += 1
+        path = os.path.join(fixtures_dir, fn)
+        # Fixtures may pretend to live elsewhere in the tree (rules UL003
+        # and UL004 are path-sensitive) via a path directive in the first
+        # few lines: // umon-lint-fixture: path=src/netsim/foo.cpp
+        rel = fn
+        with open(path, "r", encoding="utf-8") as fh:
+            head = fh.read(2048)
+        pm = re.search(r"umon-lint-fixture:\s*path=(\S+)", head)
+        if pm:
+            rel = pm.group(1)
+        findings = scan_file(path, rel, atomics_allow)
+        rules_hit = {f.rule for f in findings}
+        if kind == "pass" and findings:
+            failures.append(
+                f"{fn}: expected clean, got "
+                + ", ".join(f"{f.rule}@{f.line}" for f in findings))
+        elif kind == "fail":
+            if rule not in rules_hit:
+                failures.append(f"{fn}: expected {rule} to fire, it did not")
+            if rules_hit - {rule}:
+                failures.append(
+                    f"{fn}: unexpected extra rules {sorted(rules_hit - {rule})}")
+    for rule in RULES:
+        have_pass = any(re.match(rf"{rule}_pass_", fn) for fn in names)
+        have_fail = any(re.match(rf"{rule}_fail_", fn) for fn in names)
+        if not (have_pass and have_fail):
+            failures.append(f"{rule}: missing pass and/or fail fixture")
+    if failures:
+        print("umon-lint self-test FAILED:")
+        for f in failures:
+            print(f"  {f}")
+        return 1
+    print(f"umon-lint self-test OK: {checked} fixtures, "
+          f"{len(RULES)} rules covered")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="umon_lint.py",
+        description="Domain-invariant static analysis for the uMon tree.")
+    parser.add_argument("paths", nargs="*",
+                        help="files or directories to scan "
+                             "(default: src tests bench examples)")
+    parser.add_argument("--json", action="store_true",
+                        help="machine-readable JSON output")
+    parser.add_argument("--rules", default=",".join(ALL_CHECKS),
+                        help="comma-separated subset of rules to run")
+    parser.add_argument("--atomics-policy", default=None,
+                        help="path to the relaxed-atomics allowlist "
+                             "(default: tools/lint/atomics_policy.txt)")
+    parser.add_argument("--repo-root", default=None,
+                        help="repository root for relative paths "
+                             "(default: two levels above this script)")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print every rule with its description")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run the golden fixture suite and exit")
+    parser.add_argument("--fixtures", default=None,
+                        help="fixtures directory for --self-test")
+    args = parser.parse_args(argv)
+
+    script_dir = os.path.dirname(os.path.abspath(__file__))
+    repo_root = args.repo_root or os.path.dirname(os.path.dirname(script_dir))
+
+    if args.list_rules:
+        for rule, desc in RULES.items():
+            print(f"{rule}  {desc}")
+        return 0
+
+    if args.self_test:
+        fixtures = args.fixtures or os.path.join(script_dir, "fixtures")
+        if not os.path.isdir(fixtures):
+            print(f"umon-lint: fixtures directory not found: {fixtures}",
+                  file=sys.stderr)
+            return 2
+        return run_self_test(fixtures)
+
+    rules = tuple(r.strip() for r in args.rules.split(",") if r.strip())
+    unknown = [r for r in rules if r not in RULES]
+    if unknown:
+        print(f"umon-lint: unknown rule(s): {', '.join(unknown)}",
+              file=sys.stderr)
+        return 2
+
+    policy_path = args.atomics_policy or os.path.join(
+        script_dir, "atomics_policy.txt")
+    atomics_allow = load_atomics_policy(policy_path)
+
+    paths = args.paths or [os.path.join(repo_root, d)
+                           for d in ("src", "tests", "bench", "examples")]
+    missing = [p for p in paths if not os.path.exists(p)]
+    if missing:
+        print(f"umon-lint: no such path(s): {', '.join(missing)}",
+              file=sys.stderr)
+        return 2
+
+    findings = []
+    files_scanned = 0
+    for full, rel in iter_source_files(paths, repo_root):
+        files_scanned += 1
+        findings += scan_file(full, rel, atomics_allow, rules)
+    findings.sort(key=lambda f: (f.file, f.line, f.rule))
+
+    if args.json:
+        counts = {}
+        for f in findings:
+            counts[f.rule] = counts.get(f.rule, 0) + 1
+        print(json.dumps({
+            "schema_version": SCHEMA_VERSION,
+            "files_scanned": files_scanned,
+            "findings": [f.to_dict() for f in findings],
+            "counts": counts,
+        }, indent=2))
+    else:
+        for f in findings:
+            print(f"{f.file}:{f.line}: {f.rule}: {f.message}")
+            print(f"    {f.snippet}")
+        status = "clean" if not findings else f"{len(findings)} finding(s)"
+        print(f"umon-lint: {files_scanned} files scanned, {status}")
+
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
