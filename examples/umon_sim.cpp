@@ -10,6 +10,7 @@
 //            [--pfc] [--dctcp] [--seed 7]
 //            [--collector-shards N] [--report-loss F]
 //            [--metrics-out FILE] [--trace-out FILE] [--log-level LEVEL]
+//            [--health-out FILE] [--health-interval US] [--health-alarms R]
 //
 // With --collector-shards (or --report-loss) the host sketches reach the
 // analyzer through the full collection tier — per-host uplink encode, the
@@ -24,10 +25,25 @@
 // trace|debug|info|warn|error|off controls the structured logger (default
 // warn).
 //
+// --health-out FILE turns on continuous health monitoring: the run switches
+// to a chunked simulation loop that flushes one measurement epoch per
+// sampling interval through the collector tier *while the workload runs*,
+// samples every instrument into umon::health's ring store, tracks
+// end-to-end freshness watermarks (packet event -> sketch seal -> collector
+// decode -> analyzer curve), scores a live reconstruction-fidelity probe,
+// and evaluates alarm rules. FILE gets the umon-health-v1 JSONL dump and
+// FILE.html a self-contained dashboard. --health-interval is the sampling
+// cadence in microseconds (default 500, min 100); --health-alarms overrides
+// the default rule set (';'-separated, see src/health/alarm.hpp). Health
+// output is byte-identical across runs with the same seed as long as the
+// wall-clock-based detail instrumentation stays off (no --metrics-out /
+// --trace-out).
+//
 // Example:
 //   ./build/examples/umon_sim --workload hadoop --load 0.35 --sample-bits 4
 //   ./build/examples/umon_sim --collector-shards 4 --report-loss 0.01
 //   ./build/examples/umon_sim --metrics-out metrics.prom --trace-out t.json
+//   ./build/examples/umon_sim --health-out health.jsonl --report-loss 0.05
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -47,6 +63,7 @@
 #include "analyzer/metrics.hpp"
 #include "collector/collector.hpp"
 #include "collector/uplink.hpp"
+#include "health/health.hpp"
 #include "netsim/network.hpp"
 #include "netsim/upload_channel.hpp"
 #include "sketch/wavesketch_full.hpp"
@@ -74,10 +91,14 @@ struct Options {
   std::string metrics_out;   ///< Prometheus text snapshot path ("" = off)
   std::string trace_out;     ///< Chrome trace JSON path ("" = off)
   std::string log_level;     ///< "" = leave logger at its default (warn)
+  std::string health_out;    ///< health JSONL path ("" = health off)
+  Nanos health_interval = 500 * kMicro;
+  std::string health_alarms;  ///< "" = HealthMonitor::default_alarms()
 
   [[nodiscard]] bool telemetry_requested() const {
     return !metrics_out.empty() || !trace_out.empty();
   }
+  [[nodiscard]] bool health_requested() const { return !health_out.empty(); }
 };
 
 bool parse(int argc, char** argv, Options& opt) {
@@ -128,6 +149,19 @@ bool parse(int argc, char** argv, Options& opt) {
       opt.trace_out = next("--trace-out");
     } else if (arg == "--log-level") {
       opt.log_level = next("--log-level");
+    } else if (arg == "--health-out") {
+      opt.health_out = next("--health-out");
+    } else if (arg == "--health-interval") {
+      opt.health_interval =
+          static_cast<Nanos>(std::atof(next("--health-interval"))) * kMicro;
+      // The epoch pipeline seals one tick late; the tick must cover the
+      // upload channel's base delay + jitter (50 + 20 us) so every payload
+      // of epoch N has landed before the N+1 tick seals it.
+      if (opt.health_interval < 100 * kMicro) {
+        opt.health_interval = 100 * kMicro;
+      }
+    } else if (arg == "--health-alarms") {
+      opt.health_alarms = next("--health-alarms");
     } else if (arg == "--help" || arg == "-h") {
       return false;
     } else {
@@ -149,7 +183,9 @@ int main(int argc, char** argv) {
         "                [--pfc] [--dctcp] [--seed N]\n"
         "                [--collector-shards N] [--report-loss F]\n"
         "                [--metrics-out FILE] [--trace-out FILE]\n"
-        "                [--log-level trace|debug|info|warn|error|off]\n");
+        "                [--log-level trace|debug|info|warn|error|off]\n"
+        "                [--health-out FILE] [--health-interval US]\n"
+        "                [--health-alarms 'rule; rule; ...']\n");
     return 2;
   }
 
@@ -180,13 +216,67 @@ int main(int argc, char** argv) {
   for (int h = 0; h < net->host_count(); ++h) {
     sketches.push_back(std::make_unique<sketch::WaveSketchFull>(sp));
   }
+
+  // The analyzer and (when requested) the collector tier exist before the
+  // simulation starts: health mode streams epochs through them mid-run.
+  analyzer::Analyzer an;
+  const bool use_collector = opt.collector_shards > 0 || opt.report_loss > 0 ||
+                             opt.telemetry_requested() ||
+                             opt.health_requested();
+  // Kept alive past its stop() so its private registry can be exported.
+  std::unique_ptr<collector::Collector> collector_tier;
+  std::unique_ptr<netsim::UploadChannel> channel;
+  if (use_collector) {
+    collector::CollectorConfig ccfg;
+    ccfg.shards = opt.collector_shards > 0 ? opt.collector_shards : 2;
+    collector_tier = std::make_unique<collector::Collector>(ccfg, an);
+
+    netsim::UploadChannelConfig ucfg;
+    ucfg.loss_rate = opt.report_loss;
+    ucfg.jitter = 20 * kMicro;
+    ucfg.seed = opt.seed;
+    channel = std::make_unique<netsim::UploadChannel>(
+        ucfg, [col = collector_tier.get()](
+                  netsim::UploadChannel::Delivery&& d) {
+          // Malformed payloads surface in the end-of-run collector stats.
+          (void)col->submit_report_payload(d.host, d.epoch,
+                                           std::move(d.payload));
+        });
+  }
+
+  std::unique_ptr<health::HealthMonitor> mon;
+  if (opt.health_requested()) {
+    health::HealthConfig hcfg;
+    hcfg.interval = opt.health_interval;
+    hcfg.alarms = opt.health_alarms;
+    mon = std::make_unique<health::HealthMonitor>(hcfg);
+    if (!mon->alarm_parse_error().empty()) {
+      std::fprintf(stderr, "bad --health-alarms: %s\n",
+                   mon->alarm_parse_error().c_str());
+      return 2;
+    }
+    mon->add_registry(&telemetry::MetricRegistry::global());
+    mon->add_registry(&collector_tier->telemetry_registry());
+    mon->set_analyzer(&an);
+    collector_tier->set_decode_event_hook([m = mon.get()](Nanos t) {
+      m->watermarks().note(health::Stage::kCollectorDecode, t);
+    });
+    collector_tier->set_curve_event_hook([m = mon.get()](Nanos t) {
+      m->watermarks().note(health::Stage::kAnalyzerCurve, t);
+    });
+  }
+
   analyzer::GroundTruth truth;
   std::uint64_t packets = 0;
-  net->set_host_tx_hook([&](int host, const PacketRecord& r) {
+  net->set_host_tx_hook([&, m = mon.get()](int host, const PacketRecord& r) {
     ++packets;
     truth.add(r.flow, r.timestamp, r.size);
     sketches[static_cast<std::size_t>(host)]->update(
         r.flow, r.timestamp, static_cast<Count>(r.size));
+    if (m != nullptr) {
+      m->watermarks().note(health::Stage::kPacketEvent, r.timestamp);
+      m->probe().observe(r.flow, r.timestamp, r.size);
+    }
   });
 
   uevent::EventScorer scorer;
@@ -208,65 +298,105 @@ int main(int argc, char** argv) {
     for (auto& f : w.flows) f.use_dctcp = true;
   }
   workload::install(w, *net);
-  net->run_until(opt.duration + 5 * kMilli);
-  net->finish();
 
-  // --- analyzer view --------------------------------------------------------
-  analyzer::Analyzer an;
-  // Telemetry export implies the collector tier so the metrics snapshot
-  // covers the whole pipeline, not just the in-process subsystems.
-  const bool use_collector = opt.collector_shards > 0 || opt.report_loss > 0 ||
-                             opt.telemetry_requested();
   collector::CollectorStats cstats;
   std::uint64_t payloads_dropped = 0;
-  // Kept alive past its stop() so its private registry can be exported.
-  std::unique_ptr<collector::Collector> collector_tier;
-  if (use_collector) {
-    // Full collection tier: uplink encode -> lossy upload channel -> sharded
-    // collector -> analyzer.
-    collector::CollectorConfig ccfg;
-    ccfg.shards = opt.collector_shards > 0 ? opt.collector_shards : 2;
-    collector_tier = std::make_unique<collector::Collector>(ccfg, an);
+  const Nanos horizon = opt.duration + 5 * kMilli;
+
+  if (mon) {
+    // --- continuous health loop ---------------------------------------------
+    // Chunk the simulation by the sampling interval. Each tick: run the
+    // network, settle its counters, deliver upload payloads that are due,
+    // seal the previous tick's epoch (its payloads have all landed — the
+    // tick exceeds the channel's worst-case delay), flush a fresh epoch
+    // from every host, then drain the collector so every instrument is
+    // quiescent before the sample is taken.
     collector::Collector& col = *collector_tier;
     col.start();
-
-    netsim::UploadChannelConfig ucfg;
-    ucfg.loss_rate = opt.report_loss;
-    ucfg.jitter = 20 * kMicro;
-    ucfg.seed = opt.seed;
-    netsim::UploadChannel channel(
-        ucfg, [&col](netsim::UploadChannel::Delivery&& d) {
-          // Malformed payloads surface in the end-of-run collector stats.
-          (void)col.submit_report_payload(d.host, d.epoch,
-                                          std::move(d.payload));
-        });
-
-    std::vector<std::uint32_t> end_seq(
-        static_cast<std::size_t>(net->host_count()), 0);
+    std::vector<collector::HostUplink> uplinks;
+    uplinks.reserve(static_cast<std::size_t>(net->host_count()));
     for (int h = 0; h < net->host_count(); ++h) {
-      collector::HostUplink up(h, /*max_reports_per_payload=*/64);
-      auto upload =
-          up.flush_epoch(*sketches[static_cast<std::size_t>(h)]);
-      end_seq[static_cast<std::size_t>(h)] = upload.end_seq;
-      for (auto& p : upload.payloads) {
-        // In-transit drops are the point of --report-loss; the channel
-        // tallies them and seal_epoch() accounts the sequence gaps.
-        (void)channel.send(h, upload.epoch, std::move(p.bytes), /*now=*/0);
-      }
+      uplinks.emplace_back(h, /*max_reports_per_payload=*/64);
     }
-    channel.flush();
-    for (int h = 0; h < net->host_count(); ++h) {
-      col.seal_epoch(h, 0, end_seq[static_cast<std::size_t>(h)]);
+    struct PendingSeal {
+      int host;
+      std::uint32_t epoch;
+      std::uint32_t end_seq;
+    };
+    std::vector<PendingSeal> awaiting;
+
+    mon->prime(0);
+    for (Nanos t = opt.health_interval; ; t += opt.health_interval) {
+      if (t > horizon) t = horizon;
+      net->run_until(t);
+      net->settle_telemetry();
+      channel->advance_to(t);
+      for (const PendingSeal& s : awaiting) {
+        col.seal_epoch(s.host, s.epoch, s.end_seq);
+      }
+      awaiting.clear();
+      for (int h = 0; h < net->host_count(); ++h) {
+        auto up = uplinks[static_cast<std::size_t>(h)].flush_epoch(
+            *sketches[static_cast<std::size_t>(h)]);
+        mon->watermarks().note(health::Stage::kSketchSeal, t);
+        for (auto& p : up.payloads) {
+          (void)channel->send(h, up.epoch, std::move(p.bytes), t);
+        }
+        awaiting.push_back({h, up.epoch, up.end_seq});
+      }
+      col.drain();
+      mon->tick(t);
+      if (t >= horizon) break;
+    }
+    net->finish();
+    channel->flush();
+    for (const PendingSeal& s : awaiting) {
+      col.seal_epoch(s.host, s.epoch, s.end_seq);
     }
     col.submit_mirror_batch(scorer.mirrored());
     col.stop();
     cstats = col.stats();
-    payloads_dropped = channel.payloads_dropped();
+    payloads_dropped = channel->payloads_dropped();
+    // Final sample: the tail seals above are where sequence-gap losses are
+    // accounted, so the closing tick is what lets a loss alarm fire even
+    // when the loss only materializes at shutdown.
+    mon->tick(horizon + opt.health_interval);
   } else {
-    for (int h = 0; h < net->host_count(); ++h) {
-      an.ingest_host_sketch(h, *sketches[static_cast<std::size_t>(h)]);
+    net->run_until(horizon);
+    net->finish();
+
+    if (use_collector) {
+      // Full collection tier: uplink encode -> lossy upload channel ->
+      // sharded collector -> analyzer, one epoch covering the whole run.
+      collector::Collector& col = *collector_tier;
+      col.start();
+      std::vector<std::uint32_t> end_seq(
+          static_cast<std::size_t>(net->host_count()), 0);
+      for (int h = 0; h < net->host_count(); ++h) {
+        collector::HostUplink up(h, /*max_reports_per_payload=*/64);
+        auto upload =
+            up.flush_epoch(*sketches[static_cast<std::size_t>(h)]);
+        end_seq[static_cast<std::size_t>(h)] = upload.end_seq;
+        for (auto& p : upload.payloads) {
+          // In-transit drops are the point of --report-loss; the channel
+          // tallies them and seal_epoch() accounts the sequence gaps.
+          (void)channel->send(h, upload.epoch, std::move(p.bytes), /*now=*/0);
+        }
+      }
+      channel->flush();
+      for (int h = 0; h < net->host_count(); ++h) {
+        col.seal_epoch(h, 0, end_seq[static_cast<std::size_t>(h)]);
+      }
+      col.submit_mirror_batch(scorer.mirrored());
+      col.stop();
+      cstats = col.stats();
+      payloads_dropped = channel->payloads_dropped();
+    } else {
+      for (int h = 0; h < net->host_count(); ++h) {
+        an.ingest_host_sketch(h, *sketches[static_cast<std::size_t>(h)]);
+      }
+      an.ingest_mirrored(scorer.mirrored());
     }
-    an.ingest_mirrored(scorer.mirrored());
   }
 
   std::printf("uMon simulation report\n");
@@ -351,9 +481,74 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(cstats.reports_decoded),
                 static_cast<unsigned long long>(cstats.reports_lost),
                 static_cast<unsigned long long>(cstats.reports_shed));
+    const char* policy = "block";
+    switch (collector_tier->config().overflow) {
+      case collector::OverflowPolicy::kBlock: policy = "block"; break;
+      case collector::OverflowPolicy::kDropNewest: policy = "drop-newest";
+        break;
+      case collector::OverflowPolicy::kDropOldest: policy = "drop-oldest";
+        break;
+    }
+    std::printf("  queue policy:    %s — %llu batches shed (%llu rejected "
+                "drop-newest, %llu evicted drop-oldest)\n",
+                policy,
+                static_cast<unsigned long long>(cstats.batches_shed),
+                static_cast<unsigned long long>(cstats.batches_rejected),
+                static_cast<unsigned long long>(cstats.batches_evicted));
     std::printf("  epochs flushed:  %llu (%llu curve fragments)\n",
                 static_cast<unsigned long long>(cstats.epochs_flushed),
                 static_cast<unsigned long long>(cstats.fragments_ingested));
+  }
+
+  if (mon) {
+    std::printf("\nhealth (sampled every %.0f us)\n",
+                static_cast<double>(opt.health_interval) / 1e3);
+    std::printf("  samples:         %llu ticks, %zu series\n",
+                static_cast<unsigned long long>(mon->ticks()),
+                mon->store().series_count());
+    for (health::Stage s :
+         {health::Stage::kPacketEvent, health::Stage::kSketchSeal,
+          health::Stage::kCollectorDecode, health::Stage::kAnalyzerCurve}) {
+      std::printf("  watermark %-18s high %.1f us (lag %.1f us)\n",
+                  health::to_string(s),
+                  static_cast<double>(mon->watermarks().high(s)) / 1e3,
+                  static_cast<double>(mon->watermarks().freshness_lag(
+                      s, mon->last_tick())) / 1e3);
+    }
+    const health::RingStore::Entry* probe_are =
+        mon->store().find("umon_health_probe_are");
+    if (probe_are != nullptr && probe_are->ring.size() > 0) {
+      const health::RingStore::Entry* probe_nmse =
+          mon->store().find("umon_health_probe_nmse");
+      std::printf("  fidelity probe:  ARE %.4f, NMSE %.4f (%zu flows)\n",
+                  probe_are->ring.last(),
+                  probe_nmse != nullptr ? probe_nmse->ring.last() : 0.0,
+                  mon->probe().probed_flows());
+    }
+    for (std::size_t i = 0; i < mon->alarms().specs().size(); ++i) {
+      if (mon->alarms().fire_count(i) == 0) continue;
+      std::printf("  ALARM fired %llux: %s\n",
+                  static_cast<unsigned long long>(mon->alarms().fire_count(i)),
+                  mon->alarms().specs()[i].text.c_str());
+    }
+    std::printf("  verdict:         %s\n",
+                mon->healthy() ? "HEALTHY" : "UNHEALTHY");
+
+    std::ofstream os(opt.health_out);
+    if (!os) {
+      std::fprintf(stderr, "cannot write %s\n", opt.health_out.c_str());
+      return 1;
+    }
+    mon->write_jsonl(os);
+    const std::string html_path = opt.health_out + ".html";
+    std::ofstream ho(html_path);
+    if (!ho) {
+      std::fprintf(stderr, "cannot write %s\n", html_path.c_str());
+      return 1;
+    }
+    mon->write_html(ho);
+    std::printf("  health output:   %s (+ %s)\n", opt.health_out.c_str(),
+                html_path.c_str());
   }
 
   // --- self-monitoring ------------------------------------------------------
@@ -381,7 +576,8 @@ int main(int argc, char** argv) {
                   static_cast<unsigned long long>(h->hist_count),
                   h->hist_sum / static_cast<double>(h->hist_count));
     }
-    // Every way the pipeline lost or discarded data, by counter.
+    // Every way the pipeline lost or discarded data, by counter. Includes
+    // trace-ring overwrites (umon_telemetry_trace_dropped_spans_total).
     std::uint64_t total_lost = 0;
     for (const auto& s : samples) {
       if (s.kind != telemetry::MetricRegistry::Kind::kCounter ||
@@ -392,7 +588,8 @@ int main(int argc, char** argv) {
                          s.name.find("_shed") != std::string::npos ||
                          s.name.find("lost") != std::string::npos ||
                          s.name.find("malformed") != std::string::npos ||
-                         s.name.find("evictions") != std::string::npos ||
+                         s.name.find("evict") != std::string::npos ||
+                         s.name.find("reject") != std::string::npos ||
                          s.name.find("prunes") != std::string::npos;
       if (!lossy) continue;
       std::printf("  %-42s %8llu\n", s.name.c_str(),

@@ -1,6 +1,7 @@
 #include "collector/collector.hpp"
 
 #include <atomic>
+#include <condition_variable>
 #include <cstring>
 #include <span>
 
@@ -29,20 +30,48 @@ std::uint64_t mix_route(std::uint64_t x) {
 
 }  // namespace
 
+namespace {
+
+/// Rendezvous for Collector::drain(): each shard worker acks once it pops
+/// the barrier message, and because queues are FIFO that ack proves every
+/// earlier message on that shard — including seal processing and any sink
+/// flush it triggered — has completed.
+struct DrainBarrier {
+  std::mutex mu;
+  std::condition_variable cv;
+  int acks = 0;
+
+  void ack() {
+    {
+      std::lock_guard lock(mu);
+      acks += 1;
+    }
+    cv.notify_all();
+  }
+  void wait_for(int n) {
+    std::unique_lock lock(mu);
+    cv.wait(lock, [&] { return acks >= n; });
+  }
+};
+
+}  // namespace
+
 struct Collector::ShardMsg {
-  enum class Kind { kReports, kMirror, kSeal, kStop };
+  enum class Kind { kReports, kMirror, kSeal, kBarrier, kStop };
   Kind kind = Kind::kStop;
   int host = -1;
   std::uint32_t epoch = 0;
   std::vector<std::uint8_t> bytes;  ///< kReports: concatenated report frames
   std::uint32_t report_count = 0;
   std::vector<uevent::MirroredPacket> mirror;
+  std::shared_ptr<DrainBarrier> barrier;  ///< kBarrier only
 };
 
 struct Collector::Shard {
   struct StagedEpoch {
     std::vector<analyzer::Analyzer::SparseFragment> fragments;
     std::size_t wire_bytes = 0;
+    Nanos max_event_ns = -1;  ///< largest window-end event time decoded
   };
 
   Shard(std::size_t capacity, OverflowPolicy policy)
@@ -64,6 +93,7 @@ struct Collector::PendingEpoch {
   std::uint32_t epoch = 0;
   std::vector<analyzer::Analyzer::SparseFragment> fragments;
   std::size_t wire_bytes = 0;
+  Nanos max_event_ns = -1;  ///< max across the contributing shards
   int acks = 0;  ///< shards that have drained their share
 };
 
@@ -83,6 +113,12 @@ struct Collector::Instruments {
         "Routed batches admitted to shard queues");
     batches_shed = reg.counter("umon_collector_batches_shed_total", {},
                                "Batches shed by the overflow policy");
+    batches_rejected = reg.counter(
+        "umon_collector_batches_rejected_total", {},
+        "Shed breakdown: incoming batches refused (drop-newest)");
+    batches_evicted = reg.counter(
+        "umon_collector_batches_evicted_total", {},
+        "Shed breakdown: resident batches evicted (drop-oldest)");
     reports_scanned = reg.counter("umon_collector_reports_scanned_total", {},
                                   "Report frames seen by the framing scan");
     reports_decoded = reg.counter("umon_collector_reports_decoded_total", {},
@@ -123,6 +159,8 @@ struct Collector::Instruments {
   telemetry::Counter* payloads_malformed;
   telemetry::Counter* batches_enqueued;
   telemetry::Counter* batches_shed;
+  telemetry::Counter* batches_rejected;
+  telemetry::Counter* batches_evicted;
   telemetry::Counter* reports_scanned;
   telemetry::Counter* reports_decoded;
   telemetry::Counter* reports_malformed;
@@ -188,6 +226,9 @@ void Collector::stop() {
       p.host = static_cast<int>(key >> 32);
       p.epoch = static_cast<std::uint32_t>(key);
       p.wire_bytes += staged.wire_bytes;
+      if (staged.max_event_ns > p.max_event_ns) {
+        p.max_event_ns = staged.max_event_ns;
+      }
       p.fragments.insert(p.fragments.end(),
                          std::make_move_iterator(staged.fragments.begin()),
                          std::make_move_iterator(staged.fragments.end()));
@@ -195,6 +236,23 @@ void Collector::stop() {
     sh->staging.clear();
   }
   for (auto& [key, p] : leftovers) flush_epoch_to_sink(std::move(p));
+}
+
+void Collector::drain() {
+  if (!running_) return;
+  auto barrier = std::make_shared<DrainBarrier>();
+  {
+    // Take the front mutex so the barrier lands after any in-flight submit
+    // on every queue; control push bypasses the overflow policy.
+    std::lock_guard lock(front_mutex_);
+    for (auto& sh : shards_) {
+      ShardMsg msg;
+      msg.kind = ShardMsg::Kind::kBarrier;
+      msg.barrier = barrier;
+      sh->queue.push_control(std::move(msg));
+    }
+  }
+  barrier->wait_for(cfg_.shards);
 }
 
 bool Collector::submit_report_payload(int host, std::uint32_t epoch,
@@ -276,6 +334,7 @@ bool Collector::submit_report_payload(int host, std::uint32_t epoch,
         break;
       case BatchQueue<ShardMsg>::PushResult::kRejected:
         ins_->batches_shed->inc();
+        ins_->batches_rejected->inc();
         ins_->reports_shed->inc(route_count[s]);
         UMON_LOG(kDebug, "collector", "backpressure shed incoming batch",
                  {"shard", std::to_string(s)},
@@ -284,6 +343,7 @@ bool Collector::submit_report_payload(int host, std::uint32_t epoch,
       case BatchQueue<ShardMsg>::PushResult::kEvictedOldest:
         ins_->batches_enqueued->inc();
         ins_->batches_shed->inc();
+        ins_->batches_evicted->inc();
         ins_->reports_shed->inc(evicted.report_count);
         UMON_LOG(kDebug, "collector", "backpressure evicted oldest batch",
                  {"shard", std::to_string(s)},
@@ -312,10 +372,12 @@ void Collector::submit_mirror_batch(
       break;
     case BatchQueue<ShardMsg>::PushResult::kRejected:
       ins_->batches_shed->inc();
+      ins_->batches_rejected->inc();
       break;
     case BatchQueue<ShardMsg>::PushResult::kEvictedOldest:
       ins_->batches_enqueued->inc();
       ins_->batches_shed->inc();
+      ins_->batches_evicted->inc();
       ins_->reports_shed->inc(evicted.report_count);
       break;
   }
@@ -373,6 +435,9 @@ void Collector::worker(int shard_id) {
       case ShardMsg::Kind::kSeal:
         handle_seal(shard_id, msg);
         break;
+      case ShardMsg::Kind::kBarrier:
+        msg.barrier->ack();
+        break;
       case ShardMsg::Kind::kStop:
         return;
     }
@@ -403,6 +468,10 @@ void Collector::handle_reports(int shard_id, ShardMsg& msg) {
     ++decoded;
     if (!report->flow) continue;  // light-part report: accounting only
     const std::vector<double> series = report->report.reconstruct();
+    const Nanos end_ns = window_start(
+        report->report.w0 + static_cast<WindowId>(series.size()),
+        cfg_.window_shift);
+    if (end_ns > staged.max_event_ns) staged.max_event_ns = end_ns;
     analyzer::Analyzer::SparseFragment frag;
     frag.flow = *report->flow;
     for (std::size_t i = 0; i < series.size(); ++i) {
@@ -413,6 +482,9 @@ void Collector::handle_reports(int shard_id, ShardMsg& msg) {
     if (!frag.windows.empty()) staged.fragments.push_back(std::move(frag));
   }
   ins_->reports_decoded->inc(decoded);
+  if (decode_event_hook_ && staged.max_event_ns >= 0) {
+    decode_event_hook_(staged.max_event_ns);
+  }
 }
 
 void Collector::handle_seal(int shard_id, const ShardMsg& msg) {
@@ -430,6 +502,9 @@ void Collector::handle_seal(int shard_id, const ShardMsg& msg) {
   p.host = msg.host;
   p.epoch = msg.epoch;
   p.wire_bytes += staged.wire_bytes;
+  if (staged.max_event_ns > p.max_event_ns) {
+    p.max_event_ns = staged.max_event_ns;
+  }
   p.fragments.insert(p.fragments.end(),
                      std::make_move_iterator(staged.fragments.begin()),
                      std::make_move_iterator(staged.fragments.end()));
@@ -456,6 +531,9 @@ void Collector::flush_epoch_to_sink(PendingEpoch&& done) {
   }
   ins_->epochs_flushed->inc();
   ins_->fragments_ingested->inc(n);
+  if (curve_event_hook_ && done.max_event_ns >= 0) {
+    curve_event_hook_(done.max_event_ns);
+  }
 }
 
 CollectorStats Collector::stats() const {
@@ -474,6 +552,10 @@ CollectorStats Collector::stats() const {
       out.batches_enqueued = v;
     } else if (s.name == "umon_collector_batches_shed_total") {
       out.batches_shed = v;
+    } else if (s.name == "umon_collector_batches_rejected_total") {
+      out.batches_rejected = v;
+    } else if (s.name == "umon_collector_batches_evicted_total") {
+      out.batches_evicted = v;
     } else if (s.name == "umon_collector_reports_scanned_total") {
       out.reports_scanned = v;
     } else if (s.name == "umon_collector_reports_decoded_total") {

@@ -33,6 +33,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -68,6 +69,8 @@ struct CollectorStats {
   std::uint64_t payloads_malformed = 0;  ///< framing scan failed; discarded
   std::uint64_t batches_enqueued = 0;
   std::uint64_t batches_shed = 0;        ///< overflow policy dropped a batch
+  std::uint64_t batches_rejected = 0;    ///< shed subset: incoming batch refused
+  std::uint64_t batches_evicted = 0;     ///< shed subset: oldest batch evicted
   std::uint64_t reports_scanned = 0;
   std::uint64_t reports_decoded = 0;
   std::uint64_t reports_malformed = 0;   ///< shard-side decode_report failed
@@ -92,6 +95,26 @@ class Collector {
   /// the workers. Idempotent. After stop() the sink holds everything the
   /// pipeline accepted.
   void stop();
+
+  /// Block until every message enqueued before this call has been fully
+  /// processed — including the sink flush of any epoch whose seal was
+  /// already submitted. Workers keep running. This is the synchronization
+  /// point deterministic drivers (health sampling, tests) use to observe a
+  /// quiescent pipeline without stopping it. No-op before start().
+  void drain();
+
+  /// Observability taps for end-to-end freshness tracking. `decode` fires
+  /// from shard workers after a batch decode with the largest *event time*
+  /// (window-end, collector clock domain) reconstructed in that batch —
+  /// flow-tagged reports only. `curve` fires after a sealed epoch lands in
+  /// the analyzer, with the largest event time that epoch made queryable.
+  /// Set before start(); hooks must be thread-safe.
+  void set_decode_event_hook(std::function<void(Nanos)> hook) {
+    decode_event_hook_ = std::move(hook);
+  }
+  void set_curve_event_hook(std::function<void(Nanos)> hook) {
+    curve_event_hook_ = std::move(hook);
+  }
 
   // --- producer side (thread-safe; serialized at the front door) -----------
   /// One encode_batch() payload from `host` for measurement period `epoch`.
@@ -135,6 +158,8 @@ class Collector {
 
   CollectorConfig cfg_;
   analyzer::Analyzer& sink_;
+  std::function<void(Nanos)> decode_event_hook_;
+  std::function<void(Nanos)> curve_event_hook_;
 
   std::vector<std::unique_ptr<Shard>> shards_;
   std::vector<std::thread> workers_;

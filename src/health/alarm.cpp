@@ -1,0 +1,361 @@
+#include "health/alarm.hpp"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "telemetry/log.hpp"
+
+namespace umon::health {
+namespace {
+
+struct Cursor {
+  const std::string& text;
+  std::size_t pos = 0;
+
+  void skip_ws() {
+    while (pos < text.size() &&
+           std::isspace(static_cast<unsigned char>(text[pos])) != 0) {
+      pos += 1;
+    }
+  }
+  [[nodiscard]] bool done() const { return pos >= text.size(); }
+  [[nodiscard]] char peek() const { return done() ? '\0' : text[pos]; }
+
+  /// Consume a run of identifier characters (series names, agg names,
+  /// keywords). Dots are accepted and normalized to underscores later.
+  std::string word() {
+    skip_ws();
+    std::size_t start = pos;
+    while (pos < text.size()) {
+      const char c = text[pos];
+      if (std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_' ||
+          c == '.') {
+        pos += 1;
+      } else {
+        break;
+      }
+    }
+    return text.substr(start, pos - start);
+  }
+};
+
+std::string normalize_name(std::string name) {
+  for (char& c : name) {
+    if (c == '.') c = '_';
+  }
+  return name;
+}
+
+bool parse_agg(const std::string& w, AlarmAgg* out) {
+  if (w == "last") *out = AlarmAgg::kLast;
+  else if (w == "rate") *out = AlarmAgg::kRate;
+  else if (w == "max") *out = AlarmAgg::kMax;
+  else if (w == "min") *out = AlarmAgg::kMin;
+  else if (w == "avg") *out = AlarmAgg::kAvg;
+  else if (w == "p50") *out = AlarmAgg::kP50;
+  else if (w == "p90") *out = AlarmAgg::kP90;
+  else if (w == "p99") *out = AlarmAgg::kP99;
+  else return false;
+  return true;
+}
+
+bool parse_op(Cursor& c, AlarmOp* out) {
+  c.skip_ws();
+  const char a = c.peek();
+  if (a == '>' || a == '<' || a == '=' || a == '!') {
+    c.pos += 1;
+    const bool eq = c.peek() == '=';
+    if (eq) c.pos += 1;
+    switch (a) {
+      case '>': *out = eq ? AlarmOp::kGe : AlarmOp::kGt; return true;
+      case '<': *out = eq ? AlarmOp::kLe : AlarmOp::kLt; return true;
+      case '=': if (eq) { *out = AlarmOp::kEq; return true; } return false;
+      case '!': if (eq) { *out = AlarmOp::kNe; return true; } return false;
+      default: return false;
+    }
+  }
+  return false;
+}
+
+/// Number with an optional ns/us/ms/s time-unit suffix (scales to ns).
+bool parse_value(Cursor& c, double* out) {
+  c.skip_ws();
+  const char* begin = c.text.c_str() + c.pos;
+  char* end = nullptr;
+  const double v = std::strtod(begin, &end);
+  if (end == begin) return false;
+  c.pos += static_cast<std::size_t>(end - begin);
+  double scale = 1.0;
+  const std::size_t save = c.pos;
+  const std::string unit = c.word();
+  if (unit == "ns") scale = 1.0;
+  else if (unit == "us") scale = static_cast<double>(kMicro);
+  else if (unit == "ms") scale = static_cast<double>(kMilli);
+  else if (unit == "s") scale = static_cast<double>(kSecond);
+  else c.pos = save;  // not a unit — leave it for the next clause
+  *out = v * scale;
+  return true;
+}
+
+bool parse_rule(const std::string& text, AlarmSpec* spec, std::string* error) {
+  Cursor c{text};
+  spec->text = text;
+
+  const std::string name = c.word();
+  if (name.empty()) {
+    *error = "expected series name in rule '" + text + "'";
+    return false;
+  }
+  spec->series = normalize_name(name);
+
+  c.skip_ws();
+  if (c.peek() == '{') {
+    c.pos += 1;
+    const std::size_t close = c.text.find('}', c.pos);
+    if (close == std::string::npos) {
+      *error = "unterminated '{' in rule '" + text + "'";
+      return false;
+    }
+    spec->labels = c.text.substr(c.pos, close - c.pos);
+    c.pos = close + 1;
+  }
+
+  // Optional aggregator, then the mandatory comparison.
+  c.skip_ws();
+  std::size_t save = c.pos;
+  const std::string maybe_agg = c.word();
+  if (!maybe_agg.empty()) {
+    if (!parse_agg(maybe_agg, &spec->agg)) {
+      *error = "unknown aggregator '" + maybe_agg + "' in rule '" + text + "'";
+      return false;
+    }
+  } else {
+    c.pos = save;
+  }
+  if (!parse_op(c, &spec->op)) {
+    *error = "expected comparison operator in rule '" + text + "'";
+    return false;
+  }
+  if (!parse_value(c, &spec->threshold)) {
+    *error = "expected threshold value in rule '" + text + "'";
+    return false;
+  }
+  spec->clear_threshold = spec->threshold;
+
+  // Optional trailing clauses, any order: `for <dur>` / `clear <value>`.
+  for (;;) {
+    c.skip_ws();
+    if (c.done()) break;
+    save = c.pos;
+    const std::string kw = c.word();
+    if (kw == "for") {
+      double dur = 0.0;
+      if (!parse_value(c, &dur) || dur < 0) {
+        *error = "bad 'for' duration in rule '" + text + "'";
+        return false;
+      }
+      spec->for_duration = static_cast<Nanos>(dur);
+    } else if (kw == "clear") {
+      if (!parse_value(c, &spec->clear_threshold)) {
+        *error = "bad 'clear' threshold in rule '" + text + "'";
+        return false;
+      }
+    } else {
+      c.pos = save;
+      *error = "trailing garbage '" + c.text.substr(c.pos) + "' in rule '" +
+               text + "'";
+      return false;
+    }
+  }
+  return true;
+}
+
+bool compare(AlarmOp op, double v, double threshold) {
+  switch (op) {
+    case AlarmOp::kGt: return v > threshold;
+    case AlarmOp::kGe: return v >= threshold;
+    case AlarmOp::kLt: return v < threshold;
+    case AlarmOp::kLe: return v <= threshold;
+    case AlarmOp::kEq: return v == threshold;
+    case AlarmOp::kNe: return v != threshold;
+  }
+  return false;
+}
+
+double aggregate(AlarmAgg agg, const SeriesRing& ring) {
+  switch (agg) {
+    case AlarmAgg::kLast:
+    case AlarmAgg::kRate: return ring.last();
+    case AlarmAgg::kMax: return ring.max();
+    case AlarmAgg::kMin: return ring.min();
+    case AlarmAgg::kAvg: return ring.avg();
+    case AlarmAgg::kP50: return ring.percentile(0.50);
+    case AlarmAgg::kP90: return ring.percentile(0.90);
+    case AlarmAgg::kP99: return ring.percentile(0.99);
+  }
+  return 0.0;
+}
+
+/// Resolve a rule's series against the store, trying the canonical umon
+/// spellings so rules can use the short form.
+const RingStore::Entry* resolve(const RingStore& store, const AlarmSpec& s) {
+  const std::string candidates[] = {
+      s.series,
+      "umon_" + s.series,
+      s.series + "_total",
+      "umon_" + s.series + "_total",
+  };
+  for (const auto& name : candidates) {
+    const RingStore::Entry* e = s.labels.empty()
+                                    ? store.find_any_labels(name)
+                                    : store.find(name, s.labels);
+    if (e != nullptr) return e;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+const char* to_string(AlarmAgg a) {
+  switch (a) {
+    case AlarmAgg::kLast: return "last";
+    case AlarmAgg::kRate: return "rate";
+    case AlarmAgg::kMax: return "max";
+    case AlarmAgg::kMin: return "min";
+    case AlarmAgg::kAvg: return "avg";
+    case AlarmAgg::kP50: return "p50";
+    case AlarmAgg::kP90: return "p90";
+    case AlarmAgg::kP99: return "p99";
+  }
+  return "?";
+}
+
+const char* to_string(AlarmOp o) {
+  switch (o) {
+    case AlarmOp::kGt: return ">";
+    case AlarmOp::kGe: return ">=";
+    case AlarmOp::kLt: return "<";
+    case AlarmOp::kLe: return "<=";
+    case AlarmOp::kEq: return "==";
+    case AlarmOp::kNe: return "!=";
+  }
+  return "?";
+}
+
+const char* to_string(AlarmState s) {
+  switch (s) {
+    case AlarmState::kOk: return "ok";
+    case AlarmState::kPending: return "pending";
+    case AlarmState::kFiring: return "firing";
+    case AlarmState::kClearing: return "clearing";
+  }
+  return "?";
+}
+
+bool parse_alarms(const std::string& text, std::vector<AlarmSpec>* out,
+                  std::string* error) {
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    std::size_t end = text.find(';', start);
+    if (end == std::string::npos) end = text.size();
+    std::string rule = text.substr(start, end - start);
+    // Trim; empty segments (trailing ';', blank input) are ignored.
+    std::size_t a = 0;
+    std::size_t b = rule.size();
+    while (a < b && std::isspace(static_cast<unsigned char>(rule[a])) != 0)
+      a += 1;
+    while (b > a && std::isspace(static_cast<unsigned char>(rule[b - 1])) != 0)
+      b -= 1;
+    if (b > a) {
+      AlarmSpec spec;
+      if (!parse_rule(rule.substr(a, b - a), &spec, error)) return false;
+      out->push_back(std::move(spec));
+    }
+    start = end + 1;
+  }
+  return true;
+}
+
+AlarmEngine::AlarmEngine(std::vector<AlarmSpec> specs)
+    : specs_(std::move(specs)), rules_(specs_.size()) {}
+
+void AlarmEngine::transition(std::size_t i, Nanos now, AlarmState to,
+                             double value) {
+  RuleState& r = rules_[i];
+  events_.push_back({now, i, r.state, to, value});
+  if (to == AlarmState::kFiring) {
+    r.fires += 1;
+    UMON_LOG(kWarn, "health", "alarm firing", {"rule", specs_[i].text},
+             {"value", std::to_string(value)},
+             {"t_ns", std::to_string(now)});
+  } else if (to == AlarmState::kOk) {
+    UMON_LOG(kInfo, "health", "alarm cleared", {"rule", specs_[i].text},
+             {"value", std::to_string(value)},
+             {"t_ns", std::to_string(now)});
+  }
+  r.state = to;
+  r.since = now;
+}
+
+void AlarmEngine::evaluate(Nanos now, const RingStore& store) {
+  for (std::size_t i = 0; i < specs_.size(); ++i) {
+    const AlarmSpec& s = specs_[i];
+    RuleState& r = rules_[i];
+    const RingStore::Entry* e = resolve(store, s);
+    if (e == nullptr || e->ring.size() == 0) continue;  // no data: hold state
+
+    const double v = aggregate(s.agg, e->ring);
+    const bool raised = compare(s.op, v, s.threshold);
+    // Hysteresis: once firing, the alarm only starts clearing when the
+    // value retreats past clear_threshold, not merely below threshold.
+    const bool cleared = !compare(s.op, v, s.clear_threshold);
+
+    switch (r.state) {
+      case AlarmState::kOk:
+        if (raised) {
+          if (s.for_duration == 0) {
+            transition(i, now, AlarmState::kFiring, v);
+          } else {
+            r.state = AlarmState::kPending;
+            r.since = now;
+          }
+        }
+        break;
+      case AlarmState::kPending:
+        if (!raised) {
+          r.state = AlarmState::kOk;  // lapsed before `for` — no event
+        } else if (now - r.since >= s.for_duration) {
+          transition(i, now, AlarmState::kFiring, v);
+        }
+        break;
+      case AlarmState::kFiring:
+        if (cleared) {
+          if (s.for_duration == 0) {
+            transition(i, now, AlarmState::kOk, v);
+          } else {
+            r.state = AlarmState::kClearing;
+            r.since = now;
+          }
+        }
+        break;
+      case AlarmState::kClearing:
+        if (!cleared) {
+          // Re-raise while clearing: a flap. Swallow it instead of
+          // emitting a fresh firing event.
+          r.state = AlarmState::kFiring;
+          r.flaps += 1;
+        } else if (now - r.since >= s.for_duration) {
+          transition(i, now, AlarmState::kOk, v);
+        }
+        break;
+    }
+  }
+}
+
+std::uint64_t AlarmEngine::total_fires() const {
+  std::uint64_t n = 0;
+  for (const RuleState& r : rules_) n += r.fires;
+  return n;
+}
+
+}  // namespace umon::health

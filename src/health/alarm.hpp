@@ -1,0 +1,122 @@
+// umon::health — declarative alarm engine over the ring store.
+//
+// Operators express health invariants in a tiny grammar instead of code:
+//
+//   <series>[{label=value}] [<agg>] <op> <value>[<unit>]
+//       [for <dur><unit>] [clear <value>[<unit>]]
+//
+//   umon_collector_reports_lost_total rate > 0
+//   umon_health_freshness_ns{stage=analyzer_curve} last > 2ms for 1ms
+//   umon_collector_queue_depth_batches max > 192 for 5ms clear 64
+//
+// Rules are ';'-separated. `agg` folds the resident ring window into one
+// value: last (default), rate (alias of last — counters are already stored
+// as per-second rates), max, min, avg, p50, p90, p99. Thresholds and
+// durations accept ns/us/ms/s suffixes. Dots in series names normalize to
+// underscores, and a bare name also tries the `umon_` / `_total` spellings,
+// so `collector.reports_lost` resolves to
+// `umon_collector_reports_lost_total`.
+//
+// The state machine gives every rule hysteresis and flap suppression:
+//
+//   ok -> pending    condition first holds (instant when `for` is 0)
+//   pending -> ok    condition lapses before `for` elapsed (no event)
+//   pending -> firing condition held for >= `for`   [WARN logged]
+//   firing -> clearing value crosses the clear threshold (default: the
+//                     raise threshold)
+//   clearing -> firing condition re-raises before `for` elapsed — a flap,
+//                     suppressed (counted, no event)
+//   clearing -> ok    clear held for >= `for`        [INFO logged]
+//
+// Evaluation happens at sampler ticks against simulation time only; a rule
+// whose series has produced no points yet is "no data" and keeps its state.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "health/ring.hpp"
+
+namespace umon::health {
+
+enum class AlarmAgg { kLast, kRate, kMax, kMin, kAvg, kP50, kP90, kP99 };
+enum class AlarmOp { kGt, kGe, kLt, kLe, kEq, kNe };
+enum class AlarmState { kOk, kPending, kFiring, kClearing };
+
+[[nodiscard]] const char* to_string(AlarmAgg a);
+[[nodiscard]] const char* to_string(AlarmOp o);
+[[nodiscard]] const char* to_string(AlarmState s);
+
+struct AlarmSpec {
+  std::string text;     ///< original rule text (for logs and reports)
+  std::string series;   ///< normalized series name
+  std::string labels;   ///< flattened `k=v,...`; empty = first match
+  AlarmAgg agg = AlarmAgg::kLast;
+  AlarmOp op = AlarmOp::kGt;
+  double threshold = 0.0;
+  double clear_threshold = 0.0;  ///< hysteresis level (== threshold when
+                                 ///< the rule has no `clear` clause)
+  Nanos for_duration = 0;
+};
+
+/// Parse a ';'-separated rule list. Returns false and sets *error on the
+/// first malformed rule (specs parsed so far are kept).
+[[nodiscard]] bool parse_alarms(const std::string& text,
+                                std::vector<AlarmSpec>* out,
+                                std::string* error);
+
+/// One state transition observed by the engine.
+struct AlarmEvent {
+  Nanos t = 0;
+  std::size_t rule = 0;  ///< index into specs()
+  AlarmState from = AlarmState::kOk;
+  AlarmState to = AlarmState::kOk;
+  double value = 0.0;    ///< aggregated value that caused the transition
+};
+
+class AlarmEngine {
+ public:
+  explicit AlarmEngine(std::vector<AlarmSpec> specs);
+
+  /// Evaluate every rule against the store at simulation time `now`.
+  void evaluate(Nanos now, const RingStore& store);
+
+  [[nodiscard]] const std::vector<AlarmSpec>& specs() const { return specs_; }
+  [[nodiscard]] const std::vector<AlarmEvent>& events() const {
+    return events_;
+  }
+  [[nodiscard]] AlarmState state(std::size_t rule) const {
+    return rules_[rule].state;
+  }
+  /// Times the rule transitioned into kFiring over the run.
+  [[nodiscard]] std::uint64_t fire_count(std::size_t rule) const {
+    return rules_[rule].fires;
+  }
+  /// Re-raises swallowed while clearing (flap suppression effectiveness).
+  [[nodiscard]] std::uint64_t flaps_suppressed(std::size_t rule) const {
+    return rules_[rule].flaps;
+  }
+  /// Total kFiring transitions across all rules.
+  [[nodiscard]] std::uint64_t total_fires() const;
+  /// True when no rule ever fired (the run's health verdict).
+  [[nodiscard]] bool healthy() const { return total_fires() == 0; }
+
+ private:
+  struct RuleState {
+    AlarmState state = AlarmState::kOk;
+    Nanos since = 0;  ///< entry time of the current pending/clearing span
+    std::uint64_t fires = 0;
+    std::uint64_t flaps = 0;
+  };
+
+  void transition(std::size_t i, Nanos now, AlarmState to, double value);
+
+  std::vector<AlarmSpec> specs_;
+  std::vector<RuleState> rules_;
+  std::vector<AlarmEvent> events_;
+};
+
+}  // namespace umon::health

@@ -1,0 +1,66 @@
+#include "health/fidelity.hpp"
+
+#include "analyzer/analyzer.hpp"
+#include "analyzer/metrics.hpp"
+
+namespace umon::health {
+
+void FidelityProbe::observe(const FlowKey& flow, Nanos t,
+                            std::uint32_t bytes) {
+  if (!selects(flow)) return;
+  const std::uint64_t key = flow.packed();
+  auto it = truth_.find(key);
+  if (it == truth_.end()) {
+    if (truth_.size() >= cfg_.max_flows) return;
+    it = truth_.emplace(key, Truth{flow, {}}).first;
+  }
+  it->second.bytes[window_of(t, cfg_.window_shift)] +=
+      static_cast<double>(bytes);
+  observed_ += 1;
+}
+
+FidelityProbe::Result FidelityProbe::evaluate(
+    const analyzer::Analyzer& az) const {
+  Result out;
+  for (const auto& [key, truth] : truth_) {
+    if (truth.bytes.empty()) continue;
+    const WindowId w0 = truth.bytes.begin()->first;
+    const WindowId w1 = truth.bytes.rbegin()->first;  // inclusive
+    const std::size_t span = static_cast<std::size_t>(w1 - w0) + 1;
+
+    std::vector<double> exact(span, 0.0);
+    for (const auto& [w, b] : truth.bytes) {
+      exact[static_cast<std::size_t>(w - w0)] = b;
+    }
+    const analyzer::RateCurve est = az.query_rate(truth.flow);
+    std::vector<double> approx(span, 0.0);
+    for (std::size_t i = 0; i < span; ++i) {
+      approx[i] = est.bytes_at(w0 + static_cast<WindowId>(i));
+    }
+
+    FlowScore score;
+    score.flow = truth.flow;
+    score.windows = span;
+    score.are = analyzer::average_relative_error(exact, approx);
+    double err2 = 0.0;
+    double ref2 = 0.0;
+    for (std::size_t i = 0; i < span; ++i) {
+      const double d = approx[i] - exact[i];
+      err2 += d * d;
+      ref2 += exact[i] * exact[i];
+    }
+    score.nmse = ref2 > 0.0 ? err2 / ref2 : 0.0;
+
+    out.are += score.are;
+    out.nmse += score.nmse;
+    out.per_flow.push_back(score);
+  }
+  out.flows = out.per_flow.size();
+  if (out.flows > 0) {
+    out.are /= static_cast<double>(out.flows);
+    out.nmse /= static_cast<double>(out.flows);
+  }
+  return out;
+}
+
+}  // namespace umon::health

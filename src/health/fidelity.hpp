@@ -1,0 +1,90 @@
+// umon::health — live reconstruction-fidelity probe.
+//
+// WaveSketch's accuracy is normally only measurable offline, against a
+// ground-truth trace. The probe makes a live estimate cheap: it keeps the
+// *exact* per-window byte curve for a small deterministic sample of flows
+// (selected by flow-key hash, so every run and every replica picks the same
+// flows without coordination) and periodically compares the analyzer's
+// reconstructed curves against them, publishing ARE and NMSE as health
+// series. A drift in probe ARE is the earliest observable signal that the
+// sketch configuration no longer fits the traffic.
+//
+// observe() sits on the host TX hook and must stay cheap for non-sampled
+// flows: one hash, one modulo, one branch.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace umon::analyzer {
+class Analyzer;
+}
+
+namespace umon::health {
+
+class FidelityProbe {
+ public:
+  struct Config {
+    /// A flow is probed when hash(flow) % sample_mod == 0. 1 probes every
+    /// flow (tests); 16 samples ~6% of flows.
+    std::uint64_t sample_mod = 16;
+    /// Hard cap on tracked flows so truth storage stays bounded even under
+    /// adversarial flow churn. First-seen order wins (deterministic in the
+    /// simulator: the TX hook runs on the simulation thread in time order).
+    std::size_t max_flows = 32;
+    int window_shift = kDefaultWindowShift;
+  };
+
+  FidelityProbe() = default;
+  explicit FidelityProbe(const Config& cfg) : cfg_(cfg) {
+    if (cfg_.sample_mod == 0) cfg_.sample_mod = 1;
+  }
+
+  /// True when the deterministic sampler selects this flow.
+  [[nodiscard]] bool selects(const FlowKey& flow) const {
+    return std::hash<FlowKey>{}(flow) % cfg_.sample_mod == 0;
+  }
+
+  /// Accumulate exact ground truth for sampled flows. Called per packet.
+  void observe(const FlowKey& flow, Nanos t, std::uint32_t bytes);
+
+  struct FlowScore {
+    FlowKey flow;
+    double are = 0.0;
+    double nmse = 0.0;
+    std::size_t windows = 0;  ///< truth-curve span compared
+  };
+  struct Result {
+    double are = 0.0;   ///< mean ARE across evaluated flows
+    double nmse = 0.0;  ///< mean NMSE across evaluated flows
+    std::size_t flows = 0;
+    std::vector<FlowScore> per_flow;  ///< deterministic (packed-key) order
+  };
+
+  /// Compare each probed flow's exact curve against the analyzer's
+  /// reconstruction. Flows the analyzer has not produced a curve for yet
+  /// score against an all-zero estimate (maximal error), which is exactly
+  /// the staleness signal the probe exists to surface.
+  [[nodiscard]] Result evaluate(const analyzer::Analyzer& az) const;
+
+  [[nodiscard]] std::size_t probed_flows() const { return truth_.size(); }
+  [[nodiscard]] std::uint64_t packets_observed() const { return observed_; }
+
+ private:
+  struct Truth {
+    FlowKey flow;
+    std::map<WindowId, double> bytes;  ///< exact bytes per window
+  };
+
+  Config cfg_;
+  /// Keyed by FlowKey::packed() so iteration (and thus Result::per_flow
+  /// order and any derived output) is deterministic.
+  std::map<std::uint64_t, Truth> truth_;
+  std::uint64_t observed_ = 0;
+};
+
+}  // namespace umon::health

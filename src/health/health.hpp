@@ -1,0 +1,110 @@
+// umon::health — the facade tying the subsystem together.
+//
+// A HealthMonitor owns the ring store, the sampler, the end-to-end freshness
+// watermarks, the fidelity probe, and the alarm engine, and exposes one
+// tick(now) the driver calls on its sampling cadence (simulation time; the
+// monitor never reads a clock, so two runs with the same seed produce
+// byte-identical exports). Each tick:
+//
+//   1. publishes watermark positions / freshness lags / inter-stage backlog
+//      into the monitor's private registry,
+//   2. samples every attached registry into the ring store (rates for
+//      counters, levels for gauges),
+//   3. evaluates the fidelity probe against the analyzer and records live
+//      ARE / NMSE series,
+//   4. evaluates alarm rules over the freshly sampled rings.
+//
+// Exporters: write_jsonl emits the machine-readable "umon-health-v1" stream
+// (header, series, watermarks, alarm events, verdict — one JSON object per
+// line); write_html renders a self-contained dashboard with inline SVG
+// sparklines, watermark lanes, and the alarm table. No external assets.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "health/alarm.hpp"
+#include "health/fidelity.hpp"
+#include "health/ring.hpp"
+#include "health/sampler.hpp"
+#include "health/watermark.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace umon::analyzer {
+class Analyzer;
+}
+
+namespace umon::health {
+
+struct HealthConfig {
+  /// Sampling cadence the driver promises to call tick() at. Recorded in
+  /// the export header; the monitor itself accepts any tick spacing.
+  Nanos interval = 500 * kMicro;
+  /// Resident points per series (the round-robin window).
+  std::size_t ring_capacity = 4096;
+  /// ';'-separated alarm rules; empty selects default_alarms().
+  std::string alarms;
+  bool enable_probe = true;
+  FidelityProbe::Config probe;
+};
+
+class HealthMonitor {
+ public:
+  explicit HealthMonitor(const HealthConfig& cfg = {});
+  HealthMonitor(const HealthMonitor&) = delete;
+  HealthMonitor& operator=(const HealthMonitor&) = delete;
+
+  /// Loss-oriented invariants that hold on any healthy run: report loss,
+  /// report/batch shedding, and trace-span drops all stay at zero rate.
+  [[nodiscard]] static std::string default_alarms();
+
+  /// Non-empty when the configured alarm rules failed to parse (the monitor
+  /// then runs with the rules that parsed before the error).
+  [[nodiscard]] const std::string& alarm_parse_error() const {
+    return alarm_error_;
+  }
+
+  /// Registries to sample each tick, walked in add order.
+  void add_registry(const telemetry::MetricRegistry* reg) {
+    sampler_.add_registry(reg);
+  }
+  /// Analyzer the fidelity probe scores against (optional).
+  void set_analyzer(const analyzer::Analyzer* az) { analyzer_ = az; }
+
+  [[nodiscard]] Watermarks& watermarks() { return marks_; }
+  [[nodiscard]] const Watermarks& watermarks() const { return marks_; }
+  [[nodiscard]] FidelityProbe& probe() { return probe_; }
+
+  /// Establish counter baselines at simulation time t0 (optional; the first
+  /// tick() auto-primes).
+  void prime(Nanos t0);
+  void tick(Nanos now);
+
+  [[nodiscard]] const RingStore& store() const { return store_; }
+  [[nodiscard]] const AlarmEngine& alarms() const { return engine_; }
+  [[nodiscard]] bool healthy() const { return engine_.healthy(); }
+  [[nodiscard]] std::uint64_t ticks() const { return sampler_.ticks(); }
+  [[nodiscard]] Nanos last_tick() const { return last_tick_; }
+
+  void write_jsonl(std::ostream& os) const;
+  void write_html(std::ostream& os) const;
+
+ private:
+  void publish_watermarks(Nanos now);
+
+  HealthConfig cfg_;
+  telemetry::MetricRegistry self_;  ///< watermark/freshness/backlog gauges
+  RingStore store_;
+  Sampler sampler_;
+  Watermarks marks_;
+  FidelityProbe probe_;
+  std::string alarm_error_;  ///< declared before engine_: its parse target
+  AlarmEngine engine_;
+  const analyzer::Analyzer* analyzer_ = nullptr;
+  Nanos last_tick_ = 0;
+};
+
+}  // namespace umon::health

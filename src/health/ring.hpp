@@ -1,0 +1,175 @@
+// umon::health — round-robin time-series storage (the netdata model).
+//
+// Every health sample lands in a fixed-capacity ring keyed by series name +
+// flattened labels: memory is bounded for arbitrarily long runs, the newest
+// window of history is always resident, and a snapshot walks oldest-first so
+// exporters and the alarm engine see a coherent time axis. Timestamps are
+// *simulation* nanoseconds supplied by the driver — nothing in this layer
+// reads a wall clock, which is what makes health output reproducible
+// byte-for-byte under a fixed seed.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace umon::health {
+
+/// One bounded series: (sim time, value) points, oldest overwritten first.
+class SeriesRing {
+ public:
+  explicit SeriesRing(std::size_t capacity)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  void push(Nanos t, double v) {
+    if (points_.size() < capacity_) {
+      points_.push_back({t, v});
+    } else {
+      points_[total_ % capacity_] = {t, v};
+    }
+    total_ += 1;
+  }
+
+  /// Resident points, oldest first.
+  [[nodiscard]] std::vector<std::pair<Nanos, double>> snapshot() const {
+    if (total_ <= points_.size()) return points_;
+    std::vector<std::pair<Nanos, double>> out;
+    out.reserve(points_.size());
+    const std::size_t head = total_ % capacity_;
+    out.insert(out.end(),
+               points_.begin() + static_cast<std::ptrdiff_t>(head),
+               points_.end());
+    out.insert(out.end(), points_.begin(),
+               points_.begin() + static_cast<std::ptrdiff_t>(head));
+    return out;
+  }
+
+  [[nodiscard]] std::size_t size() const { return points_.size(); }
+  [[nodiscard]] std::uint64_t total_pushed() const { return total_; }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+  [[nodiscard]] double last() const {
+    if (points_.empty()) return 0.0;
+    if (total_ <= points_.size()) return points_.back().second;
+    return points_[(total_ - 1) % capacity_].second;
+  }
+
+  [[nodiscard]] double max() const {
+    double m = 0.0;
+    bool first = true;
+    for (const auto& [t, v] : points_) {
+      if (first || v > m) m = v;
+      first = false;
+    }
+    return m;
+  }
+
+  [[nodiscard]] double min() const {
+    double m = 0.0;
+    bool first = true;
+    for (const auto& [t, v] : points_) {
+      if (first || v < m) m = v;
+      first = false;
+    }
+    return m;
+  }
+
+  [[nodiscard]] double avg() const {
+    if (points_.empty()) return 0.0;
+    double sum = 0.0;
+    for (const auto& [t, v] : points_) sum += v;
+    return sum / static_cast<double>(points_.size());
+  }
+
+  /// Nearest-rank percentile over resident points (q in [0, 1]).
+  [[nodiscard]] double percentile(double q) const {
+    if (points_.empty()) return 0.0;
+    std::vector<double> vals;
+    vals.reserve(points_.size());
+    for (const auto& [t, v] : points_) vals.push_back(v);
+    std::sort(vals.begin(), vals.end());
+    const double rank = q * static_cast<double>(vals.size() - 1);
+    std::size_t i = static_cast<std::size_t>(rank);
+    if (i >= vals.size() - 1) return vals.back();
+    const double frac = rank - static_cast<double>(i);
+    return vals[i] * (1.0 - frac) + vals[i + 1] * frac;
+  }
+
+ private:
+  std::size_t capacity_;
+  std::vector<std::pair<Nanos, double>> points_;
+  std::uint64_t total_ = 0;  ///< points ever pushed
+};
+
+/// How the stored points relate to the source instrument.
+enum class SeriesKind {
+  kGauge,  ///< instantaneous level sampled as-is
+  kRate,   ///< per-second rate derived from a monotonic counter delta
+};
+
+[[nodiscard]] inline const char* to_string(SeriesKind k) {
+  return k == SeriesKind::kRate ? "rate" : "gauge";
+}
+
+/// The ring store: one SeriesRing per (name, flattened labels). std::map
+/// keys keep iteration order deterministic for exporters.
+class RingStore {
+ public:
+  struct Key {
+    std::string name;
+    std::string labels;  ///< flattened `k=v,k=v` (empty when unlabeled)
+    auto operator<=>(const Key&) const = default;
+  };
+
+  struct Entry {
+    SeriesKind kind = SeriesKind::kGauge;
+    double last_raw = 0.0;  ///< last raw instrument value (pre-derivation)
+    SeriesRing ring;
+    explicit Entry(SeriesKind k, std::size_t capacity)
+        : kind(k), ring(capacity) {}
+  };
+
+  explicit RingStore(std::size_t capacity_per_series)
+      : capacity_(capacity_per_series) {}
+
+  Entry& series(const std::string& name, const std::string& labels,
+                SeriesKind kind) {
+    auto it = series_.find(Key{name, labels});
+    if (it == series_.end()) {
+      it = series_
+               .emplace(Key{name, labels}, Entry(kind, capacity_))
+               .first;
+    }
+    return it->second;
+  }
+
+  [[nodiscard]] const Entry* find(const std::string& name,
+                                  const std::string& labels = {}) const {
+    auto it = series_.find(Key{name, labels});
+    return it == series_.end() ? nullptr : &it->second;
+  }
+
+  /// First series whose name matches exactly, any labels (alarm rules that
+  /// name a labeled family without qualifying the labels bind to this).
+  [[nodiscard]] const Entry* find_any_labels(const std::string& name) const {
+    auto it = series_.lower_bound(Key{name, ""});
+    if (it == series_.end() || it->first.name != name) return nullptr;
+    return &it->second;
+  }
+
+  [[nodiscard]] const std::map<Key, Entry>& all() const { return series_; }
+  [[nodiscard]] std::size_t series_count() const { return series_.size(); }
+  [[nodiscard]] std::size_t capacity_per_series() const { return capacity_; }
+
+ private:
+  std::size_t capacity_;
+  std::map<Key, Entry> series_;
+};
+
+}  // namespace umon::health

@@ -1,0 +1,84 @@
+#include "health/sampler.hpp"
+
+#include "telemetry/export.hpp"
+
+namespace umon::health {
+namespace {
+
+std::string flatten_labels(const telemetry::Labels& labels) {
+  std::string out;
+  for (const auto& [k, v] : labels) {
+    if (!out.empty()) out.push_back(',');
+    out.append(k);
+    out.push_back('=');
+    out.append(v);
+  }
+  return out;
+}
+
+}  // namespace
+
+void Sampler::prime(Nanos t0) {
+  walk(t0, 0.0, /*emit=*/false);
+  last_tick_ = t0;
+  primed_ = true;
+}
+
+void Sampler::tick(Nanos now) {
+  if (!primed_) {
+    prime(now);
+    return;
+  }
+  const Nanos dt = now - last_tick_;
+  const double dt_seconds =
+      dt > 0 ? static_cast<double>(dt) / static_cast<double>(kSecond) : 0.0;
+  walk(now, dt_seconds, /*emit=*/true);
+  last_tick_ = now;
+  ticks_ += 1;
+}
+
+void Sampler::walk(Nanos now, double dt_seconds, bool emit) {
+  const auto samples = telemetry::merged_snapshot(registries_);
+  auto record = [&](const std::string& name, const std::string& labels,
+                    SeriesKind kind, double raw, double point) {
+    RingStore::Entry& e = store_.series(name, labels, kind);
+    e.last_raw = raw;
+    if (emit) e.ring.push(now, point);
+  };
+  for (const auto& s : samples) {
+    const std::string labels = flatten_labels(s.labels);
+    switch (s.kind) {
+      case telemetry::MetricRegistry::Kind::kCounter: {
+        Baseline& base = prev_[RingStore::Key{s.name, labels}];
+        const double value = static_cast<double>(s.counter_value);
+        const double delta = value - base.counter_value;
+        record(s.name, labels, SeriesKind::kRate, value,
+               dt_seconds > 0 ? delta / dt_seconds : 0.0);
+        base.counter_value = value;
+        break;
+      }
+      case telemetry::MetricRegistry::Kind::kGauge: {
+        const double value = static_cast<double>(s.gauge_value);
+        record(s.name, labels, SeriesKind::kGauge, value, value);
+        break;
+      }
+      case telemetry::MetricRegistry::Kind::kHistogram: {
+        Baseline& base = prev_[RingStore::Key{s.name, labels}];
+        const double dcount = static_cast<double>(s.hist_count) -
+                              static_cast<double>(base.hist_count);
+        const double dsum = s.hist_sum - base.hist_sum;
+        record(s.name + "_count", labels, SeriesKind::kRate,
+               static_cast<double>(s.hist_count),
+               dt_seconds > 0 ? dcount / dt_seconds : 0.0);
+        record(s.name + "_interval_mean", labels, SeriesKind::kGauge,
+               dcount > 0 ? dsum / dcount : 0.0,
+               dcount > 0 ? dsum / dcount : 0.0);
+        base.hist_count = s.hist_count;
+        base.hist_sum = s.hist_sum;
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace umon::health

@@ -1,0 +1,68 @@
+// umon::health — the periodic snapshot engine.
+//
+// At every tick the sampler walks a set of MetricRegistry instances (the
+// process-global one, the collector's private one, the health monitor's
+// own) and appends one point per instrument to the RingStore:
+//
+//   counter    -> a per-second *rate* derived from the delta since the last
+//                 tick (netdata's round-robin-database model: operators read
+//                 "reports lost per second right now", not a lifetime total;
+//                 the raw cumulative value stays available as last_raw)
+//   gauge      -> the level, sampled as-is
+//   histogram  -> `<name>_count` observation rate plus `<name>_interval_mean`
+//                 (mean observed value across this interval, 0 when idle)
+//
+// Ticks are driven by the caller with *simulation* time; the sampler never
+// reads a clock. prime() records counter baselines without emitting points
+// so the first real tick reports rates over a well-defined interval even
+// when the process-global registry carries counts from earlier runs.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/types.hpp"
+#include "health/ring.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace umon::health {
+
+class Sampler {
+ public:
+  explicit Sampler(RingStore& store) : store_(store) {}
+
+  /// Registries are walked in add order; nullptr entries are skipped.
+  void add_registry(const telemetry::MetricRegistry* reg) {
+    if (reg != nullptr) registries_.push_back(reg);
+  }
+
+  /// Record counter/histogram baselines at `t0` without emitting points.
+  void prime(Nanos t0);
+
+  /// Append one point per live series at simulation time `now`. Auto-primes
+  /// on the first call if prime() was never invoked (that tick then only
+  /// establishes baselines and gauge levels).
+  void tick(Nanos now);
+
+  [[nodiscard]] bool primed() const { return primed_; }
+  [[nodiscard]] std::uint64_t ticks() const { return ticks_; }
+
+ private:
+  struct Baseline {
+    double counter_value = 0.0;
+    std::uint64_t hist_count = 0;
+    double hist_sum = 0.0;
+  };
+
+  void walk(Nanos now, double dt_seconds, bool emit);
+
+  RingStore& store_;
+  std::vector<const telemetry::MetricRegistry*> registries_;
+  std::map<RingStore::Key, Baseline> prev_;
+  Nanos last_tick_ = 0;
+  bool primed_ = false;
+  std::uint64_t ticks_ = 0;
+};
+
+}  // namespace umon::health

@@ -579,10 +579,12 @@ void Network::finish() {
   for (auto& node : nodes_) {
     for (Port& p : node->ports) p.queue.finish(now);
   }
-  flush_telemetry();
+  flush_telemetry(/*include_peaks=*/true);
 }
 
-void Network::flush_telemetry() {
+void Network::settle_telemetry() { flush_telemetry(/*include_peaks=*/false); }
+
+void Network::flush_telemetry(bool include_peaks) {
   // All netsim counting happens on plain single-threaded members in the sim
   // hot path; this settles the run's totals into the process-wide registry
   // in one pass (idempotent via delta tracking, so finish() stays safe to
@@ -632,12 +634,14 @@ void Network::flush_telemetry() {
       drops += p.queue.drops();
       marks += p.queue.ce_marks();
       episodes += p.queue.episodes().size();
-      if (!node->is_host && !flushed_.peaks_done) {
+      if (include_peaks && !node->is_host && !flushed_.peaks_done) {
         ins.peak_queue->observe(static_cast<double>(p.queue.peak_bytes()));
       }
     }
   }
-  flushed_.peaks_done = true;
+  // Peak histograms are one-shot per run: a mid-run settle must not record
+  // a not-yet-final peak, so only finish() commits them.
+  if (include_peaks) flushed_.peaks_done = true;
   // Deltas vs. the last flush of *this* network instance; the registry
   // aggregates across instances (it is a process-lifetime monotonic view).
   ins.events->inc(engine_.events_processed() - flushed_.events);

@@ -181,6 +181,12 @@ class Network {
   /// (events processed, drops, CE marks, PFC pauses, queue occupancy).
   void finish();
 
+  /// Mid-run telemetry settle for continuous monitoring: pushes the deltas
+  /// of this run's umon_netsim_* counters into the global registry without
+  /// finalizing the run (one-shot peak histograms are deferred to finish()).
+  /// Call between run_until() steps; idempotent like finish().
+  void settle_telemetry();
+
  private:
   struct Port;
   struct Node;
@@ -196,7 +202,7 @@ class Network {
   void arm_rto(FlowSender& fs);
   void sample_queues();
   void pfc_check(Node& node);
-  void flush_telemetry();
+  void flush_telemetry(bool include_peaks);
 
   NetworkConfig cfg_;
   Engine engine_;

@@ -31,6 +31,11 @@ void TraceRecorder::enable(std::size_t capacity) {
   ring_.clear();
   ring_.reserve(capacity_);
   total_ = 0;
+  if (dropped_counter_ == nullptr) {
+    dropped_counter_ = MetricRegistry::global().counter(
+        "umon_telemetry_trace_dropped_spans_total", {},
+        "Trace spans overwritten by the bounded ring (oldest-first)");
+  }
   enabled_.store(true, std::memory_order_relaxed);
 }
 
@@ -45,7 +50,11 @@ void TraceRecorder::record(SpanEvent ev) {
   if (ring_.size() < capacity_) {
     ring_.push_back(ev);
   } else {
+    // The ring wraps silently from the caller's perspective; make the loss
+    // first-class so a too-small ring shows up in the end-of-run summary
+    // instead of as a mysteriously truncated trace.
     ring_[total_ % capacity_] = ev;
+    if (dropped_counter_ != nullptr) dropped_counter_->inc();
   }
   total_ += 1;
 }

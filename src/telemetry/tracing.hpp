@@ -66,6 +66,10 @@ class TraceRecorder {
   std::vector<SpanEvent> ring_;
   std::size_t capacity_ = 0;
   std::uint64_t total_ = 0;  ///< events ever recorded since enable()
+  /// Global-registry counter (umon_telemetry_trace_dropped_spans_total)
+  /// mirroring ring overwrites; bound lazily on first enable() so merely
+  /// linking the library never registers the series.
+  Counter* dropped_counter_ = nullptr;
 };
 
 /// RAII span: records a complete ('X') event on scope exit. No-op (one

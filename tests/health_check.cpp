@@ -1,0 +1,207 @@
+// umon_health_check: validate a umon-health-v1 JSONL dump.
+//
+//   umon_health_check FILE [--expect-alarm] [--expect-healthy]
+//                     [--require-series NAME]... [--min-ticks N]
+//
+// Exit 0 iff the file is well-formed: a header line first (format
+// umon-health-v1), every line a one-object JSON record with a known type
+// (header, watermark, series, alarm, verdict), all four watermark stages
+// present, series points in non-decreasing time order, and exactly one
+// verdict line, last. --expect-alarm additionally requires at least one
+// firing transition; --expect-healthy the opposite; --require-series that a
+// series with that exact name exists; --min-ticks a minimum sample count.
+// CI runs it over umon_sim --health-out, the health analogue of
+// umon_prom_check.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace {
+
+int g_errors = 0;
+
+void error(std::size_t line_no, const char* what, const std::string& detail) {
+  std::fprintf(stderr, "line %zu: %s%s%s\n", line_no, what,
+               detail.empty() ? "" : ": ", detail.c_str());
+  ++g_errors;
+}
+
+/// Extract the string value of `"key":"..."` (no unescaping; health names
+/// never contain escapes). Empty when absent.
+std::string string_field(const std::string& line, const char* key) {
+  const std::string needle = std::string("\"") + key + "\":\"";
+  const std::size_t at = line.find(needle);
+  if (at == std::string::npos) return {};
+  const std::size_t start = at + needle.size();
+  const std::size_t end = line.find('"', start);
+  if (end == std::string::npos) return {};
+  return line.substr(start, end - start);
+}
+
+/// Extract the numeric value of `"key":123`. Returns false when absent.
+bool number_field(const std::string& line, const char* key, double* out) {
+  const std::string needle = std::string("\"") + key + "\":";
+  const std::size_t at = line.find(needle);
+  if (at == std::string::npos) return false;
+  const char* s = line.c_str() + at + needle.size();
+  char* end = nullptr;
+  *out = std::strtod(s, &end);
+  return end != s;
+}
+
+/// Check `"points":[[t,v],...]` timestamps are non-decreasing.
+bool points_monotone(const std::string& line) {
+  const std::size_t at = line.find("\"points\":[");
+  if (at == std::string::npos) return false;
+  const char* s = line.c_str() + at + std::strlen("\"points\":[");
+  double prev_t = 0;
+  bool first = true;
+  while (*s == '[') {
+    char* end = nullptr;
+    const double t = std::strtod(s + 1, &end);
+    if (end == s + 1) return false;
+    if (!first && t < prev_t) return false;
+    prev_t = t;
+    first = false;
+    s = std::strchr(end, ']');
+    if (s == nullptr) return false;
+    ++s;
+    if (*s == ',') ++s;
+  }
+  return *s == ']';
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: umon_health_check FILE [--expect-alarm] "
+                 "[--expect-healthy] [--require-series NAME]... "
+                 "[--min-ticks N]\n");
+    return 2;
+  }
+  bool expect_alarm = false;
+  bool expect_healthy = false;
+  long min_ticks = 1;
+  std::vector<std::string> required_series;
+  for (int i = 2; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--expect-alarm") == 0) {
+      expect_alarm = true;
+    } else if (std::strcmp(argv[i], "--expect-healthy") == 0) {
+      expect_healthy = true;
+    } else if (std::strcmp(argv[i], "--require-series") == 0 &&
+               i + 1 < argc) {
+      required_series.emplace_back(argv[++i]);
+    } else if (std::strcmp(argv[i], "--min-ticks") == 0 && i + 1 < argc) {
+      min_ticks = std::atol(argv[++i]);
+    } else {
+      std::fprintf(stderr, "unknown argument '%s'\n", argv[i]);
+      return 2;
+    }
+  }
+  std::ifstream in(argv[1]);
+  if (!in) {
+    std::fprintf(stderr, "cannot read %s\n", argv[1]);
+    return 2;
+  }
+
+  std::set<std::string> stages_seen;
+  std::set<std::string> series_seen;
+  std::size_t line_no = 0, verdicts = 0, firings = 0;
+  bool verdict_healthy = false;
+  bool verdict_last = false;
+  double ticks = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) {
+      error(line_no, "empty line", {});
+      continue;
+    }
+    if (line.front() != '{' || line.back() != '}') {
+      error(line_no, "not a one-line JSON object", line.substr(0, 60));
+      continue;
+    }
+    const std::string type = string_field(line, "type");
+    verdict_last = false;
+    if (type == "header") {
+      if (line_no != 1) error(line_no, "header not first", {});
+      if (string_field(line, "format") != "umon-health-v1") {
+        error(line_no, "bad format tag", string_field(line, "format"));
+      }
+      if (!number_field(line, "ticks", &ticks)) {
+        error(line_no, "header missing ticks", {});
+      }
+    } else if (type == "watermark") {
+      const std::string stage = string_field(line, "stage");
+      if (stage.empty()) error(line_no, "watermark missing stage", {});
+      stages_seen.insert(stage);
+      double hi = 0;
+      if (!number_field(line, "high_ns", &hi)) {
+        error(line_no, "watermark missing high_ns", {});
+      }
+    } else if (type == "series") {
+      const std::string name = string_field(line, "name");
+      if (name.empty()) error(line_no, "series missing name", {});
+      series_seen.insert(name);
+      const std::string kind = string_field(line, "kind");
+      if (kind != "rate" && kind != "gauge") {
+        error(line_no, "series kind not rate|gauge", kind);
+      }
+      if (!points_monotone(line)) {
+        error(line_no, "series points malformed or time went backwards",
+              name);
+      }
+    } else if (type == "alarm") {
+      if (string_field(line, "to") == "firing") ++firings;
+    } else if (type == "verdict") {
+      ++verdicts;
+      verdict_last = true;
+      verdict_healthy = line.find("\"healthy\":true") != std::string::npos;
+    } else {
+      error(line_no, "unknown record type", type);
+    }
+  }
+
+  if (line_no == 0) error(0, "empty file", {});
+  if (verdicts != 1) error(line_no, "expected exactly one verdict line", {});
+  if (verdicts == 1 && !verdict_last) {
+    error(line_no, "verdict is not the last line", {});
+  }
+  for (const char* stage : {"packet_event", "sketch_seal", "collector_decode",
+                            "analyzer_curve"}) {
+    if (stages_seen.count(stage) == 0) {
+      error(line_no, "missing watermark stage", stage);
+    }
+  }
+  for (const std::string& name : required_series) {
+    if (series_seen.count(name) == 0) {
+      error(line_no, "missing required series", name);
+    }
+  }
+  if (ticks < static_cast<double>(min_ticks)) {
+    error(line_no, "fewer ticks than --min-ticks", std::to_string(ticks));
+  }
+  if (expect_alarm && firings == 0) {
+    error(line_no, "--expect-alarm but no firing transition", {});
+  }
+  if (expect_alarm && verdict_healthy) {
+    error(line_no, "--expect-alarm but verdict says healthy", {});
+  }
+  if (expect_healthy && !verdict_healthy) {
+    error(line_no, "--expect-healthy but verdict says unhealthy", {});
+  }
+
+  if (g_errors > 0) {
+    std::fprintf(stderr, "%d error(s) in %s\n", g_errors, argv[1]);
+    return 1;
+  }
+  std::printf("%s: %zu lines, %zu series, %zu firings OK\n", argv[1], line_no,
+              series_seen.size(), firings);
+  return 0;
+}

@@ -1,0 +1,424 @@
+// umon::health unit tests: ring store, sampler rate derivation and
+// determinism, alarm grammar + state machine (hysteresis, for-duration
+// boundary, flap suppression), watermark monotonicity under out-of-order
+// collector input, the fidelity probe, and the trace-drop counter.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analyzer/analyzer.hpp"
+#include "collector/collector.hpp"
+#include "collector/uplink.hpp"
+#include "health/alarm.hpp"
+#include "health/fidelity.hpp"
+#include "health/health.hpp"
+#include "health/ring.hpp"
+#include "health/sampler.hpp"
+#include "health/watermark.hpp"
+#include "sketch/wavesketch_full.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/tracing.hpp"
+
+namespace umon::health {
+namespace {
+
+// --- ring store -------------------------------------------------------------
+
+TEST(HealthRing, OverwritesOldestAndSnapshotsInOrder) {
+  SeriesRing ring(4);
+  for (int i = 0; i < 6; ++i) {
+    ring.push(i * 100, static_cast<double>(i));
+  }
+  EXPECT_EQ(ring.size(), 4u);
+  EXPECT_EQ(ring.total_pushed(), 6u);
+  const auto snap = ring.snapshot();
+  ASSERT_EQ(snap.size(), 4u);
+  EXPECT_EQ(snap.front().second, 2.0);  // oldest surviving
+  EXPECT_EQ(snap.back().second, 5.0);
+  EXPECT_EQ(ring.last(), 5.0);
+  EXPECT_EQ(ring.max(), 5.0);
+  EXPECT_EQ(ring.min(), 2.0);
+}
+
+TEST(HealthRing, StoreKeysAreDeterministicAndFindable) {
+  RingStore store(8);
+  store.series("b", "", SeriesKind::kGauge).ring.push(0, 1);
+  store.series("a", "x=1", SeriesKind::kRate).ring.push(0, 2);
+  store.series("a", "x=2", SeriesKind::kRate).ring.push(0, 3);
+  EXPECT_EQ(store.series_count(), 3u);
+  EXPECT_NE(store.find("a", "x=2"), nullptr);
+  EXPECT_EQ(store.find("a", "x=3"), nullptr);
+  const auto* any = store.find_any_labels("a");
+  ASSERT_NE(any, nullptr);
+  EXPECT_EQ(any->ring.last(), 2.0);  // lowest label key wins: deterministic
+}
+
+// --- sampler ----------------------------------------------------------------
+
+TEST(HealthSampler, DerivesRatesFromCounterDeltas) {
+  telemetry::MetricRegistry reg;
+  auto* c = reg.counter("umon_test_bytes_total", {}, "test");
+  auto* g = reg.gauge("umon_test_depth", {}, "test");
+
+  RingStore store(16);
+  Sampler s(store);
+  s.add_registry(&reg);
+  s.prime(0);
+
+  c->inc(1000);
+  g->set(7);
+  s.tick(1 * kMilli);
+  c->inc(500);
+  s.tick(2 * kMilli);
+
+  const auto* rate = store.find("umon_test_bytes_total");
+  ASSERT_NE(rate, nullptr);
+  EXPECT_EQ(rate->kind, SeriesKind::kRate);
+  const auto pts = rate->ring.snapshot();
+  ASSERT_EQ(pts.size(), 2u);
+  EXPECT_DOUBLE_EQ(pts[0].second, 1000.0 / 1e-3);  // 1000 in 1 ms
+  EXPECT_DOUBLE_EQ(pts[1].second, 500.0 / 1e-3);
+  EXPECT_DOUBLE_EQ(rate->last_raw, 1500.0);  // raw cumulative preserved
+
+  const auto* depth = store.find("umon_test_depth");
+  ASSERT_NE(depth, nullptr);
+  EXPECT_EQ(depth->kind, SeriesKind::kGauge);
+  EXPECT_EQ(depth->ring.last(), 7.0);
+}
+
+TEST(HealthSampler, AutoPrimeSwallowsPreexistingCounts) {
+  telemetry::MetricRegistry reg;
+  auto* c = reg.counter("umon_test_total", {}, "test");
+  c->inc(1'000'000);  // counts from "before this monitor existed"
+
+  RingStore store(16);
+  Sampler s(store);
+  s.add_registry(&reg);
+  s.tick(1 * kMilli);  // auto-prime: baselines only, no points
+  EXPECT_TRUE(s.primed());
+  const auto* e = store.find("umon_test_total");
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->ring.size(), 0u);
+
+  c->inc(10);
+  s.tick(2 * kMilli);
+  EXPECT_DOUBLE_EQ(e->ring.last(), 10.0 / 1e-3);
+}
+
+// Same operation sequence => byte-identical JSONL (the S3 determinism
+// contract at the unit level; the ctest umon_sim comparison covers the
+// end-to-end version).
+TEST(HealthSampler, MonitorExportIsDeterministic) {
+  auto run_once = [] {
+    telemetry::MetricRegistry reg;
+    auto* c = reg.counter("umon_test_flow_total", {{"k", "v"}}, "test");
+    HealthConfig cfg;
+    cfg.interval = 1 * kMilli;
+    cfg.enable_probe = false;
+    HealthMonitor mon(cfg);
+    mon.add_registry(&reg);
+    mon.prime(0);
+    for (int i = 1; i <= 5; ++i) {
+      c->inc(static_cast<std::uint64_t>(i) * 37);
+      mon.watermarks().note(Stage::kPacketEvent, i * kMilli - 10);
+      mon.tick(i * kMilli);
+    }
+    std::ostringstream os;
+    mon.write_jsonl(os);
+    return os.str();
+  };
+  const std::string a = run_once();
+  const std::string b = run_once();
+  EXPECT_FALSE(a.empty());
+  EXPECT_EQ(a, b);
+}
+
+// --- alarm grammar ----------------------------------------------------------
+
+TEST(HealthAlarm, ParsesFullGrammar) {
+  std::vector<AlarmSpec> specs;
+  std::string err;
+  ASSERT_TRUE(parse_alarms(
+      "collector.reports_lost rate > 0; "
+      "umon_health_freshness_ns{stage=analyzer_curve} last > 2ms for 1ms "
+      "clear 500us;",
+      &specs, &err))
+      << err;
+  ASSERT_EQ(specs.size(), 2u);
+  EXPECT_EQ(specs[0].series, "collector_reports_lost");  // dots normalize
+  EXPECT_EQ(specs[0].agg, AlarmAgg::kRate);
+  EXPECT_EQ(specs[0].op, AlarmOp::kGt);
+  EXPECT_EQ(specs[0].threshold, 0.0);
+  EXPECT_EQ(specs[0].for_duration, 0);
+  EXPECT_EQ(specs[1].labels, "stage=analyzer_curve");
+  EXPECT_DOUBLE_EQ(specs[1].threshold, 2e6);  // 2ms in ns
+  EXPECT_EQ(specs[1].for_duration, 1 * kMilli);
+  EXPECT_DOUBLE_EQ(specs[1].clear_threshold, 5e5);
+}
+
+TEST(HealthAlarm, RejectsMalformedRules) {
+  std::vector<AlarmSpec> specs;
+  std::string err;
+  EXPECT_FALSE(parse_alarms("queue_depth >> 5", &specs, &err));
+  EXPECT_FALSE(err.empty());
+}
+
+TEST(HealthAlarm, DefaultRulesParse) {
+  std::vector<AlarmSpec> specs;
+  std::string err;
+  ASSERT_TRUE(parse_alarms(HealthMonitor::default_alarms(), &specs, &err))
+      << err;
+  EXPECT_GE(specs.size(), 4u);
+}
+
+// Bare names resolve through the umon_/_total spellings against the store.
+TEST(HealthAlarm, ResolvesPrometheusSpellings) {
+  RingStore store(8);
+  store.series("umon_collector_reports_lost_total", "", SeriesKind::kRate)
+      .ring.push(0, 42.0);
+  std::vector<AlarmSpec> specs;
+  std::string err;
+  ASSERT_TRUE(parse_alarms("collector.reports_lost rate > 0", &specs, &err));
+  AlarmEngine engine(std::move(specs));
+  engine.evaluate(0, store);
+  EXPECT_EQ(engine.state(0), AlarmState::kFiring);
+}
+
+// --- alarm state machine ----------------------------------------------------
+
+class AlarmMachineTest : public ::testing::Test {
+ protected:
+  void push(Nanos t, double v) {
+    store_.series("s", "", SeriesKind::kGauge).ring.push(t, v);
+  }
+  AlarmEngine make(const std::string& rule) {
+    std::vector<AlarmSpec> specs;
+    std::string err;
+    EXPECT_TRUE(parse_alarms(rule, &specs, &err)) << err;
+    return AlarmEngine(std::move(specs));
+  }
+  RingStore store_{64};
+};
+
+TEST_F(AlarmMachineTest, InstantRuleFiresAndClearsImmediately) {
+  AlarmEngine e = make("s last > 10");
+  push(0, 20);
+  e.evaluate(0, store_);
+  EXPECT_EQ(e.state(0), AlarmState::kFiring);
+  EXPECT_EQ(e.fire_count(0), 1u);
+  push(1 * kMilli, 0);
+  e.evaluate(1 * kMilli, store_);
+  EXPECT_EQ(e.state(0), AlarmState::kOk);
+  ASSERT_EQ(e.events().size(), 2u);
+  EXPECT_EQ(e.events()[1].to, AlarmState::kOk);
+  EXPECT_FALSE(e.healthy());
+}
+
+TEST_F(AlarmMachineTest, ForDurationBoundaryIsInclusive) {
+  AlarmEngine e = make("s last > 10 for 1ms");
+  push(0, 20);
+  e.evaluate(0, store_);
+  EXPECT_EQ(e.state(0), AlarmState::kPending);  // no event yet
+  EXPECT_TRUE(e.events().empty());
+  push(999'999, 20);
+  e.evaluate(999'999, store_);
+  EXPECT_EQ(e.state(0), AlarmState::kPending);  // 1ns short of the boundary
+  push(1'000'000, 20);
+  e.evaluate(1'000'000, store_);
+  EXPECT_EQ(e.state(0), AlarmState::kFiring);  // fires exactly at `for`
+  EXPECT_EQ(e.fire_count(0), 1u);
+}
+
+TEST_F(AlarmMachineTest, PendingLapseEmitsNothing) {
+  AlarmEngine e = make("s last > 10 for 1ms");
+  push(0, 20);
+  e.evaluate(0, store_);
+  push(500 * kMicro, 3);
+  e.evaluate(500 * kMicro, store_);
+  EXPECT_EQ(e.state(0), AlarmState::kOk);
+  EXPECT_TRUE(e.events().empty());
+  EXPECT_TRUE(e.healthy());
+}
+
+TEST_F(AlarmMachineTest, HysteresisAndFlapSuppression) {
+  // Raise above 10, only begin clearing below 5, and hold both transitions
+  // for 1 ms of ticks.
+  AlarmEngine e = make("s last > 10 for 1ms clear 5");
+  Nanos t = 0;
+  auto step = [&](double v) {
+    push(t, v);
+    e.evaluate(t, store_);
+    t += 500 * kMicro;
+  };
+  step(20);  // pending
+  step(20);  // pending (0.5ms)
+  step(20);  // firing (1.0ms)
+  EXPECT_EQ(e.state(0), AlarmState::kFiring);
+  step(7);  // between clear(5) and raise(10): hysteresis holds it firing
+  EXPECT_EQ(e.state(0), AlarmState::kFiring);
+  step(3);  // below clear: clearing
+  EXPECT_EQ(e.state(0), AlarmState::kClearing);
+  step(20);  // re-raise while clearing: flap, silently back to firing
+  EXPECT_EQ(e.state(0), AlarmState::kFiring);
+  EXPECT_EQ(e.flaps_suppressed(0), 1u);
+  EXPECT_EQ(e.fire_count(0), 1u);  // the flap emitted no second event
+  step(3);  // clearing again
+  step(3);  // 0.5ms held
+  step(3);  // 1.0ms held -> ok
+  EXPECT_EQ(e.state(0), AlarmState::kOk);
+  // Exactly two events across the whole episode: firing, cleared.
+  ASSERT_EQ(e.events().size(), 2u);
+  EXPECT_EQ(e.events()[0].to, AlarmState::kFiring);
+  EXPECT_EQ(e.events()[1].to, AlarmState::kOk);
+}
+
+TEST_F(AlarmMachineTest, NoDataHoldsState) {
+  AlarmEngine e = make("missing_series last > 10");
+  e.evaluate(0, store_);
+  EXPECT_EQ(e.state(0), AlarmState::kOk);
+  EXPECT_TRUE(e.healthy());
+}
+
+// --- watermarks -------------------------------------------------------------
+
+TEST(HealthWatermark, OutOfOrderNotesOnlyWiden) {
+  Watermarks m;
+  EXPECT_EQ(m.high(Stage::kSketchSeal), Watermarks::kUnset);
+  m.note(Stage::kSketchSeal, 100);
+  m.note(Stage::kSketchSeal, 50);   // late arrival
+  m.note(Stage::kSketchSeal, 200);
+  m.note(Stage::kSketchSeal, 150);  // out of order
+  EXPECT_EQ(m.low(Stage::kSketchSeal), 50);
+  EXPECT_EQ(m.high(Stage::kSketchSeal), 200);
+  EXPECT_EQ(m.freshness_lag(Stage::kSketchSeal, 260), 60);
+  // A silent stage is maximally stale, clamped at zero.
+  EXPECT_EQ(m.freshness_lag(Stage::kAnalyzerCurve, 260), 260);
+  EXPECT_EQ(m.freshness_lag(Stage::kSketchSeal, 150), 0);
+  // Backlog between stages clamps the same way.
+  m.note(Stage::kCollectorDecode, 120);
+  EXPECT_EQ(m.backlog(Stage::kSketchSeal, Stage::kCollectorDecode), 80);
+  EXPECT_EQ(m.backlog(Stage::kCollectorDecode, Stage::kSketchSeal), 0);
+}
+
+// The decode/curve watermarks must be monotone even when epochs reach the
+// collector out of order (reordered upload payloads).
+TEST(HealthWatermark, MonotoneUnderOutOfOrderCollectorBatches) {
+  sketch::WaveSketchParams sp;
+  sp.depth = 2;
+  sp.width = 64;
+  sp.levels = 6;
+  sp.k = 16;
+  sketch::WaveSketchFull sk(sp);
+  collector::HostUplink up(/*host=*/0, /*max_reports_per_payload=*/16);
+  const FlowKey flow{0x0a000001, 0x0a000002, 10, 20, 6};
+
+  // Epoch 0 covers early windows, epoch 1 much later ones.
+  for (int i = 0; i < 4; ++i) {
+    sk.update(flow, window_length() * (2 + i), 1000);
+  }
+  auto epoch0 = up.flush_epoch(sk);
+  for (int i = 0; i < 4; ++i) {
+    sk.update(flow, window_length() * (100 + i), 1000);
+  }
+  auto epoch1 = up.flush_epoch(sk);
+  ASSERT_FALSE(epoch0.payloads.empty());
+  ASSERT_FALSE(epoch1.payloads.empty());
+
+  analyzer::Analyzer an;
+  collector::CollectorConfig ccfg;
+  ccfg.shards = 2;
+  collector::Collector col(ccfg, an);
+  Watermarks marks;
+  col.set_decode_event_hook(
+      [&marks](Nanos t) { marks.note(Stage::kCollectorDecode, t); });
+  col.set_curve_event_hook(
+      [&marks](Nanos t) { marks.note(Stage::kAnalyzerCurve, t); });
+  col.start();
+
+  // Deliver the *later* epoch first.
+  for (auto& p : epoch1.payloads) {
+    EXPECT_TRUE(col.submit_report_payload(0, epoch1.epoch, p.bytes));
+  }
+  col.drain();
+  const Nanos high_after_late = marks.high(Stage::kCollectorDecode);
+  EXPECT_GE(high_after_late, window_length() * 100);
+
+  // Now the stale epoch arrives; the watermark must not regress.
+  for (auto& p : epoch0.payloads) {
+    EXPECT_TRUE(col.submit_report_payload(0, epoch0.epoch, p.bytes));
+  }
+  col.drain();
+  EXPECT_EQ(marks.high(Stage::kCollectorDecode), high_after_late);
+  EXPECT_LE(marks.low(Stage::kCollectorDecode), window_length() * 6);
+
+  col.seal_epoch(0, epoch0.epoch, epoch0.end_seq);
+  col.seal_epoch(0, epoch1.epoch, epoch1.end_seq);
+  col.stop();
+  EXPECT_EQ(marks.high(Stage::kAnalyzerCurve), high_after_late);
+}
+
+// --- fidelity probe ---------------------------------------------------------
+
+TEST(HealthFidelity, ScoresStaleAnalyzerAsMaximalErrorThenConverges) {
+  FidelityProbe::Config pc;
+  pc.sample_mod = 1;  // probe every flow
+  FidelityProbe probe(pc);
+  const FlowKey flow{0x0a000001, 0x0a000002, 10, 20, 6};
+  sketch::WaveSketchParams sp;
+  sp.depth = 3;
+  sp.width = 256;
+  sp.levels = 8;
+  sp.k = 64;
+  sketch::WaveSketchFull sk(sp);
+  for (int i = 0; i < 8; ++i) {
+    const Nanos t = window_length() * (10 + i) + 17;
+    probe.observe(flow, t, 1000);
+    sk.update(flow, t, 1000);
+  }
+  EXPECT_EQ(probe.probed_flows(), 1u);
+
+  analyzer::Analyzer an;
+  const auto stale = probe.evaluate(an);  // no curve yet
+  EXPECT_EQ(stale.flows, 1u);
+  EXPECT_DOUBLE_EQ(stale.are, 1.0);
+  EXPECT_DOUBLE_EQ(stale.nmse, 1.0);
+
+  an.ingest_host_sketch(0, sk);
+  const auto live = probe.evaluate(an);
+  EXPECT_LT(live.are, 0.05);  // single in-budget flow reconstructs ~exactly
+  EXPECT_LT(live.nmse, 0.05);
+}
+
+TEST(HealthFidelity, CapsTrackedFlows) {
+  FidelityProbe::Config pc;
+  pc.sample_mod = 1;
+  pc.max_flows = 4;
+  FidelityProbe probe(pc);
+  for (std::uint16_t i = 0; i < 32; ++i) {
+    probe.observe(FlowKey{1u, 2u, i, 20, 6}, 1000, 100);
+  }
+  EXPECT_EQ(probe.probed_flows(), 4u);
+}
+
+// --- trace ring loss accounting (satellite S1) ------------------------------
+
+TEST(HealthTraceDrops, RingOverwriteIncrementsRegistryCounter) {
+  auto& rec = telemetry::TraceRecorder::global();
+  auto* counter = telemetry::MetricRegistry::global().counter(
+      "umon_telemetry_trace_dropped_spans_total", {},
+      "Trace spans overwritten by the bounded ring (oldest-first)");
+  rec.enable(/*capacity=*/4);
+  const std::uint64_t before = counter->value();
+  for (int i = 0; i < 10; ++i) {
+    rec.record_instant("health_test_span", "test");
+  }
+  EXPECT_EQ(rec.dropped(), 6u);
+  EXPECT_EQ(counter->value() - before, 6u);
+  rec.disable();
+  rec.clear();
+}
+
+}  // namespace
+}  // namespace umon::health
