@@ -1,18 +1,19 @@
-// bench_health_overhead: cost of continuous health monitoring.
+// bench_uplink_reliability: cost of the reliable uplink protocol.
 //
-//   bench_health_overhead [--ms N] [--max-overhead-pct X]
+//   bench_uplink_reliability [--ms N] [--max-overhead-pct X]
 //
-// Runs the same chunked simulation + collection pipeline twice — once bare,
-// once with umon::health fully attached (per-packet watermark notes and
-// fidelity-probe observation, per-tick registry sampling, watermark
-// publication, probe evaluation, alarm evaluation) — and reports the
-// relative wall-clock overhead of the health instrumentation. Both runs use
-// identical chunking, epoch flushing, and collector draining, so the delta
-// isolates exactly what --health-out adds to umon_sim. Best-of-3 per mode:
+// Runs the same chunked simulation + collection pipeline twice over a
+// *lossless* wire — once in passthrough mode (the legacy fire-and-forget
+// uplink) and once with the reliable protocol enabled (CRC32C framing,
+// per-frame retransmit bookkeeping, cumulative acks over the reverse
+// channel, dedup state). With zero loss no frame is ever retransmitted, so
+// the delta isolates exactly what --uplink-reliable adds per payload: the
+// frame encode + CRC on the host, the decode + CRC + ack on the collector
+// side, and the ack decode back on the host. Best-of-3 per mode:
 // scheduling noise only ever inflates a run.
 //
-// With --max-overhead-pct the process exits 1 when the overhead exceeds the
-// budget — CI gates at 2%.
+// With --max-overhead-pct the process exits 1 when the overhead exceeds
+// the budget — CI gates at 10%.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -22,9 +23,9 @@
 #include "analyzer/analyzer.hpp"
 #include "collector/collector.hpp"
 #include "collector/uplink.hpp"
-#include "health/health.hpp"
 #include "netsim/network.hpp"
 #include "netsim/upload_channel.hpp"
+#include "resilience/reliable.hpp"
 #include "sketch/wavesketch_full.hpp"
 #include "telemetry/metrics.hpp"
 #include "workload/generator.hpp"
@@ -34,7 +35,7 @@ namespace {
 using namespace umon;
 
 /// One chunked pipeline run; returns wall nanoseconds of the driver loop.
-double run_once(Nanos duration, bool with_health) {
+double run_once(Nanos duration, bool reliable) {
   netsim::NetworkConfig cfg;
   cfg.queue_sample_interval = 0;
   cfg.seed = 7;
@@ -54,34 +55,31 @@ double run_once(Nanos duration, bool with_health) {
   collector::CollectorConfig ccfg;
   ccfg.shards = 2;
   collector::Collector col(ccfg, an);
+
   netsim::UploadChannelConfig ucfg;
   ucfg.seed = 7;
-  netsim::UploadChannel channel(
-      ucfg, [&col](netsim::UploadChannel::Delivery&& d) {
-        (void)col.submit_report_payload(d.host, d.epoch, std::move(d.payload));
-      });
+  netsim::UploadChannel forward(ucfg, nullptr);
+  netsim::UploadChannelConfig rcfg;
+  rcfg.seed = 7 ^ 0xAC4BAC4ULL;
+  netsim::UploadChannel reverse(rcfg, nullptr);
 
-  std::unique_ptr<health::HealthMonitor> mon;
-  if (with_health) {
-    mon = std::make_unique<health::HealthMonitor>();
-    mon->add_registry(&telemetry::MetricRegistry::global());
-    mon->add_registry(&col.telemetry_registry());
-    mon->set_analyzer(&an);
-    col.set_decode_event_hook([m = mon.get()](Nanos t) {
-      m->watermarks().note(health::Stage::kCollectorDecode, t);
-    });
-    col.set_curve_event_hook([m = mon.get()](Nanos t) {
-      m->watermarks().note(health::Stage::kAnalyzerCurve, t);
-    });
-  }
+  resilience::ReliableConfig rlcfg;
+  rlcfg.enabled = reliable;
+  resilience::ReliableLink link(rlcfg, forward, &reverse);
+  forward.set_sink([&link](netsim::UploadChannel::Delivery&& d) {
+    link.on_forward_delivery(std::move(d));
+  });
+  reverse.set_sink([&link](netsim::UploadChannel::Delivery&& d) {
+    link.on_reverse_delivery(std::move(d));
+  });
+  link.set_deliver_hook([&col](int host, std::uint32_t epoch,
+                               std::vector<std::uint8_t>&& payload) {
+    (void)col.submit_report_payload(host, epoch, std::move(payload));
+  });
 
-  net->set_host_tx_hook([&, m = mon.get()](int host, const PacketRecord& r) {
+  net->set_host_tx_hook([&](int host, const PacketRecord& r) {
     sketches[static_cast<std::size_t>(host)]->update(
         r.flow, r.timestamp, static_cast<Count>(r.size));
-    if (m != nullptr) {
-      m->watermarks().note(health::Stage::kPacketEvent, r.timestamp);
-      m->probe().observe(r.flow, r.timestamp, r.size);
-    }
   });
 
   workload::WorkloadParams wp;
@@ -106,14 +104,14 @@ double run_once(Nanos duration, bool with_health) {
   std::vector<PendingSeal> awaiting;
   const Nanos tick = 500 * kMicro;
   const Nanos horizon = duration + 5 * kMilli;
-  if (mon) mon->prime(0);
 
   const std::uint64_t t0 = telemetry::monotonic_ns();
   for (Nanos t = tick; ; t += tick) {
     if (t > horizon) t = horizon;
     net->run_until(t);
-    if (mon) net->settle_telemetry();
-    channel.advance_to(t);
+    forward.advance_to(t);
+    reverse.advance_to(t);
+    link.tick(t);
     for (const PendingSeal& s : awaiting) {
       col.seal_epoch(s.host, s.epoch, s.end_seq);
     }
@@ -121,25 +119,39 @@ double run_once(Nanos duration, bool with_health) {
     for (int h = 0; h < net->host_count(); ++h) {
       auto up = uplinks[static_cast<std::size_t>(h)].flush_epoch(
           *sketches[static_cast<std::size_t>(h)]);
-      if (mon) mon->watermarks().note(health::Stage::kSketchSeal, t);
       for (auto& p : up.payloads) {
-        // umon-lint: allow(UL006) — health bench isolates the legacy path
-        (void)channel.send(h, up.epoch, std::move(p.bytes), t);
+        link.send(h, up.epoch, std::move(p.bytes), t);
       }
       awaiting.push_back({h, up.epoch, up.end_seq});
     }
     col.drain();
-    if (mon) mon->tick(t);
     if (t >= horizon) break;
   }
   net->finish();
-  channel.flush();
+  forward.flush();
+  reverse.flush();
+  link.tick(horizon + tick);
   for (const PendingSeal& s : awaiting) {
     col.seal_epoch(s.host, s.epoch, s.end_seq);
   }
   col.stop();
-  if (mon) mon->tick(horizon + tick);
-  return static_cast<double>(telemetry::monotonic_ns() - t0);
+  const double elapsed =
+      static_cast<double>(telemetry::monotonic_ns() - t0);
+
+  // A lossless reliable run must be loss-free end to end, or the two modes
+  // are not comparable (and the protocol is broken).
+  if (reliable) {
+    const auto st = link.stats();
+    if (st.epochs_unrecovered != 0 || st.frames_retransmitted != 0) {
+      std::fprintf(stderr,
+                   "lossless reliable run lost data: %llu unrecovered, "
+                   "%llu retransmits\n",
+                   static_cast<unsigned long long>(st.epochs_unrecovered),
+                   static_cast<unsigned long long>(st.frames_retransmitted));
+      std::exit(2);
+    }
+  }
+  return elapsed;
 }
 
 }  // namespace
@@ -155,7 +167,7 @@ int main(int argc, char** argv) {
       max_overhead_pct = std::atof(argv[++i]);
     } else {
       std::fprintf(stderr,
-                   "usage: bench_health_overhead [--ms N] "
+                   "usage: bench_uplink_reliability [--ms N] "
                    "[--max-overhead-pct X]\n");
       return 2;
     }
@@ -165,20 +177,20 @@ int main(int argc, char** argv) {
   (void)run_once(2 * kMilli, false);
   (void)run_once(2 * kMilli, true);
 
-  double bare = 1e18, health = 1e18;
+  double bare = 1e18, framed = 1e18;
   for (int rep = 0; rep < 3; ++rep) {
     const double b = run_once(duration, false);
-    const double h = run_once(duration, true);
+    const double f = run_once(duration, true);
     if (b < bare) bare = b;
-    if (h < health) health = h;
+    if (f < framed) framed = f;
   }
-  const double overhead_pct = (health - bare) / bare * 100.0;
+  const double overhead_pct = (framed - bare) / bare * 100.0;
 
-  std::printf("health monitoring overhead (%.0f ms sim, best of 3)\n",
+  std::printf("reliable uplink overhead (%.0f ms sim, lossless, best of 3)\n",
               static_cast<double>(duration) / 1e6);
-  std::printf("  bare pipeline:    %8.2f ms\n", bare / 1e6);
-  std::printf("  with health:      %8.2f ms\n", health / 1e6);
-  std::printf("  overhead:         %8.2f %%\n", overhead_pct);
+  std::printf("  passthrough uplink: %8.2f ms\n", bare / 1e6);
+  std::printf("  reliable uplink:    %8.2f ms\n", framed / 1e6);
+  std::printf("  overhead:           %8.2f %%\n", overhead_pct);
   if (max_overhead_pct > 0) {
     const bool over = overhead_pct > max_overhead_pct;
     std::printf("budget: %.2f %% -> %s\n", max_overhead_pct,

@@ -11,6 +11,8 @@
 //            [--collector-shards N] [--report-loss F]
 //            [--metrics-out FILE] [--trace-out FILE] [--log-level LEVEL]
 //            [--health-out FILE] [--health-interval US] [--health-alarms R]
+//            [--fault-plan FILE] [--uplink-reliable] [--uplink-retx-buffer N]
+//            [--gap-fill] [--require-recovered]
 //
 // With --collector-shards (or --report-loss) the host sketches reach the
 // analyzer through the full collection tier — per-host uplink encode, the
@@ -39,17 +41,35 @@
 // wall-clock-based detail instrumentation stays off (no --metrics-out /
 // --trace-out).
 //
+// --fault-plan FILE loads a deterministic chaos schedule (see
+// src/resilience/fault_plan.hpp for the format): burst loss, duplication,
+// reordering, bit corruption, host stalls, and collector shard
+// crash/restarts, all driven by the plan's seed so two runs of the same
+// plan are byte-identical. --uplink-reliable turns on the retransmitting
+// uplink protocol (CRC32C frames, cumulative ACK + NACK over a lossy
+// reverse channel, bounded retransmit buffer — size it with
+// --uplink-retx-buffer). Epochs that exhaust their retries are declared
+// lost and the affected analyzer windows carry confidence flags;
+// --gap-fill additionally interpolates across lost windows on read.
+// --require-recovered exits non-zero if any epoch went unrecovered (the CI
+// chaos gate). Either flag implies the collector tier and the chunked
+// simulation loop.
+//
 // Example:
 //   ./build/examples/umon_sim --workload hadoop --load 0.35 --sample-bits 4
 //   ./build/examples/umon_sim --collector-shards 4 --report-loss 0.01
 //   ./build/examples/umon_sim --metrics-out metrics.prom --trace-out t.json
 //   ./build/examples/umon_sim --health-out health.jsonl --report-loss 0.05
+//   ./build/examples/umon_sim --fault-plan tools/faultplans/burst_loss.plan
+//       --uplink-reliable --health-out chaos.jsonl   (one command line)
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <map>
 #include <memory>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -66,6 +86,8 @@
 #include "health/health.hpp"
 #include "netsim/network.hpp"
 #include "netsim/upload_channel.hpp"
+#include "resilience/fault_plan.hpp"
+#include "resilience/reliable.hpp"
 #include "sketch/wavesketch_full.hpp"
 #include "uevent/acl.hpp"
 #include "uevent/detector.hpp"
@@ -94,11 +116,24 @@ struct Options {
   std::string health_out;    ///< health JSONL path ("" = health off)
   Nanos health_interval = 500 * kMicro;
   std::string health_alarms;  ///< "" = HealthMonitor::default_alarms()
+  std::string fault_plan;     ///< chaos schedule path ("" = no injection)
+  bool uplink_reliable = false;
+  std::size_t uplink_retx_buffer = 1024;
+  bool gap_fill = false;
+  bool require_recovered = false;  ///< exit 1 on any unrecovered epoch
 
   [[nodiscard]] bool telemetry_requested() const {
     return !metrics_out.empty() || !trace_out.empty();
   }
   [[nodiscard]] bool health_requested() const { return !health_out.empty(); }
+  [[nodiscard]] bool resilience_requested() const {
+    return uplink_reliable || !fault_plan.empty();
+  }
+  /// The chunked loop is what lets faults, retransmits, and health samples
+  /// interleave with the workload instead of running after it.
+  [[nodiscard]] bool chunked() const {
+    return health_requested() || resilience_requested();
+  }
 };
 
 bool parse(int argc, char** argv, Options& opt) {
@@ -162,6 +197,17 @@ bool parse(int argc, char** argv, Options& opt) {
       }
     } else if (arg == "--health-alarms") {
       opt.health_alarms = next("--health-alarms");
+    } else if (arg == "--fault-plan") {
+      opt.fault_plan = next("--fault-plan");
+    } else if (arg == "--uplink-reliable") {
+      opt.uplink_reliable = true;
+    } else if (arg == "--uplink-retx-buffer") {
+      opt.uplink_retx_buffer =
+          static_cast<std::size_t>(std::atoll(next("--uplink-retx-buffer")));
+    } else if (arg == "--gap-fill") {
+      opt.gap_fill = true;
+    } else if (arg == "--require-recovered") {
+      opt.require_recovered = true;
     } else if (arg == "--help" || arg == "-h") {
       return false;
     } else {
@@ -185,7 +231,10 @@ int main(int argc, char** argv) {
         "                [--metrics-out FILE] [--trace-out FILE]\n"
         "                [--log-level trace|debug|info|warn|error|off]\n"
         "                [--health-out FILE] [--health-interval US]\n"
-        "                [--health-alarms 'rule; rule; ...']\n");
+        "                [--health-alarms 'rule; rule; ...']\n"
+        "                [--fault-plan FILE] [--uplink-reliable]\n"
+        "                [--uplink-retx-buffer N] [--gap-fill]\n"
+        "                [--require-recovered]\n");
     return 2;
   }
 
@@ -217,15 +266,32 @@ int main(int argc, char** argv) {
     sketches.push_back(std::make_unique<sketch::WaveSketchFull>(sp));
   }
 
+  // Chaos schedule, parsed before anything allocates so a bad plan exits
+  // fast with a line number.
+  std::unique_ptr<resilience::FaultInjector> injector;
+  if (!opt.fault_plan.empty()) {
+    std::string err;
+    auto plan = resilience::FaultPlan::parse_file(opt.fault_plan, &err);
+    if (!plan) {
+      std::fprintf(stderr, "bad --fault-plan: %s\n", err.c_str());
+      return 2;
+    }
+    injector = std::make_unique<resilience::FaultInjector>(std::move(*plan));
+  }
+
   // The analyzer and (when requested) the collector tier exist before the
   // simulation starts: health mode streams epochs through them mid-run.
   analyzer::Analyzer an;
+  an.set_gap_fill(opt.gap_fill);
   const bool use_collector = opt.collector_shards > 0 || opt.report_loss > 0 ||
                              opt.telemetry_requested() ||
-                             opt.health_requested();
+                             opt.health_requested() ||
+                             opt.resilience_requested();
   // Kept alive past its stop() so its private registry can be exported.
   std::unique_ptr<collector::Collector> collector_tier;
   std::unique_ptr<netsim::UploadChannel> channel;
+  std::unique_ptr<netsim::UploadChannel> reverse;
+  std::unique_ptr<resilience::ReliableLink> link;
   if (use_collector) {
     collector::CollectorConfig ccfg;
     ccfg.shards = opt.collector_shards > 0 ? opt.collector_shards : 2;
@@ -235,13 +301,48 @@ int main(int argc, char** argv) {
     ucfg.loss_rate = opt.report_loss;
     ucfg.jitter = 20 * kMicro;
     ucfg.seed = opt.seed;
-    channel = std::make_unique<netsim::UploadChannel>(
-        ucfg, [col = collector_tier.get()](
-                  netsim::UploadChannel::Delivery&& d) {
+    channel = std::make_unique<netsim::UploadChannel>(ucfg, nullptr);
+    if (opt.uplink_reliable) {
+      // Acks ride their own channel instance with the same loss model — a
+      // reliable protocol over a reliable reverse path would be cheating.
+      netsim::UploadChannelConfig rcfg = ucfg;
+      rcfg.seed = opt.seed ^ 0xAC4BAC4ULL;
+      reverse = std::make_unique<netsim::UploadChannel>(rcfg, nullptr);
+    }
+    if (injector) {
+      // One injector serves both directions: single-threaded send order
+      // keeps the shared RNG stream reproducible.
+      auto hook = [inj = injector.get()](
+                      int host, Nanos now,
+                      std::vector<std::uint8_t>& payload) -> netsim::SendFault {
+        const resilience::FaultAction a = inj->on_send(host, now, payload);
+        return netsim::SendFault{a.drop, a.duplicates, a.extra_delay};
+      };
+      channel->set_fault_hook(hook);
+      if (reverse) reverse->set_fault_hook(hook);
+    }
+
+    // Every payload goes through the ReliableLink — in passthrough mode it
+    // forwards verbatim, so the legacy lossy path is the same bytes.
+    resilience::ReliableConfig rcfg;
+    rcfg.enabled = opt.uplink_reliable;
+    rcfg.retx_buffer_frames = opt.uplink_retx_buffer;
+    link = std::make_unique<resilience::ReliableLink>(rcfg, *channel,
+                                                      reverse.get());
+    link->set_deliver_hook(
+        [col = collector_tier.get()](int host, std::uint32_t epoch,
+                                     std::vector<std::uint8_t>&& payload) {
           // Malformed payloads surface in the end-of-run collector stats.
-          (void)col->submit_report_payload(d.host, d.epoch,
-                                           std::move(d.payload));
+          (void)col->submit_report_payload(host, epoch, std::move(payload));
         });
+    channel->set_sink([l = link.get()](netsim::UploadChannel::Delivery&& d) {
+      l->on_forward_delivery(std::move(d));
+    });
+    if (reverse) {
+      reverse->set_sink([l = link.get()](netsim::UploadChannel::Delivery&& d) {
+        l->on_reverse_delivery(std::move(d));
+      });
+    }
   }
 
   std::unique_ptr<health::HealthMonitor> mon;
@@ -257,6 +358,7 @@ int main(int argc, char** argv) {
     }
     mon->add_registry(&telemetry::MetricRegistry::global());
     mon->add_registry(&collector_tier->telemetry_registry());
+    if (link) mon->add_registry(&link->telemetry_registry());
     mon->set_analyzer(&an);
     collector_tier->set_decode_event_hook([m = mon.get()](Nanos t) {
       m->watermarks().note(health::Stage::kCollectorDecode, t);
@@ -303,16 +405,17 @@ int main(int argc, char** argv) {
   std::uint64_t payloads_dropped = 0;
   const Nanos horizon = opt.duration + 5 * kMilli;
 
-  if (mon) {
-    // --- continuous health loop ---------------------------------------------
-    // Chunk the simulation by the sampling interval. Each tick: run the
-    // network, settle its counters, deliver upload payloads that are due,
-    // seal the previous tick's epoch (its payloads have all landed — the
-    // tick exceeds the channel's worst-case delay), flush a fresh epoch
-    // from every host, then drain the collector so every instrument is
-    // quiescent before the sample is taken.
+  if (opt.chunked()) {
+    // --- chunked pipeline loop ----------------------------------------------
+    // Chunk the simulation by the sampling interval. Each tick: apply due
+    // shard crash/restarts, run the network, settle its counters, deliver
+    // upload payloads and acks that are due, drive retransmit timers, seal
+    // epochs whose delivery has settled (flagging the windows of epochs the
+    // protocol declared lost), flush a fresh epoch from every non-stalled
+    // host, then drain the collector so every instrument is quiescent
+    // before the health sample is taken.
     collector::Collector& col = *collector_tier;
-    col.start();
+    const Nanos tick_len = opt.health_interval;
     std::vector<collector::HostUplink> uplinks;
     uplinks.reserve(static_cast<std::size_t>(net->host_count()));
     for (int h = 0; h < net->host_count(); ++h) {
@@ -322,37 +425,133 @@ int main(int argc, char** argv) {
       int host;
       std::uint32_t epoch;
       std::uint32_t end_seq;
+      WindowId wfrom;  ///< first window this epoch covers
+      WindowId wto;    ///< exclusive
+      Nanos end_time;  ///< event time the epoch runs up to
     };
     std::vector<PendingSeal> awaiting;
+    std::vector<Nanos> last_flush(
+        static_cast<std::size_t>(net->host_count()), 0);
 
-    mon->prime(0);
-    for (Nanos t = opt.health_interval; ; t += opt.health_interval) {
+    // Sequence-gap losses found at seal time flag the epoch's windows, so
+    // an unrecovered (or unprotected) loss can never read back as a
+    // genuinely idle window.
+    std::map<std::uint64_t, std::pair<WindowId, WindowId>> epoch_windows;
+    col.set_epoch_loss_hook([&](int host, std::uint32_t epoch,
+                                std::uint64_t lost) {
+      if (lost == 0) return;
+      const std::uint64_t key =
+          (static_cast<std::uint64_t>(static_cast<std::uint32_t>(host))
+           << 32) | epoch;
+      auto it = epoch_windows.find(key);
+      if (it == epoch_windows.end()) return;
+      an.mark_windows(it->second.first, it->second.second,
+                      analyzer::WindowConfidence::kLost);
+    });
+    col.start();
+
+    // Seal every epoch in `awaiting` whose uplink delivery has settled
+    // (always true in passthrough mode: its payloads either landed within
+    // the previous tick or are gone for good). Seals stay in flush order
+    // per host — the collector's gap accounting chains epoch_start_seq
+    // from one seal to the next.
+    auto seal_settled = [&](bool force) {
+      std::set<int> blocked;
+      auto it = awaiting.begin();
+      while (it != awaiting.end()) {
+        const resilience::EpochStatus st =
+            link->epoch_status(it->host, it->epoch);
+        if ((opt.uplink_reliable && !st.settled && !force) ||
+            blocked.count(it->host) != 0) {
+          blocked.insert(it->host);
+          ++it;
+          continue;
+        }
+        if (opt.uplink_reliable) {
+          if (!st.recovered) {
+            an.mark_windows(it->wfrom, it->wto,
+                            analyzer::WindowConfidence::kLost);
+          } else if (st.retransmitted) {
+            an.mark_windows(it->wfrom, it->wto,
+                            analyzer::WindowConfidence::kRetransmitted);
+          }
+        }
+        col.seal_epoch(it->host, it->epoch, it->end_seq);
+        // Settlement is the resilience watermark: every frame of this
+        // epoch was delivered or explicitly declared lost.
+        if (mon) {
+          mon->watermarks().note(health::Stage::kResilience, it->end_time);
+        }
+        it = awaiting.erase(it);
+      }
+    };
+
+    if (mon) mon->prime(0);
+    Nanos t = 0;
+    for (t = tick_len; ; t += tick_len) {
       if (t > horizon) t = horizon;
+      if (injector) {
+        for (const auto& ev : injector->take_due_shard_events(t)) {
+          if (ev.restart) {
+            col.restart_shard(ev.shard);
+          } else {
+            col.crash_shard(ev.shard);
+          }
+        }
+      }
       net->run_until(t);
       net->settle_telemetry();
       channel->advance_to(t);
-      for (const PendingSeal& s : awaiting) {
-        col.seal_epoch(s.host, s.epoch, s.end_seq);
-      }
-      awaiting.clear();
+      if (reverse) reverse->advance_to(t);
+      link->tick(t);
+      // Quiesce the shards before sealing: seal-time accounting (sequence
+      // gaps, crash damage) must see every batch the workers were handed.
+      col.drain();
+      seal_settled(/*force=*/false);
       for (int h = 0; h < net->host_count(); ++h) {
+        if (injector != nullptr && injector->host_stalled(h, t)) {
+          continue;  // the sketch keeps accumulating; next flush covers it
+        }
         auto up = uplinks[static_cast<std::size_t>(h)].flush_epoch(
             *sketches[static_cast<std::size_t>(h)]);
-        mon->watermarks().note(health::Stage::kSketchSeal, t);
+        if (mon) mon->watermarks().note(health::Stage::kSketchSeal, t);
+        const std::size_t hi = static_cast<std::size_t>(h);
+        PendingSeal ps{h, up.epoch, up.end_seq,
+                       window_of(last_flush[hi]), window_of(t), t};
+        epoch_windows[(static_cast<std::uint64_t>(
+                           static_cast<std::uint32_t>(h))
+                       << 32) | up.epoch] = {ps.wfrom, ps.wto};
+        last_flush[hi] = t;
         for (auto& p : up.payloads) {
-          (void)channel->send(h, up.epoch, std::move(p.bytes), t);
+          link->send(h, up.epoch, std::move(p.bytes), t);
         }
-        awaiting.push_back({h, up.epoch, up.end_seq});
+        awaiting.push_back(ps);
       }
       col.drain();
-      mon->tick(t);
+      if (mon) mon->tick(t);
       if (t >= horizon) break;
     }
     net->finish();
-    channel->flush();
-    for (const PendingSeal& s : awaiting) {
-      col.seal_epoch(s.host, s.epoch, s.end_seq);
+
+    if (opt.uplink_reliable) {
+      // Settlement tail: keep stepping simulated time so in-flight frames,
+      // acks, and retransmits can land. Bounded — a frame that cannot make
+      // it within the retry budget expires rather than spinning forever.
+      int rounds = 0;
+      while (!link->all_settled() && rounds++ < 256) {
+        t += tick_len;
+        channel->advance_to(t);
+        if (reverse) reverse->advance_to(t);
+        link->tick(t);
+      }
+      link->expire_outstanding();
+      channel->flush();
+      if (reverse) reverse->flush();
+    } else {
+      channel->flush();
     }
+    col.drain();
+    seal_settled(/*force=*/true);
     col.submit_mirror_batch(scorer.mirrored());
     col.stop();
     cstats = col.stats();
@@ -360,7 +559,7 @@ int main(int argc, char** argv) {
     // Final sample: the tail seals above are where sequence-gap losses are
     // accounted, so the closing tick is what lets a loss alarm fire even
     // when the loss only materializes at shutdown.
-    mon->tick(horizon + opt.health_interval);
+    if (mon) mon->tick(horizon + tick_len);
   } else {
     net->run_until(horizon);
     net->finish();
@@ -379,8 +578,10 @@ int main(int argc, char** argv) {
         end_seq[static_cast<std::size_t>(h)] = upload.end_seq;
         for (auto& p : upload.payloads) {
           // In-transit drops are the point of --report-loss; the channel
-          // tallies them and seal_epoch() accounts the sequence gaps.
-          (void)channel->send(h, upload.epoch, std::move(p.bytes), /*now=*/0);
+          // tallies them and seal_epoch() accounts the sequence gaps. The
+          // link runs in passthrough here (reliable mode forces the
+          // chunked loop above).
+          link->send(h, upload.epoch, std::move(p.bytes), /*now=*/0);
         }
       }
       channel->flush();
@@ -498,6 +699,63 @@ int main(int argc, char** argv) {
     std::printf("  epochs flushed:  %llu (%llu curve fragments)\n",
                 static_cast<unsigned long long>(cstats.epochs_flushed),
                 static_cast<unsigned long long>(cstats.fragments_ingested));
+    if (cstats.shard_crashes > 0) {
+      std::printf("  shard crashes:   %llu (%llu restarts) — %llu batches / "
+                  "%llu staged fragments discarded while down\n",
+                  static_cast<unsigned long long>(cstats.shard_crashes),
+                  static_cast<unsigned long long>(cstats.shard_restarts),
+                  static_cast<unsigned long long>(cstats.batches_crashed),
+                  static_cast<unsigned long long>(cstats.fragments_crashed));
+    }
+  }
+
+  std::uint64_t epochs_unrecovered = 0;
+  if (link && opt.uplink_reliable) {
+    const resilience::ReliableStats rs = link->stats();
+    epochs_unrecovered = rs.epochs_unrecovered;
+    std::printf("\nreliable uplink (retx buffer %zu frames)\n",
+                link->config().retx_buffer_frames);
+    std::printf("  frames:          %llu sent, %llu retransmitted, "
+                "%llu acked, %llu expired, %llu evicted\n",
+                static_cast<unsigned long long>(rs.frames_sent),
+                static_cast<unsigned long long>(rs.frames_retransmitted),
+                static_cast<unsigned long long>(rs.frames_acked),
+                static_cast<unsigned long long>(rs.frames_expired),
+                static_cast<unsigned long long>(rs.frames_evicted));
+    std::printf("  receiver:        %llu corrupt rejected, %llu duplicates "
+                "suppressed\n",
+                static_cast<unsigned long long>(rs.frames_corrupt),
+                static_cast<unsigned long long>(rs.frames_duplicate));
+    std::printf("  acks:            %llu sent, %llu received\n",
+                static_cast<unsigned long long>(rs.acks_sent),
+                static_cast<unsigned long long>(rs.acks_received));
+    std::printf("  epochs:          %llu settled — %llu recovered, "
+                "%llu unrecovered\n",
+                static_cast<unsigned long long>(rs.epochs_settled),
+                static_cast<unsigned long long>(rs.epochs_recovered),
+                static_cast<unsigned long long>(rs.epochs_unrecovered));
+  }
+  if (link) {
+    const auto& curves = an.curves();
+    const std::size_t retx =
+        curves.marked_count(analyzer::WindowConfidence::kRetransmitted);
+    const std::size_t lost =
+        curves.marked_count(analyzer::WindowConfidence::kLost);
+    if (retx > 0 || lost > 0) {
+      std::printf("  window flags:    %zu retransmitted, %zu lost%s\n", retx,
+                  lost, curves.gap_fill() ? " (gap-filled on read)" : "");
+    }
+  }
+  if (injector) {
+    const resilience::FaultStats& fs = injector->stats();
+    std::printf("\nfault injection (%s)\n", opt.fault_plan.c_str());
+    std::printf("  injected:        %llu drops, %llu duplicates, "
+                "%llu corruptions, %llu delays, %llu stalled flushes\n",
+                static_cast<unsigned long long>(fs.drops),
+                static_cast<unsigned long long>(fs.duplicates),
+                static_cast<unsigned long long>(fs.corruptions),
+                static_cast<unsigned long long>(fs.delays),
+                static_cast<unsigned long long>(fs.stalled_flushes));
   }
 
   if (mon) {
@@ -508,7 +766,8 @@ int main(int argc, char** argv) {
                 mon->store().series_count());
     for (health::Stage s :
          {health::Stage::kPacketEvent, health::Stage::kSketchSeal,
-          health::Stage::kCollectorDecode, health::Stage::kAnalyzerCurve}) {
+          health::Stage::kCollectorDecode, health::Stage::kAnalyzerCurve,
+          health::Stage::kResilience}) {
       std::printf("  watermark %-18s high %.1f us (lag %.1f us)\n",
                   health::to_string(s),
                   static_cast<double>(mon->watermarks().high(s)) / 1e3,
@@ -621,6 +880,12 @@ int main(int argc, char** argv) {
                   opt.trace_out.c_str(), rec.snapshot().size(),
                   static_cast<unsigned long long>(rec.dropped()));
     }
+  }
+  if (opt.require_recovered && epochs_unrecovered > 0) {
+    std::fprintf(stderr,
+                 "--require-recovered: %llu epoch(s) went unrecovered\n",
+                 static_cast<unsigned long long>(epochs_unrecovered));
+    return 1;
   }
   return 0;
 }

@@ -114,6 +114,19 @@ class Analyzer {
 
   void set_clock_model(ClockModel m) { clocks_ = std::move(m); }
 
+  // --- graceful degradation -------------------------------------------------
+  /// Flag [from, to) windows with a confidence class (a lost epoch covered
+  /// them, retransmits recovered them, ...). Upgrade-only; see
+  /// FlowCurveStore::mark_windows.
+  void mark_windows(WindowId from, WindowId to, WindowConfidence conf) {
+    curves_.mark_windows(from, to, conf);
+  }
+  /// Opt into read-side interpolation across kLost windows.
+  void set_gap_fill(bool on) { curves_.set_gap_fill(on); }
+  [[nodiscard]] WindowConfidence window_confidence(WindowId w) const {
+    return curves_.confidence(w);
+  }
+
   // --- queries --------------------------------------------------------------
   /// Rate curve of a flow (empty if unknown).
   [[nodiscard]] RateCurve query_rate(const FlowKey& flow) const;

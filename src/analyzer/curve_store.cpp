@@ -49,7 +49,64 @@ std::vector<double> FlowCurveStore::range(const FlowKey& flow, WindowId from,
        ++w) {
     out[static_cast<std::size_t>(w->first - from)] = w->second;
   }
+  if (!gap_fill_ || marks_.empty()) return out;
+  // Interpolate ONLY windows flagged kLost, and only between two trusted
+  // stored neighbors — extrapolation past the flow's known extent would
+  // invent traffic that never existed.
+  for (auto m = marks_.lower_bound(from); m != marks_.end() && m->first < to;
+       ++m) {
+    if (m->second != WindowConfidence::kLost) continue;
+    const WindowId w = m->first;
+    auto is_lost = [&](WindowId x) {
+      auto mk = marks_.find(x);
+      return mk != marks_.end() && mk->second == WindowConfidence::kLost;
+    };
+    // Nearest stored neighbor on each side that is itself trusted.
+    auto right = windows.upper_bound(w);
+    while (right != windows.end() && is_lost(right->first)) ++right;
+    if (right == windows.end()) continue;
+    auto left = windows.lower_bound(w);
+    bool have_left = false;
+    while (left != windows.begin()) {
+      --left;
+      if (!is_lost(left->first)) {
+        have_left = true;
+        break;
+      }
+    }
+    if (!have_left) continue;
+    const double span = static_cast<double>(right->first - left->first);
+    const double frac = static_cast<double>(w - left->first) / span;
+    out[static_cast<std::size_t>(w - from)] =
+        left->second + (right->second - left->second) * frac;
+  }
   return out;
+}
+
+void FlowCurveStore::mark_windows(WindowId from, WindowId to,
+                                  WindowConfidence conf) {
+  if (conf == WindowConfidence::kCovered) return;  // the unmarked default
+  for (WindowId w = from; w < to; ++w) {
+    auto [it, inserted] = marks_.try_emplace(w, conf);
+    if (!inserted && conf > it->second) it->second = conf;  // upgrade only
+  }
+}
+
+WindowConfidence FlowCurveStore::confidence(WindowId w) const {
+  auto it = marks_.find(w);
+  if (it == marks_.end()) return WindowConfidence::kCovered;
+  if (it->second == WindowConfidence::kLost && gap_fill_) {
+    return WindowConfidence::kGapFilled;
+  }
+  return it->second;
+}
+
+std::size_t FlowCurveStore::marked_count(WindowConfidence conf) const {
+  std::size_t n = 0;
+  for (const auto& [w, c] : marks_) {
+    if (c == conf) ++n;
+  }
+  return n;
 }
 
 bool FlowCurveStore::extent(const FlowKey& flow, WindowId& first,

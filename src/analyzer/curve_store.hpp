@@ -22,6 +22,27 @@ struct CurveFragment {
   std::vector<double> bytes_per_window;
 };
 
+/// Trust level of one absolute window across the store. Reports can be
+/// lost in transit; a window the pipeline could not fully recover must
+/// never be indistinguishable from a genuinely idle one. Ordered by
+/// severity: marking only ever upgrades (covered → ... → lost).
+enum class WindowConfidence : std::uint8_t {
+  kCovered = 0,        ///< delivered first try, nothing missing
+  kRetransmitted = 1,  ///< recovered, but only after retransmits
+  kGapFilled = 2,      ///< lost, values interpolated (gap-fill enabled)
+  kLost = 3,           ///< lost, no recovery; stored values are partial
+};
+
+[[nodiscard]] constexpr const char* to_string(WindowConfidence c) {
+  switch (c) {
+    case WindowConfidence::kCovered: return "covered";
+    case WindowConfidence::kRetransmitted: return "retransmitted";
+    case WindowConfidence::kGapFilled: return "gap_filled";
+    case WindowConfidence::kLost: return "lost";
+  }
+  return "unknown";
+}
+
 class FlowCurveStore {
  public:
   explicit FlowCurveStore(int window_shift = kDefaultWindowShift)
@@ -40,8 +61,37 @@ class FlowCurveStore {
                   WindowId window_offset = 0);
 
   /// Dense curve over [from, to) absolute windows (zeros where unknown).
+  /// When gap-fill is enabled, windows marked kLost are linearly
+  /// interpolated between the flow's nearest stored neighbors instead of
+  /// reading as (possibly partial) raw values — and only those windows;
+  /// trusted data is never touched.
   [[nodiscard]] std::vector<double> range(const FlowKey& flow, WindowId from,
                                           WindowId to) const;
+
+  // --- per-window confidence ------------------------------------------------
+  /// Mark [from, to) with `conf`. Marks only upgrade: a window already
+  /// flagged worse keeps its flag (several hosts may cover one window; if
+  /// any of them lost it, the window is untrusted). Marking kCovered is a
+  /// no-op — covered is the default.
+  void mark_windows(WindowId from, WindowId to, WindowConfidence conf);
+
+  /// Confidence of one window. Lost windows report kGapFilled when
+  /// gap-fill is enabled (range() interpolates them on read).
+  [[nodiscard]] WindowConfidence confidence(WindowId w) const;
+
+  /// Enable read-side interpolation across kLost windows. Off by default:
+  /// untrusted data stays visibly degraded unless the operator opts in.
+  void set_gap_fill(bool on) { gap_fill_ = on; }
+  [[nodiscard]] bool gap_fill() const { return gap_fill_; }
+
+  /// Count of explicitly marked windows per confidence class (kCovered is
+  /// the unmarked default and always reports 0 here).
+  [[nodiscard]] std::size_t marked_count(WindowConfidence conf) const;
+
+  /// Every marked window and its flag, ascending by window (for exports).
+  [[nodiscard]] const std::map<WindowId, WindowConfidence>& marks() const {
+    return marks_;
+  }
 
   /// Full extent of a flow's stored curve; false if unknown.
   bool extent(const FlowKey& flow, WindowId& first, WindowId& last) const;
@@ -80,6 +130,11 @@ class FlowCurveStore {
   int window_shift_;
   std::unordered_map<std::uint64_t, Entry> flows_;
   std::size_t total_windows_ = 0;
+  /// Store-global confidence marks (absent = kCovered). Global rather than
+  /// per-flow: a lost epoch hides *which* flows it carried, so every flow's
+  /// view of the affected windows is suspect.
+  std::map<WindowId, WindowConfidence> marks_;
+  bool gap_fill_ = false;
 };
 
 }  // namespace umon::analyzer

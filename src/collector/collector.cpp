@@ -3,6 +3,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstring>
+#include <map>
 #include <span>
 
 #include "sketch/serialize.hpp"
@@ -40,24 +41,28 @@ struct DrainBarrier {
   std::mutex mu;
   std::condition_variable cv;
   int acks = 0;
+  int live_acks = 0;  ///< acks from shards that were not crashed
 
-  void ack() {
+  void ack(bool live) {
     {
       std::lock_guard lock(mu);
       acks += 1;
+      if (live) live_acks += 1;
     }
     cv.notify_all();
   }
-  void wait_for(int n) {
+  int wait_for(int n) {
     std::unique_lock lock(mu);
     cv.wait(lock, [&] { return acks >= n; });
+    return live_acks;
   }
 };
 
 }  // namespace
 
 struct Collector::ShardMsg {
-  enum class Kind { kReports, kMirror, kSeal, kBarrier, kStop };
+  enum class Kind { kReports, kMirror, kSeal, kBarrier, kCrash, kRestart,
+                    kStop };
   Kind kind = Kind::kStop;
   int host = -1;
   std::uint32_t epoch = 0;
@@ -80,12 +85,22 @@ struct Collector::Shard {
   BatchQueue<ShardMsg> queue;
   /// Touched only by this shard's worker thread (and by stop() after join).
   std::unordered_map<std::uint64_t, StagedEpoch> staging;
+  /// Crash state. Only the worker thread writes it (kCrash/kRestart are
+  /// ordinary queue messages), so no synchronization is needed.
+  bool down = false;
 };
 
 struct Collector::HostSeqState {
   std::uint32_t epoch_start_seq = 0;  ///< first seq of the open epoch
-  std::uint32_t max_seq_next = 0;     ///< highest (seq + 1) seen
-  std::uint64_t received = 0;         ///< reports arrived this epoch
+  /// Arrival accounting, keyed by the epoch a payload was submitted under.
+  /// A reliable uplink defers an epoch's seal until its frames settle, so
+  /// later epochs' reports can land first — epoch-oblivious counting would
+  /// zero them at the earlier seal and then read them back as gaps.
+  struct EpochRecv {
+    std::uint64_t count = 0;         ///< reports arrived for this epoch
+    std::uint32_t max_seq_next = 0;  ///< highest (seq + 1) seen in it
+  };
+  std::map<std::uint32_t, EpochRecv> received_by_epoch;
 };
 
 struct Collector::PendingEpoch {
@@ -137,6 +152,19 @@ struct Collector::Instruments {
     fragments_ingested = reg.counter(
         "umon_collector_fragments_ingested_total", {},
         "Sparse curve fragments handed to the analyzer");
+    batches_crashed = reg.counter(
+        "umon_collector_batches_crashed_total", {},
+        "Data batches discarded by a crashed shard");
+    reports_crashed = reg.counter(
+        "umon_collector_reports_crashed_total", {},
+        "Reports inside batches discarded by a crashed shard");
+    fragments_crashed = reg.counter(
+        "umon_collector_fragments_crashed_total", {},
+        "Staged curve fragments lost when a shard crashed");
+    shard_crashes = reg.counter("umon_collector_shard_crashes_total", {},
+                                "Shard crash events injected");
+    shard_restarts = reg.counter("umon_collector_shard_restarts_total", {},
+                                 "Shard restart events injected");
     decode_latency_us = reg.histogram(
         "umon_collector_decode_latency_us",
         telemetry::Histogram::latency_us_bounds(), {},
@@ -169,6 +197,11 @@ struct Collector::Instruments {
   telemetry::Counter* mirror_packets;
   telemetry::Counter* epochs_flushed;
   telemetry::Counter* fragments_ingested;
+  telemetry::Counter* batches_crashed;
+  telemetry::Counter* reports_crashed;
+  telemetry::Counter* fragments_crashed;
+  telemetry::Counter* shard_crashes;
+  telemetry::Counter* shard_restarts;
   telemetry::Histogram* decode_latency_us;
   telemetry::Histogram* flush_latency_us;
   std::vector<telemetry::Gauge*> queue_depth;
@@ -238,8 +271,8 @@ void Collector::stop() {
   for (auto& [key, p] : leftovers) flush_epoch_to_sink(std::move(p));
 }
 
-void Collector::drain() {
-  if (!running_) return;
+int Collector::drain() {
+  if (!running_) return 0;
   auto barrier = std::make_shared<DrainBarrier>();
   {
     // Take the front mutex so the barrier lands after any in-flight submit
@@ -252,7 +285,26 @@ void Collector::drain() {
       sh->queue.push_control(std::move(msg));
     }
   }
-  barrier->wait_for(cfg_.shards);
+  // Every shard acks, crashed or not: a crashed worker keeps consuming its
+  // queue (discarding data), so the barrier still proves FIFO completion of
+  // everything enqueued before it — including batches that were in flight
+  // when the crash message landed. The live count tells the caller how many
+  // shards actually *processed* rather than shed their backlog.
+  return barrier->wait_for(cfg_.shards);
+}
+
+void Collector::crash_shard(int shard) {
+  if (shard < 0 || shard >= cfg_.shards || !running_) return;
+  ShardMsg msg;
+  msg.kind = ShardMsg::Kind::kCrash;
+  shards_[static_cast<std::size_t>(shard)]->queue.push_control(std::move(msg));
+}
+
+void Collector::restart_shard(int shard) {
+  if (shard < 0 || shard >= cfg_.shards || !running_) return;
+  ShardMsg msg;
+  msg.kind = ShardMsg::Kind::kRestart;
+  shards_[static_cast<std::size_t>(shard)]->queue.push_control(std::move(msg));
 }
 
 bool Collector::submit_report_payload(int host, std::uint32_t epoch,
@@ -315,8 +367,9 @@ bool Collector::submit_report_payload(int host, std::uint32_t epoch,
   ins_->reports_scanned->inc(count);
   bytes_by_host_[host] += payload.size();
   HostSeqState& st = seq_state_[host];
-  st.received += count;
-  if (max_seq_next > st.max_seq_next) st.max_seq_next = max_seq_next;
+  HostSeqState::EpochRecv& er = st.received_by_epoch[epoch];
+  er.count += count;
+  if (max_seq_next > er.max_seq_next) er.max_seq_next = max_seq_next;
 
   for (std::size_t s = 0; s < n_shards; ++s) {
     if (route_bytes[s].empty()) continue;
@@ -388,19 +441,45 @@ void Collector::seal_epoch(int host, std::uint32_t epoch,
   {
     std::lock_guard lock(front_mutex_);
     HostSeqState& st = seq_state_[host];
-    std::uint32_t end = end_seq.value_or(st.max_seq_next);
+    std::uint64_t received = 0;
+    std::uint32_t seen_next = st.epoch_start_seq;
+    auto rcv = st.received_by_epoch.find(epoch);
+    if (rcv != st.received_by_epoch.end()) {
+      received = rcv->second.count;
+      seen_next = rcv->second.max_seq_next;
+      st.received_by_epoch.erase(rcv);
+    }
+    std::uint32_t end = end_seq.value_or(seen_next);
     if (end < st.epoch_start_seq) end = st.epoch_start_seq;
     const std::uint64_t expected = end - st.epoch_start_seq;
-    if (expected > st.received) {
-      ins_->reports_lost->inc(expected - st.received);
+    if (expected > received) {
+      ins_->reports_lost->inc(expected - received);
+      if (epoch_loss_hook_) {
+        epoch_loss_hook_(host, epoch, expected - received);
+      }
       UMON_LOG(kInfo, "collector", "sequence gap at epoch seal",
                {"host", std::to_string(host)},
                {"epoch", std::to_string(epoch)},
-               {"lost", std::to_string(expected - st.received)});
+               {"lost", std::to_string(expected - received)});
     }
     st.epoch_start_seq = end;
-    st.max_seq_next = end;
-    st.received = 0;
+  }
+  {
+    // Shard-crash damage: the frames arrived, but a crashed shard discarded
+    // the decoded reports or staged fragments. Surfaced through the same
+    // loss hook as sequence gaps so the driver flags the windows.
+    std::uint64_t crashed = 0;
+    {
+      std::lock_guard lock(crash_mutex_);
+      auto it = crash_damage_.find(epoch_key(host, epoch));
+      if (it != crash_damage_.end()) {
+        crashed = it->second;
+        crash_damage_.erase(it);
+      }
+    }
+    if (crashed > 0 && epoch_loss_hook_) {
+      epoch_loss_hook_(host, epoch, crashed);
+    }
   }
   for (auto& sh : shards_) {
     ShardMsg msg;
@@ -409,6 +488,13 @@ void Collector::seal_epoch(int host, std::uint32_t epoch,
     msg.epoch = epoch;
     sh->queue.push_control(std::move(msg));
   }
+}
+
+void Collector::note_crash_damage(int host, std::uint32_t epoch,
+                                  std::uint64_t count) {
+  if (count == 0) return;
+  std::lock_guard lock(crash_mutex_);
+  crash_damage_[epoch_key(host, epoch)] += count;
 }
 
 void Collector::worker(int shard_id) {
@@ -420,10 +506,22 @@ void Collector::worker(int shard_id) {
     switch (msg.kind) {
       case ShardMsg::Kind::kReports:
         depth->add(-1);
+        if (sh.down) {
+          // A crashed shard sheds its traffic instead of wedging the
+          // producers; the loss is counted, never silent.
+          ins_->batches_crashed->inc();
+          ins_->reports_crashed->inc(msg.report_count);
+          note_crash_damage(msg.host, msg.epoch, msg.report_count);
+          break;
+        }
         handle_reports(shard_id, msg);
         break;
       case ShardMsg::Kind::kMirror: {
         depth->add(-1);
+        if (sh.down) {
+          ins_->batches_crashed->inc();
+          break;
+        }
         const std::uint64_t n = msg.mirror.size();
         {
           std::lock_guard sink_lock(sink_mutex_);
@@ -433,10 +531,36 @@ void Collector::worker(int shard_id) {
         break;
       }
       case ShardMsg::Kind::kSeal:
+        // Seals process even while down: the crashed shard contributes its
+        // (empty) share so the epoch barrier completes with partial data
+        // instead of holding every other shard's fragments hostage.
         handle_seal(shard_id, msg);
         break;
       case ShardMsg::Kind::kBarrier:
-        msg.barrier->ack();
+        msg.barrier->ack(/*live=*/!sh.down);
+        break;
+      case ShardMsg::Kind::kCrash: {
+        sh.down = true;
+        ins_->shard_crashes->inc();
+        std::uint64_t staged_fragments = 0;
+        for (const auto& [key, staged] : sh.staging) {
+          staged_fragments += staged.fragments.size();
+          note_crash_damage(static_cast<int>(key >> 32),
+                            static_cast<std::uint32_t>(key),
+                            staged.fragments.size());
+        }
+        ins_->fragments_crashed->inc(staged_fragments);
+        sh.staging.clear();  // a crash loses in-memory state
+        UMON_LOG(kWarn, "collector", "shard crashed",
+                 {"shard", std::to_string(shard_id)},
+                 {"staged_fragments", std::to_string(staged_fragments)});
+        break;
+      }
+      case ShardMsg::Kind::kRestart:
+        sh.down = false;
+        ins_->shard_restarts->inc();
+        UMON_LOG(kInfo, "collector", "shard restarted",
+                 {"shard", std::to_string(shard_id)});
         break;
       case ShardMsg::Kind::kStop:
         return;
@@ -572,6 +696,16 @@ CollectorStats Collector::stats() const {
       out.epochs_flushed = v;
     } else if (s.name == "umon_collector_fragments_ingested_total") {
       out.fragments_ingested = v;
+    } else if (s.name == "umon_collector_batches_crashed_total") {
+      out.batches_crashed = v;
+    } else if (s.name == "umon_collector_reports_crashed_total") {
+      out.reports_crashed = v;
+    } else if (s.name == "umon_collector_fragments_crashed_total") {
+      out.fragments_crashed = v;
+    } else if (s.name == "umon_collector_shard_crashes_total") {
+      out.shard_crashes = v;
+    } else if (s.name == "umon_collector_shard_restarts_total") {
+      out.shard_restarts = v;
     }
   }
   {

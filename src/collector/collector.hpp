@@ -35,6 +35,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <map>
 #include <mutex>
 #include <optional>
 #include <thread>
@@ -79,6 +80,11 @@ struct CollectorStats {
   std::uint64_t mirror_packets = 0;
   std::uint64_t epochs_flushed = 0;
   std::uint64_t fragments_ingested = 0;
+  std::uint64_t batches_crashed = 0;    ///< discarded by a crashed shard
+  std::uint64_t reports_crashed = 0;    ///< reports inside those batches
+  std::uint64_t fragments_crashed = 0;  ///< staged fragments lost at crash
+  std::uint64_t shard_crashes = 0;
+  std::uint64_t shard_restarts = 0;
   std::unordered_map<int, std::uint64_t> bytes_by_host;
 };
 
@@ -100,8 +106,32 @@ class Collector {
   /// processed — including the sink flush of any epoch whose seal was
   /// already submitted. Workers keep running. This is the synchronization
   /// point deterministic drivers (health sampling, tests) use to observe a
-  /// quiescent pipeline without stopping it. No-op before start().
-  void drain();
+  /// quiescent pipeline without stopping it. Returns the number of shards
+  /// that were *live* (not crashed) when they acked the barrier, so a
+  /// driver can tell a quiescent pipeline from one that merely discarded
+  /// its backlog: a crashed shard still consumes (and counts) its queue, so
+  /// the barrier never wedges, but its data was shed, not processed.
+  /// Returns 0 before start().
+  int drain();
+
+  /// Simulate a shard crash: the shard loses its staged epoch state and
+  /// discards every data batch until restart_shard(). Control messages
+  /// (seals, barriers) keep flowing so the epoch barrier and drain() stay
+  /// live — a crashed shard contributes nothing, it does not wedge the
+  /// pipeline. Thread-safe; no-op for out-of-range shards.
+  void crash_shard(int shard);
+  void restart_shard(int shard);
+
+  /// Fires inside seal_epoch() when the sequence accounting finds `lost`
+  /// reports missing for (host, epoch) — the signal graceful-degradation
+  /// drivers use to flag the affected windows instead of silently serving
+  /// zeros. Called with the front mutex held; must be cheap and must not
+  /// call back into the collector. Set before start().
+  void set_epoch_loss_hook(
+      std::function<void(int host, std::uint32_t epoch, std::uint64_t lost)>
+          hook) {
+    epoch_loss_hook_ = std::move(hook);
+  }
 
   /// Observability taps for end-to-end freshness tracking. `decode` fires
   /// from shard workers after a batch decode with the largest *event time*
@@ -160,6 +190,7 @@ class Collector {
   analyzer::Analyzer& sink_;
   std::function<void(Nanos)> decode_event_hook_;
   std::function<void(Nanos)> curve_event_hook_;
+  std::function<void(int, std::uint32_t, std::uint64_t)> epoch_loss_hook_;
 
   std::vector<std::unique_ptr<Shard>> shards_;
   std::vector<std::thread> workers_;
@@ -175,6 +206,16 @@ class Collector {
   /// Guards the epoch-completion barrier state.
   mutable std::mutex epoch_mutex_;
   std::unordered_map<std::uint64_t, PendingEpoch> pending_;
+
+  /// Record that `count` reports/fragments of (host, epoch) were discarded
+  /// by a crashed shard (called from shard workers).
+  void note_crash_damage(int host, std::uint32_t epoch, std::uint64_t count);
+
+  /// (host << 32 | epoch) keys that lost batches or staged fragments to a
+  /// shard crash. Written by shard workers, consumed by seal_epoch() so the
+  /// loss hook can flag the damaged windows.
+  mutable std::mutex crash_mutex_;
+  std::map<std::uint64_t, std::uint64_t> crash_damage_;
 
   /// Serializes every call into the (externally synchronized) Analyzer.
   std::mutex sink_mutex_;

@@ -16,6 +16,7 @@ constexpr std::array<Stage, kStageCount> kStages = {
     Stage::kSketchSeal,
     Stage::kCollectorDecode,
     Stage::kAnalyzerCurve,
+    Stage::kResilience,
 };
 
 /// Deterministic shortest-roundtrip-ish formatting: %.10g prints the same
@@ -103,7 +104,8 @@ std::string HealthMonitor::default_alarms() {
   return "collector.reports_lost rate > 0; "
          "collector.reports_shed rate > 0; "
          "collector.batches_shed rate > 0; "
-         "telemetry.trace_dropped_spans rate > 0";
+         "telemetry.trace_dropped_spans rate > 0; "
+         "resilience.epochs_unrecovered rate > 0";
 }
 
 HealthMonitor::HealthMonitor(const HealthConfig& cfg)
@@ -185,6 +187,26 @@ void HealthMonitor::write_jsonl(std::ostream& os) const {
        << ",\"high_ns\":" << marks_.high(s)
        << ",\"freshness_ns\":" << marks_.freshness_lag(s, last_tick_)
        << "}\n";
+  }
+
+  // Degraded-window inventory: every window the pipeline could not fully
+  // recover is listed with its confidence flag, so a dashboard (or the CI
+  // chaos gate) can prove no loss went unflagged.
+  if (analyzer_ != nullptr) {
+    const analyzer::FlowCurveStore& curves = analyzer_->curves();
+    os << "{\"type\":\"confidence\",\"gap_fill\":"
+       << (curves.gap_fill() ? "true" : "false") << ",\"retransmitted\":"
+       << curves.marked_count(analyzer::WindowConfidence::kRetransmitted)
+       << ",\"lost\":"
+       << curves.marked_count(analyzer::WindowConfidence::kLost)
+       << ",\"windows\":[";
+    bool first = true;
+    for (const auto& [w, conf] : curves.marks()) {
+      if (!first) os << ',';
+      first = false;
+      os << "[" << w << ",\"" << analyzer::to_string(conf) << "\"]";
+    }
+    os << "]}\n";
   }
 
   for (const auto& [key, entry] : store_.all()) {

@@ -36,9 +36,13 @@ enum class Stage : int {
   kSketchSeal = 1,
   kCollectorDecode = 2,
   kAnalyzerCurve = 3,
+  /// Reliable-uplink settlement: every frame of epochs ending at this event
+  /// time was either delivered (possibly after retransmits) or explicitly
+  /// declared lost. Curves past this mark carry final confidence flags.
+  kResilience = 4,
 };
 
-inline constexpr std::size_t kStageCount = 4;
+inline constexpr std::size_t kStageCount = 5;
 
 [[nodiscard]] constexpr const char* to_string(Stage s) {
   switch (s) {
@@ -46,6 +50,7 @@ inline constexpr std::size_t kStageCount = 4;
     case Stage::kSketchSeal: return "sketch_seal";
     case Stage::kCollectorDecode: return "collector_decode";
     case Stage::kAnalyzerCurve: return "analyzer_curve";
+    case Stage::kResilience: return "resilience";
   }
   return "unknown";
 }

@@ -31,6 +31,15 @@ struct UploadChannelConfig {
   std::uint64_t seed = 1;
 };
 
+/// What a fault-injection hook decided for one payload entering the
+/// channel. The hook may also mutate the payload bytes in place (bit
+/// corruption); netsim stays ignorant of who makes these decisions.
+struct SendFault {
+  bool drop = false;
+  int duplicates = 0;     ///< extra copies to enqueue
+  Nanos extra_delay = 0;  ///< added to every copy's delivery time
+};
+
 /// Carries opaque report payloads from per-host uplinks to the collector.
 /// `send()` decides loss/delay at enqueue time; `advance_to()`/`flush()`
 /// hand surviving payloads to the sink in delivery-time order.
@@ -43,9 +52,20 @@ class UploadChannel {
     Nanos deliver_at = 0;
   };
   using Sink = std::function<void(Delivery&&)>;
+  using FaultHook =
+      std::function<SendFault(int host, Nanos now,
+                              std::vector<std::uint8_t>& payload)>;
 
   UploadChannel(const UploadChannelConfig& cfg, Sink sink)
       : cfg_(cfg), sink_(std::move(sink)), rng_(cfg.seed ^ 0x0C17A57EULL) {}
+
+  /// Rebind the delivery sink (drivers that wire channels and their
+  /// consumers in either order). Call before any advance_to/flush.
+  void set_sink(Sink sink) { sink_ = std::move(sink); }
+
+  /// Install a deterministic fault-injection hook consulted on every
+  /// send(); decisions layer on top of the configured i.i.d. loss.
+  void set_fault_hook(FaultHook hook) { fault_ = std::move(hook); }
 
   /// Submit one payload at local time `now`. Returns false if the channel
   /// dropped it (the caller learns what a real host would not; drops are
@@ -54,18 +74,24 @@ class UploadChannel {
                           std::vector<std::uint8_t> payload, Nanos now) {
     ++payloads_sent_;
     bytes_sent_ += payload.size();
-    if (cfg_.loss_rate > 0 && rng_.uniform() < cfg_.loss_rate) {
+    SendFault fault;
+    if (fault_) fault = fault_(host, now, payload);
+    if (fault.drop || (cfg_.loss_rate > 0 && rng_.uniform() < cfg_.loss_rate)) {
       ++payloads_dropped_;
       bytes_dropped_ += payload.size();
       return false;
     }
-    Nanos at = now + cfg_.base_delay;
-    if (cfg_.jitter > 0) {
-      at += static_cast<Nanos>(
-          rng_.below(static_cast<std::uint64_t>(cfg_.jitter)));
+    for (int copy = 0; copy <= fault.duplicates; ++copy) {
+      Nanos at = now + cfg_.base_delay + fault.extra_delay;
+      if (cfg_.jitter > 0) {
+        at += static_cast<Nanos>(
+            rng_.below(static_cast<std::uint64_t>(cfg_.jitter)));
+      }
+      std::vector<std::uint8_t> bytes =
+          copy == fault.duplicates ? std::move(payload) : payload;
+      in_flight_.push(
+          InFlight{Delivery{host, epoch, std::move(bytes), at}, next_tie_++});
     }
-    in_flight_.push(InFlight{
-        Delivery{host, epoch, std::move(payload), at}, next_tie_++});
     return true;
   }
 
@@ -115,6 +141,7 @@ class UploadChannel {
 
   UploadChannelConfig cfg_;
   Sink sink_;
+  FaultHook fault_;
   Rng rng_;
   std::uint64_t next_tie_ = 0;
   std::uint64_t payloads_sent_ = 0;

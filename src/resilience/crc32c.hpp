@@ -1,0 +1,69 @@
+// CRC32C (Castagnoli, polynomial 0x1EDC6F41, reflected 0x82F63B78) — the
+// checksum the reliable uplink stamps on every frame so corrupted payloads
+// are rejected at the collector instead of decoded into garbage curves.
+//
+// Software slice-by-1 table implementation: the uplink path checksums a few
+// KB per measurement epoch, far below where slice-by-8 or SSE4.2 would
+// matter, and a single table keeps the header freestanding (no SIMD
+// dispatch, no build flags). The table is built constexpr so there is no
+// runtime init order to reason about.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace umon::resilience {
+
+namespace detail {
+
+constexpr std::array<std::uint32_t, 256> make_crc32c_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc >> 1) ^ ((crc & 1u) ? 0x82F63B78u : 0u);
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+inline constexpr std::array<std::uint32_t, 256> kCrc32cTable =
+    make_crc32c_table();
+
+}  // namespace detail
+
+/// Extend a running CRC32C with `len` bytes. Start from crc32c_init() and
+/// pass the previous return value to process data in chunks; finalize with
+/// crc32c_finish().
+[[nodiscard]] constexpr std::uint32_t crc32c_update(std::uint32_t crc,
+                                                    const std::uint8_t* data,
+                                                    std::size_t len) {
+  for (std::size_t i = 0; i < len; ++i) {
+    crc = detail::kCrc32cTable[(crc ^ data[i]) & 0xFFu] ^ (crc >> 8);
+  }
+  return crc;
+}
+
+[[nodiscard]] constexpr std::uint32_t crc32c_init() { return 0xFFFFFFFFu; }
+[[nodiscard]] constexpr std::uint32_t crc32c_finish(std::uint32_t crc) {
+  return crc ^ 0xFFFFFFFFu;
+}
+
+/// One-shot convenience over a whole buffer.
+[[nodiscard]] constexpr std::uint32_t crc32c(const std::uint8_t* data,
+                                             std::size_t len) {
+  return crc32c_finish(crc32c_update(crc32c_init(), data, len));
+}
+
+// RFC 3720 B.4 test vector: 32 zero bytes -> 0x8A9136AA. Checked at compile
+// time so a table or polynomial regression cannot reach runtime.
+namespace detail {
+constexpr std::array<std::uint8_t, 32> kRfc3720Zeros{};
+static_assert(crc32c(kRfc3720Zeros.data(), kRfc3720Zeros.size()) ==
+                  0x8A9136AAu,
+              "CRC32C does not match the RFC 3720 reference vector");
+}  // namespace detail
+
+}  // namespace umon::resilience

@@ -1,0 +1,282 @@
+#include "resilience/fault_plan.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+namespace umon::resilience {
+namespace {
+
+/// Parse "12ms" / "300us" / "5s" / "8192" (bare = ns) into Nanos.
+bool parse_duration(const std::string& text, Nanos* out) {
+  std::size_t pos = 0;
+  while (pos < text.size() &&
+         (std::isdigit(static_cast<unsigned char>(text[pos])) ||
+          text[pos] == '.' || text[pos] == '-')) {
+    ++pos;
+  }
+  if (pos == 0) return false;
+  double value;
+  try {
+    value = std::stod(text.substr(0, pos));
+  } catch (...) {
+    return false;
+  }
+  const std::string unit = text.substr(pos);
+  double scale = 1.0;
+  if (unit == "ns" || unit.empty()) {
+    scale = 1.0;
+  } else if (unit == "us") {
+    scale = static_cast<double>(kMicro);
+  } else if (unit == "ms") {
+    scale = static_cast<double>(kMilli);
+  } else if (unit == "s") {
+    scale = static_cast<double>(kSecond);
+  } else {
+    return false;
+  }
+  *out = static_cast<Nanos>(value * scale);
+  return true;
+}
+
+/// Split "key=value" tokens after the directive word into a flat list.
+struct Args {
+  std::vector<std::pair<std::string, std::string>> kv;
+
+  [[nodiscard]] const std::string* find(const std::string& key) const {
+    for (const auto& [k, v] : kv) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+  bool duration(const std::string& key, Nanos* out) const {
+    const std::string* v = find(key);
+    return v != nullptr && parse_duration(*v, out);
+  }
+  bool number(const std::string& key, double* out) const {
+    const std::string* v = find(key);
+    if (v == nullptr) return false;
+    try {
+      *out = std::stod(*v);
+    } catch (...) {
+      return false;
+    }
+    return true;
+  }
+  bool integer(const std::string& key, int* out) const {
+    double d;
+    if (!number(key, &d)) return false;
+    *out = static_cast<int>(d);
+    return true;
+  }
+};
+
+bool fail(std::string* error, int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "fault plan line " << line << ": " << msg;
+  if (error != nullptr) *error = os.str();
+  return false;
+}
+
+bool parse_line(const std::string& raw, int lineno, FaultPlan* plan,
+                std::string* error) {
+  std::string line = raw.substr(0, raw.find('#'));
+  std::istringstream is(line);
+  std::string word;
+  if (!(is >> word)) return true;  // blank / comment-only
+
+  Args args;
+  std::string token;
+  while (is >> token) {
+    const std::size_t eq = token.find('=');
+    if (eq == std::string::npos) {
+      // `seed 42` style positional value.
+      args.kv.emplace_back("", token);
+    } else {
+      args.kv.emplace_back(token.substr(0, eq), token.substr(eq + 1));
+    }
+  }
+
+  auto window = [&](ChannelFault* f) {
+    return args.duration("from", &f->from) && args.duration("to", &f->to) &&
+           f->to > f->from;
+  };
+
+  if (word == "seed") {
+    const std::string* v = args.find("");
+    if (v == nullptr) return fail(error, lineno, "seed needs a value");
+    try {
+      plan->seed = std::stoull(*v);
+    } catch (...) {
+      return fail(error, lineno, "bad seed value");
+    }
+    return true;
+  }
+  if (word == "burst-loss" || word == "blackout") {
+    ChannelFault f;
+    f.kind = ChannelFault::Kind::kLoss;
+    f.prob = 1.0;
+    if (!window(&f)) return fail(error, lineno, "need from=<t> to=<t>");
+    if (word == "burst-loss" && !args.number("loss", &f.prob)) {
+      return fail(error, lineno, "burst-loss needs loss=<prob>");
+    }
+    plan->channel.push_back(f);
+    return true;
+  }
+  if (word == "duplicate" || word == "reorder" || word == "corrupt") {
+    ChannelFault f;
+    if (!window(&f)) return fail(error, lineno, "need from=<t> to=<t>");
+    if (!args.number("prob", &f.prob)) {
+      return fail(error, lineno, word + " needs prob=<p>");
+    }
+    if (word == "duplicate") {
+      f.kind = ChannelFault::Kind::kDuplicate;
+    } else if (word == "reorder") {
+      f.kind = ChannelFault::Kind::kReorder;
+      if (!args.duration("jitter", &f.extra_jitter) || f.extra_jitter <= 0) {
+        return fail(error, lineno, "reorder needs jitter=<dur>");
+      }
+    } else {
+      f.kind = ChannelFault::Kind::kCorrupt;
+      f.bits = 1;
+      (void)args.integer("bits", &f.bits);
+      if (f.bits < 1) return fail(error, lineno, "corrupt bits must be >= 1");
+    }
+    plan->channel.push_back(f);
+    return true;
+  }
+  if (word == "stall-host") {
+    HostStall s;
+    if (!args.integer("host", &s.host) || s.host < 0) {
+      return fail(error, lineno, "stall-host needs host=<n>");
+    }
+    if (!args.duration("from", &s.from) || !args.duration("to", &s.to) ||
+        s.to <= s.from) {
+      return fail(error, lineno, "need from=<t> to=<t>");
+    }
+    plan->stalls.push_back(s);
+    return true;
+  }
+  if (word == "crash-shard") {
+    ShardCrash c;
+    if (!args.integer("shard", &c.shard) || c.shard < 0) {
+      return fail(error, lineno, "crash-shard needs shard=<n>");
+    }
+    if (!args.duration("at", &c.at)) {
+      return fail(error, lineno, "crash-shard needs at=<t>");
+    }
+    c.restart = 0;
+    (void)args.duration("restart", &c.restart);
+    plan->crashes.push_back(c);
+    return true;
+  }
+  return fail(error, lineno, "unknown directive '" + word + "'");
+}
+
+}  // namespace
+
+std::optional<FaultPlan> FaultPlan::parse(std::istream& in,
+                                          std::string* error) {
+  FaultPlan plan;
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (!parse_line(line, lineno, &plan, error)) return std::nullopt;
+  }
+  return plan;
+}
+
+std::optional<FaultPlan> FaultPlan::parse_file(const std::string& path,
+                                               std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    if (error != nullptr) *error = "cannot open fault plan: " + path;
+    return std::nullopt;
+  }
+  return parse(in, error);
+}
+
+FaultAction FaultInjector::on_send(int host, Nanos now,
+                                   std::vector<std::uint8_t>& payload) {
+  (void)host;
+  FaultAction action;
+  for (const ChannelFault& f : plan_.channel) {
+    if (now < f.from || now >= f.to) continue;
+    // One Rng draw per active window keeps the stream aligned across runs:
+    // the draw happens whether or not the fault triggers.
+    const bool hit = rng_.uniform() < f.prob;
+    switch (f.kind) {
+      case ChannelFault::Kind::kLoss:
+        if (hit) action.drop = true;
+        break;
+      case ChannelFault::Kind::kDuplicate:
+        if (hit) action.duplicates += 1;
+        break;
+      case ChannelFault::Kind::kReorder:
+        if (hit) {
+          action.extra_delay += static_cast<Nanos>(
+              rng_.below(static_cast<std::uint64_t>(f.extra_jitter)));
+        }
+        break;
+      case ChannelFault::Kind::kCorrupt:
+        if (hit && !payload.empty()) {
+          action.corrupted = true;
+          for (int b = 0; b < f.bits; ++b) {
+            const std::uint64_t bit = rng_.below(payload.size() * 8);
+            payload[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+          }
+        }
+        break;
+    }
+  }
+  if (action.drop) {
+    ++stats_.drops;
+    // A dropped payload never reaches the wire; the other decisions are
+    // moot but their Rng draws above already happened, keeping determinism.
+    action.duplicates = 0;
+    action.extra_delay = 0;
+  } else {
+    stats_.duplicates += static_cast<std::uint64_t>(action.duplicates);
+    if (action.corrupted) ++stats_.corruptions;
+    if (action.extra_delay > 0) ++stats_.delays;
+  }
+  return action;
+}
+
+bool FaultInjector::host_stalled(int host, Nanos now) {
+  for (const HostStall& s : plan_.stalls) {
+    if (s.host == host && now >= s.from && now < s.to) {
+      ++stats_.stalled_flushes;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<FaultInjector::ShardEvent> FaultInjector::take_due_shard_events(
+    Nanos now) {
+  if (!schedule_built_) {
+    for (const ShardCrash& c : plan_.crashes) {
+      schedule_.push_back({c.shard, /*restart=*/false, c.at});
+      if (c.restart > c.at) {
+        schedule_.push_back({c.shard, /*restart=*/true, c.restart});
+      }
+    }
+    std::sort(schedule_.begin(), schedule_.end(),
+              [](const ShardEvent& a, const ShardEvent& b) {
+                if (a.at != b.at) return a.at < b.at;
+                if (a.shard != b.shard) return a.shard < b.shard;
+                return a.restart < b.restart;  // crash before restart
+              });
+    schedule_built_ = true;
+  }
+  std::vector<ShardEvent> due;
+  while (next_event_ < schedule_.size() && schedule_[next_event_].at <= now) {
+    due.push_back(schedule_[next_event_++]);
+  }
+  return due;
+}
+
+}  // namespace umon::resilience

@@ -1,0 +1,131 @@
+// Deterministic fault injection for chaos runs. A FaultPlan is a seeded
+// schedule of faults parsed from a small text format; a FaultInjector is the
+// runtime that UploadChannel, the epoch driver, and the Collector consult.
+// Every stochastic decision comes from one seeded Rng consumed in
+// send/tick order, so two executions of the same plan against the same
+// workload seed are byte-reproducible end to end.
+//
+// Plan file format — one directive per line, '#' starts a comment, times
+// accept ns/us/ms/s suffixes (bare numbers are nanoseconds):
+//
+//   seed 42
+//   burst-loss from=2ms to=4ms loss=1.0        # channel drop prob in window
+//   blackout   from=6ms to=7ms                 # shorthand for loss=1.0
+//   duplicate  from=0 to=20ms prob=0.05        # deliver the payload twice
+//   reorder    from=0 to=20ms prob=0.2 jitter=300us  # extra delivery delay
+//   corrupt    from=3ms to=5ms prob=0.1 bits=3 # flip N payload bits
+//   stall-host host=2 from=4ms to=6ms          # host neither flushes nor sends
+//   crash-shard shard=1 at=5ms restart=7ms     # collector shard loses state
+//
+// Directives of the same type may repeat (e.g. several loss bursts); windows
+// are inclusive of `from`, exclusive of `to`.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace umon::resilience {
+
+/// One channel-level fault window.
+struct ChannelFault {
+  enum class Kind { kLoss, kDuplicate, kReorder, kCorrupt };
+  Kind kind = Kind::kLoss;
+  Nanos from = 0;
+  Nanos to = 0;          ///< exclusive
+  double prob = 1.0;     ///< per-payload trigger probability
+  Nanos extra_jitter = 0;  ///< kReorder: extra delay drawn from [0, jitter)
+  int bits = 1;          ///< kCorrupt: payload bits flipped per trigger
+};
+
+struct HostStall {
+  int host = -1;
+  Nanos from = 0;
+  Nanos to = 0;  ///< exclusive
+};
+
+struct ShardCrash {
+  int shard = -1;
+  Nanos at = 0;
+  Nanos restart = 0;  ///< <= at means the shard never restarts
+};
+
+struct FaultPlan {
+  std::uint64_t seed = 1;
+  std::vector<ChannelFault> channel;
+  std::vector<HostStall> stalls;
+  std::vector<ShardCrash> crashes;
+
+  [[nodiscard]] bool empty() const {
+    return channel.empty() && stalls.empty() && crashes.empty();
+  }
+
+  /// Parse the text format above. Returns nullopt and sets *error (with a
+  /// line number) on the first malformed directive.
+  [[nodiscard]] static std::optional<FaultPlan> parse(std::istream& in,
+                                                      std::string* error);
+  [[nodiscard]] static std::optional<FaultPlan> parse_file(
+      const std::string& path, std::string* error);
+};
+
+/// What the injector decided for one payload about to enter the channel.
+struct FaultAction {
+  bool drop = false;
+  bool corrupted = false;
+  int duplicates = 0;    ///< extra copies to enqueue
+  Nanos extra_delay = 0; ///< added to the copy's delivery time
+};
+
+/// Tally of injected faults, for the end-of-run chaos summary.
+struct FaultStats {
+  std::uint64_t drops = 0;
+  std::uint64_t duplicates = 0;
+  std::uint64_t corruptions = 0;
+  std::uint64_t delays = 0;
+  std::uint64_t stalled_flushes = 0;
+};
+
+/// Runtime for one plan. Not thread-safe: on_send/host_stalled/
+/// take_due_shard_events are called from the (single-threaded) driver and
+/// channel in deterministic order.
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultPlan plan)
+      : plan_(std::move(plan)), rng_(plan_.seed ^ 0xFA17ED00ULL) {}
+
+  /// Decide the fate of one payload sent at `now`; corruption mutates
+  /// `payload` in place (deterministic bit flips).
+  [[nodiscard]] FaultAction on_send(int host, Nanos now,
+                                    std::vector<std::uint8_t>& payload);
+
+  /// True while `host` is inside a stall window (the driver then skips the
+  /// epoch flush; the sketch keeps accumulating).
+  [[nodiscard]] bool host_stalled(int host, Nanos now);
+
+  /// Shard crash/restart events that became due at or before `now`, in
+  /// schedule order; each event is returned exactly once.
+  struct ShardEvent {
+    int shard = -1;
+    bool restart = false;  ///< false = crash, true = restart
+    Nanos at = 0;
+  };
+  [[nodiscard]] std::vector<ShardEvent> take_due_shard_events(Nanos now);
+
+  [[nodiscard]] const FaultStats& stats() const { return stats_; }
+  [[nodiscard]] const FaultPlan& plan() const { return plan_; }
+
+ private:
+  FaultPlan plan_;
+  Rng rng_;
+  FaultStats stats_;
+  std::vector<ShardEvent> schedule_;   ///< lazily built, sorted by time
+  std::size_t next_event_ = 0;
+  bool schedule_built_ = false;
+};
+
+}  // namespace umon::resilience

@@ -1,0 +1,124 @@
+#include "resilience/frame.hpp"
+
+#include <cstring>
+
+#include "resilience/crc32c.hpp"
+
+namespace umon::resilience {
+namespace {
+
+constexpr std::uint16_t kMagic = 0x5AFE;
+constexpr std::uint8_t kVersion = 1;
+/// A frame payload never exceeds one upload payload (a few hundred reports)
+/// or one ack body; reject absurd lengths before allocating.
+constexpr std::uint32_t kMaxPayload = 1u << 24;
+
+template <typename T>
+void put(std::vector<std::uint8_t>& out, T value) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  const std::size_t pos = out.size();
+  out.resize(pos + sizeof(T));
+  std::memcpy(out.data() + pos, &value, sizeof(T));
+}
+
+template <typename T>
+bool get(std::span<const std::uint8_t> in, std::size_t& offset, T& value) {
+  if (in.size() - offset < sizeof(T)) return false;
+  std::memcpy(&value, in.data() + offset, sizeof(T));
+  offset += sizeof(T);
+  return true;
+}
+
+/// Offset of the crc field within the header (see the layout in frame.hpp):
+/// magic(2) version(1) kind(1) host(4) frame_seq(4) epoch(4) payload_len(4)
+/// precede it.
+constexpr std::size_t kCrcOffset = 20;
+
+std::vector<std::uint8_t> encode_frame(FrameKind kind, std::uint32_t host,
+                                       std::uint32_t frame_seq,
+                                       std::uint32_t epoch,
+                                       std::span<const std::uint8_t> payload) {
+  std::vector<std::uint8_t> out;
+  out.reserve(kFrameHeaderBytes + payload.size());
+  put(out, kMagic);
+  put(out, kVersion);
+  put(out, static_cast<std::uint8_t>(kind));
+  put(out, host);
+  put(out, frame_seq);
+  put(out, epoch);
+  put(out, static_cast<std::uint32_t>(payload.size()));
+  put(out, std::uint32_t{0});  // crc placeholder
+  out.insert(out.end(), payload.begin(), payload.end());
+  const std::uint32_t crc = crc32c(out.data(), out.size());
+  std::memcpy(out.data() + kCrcOffset, &crc, sizeof(crc));
+  return out;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_data_frame(
+    std::uint32_t host, std::uint32_t frame_seq, std::uint32_t epoch,
+    std::span<const std::uint8_t> payload) {
+  return encode_frame(FrameKind::kData, host, frame_seq, epoch, payload);
+}
+
+std::vector<std::uint8_t> encode_ack_frame(std::uint32_t host,
+                                           const AckBody& body) {
+  std::vector<std::uint8_t> payload;
+  payload.reserve(8 + body.nacks.size() * 4);
+  put(payload, body.cum_ack);
+  put(payload, static_cast<std::uint32_t>(body.nacks.size()));
+  for (std::uint32_t seq : body.nacks) put(payload, seq);
+  return encode_frame(FrameKind::kAck, host, /*frame_seq=*/0, /*epoch=*/0,
+                      payload);
+}
+
+std::optional<Frame> decode_frame(std::span<const std::uint8_t> in) {
+  if (in.size() < kFrameHeaderBytes) return std::nullopt;
+  std::size_t offset = 0;
+  std::uint16_t magic;
+  std::uint8_t version, kind;
+  Frame f;
+  std::uint32_t payload_len, stored_crc;
+  if (!get(in, offset, magic) || magic != kMagic) return std::nullopt;
+  if (!get(in, offset, version) || version != kVersion) return std::nullopt;
+  if (!get(in, offset, kind) || kind > 1) return std::nullopt;
+  if (!get(in, offset, f.host) || !get(in, offset, f.frame_seq) ||
+      !get(in, offset, f.epoch) || !get(in, offset, payload_len) ||
+      !get(in, offset, stored_crc)) {
+    return std::nullopt;
+  }
+  if (payload_len > kMaxPayload) return std::nullopt;
+  // The declared payload must match the delivered buffer exactly: the CRC
+  // covers everything, so trailing or missing bytes are always detectable.
+  if (in.size() - kFrameHeaderBytes != payload_len) return std::nullopt;
+  std::uint32_t crc = crc32c_init();
+  crc = crc32c_update(crc, in.data(), kCrcOffset);
+  constexpr std::uint8_t kZeroCrc[4] = {0, 0, 0, 0};
+  crc = crc32c_update(crc, kZeroCrc, sizeof(kZeroCrc));
+  crc = crc32c_update(crc, in.data() + kFrameHeaderBytes, payload_len);
+  if (crc32c_finish(crc) != stored_crc) return std::nullopt;
+  f.kind = static_cast<FrameKind>(kind);
+  f.payload.assign(in.begin() + kFrameHeaderBytes, in.end());
+  return f;
+}
+
+std::optional<AckBody> decode_ack_body(std::span<const std::uint8_t> payload) {
+  std::size_t offset = 0;
+  AckBody body;
+  std::uint32_t count;
+  if (!get(payload, offset, body.cum_ack) || !get(payload, offset, count)) {
+    return std::nullopt;
+  }
+  if (count > kMaxNacksPerAck) return std::nullopt;
+  body.nacks.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    std::uint32_t seq;
+    if (!get(payload, offset, seq)) return std::nullopt;
+    body.nacks.push_back(seq);
+  }
+  if (offset != payload.size()) return std::nullopt;
+  return body;
+}
+
+}  // namespace umon::resilience

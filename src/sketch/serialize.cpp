@@ -163,6 +163,15 @@ std::optional<TaggedReport> decode_report(std::span<const std::uint8_t> in,
                                           std::size_t& offset) {
   Header h;
   if (!read_header(in, offset, h)) return std::nullopt;
+  // Reject a declared payload that extends past the buffer *before* acting
+  // on the counts: the per-coefficient get() loop would only notice the
+  // truncation after reserving approx_count slots, and a frame truncated at
+  // exactly the header boundary must not decode as an empty-but-valid
+  // report. (offset <= in.size() holds after read_header, so the
+  // subtraction cannot wrap.)
+  const std::size_t payload = std::size_t{h.approx_count} * 4 +
+                              std::size_t{h.detail_count} * 8;
+  if (in.size() - offset < payload) return std::nullopt;
   TaggedReport out;
   out.row = h.row;
   out.col = h.col;

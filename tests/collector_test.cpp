@@ -492,6 +492,84 @@ TEST(CollectorConcurrency, StatsDuringIngest) {
   EXPECT_EQ(st.epochs_flushed, static_cast<std::uint64_t>(kHosts) * kEpochs);
 }
 
+// Liveness regression (run under TSan via collector_concurrency): drain()
+// must return while a shard is crashed, because a crashed shard keeps
+// consuming its queue — discarding data batches but still acking barriers.
+// The original implementation parked the crashed shard's consumer, so any
+// barrier enqueued behind its backlog waited forever. Producers, a chaos
+// thread flipping crash/restart, and a drainer all run concurrently; at the
+// end every scanned report is accounted for exactly once: decoded, shed,
+// or discarded by a crashed shard.
+TEST(CollectorConcurrency, DrainDuringCrashRestart) {
+  constexpr int kHosts = 3;
+  constexpr int kEpochs = 6;
+  constexpr std::uint32_t kFlowsPerHost = 4;
+
+  analyzer::Analyzer an;
+  CollectorConfig cfg;
+  cfg.shards = 2;
+  cfg.queue_capacity = 4;
+  cfg.overflow = OverflowPolicy::kBlock;  // nothing shed: stats stay exact
+  Collector col(cfg, an);
+  col.start();
+
+  std::atomic<bool> done{false};
+  std::thread chaos([&col, &done] {
+    while (!done.load(std::memory_order_relaxed)) {
+      col.crash_shard(0);
+      std::this_thread::yield();
+      col.restart_shard(0);
+      std::this_thread::yield();
+    }
+    col.restart_shard(0);
+  });
+  std::thread drainer([&col, &done] {
+    while (!done.load(std::memory_order_relaxed)) {
+      const int live = col.drain();  // must never wedge mid-crash
+      EXPECT_GE(live, 0);
+      EXPECT_LE(live, 2);
+    }
+  });
+
+  std::vector<std::thread> producers;
+  for (int h = 0; h < kHosts; ++h) {
+    producers.emplace_back([&col, h] {
+      HostUplink up(h, /*max_reports_per_payload=*/2);
+      for (int e = 0; e < kEpochs; ++e) {
+        std::vector<sketch::TaggedReport> reports;
+        for (std::uint32_t i = 0; i < kFlowsPerHost; ++i) {
+          reports.push_back(
+              make_report(flow(static_cast<std::uint32_t>(h) * 10 + i),
+                          e * 8, {1, 2, 3, 4}));
+        }
+        const auto upload = up.encode_epoch(std::move(reports));
+        for (const auto& p : upload.payloads) {
+          ASSERT_TRUE(col.submit_report_payload(h, upload.epoch, p.bytes));
+        }
+        col.seal_epoch(h, upload.epoch, upload.end_seq);
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  done.store(true, std::memory_order_relaxed);
+  chaos.join();
+  drainer.join();
+  // One last crash-free drain: whatever survived must be fully processed.
+  EXPECT_EQ(col.drain(), 2);
+  col.stop();
+
+  const CollectorStats st = col.stats();
+  const std::uint64_t expected =
+      static_cast<std::uint64_t>(kHosts) * kEpochs * kFlowsPerHost;
+  EXPECT_EQ(st.reports_scanned, expected);
+  EXPECT_EQ(st.reports_shed, 0u);
+  EXPECT_EQ(st.reports_malformed, 0u);
+  // Exactly-once accounting: a report either reached the analyzer or was
+  // discarded by a crashed shard — never both, never neither.
+  EXPECT_EQ(st.reports_decoded + st.reports_crashed, expected);
+  EXPECT_EQ(st.epochs_flushed, static_cast<std::uint64_t>(kHosts) * kEpochs);
+}
+
 // --- end-to-end: recorded fat-tree run replayed through the lossy channel --
 
 struct RecordedRun {
@@ -574,6 +652,7 @@ LossyResult run_lossy(double loss_rate) {
             *sketches[static_cast<std::size_t>(h)]);
     end_seq[static_cast<std::size_t>(h)] = upload.end_seq;
     for (auto& p : upload.payloads) {
+      // umon-lint: allow(UL006) — this test measures the raw lossy channel
       if (!channel.send(h, upload.epoch, std::move(p.bytes),
                         /*now=*/h * kMicro)) {
         res.reports_in_dropped_payloads += p.reports;

@@ -2,14 +2,18 @@
 //
 //   umon_health_check FILE [--expect-alarm] [--expect-healthy]
 //                     [--require-series NAME]... [--min-ticks N]
+//                     [--max-lost N]
 //
 // Exit 0 iff the file is well-formed: a header line first (format
 // umon-health-v1), every line a one-object JSON record with a known type
-// (header, watermark, series, alarm, verdict), all four watermark stages
-// present, series points in non-decreasing time order, and exactly one
-// verdict line, last. --expect-alarm additionally requires at least one
-// firing transition; --expect-healthy the opposite; --require-series that a
-// series with that exact name exists; --min-ticks a minimum sample count.
+// (header, watermark, series, confidence, alarm, verdict), all five
+// watermark stages present, series points in non-decreasing time order, and
+// exactly one verdict line, last. --expect-alarm additionally requires at
+// least one firing transition; --expect-healthy the opposite;
+// --require-series that a series with that exact name exists; --min-ticks a
+// minimum sample count; --max-lost an upper bound on windows flagged lost
+// in the confidence record (the CI chaos gate uses --max-lost 0 to assert
+// every epoch was recovered).
 // CI runs it over umon_sim --health-out, the health analogue of
 // umon_prom_check.
 #include <cstdio>
@@ -88,6 +92,7 @@ int main(int argc, char** argv) {
   bool expect_alarm = false;
   bool expect_healthy = false;
   long min_ticks = 1;
+  long max_lost = -1;  // -1: no bound
   std::vector<std::string> required_series;
   for (int i = 2; i < argc; ++i) {
     if (std::strcmp(argv[i], "--expect-alarm") == 0) {
@@ -99,6 +104,8 @@ int main(int argc, char** argv) {
       required_series.emplace_back(argv[++i]);
     } else if (std::strcmp(argv[i], "--min-ticks") == 0 && i + 1 < argc) {
       min_ticks = std::atol(argv[++i]);
+    } else if (std::strcmp(argv[i], "--max-lost") == 0 && i + 1 < argc) {
+      max_lost = std::atol(argv[++i]);
     } else {
       std::fprintf(stderr, "unknown argument '%s'\n", argv[i]);
       return 2;
@@ -112,7 +119,8 @@ int main(int argc, char** argv) {
 
   std::set<std::string> stages_seen;
   std::set<std::string> series_seen;
-  std::size_t line_no = 0, verdicts = 0, firings = 0;
+  std::size_t line_no = 0, verdicts = 0, firings = 0, confidences = 0;
+  double lost_windows = 0;
   bool verdict_healthy = false;
   bool verdict_last = false;
   double ticks = 0;
@@ -157,6 +165,16 @@ int main(int argc, char** argv) {
         error(line_no, "series points malformed or time went backwards",
               name);
       }
+    } else if (type == "confidence") {
+      double lost = 0;
+      if (!number_field(line, "lost", &lost)) {
+        error(line_no, "confidence missing lost count", {});
+      }
+      if (line.find("\"windows\":[") == std::string::npos) {
+        error(line_no, "confidence missing windows array", {});
+      }
+      lost_windows += lost;
+      ++confidences;
     } else if (type == "alarm") {
       if (string_field(line, "to") == "firing") ++firings;
     } else if (type == "verdict") {
@@ -174,7 +192,7 @@ int main(int argc, char** argv) {
     error(line_no, "verdict is not the last line", {});
   }
   for (const char* stage : {"packet_event", "sketch_seal", "collector_decode",
-                            "analyzer_curve"}) {
+                            "analyzer_curve", "resilience"}) {
     if (stages_seen.count(stage) == 0) {
       error(line_no, "missing watermark stage", stage);
     }
@@ -186,6 +204,13 @@ int main(int argc, char** argv) {
   }
   if (ticks < static_cast<double>(min_ticks)) {
     error(line_no, "fewer ticks than --min-ticks", std::to_string(ticks));
+  }
+  if (max_lost >= 0 && confidences == 0) {
+    error(line_no, "--max-lost but no confidence record", {});
+  }
+  if (max_lost >= 0 && lost_windows > static_cast<double>(max_lost)) {
+    error(line_no, "more lost windows than --max-lost",
+          std::to_string(lost_windows));
   }
   if (expect_alarm && firings == 0) {
     error(line_no, "--expect-alarm but no firing transition", {});

@@ -298,6 +298,49 @@ TEST(Serialize, RejectsEveryHeaderTruncation) {
   }
 }
 
+// Regression: a header that parses cleanly and carries counts consistent
+// with length/levels, but whose declared coefficient payload extends past
+// the buffer, must be rejected by the extent bound *before* any coefficient
+// is read. The original decoder checked each read individually; a frame cut
+// between the header and the payload tail walked the coefficient loop up to
+// the break, doing work proportional to the attacker-declared count. The
+// bound makes the reject O(1) and is what scan/decode agreement relies on.
+TEST(Serialize, RejectsPayloadExtentBeyondBuffer) {
+  TaggedReport r = sample_report();
+  std::vector<std::uint8_t> buf;
+  encode_report(r, buf);
+  const std::size_t payload_bytes =
+      r.report.approx.size() * 4 + r.report.details.size() * 8;
+  const std::size_t header_bytes = buf.size() - payload_bytes;
+
+  // Buffer ends exactly at the header boundary: full header, zero of the
+  // declared payload present.
+  {
+    std::size_t offset = 0;
+    EXPECT_FALSE(
+        decode_report(std::span(buf.data(), header_bytes), offset).has_value());
+    // scan_report applies the same extent rule.
+    offset = 0;
+    EXPECT_FALSE(
+        scan_report(std::span(buf.data(), header_bytes), offset).has_value());
+  }
+  // One whole detail record missing from the tail — counts still claim it.
+  {
+    std::size_t offset = 0;
+    EXPECT_FALSE(
+        decode_report(std::span(buf.data(), buf.size() - 8), offset)
+            .has_value());
+  }
+  // Cut on every coefficient boundary inside the payload.
+  for (std::size_t present = 0; present < payload_bytes; present += 4) {
+    std::size_t offset = 0;
+    EXPECT_FALSE(
+        decode_report(std::span(buf.data(), header_bytes + present), offset)
+            .has_value())
+        << "payload bytes present: " << present;
+  }
+}
+
 // --- AggregatingFrontEnd ----------------------------------------------------
 
 TEST(Aggregator, CoalescesSameWindowUpdates) {

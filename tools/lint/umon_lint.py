@@ -34,6 +34,15 @@ UL005  time-float-arith      float/double arithmetic mixed with
                              static_cast. Silent promotion of 64-bit
                              nanosecond timestamps through double loses
                              precision past 2^53 ns (~104 days).
+UL006  raw-channel-send      A direct send() on an upload channel outside
+                             the reliable uplink wrapper (identifier
+                             containing `channel` followed by `.send(` /
+                             `->send(`). Raw sends bypass CRC framing,
+                             retransmits, and the confidence-flag
+                             accounting; route payloads through
+                             resilience::ReliableLink (passthrough mode
+                             preserves legacy behavior). The wrapper
+                             itself and src/netsim/ are exempt.
 
 Suppressions
 ------------
@@ -127,6 +136,15 @@ UL005_CAST_RE = re.compile(
 )
 ARITH_OP_RE = re.compile(r"[+\-*/]")
 
+# UL006: the reliable uplink is the only sanctioned sender on an upload
+# channel. The wrapper's own raw sends and the channel's home directory
+# (its implementation and loopback tests) are exempt by path.
+UL006_ALLOWED_PATHS = (
+    "src/resilience/reliable.cpp",
+    "src/netsim/",
+)
+UL006_RE = re.compile(r"\b\w*[Cc]hannel\w*\s*(?:\.|->)\s*send\s*\(")
+
 ALLOW_RE = re.compile(r"umon-lint:\s*allow\(([^)]*)\)")
 ALLOW_FILE_RE = re.compile(r"umon-lint:\s*allow-file\(([^)]*)\)")
 WIRE_MARKER_RE = re.compile(r"umon-lint:\s*wire-struct\b")
@@ -145,6 +163,8 @@ RULES = {
              "simulation/monotonic time",
     "UL005": "float/double arithmetic on Nanos/WindowId without an explicit "
              "static_cast",
+    "UL006": "direct UploadChannel send outside the reliable uplink wrapper; "
+             "route payloads through resilience::ReliableLink",
 }
 
 
@@ -477,7 +497,24 @@ def check_ul005(sf: SourceFile) -> list:
     return findings
 
 
-ALL_CHECKS = ("UL001", "UL002", "UL003", "UL004", "UL005")
+def check_ul006(sf: SourceFile) -> list:
+    findings = []
+    rel = sf.rel_path.replace(os.sep, "/")
+    if any(p in rel for p in UL006_ALLOWED_PATHS):
+        return findings
+    for idx, code in enumerate(sf.code_lines):
+        m = UL006_RE.search(code)
+        if m:
+            findings.append(Finding(
+                sf.rel_path, idx + 1, "UL006",
+                f"direct upload-channel send `{m.group(0).strip()}` bypasses "
+                "the reliable uplink (CRC framing, retransmits, confidence "
+                "flags); route through resilience::ReliableLink",
+                sf.raw_lines[idx].strip()))
+    return findings
+
+
+ALL_CHECKS = ("UL001", "UL002", "UL003", "UL004", "UL005", "UL006")
 
 
 def scan_file(path: str, rel_path: str, atomics_allow: list,
@@ -494,6 +531,8 @@ def scan_file(path: str, rel_path: str, atomics_allow: list,
         findings += check_ul004(sf)
     if "UL005" in rules:
         findings += check_ul005(sf)
+    if "UL006" in rules:
+        findings += check_ul006(sf)
     return [f for f in findings if not suppressed(sf, f.line, f.rule)]
 
 
