@@ -57,30 +57,52 @@ std::vector<double> FlowCurveStore::range(const FlowKey& flow, WindowId from,
        ++m) {
     if (m->second != WindowConfidence::kLost) continue;
     const WindowId w = m->first;
-    auto is_lost = [&](WindowId x) {
-      auto mk = marks_.find(x);
-      return mk != marks_.end() && mk->second == WindowConfidence::kLost;
-    };
-    // Nearest stored neighbor on each side that is itself trusted.
-    auto right = windows.upper_bound(w);
-    while (right != windows.end() && is_lost(right->first)) ++right;
-    if (right == windows.end()) continue;
-    auto left = windows.lower_bound(w);
-    bool have_left = false;
-    while (left != windows.begin()) {
-      --left;
-      if (!is_lost(left->first)) {
-        have_left = true;
-        break;
-      }
-    }
-    if (!have_left) continue;
+    WindowMap::const_iterator left, right;
+    if (!trusted_neighbors(windows, w, left, right)) continue;
     const double span = static_cast<double>(right->first - left->first);
     const double frac = static_cast<double>(w - left->first) / span;
     out[static_cast<std::size_t>(w - from)] =
         left->second + (right->second - left->second) * frac;
   }
   return out;
+}
+
+bool FlowCurveStore::is_lost(WindowId w) const {
+  auto it = marks_.find(w);
+  return it != marks_.end() && it->second == WindowConfidence::kLost;
+}
+
+bool FlowCurveStore::trusted_neighbors(const WindowMap& windows, WindowId w,
+                                       WindowMap::const_iterator& left,
+                                       WindowMap::const_iterator& right) const {
+  right = windows.upper_bound(w);
+  while (right != windows.end() && is_lost(right->first)) ++right;
+  if (right == windows.end()) return false;
+  left = windows.lower_bound(w);
+  while (left != windows.begin()) {
+    --left;
+    if (!is_lost(left->first)) return true;
+  }
+  return false;
+}
+
+bool FlowCurveStore::gap_fillable(WindowId w) const {
+  // kGapFilled is only honest when range() will interpolate the window for
+  // every flow it could matter to: each flow whose stored extent spans `w`
+  // must have a trusted neighbor on both sides, and at least one flow must
+  // span it at all. Otherwise some read still serves the raw (partial or
+  // zero) values and the label would overstate trust.
+  bool any = false;
+  for (const auto& [k, e] : flows_) {
+    if (e.windows.empty() || e.windows.begin()->first > w ||
+        e.windows.rbegin()->first < w) {
+      continue;  // flow's stored curve does not span this window
+    }
+    WindowMap::const_iterator left, right;
+    if (!trusted_neighbors(e.windows, w, left, right)) return false;
+    any = true;
+  }
+  return any;
 }
 
 void FlowCurveStore::mark_windows(WindowId from, WindowId to,
@@ -95,7 +117,7 @@ void FlowCurveStore::mark_windows(WindowId from, WindowId to,
 WindowConfidence FlowCurveStore::confidence(WindowId w) const {
   auto it = marks_.find(w);
   if (it == marks_.end()) return WindowConfidence::kCovered;
-  if (it->second == WindowConfidence::kLost && gap_fill_) {
+  if (it->second == WindowConfidence::kLost && gap_fill_ && gap_fillable(w)) {
     return WindowConfidence::kGapFilled;
   }
   return it->second;

@@ -75,8 +75,12 @@ class FlowCurveStore {
   /// no-op — covered is the default.
   void mark_windows(WindowId from, WindowId to, WindowConfidence conf);
 
-  /// Confidence of one window. Lost windows report kGapFilled when
-  /// gap-fill is enabled (range() interpolates them on read).
+  /// Confidence of one window. Lost windows report kGapFilled only when
+  /// gap-fill is enabled *and* range() will actually interpolate them:
+  /// every flow whose stored curve spans the window has a trusted stored
+  /// neighbor on both sides. A lost window range() would serve raw (at a
+  /// flow's edge, or with no trusted neighbor) stays kLost — the label
+  /// must never promise an interpolation the read path cannot deliver.
   [[nodiscard]] WindowConfidence confidence(WindowId w) const;
 
   /// Enable read-side interpolation across kLost windows. Off by default:
@@ -121,6 +125,16 @@ class FlowCurveStore {
     FlowKey key;
     std::map<WindowId, double> windows;  // sparse accumulated counters
   };
+  using WindowMap = std::map<WindowId, double>;
+
+  [[nodiscard]] bool is_lost(WindowId w) const;
+  /// Nearest stored neighbors of `w` in `windows` that are themselves
+  /// trusted (not marked kLost); false when either side is missing.
+  bool trusted_neighbors(const WindowMap& windows, WindowId w,
+                         WindowMap::const_iterator& left,
+                         WindowMap::const_iterator& right) const;
+  /// True when range() can interpolate `w` for every flow spanning it.
+  [[nodiscard]] bool gap_fillable(WindowId w) const;
 
   static constexpr std::size_t kEntryBytes =
       sizeof(Entry) + 2 * sizeof(void*);  // hash node overhead

@@ -269,6 +269,20 @@ void Collector::stop() {
     sh->staging.clear();
   }
   for (auto& [key, p] : leftovers) flush_epoch_to_sink(std::move(p));
+
+  // Workers are joined, so every crash-damage record is in. Sweep whatever
+  // never settled at a seal barrier — epochs whose every batch crashed
+  // leave no staged data and may never have been sealed — then dispatch
+  // the lot so no loss escapes the hook.
+  {
+    std::lock_guard lock(crash_mutex_);
+    for (const auto& [key, lost] : crash_damage_) {
+      settled_damage_.push_back({static_cast<int>(key >> 32),
+                                 static_cast<std::uint32_t>(key), lost});
+    }
+    crash_damage_.clear();
+  }
+  fire_settled_damage();
 }
 
 int Collector::drain() {
@@ -290,7 +304,12 @@ int Collector::drain() {
   // everything enqueued before it — including batches that were in flight
   // when the crash message landed. The live count tells the caller how many
   // shards actually *processed* rather than shed their backlog.
-  return barrier->wait_for(cfg_.shards);
+  const int live = barrier->wait_for(cfg_.shards);
+  // Crash damage settled at seal barriers since the last drain is now
+  // final; dispatch it on this (caller) thread so the hook never races the
+  // shard workers.
+  fire_settled_damage();
+  return live;
 }
 
 void Collector::crash_shard(int shard) {
@@ -464,23 +483,6 @@ void Collector::seal_epoch(int host, std::uint32_t epoch,
     }
     st.epoch_start_seq = end;
   }
-  {
-    // Shard-crash damage: the frames arrived, but a crashed shard discarded
-    // the decoded reports or staged fragments. Surfaced through the same
-    // loss hook as sequence gaps so the driver flags the windows.
-    std::uint64_t crashed = 0;
-    {
-      std::lock_guard lock(crash_mutex_);
-      auto it = crash_damage_.find(epoch_key(host, epoch));
-      if (it != crash_damage_.end()) {
-        crashed = it->second;
-        crash_damage_.erase(it);
-      }
-    }
-    if (crashed > 0 && epoch_loss_hook_) {
-      epoch_loss_hook_(host, epoch, crashed);
-    }
-  }
   for (auto& sh : shards_) {
     ShardMsg msg;
     msg.kind = ShardMsg::Kind::kSeal;
@@ -495,6 +497,27 @@ void Collector::note_crash_damage(int host, std::uint32_t epoch,
   if (count == 0) return;
   std::lock_guard lock(crash_mutex_);
   crash_damage_[epoch_key(host, epoch)] += count;
+}
+
+void Collector::settle_crash_damage(std::uint64_t key) {
+  std::lock_guard lock(crash_mutex_);
+  auto it = crash_damage_.find(key);
+  if (it == crash_damage_.end()) return;
+  settled_damage_.push_back({static_cast<int>(key >> 32),
+                             static_cast<std::uint32_t>(key), it->second});
+  crash_damage_.erase(it);
+}
+
+void Collector::fire_settled_damage() {
+  std::vector<SettledDamage> due;
+  {
+    std::lock_guard lock(crash_mutex_);
+    due.swap(settled_damage_);
+  }
+  if (!epoch_loss_hook_) return;
+  for (const SettledDamage& d : due) {
+    epoch_loss_hook_(d.host, d.epoch, d.lost);
+  }
 }
 
 void Collector::worker(int shard_id) {
@@ -643,6 +666,10 @@ void Collector::handle_seal(int shard_id, const ShardMsg& msg) {
 void Collector::flush_epoch_to_sink(PendingEpoch&& done) {
   UMON_TRACE_SPAN("collector/epoch_flush");
   telemetry::ScopedTimer timer(ins_->flush_latency_us);
+  // The seal barrier just completed (every shard acked), so queue FIFO
+  // guarantees any batch of this epoch a crashed shard discarded has been
+  // dequeued and its damage recorded — settle it for the loss hook.
+  settle_crash_damage(epoch_key(done.host, done.epoch));
   analyzer::Analyzer::DecodedReportBatch batch;
   batch.host = done.host;
   batch.epoch = done.epoch;

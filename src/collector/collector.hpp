@@ -122,11 +122,15 @@ class Collector {
   void crash_shard(int shard);
   void restart_shard(int shard);
 
-  /// Fires inside seal_epoch() when the sequence accounting finds `lost`
-  /// reports missing for (host, epoch) — the signal graceful-degradation
-  /// drivers use to flag the affected windows instead of silently serving
-  /// zeros. Called with the front mutex held; must be cheap and must not
-  /// call back into the collector. Set before start().
+  /// Fires when the pipeline discovers `lost` reports missing for
+  /// (host, epoch) — the signal graceful-degradation drivers use to flag
+  /// the affected windows instead of silently serving zeros. Sequence gaps
+  /// fire inside seal_epoch() with the front mutex held. Shard-crash
+  /// damage fires from drain() or stop() on the calling thread, once the
+  /// epoch's seal barrier proved every batch enqueued before the seal was
+  /// consumed — damage a worker records after the seal call can then never
+  /// be missed. Must be cheap and must not call back into the collector.
+  /// Set before start().
   void set_epoch_loss_hook(
       std::function<void(int host, std::uint32_t epoch, std::uint64_t lost)>
           hook) {
@@ -210,12 +214,27 @@ class Collector {
   /// Record that `count` reports/fragments of (host, epoch) were discarded
   /// by a crashed shard (called from shard workers).
   void note_crash_damage(int host, std::uint32_t epoch, std::uint64_t count);
+  /// Move (host, epoch)'s accumulated crash damage to the settled list.
+  /// Called once the epoch's seal barrier completed (all shards acked), so
+  /// queue FIFO guarantees every pre-seal batch was already consumed and
+  /// its damage recorded.
+  void settle_crash_damage(std::uint64_t key);
+  /// Fire the loss hook for every settled damage record (caller thread).
+  void fire_settled_damage();
+
+  struct SettledDamage {
+    int host;
+    std::uint32_t epoch;
+    std::uint64_t lost;
+  };
 
   /// (host << 32 | epoch) keys that lost batches or staged fragments to a
-  /// shard crash. Written by shard workers, consumed by seal_epoch() so the
-  /// loss hook can flag the damaged windows.
+  /// shard crash. Written by shard workers; moved to settled_damage_ at the
+  /// epoch seal barrier (or the stop() sweep) and dispatched through the
+  /// loss hook from drain()/stop() so the hook never races the workers.
   mutable std::mutex crash_mutex_;
   std::map<std::uint64_t, std::uint64_t> crash_damage_;
+  std::vector<SettledDamage> settled_damage_;
 
   /// Serializes every call into the (externally synchronized) Analyzer.
   std::mutex sink_mutex_;

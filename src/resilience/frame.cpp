@@ -29,14 +29,16 @@ bool get(std::span<const std::uint8_t> in, std::size_t& offset, T& value) {
   return true;
 }
 
-/// Offset of the crc field within the header (see the layout in frame.hpp):
-/// magic(2) version(1) kind(1) host(4) frame_seq(4) epoch(4) payload_len(4)
-/// precede it.
-constexpr std::size_t kCrcOffset = 20;
+/// Field offsets within the header (see the layout in frame.hpp):
+/// magic(2) version(1) kind(1) host(4) frame_seq(4) epoch(4) base_seq(4)
+/// payload_len(4) crc(4).
+constexpr std::size_t kBaseSeqOffset = 16;
+constexpr std::size_t kCrcOffset = 24;
 
 std::vector<std::uint8_t> encode_frame(FrameKind kind, std::uint32_t host,
                                        std::uint32_t frame_seq,
                                        std::uint32_t epoch,
+                                       std::uint32_t base_seq,
                                        std::span<const std::uint8_t> payload) {
   std::vector<std::uint8_t> out;
   out.reserve(kFrameHeaderBytes + payload.size());
@@ -46,6 +48,7 @@ std::vector<std::uint8_t> encode_frame(FrameKind kind, std::uint32_t host,
   put(out, host);
   put(out, frame_seq);
   put(out, epoch);
+  put(out, base_seq);
   put(out, static_cast<std::uint32_t>(payload.size()));
   put(out, std::uint32_t{0});  // crc placeholder
   out.insert(out.end(), payload.begin(), payload.end());
@@ -58,19 +61,29 @@ std::vector<std::uint8_t> encode_frame(FrameKind kind, std::uint32_t host,
 
 std::vector<std::uint8_t> encode_data_frame(
     std::uint32_t host, std::uint32_t frame_seq, std::uint32_t epoch,
-    std::span<const std::uint8_t> payload) {
-  return encode_frame(FrameKind::kData, host, frame_seq, epoch, payload);
+    std::uint32_t base_seq, std::span<const std::uint8_t> payload) {
+  return encode_frame(FrameKind::kData, host, frame_seq, epoch, base_seq,
+                      payload);
+}
+
+void rewrite_base_seq(std::vector<std::uint8_t>& frame,
+                      std::uint32_t base_seq) {
+  std::memcpy(frame.data() + kBaseSeqOffset, &base_seq, sizeof(base_seq));
+  std::memset(frame.data() + kCrcOffset, 0, 4);
+  const std::uint32_t crc = crc32c(frame.data(), frame.size());
+  std::memcpy(frame.data() + kCrcOffset, &crc, sizeof(crc));
 }
 
 std::vector<std::uint8_t> encode_ack_frame(std::uint32_t host,
                                            const AckBody& body) {
   std::vector<std::uint8_t> payload;
-  payload.reserve(8 + body.nacks.size() * 4);
+  payload.reserve(12 + body.nacks.size() * 4);
   put(payload, body.cum_ack);
+  put(payload, body.max_seen);
   put(payload, static_cast<std::uint32_t>(body.nacks.size()));
   for (std::uint32_t seq : body.nacks) put(payload, seq);
   return encode_frame(FrameKind::kAck, host, /*frame_seq=*/0, /*epoch=*/0,
-                      payload);
+                      /*base_seq=*/0, payload);
 }
 
 std::optional<Frame> decode_frame(std::span<const std::uint8_t> in) {
@@ -84,8 +97,8 @@ std::optional<Frame> decode_frame(std::span<const std::uint8_t> in) {
   if (!get(in, offset, version) || version != kVersion) return std::nullopt;
   if (!get(in, offset, kind) || kind > 1) return std::nullopt;
   if (!get(in, offset, f.host) || !get(in, offset, f.frame_seq) ||
-      !get(in, offset, f.epoch) || !get(in, offset, payload_len) ||
-      !get(in, offset, stored_crc)) {
+      !get(in, offset, f.epoch) || !get(in, offset, f.base_seq) ||
+      !get(in, offset, payload_len) || !get(in, offset, stored_crc)) {
     return std::nullopt;
   }
   if (payload_len > kMaxPayload) return std::nullopt;
@@ -107,7 +120,8 @@ std::optional<AckBody> decode_ack_body(std::span<const std::uint8_t> payload) {
   std::size_t offset = 0;
   AckBody body;
   std::uint32_t count;
-  if (!get(payload, offset, body.cum_ack) || !get(payload, offset, count)) {
+  if (!get(payload, offset, body.cum_ack) ||
+      !get(payload, offset, body.max_seen) || !get(payload, offset, count)) {
     return std::nullopt;
   }
   if (count > kMaxNacksPerAck) return std::nullopt;

@@ -18,10 +18,19 @@ ReliableLink::ReliableLink(const ReliableConfig& cfg,
                            netsim::UploadChannel& forward,
                            netsim::UploadChannel* reverse)
     : cfg_(cfg), forward_(forward), reverse_(reverse) {
+  if (cfg_.enabled && reverse_ == nullptr) {
+    // Reliable mode without an ack path would never release a frame:
+    // everything expires at the retry cap and every epoch reports
+    // unrecovered. Degrade loudly to passthrough instead.
+    UMON_LOG(kWarn, "resilience",
+             "reliable mode requires a reverse channel; forcing passthrough");
+    cfg_.enabled = false;
+  }
   if (cfg_.retx_buffer_frames == 0) cfg_.retx_buffer_frames = 1;
   if (cfg_.max_retries < 1) cfg_.max_retries = 1;
   if (cfg_.base_rto < kMicro) cfg_.base_rto = kMicro;
   if (cfg_.rto_backoff < 1.0) cfg_.rto_backoff = 1.0;
+  if (cfg_.rto_max < cfg_.base_rto) cfg_.rto_max = cfg_.base_rto;
   frames_sent_ = reg_.counter("umon_resilience_frames_sent_total", {},
                               "Data frames handed to the forward channel");
   frames_retransmitted_ =
@@ -68,8 +77,6 @@ void ReliableLink::send(int host, std::uint32_t epoch,
   RetxEntry e;
   e.seq = st.next_frame_seq++;
   e.epoch = epoch;
-  e.frame = encode_data_frame(static_cast<std::uint32_t>(host), e.seq, epoch,
-                              payload);
   e.last_send = now;
   e.next_retry = now + cfg_.base_rto;
   e.attempts = 1;
@@ -83,6 +90,11 @@ void ReliableLink::send(int host, std::uint32_t epoch,
     expire_entry(host, st.buffer.front(), /*evicted=*/true);
     st.buffer.pop_front();
   }
+  // base_seq = lowest retained seq after the eviction above: every seq
+  // below it was acked or abandoned, so the receiver stops waiting for it.
+  const std::uint32_t base = st.buffer.empty() ? e.seq : st.buffer.front().seq;
+  e.frame = encode_data_frame(static_cast<std::uint32_t>(host), e.seq, epoch,
+                              base, payload);
   frames_sent_->inc();
   retx_resident_->add(1);
   // umon-lint: allow(UL006) — this wrapper IS the sanctioned send site.
@@ -90,14 +102,20 @@ void ReliableLink::send(int host, std::uint32_t epoch,
   st.buffer.push_back(std::move(e));
 }
 
-void ReliableLink::retransmit(int host, RetxEntry& e, Nanos now) {
+void ReliableLink::retransmit(int host, SenderState& st, RetxEntry& e,
+                              Nanos now) {
   e.attempts += 1;
   e.last_send = now;
   double rto = static_cast<double>(cfg_.base_rto);
-  for (int i = 1; i < e.attempts; ++i) rto *= cfg_.rto_backoff;
+  const double cap = static_cast<double>(cfg_.rto_max);
+  for (int i = 1; i < e.attempts && rto < cap; ++i) rto *= cfg_.rto_backoff;
+  if (rto > cap) rto = cap;
   e.next_retry = now + static_cast<Nanos>(rto);
   frames_retransmitted_->inc();
   epochs_[epoch_key(host, e.epoch)].retransmits += 1;
+  // Retransmits carry the *current* base so the receiver learns about any
+  // frame abandoned since the original send.
+  rewrite_base_seq(e.frame, st.buffer.front().seq);
   // umon-lint: allow(UL006) — this wrapper IS the sanctioned send site.
   (void)forward_.send(host, e.epoch, e.frame, now);
 }
@@ -117,16 +135,38 @@ void ReliableLink::expire_entry(int host, const RetxEntry& e, bool evicted) {
   settle_if_done(es);
 }
 
+void ReliableLink::release_entry(int host, const RetxEntry& e) {
+  frames_acked_->inc();
+  retx_resident_->add(-1);
+  EpochState& es = epochs_[epoch_key(host, e.epoch)];
+  if (es.outstanding > 0) es.outstanding -= 1;
+  settle_if_done(es);
+}
+
 void ReliableLink::release_acked(int host, SenderState& st,
-                                 std::uint32_t cum_ack) {
-  while (!st.buffer.empty() && st.buffer.front().seq < cum_ack) {
-    const RetxEntry& e = st.buffer.front();
-    frames_acked_->inc();
-    retx_resident_->add(-1);
-    EpochState& es = epochs_[epoch_key(host, e.epoch)];
-    if (es.outstanding > 0) es.outstanding -= 1;
-    settle_if_done(es);
+                                 const AckBody& body) {
+  while (!st.buffer.empty() && st.buffer.front().seq < body.cum_ack) {
+    release_entry(host, st.buffer.front());
     st.buffer.pop_front();
+  }
+  // SACK-style release. The receiver scanned [cum_ack, horizon) and NACKed
+  // every hole it found, so any retained seq in that range absent from the
+  // list was received — release it even though the cumulative ack is stuck
+  // behind a hole the sender has already abandoned. Without this, one
+  // expired frame would pin every later frame until its own retry cap,
+  // flagging recovered epochs as lost. A full NACK list means the scan was
+  // truncated: only the range up to the last listed hole is known.
+  std::uint32_t horizon = body.max_seen;
+  if (body.nacks.size() >= kMaxNacksPerAck) horizon = body.nacks.back();
+  for (auto it = st.buffer.begin();
+       it != st.buffer.end() && it->seq < horizon;) {
+    if (std::find(body.nacks.begin(), body.nacks.end(), it->seq) ==
+        body.nacks.end()) {
+      release_entry(host, *it);
+      it = st.buffer.erase(it);
+    } else {
+      ++it;
+    }
   }
 }
 
@@ -149,7 +189,7 @@ void ReliableLink::tick(Nanos now) {
         expire_entry(host, *it, /*evicted=*/false);
         it = st.buffer.erase(it);
       } else {
-        retransmit(host, *it, now);
+        retransmit(host, st, *it, now);
         ++it;
       }
     }
@@ -160,6 +200,7 @@ void ReliableLink::send_ack(int host, const ReceiverState& rs, Nanos now) {
   if (reverse_ == nullptr) return;
   AckBody body;
   body.cum_ack = rs.cum;
+  body.max_seen = rs.max_seen_next;
   for (std::uint32_t s = rs.cum; s < rs.max_seen_next; ++s) {
     if (rs.above.count(s) != 0) continue;
     body.nacks.push_back(s);
@@ -186,17 +227,26 @@ void ReliableLink::on_forward_delivery(netsim::UploadChannel::Delivery&& d) {
   if (frame->frame_seq + 1 > rs.max_seen_next) {
     rs.max_seen_next = frame->frame_seq + 1;
   }
+  // The sender's base_seq is its lowest retained seq: everything below was
+  // acked or abandoned, so stop waiting for it (and stop NACKing holes the
+  // sender will never fill — an abandoned frame must not pin cum forever).
+  if (frame->base_seq > rs.cum) {
+    rs.above.erase(rs.above.begin(), rs.above.lower_bound(frame->base_seq));
+    rs.cum = frame->base_seq;
+  }
   const bool dup = frame->frame_seq < rs.cum ||
                    rs.above.count(frame->frame_seq) != 0;
   if (dup) {
     frames_duplicate_->inc();
   } else {
     rs.above.insert(frame->frame_seq);
-    while (rs.above.count(rs.cum) != 0) {
-      rs.above.erase(rs.cum);
-      rs.cum += 1;
-    }
     if (deliver_) deliver_(d.host, frame->epoch, std::move(frame->payload));
+  }
+  // Drain outside the dup branch: a base_seq jump above can land cum on
+  // already-received (out-of-order) frames even when this frame is a dup.
+  while (rs.above.count(rs.cum) != 0) {
+    rs.above.erase(rs.cum);
+    rs.cum += 1;
   }
   // Ack every arrival, duplicates included: a duplicate means the sender
   // never saw our earlier ack, so repeat it.
@@ -218,7 +268,7 @@ void ReliableLink::on_reverse_delivery(netsim::UploadChannel::Delivery&& d) {
   acks_received_->inc();
   const int host = static_cast<int>(frame->host);
   SenderState& st = senders_[host];
-  release_acked(host, st, body->cum_ack);
+  release_acked(host, st, *body);
   for (std::uint32_t seq : body->nacks) {
     auto it = std::find_if(st.buffer.begin(), st.buffer.end(),
                            [seq](const RetxEntry& e) { return e.seq == seq; });
@@ -230,7 +280,7 @@ void ReliableLink::on_reverse_delivery(netsim::UploadChannel::Delivery&& d) {
       expire_entry(host, *it, /*evicted=*/false);
       st.buffer.erase(it);
     } else {
-      retransmit(host, *it, d.deliver_at);
+      retransmit(host, st, *it, d.deliver_at);
     }
   }
 }

@@ -11,12 +11,19 @@
 //     buffer; when the buffer is full the oldest frame is evicted and its
 //     epoch declared unrecoverable (bounded memory beats unbounded hope).
 //   * Retransmits fire on NACK (fast path, holdoff-guarded so ack storms
-//     don't multiply traffic) and on RTO timeout with exponential backoff;
-//     after max_retries the frame expires and its epoch is marked lost.
+//     don't multiply traffic) and on RTO timeout with exponential backoff
+//     capped at rto_max — the cap keeps late attempts frequent enough to
+//     outlive a sustained fault window; after max_retries the frame
+//     expires and its epoch is marked lost.
 //   * Receiver verifies the CRC32C over header+payload (corrupted frames
 //     are rejected, never decoded), suppresses duplicates/reorders with a
 //     cumulative counter + above-window set, and acks every arrival so a
 //     lost ack is repaired by the next one.
+//   * An abandoned frame never wedges the stream: data frames advertise the
+//     sender's lowest retained seq (base_seq) so the receiver advances its
+//     cumulative counter past holes that will never be resent, and acks
+//     carry max_seen so the sender releases any seq the NACK list did not
+//     name (SACK-style) even while a hole is outstanding.
 //
 // Passthrough mode (cfg.enabled = false) keeps the exact legacy behavior —
 // unframed payloads, fire-and-forget — so every driver routes through this
@@ -49,11 +56,19 @@ struct ReliableConfig {
   /// Unacked frames held per host before the oldest is evicted (and its
   /// epoch declared unrecoverable). This is the protocol's memory bound.
   std::size_t retx_buffer_frames = 1024;
-  /// First retransmit timeout; doubles (rto_backoff) per attempt.
+  /// First retransmit timeout; doubles (rto_backoff) per attempt until the
+  /// rto_max ceiling. Capping the backoff keeps later attempts *frequent*:
+  /// a sustained fault window (burst loss, corruption storm) is survived by
+  /// whichever attempts land after it ends, so the retry budget buys
+  /// independent chances instead of one ever-longer silence. At the
+  /// defaults the full expiry horizon is Σ min(base_rto·2^i, rto_max)
+  /// for i < max_retries ≈ 12.6 ms — the same bound the retransmit-buffer
+  /// sizing math assumes.
   Nanos base_rto = 200 * kMicro;
   double rto_backoff = 2.0;
+  Nanos rto_max = 1600 * kMicro;
   /// Send attempts per frame (initial + retransmits) before it expires.
-  int max_retries = 6;
+  int max_retries = 10;
   /// Minimum spacing between retransmits of one frame, so a burst of acks
   /// carrying the same NACK does not multiply the resend.
   Nanos nack_holdoff = 100 * kMicro;
@@ -91,8 +106,11 @@ class ReliableLink {
       std::function<void(int host, std::uint32_t epoch,
                          std::vector<std::uint8_t>&& payload)>;
 
-  /// `reverse` may be null only in passthrough mode. The caller wires the
-  /// channels' sinks to on_forward_delivery / on_reverse_delivery.
+  /// `reverse` may be null only in passthrough mode: a reliable link
+  /// without an ack path cannot release anything, so the constructor forces
+  /// cfg.enabled = false (with a warning) when `reverse` is null. The
+  /// caller wires the channels' sinks to on_forward_delivery /
+  /// on_reverse_delivery.
   ReliableLink(const ReliableConfig& cfg, netsim::UploadChannel& forward,
                netsim::UploadChannel* reverse);
 
@@ -161,9 +179,10 @@ class ReliableLink {
     bool counted_settled = false;
   };
 
-  void retransmit(int host, RetxEntry& e, Nanos now);
+  void retransmit(int host, SenderState& st, RetxEntry& e, Nanos now);
   void expire_entry(int host, const RetxEntry& e, bool evicted);
-  void release_acked(int host, SenderState& st, std::uint32_t cum_ack);
+  void release_entry(int host, const RetxEntry& e);
+  void release_acked(int host, SenderState& st, const AckBody& body);
   void send_ack(int host, const ReceiverState& rs, Nanos now);
   void settle_if_done(EpochState& es);
 

@@ -10,6 +10,7 @@
 #include <cstring>
 #include <memory>
 #include <thread>
+#include <tuple>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -568,6 +569,55 @@ TEST(CollectorConcurrency, DrainDuringCrashRestart) {
   // discarded by a crashed shard — never both, never neither.
   EXPECT_EQ(st.reports_decoded + st.reports_crashed, expected);
   EXPECT_EQ(st.epochs_flushed, static_cast<std::uint64_t>(kHosts) * kEpochs);
+}
+
+// Regression: crash damage a shard records when it *dequeues* a batch used
+// to be consumed by seal_epoch() at call time — but the seal call can run
+// before the crashed worker has popped the batch, so the damage was found
+// by no one and the loss hook silently never fired for that epoch. Damage
+// now settles when the epoch's seal barrier completes (queue FIFO proves
+// every pre-seal batch was consumed) and dispatches from drain()/stop() on
+// the caller's thread.
+TEST(Collector, CrashDamageRecordedAfterSealStillFiresLossHook) {
+  analyzer::Analyzer an;
+  CollectorConfig cfg;
+  cfg.shards = 1;
+  Collector col(cfg, an);
+  std::vector<std::tuple<int, std::uint32_t, std::uint64_t>> hook_calls;
+  col.set_epoch_loss_hook(
+      [&hook_calls](int host, std::uint32_t epoch, std::uint64_t lost) {
+        hook_calls.emplace_back(host, epoch, lost);
+      });
+  col.start();
+  col.crash_shard(0);
+
+  HostUplink up(4, /*max_reports_per_payload=*/2);
+  const auto upload = up.encode_epoch({make_report(flow(1), 0, {1, 2}),
+                                       make_report(flow(2), 0, {3, 4}),
+                                       make_report(flow(3), 0, {5, 6})});
+  for (const auto& p : upload.payloads) {
+    ASSERT_TRUE(col.submit_report_payload(4, upload.epoch, p.bytes));
+  }
+  // Seal immediately — quite possibly before the crashed worker dequeued
+  // (and discarded) a single batch. No drain() in between, on purpose.
+  col.seal_epoch(4, upload.epoch, upload.end_seq);
+
+  // The hook only ever runs inside drain()/stop() on this thread, so it
+  // cannot have fired yet — and must fire during this drain.
+  EXPECT_TRUE(hook_calls.empty());
+  EXPECT_EQ(col.drain(), 0);  // the only shard is down
+  std::uint64_t lost_total = 0;
+  for (const auto& [host, epoch, lost] : hook_calls) {
+    EXPECT_EQ(host, 4);
+    EXPECT_EQ(epoch, upload.epoch);
+    lost_total += lost;
+  }
+  EXPECT_EQ(lost_total, 3u);  // every report the crashed shard discarded
+
+  col.stop();
+  const CollectorStats st = col.stats();
+  EXPECT_EQ(st.reports_crashed, 3u);
+  EXPECT_EQ(st.reports_decoded, 0u);
 }
 
 // --- end-to-end: recorded fat-tree run replayed through the lossy channel --

@@ -40,7 +40,7 @@ std::vector<std::uint8_t> bytes(std::initializer_list<int> vs) {
 TEST(Frame, DataRoundTrip) {
   const auto payload = bytes({1, 2, 3, 250, 0, 7});
   const auto wire = encode_data_frame(/*host=*/3, /*frame_seq=*/41,
-                                      /*epoch=*/9, payload);
+                                      /*epoch=*/9, /*base_seq=*/37, payload);
   EXPECT_EQ(wire.size(), kFrameHeaderBytes + payload.size());
   auto f = decode_frame(wire);
   ASSERT_TRUE(f.has_value());
@@ -48,19 +48,35 @@ TEST(Frame, DataRoundTrip) {
   EXPECT_EQ(f->host, 3u);
   EXPECT_EQ(f->frame_seq, 41u);
   EXPECT_EQ(f->epoch, 9u);
+  EXPECT_EQ(f->base_seq, 37u);
   EXPECT_EQ(f->payload, payload);
 }
 
 TEST(Frame, EmptyPayloadRoundTrips) {
-  const auto wire = encode_data_frame(0, 0, 0, {});
+  const auto wire = encode_data_frame(0, 0, 0, 0, {});
   auto f = decode_frame(wire);
   ASSERT_TRUE(f.has_value());
   EXPECT_TRUE(f->payload.empty());
 }
 
+TEST(Frame, RewriteBaseSeqKeepsCrcValid) {
+  // Retransmits patch base_seq in the buffered frame; the rewritten frame
+  // must decode cleanly with the new value and nothing else disturbed.
+  const auto payload = bytes({4, 5, 6});
+  auto wire = encode_data_frame(2, 10, 3, /*base_seq=*/8, payload);
+  rewrite_base_seq(wire, 10);
+  auto f = decode_frame(wire);
+  ASSERT_TRUE(f.has_value());
+  EXPECT_EQ(f->base_seq, 10u);
+  EXPECT_EQ(f->frame_seq, 10u);
+  EXPECT_EQ(f->epoch, 3u);
+  EXPECT_EQ(f->payload, payload);
+}
+
 TEST(Frame, AckRoundTrip) {
   AckBody body;
   body.cum_ack = 17;
+  body.max_seen = 26;
   body.nacks = {18, 20, 25};
   const auto wire = encode_ack_frame(/*host=*/5, body);
   auto f = decode_frame(wire);
@@ -70,6 +86,7 @@ TEST(Frame, AckRoundTrip) {
   auto got = decode_ack_body(f->payload);
   ASSERT_TRUE(got.has_value());
   EXPECT_EQ(got->cum_ack, 17u);
+  EXPECT_EQ(got->max_seen, 26u);
   EXPECT_EQ(got->nacks, body.nacks);
 }
 
@@ -79,7 +96,7 @@ TEST(Frame, AckRoundTrip) {
 // corrupted frame counts as frames_corrupt, it never reaches the decoder.
 TEST(Frame, EverySingleBitFlipIsRejected) {
   const auto payload = bytes({0xDE, 0xAD, 0xBE, 0xEF, 0x00, 0x55});
-  const auto wire = encode_data_frame(7, 123, 4, payload);
+  const auto wire = encode_data_frame(7, 123, 4, 120, payload);
   ASSERT_TRUE(decode_frame(wire).has_value());
   for (std::size_t byte = 0; byte < wire.size(); ++byte) {
     for (int bit = 0; bit < 8; ++bit) {
@@ -92,7 +109,7 @@ TEST(Frame, EverySingleBitFlipIsRejected) {
 }
 
 TEST(Frame, TruncationAndPaddingAreRejected) {
-  const auto wire = encode_data_frame(1, 2, 3, bytes({9, 9, 9, 9}));
+  const auto wire = encode_data_frame(1, 2, 3, 1, bytes({9, 9, 9, 9}));
   for (std::size_t n = 0; n < wire.size(); ++n) {
     EXPECT_FALSE(
         decode_frame(std::span(wire.data(), n)).has_value())
@@ -106,11 +123,13 @@ TEST(Frame, TruncationAndPaddingAreRejected) {
 TEST(Frame, AckBodyBoundsEnforced) {
   // A nack count above the protocol cap must be rejected before the
   // receiver allocates for it.
-  std::vector<std::uint8_t> body(8, 0);
+  std::vector<std::uint8_t> body(12, 0);
   const std::uint32_t cum = 4;
+  const std::uint32_t max_seen = 70;
   const std::uint32_t count = kMaxNacksPerAck + 1;
   std::memcpy(body.data(), &cum, 4);
-  std::memcpy(body.data() + 4, &count, 4);
+  std::memcpy(body.data() + 4, &max_seen, 4);
+  std::memcpy(body.data() + 8, &count, 4);
   EXPECT_FALSE(decode_ack_body(body).has_value());
   // Trailing bytes after the declared nack list are a framing error too.
   AckBody ok;
@@ -498,6 +517,109 @@ TEST(ReliableLink, RetryCapExpiresFrames) {
   EXPECT_EQ(st.epochs_unrecovered, 1u);
   EXPECT_TRUE(h.link->all_settled());
   EXPECT_FALSE(h.link->epoch_status(0, 0).recovered);
+}
+
+// Regression for the abandoned-frame cascade: once a frame expires at the
+// retry cap, the receiver's cumulative ack used to be stuck at that hole
+// forever — every later frame was delivered yet never cum-acked, so each
+// one was retransmitted to its own retry cap and its epoch falsely counted
+// unrecovered (and the driver then flagged windows kLost whose data had
+// reached the analyzer). Data frames now advertise the sender's lowest
+// retained seq, letting the receiver skip holes that will never be filled.
+TEST(ReliableLink, AbandonedFrameDoesNotWedgeLaterEpochs) {
+  ReliableConfig cfg;
+  cfg.max_retries = 3;
+  cfg.base_rto = 100 * kMicro;
+  LinkHarness h{cfg};
+  bool blackhole = true;
+  h.forward->set_fault_hook(
+      [&blackhole](int, Nanos, std::vector<std::uint8_t>&) {
+        netsim::SendFault f;
+        f.drop = blackhole;
+        return f;
+      });
+  h.link->send(0, 0, bytes({0}), 0);
+  Nanos t = h.settle(0, /*rounds=*/400);  // frame 0 exhausts its budget
+  ASSERT_EQ(h.link->stats().frames_expired, 1u);
+  ASSERT_TRUE(h.link->all_settled());
+
+  blackhole = false;
+  for (std::uint32_t e = 1; e <= 5; ++e) {
+    t += 200 * kMicro;
+    h.link->send(0, e, bytes({static_cast<int>(e)}), t);
+  }
+  h.settle(t);
+  EXPECT_EQ(h.delivered.size(), 5u);
+  const auto st = h.link->stats();
+  EXPECT_EQ(st.frames_expired, 1u);     // only the abandoned frame
+  EXPECT_EQ(st.epochs_unrecovered, 1u);  // only its epoch
+  EXPECT_EQ(st.epochs_recovered, 5u);
+  EXPECT_TRUE(h.link->all_settled());
+  for (std::uint32_t e = 1; e <= 5; ++e) {
+    const auto es = h.link->epoch_status(0, e);
+    EXPECT_TRUE(es.settled) << "epoch " << e;
+    EXPECT_TRUE(es.recovered) << "epoch " << e;
+  }
+}
+
+// SACK-style release: while a hole is still outstanding, acks name it in
+// the NACK list and carry max_seen — every other in-range frame must be
+// released immediately, not retransmitted until the hole resolves.
+TEST(ReliableLink, SackReleasesDeliveredFramesBehindAHole) {
+  ReliableConfig cfg;
+  cfg.max_retries = 2;
+  cfg.base_rto = 100 * kMicro;
+  LinkHarness h{cfg};
+  // Permanently drop data frame_seq 1 (kind byte 3 == 0, seq at offset 8).
+  h.forward->set_fault_hook([](int, Nanos, std::vector<std::uint8_t>& p) {
+    netsim::SendFault f;
+    std::uint32_t seq = 0xFFFFFFFF;
+    if (p.size() >= 12 && p[3] == 0) std::memcpy(&seq, p.data() + 8, 4);
+    f.drop = seq == 1;
+    return f;
+  });
+  for (std::uint32_t e = 0; e < 5; ++e) {
+    h.link->send(0, e, bytes({static_cast<int>(e)}),
+                 static_cast<Nanos>(e) * 200 * kMicro);
+  }
+  h.settle(kMilli);
+  EXPECT_EQ(h.delivered.size(), 4u);
+  const auto st = h.link->stats();
+  EXPECT_EQ(st.frames_expired, 1u);
+  EXPECT_EQ(st.frames_acked, 4u);  // released despite the stuck cum ack
+  // Only the hole itself retries; the frames behind it are SACK-released
+  // before their own RTOs fire.
+  EXPECT_LE(st.frames_retransmitted, 2u);
+  EXPECT_EQ(st.epochs_recovered, 4u);
+  EXPECT_EQ(st.epochs_unrecovered, 1u);
+  EXPECT_TRUE(h.link->all_settled());
+}
+
+// A reliable link without a reverse channel could never ack anything; the
+// constructor must force passthrough (loudly) instead of wedging every
+// epoch at the retry cap.
+TEST(ReliableLink, NullReverseForcesPassthrough) {
+  netsim::UploadChannelConfig ccfg;
+  netsim::UploadChannel forward(ccfg, nullptr);
+  ReliableConfig cfg;  // enabled = true
+  ReliableLink link(cfg, forward, /*reverse=*/nullptr);
+  EXPECT_FALSE(link.config().enabled);
+
+  forward.set_sink([&link](netsim::UploadChannel::Delivery&& d) {
+    link.on_forward_delivery(std::move(d));
+  });
+  std::vector<std::vector<std::uint8_t>> got;
+  link.set_deliver_hook([&got](int, std::uint32_t,
+                               std::vector<std::uint8_t>&& payload) {
+    got.push_back(std::move(payload));
+  });
+  const auto payload = bytes({1, 2, 3});
+  link.send(0, 7, payload, 0);
+  forward.flush();
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0], payload);  // unframed legacy bytes
+  EXPECT_EQ(link.stats().frames_sent, 0u);
+  EXPECT_TRUE(link.all_settled());
 }
 
 TEST(ReliableLink, LossyAckChannelStillReleasesFrames) {
