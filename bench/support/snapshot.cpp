@@ -1,0 +1,54 @@
+#include "bench/support/snapshot.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+namespace umon::bench {
+
+namespace {
+
+std::string quote(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+}  // namespace
+
+void Snapshot::set(const std::string& key, double value) {
+  char buf[64];
+  // %.6g keeps the file diff-stable: sub-ppm jitter never shows up.
+  std::snprintf(buf, sizeof(buf), "%.6g", std::isfinite(value) ? value : 0.0);
+  entries_.emplace_back(key, buf);
+}
+
+void Snapshot::set(const std::string& key, std::uint64_t value) {
+  entries_.emplace_back(key, std::to_string(value));
+}
+
+void Snapshot::set(const std::string& key, const std::string& value) {
+  entries_.emplace_back(key, quote(value));
+}
+
+std::string Snapshot::to_json() const {
+  std::string out = "{\n  \"bench\": " + quote(name_);
+  for (const auto& [key, value] : entries_) {
+    out += ",\n  " + quote(key) + ": " + value;
+  }
+  out += "\n}\n";
+  return out;
+}
+
+bool Snapshot::write(const std::string& path) const {
+  std::ofstream os(path);
+  if (!os) return false;
+  os << to_json();
+  return static_cast<bool>(os);
+}
+
+}  // namespace umon::bench

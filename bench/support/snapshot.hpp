@@ -1,0 +1,38 @@
+// Perf-snapshot writer: benches record named scalar results and persist
+// them as a small, stable-ordered JSON file (`BENCH_<name>.json`) that gets
+// checked in per PR — the repo's perf trajectory lives in version control,
+// not in CI logs that expire. Keys render in insertion order and doubles
+// use a fixed format, so two runs with identical numbers produce identical
+// bytes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace umon::bench {
+
+class Snapshot {
+ public:
+  /// `name` becomes the "bench" field of the snapshot.
+  explicit Snapshot(std::string name) : name_(std::move(name)) {}
+
+  void set(const std::string& key, double value);
+  void set(const std::string& key, std::uint64_t value);
+  void set(const std::string& key, const std::string& value);
+
+  /// Render the snapshot as pretty-printed JSON.
+  [[nodiscard]] std::string to_json() const;
+
+  /// Write to `path` (atomically enough for a bench: full rewrite).
+  /// Returns false when the file cannot be opened.
+  bool write(const std::string& path) const;
+
+ private:
+  std::string name_;
+  /// Pre-rendered (key, json-value) pairs in insertion order.
+  std::vector<std::pair<std::string, std::string>> entries_;
+};
+
+}  // namespace umon::bench

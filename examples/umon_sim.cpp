@@ -13,6 +13,7 @@
 //            [--health-out FILE] [--health-interval US] [--health-alarms R]
 //            [--fault-plan FILE] [--uplink-reliable] [--uplink-retx-buffer N]
 //            [--gap-fill] [--require-recovered]
+//            [--store-dir DIR] [--store-tier-budget K]
 //
 // With --collector-shards (or --report-loss) the host sketches reach the
 // analyzer through the full collection tier — per-host uplink encode, the
@@ -55,6 +56,13 @@
 // chaos gate). Either flag implies the collector tier and the chunked
 // simulation loop.
 //
+// --store-dir DIR attaches the durable segment store (umon::store): every
+// curve fragment the analyzer ingests is written through to append-only
+// segment files under DIR, sealed per epoch (fsync barrier), and tiered by
+// the wavelet compactor as it ages. Reopen the directory afterwards with
+// umon_query. --store-tier-budget K sets the per-flow-chunk coefficient
+// budget (tier-1 keeps K/2, tier-2 keeps K/4; default 64).
+//
 // Example:
 //   ./build/examples/umon_sim --workload hadoop --load 0.35 --sample-bits 4
 //   ./build/examples/umon_sim --collector-shards 4 --report-loss 0.01
@@ -89,6 +97,7 @@
 #include "resilience/fault_plan.hpp"
 #include "resilience/reliable.hpp"
 #include "sketch/wavesketch_full.hpp"
+#include "store/store.hpp"
 #include "uevent/acl.hpp"
 #include "uevent/detector.hpp"
 #include "workload/generator.hpp"
@@ -121,11 +130,14 @@ struct Options {
   std::size_t uplink_retx_buffer = 1024;
   bool gap_fill = false;
   bool require_recovered = false;  ///< exit 1 on any unrecovered epoch
+  std::string store_dir;           ///< durable segment store ("" = off)
+  std::size_t store_tier_budget = 64;
 
   [[nodiscard]] bool telemetry_requested() const {
     return !metrics_out.empty() || !trace_out.empty();
   }
   [[nodiscard]] bool health_requested() const { return !health_out.empty(); }
+  [[nodiscard]] bool store_requested() const { return !store_dir.empty(); }
   [[nodiscard]] bool resilience_requested() const {
     return uplink_reliable || !fault_plan.empty();
   }
@@ -208,6 +220,12 @@ bool parse(int argc, char** argv, Options& opt) {
       opt.gap_fill = true;
     } else if (arg == "--require-recovered") {
       opt.require_recovered = true;
+    } else if (arg == "--store-dir") {
+      opt.store_dir = next("--store-dir");
+    } else if (arg == "--store-tier-budget") {
+      opt.store_tier_budget =
+          static_cast<std::size_t>(std::atoll(next("--store-tier-budget")));
+      if (opt.store_tier_budget < 4) opt.store_tier_budget = 4;
     } else if (arg == "--help" || arg == "-h") {
       return false;
     } else {
@@ -234,7 +252,8 @@ int main(int argc, char** argv) {
         "                [--health-alarms 'rule; rule; ...']\n"
         "                [--fault-plan FILE] [--uplink-reliable]\n"
         "                [--uplink-retx-buffer N] [--gap-fill]\n"
-        "                [--require-recovered]\n");
+        "                [--require-recovered]\n"
+        "                [--store-dir DIR] [--store-tier-budget K]\n");
     return 2;
   }
 
@@ -283,6 +302,22 @@ int main(int argc, char** argv) {
   // simulation starts: health mode streams epochs through them mid-run.
   analyzer::Analyzer an;
   an.set_gap_fill(opt.gap_fill);
+  // Durable store: attached as a write-through sink before any ingestion so
+  // every curve fragment the analyzer absorbs also lands in a segment file.
+  std::unique_ptr<store::Store> curve_store;
+  store::RecoveryInfo store_recovery;
+  if (opt.store_requested()) {
+    store::StoreConfig scfg;
+    scfg.dir = opt.store_dir;
+    scfg.tier_budget = opt.store_tier_budget;
+    curve_store = store::Store::open(scfg, &store_recovery);
+    if (!curve_store) {
+      std::fprintf(stderr, "cannot open --store-dir %s\n",
+                   opt.store_dir.c_str());
+      return 2;
+    }
+    an.set_curve_sink(curve_store.get());
+  }
   const bool use_collector = opt.collector_shards > 0 || opt.report_loss > 0 ||
                              opt.telemetry_requested() ||
                              opt.health_requested() ||
@@ -359,6 +394,7 @@ int main(int argc, char** argv) {
     mon->add_registry(&telemetry::MetricRegistry::global());
     mon->add_registry(&collector_tier->telemetry_registry());
     if (link) mon->add_registry(&link->telemetry_registry());
+    if (curve_store) mon->add_registry(&curve_store->telemetry_registry());
     mon->set_analyzer(&an);
     collector_tier->set_decode_event_hook([m = mon.get()](Nanos t) {
       m->watermarks().note(health::Stage::kCollectorDecode, t);
@@ -404,6 +440,23 @@ int main(int argc, char** argv) {
   collector::CollectorStats cstats;
   std::uint64_t payloads_dropped = 0;
   const Nanos horizon = opt.duration + 5 * kMilli;
+
+  // Durability barrier: fsync everything the analyzer has absorbed so far
+  // into the segment store, then let the compactor age sealed segments. The
+  // store-seal watermark advances to the analyzer-curve frontier — the store
+  // just made durable exactly what the analyzer had ingested.
+  auto store_checkpoint = [&] {
+    if (!curve_store) return;
+    (void)curve_store->seal_epoch();
+    curve_store->maintain();
+    if (mon) {
+      const Nanos hi =
+          mon->watermarks().high(health::Stage::kAnalyzerCurve);
+      if (hi != health::Watermarks::kUnset) {
+        mon->watermarks().note(health::Stage::kStoreSeal, hi);
+      }
+    }
+  };
 
   if (opt.chunked()) {
     // --- chunked pipeline loop ----------------------------------------------
@@ -528,6 +581,7 @@ int main(int argc, char** argv) {
         awaiting.push_back(ps);
       }
       col.drain();
+      store_checkpoint();
       if (mon) mon->tick(t);
       if (t >= horizon) break;
     }
@@ -556,6 +610,9 @@ int main(int argc, char** argv) {
     col.stop();
     cstats = col.stats();
     payloads_dropped = channel->payloads_dropped();
+    // The tail seals above flushed the last epochs into the analyzer (and
+    // its spill sink); one final checkpoint makes them durable.
+    store_checkpoint();
     // Final sample: the tail seals above are where sequence-gap losses are
     // accounted, so the closing tick is what lets a loss alarm fire even
     // when the loss only materializes at shutdown.
@@ -598,6 +655,7 @@ int main(int argc, char** argv) {
       }
       an.ingest_mirrored(scorer.mirrored());
     }
+    store_checkpoint();
   }
 
   std::printf("uMon simulation report\n");
@@ -758,16 +816,61 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(fs.stalled_flushes));
   }
 
+  if (curve_store) {
+    const store::StoreStats ss = curve_store->stats();
+    std::printf("\ndurable store (%s, tier budget K=%zu)\n",
+                opt.store_dir.c_str(), opt.store_tier_budget);
+    if (store_recovery.segments_opened > 0 ||
+        store_recovery.torn_tails_truncated > 0 ||
+        store_recovery.tmp_files_removed > 0) {
+      std::printf("  recovery:        %zu segments reopened, %zu torn tails "
+                  "truncated, %zu tmp removed, %zu records\n",
+                  store_recovery.segments_opened,
+                  store_recovery.torn_tails_truncated,
+                  store_recovery.tmp_files_removed,
+                  store_recovery.records_recovered);
+    }
+    std::printf("  appends:         %llu records, %.2f MB payload, "
+                "%llu epochs sealed\n",
+                static_cast<unsigned long long>(ss.appends),
+                static_cast<double>(ss.append_bytes) / 1e6,
+                static_cast<unsigned long long>(ss.epochs_sealed));
+    for (int tier = 0; tier < 3; ++tier) {
+      const store::TierUsage& tu = ss.tiers[tier];
+      if (tu.segments == 0) continue;
+      std::printf("  tier %d:          %zu segment(s), %.2f MB\n", tier,
+                  tu.segments, static_cast<double>(tu.bytes) / 1e6);
+    }
+    if (ss.compactions_tier1 + ss.compactions_tier2 > 0) {
+      std::printf("  compactions:     %llu to tier 1, %llu to tier 2 "
+                  "(%.2f MB -> %.2f MB)\n",
+                  static_cast<unsigned long long>(ss.compactions_tier1),
+                  static_cast<unsigned long long>(ss.compactions_tier2),
+                  static_cast<double>(ss.compaction_input_bytes) / 1e6,
+                  static_cast<double>(ss.compaction_output_bytes) / 1e6);
+    }
+    std::printf("  page cache:      %llu hits, %llu misses, %llu evictions "
+                "(hit ratio %.2f)\n",
+                static_cast<unsigned long long>(ss.cache.hits),
+                static_cast<unsigned long long>(ss.cache.misses),
+                static_cast<unsigned long long>(ss.cache.evictions),
+                ss.cache.hit_ratio());
+    std::printf("  query it back:   umon_query --store-dir %s --op sum\n",
+                opt.store_dir.c_str());
+  }
+
   if (mon) {
     std::printf("\nhealth (sampled every %.0f us)\n",
                 static_cast<double>(opt.health_interval) / 1e3);
     std::printf("  samples:         %llu ticks, %zu series\n",
                 static_cast<unsigned long long>(mon->ticks()),
                 mon->store().series_count());
-    for (health::Stage s :
-         {health::Stage::kPacketEvent, health::Stage::kSketchSeal,
-          health::Stage::kCollectorDecode, health::Stage::kAnalyzerCurve,
-          health::Stage::kResilience}) {
+    std::vector<health::Stage> stages{
+        health::Stage::kPacketEvent, health::Stage::kSketchSeal,
+        health::Stage::kCollectorDecode, health::Stage::kAnalyzerCurve,
+        health::Stage::kResilience};
+    if (curve_store) stages.push_back(health::Stage::kStoreSeal);
+    for (health::Stage s : stages) {
       std::printf("  watermark %-18s high %.1f us (lag %.1f us)\n",
                   health::to_string(s),
                   static_cast<double>(mon->watermarks().high(s)) / 1e3,

@@ -123,6 +123,10 @@ class Analyzer {
   }
   /// Opt into read-side interpolation across kLost windows.
   void set_gap_fill(bool on) { curves_.set_gap_fill(on); }
+
+  /// Attach a durable write-through spill sink to the curve store (see
+  /// analyzer::CurveSink). Not owned; set before ingest starts.
+  void set_curve_sink(CurveSink* sink) { curves_.set_sink(sink); }
   [[nodiscard]] WindowConfidence window_confidence(WindowId w) const {
     return curves_.confidence(w);
   }

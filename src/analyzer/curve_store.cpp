@@ -5,6 +5,7 @@ namespace umon::analyzer {
 void FlowCurveStore::add(const FlowKey& flow, CurveFragment fragment) {
   Entry& e = flows_[flow.packed()];
   e.key = flow;
+  std::vector<std::pair<WindowId, double>> spilled;
   for (std::size_t i = 0; i < fragment.bytes_per_window.size(); ++i) {
     const double v = fragment.bytes_per_window[i];
     if (v == 0) continue;  // keep the map sparse
@@ -12,7 +13,10 @@ void FlowCurveStore::add(const FlowKey& flow, CurveFragment fragment) {
     auto [it, inserted] = e.windows.try_emplace(key, 0.0);
     it->second += v;
     if (inserted) ++total_windows_;
+    touch_extent(e, key);
+    if (sink_ != nullptr) spilled.emplace_back(key, v);
   }
+  if (sink_ != nullptr && !spilled.empty()) sink_->on_sparse(flow, spilled);
 }
 
 void FlowCurveStore::add_sparse(
@@ -25,6 +29,8 @@ void FlowCurveStore::add_sparse(
   // Sorted input lets every insert reuse the previous position as a hint,
   // keeping the per-window cost amortized O(1) for fresh ranges.
   auto hint = e.windows.begin();
+  std::vector<std::pair<WindowId, double>> spilled;
+  if (sink_ != nullptr) spilled.reserve(windows.size());
   for (const auto& [w, v] : windows) {
     if (v == 0) continue;
     const WindowId key = w - window_offset;
@@ -35,6 +41,18 @@ void FlowCurveStore::add_sparse(
       hint = e.windows.emplace_hint(hint, key, v);
       ++total_windows_;
     }
+    touch_extent(e, key);
+    if (sink_ != nullptr) spilled.emplace_back(key, v);
+  }
+  if (sink_ != nullptr && !spilled.empty()) sink_->on_sparse(flow, spilled);
+}
+
+void FlowCurveStore::touch_extent(Entry& e, WindowId w) {
+  if (e.windows.size() == 1) {
+    e.first = e.last = w;  // first stored window defines the extent
+  } else {
+    if (w < e.first) e.first = w;
+    if (w > e.last) e.last = w;
   }
 }
 
@@ -44,6 +62,14 @@ std::vector<double> FlowCurveStore::range(const FlowKey& flow, WindowId from,
       static_cast<std::size_t>(to > from ? to - from : 0), 0.0);
   auto it = flows_.find(flow.packed());
   if (it == flows_.end()) return out;
+  // Extent-index short-circuit: a range entirely outside the flow's
+  // lifetime has no stored windows and nothing gap-fill could interpolate
+  // (interpolation needs a stored neighbor on both sides), so skip the
+  // tree walk and the marks scan outright.
+  if (it->second.windows.empty() || to <= it->second.first ||
+      from > it->second.last) {
+    return out;
+  }
   const auto& windows = it->second.windows;
   for (auto w = windows.lower_bound(from); w != windows.end() && w->first < to;
        ++w) {
@@ -112,6 +138,7 @@ void FlowCurveStore::mark_windows(WindowId from, WindowId to,
     auto [it, inserted] = marks_.try_emplace(w, conf);
     if (!inserted && conf > it->second) it->second = conf;  // upgrade only
   }
+  if (sink_ != nullptr && from < to) sink_->on_mark(from, to, conf);
 }
 
 WindowConfidence FlowCurveStore::confidence(WindowId w) const {
@@ -135,8 +162,8 @@ bool FlowCurveStore::extent(const FlowKey& flow, WindowId& first,
                             WindowId& last) const {
   auto it = flows_.find(flow.packed());
   if (it == flows_.end() || it->second.windows.empty()) return false;
-  first = it->second.windows.begin()->first;
-  last = it->second.windows.rbegin()->first;
+  first = it->second.first;
+  last = it->second.last;
   return true;
 }
 

@@ -43,10 +43,31 @@ enum class WindowConfidence : std::uint8_t {
   return "unknown";
 }
 
+/// Write-through spill target for durable storage. The curve store remains
+/// the authoritative in-RAM view; a sink (umon::store::Store) receives the
+/// same sparse fragments and confidence marks as they arrive, so the
+/// durable copy can never diverge from what the analyzer ingested. The
+/// interface lives here (not in src/store) so the analyzer never depends on
+/// the storage subsystem.
+class CurveSink {
+ public:
+  virtual ~CurveSink() = default;
+  /// One flow's non-zero windows, offset-corrected, sorted by window.
+  virtual void on_sparse(
+      const FlowKey& flow,
+      std::span<const std::pair<WindowId, double>> windows) = 0;
+  /// Mirror of mark_windows (upgrade-only confidence over [from, to)).
+  virtual void on_mark(WindowId from, WindowId to, WindowConfidence conf) = 0;
+};
+
 class FlowCurveStore {
  public:
   explicit FlowCurveStore(int window_shift = kDefaultWindowShift)
       : window_shift_(window_shift) {}
+
+  /// Attach (or detach with nullptr) a write-through spill sink. Not owned.
+  void set_sink(CurveSink* sink) { sink_ = sink; }
+  [[nodiscard]] CurveSink* sink() const { return sink_; }
 
   /// Add a fragment for `flow`. Overlapping windows accumulate (a window
   /// split across two periods uploads partial counts in each).
@@ -124,8 +145,16 @@ class FlowCurveStore {
   struct Entry {
     FlowKey key;
     std::map<WindowId, double> windows;  // sparse accumulated counters
+    /// Cached extent of `windows` (valid when the map is non-empty):
+    /// range() consults these before walking the tree, so a query that
+    /// misses the flow's lifetime entirely is O(1) after the hash lookup.
+    WindowId first = 0;
+    WindowId last = 0;
   };
   using WindowMap = std::map<WindowId, double>;
+
+  /// Fold window `w` into the entry's cached extent (call after insert).
+  static void touch_extent(Entry& e, WindowId w);
 
   [[nodiscard]] bool is_lost(WindowId w) const;
   /// Nearest stored neighbors of `w` in `windows` that are themselves
@@ -149,6 +178,7 @@ class FlowCurveStore {
   /// view of the affected windows is suspect.
   std::map<WindowId, WindowConfidence> marks_;
   bool gap_fill_ = false;
+  CurveSink* sink_ = nullptr;
 };
 
 }  // namespace umon::analyzer

@@ -685,6 +685,7 @@ void Collector::flush_epoch_to_sink(PendingEpoch&& done) {
   if (curve_event_hook_ && done.max_event_ns >= 0) {
     curve_event_hook_(done.max_event_ns);
   }
+  if (epoch_seal_hook_) epoch_seal_hook_(done.host, done.epoch);
 }
 
 CollectorStats Collector::stats() const {

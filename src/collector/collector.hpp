@@ -150,6 +150,17 @@ class Collector {
     curve_event_hook_ = std::move(hook);
   }
 
+  /// Fires after a sealed (host, epoch) batch has fully flushed into the
+  /// analyzer sink — everything that epoch carried is now queryable (and,
+  /// with a spill sink attached, already written through). Durable-store
+  /// drivers use it as their flush barrier: sealing the store epoch here
+  /// guarantees the on-disk epoch never contains half a collector epoch.
+  /// Runs on the flushing thread with the sink lock released; must not call
+  /// back into the collector. Set before start().
+  void set_epoch_seal_hook(std::function<void(int host, std::uint32_t epoch)> hook) {
+    epoch_seal_hook_ = std::move(hook);
+  }
+
   // --- producer side (thread-safe; serialized at the front door) -----------
   /// One encode_batch() payload from `host` for measurement period `epoch`.
   /// Returns false if the payload failed the framing scan (malformed).
@@ -195,6 +206,7 @@ class Collector {
   std::function<void(Nanos)> decode_event_hook_;
   std::function<void(Nanos)> curve_event_hook_;
   std::function<void(int, std::uint32_t, std::uint64_t)> epoch_loss_hook_;
+  std::function<void(int, std::uint32_t)> epoch_seal_hook_;
 
   std::vector<std::unique_ptr<Shard>> shards_;
   std::vector<std::thread> workers_;

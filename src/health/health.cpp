@@ -17,6 +17,7 @@ constexpr std::array<Stage, kStageCount> kStages = {
     Stage::kCollectorDecode,
     Stage::kAnalyzerCurve,
     Stage::kResilience,
+    Stage::kStoreSeal,
 };
 
 /// Deterministic shortest-roundtrip-ish formatting: %.10g prints the same
@@ -105,7 +106,8 @@ std::string HealthMonitor::default_alarms() {
          "collector.reports_shed rate > 0; "
          "collector.batches_shed rate > 0; "
          "telemetry.trace_dropped_spans rate > 0; "
-         "resilience.epochs_unrecovered rate > 0";
+         "resilience.epochs_unrecovered rate > 0; "
+         "store.compaction_lag_segments last > 1 for 1ms";
 }
 
 HealthMonitor::HealthMonitor(const HealthConfig& cfg)

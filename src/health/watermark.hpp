@@ -40,9 +40,13 @@ enum class Stage : int {
   /// time was either delivered (possibly after retransmits) or explicitly
   /// declared lost. Curves past this mark carry final confidence flags.
   kResilience = 4,
+  /// Durable-store seal: curves up to this event time are fsync'd into the
+  /// segment store and would survive a crash + reopen. The gap between
+  /// analyzer_curve and store_seal is the data at risk.
+  kStoreSeal = 5,
 };
 
-inline constexpr std::size_t kStageCount = 5;
+inline constexpr std::size_t kStageCount = 6;
 
 [[nodiscard]] constexpr const char* to_string(Stage s) {
   switch (s) {
@@ -51,6 +55,7 @@ inline constexpr std::size_t kStageCount = 5;
     case Stage::kCollectorDecode: return "collector_decode";
     case Stage::kAnalyzerCurve: return "analyzer_curve";
     case Stage::kResilience: return "resilience";
+    case Stage::kStoreSeal: return "store_seal";
   }
   return "unknown";
 }

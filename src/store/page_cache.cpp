@@ -1,0 +1,133 @@
+#include "store/page_cache.hpp"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstring>
+
+namespace umon::store {
+
+PageCache::Page* PageCache::get_page(std::uint32_t file_id, int fd,
+                                     std::uint64_t page_index,
+                                     bool allow_partial) {
+  const std::uint64_t key = key_of(file_id, page_index);
+  auto it = pages_.find(key);
+  if (it != pages_.end()) {
+    ++stats_.hits;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return &*it->second;
+  }
+  ++stats_.misses;
+  Page page;
+  page.key = key;
+  page.data.resize(cfg_.page_bytes);
+  const auto off = static_cast<off_t>(page_index * cfg_.page_bytes);
+  ssize_t n = 0;
+  if (fd >= 0) {
+    n = ::pread(fd, page.data.data(), cfg_.page_bytes, off);
+    if (n < 0) return nullptr;
+  }
+  if (n == 0 && !allow_partial) return nullptr;
+  page.data.resize(static_cast<std::size_t>(n));
+  stats_.read_bytes += static_cast<std::uint64_t>(n);
+  lru_.push_front(std::move(page));
+  pages_[key] = lru_.begin();
+  // Pin the fresh page across budget enforcement: when every other resident
+  // page is dirty or pinned, eviction would otherwise reclaim the very page
+  // this call is about to hand out.
+  ++lru_.front().pins;
+  evict_over_budget();
+  --lru_.front().pins;
+  return &lru_.front();
+}
+
+void PageCache::evict_over_budget() {
+  std::size_t resident = lru_.size() * cfg_.page_bytes;
+  auto it = lru_.end();
+  while (resident > cfg_.budget_bytes && it != lru_.begin()) {
+    --it;
+    if (it->state == State::kDirty || it->pins > 0) continue;
+    pages_.erase(it->key);
+    it = lru_.erase(it);
+    resident -= cfg_.page_bytes;
+    ++stats_.evictions;
+  }
+}
+
+bool PageCache::read(std::uint32_t file_id, int fd, std::uint64_t offset,
+                     std::span<std::uint8_t> out) {
+  std::lock_guard lock(mutex_);
+  std::size_t done = 0;
+  while (done < out.size()) {
+    const std::uint64_t pos = offset + done;
+    const std::uint64_t page_index = pos / cfg_.page_bytes;
+    const std::size_t in_page = static_cast<std::size_t>(pos % cfg_.page_bytes);
+    Page* page = get_page(file_id, fd, page_index, /*allow_partial=*/false);
+    if (page == nullptr) return false;
+    if (in_page >= page->data.size()) return false;  // past EOF: torn tail
+    const std::size_t take =
+        std::min(out.size() - done, page->data.size() - in_page);
+    // Pin across the copy: eviction inside a nested get_page (there is
+    // none today — one page at a time) must never invalidate this span.
+    ++page->pins;
+    std::memcpy(out.data() + done, page->data.data() + in_page, take);
+    --page->pins;
+    done += take;
+  }
+  return true;
+}
+
+void PageCache::write_through(std::uint32_t file_id, std::uint64_t offset,
+                              std::span<const std::uint8_t> data) {
+  std::lock_guard lock(mutex_);
+  std::size_t done = 0;
+  while (done < data.size()) {
+    const std::uint64_t pos = offset + done;
+    const std::uint64_t page_index = pos / cfg_.page_bytes;
+    const std::size_t in_page = static_cast<std::size_t>(pos % cfg_.page_bytes);
+    // fd = -1: never fault a miss in from disk — the writer is ahead of the
+    // file contents, so a fresh page starts out as in-memory bytes.
+    Page* page = get_page(file_id, -1, page_index, /*allow_partial=*/true);
+    const std::size_t take = std::min(data.size() - done,
+                                      cfg_.page_bytes - in_page);
+    if (page->data.size() < in_page + take) page->data.resize(in_page + take);
+    std::memcpy(page->data.data() + in_page, data.data() + done, take);
+    page->state = State::kDirty;
+    done += take;
+  }
+}
+
+void PageCache::mark_clean(std::uint32_t file_id) {
+  std::lock_guard lock(mutex_);
+  for (auto& page : lru_) {
+    if ((page.key >> 40) == file_id && page.state == State::kDirty) {
+      page.state = State::kClean;
+    }
+  }
+  evict_over_budget();
+}
+
+void PageCache::drop_file(std::uint32_t file_id) {
+  std::lock_guard lock(mutex_);
+  for (auto it = lru_.begin(); it != lru_.end();) {
+    if ((it->key >> 40) == file_id) {
+      pages_.erase(it->key);
+      it = lru_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+PageCacheStats PageCache::stats() const {
+  std::lock_guard lock(mutex_);
+  PageCacheStats s = stats_;
+  s.resident_pages = lru_.size();
+  s.dirty_pages = 0;
+  for (const auto& page : lru_) {
+    if (page.state == State::kDirty) ++s.dirty_pages;
+  }
+  return s;
+}
+
+}  // namespace umon::store

@@ -1,0 +1,111 @@
+// umon::store — page cache over segment files (netdata-dbengine shape).
+//
+// Fixed-size pages keyed by (file_id, page_index) in three states:
+//
+//   dirty   written through by the segment writer, not yet on disk — never
+//           evicted (losing one would lose acknowledged appends from the
+//           read path until the next reopen)
+//   pinned  a reader is assembling bytes out of it right now — never
+//           evicted (the span handed to the copy loop must stay valid)
+//   clean   backed by disk — evictable, LRU order
+//
+// The writer writes through (`write_through`) so the freshest windows are
+// answerable without touching disk; `mark_clean` flips a file's dirty pages
+// after the writer's pwrite+fsync lands. Readers call `read`, which
+// assembles an arbitrary byte range from resident pages and fills misses
+// with pread. Eviction runs at insertion time until the clean resident set
+// fits the byte budget.
+//
+// Thread safety: all public members are serialized by an internal mutex;
+// pages are pinned only for the duration of a memcpy inside `read`, so no
+// pin outlives a call.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+namespace umon::store {
+
+struct PageCacheConfig {
+  std::size_t page_bytes = 1u << 16;         ///< 64 KiB pages
+  std::size_t budget_bytes = 8u << 20;       ///< clean resident budget
+};
+
+struct PageCacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t read_bytes = 0;      ///< bytes pread from disk on misses
+  std::size_t resident_pages = 0;
+  std::size_t dirty_pages = 0;
+
+  [[nodiscard]] double hit_ratio() const {
+    const std::uint64_t total = hits + misses;
+    return total == 0 ? 1.0 : static_cast<double>(hits) /
+                                  static_cast<double>(total);
+  }
+};
+
+class PageCache {
+ public:
+  explicit PageCache(const PageCacheConfig& cfg = {}) : cfg_(cfg) {}
+
+  PageCache(const PageCache&) = delete;
+  PageCache& operator=(const PageCache&) = delete;
+
+  /// Assemble [offset, offset+out.size()) of file `file_id` into `out`.
+  /// Misses pread from `fd`. Returns false only when a pread fails or comes
+  /// back short (caller treats the range as unreadable — torn tail).
+  [[nodiscard]] bool read(std::uint32_t file_id, int fd, std::uint64_t offset,
+                          std::span<std::uint8_t> out);
+
+  /// Write-through: populate (or overwrite) the pages covering the range
+  /// and mark them dirty. The caller still owns getting the bytes to disk.
+  void write_through(std::uint32_t file_id, std::uint64_t offset,
+                     std::span<const std::uint8_t> data);
+
+  /// Flip every dirty page of `file_id` to clean (call after pwrite+fsync).
+  /// Newly clean pages become evictable, so the budget is re-enforced.
+  void mark_clean(std::uint32_t file_id);
+
+  /// Drop every page of `file_id` (segment unlinked after compaction).
+  void drop_file(std::uint32_t file_id);
+
+  [[nodiscard]] PageCacheStats stats() const;
+
+  [[nodiscard]] std::size_t page_bytes() const { return cfg_.page_bytes; }
+
+ private:
+  enum class State : std::uint8_t { kClean, kDirty };
+
+  struct Page {
+    std::uint64_t key = 0;
+    State state = State::kClean;
+    int pins = 0;
+    std::vector<std::uint8_t> data;  ///< may be shorter than page_bytes at EOF
+  };
+
+  using Lru = std::list<Page>;
+
+  static std::uint64_t key_of(std::uint32_t file_id, std::uint64_t page_index) {
+    return (static_cast<std::uint64_t>(file_id) << 40) | page_index;
+  }
+
+  /// Find-or-load one page; returns nullptr on pread failure. Touches LRU.
+  Page* get_page(std::uint32_t file_id, int fd, std::uint64_t page_index,
+                 bool allow_partial);
+  void evict_over_budget();
+
+  PageCacheConfig cfg_;
+  mutable std::mutex mutex_;
+  Lru lru_;  ///< front = most recently used
+  std::unordered_map<std::uint64_t, Lru::iterator> pages_;
+  PageCacheStats stats_;
+};
+
+}  // namespace umon::store

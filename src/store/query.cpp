@@ -1,0 +1,156 @@
+#include "store/query.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/stats.hpp"
+#include "wavelet/reconstruct.hpp"
+
+namespace umon::store {
+namespace {
+
+/// FNV-1a mixing for the cache key. The fingerprint is the key identity (no
+/// exact query comparison behind it), so every selection field is folded in.
+std::uint64_t fnv1a(std::uint64_t h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xFF;
+    h *= 0x100000001B3ull;
+  }
+  return h;
+}
+
+}  // namespace
+
+std::optional<GroupOp> parse_group_op(const std::string& name) {
+  if (name == "sum") return GroupOp::kSum;
+  if (name == "avg") return GroupOp::kAvg;
+  if (name == "max") return GroupOp::kMax;
+  if (name == "p99") return GroupOp::kP99;
+  return std::nullopt;
+}
+
+std::uint64_t QueryEngine::fingerprint(const Query& q) {
+  std::uint64_t h = 0xCBF29CE484222325ull;
+  h = fnv1a(h, static_cast<std::uint64_t>(q.from));
+  h = fnv1a(h, static_cast<std::uint64_t>(q.to));
+  h = fnv1a(h, q.resolution);
+  h = fnv1a(h, static_cast<std::uint64_t>(q.op));
+  h = fnv1a(h, q.src_host.has_value() ? (*q.src_host | (1ull << 32)) : 0);
+  for (const FlowKey& f : q.flows) h = fnv1a(h, f.packed());
+  return h;
+}
+
+QueryResult QueryEngine::run(const Query& q) {
+  if (q.from >= q.to || q.resolution == 0) return QueryResult{};
+  const CacheKey key{fingerprint(q), store_.generation()};
+  auto it = cache_.find(key);
+  if (it != cache_.end()) {
+    ++hits_;
+    lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+    QueryResult result = it->second.result;
+    result.cache_hit = true;
+    return result;
+  }
+  ++misses_;
+  QueryResult result = execute(q);
+  lru_.push_front(key);
+  cache_[key] = CacheEntry{result, lru_.begin()};
+  while (cache_.size() > cache_entries_ && !lru_.empty()) {
+    cache_.erase(lru_.back());
+    lru_.pop_back();
+  }
+  return result;
+}
+
+QueryResult QueryEngine::execute(const Query& q) const {
+  QueryResult result;
+  result.from = q.from;
+  result.to = q.to;
+  result.resolution = q.resolution;
+  result.op = q.op;
+
+  std::vector<FlowKey> selected;
+  if (q.flows.empty()) {
+    selected = store_.flows();
+  } else {
+    selected = q.flows;
+  }
+  if (q.src_host.has_value()) {
+    selected.erase(std::remove_if(selected.begin(), selected.end(),
+                                  [&](const FlowKey& f) {
+                                    return f.src_ip != *q.src_host;
+                                  }),
+                   selected.end());
+  }
+
+  // Per-window totals across the matched flows over [from, to).
+  const std::size_t n = static_cast<std::size_t>(q.to - q.from);
+  std::vector<double> totals(n, 0.0);
+  for (const FlowKey& flow : selected) {
+    bool touched = false;
+    store_.visit_flow(flow, q.from, q.to, [&](const ChunkView& chunk) {
+      touched = true;
+      if (chunk.kind == RecordKind::kSparseCurve) {
+        for (const auto& [w, v] : chunk.sparse->windows) {
+          if (w < q.from || w >= q.to) continue;
+          totals[static_cast<std::size_t>(w - q.from)] += v;
+        }
+      } else if (chunk.kind == RecordKind::kCoeffCurve) {
+        // On-demand inverse Haar at the chunk's native resolution; only
+        // the overlap with the query range is folded in.
+        const CoeffCurveRecord& rec = *chunk.coeff;
+        const std::vector<double> dense = wavelet::reconstruct(
+            rec.approx, rec.details, rec.length, rec.levels);
+        const WindowId lo = std::max(q.from, rec.w0);
+        const WindowId hi =
+            std::min(q.to, rec.w0 + static_cast<WindowId>(rec.length));
+        for (WindowId w = lo; w < hi; ++w) {
+          totals[static_cast<std::size_t>(w - q.from)] +=
+              dense[static_cast<std::size_t>(w - rec.w0)];
+        }
+      }
+    });
+    if (touched) ++result.flows_matched;
+  }
+
+  // Group into buckets of `resolution` windows (last one may be partial).
+  const std::size_t buckets = (n + q.resolution - 1) / q.resolution;
+  result.series.resize(buckets, 0.0);
+  result.confidence.resize(buckets, analyzer::WindowConfidence::kCovered);
+  std::vector<double> scratch;
+  for (std::size_t b = 0; b < buckets; ++b) {
+    const std::size_t lo = b * q.resolution;
+    const std::size_t hi = std::min(n, lo + q.resolution);
+    switch (q.op) {
+      case GroupOp::kSum: {
+        double acc = 0.0;
+        for (std::size_t i = lo; i < hi; ++i) acc += totals[i];
+        result.series[b] = acc;
+        break;
+      }
+      case GroupOp::kAvg: {
+        double acc = 0.0;
+        for (std::size_t i = lo; i < hi; ++i) acc += totals[i];
+        result.series[b] = acc / static_cast<double>(hi - lo);
+        break;
+      }
+      case GroupOp::kMax: {
+        double best = 0.0;
+        for (std::size_t i = lo; i < hi; ++i) best = std::max(best, totals[i]);
+        result.series[b] = best;
+        break;
+      }
+      case GroupOp::kP99: {
+        scratch.assign(totals.begin() + static_cast<std::ptrdiff_t>(lo),
+                       totals.begin() + static_cast<std::ptrdiff_t>(hi));
+        result.series[b] = percentile(std::move(scratch), 0.99);
+        break;
+      }
+    }
+    result.confidence[b] = store_.worst_confidence(
+        q.from + static_cast<WindowId>(lo), q.from + static_cast<WindowId>(hi));
+  }
+  return result;
+}
+
+}  // namespace umon::store

@@ -1,0 +1,493 @@
+#include "store/segment.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#include <type_traits>
+
+#include "resilience/crc32c.hpp"
+
+namespace umon::store {
+namespace {
+
+using resilience::crc32c;
+
+template <typename T>
+void put(std::vector<std::uint8_t>& out, T value) {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "wire fields are raw little-endian bytes");
+  const std::size_t pos = out.size();
+  out.resize(pos + sizeof(T));
+  std::memcpy(out.data() + pos, &value, sizeof(T));
+}
+
+template <typename T>
+bool get(std::span<const std::uint8_t> in, std::size_t& offset, T& value) {
+  if (offset + sizeof(T) > in.size()) return false;
+  std::memcpy(&value, in.data() + offset, sizeof(T));
+  offset += sizeof(T);
+  return true;
+}
+
+void put_flow(std::vector<std::uint8_t>& out, const FlowKey& flow) {
+  put(out, flow.src_ip);
+  put(out, flow.dst_ip);
+  put(out, flow.src_port);
+  put(out, flow.dst_port);
+  put(out, flow.proto);
+}
+
+bool get_flow(std::span<const std::uint8_t> in, std::size_t& offset,
+              FlowKey& flow) {
+  return get(in, offset, flow.src_ip) && get(in, offset, flow.dst_ip) &&
+         get(in, offset, flow.src_port) && get(in, offset, flow.dst_port) &&
+         get(in, offset, flow.proto);
+}
+
+void encode_segment_header(const SegmentHeader& header,
+                           std::vector<std::uint8_t>& out) {
+  out.clear();
+  put(out, header.magic);
+  put(out, header.version);
+  put(out, header.tier);
+  put(out, header.window_shift);
+  put(out, header.segment_id);
+  put(out, header.base_epoch);
+  put(out, header.replaces_segment_id);
+  put(out, crc32c(out.data(), out.size()));
+}
+
+bool decode_segment_header(std::span<const std::uint8_t> in,
+                           SegmentHeader& header) {
+  std::size_t off = 0;
+  if (!get(in, off, header.magic) || !get(in, off, header.version) ||
+      !get(in, off, header.tier) || !get(in, off, header.window_shift) ||
+      !get(in, off, header.segment_id) || !get(in, off, header.base_epoch) ||
+      !get(in, off, header.replaces_segment_id) ||
+      !get(in, off, header.header_crc)) {
+    return false;
+  }
+  if (header.magic != kSegmentMagic || header.version != kSegmentVersion) {
+    return false;
+  }
+  return header.header_crc == crc32c(in.data(), off - sizeof(std::uint32_t));
+}
+
+void encode_record_header(const RecordHeader& header,
+                          std::vector<std::uint8_t>& out) {
+  put(out, header.payload_len);
+  put(out, header.kind);
+  put(out, header.confidence);
+  put(out, header.flow_hash16);
+  put(out, header.epoch);
+  put(out, header.payload_crc);
+}
+
+bool decode_record_header(std::span<const std::uint8_t> in,
+                          RecordHeader& header) {
+  std::size_t off = 0;
+  return get(in, off, header.payload_len) && get(in, off, header.kind) &&
+         get(in, off, header.confidence) &&
+         get(in, off, header.flow_hash16) && get(in, off, header.epoch) &&
+         get(in, off, header.payload_crc);
+}
+
+}  // namespace
+
+// --- payload codecs ---------------------------------------------------------
+
+void encode_sparse(const SparseCurveRecord& rec,
+                   std::vector<std::uint8_t>& out) {
+  put_flow(out, rec.flow);
+  put(out, static_cast<std::uint32_t>(rec.windows.size()));
+  for (const auto& [w, v] : rec.windows) {
+    put(out, w);
+    put(out, v);
+  }
+}
+
+std::optional<SparseCurveRecord> decode_sparse(
+    std::span<const std::uint8_t> in) {
+  SparseCurveRecord rec;
+  std::size_t off = 0;
+  std::uint32_t count = 0;
+  if (!get_flow(in, off, rec.flow) || !get(in, off, count)) return std::nullopt;
+  if (static_cast<std::size_t>(count) * kSparseEntryWireBytes >
+      in.size() - off) {
+    return std::nullopt;
+  }
+  rec.windows.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    WindowId w = 0;
+    double v = 0;
+    if (!get(in, off, w) || !get(in, off, v)) return std::nullopt;
+    rec.windows.emplace_back(w, v);
+  }
+  if (off != in.size()) return std::nullopt;  // trailing garbage
+  return rec;
+}
+
+void encode_coeff(const CoeffCurveRecord& rec, std::vector<std::uint8_t>& out) {
+  put_flow(out, rec.flow);
+  put(out, rec.w0);
+  put(out, rec.length);
+  put(out, static_cast<std::uint8_t>(rec.levels));
+  put(out, static_cast<std::uint16_t>(rec.approx.size()));
+  put(out, static_cast<std::uint16_t>(rec.details.size()));
+  for (Count a : rec.approx) put(out, a);
+  for (const auto& d : rec.details) {
+    put(out, d.level);
+    put(out, d.index);
+    put(out, d.value);
+  }
+}
+
+std::optional<CoeffCurveRecord> decode_coeff(std::span<const std::uint8_t> in) {
+  CoeffCurveRecord rec;
+  std::size_t off = 0;
+  std::uint8_t levels = 0;
+  std::uint16_t approx_count = 0;
+  std::uint16_t detail_count = 0;
+  if (!get_flow(in, off, rec.flow) || !get(in, off, rec.w0) ||
+      !get(in, off, rec.length) || !get(in, off, levels) ||
+      !get(in, off, approx_count) || !get(in, off, detail_count)) {
+    return std::nullopt;
+  }
+  rec.levels = levels;
+  if (rec.length == 0 || rec.length > kMaxRecordPayload) return std::nullopt;
+  rec.approx.reserve(approx_count);
+  for (std::uint16_t i = 0; i < approx_count; ++i) {
+    Count a = 0;
+    if (!get(in, off, a)) return std::nullopt;
+    rec.approx.push_back(a);
+  }
+  rec.details.reserve(detail_count);
+  for (std::uint16_t i = 0; i < detail_count; ++i) {
+    wavelet::DetailCoeff d;
+    if (!get(in, off, d.level) || !get(in, off, d.index) ||
+        !get(in, off, d.value)) {
+      return std::nullopt;
+    }
+    rec.details.push_back(d);
+  }
+  if (off != in.size()) return std::nullopt;
+  return rec;
+}
+
+void encode_confidence(std::span<const ConfidenceRun> runs,
+                       std::vector<std::uint8_t>& out) {
+  put(out, static_cast<std::uint32_t>(runs.size()));
+  for (const auto& r : runs) {
+    put(out, r.from);
+    put(out, r.to);
+    put(out, static_cast<std::uint8_t>(r.conf));
+  }
+}
+
+std::optional<std::vector<ConfidenceRun>> decode_confidence(
+    std::span<const std::uint8_t> in) {
+  std::size_t off = 0;
+  std::uint32_t count = 0;
+  if (!get(in, off, count)) return std::nullopt;
+  if (static_cast<std::size_t>(count) * 17 > in.size() - off) {
+    return std::nullopt;
+  }
+  std::vector<ConfidenceRun> runs;
+  runs.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    ConfidenceRun r;
+    std::uint8_t conf = 0;
+    if (!get(in, off, r.from) || !get(in, off, r.to) || !get(in, off, conf)) {
+      return std::nullopt;
+    }
+    if (conf > static_cast<std::uint8_t>(
+                   analyzer::WindowConfidence::kLost)) {
+      return std::nullopt;
+    }
+    r.conf = static_cast<analyzer::WindowConfidence>(conf);
+    runs.push_back(r);
+  }
+  if (off != in.size()) return std::nullopt;
+  return runs;
+}
+
+// --- writer -----------------------------------------------------------------
+
+SegmentWriter::SegmentWriter(std::string path, const SegmentHeader& header,
+                             PageCache* cache, std::uint32_t file_id,
+                             bool fsync_on_seal)
+    : path_(std::move(path)),
+      header_(header),
+      cache_(cache),
+      file_id_(file_id),
+      fsync_on_seal_(fsync_on_seal) {
+  fd_ = ::open(path_.c_str(), O_CREAT | O_TRUNC | O_RDWR | O_CLOEXEC, 0644);
+  if (fd_ < 0) return;
+  encode_segment_header(header_, scratch_);
+  header_.header_crc = crc32c(scratch_.data(),
+                              scratch_.size() - sizeof(std::uint32_t));
+  tail_.insert(tail_.end(), scratch_.begin(), scratch_.end());
+  if (cache_ != nullptr) cache_->write_through(file_id_, 0, tail_);
+  offset_ = tail_.size();
+}
+
+SegmentWriter::~SegmentWriter() { (void)finish(); }
+
+SegmentWriter::AppendRef SegmentWriter::append_record(
+    RecordKind kind, std::uint32_t epoch, std::uint8_t confidence,
+    std::uint16_t flow_hash16, std::span<const std::uint8_t> payload) {
+  RecordHeader rh;
+  rh.payload_len = static_cast<std::uint32_t>(payload.size());
+  rh.kind = static_cast<std::uint8_t>(kind);
+  rh.confidence = confidence;
+  rh.flow_hash16 = flow_hash16;
+  rh.epoch = epoch;
+  rh.payload_crc = crc32c(payload.data(), payload.size());
+  const std::size_t frame_begin = tail_.size();
+  encode_record_header(rh, tail_);
+  tail_.insert(tail_.end(), payload.begin(), payload.end());
+  if (cache_ != nullptr) {
+    cache_->write_through(
+        file_id_, tail_base_ + frame_begin,
+        std::span<const std::uint8_t>(tail_.data() + frame_begin,
+                                      tail_.size() - frame_begin));
+  }
+  AppendRef ref;
+  ref.payload_offset = tail_base_ + frame_begin + kRecordHeaderBytes;
+  ref.payload_len = rh.payload_len;
+  offset_ = tail_base_ + tail_.size();
+  return ref;
+}
+
+SegmentWriter::AppendRef SegmentWriter::append_sparse(
+    std::uint32_t epoch, const SparseCurveRecord& rec,
+    analyzer::WindowConfidence worst) {
+  scratch_.clear();
+  encode_sparse(rec, scratch_);
+  return append_record(RecordKind::kSparseCurve, epoch,
+                       static_cast<std::uint8_t>(worst),
+                       static_cast<std::uint16_t>(rec.flow.packed() & 0xFFFF),
+                       scratch_);
+}
+
+SegmentWriter::AppendRef SegmentWriter::append_coeff(
+    std::uint32_t epoch, const CoeffCurveRecord& rec,
+    analyzer::WindowConfidence worst) {
+  scratch_.clear();
+  encode_coeff(rec, scratch_);
+  return append_record(RecordKind::kCoeffCurve, epoch,
+                       static_cast<std::uint8_t>(worst),
+                       static_cast<std::uint16_t>(rec.flow.packed() & 0xFFFF),
+                       scratch_);
+}
+
+void SegmentWriter::append_confidence(std::uint32_t epoch,
+                                      std::span<const ConfidenceRun> runs) {
+  scratch_.clear();
+  encode_confidence(runs, scratch_);
+  (void)append_record(RecordKind::kConfidenceRun, epoch, 0, 0, scratch_);
+}
+
+bool SegmentWriter::flush_tail() {
+  if (tail_.empty()) return true;
+  std::size_t done = 0;
+  while (done < tail_.size()) {
+    const ssize_t n = ::pwrite(fd_, tail_.data() + done, tail_.size() - done,
+                               static_cast<off_t>(tail_base_ + done));
+    if (n <= 0) return false;
+    done += static_cast<std::size_t>(n);
+  }
+  tail_base_ += tail_.size();
+  tail_.clear();
+  return true;
+}
+
+bool SegmentWriter::seal_epoch(std::uint32_t epoch) {
+  if (fd_ < 0) return false;
+  (void)append_record(RecordKind::kEpochSeal, epoch, 0, 0, {});
+  if (!flush_tail()) return false;
+  if (fsync_on_seal_ && ::fsync(fd_) != 0) return false;
+  if (cache_ != nullptr) cache_->mark_clean(file_id_);
+  ++epochs_sealed_;
+  return true;
+}
+
+bool SegmentWriter::finish() {
+  if (fd_ < 0) return true;
+  const bool ok = flush_tail() && (!fsync_on_seal_ || ::fsync(fd_) == 0);
+  if (cache_ != nullptr) cache_->mark_clean(file_id_);
+  ::close(fd_);
+  fd_ = -1;
+  return ok;
+}
+
+// --- reader -----------------------------------------------------------------
+
+std::optional<SegmentReader> SegmentReader::open(const std::string& path,
+                                                 PageCache* cache,
+                                                 std::uint32_t file_id,
+                                                 bool writable) {
+  const int flags = (writable ? O_RDWR : O_RDONLY) | O_CLOEXEC;
+  const int fd = ::open(path.c_str(), flags);
+  if (fd < 0) return std::nullopt;
+  const off_t size = ::lseek(fd, 0, SEEK_END);
+  if (size < static_cast<off_t>(kSegmentHeaderBytes)) {
+    ::close(fd);
+    return std::nullopt;
+  }
+  std::uint8_t raw[kSegmentHeaderBytes];
+  if (::pread(fd, raw, sizeof(raw), 0) !=
+      static_cast<ssize_t>(sizeof(raw))) {
+    ::close(fd);
+    return std::nullopt;
+  }
+  SegmentHeader header;
+  if (!decode_segment_header(std::span<const std::uint8_t>(raw, sizeof(raw)),
+                             header)) {
+    ::close(fd);
+    return std::nullopt;
+  }
+  SegmentReader reader;
+  reader.header_ = header;
+  reader.cache_ = cache;
+  reader.file_id_ = file_id;
+  reader.fd_ = fd;
+  reader.file_size_ = static_cast<std::uint64_t>(size);
+  return reader;
+}
+
+SegmentReader::ScanResult SegmentReader::scan(const RecordFn& fn) {
+  ScanResult result;
+  result.valid_end = kSegmentHeaderBytes;
+  result.sealed_end = kSegmentHeaderBytes;
+
+  // Pass 1: frame walk. Stops at the first record that fails any check —
+  // everything after a bad frame is unreachable (lengths chain).
+  std::vector<std::uint8_t> buf;
+  std::uint64_t pos = kSegmentHeaderBytes;
+  struct Rec {
+    RecordHeader header;
+    std::uint64_t payload_offset;
+  };
+  std::vector<Rec> records;
+  while (pos + kRecordHeaderBytes <= file_size_) {
+    std::uint8_t raw[kRecordHeaderBytes];
+    if (!cache_->read(file_id_, fd_, pos, std::span<std::uint8_t>(raw))) break;
+    RecordHeader rh;
+    if (!decode_record_header(std::span<const std::uint8_t>(raw, sizeof(raw)),
+                              rh)) {
+      break;
+    }
+    if (!valid_record_kind(rh.kind) || rh.payload_len > kMaxRecordPayload) {
+      break;
+    }
+    const std::uint64_t payload_offset = pos + kRecordHeaderBytes;
+    if (payload_offset + rh.payload_len > file_size_) break;
+    buf.resize(rh.payload_len);
+    if (rh.payload_len > 0 &&
+        !cache_->read(file_id_, fd_, payload_offset,
+                      std::span<std::uint8_t>(buf))) {
+      break;
+    }
+    if (resilience::crc32c(buf.data(), buf.size()) != rh.payload_crc) break;
+    pos = payload_offset + rh.payload_len;
+    result.valid_end = pos;
+    records.push_back(Rec{rh, payload_offset});
+    if (rh.kind == static_cast<std::uint8_t>(RecordKind::kEpochSeal)) {
+      result.sealed_end = pos;
+      result.max_sealed_epoch = rh.epoch;
+      result.sealed_records = records.size();
+    }
+  }
+  result.torn = result.valid_end < file_size_;
+  result.unsealed_records = records.size() - result.sealed_records;
+
+  // Pass 2: deliver only the durable prefix.
+  if (fn) {
+    for (std::size_t i = 0; i < result.sealed_records; ++i) {
+      const Rec& rec = records[i];
+      buf.resize(rec.header.payload_len);
+      if (rec.header.payload_len > 0 &&
+          !cache_->read(file_id_, fd_, rec.payload_offset,
+                        std::span<std::uint8_t>(buf))) {
+        break;  // cannot happen after pass 1 short of a failing disk
+      }
+      fn(rec.header, rec.payload_offset, buf);
+    }
+  }
+  return result;
+}
+
+bool SegmentReader::truncate_to(std::uint64_t end) {
+  if (fd_ < 0 || end > file_size_) return false;
+  if (::ftruncate(fd_, static_cast<off_t>(end)) != 0) return false;
+  if (::fsync(fd_) != 0) return false;
+  file_size_ = end;
+  if (cache_ != nullptr) cache_->drop_file(file_id_);
+  return true;
+}
+
+bool SegmentReader::read_payload(std::uint64_t payload_offset,
+                                 std::uint32_t payload_len,
+                                 std::vector<std::uint8_t>& out) {
+  if (payload_offset + payload_len > file_size_) return false;
+  out.resize(payload_len);
+  if (payload_len == 0) return true;
+  return cache_->read(file_id_, fd_, payload_offset,
+                      std::span<std::uint8_t>(out));
+}
+
+void SegmentReader::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+SegmentReader::~SegmentReader() { close(); }
+
+SegmentReader::SegmentReader(SegmentReader&& other) noexcept
+    : header_(other.header_),
+      cache_(other.cache_),
+      file_id_(other.file_id_),
+      fd_(other.fd_),
+      file_size_(other.file_size_) {
+  other.fd_ = -1;
+}
+
+SegmentReader& SegmentReader::operator=(SegmentReader&& other) noexcept {
+  if (this != &other) {
+    close();
+    header_ = other.header_;
+    cache_ = other.cache_;
+    file_id_ = other.file_id_;
+    fd_ = other.fd_;
+    file_size_ = other.file_size_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+std::string segment_file_name(std::uint32_t segment_id, std::uint8_t tier) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "seg-%08x-t%u.useg", segment_id, tier);
+  return buf;
+}
+
+bool parse_segment_file_name(const std::string& name, std::uint32_t& segment_id,
+                             std::uint8_t& tier) {
+  unsigned id = 0;
+  unsigned t = 0;
+  char suffix[8] = {};
+  if (std::sscanf(name.c_str(), "seg-%8x-t%u.use%1s", &id, &t, suffix) != 3 ||
+      suffix[0] != 'g' || t > 7) {
+    return false;
+  }
+  segment_id = id;
+  tier = static_cast<std::uint8_t>(t);
+  return true;
+}
+
+}  // namespace umon::store

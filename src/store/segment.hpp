@@ -1,0 +1,201 @@
+// umon::store — append-only segment files: writer, reader, recovery.
+//
+// SegmentWriter buffers records in an in-memory tail (write-through into
+// the page cache so fresh windows are queryable immediately) and makes them
+// durable at epoch granularity: seal_epoch() appends a kEpochSeal record,
+// pwrite()s the tail, and fsync()s. A crash can therefore only lose the
+// epoch in flight, never a sealed one.
+//
+// SegmentReader walks the frames front to back, validating each payload's
+// CRC32C, and reports where the trusted bytes end: `sealed_end` (one past
+// the last verified kEpochSeal — everything before it is durable and
+// consistent) and `valid_end` (one past the last record that merely framed
+// and checksummed clean). Recovery truncates a writable segment to
+// `sealed_end`, discarding both torn bytes and unsealed epochs.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "analyzer/curve_store.hpp"
+#include "common/types.hpp"
+#include "store/format.hpp"
+#include "store/page_cache.hpp"
+#include "wavelet/coeff.hpp"
+
+namespace umon::store {
+
+/// Decoded kSparseCurve payload: exact (window, bytes) pairs of one flow.
+struct SparseCurveRecord {
+  FlowKey flow;
+  std::vector<std::pair<WindowId, double>> windows;  ///< sorted by window
+};
+
+/// Decoded kCoeffCurve payload: one flow's curve chunk as last-level block
+/// sums plus retained top-K detail coefficients, reconstructable with
+/// wavelet::reconstruct(approx, details, length, levels).
+struct CoeffCurveRecord {
+  FlowKey flow;
+  WindowId w0 = 0;            ///< absolute window of the chunk's first sample
+  std::uint32_t length = 0;   ///< windows covered (reconstruction length)
+  int levels = 0;
+  std::vector<Count> approx;
+  std::vector<wavelet::DetailCoeff> details;
+};
+
+/// One entry of a kConfidenceRun payload: [from, to) carries `conf`.
+struct ConfidenceRun {
+  WindowId from = 0;
+  WindowId to = 0;
+  analyzer::WindowConfidence conf = analyzer::WindowConfidence::kCovered;
+};
+
+// --- payload codecs ---------------------------------------------------------
+void encode_sparse(const SparseCurveRecord& rec, std::vector<std::uint8_t>& out);
+void encode_coeff(const CoeffCurveRecord& rec, std::vector<std::uint8_t>& out);
+void encode_confidence(std::span<const ConfidenceRun> runs,
+                       std::vector<std::uint8_t>& out);
+[[nodiscard]] std::optional<SparseCurveRecord> decode_sparse(
+    std::span<const std::uint8_t> in);
+[[nodiscard]] std::optional<CoeffCurveRecord> decode_coeff(
+    std::span<const std::uint8_t> in);
+[[nodiscard]] std::optional<std::vector<ConfidenceRun>> decode_confidence(
+    std::span<const std::uint8_t> in);
+
+class SegmentWriter {
+ public:
+  /// Creates (truncating) `path` and stages the header. Nothing touches the
+  /// disk until the first seal. Check ok() before use.
+  SegmentWriter(std::string path, const SegmentHeader& header,
+                PageCache* cache, std::uint32_t file_id,
+                bool fsync_on_seal = true);
+  ~SegmentWriter();
+
+  SegmentWriter(const SegmentWriter&) = delete;
+  SegmentWriter& operator=(const SegmentWriter&) = delete;
+
+  [[nodiscard]] bool ok() const { return fd_ >= 0; }
+
+  struct AppendRef {
+    std::uint64_t payload_offset = 0;
+    std::uint32_t payload_len = 0;
+  };
+
+  AppendRef append_sparse(std::uint32_t epoch, const SparseCurveRecord& rec,
+                          analyzer::WindowConfidence worst);
+  AppendRef append_coeff(std::uint32_t epoch, const CoeffCurveRecord& rec,
+                         analyzer::WindowConfidence worst);
+  void append_confidence(std::uint32_t epoch,
+                         std::span<const ConfidenceRun> runs);
+
+  /// Append the seal record, pwrite the buffered tail, fsync. Returns false
+  /// on an IO error (the tail stays buffered; the epoch is not durable).
+  [[nodiscard]] bool seal_epoch(std::uint32_t epoch);
+
+  /// Flush any remaining tail and close. Idempotent.
+  bool finish();
+
+  [[nodiscard]] std::uint64_t bytes() const { return offset_; }
+  [[nodiscard]] std::uint32_t epochs_sealed() const { return epochs_sealed_; }
+  [[nodiscard]] const SegmentHeader& header() const { return header_; }
+  [[nodiscard]] const std::string& path() const { return path_; }
+  [[nodiscard]] int fd() const { return fd_; }
+  [[nodiscard]] std::uint32_t file_id() const { return file_id_; }
+
+ private:
+  AppendRef append_record(RecordKind kind, std::uint32_t epoch,
+                          std::uint8_t confidence, std::uint16_t flow_hash16,
+                          std::span<const std::uint8_t> payload);
+  bool flush_tail();
+
+  std::string path_;
+  SegmentHeader header_;
+  PageCache* cache_;
+  std::uint32_t file_id_;
+  bool fsync_on_seal_;
+  int fd_ = -1;
+  std::uint64_t offset_ = 0;      ///< logical end of the segment
+  std::uint64_t tail_base_ = 0;   ///< file offset the tail buffer starts at
+  std::vector<std::uint8_t> tail_;
+  std::vector<std::uint8_t> scratch_;
+  std::uint32_t epochs_sealed_ = 0;
+};
+
+class SegmentReader {
+ public:
+  /// Opens and validates the fixed header. Returns nullopt when the file is
+  /// missing, too short, or the header fails magic/version/CRC checks.
+  static std::optional<SegmentReader> open(const std::string& path,
+                                           PageCache* cache,
+                                           std::uint32_t file_id,
+                                           bool writable = false);
+
+  struct ScanResult {
+    std::uint64_t valid_end = 0;    ///< one past the last clean record
+    std::uint64_t sealed_end = 0;   ///< one past the last verified seal
+    std::optional<std::uint32_t> max_sealed_epoch;
+    bool torn = false;              ///< bytes past valid_end exist
+    std::size_t sealed_records = 0;
+    std::size_t unsealed_records = 0;  ///< clean but past the last seal
+  };
+
+  using RecordFn = std::function<void(const RecordHeader&,
+                                      std::uint64_t payload_offset,
+                                      std::span<const std::uint8_t> payload)>;
+
+  /// Two passes: frame-walk to find sealed_end, then deliver every record
+  /// strictly before it (second pass mostly hits the page cache). `fn` may
+  /// be null to probe the file without consuming it.
+  ScanResult scan(const RecordFn& fn);
+
+  /// Truncate the file to `end` (recovery of a torn/unsealed tail).
+  /// Requires the reader to have been opened writable.
+  [[nodiscard]] bool truncate_to(std::uint64_t end);
+
+  /// Read one payload (for on-demand query reads). Returns false on IO
+  /// error or out-of-range reads.
+  [[nodiscard]] bool read_payload(std::uint64_t payload_offset,
+                                  std::uint32_t payload_len,
+                                  std::vector<std::uint8_t>& out);
+
+  [[nodiscard]] const SegmentHeader& header() const { return header_; }
+  [[nodiscard]] std::uint64_t file_size() const { return file_size_; }
+  [[nodiscard]] int fd() const { return fd_; }
+  [[nodiscard]] std::uint32_t file_id() const { return file_id_; }
+
+  void close();
+  ~SegmentReader();
+  SegmentReader(SegmentReader&& other) noexcept;
+  SegmentReader& operator=(SegmentReader&& other) noexcept;
+  SegmentReader(const SegmentReader&) = delete;
+  SegmentReader& operator=(const SegmentReader&) = delete;
+
+ private:
+  SegmentReader() = default;
+
+  SegmentHeader header_;
+  PageCache* cache_ = nullptr;
+  std::uint32_t file_id_ = 0;
+  int fd_ = -1;
+  std::uint64_t file_size_ = 0;
+};
+
+/// Encoded size of the header as laid out on disk (== sizeof, all fields
+/// naturally aligned — pinned by the static_asserts in format.hpp).
+constexpr std::uint64_t kSegmentHeaderBytes = sizeof(SegmentHeader);
+constexpr std::uint64_t kRecordHeaderBytes = sizeof(RecordHeader);
+
+/// Canonical segment file name: seg-<id 8 hex>-t<tier>.useg
+[[nodiscard]] std::string segment_file_name(std::uint32_t segment_id,
+                                            std::uint8_t tier);
+/// Parse a segment file name; returns false for foreign files.
+[[nodiscard]] bool parse_segment_file_name(const std::string& name,
+                                           std::uint32_t& segment_id,
+                                           std::uint8_t& tier);
+
+}  // namespace umon::store

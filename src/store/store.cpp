@@ -1,0 +1,812 @@
+#include "store/store.hpp"
+
+#include <dirent.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "store/tier.hpp"
+#include "wavelet/haar.hpp"
+
+namespace umon::store {
+namespace {
+
+using analyzer::WindowConfidence;
+
+WindowConfidence worse(WindowConfidence a, WindowConfidence b) {
+  return static_cast<std::uint8_t>(a) >= static_cast<std::uint8_t>(b) ? a : b;
+}
+
+/// Coalesce per-window marks into maximal same-confidence runs.
+std::vector<ConfidenceRun> runs_from_marks(
+    const std::map<WindowId, WindowConfidence>& marks) {
+  std::vector<ConfidenceRun> runs;
+  for (const auto& [w, conf] : marks) {
+    if (!runs.empty() && runs.back().to == w && runs.back().conf == conf) {
+      runs.back().to = w + 1;
+    } else {
+      runs.push_back(ConfidenceRun{w, w + 1, conf});
+    }
+  }
+  return runs;
+}
+
+}  // namespace
+
+struct Store::Instruments {
+  explicit Instruments(telemetry::MetricRegistry& reg) {
+    appends = reg.counter("umon_store_appends_total", {},
+                          "Sparse curve records appended");
+    append_bytes = reg.counter("umon_store_append_bytes_total", {},
+                               "Encoded payload bytes appended");
+    epochs_sealed = reg.counter("umon_store_epochs_sealed_total", {},
+                                "Epoch seals made durable (fsync barriers)");
+    segments_created = reg.counter("umon_store_segments_created_total", {},
+                                   "Segment files created (all tiers)");
+    segments_removed = reg.counter("umon_store_segments_removed_total", {},
+                                   "Segment files unlinked after compaction");
+    for (int t = 0; t < 3; ++t) {
+      const std::string tier = std::to_string(t);
+      tier_segments[t] = reg.gauge("umon_store_tier_segments",
+                                   {{"tier", tier}},
+                                   "Resident segment files in one tier");
+      tier_bytes[t] = reg.gauge("umon_store_tier_bytes", {{"tier", tier}},
+                                "Bytes resident in one tier");
+      if (t > 0) {
+        compactions[t] = reg.counter("umon_store_compactions_total",
+                                     {{"to_tier", tier}},
+                                     "Segments rewritten into a deeper tier");
+      }
+    }
+    compaction_in = reg.counter("umon_store_compaction_input_bytes_total", {},
+                                "Bytes read by the tier compactor");
+    compaction_out = reg.counter("umon_store_compaction_output_bytes_total",
+                                 {}, "Bytes written by the tier compactor");
+    cache_hits = reg.counter("umon_store_cache_hits_total", {},
+                             "Page cache hits");
+    cache_misses = reg.counter("umon_store_cache_misses_total", {},
+                               "Page cache misses (pread)");
+    cache_evictions = reg.counter("umon_store_cache_evictions_total", {},
+                                  "Clean pages evicted by the byte budget");
+    cache_resident = reg.gauge("umon_store_cache_resident_pages", {},
+                               "Pages resident in the cache");
+    cache_dirty = reg.gauge("umon_store_cache_dirty_pages", {},
+                            "Dirty (unsynced, unevictable) resident pages");
+    last_sealed = reg.gauge("umon_store_last_sealed_epoch", {},
+                            "Most recent durable epoch (-1 before the first)");
+    compaction_lag = reg.gauge(
+        "umon_store_compaction_lag_segments", {},
+        "Sealed segments old enough for the next tier but not yet rewritten");
+  }
+
+  telemetry::Counter* appends = nullptr;
+  telemetry::Counter* append_bytes = nullptr;
+  telemetry::Counter* epochs_sealed = nullptr;
+  telemetry::Counter* segments_created = nullptr;
+  telemetry::Counter* segments_removed = nullptr;
+  telemetry::Counter* compactions[3] = {nullptr, nullptr, nullptr};
+  telemetry::Counter* compaction_in = nullptr;
+  telemetry::Counter* compaction_out = nullptr;
+  telemetry::Counter* cache_hits = nullptr;
+  telemetry::Counter* cache_misses = nullptr;
+  telemetry::Counter* cache_evictions = nullptr;
+  telemetry::Gauge* tier_segments[3] = {nullptr, nullptr, nullptr};
+  telemetry::Gauge* tier_bytes[3] = {nullptr, nullptr, nullptr};
+  telemetry::Gauge* cache_resident = nullptr;
+  telemetry::Gauge* cache_dirty = nullptr;
+  telemetry::Gauge* last_sealed = nullptr;
+  telemetry::Gauge* compaction_lag = nullptr;
+};
+
+Store::Store(const StoreConfig& cfg, bool writable)
+    : cfg_(cfg),
+      writable_(writable),
+      cache_(PageCacheConfig{cfg.page_bytes, cfg.cache_budget_bytes}),
+      ins_(std::make_unique<Instruments>(registry_)) {}
+
+Store::~Store() {
+  std::lock_guard lock(mutex_);
+  if (active_ != nullptr) (void)active_->finish();
+}
+
+std::unique_ptr<Store> Store::open(const StoreConfig& cfg, RecoveryInfo* info,
+                                   bool writable) {
+  if (cfg.dir.empty()) return nullptr;
+  if (::mkdir(cfg.dir.c_str(), 0755) != 0 && errno != EEXIST) return nullptr;
+  std::unique_ptr<Store> store(new Store(cfg, writable));
+  if (!store->recover(info)) return nullptr;
+  return store;
+}
+
+bool Store::recover(RecoveryInfo* info) {
+  RecoveryInfo local;
+  RecoveryInfo& ri = info != nullptr ? *info : local;
+  ri = RecoveryInfo{};
+
+  DIR* dir = ::opendir(cfg_.dir.c_str());
+  if (dir == nullptr) return false;
+  struct Found {
+    std::uint8_t tier = 0;
+    std::string path;
+  };
+  std::map<std::uint32_t, Found> found;  // ordered: deterministic recovery
+  while (const dirent* ent = ::readdir(dir)) {
+    const std::string name = ent->d_name;
+    if (name == "." || name == "..") continue;
+    const std::string path = cfg_.dir + "/" + name;
+    if (name.size() > 4 && name.compare(name.size() - 4, 4, ".tmp") == 0) {
+      // Interrupted compaction output: the source still has the data.
+      if (writable_ && ::unlink(path.c_str()) == 0) ++ri.tmp_files_removed;
+      continue;
+    }
+    std::uint32_t id = 0;
+    std::uint8_t tier = 0;
+    if (!parse_segment_file_name(name, id, tier)) continue;
+    found[id] = Found{tier, path};
+  }
+  ::closedir(dir);
+
+  // Phase 1: open + validate headers; resolve crashed compactions. A
+  // renamed output whose source survived means the crash hit between
+  // rename and unlink — the source must go or its records double-count.
+  std::map<std::uint32_t, SegmentReader> readers;
+  for (auto& [id, f] : found) {
+    auto reader = SegmentReader::open(f.path, &cache_, id, writable_);
+    if (!reader.has_value() || reader->header().segment_id != id) {
+      continue;  // unreadable header: leave the file for forensics
+    }
+    readers.emplace(id, std::move(*reader));
+  }
+  for (auto it = readers.begin(); it != readers.end();) {
+    const std::uint32_t replaces = it->second.header().replaces_segment_id;
+    if (replaces != kReplacesNone && readers.count(replaces) > 0) {
+      auto victim = readers.find(replaces);
+      victim->second.close();
+      if (writable_ && ::unlink(found[replaces].path.c_str()) == 0) {
+        ++ri.stale_sources_unlinked;
+      }
+      readers.erase(victim);
+      it = readers.begin();  // restart: erase may invalidate our position
+    } else {
+      ++it;
+    }
+  }
+
+  // Phase 2: scan every surviving segment, truncate torn/unsealed tails,
+  // rebuild the flow index and confidence marks.
+  for (auto& [id, reader] : readers) {
+    std::size_t records = 0;
+    const std::uint32_t seg_id = id;
+    const SegmentReader::ScanResult scan = reader.scan(
+        [this, seg_id, &records](const RecordHeader& rh,
+                                 std::uint64_t payload_offset,
+                                 std::span<const std::uint8_t> payload) {
+          index_record(seg_id, rh, payload_offset, payload, &records);
+        });
+    if (scan.sealed_end <= kSegmentHeaderBytes) {
+      // No durable epoch: nothing in this file is trustworthy.
+      reader.close();
+      if (writable_ && ::unlink(found[id].path.c_str()) == 0) {
+        ++ri.empty_segments_removed;
+      }
+      continue;
+    }
+    if (writable_ && scan.sealed_end < reader.file_size()) {
+      if (!reader.truncate_to(scan.sealed_end)) return false;
+      ++ri.torn_tails_truncated;
+    }
+    ri.records_recovered += records;
+    ++ri.segments_opened;
+    Segment seg;
+    seg.header = reader.header();
+    seg.path = found[id].path;
+    seg.bytes = scan.sealed_end;
+    seg.max_epoch = scan.max_sealed_epoch.value_or(seg.header.base_epoch);
+    if (!ri.last_sealed_epoch.has_value() ||
+        *ri.last_sealed_epoch < *scan.max_sealed_epoch) {
+      ri.last_sealed_epoch = scan.max_sealed_epoch;
+    }
+    seg.reader = std::move(reader);
+    next_segment_id_ = std::max(next_segment_id_, id + 1);
+    segments_.emplace(id, std::move(seg));
+  }
+
+  last_sealed_ = ri.last_sealed_epoch;
+  epoch_ = last_sealed_.has_value() ? *last_sealed_ + 1 : 0;
+  publish_gauges_locked();
+  return true;
+}
+
+void Store::index_record(std::uint32_t segment_id, const RecordHeader& rh,
+                         std::uint64_t payload_offset,
+                         std::span<const std::uint8_t> payload,
+                         std::size_t* records) {
+  const auto kind = static_cast<RecordKind>(rh.kind);
+  ChunkRef ref;
+  ref.segment_id = segment_id;
+  ref.payload_offset = payload_offset;
+  ref.payload_len = rh.payload_len;
+  ref.kind = kind;
+  ref.confidence = static_cast<WindowConfidence>(rh.confidence);
+  ref.epoch = rh.epoch;
+  switch (kind) {
+    case RecordKind::kSparseCurve: {
+      const auto rec = decode_sparse(payload);
+      if (!rec.has_value() || rec->windows.empty()) return;
+      ref.w0 = rec->windows.front().first;
+      ref.w1 = rec->windows.back().first;
+      FlowEntry& entry = flows_[rec->flow.packed()];
+      entry.key = rec->flow;
+      entry.chunks.push_back(ref);
+      if (records != nullptr) ++*records;
+      break;
+    }
+    case RecordKind::kCoeffCurve: {
+      const auto rec = decode_coeff(payload);
+      if (!rec.has_value()) return;
+      ref.w0 = rec->w0;
+      ref.w1 = rec->w0 + rec->length - 1;
+      FlowEntry& entry = flows_[rec->flow.packed()];
+      entry.key = rec->flow;
+      entry.chunks.push_back(ref);
+      if (records != nullptr) ++*records;
+      break;
+    }
+    case RecordKind::kConfidenceRun: {
+      const auto runs = decode_confidence(payload);
+      if (!runs.has_value()) return;
+      for (const ConfidenceRun& run : *runs) {
+        for (WindowId w = run.from; w < run.to; ++w) {
+          auto [it, inserted] = marks_.try_emplace(w, run.conf);
+          if (!inserted) it->second = worse(it->second, run.conf);
+        }
+      }
+      if (records != nullptr) ++*records;
+      break;
+    }
+    case RecordKind::kEpochSeal:
+      break;
+  }
+}
+
+void Store::ensure_writer() {
+  if (active_ != nullptr || !writable_) return;
+  const std::uint32_t id = next_segment_id_++;
+  SegmentHeader header;
+  header.tier = 0;
+  header.window_shift = static_cast<std::uint8_t>(cfg_.window_shift);
+  header.segment_id = id;
+  header.base_epoch = epoch_;
+  const std::string path = cfg_.dir + "/" + segment_file_name(id, 0);
+  active_ = std::make_unique<SegmentWriter>(path, header, &cache_, id,
+                                            cfg_.fsync_on_seal);
+  Segment seg;
+  seg.header = active_->header();
+  seg.path = path;
+  seg.max_epoch = epoch_;
+  segments_.emplace(id, std::move(seg));
+  ++stats_.segments_created;
+  ins_->segments_created->inc();
+}
+
+void Store::append_sparse(
+    const FlowKey& flow,
+    std::span<const std::pair<WindowId, double>> windows) {
+  if (windows.empty()) return;
+  std::lock_guard lock(mutex_);
+  if (!writable_) return;
+  ensure_writer();
+  if (active_ == nullptr || !active_->ok()) return;
+
+  SparseCurveRecord rec;
+  rec.flow = flow;
+  rec.windows.assign(windows.begin(), windows.end());
+  WindowConfidence worst = WindowConfidence::kCovered;
+  for (const auto& [w, v] : rec.windows) {
+    const auto it = marks_.find(w);
+    if (it != marks_.end()) worst = worse(worst, it->second);
+  }
+  const SegmentWriter::AppendRef at =
+      active_->append_sparse(epoch_, rec, worst);
+
+  ChunkRef ref;
+  ref.segment_id = active_->file_id();
+  ref.payload_offset = at.payload_offset;
+  ref.payload_len = at.payload_len;
+  ref.kind = RecordKind::kSparseCurve;
+  ref.confidence = worst;
+  ref.epoch = epoch_;
+  ref.w0 = rec.windows.front().first;
+  ref.w1 = rec.windows.back().first;
+  FlowEntry& entry = flows_[flow.packed()];
+  entry.key = flow;
+  entry.chunks.push_back(ref);
+
+  ++stats_.appends;
+  stats_.append_bytes += at.payload_len;
+  ins_->appends->inc();
+  ins_->append_bytes->inc(at.payload_len);
+}
+
+void Store::mark_confidence(WindowId from, WindowId to,
+                            WindowConfidence conf) {
+  if (conf == WindowConfidence::kCovered || from >= to) return;
+  std::lock_guard lock(mutex_);
+  for (WindowId w = from; w < to; ++w) {
+    auto [it, inserted] = marks_.try_emplace(w, conf);
+    if (!inserted) it->second = worse(it->second, conf);
+  }
+  if (writable_) pending_runs_.push_back(ConfidenceRun{from, to, conf});
+}
+
+bool Store::seal_epoch() {
+  std::lock_guard lock(mutex_);
+  if (!writable_) return false;
+  if (active_ == nullptr && pending_runs_.empty()) {
+    // Nothing happened this epoch: advance logically, nothing to make
+    // durable. A crash forgets empty epochs, which loses no data.
+    last_sealed_ = epoch_;
+    ++epoch_;
+    ++generation_;
+    ins_->last_sealed->set(static_cast<std::int64_t>(*last_sealed_));
+    return true;
+  }
+  ensure_writer();
+  if (active_ == nullptr || !active_->ok()) return false;
+  if (!pending_runs_.empty()) {
+    active_->append_confidence(epoch_, pending_runs_);
+    pending_runs_.clear();
+  }
+  if (!active_->seal_epoch(epoch_)) return false;
+  auto seg_it = segments_.find(active_->file_id());
+  if (seg_it != segments_.end()) {
+    seg_it->second.bytes = active_->bytes();
+    seg_it->second.max_epoch = epoch_;
+  }
+  last_sealed_ = epoch_;
+  ++epoch_;
+  ++generation_;
+  ++stats_.epochs_sealed;
+  ins_->epochs_sealed->inc();
+  ins_->last_sealed->set(static_cast<std::int64_t>(*last_sealed_));
+  if (active_->epochs_sealed() >= cfg_.segment_epochs) roll_active_locked();
+  publish_gauges_locked();
+  return true;
+}
+
+void Store::roll_active_locked() {
+  if (active_ == nullptr) return;
+  const std::uint32_t id = active_->file_id();
+  const std::string path = active_->path();
+  (void)active_->finish();
+  active_.reset();
+  auto it = segments_.find(id);
+  if (it == segments_.end()) return;
+  auto reader = SegmentReader::open(path, &cache_, id, writable_);
+  if (reader.has_value()) {
+    it->second.reader = std::move(*reader);
+  } else {
+    // The file we just wrote does not read back: disown it. Its chunks
+    // would all fail decode anyway; drop them from the index.
+    for (auto& [packed, entry] : flows_) {
+      auto& chunks = entry.chunks;
+      chunks.erase(std::remove_if(chunks.begin(), chunks.end(),
+                                  [id](const ChunkRef& c) {
+                                    return c.segment_id == id;
+                                  }),
+                   chunks.end());
+    }
+    segments_.erase(it);
+  }
+}
+
+int Store::fd_for_segment(std::uint32_t segment_id) const {
+  if (active_ != nullptr && active_->file_id() == segment_id) {
+    return active_->fd();
+  }
+  const auto it = segments_.find(segment_id);
+  if (it == segments_.end() || !it->second.reader.has_value()) return -1;
+  return it->second.reader->fd();
+}
+
+std::size_t Store::maintain() {
+  std::lock_guard lock(mutex_);
+  if (!writable_ || cfg_.tier1_age_epochs == 0) return 0;
+  std::vector<std::uint32_t> candidates;
+  for (const auto& [id, seg] : segments_) {
+    if (!seg.reader.has_value()) continue;  // active segment
+    if (seg.header.tier >= 2) continue;
+    const std::uint32_t age =
+        epoch_ > seg.max_epoch ? epoch_ - seg.max_epoch : 0;
+    const std::uint32_t need = seg.header.tier == 0 ? cfg_.tier1_age_epochs
+                                                    : cfg_.tier2_age_epochs;
+    if (age >= need) candidates.push_back(id);
+  }
+  std::size_t done = 0;
+  for (const std::uint32_t id : candidates) {
+    if (compact_segment_locked(id)) ++done;
+  }
+  publish_gauges_locked();
+  return done;
+}
+
+bool Store::compact_segment_locked(std::uint32_t segment_id) {
+  auto src_it = segments_.find(segment_id);
+  if (src_it == segments_.end() || !src_it->second.reader.has_value()) {
+    return false;
+  }
+  Segment& src = src_it->second;
+  const std::uint8_t new_tier = src.header.tier + 1;
+  const std::uint64_t input_bytes = src.bytes;
+
+  // Gather the source's contents per flow. std::map keyed on the packed
+  // flow keeps the output record order deterministic across runs.
+  struct FlowAcc {
+    FlowKey key;
+    std::map<WindowId, double> windows;        // tier-0 source
+    std::vector<CoeffCurveRecord> coeffs;      // tier-1 source
+    std::uint64_t source_bytes = 0;
+    WindowConfidence worst = WindowConfidence::kCovered;
+  };
+  std::map<std::uint64_t, FlowAcc> acc;
+  std::map<WindowId, WindowConfidence> run_marks;
+  bool decode_ok = true;
+  (void)src.reader->scan([&](const RecordHeader& rh, std::uint64_t,
+                             std::span<const std::uint8_t> payload) {
+    switch (static_cast<RecordKind>(rh.kind)) {
+      case RecordKind::kSparseCurve: {
+        const auto rec = decode_sparse(payload);
+        if (!rec.has_value()) { decode_ok = false; return; }
+        FlowAcc& fa = acc[rec->flow.packed()];
+        fa.key = rec->flow;
+        for (const auto& [w, v] : rec->windows) fa.windows[w] += v;
+        fa.source_bytes += rh.payload_len;
+        fa.worst = worse(fa.worst, static_cast<WindowConfidence>(rh.confidence));
+        break;
+      }
+      case RecordKind::kCoeffCurve: {
+        auto rec = decode_coeff(payload);
+        if (!rec.has_value()) { decode_ok = false; return; }
+        FlowAcc& fa = acc[rec->flow.packed()];
+        fa.key = rec->flow;
+        fa.coeffs.push_back(std::move(*rec));
+        fa.source_bytes += rh.payload_len;
+        fa.worst = worse(fa.worst, static_cast<WindowConfidence>(rh.confidence));
+        break;
+      }
+      case RecordKind::kConfidenceRun: {
+        const auto runs = decode_confidence(payload);
+        if (!runs.has_value()) { decode_ok = false; return; }
+        for (const ConfidenceRun& run : *runs) {
+          for (WindowId w = run.from; w < run.to; ++w) {
+            auto [it, inserted] = run_marks.try_emplace(w, run.conf);
+            if (!inserted) it->second = worse(it->second, run.conf);
+          }
+        }
+        break;
+      }
+      case RecordKind::kEpochSeal:
+        break;
+    }
+  });
+  if (!decode_ok) return false;
+
+  const std::uint32_t new_id = next_segment_id_++;
+  SegmentHeader header;
+  header.tier = new_tier;
+  header.window_shift = src.header.window_shift;
+  header.segment_id = new_id;
+  header.base_epoch = src.header.base_epoch;
+  header.replaces_segment_id = segment_id;
+  const std::string final_path =
+      cfg_.dir + "/" + segment_file_name(new_id, new_tier);
+  const std::string tmp_path = final_path + ".tmp";
+  SegmentWriter writer(tmp_path, header, &cache_, new_id, cfg_.fsync_on_seal);
+  if (!writer.ok()) return false;
+
+  const std::uint32_t out_epoch = src.max_epoch;
+  std::unordered_map<std::uint64_t, std::vector<ChunkRef>> new_chunks;
+  for (auto& [packed, fa] : acc) {
+    std::vector<std::pair<CoeffCurveRecord, std::uint64_t>> outputs;
+    if (src.header.tier == 0) {
+      // Split the flow's windows into chunks aligned on absolute window
+      // boundaries (stable across compactions), densify, transform.
+      const WindowId stride = static_cast<WindowId>(cfg_.max_chunk_windows);
+      auto it = fa.windows.begin();
+      while (it != fa.windows.end()) {
+        const WindowId base = (it->first / stride) * stride;
+        const WindowId end = base + stride;
+        const WindowId first = it->first;
+        WindowId last = first;
+        std::uint64_t chunk_source = sparse_payload_bytes(0);
+        auto chunk_end = it;
+        std::size_t nnz = 0;
+        while (chunk_end != fa.windows.end() && chunk_end->first < end) {
+          last = chunk_end->first;
+          ++nnz;
+          ++chunk_end;
+        }
+        chunk_source = sparse_payload_bytes(nnz);
+        // Densify a power-of-two span aligned inside the stride chunk. The
+        // forward transform pads to pow2 anyway; if the record's length were
+        // shorter, the energy a truncated detail set leaks into the padding
+        // would be cut off at reconstruction — total volume must survive
+        // tiering exactly (only its distribution is approximate). Growing
+        // the aligned span caps at the stride, so chunks never overlap.
+        WindowId padded = static_cast<WindowId>(
+            wavelet::next_pow2(static_cast<std::uint32_t>(last - first + 1)));
+        WindowId w0 = base + ((first - base) / padded) * padded;
+        while (last >= w0 + padded) {
+          padded *= 2;
+          w0 = base + ((first - base) / padded) * padded;
+        }
+        std::vector<double> dense(static_cast<std::size_t>(padded), 0.0);
+        for (auto w = it; w != chunk_end; ++w) {
+          dense[static_cast<std::size_t>(w->first - w0)] = w->second;
+        }
+        TierParams params;
+        params.budget_coeffs = std::max<std::size_t>(1, cfg_.tier_budget / 2);
+        params.max_payload_bytes = static_cast<std::size_t>(chunk_source / 2);
+        outputs.emplace_back(tier_from_dense(fa.key, w0, dense, params),
+                             chunk_source);
+        it = chunk_end;
+      }
+    } else {
+      for (CoeffCurveRecord& rec : fa.coeffs) {
+        TierParams params;
+        params.budget_coeffs = std::max<std::size_t>(
+            1, cfg_.tier_budget >> (new_tier));
+        const std::uint64_t source =
+            coeff_payload_bytes(rec.approx.size(), rec.details.size());
+        params.max_payload_bytes = static_cast<std::size_t>(source / 2);
+        outputs.emplace_back(truncate_coeffs(rec, params), source);
+      }
+    }
+    for (const auto& [rec, source] : outputs) {
+      const SegmentWriter::AppendRef at =
+          writer.append_coeff(out_epoch, rec, fa.worst);
+      ChunkRef ref;
+      ref.segment_id = new_id;
+      ref.payload_offset = at.payload_offset;
+      ref.payload_len = at.payload_len;
+      ref.kind = RecordKind::kCoeffCurve;
+      ref.confidence = fa.worst;
+      ref.epoch = out_epoch;
+      ref.w0 = rec.w0;
+      ref.w1 = rec.w0 + rec.length - 1;
+      new_chunks[packed].push_back(ref);
+    }
+  }
+  if (!run_marks.empty()) {
+    const std::vector<ConfidenceRun> runs = runs_from_marks(run_marks);
+    writer.append_confidence(out_epoch, runs);
+  }
+  if (!writer.seal_epoch(out_epoch) || !writer.finish()) {
+    ::unlink(tmp_path.c_str());
+    cache_.drop_file(new_id);
+    return false;
+  }
+  const std::uint64_t out_bytes = writer.bytes();
+
+  // Commit point: after the rename the new segment is authoritative (its
+  // header names the source via replaces_segment_id, so a crash before the
+  // unlink is healed at the next open).
+  if (::rename(tmp_path.c_str(), final_path.c_str()) != 0) {
+    ::unlink(tmp_path.c_str());
+    cache_.drop_file(new_id);
+    return false;
+  }
+  auto reader = SegmentReader::open(final_path, &cache_, new_id, writable_);
+  if (!reader.has_value()) return false;  // cannot happen short of IO loss
+
+  // Swap the index over, then unlink the source.
+  for (auto& [packed, entry] : flows_) {
+    auto& chunks = entry.chunks;
+    chunks.erase(std::remove_if(chunks.begin(), chunks.end(),
+                                [segment_id](const ChunkRef& c) {
+                                  return c.segment_id == segment_id;
+                                }),
+                 chunks.end());
+    const auto fresh = new_chunks.find(packed);
+    if (fresh != new_chunks.end()) {
+      chunks.insert(chunks.end(), fresh->second.begin(), fresh->second.end());
+    }
+  }
+  Segment out;
+  out.header = reader->header();
+  out.path = final_path;
+  out.bytes = out_bytes;
+  out.max_epoch = out_epoch;
+  out.reader = std::move(*reader);
+  remove_segment_locked(segment_id);
+  segments_.emplace(new_id, std::move(out));
+  ++generation_;
+
+  ++stats_.segments_created;
+  stats_.compaction_input_bytes += input_bytes;
+  stats_.compaction_output_bytes += out_bytes;
+  ins_->segments_created->inc();
+  ins_->compaction_in->inc(input_bytes);
+  ins_->compaction_out->inc(out_bytes);
+  if (new_tier == 1) {
+    ++stats_.compactions_tier1;
+  } else {
+    ++stats_.compactions_tier2;
+  }
+  if (ins_->compactions[new_tier] != nullptr) {
+    ins_->compactions[new_tier]->inc();
+  }
+  return true;
+}
+
+void Store::remove_segment_locked(std::uint32_t segment_id) {
+  auto it = segments_.find(segment_id);
+  if (it == segments_.end()) return;
+  if (it->second.reader.has_value()) it->second.reader->close();
+  ::unlink(it->second.path.c_str());
+  cache_.drop_file(segment_id);
+  segments_.erase(it);
+  ++stats_.segments_removed;
+  ins_->segments_removed->inc();
+}
+
+void Store::publish_gauges_locked() {
+  TierUsage usage[3];
+  for (const auto& [id, seg] : segments_) {
+    const std::uint8_t tier = std::min<std::uint8_t>(seg.header.tier, 2);
+    ++usage[tier].segments;
+    usage[tier].bytes += (active_ != nullptr && active_->file_id() == id)
+                             ? active_->bytes()
+                             : seg.bytes;
+  }
+  std::size_t lag = 0;
+  if (cfg_.tier1_age_epochs > 0) {
+    for (const auto& [id, seg] : segments_) {
+      if (!seg.reader.has_value() || seg.header.tier >= 2) continue;
+      const std::uint32_t age =
+          epoch_ > seg.max_epoch ? epoch_ - seg.max_epoch : 0;
+      const std::uint32_t need = seg.header.tier == 0 ? cfg_.tier1_age_epochs
+                                                      : cfg_.tier2_age_epochs;
+      if (age >= need) ++lag;
+    }
+  }
+  for (int t = 0; t < 3; ++t) {
+    stats_.tiers[t] = usage[t];
+    ins_->tier_segments[t]->set(static_cast<std::int64_t>(usage[t].segments));
+    ins_->tier_bytes[t]->set(static_cast<std::int64_t>(usage[t].bytes));
+  }
+  ins_->compaction_lag->set(static_cast<std::int64_t>(lag));
+
+  const PageCacheStats cs = cache_.stats();
+  ins_->cache_hits->inc(cs.hits - cache_published_.hits);
+  ins_->cache_misses->inc(cs.misses - cache_published_.misses);
+  ins_->cache_evictions->inc(cs.evictions - cache_published_.evictions);
+  ins_->cache_resident->set(static_cast<std::int64_t>(cs.resident_pages));
+  ins_->cache_dirty->set(static_cast<std::int64_t>(cs.dirty_pages));
+  cache_published_ = cs;
+}
+
+void Store::visit_flow(const FlowKey& flow, WindowId from, WindowId to,
+                       const std::function<void(const ChunkView&)>& fn) {
+  std::lock_guard lock(mutex_);
+  const auto it = flows_.find(flow.packed());
+  if (it == flows_.end()) return;
+
+  // Deliver tier-0 (exact) chunks first, then deeper tiers, each in append
+  // order, so consumers see the most precise data before approximations.
+  std::vector<const ChunkRef*> order;
+  order.reserve(it->second.chunks.size());
+  for (const ChunkRef& c : it->second.chunks) {
+    if (c.w1 < from || c.w0 >= to) continue;
+    order.push_back(&c);
+  }
+  std::stable_sort(order.begin(), order.end(),
+                   [this](const ChunkRef* a, const ChunkRef* b) {
+                     const auto ta = segments_.find(a->segment_id);
+                     const auto tb = segments_.find(b->segment_id);
+                     const std::uint8_t tier_a =
+                         ta == segments_.end() ? 0 : ta->second.header.tier;
+                     const std::uint8_t tier_b =
+                         tb == segments_.end() ? 0 : tb->second.header.tier;
+                     return tier_a < tier_b;
+                   });
+
+  std::vector<std::uint8_t> buf;
+  for (const ChunkRef* c : order) {
+    const int fd = fd_for_segment(c->segment_id);
+    buf.resize(c->payload_len);
+    if (!cache_.read(c->segment_id, fd, c->payload_offset,
+                     std::span<std::uint8_t>(buf))) {
+      continue;
+    }
+    const auto seg = segments_.find(c->segment_id);
+    ChunkView view;
+    view.tier = seg == segments_.end() ? 0 : seg->second.header.tier;
+    view.kind = c->kind;
+    view.confidence = c->confidence;
+    if (c->kind == RecordKind::kSparseCurve) {
+      const auto rec = decode_sparse(buf);
+      if (!rec.has_value()) continue;
+      view.sparse = &*rec;
+      fn(view);
+    } else if (c->kind == RecordKind::kCoeffCurve) {
+      const auto rec = decode_coeff(buf);
+      if (!rec.has_value()) continue;
+      view.coeff = &*rec;
+      fn(view);
+    }
+  }
+}
+
+std::vector<FlowKey> Store::flows() const {
+  std::lock_guard lock(mutex_);
+  std::vector<FlowKey> out;
+  out.reserve(flows_.size());
+  for (const auto& [packed, entry] : flows_) out.push_back(entry.key);
+  std::sort(out.begin(), out.end(), [](const FlowKey& a, const FlowKey& b) {
+    return a.packed() < b.packed();
+  });
+  return out;
+}
+
+bool Store::flow_extent(const FlowKey& flow, WindowId& first,
+                        WindowId& last) const {
+  std::lock_guard lock(mutex_);
+  const auto it = flows_.find(flow.packed());
+  if (it == flows_.end() || it->second.chunks.empty()) return false;
+  first = it->second.chunks.front().w0;
+  last = it->second.chunks.front().w1;
+  for (const ChunkRef& c : it->second.chunks) {
+    first = std::min(first, c.w0);
+    last = std::max(last, c.w1);
+  }
+  return true;
+}
+
+analyzer::WindowConfidence Store::worst_confidence(WindowId from,
+                                                   WindowId to) const {
+  std::lock_guard lock(mutex_);
+  WindowConfidence worst = WindowConfidence::kCovered;
+  for (auto it = marks_.lower_bound(from); it != marks_.end() && it->first < to;
+       ++it) {
+    worst = worse(worst, it->second);
+  }
+  return worst;
+}
+
+std::uint64_t Store::generation() const {
+  std::lock_guard lock(mutex_);
+  return generation_;
+}
+
+std::uint32_t Store::current_epoch() const {
+  std::lock_guard lock(mutex_);
+  return epoch_;
+}
+
+std::optional<std::uint32_t> Store::last_sealed_epoch() const {
+  std::lock_guard lock(mutex_);
+  return last_sealed_;
+}
+
+StoreStats Store::stats() const {
+  std::lock_guard lock(mutex_);
+  StoreStats s = stats_;
+  TierUsage usage[3];
+  for (const auto& [id, seg] : segments_) {
+    const std::uint8_t tier = std::min<std::uint8_t>(seg.header.tier, 2);
+    ++usage[tier].segments;
+    usage[tier].bytes += (active_ != nullptr && active_->file_id() == id)
+                             ? active_->bytes()
+                             : seg.bytes;
+  }
+  for (int t = 0; t < 3; ++t) s.tiers[t] = usage[t];
+  s.cache = cache_.stats();
+  return s;
+}
+
+}  // namespace umon::store

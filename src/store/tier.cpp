@@ -1,0 +1,116 @@
+#include "store/tier.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "wavelet/haar.hpp"
+#include "wavelet/reconstruct.hpp"
+#include "wavelet/store.hpp"
+
+namespace umon::store {
+namespace {
+
+/// Shrink `details` (already sorted by descending L2 weight) until the
+/// record fits `params`, then restore (level, index) order for the wire.
+void clamp_and_sort(std::vector<wavelet::DetailCoeff>& details,
+                    std::size_t approx_count, const TierParams& params) {
+  std::size_t keep = std::min(details.size(), params.budget_coeffs);
+  if (params.max_payload_bytes > 0) {
+    while (keep > 0 &&
+           coeff_payload_bytes(approx_count, keep) > params.max_payload_bytes) {
+      --keep;
+    }
+  }
+  details.resize(keep);
+  std::sort(details.begin(), details.end(),
+            [](const wavelet::DetailCoeff& a, const wavelet::DetailCoeff& b) {
+              if (a.level != b.level) return a.level < b.level;
+              return a.index < b.index;
+            });
+}
+
+}  // namespace
+
+CoeffCurveRecord tier_from_dense(const FlowKey& flow, WindowId w0,
+                                 std::span<const double> dense,
+                                 const TierParams& params) {
+  CoeffCurveRecord rec;
+  rec.flow = flow;
+  rec.w0 = w0;
+  rec.length = static_cast<std::uint32_t>(dense.size());
+
+  std::vector<Count> counts(dense.size());
+  for (std::size_t i = 0; i < dense.size(); ++i) {
+    counts[i] = static_cast<Count>(std::llround(dense[i]));
+  }
+
+  const std::uint32_t padded = wavelet::next_pow2(rec.length);
+  const int full_depth =
+      wavelet::effective_levels(padded, 8 * static_cast<int>(sizeof(padded)));
+  const wavelet::Decomposition d = wavelet::haar_forward(counts, full_depth);
+  rec.levels = d.levels;
+  rec.approx = d.approx;
+
+  // Rank every nonzero detail by L2 weight; clamp_and_sort keeps the head.
+  std::vector<wavelet::DetailCoeff> ranked;
+  for (int l = 0; l < d.levels; ++l) {
+    const auto& row = d.details[static_cast<std::size_t>(l)];
+    for (std::uint32_t j = 0; j < row.size(); ++j) {
+      if (row[j] == 0) continue;
+      ranked.push_back(wavelet::DetailCoeff{static_cast<std::uint8_t>(l), j,
+                                            row[j]});
+    }
+  }
+  std::sort(ranked.begin(), ranked.end(),
+            [](const wavelet::DetailCoeff& a, const wavelet::DetailCoeff& b) {
+              const double wa = wavelet::l2_weight(a);
+              const double wb = wavelet::l2_weight(b);
+              if (wa != wb) return wa > wb;
+              if (a.level != b.level) return a.level < b.level;
+              return a.index < b.index;
+            });
+  clamp_and_sort(ranked, rec.approx.size(), params);
+  rec.details = std::move(ranked);
+  return rec;
+}
+
+CoeffCurveRecord truncate_coeffs(const CoeffCurveRecord& in,
+                                 const TierParams& params) {
+  CoeffCurveRecord rec;
+  rec.flow = in.flow;
+  rec.w0 = in.w0;
+  rec.length = in.length;
+  rec.levels = in.levels;
+  rec.approx = in.approx;
+  rec.details = in.details;
+  std::sort(rec.details.begin(), rec.details.end(),
+            [](const wavelet::DetailCoeff& a, const wavelet::DetailCoeff& b) {
+              const double wa = wavelet::l2_weight(a);
+              const double wb = wavelet::l2_weight(b);
+              if (wa != wb) return wa > wb;
+              if (a.level != b.level) return a.level < b.level;
+              return a.index < b.index;
+            });
+  clamp_and_sort(rec.details, rec.approx.size(), params);
+  return rec;
+}
+
+double reconstruction_nmse(const CoeffCurveRecord& rec,
+                           std::span<const double> reference) {
+  const std::vector<double> got =
+      wavelet::reconstruct(rec.approx, rec.details, rec.length, rec.levels);
+  double err = 0.0;
+  double ref = 0.0;
+  const std::size_t n = std::min(got.size(), reference.size());
+  for (std::size_t i = 0; i < reference.size(); ++i) {
+    const double want = reference[i];
+    const double have = i < n ? got[i] : 0.0;
+    err += (have - want) * (have - want);
+    ref += want * want;
+  }
+  if (ref == 0.0) return err == 0.0 ? 0.0 : 1.0;
+  return err / ref;
+}
+
+}  // namespace umon::store

@@ -1,0 +1,70 @@
+// umon::store — wavelet-native tiering.
+//
+// Aged data is not downsampled; it is re-expressed in the Haar basis and
+// truncated to the top-K coefficients by L2 weight — the same compression
+// WaveSketch applies on the data plane, applied again at rest. Tier-1 keeps
+// K/2 coefficients per flow chunk, tier-2 keeps K/4, each additionally
+// clamped so the encoded payload never exceeds half its source's bytes
+// (the ≤1/2 and ≤1/4 ratio the acceptance tests assert). Tier-2 truncates
+// tier-1's retained set directly (nested truncation): dropping the
+// smallest-weight survivors is exactly the top-K/4 of the tier-1 basis, so
+// no re-transform error is introduced.
+//
+// The transform is full-depth: the approximation vector degenerates to a
+// single grand block sum, so a record's bytes are dominated by the detail
+// coefficients and halving the coefficient count halves the payload.
+//
+// Values are quantized to integer Count (llround) before the forward
+// transform — the un-normalized Haar variant is integer-exact, and the
+// sub-byte-per-window quantization error is far below the truncation error
+// that tiering accepts by design.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "common/types.hpp"
+#include "store/segment.hpp"
+
+namespace umon::store {
+
+struct TierParams {
+  /// Maximum detail coefficients retained per chunk record.
+  std::size_t budget_coeffs = 32;
+  /// Encoded-payload byte clamp for the output record (0 = none). The
+  /// retained set is shrunk, smallest weight first, until it fits.
+  std::size_t max_payload_bytes = 0;
+};
+
+/// Encoded payload size of a kCoeffCurve record (matches encode_coeff).
+[[nodiscard]] constexpr std::size_t coeff_payload_bytes(std::size_t approx,
+                                                        std::size_t details) {
+  return kCoeffFixedWireBytes + approx * 8 + details * kCoeffEntryWireBytes;
+}
+
+/// Encoded payload size of a kSparseCurve record (matches encode_sparse).
+[[nodiscard]] constexpr std::size_t sparse_payload_bytes(std::size_t windows) {
+  return kFlowKeyWireBytes + 4 + windows * kSparseEntryWireBytes;
+}
+
+/// Transform one dense chunk (`dense[i]` = bytes in window `w0 + i`) into a
+/// tiered coefficient record: full-depth un-normalized Haar, top
+/// `params.budget_coeffs` details by L2 weight, byte-clamped.
+[[nodiscard]] CoeffCurveRecord tier_from_dense(const FlowKey& flow,
+                                               WindowId w0,
+                                               std::span<const double> dense,
+                                               const TierParams& params);
+
+/// Nested truncation of an existing coefficient record: keep the
+/// `params.budget_coeffs` largest-weight details of `in`, byte-clamped.
+/// Approximation coefficients and geometry are preserved.
+[[nodiscard]] CoeffCurveRecord truncate_coeffs(const CoeffCurveRecord& in,
+                                               const TierParams& params);
+
+/// Mean squared error of a record's reconstruction against a dense
+/// reference, divided by the reference's mean square (NMSE). Used by tests
+/// and the bench to report tier fidelity.
+[[nodiscard]] double reconstruction_nmse(const CoeffCurveRecord& rec,
+                                         std::span<const double> reference);
+
+}  // namespace umon::store

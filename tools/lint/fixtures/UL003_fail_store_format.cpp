@@ -1,0 +1,15 @@
+// umon-lint-fixture: path=src/store/format.hpp
+// Golden fixture: a top-level struct in src/store/format.hpp with no
+// adjacent static_assert trips UL003 even without a wire-struct marker —
+// the file is in WIRE_FORMAT_FILES, so a stray member would silently
+// change the segment bytes recovery CRC-checks.
+#include <cstdint>
+
+struct RecordHeader {
+  std::uint32_t payload_len = 0;
+  std::uint8_t kind = 0;
+  std::uint8_t confidence = 0;
+  std::uint16_t flow_hash16 = 0;
+  std::uint32_t epoch = 0;
+  std::uint32_t payload_crc = 0;
+};

@@ -1,0 +1,19 @@
+// umon-lint-fixture: path=src/store/format.hpp
+// Golden fixture: src/store/format.hpp is a wire-format file, so every
+// top-level struct must pin its on-disk layout. Asserts adjacent to the
+// definition satisfy UL003 without any explicit marker.
+#include <cstdint>
+#include <type_traits>
+
+struct SegmentHeader {
+  std::uint32_t magic = 0;
+  std::uint16_t version = 0;
+  std::uint8_t tier = 0;
+  std::uint8_t window_shift = 0;
+  std::uint32_t segment_id = 0;
+  std::uint32_t base_epoch = 0;
+  std::uint32_t replaces_segment_id = 0;
+  std::uint32_t header_crc = 0;
+};
+static_assert(sizeof(SegmentHeader) == 24, "24 bytes on disk");
+static_assert(std::is_trivially_copyable_v<SegmentHeader>);

@@ -114,6 +114,7 @@ WIRE_FORMAT_FILES = {
     "src/collector/uplink.hpp",
     "src/netsim/packet.hpp",
     "src/wavelet/coeff.hpp",
+    "src/store/format.hpp",
 }
 
 # UL003: how many lines past the struct's closing brace the static_assert
