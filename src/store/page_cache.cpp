@@ -9,7 +9,7 @@ namespace umon::store {
 
 PageCache::Page* PageCache::get_page(std::uint32_t file_id, int fd,
                                      std::uint64_t page_index,
-                                     bool allow_partial) {
+                                     bool allow_partial, State miss_state) {
   const std::uint64_t key = key_of(file_id, page_index);
   auto it = pages_.find(key);
   if (it != pages_.end()) {
@@ -20,6 +20,10 @@ PageCache::Page* PageCache::get_page(std::uint32_t file_id, int fd,
   ++stats_.misses;
   Page page;
   page.key = key;
+  // A page loaded for write_through is about to go dirty: insert it that
+  // way so the budget enforcement below neither counts it against the
+  // clean set nor evicts a genuinely clean page to make room for it.
+  page.state = miss_state;
   page.data.resize(cfg_.page_bytes);
   const auto off = static_cast<off_t>(page_index * cfg_.page_bytes);
   ssize_t n = 0;
@@ -42,7 +46,14 @@ PageCache::Page* PageCache::get_page(std::uint32_t file_id, int fd,
 }
 
 void PageCache::evict_over_budget() {
-  std::size_t resident = lru_.size() * cfg_.page_bytes;
+  // The budget governs the clean set only (header contract): dirty pages
+  // are unevictable by design, so counting them would let a large dirty
+  // tail evict every clean page and force a pread on each query until the
+  // next seal.
+  std::size_t resident = 0;
+  for (const auto& page : lru_) {
+    if (page.state == State::kClean) resident += cfg_.page_bytes;
+  }
   auto it = lru_.end();
   while (resident > cfg_.budget_bytes && it != lru_.begin()) {
     --it;
@@ -77,7 +88,8 @@ bool PageCache::read(std::uint32_t file_id, int fd, std::uint64_t offset,
   return true;
 }
 
-void PageCache::write_through(std::uint32_t file_id, std::uint64_t offset,
+void PageCache::write_through(std::uint32_t file_id, int fd,
+                              std::uint64_t offset,
                               std::span<const std::uint8_t> data) {
   std::lock_guard lock(mutex_);
   std::size_t done = 0;
@@ -85,11 +97,23 @@ void PageCache::write_through(std::uint32_t file_id, std::uint64_t offset,
     const std::uint64_t pos = offset + done;
     const std::uint64_t page_index = pos / cfg_.page_bytes;
     const std::size_t in_page = static_cast<std::size_t>(pos % cfg_.page_bytes);
-    // fd = -1: never fault a miss in from disk — the writer is ahead of the
-    // file contents, so a fresh page starts out as in-memory bytes.
-    Page* page = get_page(file_id, -1, page_index, /*allow_partial=*/true);
     const std::size_t take = std::min(data.size() - done,
                                       cfg_.page_bytes - in_page);
+    // A miss starting at a page boundary is genuinely fresh — the writer is
+    // ahead of the file, so it begins life as in-memory bytes (fd = -1). A
+    // miss starting mid-page means the prefix is earlier file content
+    // (sealed records whose page was evicted after mark_clean): fault it in
+    // from disk before overlaying, or the dirty page — never re-faulted —
+    // would shadow those records with zeros.
+    Page* page = get_page(file_id, in_page > 0 ? fd : -1, page_index,
+                          /*allow_partial=*/true, State::kDirty);
+    if (page == nullptr) {
+      // pread failed: skip caching this slice rather than cache a zeroed
+      // prefix. The bytes still reach disk via the writer's tail flush;
+      // readers fall back to pread.
+      done += take;
+      continue;
+    }
     if (page->data.size() < in_page + take) page->data.resize(in_page + take);
     std::memcpy(page->data.data() + in_page, data.data() + done, take);
     page->state = State::kDirty;

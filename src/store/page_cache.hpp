@@ -66,7 +66,11 @@ class PageCache {
 
   /// Write-through: populate (or overwrite) the pages covering the range
   /// and mark them dirty. The caller still owns getting the bytes to disk.
-  void write_through(std::uint32_t file_id, std::uint64_t offset,
+  /// `fd` serves misses that start mid-page: the prefix of such a page is
+  /// earlier (sealed, possibly evicted) file content and must be faulted in
+  /// from disk, not zero-filled — a dirty page is never re-faulted, so a
+  /// zeroed prefix would permanently shadow correct on-disk records.
+  void write_through(std::uint32_t file_id, int fd, std::uint64_t offset,
                      std::span<const std::uint8_t> data);
 
   /// Flip every dirty page of `file_id` to clean (call after pwrite+fsync).
@@ -97,8 +101,9 @@ class PageCache {
   }
 
   /// Find-or-load one page; returns nullptr on pread failure. Touches LRU.
+  /// `miss_state` is the state a freshly loaded page is inserted with.
   Page* get_page(std::uint32_t file_id, int fd, std::uint64_t page_index,
-                 bool allow_partial);
+                 bool allow_partial, State miss_state = State::kClean);
   void evict_over_budget();
 
   PageCacheConfig cfg_;

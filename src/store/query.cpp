@@ -69,6 +69,20 @@ QueryResult QueryEngine::execute(const Query& q) const {
   result.resolution = q.resolution;
   result.op = q.op;
 
+  // Clamp the materialized range to the store's extent: `totals` is dense,
+  // so unclamped caller-supplied bounds would allocate (to - from) doubles
+  // regardless of how little data exists — a hostile umon_query range must
+  // not be able to force a multi-GB allocation. The clamped bounds are
+  // reported back via result.from / result.to.
+  WindowId ext_first = 0;
+  WindowId ext_last = 0;
+  if (!store_.window_extent(ext_first, ext_last)) return result;
+  const WindowId from = std::max(q.from, ext_first);
+  const WindowId to = std::min(q.to, static_cast<WindowId>(ext_last + 1));
+  if (from >= to) return result;
+  result.from = from;
+  result.to = to;
+
   std::vector<FlowKey> selected;
   if (q.flows.empty()) {
     selected = store_.flows();
@@ -84,16 +98,16 @@ QueryResult QueryEngine::execute(const Query& q) const {
   }
 
   // Per-window totals across the matched flows over [from, to).
-  const std::size_t n = static_cast<std::size_t>(q.to - q.from);
+  const std::size_t n = static_cast<std::size_t>(to - from);
   std::vector<double> totals(n, 0.0);
   for (const FlowKey& flow : selected) {
     bool touched = false;
-    store_.visit_flow(flow, q.from, q.to, [&](const ChunkView& chunk) {
+    store_.visit_flow(flow, from, to, [&](const ChunkView& chunk) {
       touched = true;
       if (chunk.kind == RecordKind::kSparseCurve) {
         for (const auto& [w, v] : chunk.sparse->windows) {
-          if (w < q.from || w >= q.to) continue;
-          totals[static_cast<std::size_t>(w - q.from)] += v;
+          if (w < from || w >= to) continue;
+          totals[static_cast<std::size_t>(w - from)] += v;
         }
       } else if (chunk.kind == RecordKind::kCoeffCurve) {
         // On-demand inverse Haar at the chunk's native resolution; only
@@ -101,11 +115,11 @@ QueryResult QueryEngine::execute(const Query& q) const {
         const CoeffCurveRecord& rec = *chunk.coeff;
         const std::vector<double> dense = wavelet::reconstruct(
             rec.approx, rec.details, rec.length, rec.levels);
-        const WindowId lo = std::max(q.from, rec.w0);
+        const WindowId lo = std::max(from, rec.w0);
         const WindowId hi =
-            std::min(q.to, rec.w0 + static_cast<WindowId>(rec.length));
+            std::min(to, rec.w0 + static_cast<WindowId>(rec.length));
         for (WindowId w = lo; w < hi; ++w) {
-          totals[static_cast<std::size_t>(w - q.from)] +=
+          totals[static_cast<std::size_t>(w - from)] +=
               dense[static_cast<std::size_t>(w - rec.w0)];
         }
       }
@@ -148,7 +162,7 @@ QueryResult QueryEngine::execute(const Query& q) const {
       }
     }
     result.confidence[b] = store_.worst_confidence(
-        q.from + static_cast<WindowId>(lo), q.from + static_cast<WindowId>(hi));
+        from + static_cast<WindowId>(lo), from + static_cast<WindowId>(hi));
   }
   return result;
 }

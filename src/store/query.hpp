@@ -52,6 +52,9 @@ struct Query {
 };
 
 struct QueryResult {
+  /// Executed range: the requested [from, to) clamped to the store's window
+  /// extent, so a hostile range cannot force a dense allocation beyond the
+  /// data. Buckets start at `from`.
   WindowId from = 0;
   WindowId to = 0;
   std::uint32_t resolution = 1;

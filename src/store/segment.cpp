@@ -229,7 +229,7 @@ SegmentWriter::SegmentWriter(std::string path, const SegmentHeader& header,
   header_.header_crc = crc32c(scratch_.data(),
                               scratch_.size() - sizeof(std::uint32_t));
   tail_.insert(tail_.end(), scratch_.begin(), scratch_.end());
-  if (cache_ != nullptr) cache_->write_through(file_id_, 0, tail_);
+  if (cache_ != nullptr) cache_->write_through(file_id_, fd_, 0, tail_);
   offset_ = tail_.size();
 }
 
@@ -250,7 +250,7 @@ SegmentWriter::AppendRef SegmentWriter::append_record(
   tail_.insert(tail_.end(), payload.begin(), payload.end());
   if (cache_ != nullptr) {
     cache_->write_through(
-        file_id_, tail_base_ + frame_begin,
+        file_id_, fd_, tail_base_ + frame_begin,
         std::span<const std::uint8_t>(tail_.data() + frame_begin,
                                       tail_.size() - frame_begin));
   }
@@ -480,9 +480,13 @@ bool parse_segment_file_name(const std::string& name, std::uint32_t& segment_id,
                              std::uint8_t& tier) {
   unsigned id = 0;
   unsigned t = 0;
-  char suffix[8] = {};
-  if (std::sscanf(name.c_str(), "seg-%8x-t%u.use%1s", &id, &t, suffix) != 3 ||
-      suffix[0] != 'g' || t > 7) {
+  int consumed = 0;
+  // %n anchors the match at the end of the name: a stray file with trailing
+  // bytes (seg-...-t0.useg.bak) must not parse as a segment, or it could
+  // shadow the real one during recovery depending on readdir order.
+  if (std::sscanf(name.c_str(), "seg-%8x-t%u.useg%n", &id, &t, &consumed) !=
+          2 ||
+      static_cast<std::size_t>(consumed) != name.size() || t > 7) {
     return false;
   }
   segment_id = id;

@@ -601,7 +601,16 @@ bool Store::compact_segment_locked(std::uint32_t segment_id) {
     return false;
   }
   auto reader = SegmentReader::open(final_path, &cache_, new_id, writable_);
-  if (!reader.has_value()) return false;  // cannot happen short of IO loss
+  if (!reader.has_value()) {
+    // The renamed output does not read back (IO loss): disown it and keep
+    // the source authoritative. Leaving it on disk would let the next
+    // maintain() compact the source again, producing two survivors that
+    // both replace the same segment id — recovery would keep both and
+    // double-count every record.
+    ::unlink(final_path.c_str());
+    cache_.drop_file(new_id);
+    return false;
+  }
 
   // Swap the index over, then unlink the source.
   for (auto& [packed, entry] : flows_) {
@@ -751,6 +760,28 @@ std::vector<FlowKey> Store::flows() const {
     return a.packed() < b.packed();
   });
   return out;
+}
+
+bool Store::window_extent(WindowId& first, WindowId& last) const {
+  std::lock_guard lock(mutex_);
+  bool any = false;
+  auto widen = [&](WindowId lo, WindowId hi) {
+    if (!any) {
+      first = lo;
+      last = hi;
+      any = true;
+    } else {
+      first = std::min(first, lo);
+      last = std::max(last, hi);
+    }
+  };
+  for (const auto& [packed, entry] : flows_) {
+    for (const ChunkRef& c : entry.chunks) widen(c.w0, c.w1);
+  }
+  if (!marks_.empty()) {
+    widen(marks_.begin()->first, std::prev(marks_.end())->first);
+  }
+  return any;
 }
 
 bool Store::flow_extent(const FlowKey& flow, WindowId& first,

@@ -152,6 +152,10 @@ class Store : public analyzer::CurveSink {
   [[nodiscard]] std::vector<FlowKey> flows() const;
   [[nodiscard]] bool flow_extent(const FlowKey& flow, WindowId& first,
                                  WindowId& last) const;
+  /// Union window extent (inclusive) over every stored chunk and confidence
+  /// mark; false when the store holds nothing. Queries clamp to it so a
+  /// hostile range cannot force a dense allocation beyond the data.
+  [[nodiscard]] bool window_extent(WindowId& first, WindowId& last) const;
   /// Worst confidence mark over [from, to) (kCovered when unmarked).
   [[nodiscard]] analyzer::WindowConfidence worst_confidence(WindowId from,
                                                             WindowId to) const;

@@ -231,6 +231,21 @@ TEST(StoreSegment, UnsealedTailIsNotDelivered) {
   EXPECT_EQ(res.valid_end, res.sealed_end);
 }
 
+TEST(StoreSegment, FileNameParseRejectsTrailingBytes) {
+  std::uint32_t id = 0;
+  std::uint8_t tier = 0;
+  EXPECT_TRUE(parse_segment_file_name("seg-0000002a-t1.useg", id, tier));
+  EXPECT_EQ(id, 0x2Au);
+  EXPECT_EQ(tier, 1u);
+  // A stray file with trailing bytes must not parse: recovery keys segments
+  // by id, so seg-...-t0.useg.bak could otherwise shadow the real segment
+  // depending on readdir order.
+  EXPECT_FALSE(parse_segment_file_name("seg-00000001-t0.useg.bak", id, tier));
+  EXPECT_FALSE(parse_segment_file_name("seg-00000001-t0.useg2", id, tier));
+  EXPECT_FALSE(parse_segment_file_name("seg-00000001-t0.use", id, tier));
+  EXPECT_FALSE(parse_segment_file_name("seg-00000001-t9.useg", id, tier));
+}
+
 // --- page cache -------------------------------------------------------------
 
 TEST(StorePageCache, ReadsHitAfterMissAndEvictClean) {
@@ -270,7 +285,7 @@ TEST(StorePageCache, DirtyPagesSurviveBudgetPressure) {
   std::vector<std::uint8_t> data(64 * 8, 0x5A);
   // Write-through with no backing fd: all eight pages are dirty and must
   // stay resident even though they exceed the clean budget fourfold.
-  cache.write_through(3, 0, data);
+  cache.write_through(3, /*fd=*/-1, 0, data);
   EXPECT_EQ(cache.stats().dirty_pages, 8u);
   EXPECT_EQ(cache.stats().resident_pages, 8u);
 
@@ -283,6 +298,124 @@ TEST(StorePageCache, DirtyPagesSurviveBudgetPressure) {
   cache.mark_clean(3);
   EXPECT_EQ(cache.stats().dirty_pages, 0u);
   EXPECT_LE(cache.stats().resident_pages, 2u);
+}
+
+TEST(StorePageCache, DirtyTailDoesNotEvictCleanSet) {
+  TempDir dir("cleanset");
+  const std::string path = dir.path + "/blob";
+  {
+    std::ofstream out(path, std::ios::binary);
+    const std::vector<char> blob(256, '\x42');
+    out.write(blob.data(), static_cast<std::streamsize>(blob.size()));
+  }
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  ASSERT_GE(fd, 0);
+
+  // The budget applies to the clean set only: fill it exactly, then pile on
+  // a dirty tail four times its size — the clean pages must stay resident.
+  PageCache cache(PageCacheConfig{/*page_bytes=*/64, /*budget_bytes=*/256});
+  std::vector<std::uint8_t> out(64);
+  for (std::uint64_t off = 0; off < 256; off += 64) {
+    ASSERT_TRUE(cache.read(1, fd, off, out));
+  }
+  EXPECT_EQ(cache.stats().resident_pages, 4u);
+
+  std::vector<std::uint8_t> tail(64 * 16, 0x7E);
+  cache.write_through(2, /*fd=*/-1, 0, tail);
+  EXPECT_EQ(cache.stats().resident_pages, 20u);
+  EXPECT_EQ(cache.stats().dirty_pages, 16u);
+
+  const std::uint64_t hits_before = cache.stats().hits;
+  for (std::uint64_t off = 0; off < 256; off += 64) {
+    ASSERT_TRUE(cache.read(1, fd, off, out));
+  }
+  EXPECT_EQ(cache.stats().hits, hits_before + 4);
+  ::close(fd);
+}
+
+TEST(StorePageCache, MidPageWriteAfterEvictionFaultsPrefixFromDisk) {
+  TempDir dir("midpage");
+  const std::string path = dir.path + "/seg";
+  const int fd = ::open(path.c_str(), O_CREAT | O_TRUNC | O_RDWR, 0644);
+  ASSERT_GE(fd, 0);
+  PageCache cache(PageCacheConfig{/*page_bytes=*/64, /*budget_bytes=*/64});
+
+  // "Sealed" epoch: the first half of page 0 is written through, flushed,
+  // and marked clean (evictable).
+  const std::vector<std::uint8_t> sealed(32, 0x11);
+  cache.write_through(9, fd, 0, sealed);
+  ASSERT_EQ(::pwrite(fd, sealed.data(), sealed.size(), 0),
+            static_cast<ssize_t>(sealed.size()));
+  cache.mark_clean(9);
+
+  // Pressure the one-page clean budget until page 0 is evicted.
+  const std::vector<std::uint8_t> filler(64 * 4, 0x22);
+  ASSERT_EQ(::pwrite(fd, filler.data(), filler.size(), 64),
+            static_cast<ssize_t>(filler.size()));
+  std::vector<std::uint8_t> out(64);
+  for (std::uint64_t off = 64; off < 64 * 5; off += 64) {
+    ASSERT_TRUE(cache.read(9, fd, off, out));
+  }
+  EXPECT_GT(cache.stats().evictions, 0u);
+
+  // Next epoch appends mid-page: the recreated page must fault the sealed
+  // prefix back from disk, not shadow it with zeros (the page goes dirty
+  // and would never be re-faulted).
+  const std::vector<std::uint8_t> next(16, 0x33);
+  cache.write_through(9, fd, 32, next);
+  out.resize(48);
+  ASSERT_TRUE(cache.read(9, fd, 0, out));
+  EXPECT_EQ(std::vector<std::uint8_t>(out.begin(), out.begin() + 32), sealed);
+  EXPECT_EQ(std::vector<std::uint8_t>(out.begin() + 32, out.end()), next);
+  ::close(fd);
+}
+
+TEST(StoreWriteThrough, TinyCacheSurvivesEvictionAcrossEpochs) {
+  // End-to-end shape of the mid-page fault bug: a one-page clean budget
+  // plus a head-of-segment query after every seal forces the sealed tail
+  // page out of the cache before the next epoch's mid-page append. Every
+  // record must still be answerable through the cache afterwards.
+  TempDir dir("tinycache");
+  StoreConfig cfg;
+  cfg.dir = dir.path;
+  cfg.page_bytes = 64;
+  cfg.cache_budget_bytes = 64;
+  cfg.segment_epochs = 100;  // one segment: every epoch appends mid-page
+  cfg.tier1_age_epochs = 0;
+  auto st = Store::open(cfg);
+  ASSERT_NE(st, nullptr);
+  const FlowKey f = make_flow(1);
+  QueryEngine engine(*st);
+  double want = 0;
+  for (int e = 0; e < 20; ++e) {
+    Query head;
+    head.from = 0;
+    head.to = 2;
+    (void)engine.run(head);  // churn the LRU: evict the sealed tail page
+    st->append_sparse(f, std::vector<std::pair<WindowId, double>>{
+                             {e, 1.0 + e}});
+    want += 1.0 + e;
+    if (e > 0) {
+      // The previous epoch's record often shares a page with the append
+      // above; while that page is dirty-resident (unevictable, so no disk
+      // fallback can mask a shadowed prefix) it must still decode.
+      Query prev;
+      prev.from = e - 1;
+      prev.to = e;
+      const QueryResult pr = engine.run(prev);
+      double pv = 0;
+      for (double v : pr.series) pv += v;
+      ASSERT_DOUBLE_EQ(pv, static_cast<double>(e)) << "epoch " << e;
+    }
+    ASSERT_TRUE(st->seal_epoch());
+    Query q;
+    q.from = 0;
+    q.to = 1000;
+    const QueryResult r = engine.run(q);
+    double have = 0;
+    for (double v : r.series) have += v;
+    ASSERT_DOUBLE_EQ(have, want) << "epoch " << e;
+  }
 }
 
 // --- write-through round-trip property --------------------------------------
@@ -570,6 +703,40 @@ TEST(StoreQuery, CacheHitsAndGenerationInvalidation) {
   double total = 0;
   for (double v : r.series) total += v;
   EXPECT_DOUBLE_EQ(total, 3.0);
+}
+
+TEST(StoreQuery, HostileRangeClampsToStoreExtent) {
+  TempDir dir("clamp");
+  StoreConfig cfg;
+  cfg.dir = dir.path;
+  cfg.tier1_age_epochs = 0;
+  auto st = Store::open(cfg);
+  ASSERT_NE(st, nullptr);
+  const FlowKey f = make_flow(1);
+  st->append_sparse(f, std::vector<std::pair<WindowId, double>>{
+                           {static_cast<WindowId>(5), 2.0}});
+  st->mark_confidence(7, 8, WindowConfidence::kLost);
+  ASSERT_TRUE(st->seal_epoch());
+
+  // A range of a trillion windows must not materialize a dense vector of
+  // that size — the executed range clamps to the store's extent [5, 8).
+  QueryEngine engine(*st);
+  Query q;
+  q.from = 0;
+  q.to = static_cast<WindowId>(1) << 40;
+  QueryResult r = engine.run(q);
+  EXPECT_EQ(r.from, 5);
+  EXPECT_EQ(r.to, 8);
+  ASSERT_EQ(r.series.size(), 3u);
+  EXPECT_DOUBLE_EQ(r.series[0], 2.0);
+  EXPECT_EQ(r.confidence[2], WindowConfidence::kLost);
+
+  // No overlap with the extent at all: empty result, no allocation.
+  q.from = 100;
+  q.to = static_cast<WindowId>(1) << 40;
+  r = engine.run(q);
+  EXPECT_TRUE(r.series.empty());
+  EXPECT_EQ(r.flows_matched, 0u);
 }
 
 // --- crash recovery ---------------------------------------------------------
