@@ -4,11 +4,18 @@
 // section (decode + inverse transform + zero-stripping) dominates and the
 // serial sections (front-door framing scan, per-epoch sink flush) stay thin.
 // Expect near-linear scaling up to the core count of the machine.
+//
+// With --out FILE the per-shard-count rates are also persisted as a
+// BENCH_collector.json snapshot (bench/support/snapshot.hpp) — the
+// checked-in perf trajectory tools/perf_diff.py gates against.
 #include <chrono>
 #include <cstdio>
+#include <cstring>
+#include <string>
 #include <vector>
 
 #include "analyzer/analyzer.hpp"
+#include "bench/support/snapshot.hpp"
 #include "collector/collector.hpp"
 #include "collector/uplink.hpp"
 #include "common/rng.hpp"
@@ -119,7 +126,17 @@ double run_once(const EncodedLoad& load, int shards) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  std::string out;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: bench_collector_throughput [--out FILE]\n");
+      return 2;
+    }
+  }
+
   std::printf("Collector ingest throughput (decode-bound synthetic load)\n");
   std::printf(
       "load: %d hosts x %d flow-tagged reports, series length %u, "
@@ -133,13 +150,27 @@ int main() {
   std::printf("%-8s %16s %14s %10s\n", "shards", "reports/sec", "seconds",
               "speedup");
   double base_rate = 0;
+  bench::Snapshot snap("collector_throughput");
+  snap.set("hosts", static_cast<std::uint64_t>(kHosts));
+  snap.set("reports_per_host", static_cast<std::uint64_t>(kReportsPerHost));
+  double rate8 = 0;
   for (int shards : {1, 2, 4, 8}) {
     double best = 1e100;
     for (int rep = 0; rep < 3; ++rep) best = std::min(best, run_once(load, shards));
     const double rate = static_cast<double>(load.total_reports) / best;
     if (shards == 1) base_rate = rate;
+    if (shards == 8) rate8 = rate;
     std::printf("%-8d %16.0f %14.4f %9.2fx\n", shards, rate, best,
                 rate / base_rate);
+    snap.set("shard" + std::to_string(shards) + "_rps", rate);
+  }
+  snap.set("speedup8", base_rate > 0 ? rate8 / base_rate : 0.0);
+  if (!out.empty()) {
+    if (!snap.write(out)) {
+      std::fprintf(stderr, "cannot write %s\n", out.c_str());
+      return 1;
+    }
+    std::printf("\nsnapshot: %s\n", out.c_str());
   }
   return 0;
 }

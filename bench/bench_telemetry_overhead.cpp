@@ -8,6 +8,18 @@
 // relaxed atomic add (counters) or one relaxed load + branch (timers, spans,
 // logs) when self-monitoring is off. With --max-disabled-ns the process
 // exits 1 if any disabled-path op exceeds the budget — CI's regression gate.
+//
+// Measurement shape: repetitions are *interleaved* round-robin across every
+// probe (round 1 times each probe once, then round 2, ...) instead of
+// timing one probe's repetitions back to back. Back-to-back repetitions let
+// slow frequency/thermal drift land entirely on whichever probe ran last,
+// which skewed probe-to-probe comparisons by up to ±7% run over run; with
+// interleaving every probe samples the same machine states. Each probe's
+// score is a median of per-round medians (chunked within a round), so a
+// single descheduled chunk cannot drag a probe the way it dragged
+// best-of-3.
+#include <algorithm>
+#include <array>
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
@@ -22,25 +34,33 @@ namespace {
 
 using namespace umon;
 
-constexpr std::uint64_t kWarmup = 100'000;
-constexpr std::uint64_t kIters = 5'000'000;
+constexpr std::uint64_t kWarmup = 50'000;
+constexpr std::uint64_t kChunkIters = 200'000;
+constexpr int kChunks = 5;  ///< chunks per round; the round scores a median
+constexpr int kRounds = 5;  ///< interleaved rounds; final = median of rounds
 
-/// Best-of-3 ns/op for `op` over kIters iterations. Best-of, not mean: the
-/// quantity of interest is the intrinsic cost, and scheduling noise only
-/// ever adds.
+/// One timed chunk of kChunkIters calls.
 template <typename Op>
-double measure(Op&& op) {
+double chunk_ns(Op&& op) {
+  const std::uint64_t t0 = telemetry::monotonic_ns();
+  for (std::uint64_t i = 0; i < kChunkIters; ++i) op(i);
+  const std::uint64_t t1 = telemetry::monotonic_ns();
+  return static_cast<double>(t1 - t0) / static_cast<double>(kChunkIters);
+}
+
+/// One round: a short warmup then the median over kChunks timed chunks.
+template <typename Op>
+double round_median(Op&& op) {
   for (std::uint64_t i = 0; i < kWarmup; ++i) op(i);
-  double best = 1e18;
-  for (int rep = 0; rep < 3; ++rep) {
-    const std::uint64_t t0 = telemetry::monotonic_ns();
-    for (std::uint64_t i = 0; i < kIters; ++i) op(i);
-    const std::uint64_t t1 = telemetry::monotonic_ns();
-    const double ns =
-        static_cast<double>(t1 - t0) / static_cast<double>(kIters);
-    if (ns < best) best = ns;
-  }
-  return best;
+  std::array<double, kChunks> s{};
+  for (int c = 0; c < kChunks; ++c) s[static_cast<std::size_t>(c)] = chunk_ns(op);
+  std::nth_element(s.begin(), s.begin() + kChunks / 2, s.end());
+  return s[kChunks / 2];
+}
+
+double median_of(std::array<double, kRounds>& s) {
+  std::nth_element(s.begin(), s.begin() + kRounds / 2, s.end());
+  return s[kRounds / 2];
 }
 
 }  // namespace
@@ -72,12 +92,38 @@ int main(int argc, char** argv) {
   // in the path) rather than an absolute number: the cost of a locked add
   // varies several-fold across machines and must not fail CI on slow metal.
   std::atomic<std::uint64_t> raw{0};
-  const double baseline_ns =
-      measure([&raw](std::uint64_t) {
-        raw.fetch_add(1, std::memory_order_relaxed);
-      });
-  const double counter_ns =
-      measure([&](std::uint64_t) { counter->inc(); });
+
+  // One sample array per probe; round r of every probe runs before round
+  // r+1 of any probe (the interleaving that kills layout/drift bias).
+  std::array<double, kRounds> s_raw{}, s_counter{}, s_timer_off{},
+      s_span_off{}, s_log{}, s_hist{}, s_timer_on{}, s_span_on{};
+  for (int r = 0; r < kRounds; ++r) {
+    const auto ri = static_cast<std::size_t>(r);
+    s_raw[ri] = round_median([&raw](std::uint64_t) {
+      raw.fetch_add(1, std::memory_order_relaxed);
+    });
+    s_counter[ri] = round_median([&](std::uint64_t) { counter->inc(); });
+    s_timer_off[ri] =
+        round_median([&](std::uint64_t) { telemetry::ScopedTimer t(hist); });
+    s_span_off[ri] =
+        round_median([](std::uint64_t) { UMON_TRACE_SPAN("bench/span"); });
+    s_log[ri] = round_median([](std::uint64_t i) {
+      UMON_LOG(kDebug, "bench", "never", {"i", std::to_string(i)});
+    });
+    s_hist[ri] = round_median(
+        [&](std::uint64_t i) { hist->observe(static_cast<double>(i % 512)); });
+    telemetry::set_detail_enabled(true);
+    s_timer_on[ri] =
+        round_median([&](std::uint64_t) { telemetry::ScopedTimer t(hist); });
+    telemetry::TraceRecorder::global().enable(1 << 12);
+    s_span_on[ri] =
+        round_median([](std::uint64_t) { UMON_TRACE_SPAN("bench/span"); });
+    telemetry::TraceRecorder::global().disable();
+    telemetry::set_detail_enabled(false);
+  }
+
+  const double baseline_ns = median_of(s_raw);
+  const double counter_ns = median_of(s_counter);
 
   struct Row {
     const char* name;
@@ -87,32 +133,18 @@ int main(int argc, char** argv) {
   Row rows[] = {
       {"raw relaxed fetch_add", baseline_ns, false},
       {"counter_inc (always on)", counter_ns, false},
-      {"scoped_timer disabled",
-       measure([&](std::uint64_t) { telemetry::ScopedTimer t(hist); }), true},
-      {"trace_span disabled",
-       measure([&](std::uint64_t) { UMON_TRACE_SPAN("bench/span"); }), true},
-      {"log below level",
-       measure([&](std::uint64_t i) {
-         UMON_LOG(kDebug, "bench", "never", {"i", std::to_string(i)});
-       }),
-       true},
-      {"histogram_observe enabled", 0, false},
-      {"scoped_timer enabled", 0, false},
-      {"trace_span enabled", 0, false},
+      {"scoped_timer disabled", median_of(s_timer_off), true},
+      {"trace_span disabled", median_of(s_span_off), true},
+      {"log below level", median_of(s_log), true},
+      {"histogram_observe enabled", median_of(s_hist), false},
+      {"scoped_timer enabled", median_of(s_timer_on), false},
+      {"trace_span enabled", median_of(s_span_on), false},
   };
 
-  rows[5].ns = measure(
-      [&](std::uint64_t i) { hist->observe(static_cast<double>(i % 512)); });
-  telemetry::set_detail_enabled(true);
-  rows[6].ns = measure([&](std::uint64_t) { telemetry::ScopedTimer t(hist); });
-  telemetry::TraceRecorder::global().enable(1 << 12);
-  rows[7].ns =
-      measure([&](std::uint64_t) { UMON_TRACE_SPAN("bench/span"); });
-  telemetry::TraceRecorder::global().disable();
-  telemetry::set_detail_enabled(false);
-
-  std::printf("telemetry overhead (ns/op, best of 3 x %llu iters)\n",
-              static_cast<unsigned long long>(kIters));
+  std::printf("telemetry overhead (ns/op, median of %d interleaved rounds "
+              "x %d chunks x %llu iters)\n",
+              kRounds, kChunks,
+              static_cast<unsigned long long>(kChunkIters));
   bool over_budget = false;
   for (const Row& r : rows) {
     const bool over = r.gated && max_disabled_ns > 0 && r.ns > max_disabled_ns;

@@ -1,13 +1,24 @@
 // Update-cost benchmarks (google-benchmark): validates the O(1) amortized
 // update claim of Section 4.2 — cost per packet stays flat as the stream
 // grows, and only the window-boundary fraction (epsilon = n/m) matters.
+//
+// Two modes:
+//   * default: google-benchmark tables (all its flags pass through);
+//   * --out FILE: a short self-timed run that persists the headline
+//     numbers as a BENCH_update.json snapshot (bench/support/snapshot.hpp)
+//     — the checked-in perf trajectory tools/perf_diff.py gates against.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
 #include <vector>
 
 #include "baselines/fourier.hpp"
 #include "baselines/omniwindow.hpp"
 #include "baselines/persist_cms.hpp"
+#include "bench/support/snapshot.hpp"
 #include "common/rng.hpp"
 #include "sketch/wavesketch.hpp"
 #include "sketch/wavesketch_full.hpp"
@@ -166,6 +177,116 @@ void BM_Reconstruction(benchmark::State& state) {
 BENCHMARK(BM_Reconstruction)->Arg(256)->Arg(1024)->Arg(4096)
     ->Name("Query+Reconstruct/windows");
 
+/// Self-timed Mupdates/sec over repeated passes of the stream, best of 3
+/// (scheduling noise only ever subtracts throughput).
+template <typename Update>
+double measure_mops(const Stream& stream, Update&& update) {
+  constexpr int kPasses = 4;
+  for (const auto& [f, w] : stream.updates) update(f, w);  // warm pass
+  double best = 0;
+  for (int rep = 0; rep < 3; ++rep) {
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int p = 0; p < kPasses; ++p) {
+      for (const auto& [f, w] : stream.updates) update(f, w);
+    }
+    const double secs =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    const double mops = static_cast<double>(stream.updates.size()) * kPasses /
+                        secs / 1e6;
+    if (mops > best) best = mops;
+  }
+  return best;
+}
+
+int run_snapshot(const std::string& out) {
+  const Stream stream(16);
+
+  sketch::WaveSketchBasic ideal(params(sketch::StoreKind::kTopK));
+  const double ideal_mops = measure_mops(
+      stream, [&](const FlowKey& f, WindowId w) { ideal.update_window(f, w, 1048); });
+
+  sketch::WaveSketchBasic hw(params(sketch::StoreKind::kThreshold));
+  const double hw_mops = measure_mops(
+      stream, [&](const FlowKey& f, WindowId w) { hw.update_window(f, w, 1048); });
+
+  sketch::WaveSketchFull full(params(sketch::StoreKind::kTopK));
+  const double full_mops = measure_mops(
+      stream, [&](const FlowKey& f, WindowId w) { full.update_window(f, w, 1048); });
+
+  baselines::OmniWindowParams op;
+  op.depth = 3;
+  op.width = 256;
+  op.sub_windows = 64;
+  baselines::OmniWindowAvg ow(op);
+  const double ow_mops = measure_mops(
+      stream, [&](const FlowKey& f, WindowId w) { ow.update(f, w, 1048); });
+
+  baselines::PersistCmsParams pp;
+  pp.depth = 3;
+  pp.width = 256;
+  pp.segments_per_bucket = 32;
+  baselines::PersistCms pc(pp);
+  const double pc_mops = measure_mops(
+      stream, [&](const FlowKey& f, WindowId w) { pc.update(f, w, 1048); });
+
+  // Reconstruction latency: mean us/query over a 4096-window curve.
+  sketch::WaveSketchBasic rq(params(sketch::StoreKind::kTopK));
+  const FlowKey f = flow(1);
+  Rng rng(3);
+  for (WindowId w = 0; w < 4096; ++w) {
+    rq.update_window(f, w, static_cast<Count>(500 + rng.below(2000)));
+  }
+  double reconstruct_us = 1e18;
+  constexpr int kQueries = 200;
+  for (int rep = 0; rep < 3; ++rep) {
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int i = 0; i < kQueries; ++i) {
+      benchmark::DoNotOptimize(rq.query(f));
+    }
+    const double us =
+        std::chrono::duration<double, std::micro>(
+            std::chrono::steady_clock::now() - t0)
+            .count() /
+        kQueries;
+    if (us < reconstruct_us) reconstruct_us = us;
+  }
+
+  std::printf("update throughput snapshot (Mupdates/sec, best of 3)\n");
+  std::printf("  wavesketch ideal:  %8.2f\n", ideal_mops);
+  std::printf("  wavesketch hw:     %8.2f\n", hw_mops);
+  std::printf("  wavesketch full:   %8.2f\n", full_mops);
+  std::printf("  omniwindow avg:    %8.2f\n", ow_mops);
+  std::printf("  persist-cms:       %8.2f\n", pc_mops);
+  std::printf("  reconstruct(4096): %8.2f us\n", reconstruct_us);
+
+  bench::Snapshot snap("update_throughput");
+  snap.set("packets_per_window", std::uint64_t{16});
+  snap.set("wavesketch_ideal_mops", ideal_mops);
+  snap.set("wavesketch_hw_mops", hw_mops);
+  snap.set("wavesketch_full_mops", full_mops);
+  snap.set("omniwindow_mops", ow_mops);
+  snap.set("persist_cms_mops", pc_mops);
+  snap.set("reconstruct_w4096_us", reconstruct_us);
+  if (!snap.write(out)) {
+    std::fprintf(stderr, "cannot write %s\n", out.c_str());
+    return 1;
+  }
+  std::printf("  snapshot:          %s\n", out.c_str());
+  return 0;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      return run_snapshot(argv[i + 1]);
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -9,11 +9,19 @@
 // usage: umon_query --store-dir DIR [--from-us T] [--to-us T]
 //                   [--resolution N] [--op sum|avg|max|p99]
 //                   [--host SRC_IP] [--flow SRC:SPORT:DST:DPORT[:PROTO]]
-//                   [--list-flows] [--max-rows N]
+//                   [--list-flows] [--max-rows N] [--json]
 //
 // Times are event-time microseconds; the default range is the union of
 // every stored flow's extent. --resolution is output-bucket width in
 // windows (8.192 us each at the default shift). --flow may repeat.
+//
+// The human-readable table is the default. --json switches stdout to one
+// machine-readable JSON object with a stable key order (scripts may diff
+// it byte-for-byte); unlike the table it never truncates at --max-rows,
+// and diagnostics stay on stderr either way.
+//
+// Exit codes: 0 = query ran (even if it matched no data), 1 = store
+// open/read error, 2 = usage error.
 
 #include <cstdio>
 #include <cstdlib>
@@ -40,6 +48,7 @@ struct Options {
   std::vector<FlowKey> flows;
   bool list_flows = false;
   std::size_t max_rows = 64;
+  bool json = false;
 };
 
 void usage() {
@@ -48,7 +57,27 @@ void usage() {
       "usage: umon_query --store-dir DIR [--from-us T] [--to-us T]\n"
       "                  [--resolution N] [--op sum|avg|max|p99]\n"
       "                  [--host SRC_IP] [--flow SRC:SPORT:DST:DPORT[:PROTO]]\n"
-      "                  [--list-flows] [--max-rows N]\n");
+      "                  [--list-flows] [--max-rows N] [--json]\n"
+      "exit codes: 0 query ran (possibly empty), 1 store error, 2 usage\n");
+}
+
+/// Minimal JSON string escape (quotes, backslashes, control bytes).
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof buf, "\\u%04x", c);
+      out += buf;
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
 }
 
 bool parse_flow(const char* text, FlowKey& out) {
@@ -99,6 +128,8 @@ bool parse(int argc, char** argv, Options& opt) {
       opt.list_flows = true;
     } else if (arg == "--max-rows" && (v = next(i))) {
       opt.max_rows = static_cast<std::size_t>(std::atoll(v));
+    } else if (arg == "--json") {
+      opt.json = true;
     } else if (arg == "--help" || arg == "-h") {
       usage();
       std::exit(0);
@@ -130,15 +161,28 @@ int main(int argc, char** argv) {
   }
 
   const auto flows = st->flows();
-  std::printf("store %s: %zu segment(s), %zu flow(s), last sealed epoch %s\n",
-              opt.store_dir.c_str(), rinfo.segments_opened, flows.size(),
-              rinfo.last_sealed_epoch
-                  ? std::to_string(*rinfo.last_sealed_epoch).c_str()
-                  : "none");
-  if (rinfo.torn_tails_truncated > 0) {
-    std::printf("  (%zu torn tail(s) skipped — writer did not shut down "
-                "cleanly)\n",
-                rinfo.torn_tails_truncated);
+  // Shared JSON preamble: store metadata in a fixed, documented key order.
+  auto json_head = [&] {
+    std::printf("{\"store_dir\":\"%s\",\"segments\":%zu,\"flows\":%zu,"
+                "\"torn_tails\":%zu,\"last_sealed_epoch\":%s",
+                json_escape(opt.store_dir).c_str(), rinfo.segments_opened,
+                flows.size(), rinfo.torn_tails_truncated,
+                rinfo.last_sealed_epoch
+                    ? std::to_string(*rinfo.last_sealed_epoch).c_str()
+                    : "null");
+  };
+  if (!opt.json) {
+    std::printf("store %s: %zu segment(s), %zu flow(s), last sealed epoch "
+                "%s\n",
+                opt.store_dir.c_str(), rinfo.segments_opened, flows.size(),
+                rinfo.last_sealed_epoch
+                    ? std::to_string(*rinfo.last_sealed_epoch).c_str()
+                    : "none");
+    if (rinfo.torn_tails_truncated > 0) {
+      std::printf("  (%zu torn tail(s) skipped — writer did not shut down "
+                  "cleanly)\n",
+                  rinfo.torn_tails_truncated);
+    }
   }
 
   // Default range: the union of every stored flow extent.
@@ -153,6 +197,26 @@ int main(int argc, char** argv) {
   }
 
   if (opt.list_flows) {
+    if (opt.json) {
+      json_head();
+      std::printf(",\"flow_list\":[");
+      bool first_row = true;
+      for (const auto& f : flows) {
+        WindowId first = 0, last = 0;
+        if (!st->flow_extent(f, first, last)) continue;
+        std::printf("%s{\"flow\":\"%s\",\"first_window\":%lld,"
+                    "\"last_window\":%lld,\"from_us\":%.1f,\"to_us\":%.1f}",
+                    first_row ? "" : ",",
+                    json_escape(f.to_string()).c_str(),
+                    static_cast<long long>(first),
+                    static_cast<long long>(last),
+                    static_cast<double>(window_start(first)) / 1e3,
+                    static_cast<double>(window_start(last + 1)) / 1e3);
+        first_row = false;
+      }
+      std::printf("]}\n");
+      return 0;
+    }
     std::size_t shown = 0;
     for (const auto& f : flows) {
       WindowId first = 0, last = 0;
@@ -171,7 +235,12 @@ int main(int argc, char** argv) {
     return 0;
   }
   if (!have_extent) {
-    std::printf("store holds no curve data\n");
+    if (opt.json) {
+      json_head();
+      std::printf(",\"series\":[]}\n");
+    } else {
+      std::printf("store holds no curve data\n");
+    }
     return 0;
   }
 
@@ -185,14 +254,32 @@ int main(int argc, char** argv) {
 
   store::QueryEngine engine(*st);
   const store::QueryResult r = engine.run(q);
+  const double bucket_us =
+      static_cast<double>(window_length()) * q.resolution / 1e3;
+  if (opt.json) {
+    json_head();
+    std::printf(",\"op\":\"%s\",\"from_window\":%lld,\"to_window\":%lld,"
+                "\"resolution\":%u,\"bucket_us\":%.1f,\"flows_matched\":%zu,"
+                "\"series\":[",
+                store::to_string(r.op), static_cast<long long>(r.from),
+                static_cast<long long>(r.to), r.resolution, bucket_us,
+                r.flows_matched);
+    for (std::size_t i = 0; i < r.series.size(); ++i) {
+      const WindowId w = r.from + static_cast<WindowId>(i) * r.resolution;
+      std::printf("%s{\"t_us\":%.1f,\"bytes\":%.1f,\"confidence\":\"%s\"}",
+                  i == 0 ? "" : ",",
+                  static_cast<double>(window_start(w)) / 1e3, r.series[i],
+                  analyzer::to_string(r.confidence[i]));
+    }
+    std::printf("]}\n");
+    return 0;
+  }
   if (r.series.empty()) {
     std::printf("query matched no data in [%lld, %lld)\n",
                 static_cast<long long>(q.from), static_cast<long long>(q.to));
     return 0;
   }
 
-  const double bucket_us =
-      static_cast<double>(window_length()) * q.resolution / 1e3;
   std::printf("\n%s over %zu flow(s), windows [%lld, %lld), "
               "%u windows/bucket (%.1f us)\n",
               store::to_string(r.op), r.flows_matched,

@@ -14,6 +14,7 @@
 //            [--fault-plan FILE] [--uplink-reliable] [--uplink-retx-buffer N]
 //            [--gap-fill] [--require-recovered]
 //            [--store-dir DIR] [--store-tier-budget K]
+//            [--prof-out FILE] [--lineage-out FILE]
 //
 // With --collector-shards (or --report-loss) the host sketches reach the
 // analyzer through the full collection tier — per-host uplink encode, the
@@ -56,6 +57,20 @@
 // chaos gate). Either flag implies the collector tier and the chunked
 // simulation loop.
 //
+// --prof-out FILE turns on the always-on cycle profiler (umon::obs): every
+// instrumented hot path — Count-Min update, Haar butterfly, top-K offer,
+// uplink encode, shard decode, epoch flush, store append, page cache,
+// query execute — is rdtsc-sampled 1-in-N, FILE gets flamegraph-compatible
+// folded stacks (render with flamegraph.pl), and the report gains a
+// cycles-per-packet attribution table. --lineage-out FILE turns on report
+// lineage tracing: every (host, epoch) report batch is tracked from its
+// uplink flush through frames, retransmits, shard decode, analyzer ingest,
+// and store spill to its final confidence verdict; FILE gets the per-epoch
+// audit JSONL (deterministic for a fixed seed) and, combined with
+// --trace-out, the Chrome trace shows each epoch's hops causally linked by
+// flow arrows. --lineage-out implies the collector tier and the chunked
+// loop.
+//
 // --store-dir DIR attaches the durable segment store (umon::store): every
 // curve fragment the analyzer ingests is written through to append-only
 // segment files under DIR, sealed per epoch (fsync barrier), and tiered by
@@ -94,6 +109,8 @@
 #include "health/health.hpp"
 #include "netsim/network.hpp"
 #include "netsim/upload_channel.hpp"
+#include "obs/lineage.hpp"
+#include "obs/prof.hpp"
 #include "resilience/fault_plan.hpp"
 #include "resilience/reliable.hpp"
 #include "sketch/wavesketch_full.hpp"
@@ -132,6 +149,8 @@ struct Options {
   bool require_recovered = false;  ///< exit 1 on any unrecovered epoch
   std::string store_dir;           ///< durable segment store ("" = off)
   std::size_t store_tier_budget = 64;
+  std::string prof_out;     ///< folded-stack output path ("" = profiler off)
+  std::string lineage_out;  ///< lineage audit JSONL path ("" = lineage off)
 
   [[nodiscard]] bool telemetry_requested() const {
     return !metrics_out.empty() || !trace_out.empty();
@@ -141,10 +160,12 @@ struct Options {
   [[nodiscard]] bool resilience_requested() const {
     return uplink_reliable || !fault_plan.empty();
   }
-  /// The chunked loop is what lets faults, retransmits, and health samples
-  /// interleave with the workload instead of running after it.
+  [[nodiscard]] bool lineage_requested() const { return !lineage_out.empty(); }
+  /// The chunked loop is what lets faults, retransmits, health samples, and
+  /// lineage taps interleave with the workload instead of running after it.
   [[nodiscard]] bool chunked() const {
-    return health_requested() || resilience_requested();
+    return health_requested() || resilience_requested() ||
+           lineage_requested();
   }
 };
 
@@ -226,6 +247,10 @@ bool parse(int argc, char** argv, Options& opt) {
       opt.store_tier_budget =
           static_cast<std::size_t>(std::atoll(next("--store-tier-budget")));
       if (opt.store_tier_budget < 4) opt.store_tier_budget = 4;
+    } else if (arg == "--prof-out") {
+      opt.prof_out = next("--prof-out");
+    } else if (arg == "--lineage-out") {
+      opt.lineage_out = next("--lineage-out");
     } else if (arg == "--help" || arg == "-h") {
       return false;
     } else {
@@ -253,7 +278,8 @@ int main(int argc, char** argv) {
         "                [--fault-plan FILE] [--uplink-reliable]\n"
         "                [--uplink-retx-buffer N] [--gap-fill]\n"
         "                [--require-recovered]\n"
-        "                [--store-dir DIR] [--store-tier-budget K]\n");
+        "                [--store-dir DIR] [--store-tier-budget K]\n"
+        "                [--prof-out FILE] [--lineage-out FILE]\n");
     return 2;
   }
 
@@ -267,6 +293,11 @@ int main(int argc, char** argv) {
   }
   if (!opt.trace_out.empty()) {
     telemetry::TraceRecorder::global().enable();
+  }
+  if (!opt.prof_out.empty()) {
+    // Calibrates rdtsc (~2 ms spin) and starts 1-in-N sampling on every
+    // instrumented hot path; the run's own packet work is the workload.
+    obs::prof_enable();
   }
 
   netsim::NetworkConfig cfg;
@@ -302,6 +333,13 @@ int main(int argc, char** argv) {
   // simulation starts: health mode streams epochs through them mid-run.
   analyzer::Analyzer an;
   an.set_gap_fill(opt.gap_fill);
+  // Lineage tracker outlives every component it taps (link, collector,
+  // analyzer, store all hold raw pointers into it).
+  std::unique_ptr<obs::LineageTracker> lineage;
+  if (opt.lineage_requested()) {
+    lineage = std::make_unique<obs::LineageTracker>();
+    an.set_lineage(lineage.get());
+  }
   // Durable store: attached as a write-through sink before any ingestion so
   // every curve fragment the analyzer absorbs also lands in a segment file.
   std::unique_ptr<store::Store> curve_store;
@@ -317,6 +355,7 @@ int main(int argc, char** argv) {
       return 2;
     }
     an.set_curve_sink(curve_store.get());
+    if (lineage) curve_store->set_lineage(lineage.get());
   }
   const bool use_collector = opt.collector_shards > 0 || opt.report_loss > 0 ||
                              opt.telemetry_requested() ||
@@ -331,6 +370,7 @@ int main(int argc, char** argv) {
     collector::CollectorConfig ccfg;
     ccfg.shards = opt.collector_shards > 0 ? opt.collector_shards : 2;
     collector_tier = std::make_unique<collector::Collector>(ccfg, an);
+    if (lineage) collector_tier->set_lineage(lineage.get());
 
     netsim::UploadChannelConfig ucfg;
     ucfg.loss_rate = opt.report_loss;
@@ -364,6 +404,7 @@ int main(int argc, char** argv) {
     rcfg.retx_buffer_frames = opt.uplink_retx_buffer;
     link = std::make_unique<resilience::ReliableLink>(rcfg, *channel,
                                                       reverse.get());
+    if (lineage) link->set_lineage(lineage.get());
     link->set_deliver_hook(
         [col = collector_tier.get()](int host, std::uint32_t epoch,
                                      std::vector<std::uint8_t>&& payload) {
@@ -500,6 +541,10 @@ int main(int argc, char** argv) {
       if (it == epoch_windows.end()) return;
       an.mark_windows(it->second.first, it->second.second,
                       analyzer::WindowConfidence::kLost);
+      if (lineage) {
+        lineage->on_verdict(static_cast<std::uint32_t>(host), epoch,
+                            obs::Verdict::kLost);
+      }
     });
     col.start();
 
@@ -528,6 +573,21 @@ int main(int argc, char** argv) {
             an.mark_windows(it->wfrom, it->wto,
                             analyzer::WindowConfidence::kRetransmitted);
           }
+        }
+        if (lineage) {
+          // The protocol's word on the epoch, mirrored into the audit.
+          // Sequence-gap losses found later at seal time upgrade it via
+          // the epoch-loss hook; the tracker keeps the worst.
+          obs::Verdict v = obs::Verdict::kCovered;
+          if (opt.uplink_reliable) {
+            if (!st.recovered) {
+              v = obs::Verdict::kLost;
+            } else if (st.retransmitted) {
+              v = obs::Verdict::kRetransmitted;
+            }
+          }
+          lineage->on_verdict(static_cast<std::uint32_t>(it->host),
+                              it->epoch, v);
         }
         col.seal_epoch(it->host, it->epoch, it->end_seq);
         // Settlement is the resilience watermark: every frame of this
@@ -574,6 +634,14 @@ int main(int argc, char** argv) {
         epoch_windows[(static_cast<std::uint64_t>(
                            static_cast<std::uint32_t>(h))
                        << 32) | up.epoch] = {ps.wfrom, ps.wto};
+        if (lineage) {
+          lineage->on_uplink_flush(static_cast<std::uint32_t>(h), up.epoch,
+                                   static_cast<std::uint32_t>(up.reports),
+                                   static_cast<std::uint32_t>(
+                                       up.payloads.size()),
+                                   static_cast<std::uint64_t>(t), ps.wfrom,
+                                   ps.wto);
+        }
         last_flush[hi] = t;
         for (auto& p : up.payloads) {
           link->send(h, up.epoch, std::move(p.bytes), t);
@@ -911,6 +979,60 @@ int main(int argc, char** argv) {
     mon->write_html(ho);
     std::printf("  health output:   %s (+ %s)\n", opt.health_out.c_str(),
                 html_path.c_str());
+  }
+
+  if (lineage) {
+    const auto epochs = lineage->snapshot();
+    std::size_t retransmitted = 0, lost = 0;
+    for (const auto& e : epochs) {
+      if (e.verdict == obs::Verdict::kLost) ++lost;
+      if (e.verdict == obs::Verdict::kRetransmitted) ++retransmitted;
+    }
+    std::ofstream os(opt.lineage_out);
+    if (!os) {
+      std::fprintf(stderr, "cannot write %s\n", opt.lineage_out.c_str());
+      return 1;
+    }
+    lineage->write_audit_jsonl(os);
+    std::printf("\nlineage audit (%s)\n", opt.lineage_out.c_str());
+    std::printf("  epochs traced:   %zu (%zu retransmitted, %zu lost)\n",
+                epochs.size(), retransmitted, lost);
+    if (!opt.trace_out.empty()) {
+      std::printf("  trace arrows:    open %s in ui.perfetto.dev — each "
+                  "epoch's hops are flow-linked\n",
+                  opt.trace_out.c_str());
+    }
+  }
+
+  if (!opt.prof_out.empty()) {
+    obs::prof_disable();
+    std::ofstream os(opt.prof_out);
+    if (!os) {
+      std::fprintf(stderr, "cannot write %s\n", opt.prof_out.c_str());
+      return 1;
+    }
+    obs::prof_write_folded(os);
+    obs::prof_publish(telemetry::MetricRegistry::global());
+    const double cpns = obs::prof_cycles_per_ns();
+    std::printf("\ncycle profile (rdtsc, %.2f cycles/ns)\n", cpns);
+    std::printf("  %-16s %10s %7s %14s %12s %10s\n", "stage", "samples",
+                "1-in-N", "est cycles", "cyc/packet", "ns/call");
+    for (const auto& s : obs::prof_snapshot()) {
+      // Sampling un-bias: each sample stands for `period` calls.
+      const double est =
+          static_cast<double>(s.sampled_cycles) * s.period;
+      const double per_call =
+          s.samples > 0 ? static_cast<double>(s.sampled_cycles) /
+                              static_cast<double>(s.samples)
+                        : 0.0;
+      std::printf("  %-16s %10llu %7u %14.0f %12.2f %10.1f\n", s.name,
+                  static_cast<unsigned long long>(s.samples), s.period, est,
+                  packets > 0 ? est / static_cast<double>(packets) : 0.0,
+                  cpns > 0 ? per_call / cpns : per_call);
+    }
+    std::printf("  folded stacks:   %s (render: flamegraph.pl %s > "
+                "prof.svg)\n",
+                opt.prof_out.c_str(), opt.prof_out.c_str());
   }
 
   // --- self-monitoring ------------------------------------------------------

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/lineage.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/tracing.hpp"
 
@@ -78,7 +79,17 @@ void Analyzer::ingest_host_sketch(int host,
 }
 
 void Analyzer::ingest_report_batch(const DecodedReportBatch& batch) {
-  UMON_TRACE_SPAN("analyzer/ingest_batch");
+  UMON_TRACE_SPAN_LINEAGE("analyzer/ingest_batch",
+                          obs::LineageTracker::key_of(
+                              static_cast<std::uint32_t>(batch.host),
+                              batch.epoch));
+  if (lineage_ != nullptr) {
+    // Arms the spill-attribution context before add_sparse fans out into
+    // the write-through sink, so the store's spill taps land on this epoch.
+    lineage_->on_analyzer_ingest(static_cast<std::uint32_t>(batch.host),
+                                 batch.epoch, batch.fragments.size(),
+                                 batch.wire_bytes);
+  }
   const Nanos offset = clocks_.host_offset.contains(batch.host)
                            ? clocks_.host_offset.at(batch.host)
                            : 0;

@@ -22,6 +22,10 @@
 #include "sketch/wavesketch_full.hpp"
 #include "uevent/acl.hpp"
 
+namespace umon::obs {
+class LineageTracker;
+}
+
 namespace umon::analyzer {
 
 /// A reconstructed rate curve pinned to absolute windows. Values are bytes
@@ -127,6 +131,11 @@ class Analyzer {
   /// Attach a durable write-through spill sink to the curve store (see
   /// analyzer::CurveSink). Not owned; set before ingest starts.
   void set_curve_sink(CurveSink* sink) { curves_.set_sink(sink); }
+
+  /// Report-lineage tap: every ingest_report_batch is recorded and arms the
+  /// tracker's spill-attribution context, so store appends triggered by the
+  /// write-through sink are credited to the right (host, epoch). Not owned.
+  void set_lineage(obs::LineageTracker* lineage) { lineage_ = lineage; }
   [[nodiscard]] WindowConfidence window_confidence(WindowId w) const {
     return curves_.confidence(w);
   }
@@ -179,6 +188,7 @@ class Analyzer {
 
  private:
   int window_shift_;
+  obs::LineageTracker* lineage_ = nullptr;
   ClockModel clocks_;
   FlowCurveStore curves_;
   std::vector<uevent::MirroredPacket> mirrored_;

@@ -6,6 +6,8 @@
 #include <map>
 #include <span>
 
+#include "obs/lineage.hpp"
+#include "obs/prof.hpp"
 #include "sketch/serialize.hpp"
 #include "telemetry/log.hpp"
 #include "telemetry/tracing.hpp"
@@ -592,7 +594,11 @@ void Collector::worker(int shard_id) {
 }
 
 void Collector::handle_reports(int shard_id, ShardMsg& msg) {
-  UMON_TRACE_SPAN("collector/batch_decode");
+  UMON_TRACE_SPAN_LINEAGE("collector/batch_decode",
+                          obs::LineageTracker::key_of(
+                              static_cast<std::uint32_t>(msg.host),
+                              msg.epoch));
+  UMON_PROF_SCOPE(kShardDecode);
   telemetry::ScopedTimer timer(ins_->decode_latency_us);
   Shard& sh = *shards_[static_cast<std::size_t>(shard_id)];
   Shard::StagedEpoch& staged = sh.staging[epoch_key(msg.host, msg.epoch)];
@@ -629,6 +635,10 @@ void Collector::handle_reports(int shard_id, ShardMsg& msg) {
     if (!frag.windows.empty()) staged.fragments.push_back(std::move(frag));
   }
   ins_->reports_decoded->inc(decoded);
+  if (lineage_ != nullptr) {
+    lineage_->on_decode(static_cast<std::uint32_t>(msg.host), msg.epoch,
+                        shard_id, static_cast<std::uint32_t>(decoded));
+  }
   if (decode_event_hook_ && staged.max_event_ns >= 0) {
     decode_event_hook_(staged.max_event_ns);
   }
@@ -664,7 +674,11 @@ void Collector::handle_seal(int shard_id, const ShardMsg& msg) {
 }
 
 void Collector::flush_epoch_to_sink(PendingEpoch&& done) {
-  UMON_TRACE_SPAN("collector/epoch_flush");
+  UMON_TRACE_SPAN_LINEAGE("collector/epoch_flush",
+                          obs::LineageTracker::key_of(
+                              static_cast<std::uint32_t>(done.host),
+                              done.epoch));
+  UMON_PROF_SCOPE(kEpochFlush);
   telemetry::ScopedTimer timer(ins_->flush_latency_us);
   // The seal barrier just completed (every shard acked), so queue FIFO
   // guarantees any batch of this epoch a crashed shard discarded has been

@@ -48,6 +48,10 @@
 #include "telemetry/metrics.hpp"
 #include "uevent/acl.hpp"
 
+namespace umon::obs {
+class LineageTracker;
+}
+
 namespace umon::collector {
 
 struct CollectorConfig {
@@ -161,6 +165,11 @@ class Collector {
     epoch_seal_hook_ = std::move(hook);
   }
 
+  /// Report-lineage tap: shard workers record every (host, epoch) batch
+  /// decode through it. Thread-safe on the tracker's side; set before
+  /// start() and keep the tracker alive until after stop().
+  void set_lineage(obs::LineageTracker* lineage) { lineage_ = lineage; }
+
   // --- producer side (thread-safe; serialized at the front door) -----------
   /// One encode_batch() payload from `host` for measurement period `epoch`.
   /// Returns false if the payload failed the framing scan (malformed).
@@ -203,6 +212,7 @@ class Collector {
 
   CollectorConfig cfg_;
   analyzer::Analyzer& sink_;
+  obs::LineageTracker* lineage_ = nullptr;
   std::function<void(Nanos)> decode_event_hook_;
   std::function<void(Nanos)> curve_event_hook_;
   std::function<void(int, std::uint32_t, std::uint64_t)> epoch_loss_hook_;

@@ -10,6 +10,7 @@
 #include <type_traits>
 #include <vector>
 
+#include "obs/prof.hpp"
 #include "sketch/serialize.hpp"
 #include "sketch/wavesketch_full.hpp"
 
@@ -53,6 +54,7 @@ class HostUplink {
   /// tests). Reports are stamped seq = next_seq, next_seq + 1, ...
   [[nodiscard]] EpochUpload encode_epoch(
       std::vector<sketch::TaggedReport> reports) {
+    UMON_PROF_SCOPE(kUplinkEncode);
     EpochUpload up;
     up.epoch = epoch_++;
     up.reports = reports.size();

@@ -1,0 +1,183 @@
+#include "obs/lineage.hpp"
+
+#include <bit>
+#include <ostream>
+#include <vector>
+
+#include "telemetry/tracing.hpp"
+
+namespace umon::obs {
+
+EpochLineage& LineageTracker::entry_locked(std::uint32_t host,
+                                           std::uint32_t epoch) {
+  EpochLineage& e = epochs_[key_of(host, epoch)];
+  e.host = host;
+  e.epoch = epoch;
+  return e;
+}
+
+void LineageTracker::trace_tap(const char* name, std::uint32_t host,
+                               std::uint32_t epoch) {
+  auto& rec = telemetry::TraceRecorder::global();
+  if (!rec.enabled()) return;
+  rec.record_instant(name, "lineage", key_of(host, epoch));
+}
+
+void LineageTracker::on_uplink_flush(std::uint32_t host, std::uint32_t epoch,
+                                     std::uint32_t reports,
+                                     std::uint32_t payloads,
+                                     std::uint64_t sim_ns, WindowId wfrom,
+                                     WindowId wto) {
+  {
+    std::lock_guard lock(mutex_);
+    EpochLineage& e = entry_locked(host, epoch);
+    e.flushed = true;
+    e.flush_ns = sim_ns;
+    e.reports += reports;
+    e.payloads += payloads;
+    e.wfrom = wfrom;
+    e.wto = wto;
+  }
+  trace_tap("lineage/uplink_flush", host, epoch);
+}
+
+void LineageTracker::on_verdict(std::uint32_t host, std::uint32_t epoch,
+                                Verdict v) {
+  {
+    std::lock_guard lock(mutex_);
+    EpochLineage& e = entry_locked(host, epoch);
+    if (static_cast<std::uint8_t>(v) > static_cast<std::uint8_t>(e.verdict)) {
+      e.verdict = v;
+    }
+  }
+  trace_tap("lineage/verdict", host, epoch);
+}
+
+void LineageTracker::on_frame_sent(std::uint32_t host, std::uint32_t epoch) {
+  {
+    std::lock_guard lock(mutex_);
+    ++entry_locked(host, epoch).frames_sent;
+  }
+  trace_tap("lineage/frame_sent", host, epoch);
+}
+
+void LineageTracker::on_frame_retransmitted(std::uint32_t host,
+                                            std::uint32_t epoch) {
+  {
+    std::lock_guard lock(mutex_);
+    ++entry_locked(host, epoch).retransmits;
+  }
+  trace_tap("lineage/frame_retransmit", host, epoch);
+}
+
+void LineageTracker::on_frame_expired(std::uint32_t host, std::uint32_t epoch,
+                                      bool evicted) {
+  {
+    std::lock_guard lock(mutex_);
+    EpochLineage& e = entry_locked(host, epoch);
+    if (evicted) {
+      ++e.frames_evicted;
+    } else {
+      ++e.frames_expired;
+    }
+  }
+  trace_tap("lineage/frame_expired", host, epoch);
+}
+
+void LineageTracker::on_frame_acked(std::uint32_t host, std::uint32_t epoch) {
+  {
+    std::lock_guard lock(mutex_);
+    ++entry_locked(host, epoch).frames_acked;
+  }
+  trace_tap("lineage/frame_acked", host, epoch);
+}
+
+void LineageTracker::on_frame_delivered(std::uint32_t host,
+                                        std::uint32_t epoch, bool duplicate) {
+  {
+    std::lock_guard lock(mutex_);
+    EpochLineage& e = entry_locked(host, epoch);
+    if (duplicate) {
+      ++e.duplicates;
+    } else {
+      ++e.frames_delivered;
+    }
+  }
+  trace_tap("lineage/frame_delivered", host, epoch);
+}
+
+void LineageTracker::on_decode(std::uint32_t host, std::uint32_t epoch,
+                               int shard, std::uint32_t reports) {
+  {
+    std::lock_guard lock(mutex_);
+    EpochLineage& e = entry_locked(host, epoch);
+    ++e.decode_batches;
+    e.decoded_reports += reports;
+    if (shard >= 0 && shard < 64) e.shard_mask |= 1ull << shard;
+  }
+  trace_tap("lineage/shard_decode", host, epoch);
+}
+
+void LineageTracker::on_analyzer_ingest(std::uint32_t host,
+                                        std::uint32_t epoch,
+                                        std::uint64_t fragments,
+                                        std::uint64_t wire_bytes) {
+  {
+    std::lock_guard lock(mutex_);
+    EpochLineage& e = entry_locked(host, epoch);
+    ++e.ingest_batches;
+    e.ingest_fragments += fragments;
+    e.ingest_bytes += wire_bytes;
+    spill_ctx_ = key_of(host, epoch);
+  }
+  trace_tap("lineage/analyzer_ingest", host, epoch);
+}
+
+void LineageTracker::on_store_spill(std::uint64_t records,
+                                    std::uint64_t bytes) {
+  std::uint64_t key = 0;
+  {
+    std::lock_guard lock(mutex_);
+    if (!spill_ctx_.has_value()) return;  // spill outside any ingest context
+    key = *spill_ctx_;
+    EpochLineage& e = epochs_[key];
+    e.spill_records += records;
+    e.spill_bytes += bytes;
+  }
+  trace_tap("lineage/store_spill", static_cast<std::uint32_t>(key >> 32),
+            static_cast<std::uint32_t>(key & 0xFFFFFFFFull));
+}
+
+std::vector<EpochLineage> LineageTracker::snapshot() const {
+  std::lock_guard lock(mutex_);
+  std::vector<EpochLineage> out;
+  out.reserve(epochs_.size());
+  for (const auto& [key, e] : epochs_) out.push_back(e);
+  return out;
+}
+
+void LineageTracker::write_audit_jsonl(std::ostream& os) const {
+  for (const EpochLineage& e : snapshot()) {
+    os << "{\"host\":" << e.host << ",\"epoch\":" << e.epoch
+       << ",\"flush_ns\":" << e.flush_ns << ",\"wfrom\":" << e.wfrom
+       << ",\"wto\":" << e.wto << ",\"reports\":" << e.reports
+       << ",\"payloads\":" << e.payloads
+       << ",\"frames_sent\":" << e.frames_sent
+       << ",\"retransmits\":" << e.retransmits
+       << ",\"frames_expired\":" << e.frames_expired
+       << ",\"frames_evicted\":" << e.frames_evicted
+       << ",\"frames_acked\":" << e.frames_acked
+       << ",\"frames_delivered\":" << e.frames_delivered
+       << ",\"duplicates\":" << e.duplicates
+       << ",\"decode_batches\":" << e.decode_batches
+       << ",\"decoded_reports\":" << e.decoded_reports
+       << ",\"decode_shards\":" << std::popcount(e.shard_mask)
+       << ",\"ingest_fragments\":" << e.ingest_fragments
+       << ",\"ingest_bytes\":" << e.ingest_bytes
+       << ",\"spill_records\":" << e.spill_records
+       << ",\"spill_bytes\":" << e.spill_bytes << ",\"verdict\":\""
+       << to_string(e.verdict) << "\"}\n";
+  }
+}
+
+}  // namespace umon::obs

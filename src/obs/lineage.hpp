@@ -1,0 +1,149 @@
+// umon::obs — end-to-end report lineage tracing.
+//
+// One measurement epoch's reports leave a host as a flushed uplink batch,
+// ride v2 frames through the (possibly lossy) control channel, get decoded
+// by collector shards, land in the analyzer as one sealed batch, and spill
+// through the curve sink into the durable store. The v2 frame header
+// already carries the compact trace context — (host, epoch, frame_seq) —
+// so lineage tracing is a matter of tapping each hop with that key and
+// folding the taps into one record per (host, epoch).
+//
+// The tracker produces two artifacts:
+//
+//   * causally-linked trace spans: every tap also emits an instant event
+//     (lineage id = host << 32 | epoch) into the TraceRecorder, which the
+//     Chrome-JSON exporter stitches together with flow arrows so one
+//     report's full life is one connected path in the trace viewer;
+//   * a per-epoch lineage audit (JSONL, one line per (host, epoch), sorted
+//     by key): every counter in it derives from simulation-deterministic
+//     events and sim timestamps, so two same-seed runs write byte-identical
+//     audits — wall-clock only ever enters the trace, never the audit.
+//
+// Hooks run on driver, shard-worker, and flush threads; one mutex guards
+// the map (lineage taps are per-report/per-frame, not per-packet, so the
+// lock is far off the packet hot path).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace umon::obs {
+
+/// Mirror of analyzer::WindowConfidence (same values, worst-last order) so
+/// the obs layer does not need an analyzer link; the driver maps between
+/// the two at the seal points.
+enum class Verdict : std::uint8_t {
+  kCovered = 0,
+  kRetransmitted = 1,
+  kGapFilled = 2,
+  kLost = 3,
+};
+
+[[nodiscard]] constexpr const char* to_string(Verdict v) {
+  switch (v) {
+    case Verdict::kCovered: return "covered";
+    case Verdict::kRetransmitted: return "retransmitted";
+    case Verdict::kGapFilled: return "gap_filled";
+    case Verdict::kLost: return "lost";
+  }
+  return "unknown";
+}
+
+/// Everything one (host, epoch) report batch went through.
+struct EpochLineage {
+  std::uint32_t host = 0;
+  std::uint32_t epoch = 0;
+  // Uplink flush (driver side, sim clock).
+  bool flushed = false;
+  std::uint64_t flush_ns = 0;   ///< sim time of the epoch flush
+  std::uint32_t reports = 0;    ///< sketch reports in the flushed batch
+  std::uint32_t payloads = 0;   ///< encoded uplink payloads
+  WindowId wfrom = 0;           ///< window range the epoch covers
+  WindowId wto = 0;
+  // Reliable-uplink frame life (0 everywhere in passthrough mode).
+  std::uint32_t frames_sent = 0;
+  std::uint32_t retransmits = 0;
+  std::uint32_t frames_expired = 0;  ///< retry budget exhausted
+  std::uint32_t frames_evicted = 0;  ///< pushed out of the retransmit buffer
+  std::uint32_t frames_acked = 0;
+  std::uint32_t frames_delivered = 0;  ///< non-duplicate deliveries
+  std::uint32_t duplicates = 0;
+  // Collector decode (shard workers).
+  std::uint32_t decode_batches = 0;
+  std::uint32_t decoded_reports = 0;
+  std::uint64_t shard_mask = 0;  ///< bit per shard id that decoded for us
+  // Analyzer ingest (sealed-epoch flush).
+  std::uint32_t ingest_batches = 0;
+  std::uint64_t ingest_fragments = 0;
+  std::uint64_t ingest_bytes = 0;
+  // Store spill attributed to this epoch's ingest.
+  std::uint64_t spill_records = 0;
+  std::uint64_t spill_bytes = 0;
+  // Final per-window outcome (worst-wins, upgrade only).
+  Verdict verdict = Verdict::kCovered;
+};
+
+class LineageTracker {
+ public:
+  LineageTracker() = default;
+  LineageTracker(const LineageTracker&) = delete;
+  LineageTracker& operator=(const LineageTracker&) = delete;
+
+  static constexpr std::uint64_t key_of(std::uint32_t host,
+                                        std::uint32_t epoch) {
+    return (static_cast<std::uint64_t>(host) << 32) | epoch;
+  }
+
+  // --- driver (sim clock) ---------------------------------------------------
+  void on_uplink_flush(std::uint32_t host, std::uint32_t epoch,
+                       std::uint32_t reports, std::uint32_t payloads,
+                       std::uint64_t sim_ns, WindowId wfrom, WindowId wto);
+  /// Worst-wins: a later, worse verdict overwrites; a better one is ignored.
+  void on_verdict(std::uint32_t host, std::uint32_t epoch, Verdict v);
+
+  // --- resilience (uplink frames) -------------------------------------------
+  void on_frame_sent(std::uint32_t host, std::uint32_t epoch);
+  void on_frame_retransmitted(std::uint32_t host, std::uint32_t epoch);
+  void on_frame_expired(std::uint32_t host, std::uint32_t epoch, bool evicted);
+  void on_frame_acked(std::uint32_t host, std::uint32_t epoch);
+  void on_frame_delivered(std::uint32_t host, std::uint32_t epoch,
+                          bool duplicate);
+
+  // --- collector (shard workers) --------------------------------------------
+  void on_decode(std::uint32_t host, std::uint32_t epoch, int shard,
+                 std::uint32_t reports);
+
+  // --- analyzer (serialized under the collector sink mutex) -----------------
+  /// Also arms the spill-attribution context: store appends until the next
+  /// ingest are charged to this (host, epoch).
+  void on_analyzer_ingest(std::uint32_t host, std::uint32_t epoch,
+                          std::uint64_t fragments, std::uint64_t wire_bytes);
+
+  // --- store (same call stack as the ingest that triggered the spill) -------
+  void on_store_spill(std::uint64_t records, std::uint64_t bytes);
+
+  /// One JSON line per (host, epoch), sorted by key; stable key order
+  /// inside each line. Deterministic for same-seed runs (sim time only).
+  void write_audit_jsonl(std::ostream& os) const;
+
+  /// Snapshot sorted by (host, epoch).
+  [[nodiscard]] std::vector<EpochLineage> snapshot() const;
+
+ private:
+  EpochLineage& entry_locked(std::uint32_t host, std::uint32_t epoch);
+  /// Emit the lineage-tagged instant span for a tap (no-op unless the
+  /// TraceRecorder is enabled). `name` must be a string literal.
+  void trace_tap(const char* name, std::uint32_t host, std::uint32_t epoch);
+
+  mutable std::mutex mutex_;
+  std::map<std::uint64_t, EpochLineage> epochs_;  ///< sorted by key
+  std::optional<std::uint64_t> spill_ctx_;        ///< armed by analyzer ingest
+};
+
+}  // namespace umon::obs

@@ -1,0 +1,188 @@
+#include "obs/prof.hpp"
+
+#include <bit>
+#include <cstring>
+#include <ostream>
+
+#include "telemetry/metrics.hpp"
+
+namespace umon::obs {
+namespace {
+
+// Global aggregates. Relaxed atomics: every cell is an independent
+// monotonic accumulator read only at export time (after the pipeline
+// quiesced), the same policy as the telemetry counters.
+std::atomic<std::uint64_t> g_stage_cycles[kProfStageCount];
+std::atomic<std::uint64_t> g_stage_samples[kProfStageCount];
+std::atomic<std::uint64_t> g_stage_hist[kProfStageCount][kProfHistBuckets];
+
+/// Folded-stack slots: one per packed scope-stack key (4 bits per frame,
+/// up to kProfMaxDepth frames => 16-bit key space). ~1 MiB of zero-init
+/// statics, touched only on sampled exits.
+constexpr std::size_t kFoldSlots = 1u << (4 * kProfMaxDepth);
+std::atomic<std::uint64_t> g_fold_cycles[kFoldSlots];
+std::atomic<std::uint64_t> g_fold_samples[kFoldSlots];
+
+double g_cycles_per_ns = 1.0;  ///< written before enable, read after
+
+constexpr const char* kStageNames[kProfStageCount] = {
+    "cm_update",     "haar_transform", "topk_offer", "uplink_encode",
+    "shard_decode",  "epoch_flush",    "store_append", "page_read",
+    "page_write",    "query_exec",
+};
+
+void zero_aggregates() {
+  for (std::size_t s = 0; s < kProfStageCount; ++s) {
+    g_stage_cycles[s].store(0, std::memory_order_relaxed);
+    g_stage_samples[s].store(0, std::memory_order_relaxed);
+    for (auto& bucket : g_stage_hist[s]) {
+      bucket.store(0, std::memory_order_relaxed);
+    }
+  }
+  for (std::size_t i = 0; i < kFoldSlots; ++i) {
+    g_fold_cycles[i].store(0, std::memory_order_relaxed);
+    g_fold_samples[i].store(0, std::memory_order_relaxed);
+  }
+}
+
+/// Decode a packed path key into root-first stage indices; false when the
+/// key holds a nibble that is not a stage (torn slot — never written).
+bool decode_path(std::uint16_t key, std::vector<std::size_t>& frames) {
+  frames.clear();
+  while (key != 0) {
+    const std::uint16_t nibble = key & 0xF;
+    if (nibble == 0 || nibble > kProfStageCount) return false;
+    frames.push_back(static_cast<std::size_t>(nibble - 1));  // leaf first
+    key = static_cast<std::uint16_t>(key >> 4);
+  }
+  for (std::size_t i = 0, j = frames.size(); i + 1 < j; ++i, --j) {
+    std::swap(frames[i], frames[j - 1]);
+  }
+  return !frames.empty();
+}
+
+}  // namespace
+
+namespace detail {
+
+std::atomic<bool> g_prof_enabled{false};
+
+ProfTls& prof_tls() {
+  thread_local ProfTls tls{};
+  return tls;
+}
+
+void record_sample(ProfStage stage, std::uint16_t path_key,
+                   std::uint64_t cycles) {
+  const auto s = static_cast<std::size_t>(stage);
+  g_stage_cycles[s].fetch_add(cycles, std::memory_order_relaxed);
+  g_stage_samples[s].fetch_add(1, std::memory_order_relaxed);
+  auto bucket = static_cast<std::size_t>(std::bit_width(cycles));
+  if (bucket >= kProfHistBuckets) bucket = kProfHistBuckets - 1;
+  g_stage_hist[s][bucket].fetch_add(1, std::memory_order_relaxed);
+  g_fold_cycles[path_key].fetch_add(cycles, std::memory_order_relaxed);
+  g_fold_samples[path_key].fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace detail
+
+const char* to_string(ProfStage stage) {
+  const auto s = static_cast<std::size_t>(stage);
+  return s < kProfStageCount ? kStageNames[s] : "unknown";
+}
+
+ProfStage parse_prof_stage(std::string_view name) {
+  for (std::size_t s = 0; s < kProfStageCount; ++s) {
+    if (name == kStageNames[s]) return static_cast<ProfStage>(s);
+  }
+  return ProfStage::kCount;
+}
+
+#if !defined(__x86_64__) && !defined(__i386__)
+std::uint64_t prof_fallback_ticks() { return telemetry::monotonic_ns(); }
+#endif
+
+void prof_enable() {
+  if (prof_enabled()) return;
+#if defined(__x86_64__) || defined(__i386__)
+  // Calibrate: ~2 ms spin comparing rdtsc against the monotonic clock.
+  // Short enough to be invisible at startup, long enough that clock
+  // granularity is noise.
+  const std::uint64_t ns0 = telemetry::monotonic_ns();
+  const std::uint64_t c0 = prof_rdtsc();
+  std::uint64_t ns1 = ns0;
+  while (ns1 - ns0 < 2'000'000) ns1 = telemetry::monotonic_ns();
+  const std::uint64_t c1 = prof_rdtsc();
+  g_cycles_per_ns =
+      static_cast<double>(c1 - c0) / static_cast<double>(ns1 - ns0);
+#else
+  g_cycles_per_ns = 1.0;  // fallback ticks *are* nanoseconds
+#endif
+  zero_aggregates();
+  detail::g_prof_enabled.store(true, std::memory_order_relaxed);
+}
+
+void prof_disable() {
+  detail::g_prof_enabled.store(false, std::memory_order_relaxed);
+}
+
+void prof_reset() { zero_aggregates(); }
+
+double prof_cycles_per_ns() { return g_cycles_per_ns; }
+
+std::vector<ProfStageSnapshot> prof_snapshot() {
+  std::vector<ProfStageSnapshot> out;
+  for (std::size_t s = 0; s < kProfStageCount; ++s) {
+    const std::uint64_t samples =
+        g_stage_samples[s].load(std::memory_order_relaxed);
+    if (samples == 0) continue;
+    ProfStageSnapshot snap;
+    snap.stage = static_cast<ProfStage>(s);
+    snap.name = kStageNames[s];
+    snap.period = kProfPeriod[s];
+    snap.samples = samples;
+    snap.sampled_cycles = g_stage_cycles[s].load(std::memory_order_relaxed);
+    snap.hist.resize(kProfHistBuckets);
+    for (std::size_t b = 0; b < kProfHistBuckets; ++b) {
+      snap.hist[b] = g_stage_hist[s][b].load(std::memory_order_relaxed);
+    }
+    out.push_back(std::move(snap));
+  }
+  return out;
+}
+
+void prof_write_folded(std::ostream& os) {
+  std::vector<std::size_t> frames;
+  for (std::size_t slot = 0; slot < kFoldSlots; ++slot) {
+    const std::uint64_t samples =
+        g_fold_samples[slot].load(std::memory_order_relaxed);
+    if (samples == 0) continue;
+    const std::uint64_t cycles =
+        g_fold_cycles[slot].load(std::memory_order_relaxed);
+    if (slot == 0 || !decode_path(static_cast<std::uint16_t>(slot), frames)) {
+      // Slot 0 collects samples taken deeper than kProfMaxDepth.
+      os << "umon;(deep) " << cycles << "\n";
+      continue;
+    }
+    os << "umon";
+    for (const std::size_t frame : frames) os << ";" << kStageNames[frame];
+    // Scale the sampled cycles back up by the leaf's period so the
+    // flamegraph widths approximate real totals.
+    os << " " << cycles * kProfPeriod[frames.back()] << "\n";
+  }
+}
+
+void prof_publish(telemetry::MetricRegistry& registry) {
+  for (const ProfStageSnapshot& snap : prof_snapshot()) {
+    registry
+        .counter("umon_obs_stage_cycles_total", {{"stage", snap.name}},
+                 "Sampled hot-path cycles per profiler stage")
+        ->inc(snap.sampled_cycles);
+    registry
+        .counter("umon_obs_stage_samples_total", {{"stage", snap.name}},
+                 "rdtsc sample pairs taken per profiler stage")
+        ->inc(snap.samples);
+  }
+}
+
+}  // namespace umon::obs

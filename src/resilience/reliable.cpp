@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/lineage.hpp"
 #include "telemetry/log.hpp"
 
 namespace umon::resilience {
@@ -11,6 +12,8 @@ std::uint64_t epoch_key(int host, std::uint32_t epoch) {
   return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(host)) << 32) |
          epoch;
 }
+
+std::uint32_t uhost(int host) { return static_cast<std::uint32_t>(host); }
 
 }  // namespace
 
@@ -97,6 +100,7 @@ void ReliableLink::send(int host, std::uint32_t epoch,
                               base, payload);
   frames_sent_->inc();
   retx_resident_->add(1);
+  if (lineage_ != nullptr) lineage_->on_frame_sent(uhost(host), epoch);
   // umon-lint: allow(UL006) — this wrapper IS the sanctioned send site.
   (void)forward_.send(host, epoch, e.frame, now);
   st.buffer.push_back(std::move(e));
@@ -113,6 +117,9 @@ void ReliableLink::retransmit(int host, SenderState& st, RetxEntry& e,
   e.next_retry = now + static_cast<Nanos>(rto);
   frames_retransmitted_->inc();
   epochs_[epoch_key(host, e.epoch)].retransmits += 1;
+  if (lineage_ != nullptr) {
+    lineage_->on_frame_retransmitted(uhost(host), e.epoch);
+  }
   // Retransmits carry the *current* base so the receiver learns about any
   // frame abandoned since the original send.
   rewrite_base_seq(e.frame, st.buffer.front().seq);
@@ -123,6 +130,9 @@ void ReliableLink::retransmit(int host, SenderState& st, RetxEntry& e,
 void ReliableLink::expire_entry(int host, const RetxEntry& e, bool evicted) {
   (evicted ? frames_evicted_ : frames_expired_)->inc();
   retx_resident_->add(-1);
+  if (lineage_ != nullptr) {
+    lineage_->on_frame_expired(uhost(host), e.epoch, evicted);
+  }
   const std::uint64_t key = epoch_key(host, e.epoch);
   EpochState& es = epochs_[key];
   es.expired += 1;
@@ -138,6 +148,7 @@ void ReliableLink::expire_entry(int host, const RetxEntry& e, bool evicted) {
 void ReliableLink::release_entry(int host, const RetxEntry& e) {
   frames_acked_->inc();
   retx_resident_->add(-1);
+  if (lineage_ != nullptr) lineage_->on_frame_acked(uhost(host), e.epoch);
   EpochState& es = epochs_[epoch_key(host, e.epoch)];
   if (es.outstanding > 0) es.outstanding -= 1;
   settle_if_done(es);
@@ -236,6 +247,9 @@ void ReliableLink::on_forward_delivery(netsim::UploadChannel::Delivery&& d) {
   }
   const bool dup = frame->frame_seq < rs.cum ||
                    rs.above.count(frame->frame_seq) != 0;
+  if (lineage_ != nullptr) {
+    lineage_->on_frame_delivered(uhost(d.host), frame->epoch, dup);
+  }
   if (dup) {
     frames_duplicate_->inc();
   } else {

@@ -48,6 +48,10 @@
 #include "resilience/frame.hpp"
 #include "telemetry/metrics.hpp"
 
+namespace umon::obs {
+class LineageTracker;
+}
+
 namespace umon::resilience {
 
 struct ReliableConfig {
@@ -115,6 +119,11 @@ class ReliableLink {
                netsim::UploadChannel* reverse);
 
   void set_deliver_hook(DeliverFn fn) { deliver_ = std::move(fn); }
+
+  /// Report-lineage tap: every frame event (send, retransmit, expiry,
+  /// ack release, delivery) is recorded against its (host, epoch). Not
+  /// owned; keep the tracker alive for the link's lifetime.
+  void set_lineage(obs::LineageTracker* lineage) { lineage_ = lineage; }
 
   // --- host side -----------------------------------------------------------
   /// Submit one epoch payload at local time `now`. In reliable mode the
@@ -190,6 +199,7 @@ class ReliableLink {
   netsim::UploadChannel& forward_;
   netsim::UploadChannel* reverse_;
   DeliverFn deliver_;
+  obs::LineageTracker* lineage_ = nullptr;
 
   std::unordered_map<int, SenderState> senders_;
   std::unordered_map<int, ReceiverState> receivers_;

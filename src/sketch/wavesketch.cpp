@@ -1,5 +1,6 @@
 #include "sketch/wavesketch.hpp"
 
+#include "obs/prof.hpp"
 #include "sketch/instruments.hpp"
 
 namespace umon::sketch {
@@ -15,6 +16,7 @@ WaveSketchBasic::WaveSketchBasic(const WaveSketchParams& params)
 }
 
 void WaveSketchBasic::update_window(const FlowKey& flow, WindowId w, Count v) {
+  UMON_PROF_SCOPE(kCmUpdate);
   sketch_instruments().updates->inc();
   for (int r = 0; r < params_.depth; ++r) {
     const std::uint32_t c = column(r, flow);

@@ -5,6 +5,8 @@
 #include <algorithm>
 #include <cstring>
 
+#include "obs/prof.hpp"
+
 namespace umon::store {
 
 PageCache::Page* PageCache::get_page(std::uint32_t file_id, int fd,
@@ -67,6 +69,7 @@ void PageCache::evict_over_budget() {
 
 bool PageCache::read(std::uint32_t file_id, int fd, std::uint64_t offset,
                      std::span<std::uint8_t> out) {
+  UMON_PROF_SCOPE(kPageRead);
   std::lock_guard lock(mutex_);
   std::size_t done = 0;
   while (done < out.size()) {
@@ -91,6 +94,7 @@ bool PageCache::read(std::uint32_t file_id, int fd, std::uint64_t offset,
 void PageCache::write_through(std::uint32_t file_id, int fd,
                               std::uint64_t offset,
                               std::span<const std::uint8_t> data) {
+  UMON_PROF_SCOPE(kPageWrite);
   std::lock_guard lock(mutex_);
   std::size_t done = 0;
   while (done < data.size()) {

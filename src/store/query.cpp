@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/stats.hpp"
+#include "obs/prof.hpp"
 #include "wavelet/reconstruct.hpp"
 
 namespace umon::store {
@@ -63,6 +64,7 @@ QueryResult QueryEngine::run(const Query& q) {
 }
 
 QueryResult QueryEngine::execute(const Query& q) const {
+  UMON_PROF_SCOPE(kQueryExec);
   QueryResult result;
   result.from = q.from;
   result.to = q.to;

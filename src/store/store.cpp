@@ -9,6 +9,8 @@
 #include <cstdio>
 #include <cstring>
 
+#include "obs/lineage.hpp"
+#include "obs/prof.hpp"
 #include "store/tier.hpp"
 #include "wavelet/haar.hpp"
 
@@ -296,6 +298,7 @@ void Store::ensure_writer() {
 void Store::append_sparse(
     const FlowKey& flow,
     std::span<const std::pair<WindowId, double>> windows) {
+  UMON_PROF_SCOPE(kStoreAppend);
   if (windows.empty()) return;
   std::lock_guard lock(mutex_);
   if (!writable_) return;
@@ -330,6 +333,7 @@ void Store::append_sparse(
   stats_.append_bytes += at.payload_len;
   ins_->appends->inc();
   ins_->append_bytes->inc(at.payload_len);
+  if (lineage_ != nullptr) lineage_->on_store_spill(1, at.payload_len);
 }
 
 void Store::mark_confidence(WindowId from, WindowId to,

@@ -40,6 +40,10 @@
 #include "store/segment.hpp"
 #include "telemetry/metrics.hpp"
 
+namespace umon::obs {
+class LineageTracker;
+}
+
 namespace umon::store {
 
 struct StoreConfig {
@@ -172,6 +176,12 @@ class Store : public analyzer::CurveSink {
   }
   [[nodiscard]] const StoreConfig& config() const { return cfg_; }
 
+  /// Report-lineage tap: every append is credited (as a spill) to the
+  /// (host, epoch) whose analyzer ingest is currently on the call stack.
+  /// Set before wiring the store as a curve sink; the tracker must outlive
+  /// the store.
+  void set_lineage(obs::LineageTracker* lineage) { lineage_ = lineage; }
+
  private:
   struct ChunkRef {
     std::uint32_t segment_id = 0;
@@ -218,6 +228,7 @@ class Store : public analyzer::CurveSink {
 
   StoreConfig cfg_;
   bool writable_;
+  obs::LineageTracker* lineage_ = nullptr;
   mutable std::mutex mutex_;
   PageCache cache_;
   std::map<std::uint32_t, Segment> segments_;  ///< by segment id, all tiers

@@ -1,6 +1,8 @@
 #include "telemetry/tracing.hpp"
 
+#include <algorithm>
 #include <cstdio>
+#include <map>
 #include <ostream>
 #include <thread>
 #include <unordered_map>
@@ -60,8 +62,8 @@ void TraceRecorder::record(SpanEvent ev) {
 }
 
 void TraceRecorder::record_complete(const char* name, const char* category,
-                                    std::uint64_t ts_ns,
-                                    std::uint64_t dur_ns) {
+                                    std::uint64_t ts_ns, std::uint64_t dur_ns,
+                                    std::uint64_t lineage) {
   if (!enabled()) return;
   SpanEvent ev;
   ev.name = name;
@@ -69,16 +71,19 @@ void TraceRecorder::record_complete(const char* name, const char* category,
   ev.phase = 'X';
   ev.ts_ns = ts_ns;
   ev.dur_ns = dur_ns;
+  ev.lineage = lineage;
   record(ev);
 }
 
-void TraceRecorder::record_instant(const char* name, const char* category) {
+void TraceRecorder::record_instant(const char* name, const char* category,
+                                   std::uint64_t lineage) {
   if (!enabled()) return;
   SpanEvent ev;
   ev.name = name;
   ev.category = category;
   ev.phase = 'i';
   ev.ts_ns = monotonic_ns();
+  ev.lineage = lineage;
   record(ev);
 }
 
@@ -135,7 +140,39 @@ void TraceRecorder::write_chrome_json(std::ostream& os) const {
       os << ",\"dur\":" << us(ev.dur_ns);
     }
     if (ev.phase == 'i') os << ",\"s\":\"t\"";
+    if (ev.lineage != 0) {
+      // host << 32 | epoch: expose both halves as args so the viewer can
+      // filter one report's chain, and "id" groups the flow arrows below.
+      os << ",\"id\":" << ev.lineage << ",\"args\":{\"host\":"
+         << (ev.lineage >> 32) << ",\"epoch\":" << (ev.lineage & 0xFFFFFFFFull)
+         << "}";
+    }
     os << "}";
+  }
+  // Stitch each lineage's events into one causal chain with flow events:
+  // 's' (start) at the earliest event, 't' (step) at each middle one, 'f'
+  // with bp:"e" (end, bind-enclosing) at the last — chrome://tracing and
+  // Perfetto draw these as arrows across threads.
+  std::map<std::uint64_t, std::vector<const SpanEvent*>> chains;
+  for (const SpanEvent& ev : events) {
+    if (ev.lineage != 0) chains[ev.lineage].push_back(&ev);
+  }
+  for (auto& [lineage, chain] : chains) {
+    if (chain.size() < 2) continue;  // nothing to link
+    std::stable_sort(chain.begin(), chain.end(),
+                     [](const SpanEvent* a, const SpanEvent* b) {
+                       return a->ts_ns < b->ts_ns;
+                     });
+    for (std::size_t i = 0; i < chain.size(); ++i) {
+      const SpanEvent& ev = *chain[i];
+      const char ph =
+          i == 0 ? 's' : (i + 1 == chain.size() ? 'f' : 't');
+      os << ",{\"name\":\"lineage\",\"cat\":\"lineage\",\"ph\":\"" << ph
+         << "\",\"pid\":1,\"tid\":" << ev.tid << ",\"ts\":"
+         << us(ev.ts_ns - t0) << ",\"id\":" << lineage;
+      if (ph == 'f') os << ",\"bp\":\"e\"";
+      os << "}";
+    }
   }
   os << "]}\n";
 }

@@ -31,6 +31,10 @@ struct SpanEvent {
   std::uint64_t ts_ns = 0;    ///< start, monotonic_ns()
   std::uint64_t dur_ns = 0;   ///< duration ('X' only)
   std::uint32_t tid = 0;      ///< small per-thread id assigned on first use
+  /// Report-lineage key (host << 32 | epoch), 0 = untagged. Tagged events
+  /// export an "id" plus host/epoch args, and the Chrome exporter stitches
+  /// each lineage's events together with flow arrows ('s'/'t'/'f').
+  std::uint64_t lineage = 0;
 };
 
 class TraceRecorder {
@@ -45,8 +49,10 @@ class TraceRecorder {
   }
 
   void record_complete(const char* name, const char* category,
-                       std::uint64_t ts_ns, std::uint64_t dur_ns);
-  void record_instant(const char* name, const char* category);
+                       std::uint64_t ts_ns, std::uint64_t dur_ns,
+                       std::uint64_t lineage = 0);
+  void record_instant(const char* name, const char* category,
+                      std::uint64_t lineage = 0);
 
   /// Events currently held, oldest first. Total recorded may exceed this;
   /// dropped() says by how much.
@@ -76,14 +82,16 @@ class TraceRecorder {
 /// relaxed load) while the recorder is disabled.
 class ScopedSpan {
  public:
-  explicit ScopedSpan(const char* name, const char* category = "umon")
+  explicit ScopedSpan(const char* name, const char* category = "umon",
+                      std::uint64_t lineage = 0)
       : name_(name),
         category_(category),
+        lineage_(lineage),
         start_(TraceRecorder::global().enabled() ? monotonic_ns() : 0) {}
   ~ScopedSpan() {
     if (start_ != 0 && TraceRecorder::global().enabled()) {
-      TraceRecorder::global().record_complete(name_, category_, start_,
-                                              monotonic_ns() - start_);
+      TraceRecorder::global().record_complete(
+          name_, category_, start_, monotonic_ns() - start_, lineage_);
     }
   }
   ScopedSpan(const ScopedSpan&) = delete;
@@ -92,6 +100,7 @@ class ScopedSpan {
  private:
   const char* name_;
   const char* category_;
+  std::uint64_t lineage_;
   std::uint64_t start_;
 };
 
@@ -101,5 +110,10 @@ class ScopedSpan {
 #define UMON_TRACE_SPAN(name)                             \
   ::umon::telemetry::ScopedSpan UMON_TRACE_CONCAT(        \
       umon_trace_span_, __COUNTER__)(name)
+/// Same, tagged with a report-lineage key (host << 32 | epoch) so the span
+/// joins that report's causal chain in the exported trace.
+#define UMON_TRACE_SPAN_LINEAGE(name, lineage)            \
+  ::umon::telemetry::ScopedSpan UMON_TRACE_CONCAT(        \
+      umon_trace_span_, __COUNTER__)(name, "umon", (lineage))
 
 }  // namespace umon::telemetry

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "common/types.hpp"
+#include "obs/prof.hpp"
 #include "wavelet/coeff.hpp"
 #include "wavelet/haar.hpp"
 
@@ -30,6 +31,7 @@ class OnlineHaar {
   /// skip values; missing windows are implicit zeros.
   template <typename Sink>
   void transform(std::uint32_t i, Count c, Sink&& emit) {
+    UMON_PROF_SCOPE(kHaarTransform);
     const std::size_t pos_a = i >> levels_;
     if (pos_a >= approx_.size()) approx_.resize(pos_a + 1, 0);
     approx_[pos_a] += c;

@@ -1,8 +1,11 @@
 #include "wavelet/store.hpp"
 
+#include "obs/prof.hpp"
+
 namespace umon::wavelet {
 
 bool TopKStore::offer(const DetailCoeff& d) {
+  UMON_PROF_SCOPE(kTopkOffer);
   if (d.value == 0) return false;  // lossless drop, not a prune
   if (capacity_ == 0) return true;
   if (heap_.size() < capacity_) {

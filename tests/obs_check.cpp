@@ -1,0 +1,260 @@
+// umon_obs_check: validate the artifacts one profiled + lineage-traced
+// umon_sim run produces.
+//
+//   umon_obs_check [--folded FILE] [--lineage FILE] [--trace FILE]
+//                  [--min-stages N] [--min-epochs N]
+//
+// --folded  : flamegraph folded stacks. Every line must be
+//             `umon(;stage)+ <count>` where each stage is a known profiler
+//             stage name and count is a positive integer; at least
+//             --min-stages distinct leaf stages must appear (default 3 —
+//             a run that only sampled one stage was not really profiled).
+// --lineage : the per-epoch audit JSONL. Every line must open with the
+//             documented key order ("host","epoch","flush_ns",...), lines
+//             must be sorted by (host, epoch) with no duplicates, every
+//             verdict must be one of covered|retransmitted|gap_filled|lost,
+//             and at least --min-epochs records must exist (default 1).
+// --trace   : the Chrome trace JSON (bare array or {"traceEvents":[...]}).
+//             Must contain at least one lineage flow arrow (a "ph":"s"
+//             start and a "ph":"f" finish) — the causal links are the point.
+//
+// Exit 0 iff every named artifact validates; 1 on validation failure; 2 on
+// usage or IO error. CI runs it over the obs job's umon_sim output, the
+// obs analogue of umon_prom_check / umon_health_check.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <set>
+#include <string>
+#include <utility>
+
+#include "obs/prof.hpp"
+
+namespace {
+
+int g_errors = 0;
+
+void error(const char* file, std::size_t line_no, const char* what,
+           const std::string& detail) {
+  std::fprintf(stderr, "%s:%zu: %s%s%s\n", file, line_no, what,
+               detail.empty() ? "" : ": ", detail.c_str());
+  ++g_errors;
+}
+
+void check_folded(const char* path, long min_stages) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "cannot read %s\n", path);
+    std::exit(2);
+  }
+  std::set<std::string> leaves;
+  std::size_t line_no = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const std::size_t space = line.rfind(' ');
+    if (space == std::string::npos || space == 0 ||
+        space + 1 >= line.size()) {
+      error(path, line_no, "not `stack <count>`", line.substr(0, 60));
+      continue;
+    }
+    const std::string count = line.substr(space + 1);
+    char* end = nullptr;
+    const long long n = std::strtoll(count.c_str(), &end, 10);
+    if (*end != '\0' || n <= 0) {
+      error(path, line_no, "count not a positive integer", count);
+    }
+    const std::string stack = line.substr(0, space);
+    if (stack.rfind("umon", 0) != 0) {
+      error(path, line_no, "stack does not start at the umon root", stack);
+      continue;
+    }
+    // Walk the frames after the root; each must be a known stage name.
+    std::size_t pos = 4;  // past "umon"
+    std::string leaf;
+    while (pos < stack.size()) {
+      if (stack[pos] != ';') {
+        error(path, line_no, "malformed frame separator", stack);
+        break;
+      }
+      const std::size_t next = stack.find(';', pos + 1);
+      const std::string frame =
+          stack.substr(pos + 1, (next == std::string::npos
+                                     ? stack.size()
+                                     : next) - pos - 1);
+      if (umon::obs::parse_prof_stage(frame) == umon::obs::ProfStage::kCount) {
+        error(path, line_no, "unknown stage name", frame);
+      }
+      leaf = frame;
+      if (next == std::string::npos) break;
+      pos = next;
+    }
+    if (leaf.empty()) {
+      error(path, line_no, "root-only stack has no stage frame", stack);
+    } else {
+      leaves.insert(leaf);
+    }
+  }
+  if (line_no == 0) error(path, 0, "empty folded file", {});
+  if (static_cast<long>(leaves.size()) < min_stages) {
+    error(path, line_no, "fewer distinct leaf stages than --min-stages",
+          std::to_string(leaves.size()));
+  }
+}
+
+/// Extract `"key":<integer>` at any position; false when absent.
+bool int_field(const std::string& line, const char* key, long long* out) {
+  const std::string needle = std::string("\"") + key + "\":";
+  const std::size_t at = line.find(needle);
+  if (at == std::string::npos) return false;
+  const char* s = line.c_str() + at + needle.size();
+  char* end = nullptr;
+  *out = std::strtoll(s, &end, 10);
+  return end != s;
+}
+
+void check_lineage(const char* path, long min_epochs) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "cannot read %s\n", path);
+    std::exit(2);
+  }
+  // The documented stable key order; every record must visit these keys in
+  // exactly this sequence (jq pipelines and diff-based determinism checks
+  // rely on it).
+  static const char* kKeys[] = {
+      "host",           "epoch",          "flush_ns",      "wfrom",
+      "wto",            "reports",        "payloads",      "frames_sent",
+      "retransmits",    "frames_expired", "frames_evicted", "frames_acked",
+      "frames_delivered", "duplicates",   "decode_batches",
+      "decoded_reports", "decode_shards", "ingest_fragments",
+      "ingest_bytes",   "spill_records",  "spill_bytes",   "verdict"};
+  std::size_t line_no = 0;
+  std::string line;
+  std::pair<long long, long long> prev{-1, -1};
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line.front() != '{' || line.back() != '}') {
+      error(path, line_no, "not a one-line JSON object", line.substr(0, 60));
+      continue;
+    }
+    std::size_t cursor = 0;
+    bool order_ok = true;
+    for (const char* key : kKeys) {
+      const std::string needle = std::string("\"") + key + "\":";
+      const std::size_t at = line.find(needle, cursor);
+      if (at == std::string::npos) {
+        error(path, line_no, "missing or out-of-order key", key);
+        order_ok = false;
+        break;
+      }
+      cursor = at + needle.size();
+    }
+    if (!order_ok) continue;
+    long long host = 0, epoch = 0, wfrom = 0, wto = 0;
+    if (!int_field(line, "host", &host) || !int_field(line, "epoch", &epoch)) {
+      error(path, line_no, "host/epoch not integers", {});
+      continue;
+    }
+    if (int_field(line, "wfrom", &wfrom) && int_field(line, "wto", &wto) &&
+        wto < wfrom) {
+      error(path, line_no, "window range runs backwards", {});
+    }
+    const std::pair<long long, long long> key{host, epoch};
+    if (key <= prev) {
+      error(path, line_no, "records not strictly sorted by (host, epoch)",
+            {});
+    }
+    prev = key;
+    const std::size_t vat = line.find("\"verdict\":\"");
+    const std::size_t vstart = vat + std::strlen("\"verdict\":\"");
+    const std::size_t vend = line.find('"', vstart);
+    const std::string verdict = vat == std::string::npos ||
+                                        vend == std::string::npos
+                                    ? ""
+                                    : line.substr(vstart, vend - vstart);
+    if (verdict != "covered" && verdict != "retransmitted" &&
+        verdict != "gap_filled" && verdict != "lost") {
+      error(path, line_no, "verdict not a known value", verdict);
+    }
+  }
+  if (static_cast<long>(line_no) < min_epochs) {
+    error(path, line_no, "fewer epoch records than --min-epochs",
+          std::to_string(line_no));
+  }
+}
+
+void check_trace(const char* path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "cannot read %s\n", path);
+    std::exit(2);
+  }
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  // Chrome accepts both the bare event array and the object form with a
+  // "traceEvents" key; the exporter writes the latter.
+  std::size_t first = text.find_first_not_of(" \t\r\n");
+  if (first == std::string::npos ||
+      (text[first] != '[' &&
+       (text[first] != '{' ||
+        text.find("\"traceEvents\":[") == std::string::npos))) {
+    error(path, 1, "trace is neither a JSON array nor {traceEvents:[...]}",
+          {});
+    return;
+  }
+  // The causal links are what the obs job exists to verify: at least one
+  // lineage flow arrow must have been stitched in.
+  if (text.find("\"ph\":\"s\"") == std::string::npos) {
+    error(path, 1, "no flow-start event (\"ph\":\"s\") in trace", {});
+  }
+  if (text.find("\"ph\":\"f\"") == std::string::npos) {
+    error(path, 1, "no flow-finish event (\"ph\":\"f\") in trace", {});
+  }
+  if (text.find("\"lineage\"") == std::string::npos &&
+      text.find("\"host\"") == std::string::npos) {
+    error(path, 1, "no lineage-tagged event args in trace", {});
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* folded = nullptr;
+  const char* lineage = nullptr;
+  const char* trace = nullptr;
+  long min_stages = 3;
+  long min_epochs = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--folded") == 0 && i + 1 < argc) {
+      folded = argv[++i];
+    } else if (std::strcmp(argv[i], "--lineage") == 0 && i + 1 < argc) {
+      lineage = argv[++i];
+    } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+      trace = argv[++i];
+    } else if (std::strcmp(argv[i], "--min-stages") == 0 && i + 1 < argc) {
+      min_stages = std::atol(argv[++i]);
+    } else if (std::strcmp(argv[i], "--min-epochs") == 0 && i + 1 < argc) {
+      min_epochs = std::atol(argv[++i]);
+    } else {
+      std::fprintf(stderr,
+                   "usage: umon_obs_check [--folded FILE] [--lineage FILE] "
+                   "[--trace FILE] [--min-stages N] [--min-epochs N]\n");
+      return 2;
+    }
+  }
+  if (folded == nullptr && lineage == nullptr && trace == nullptr) {
+    std::fprintf(stderr, "nothing to check: pass --folded/--lineage/--trace\n");
+    return 2;
+  }
+  if (folded != nullptr) check_folded(folded, min_stages);
+  if (lineage != nullptr) check_lineage(lineage, min_epochs);
+  if (trace != nullptr) check_trace(trace);
+  if (g_errors > 0) {
+    std::fprintf(stderr, "%d error(s)\n", g_errors);
+    return 1;
+  }
+  std::printf("obs artifacts OK\n");
+  return 0;
+}

@@ -1,0 +1,430 @@
+// umon::obs — cycle profiler and report lineage tracing. Covers: stage name
+// round-trips, the disabled-path no-op contract, folded-stack nesting and
+// period scaling, lineage worst-wins verdicts, audit JSONL shape (sorted,
+// stable key order), spill attribution, and the end-to-end property the PR
+// exists for: replaying the corruption-storm chaos plan through a reliable
+// link with a LineageTracker attached, every window's audit verdict agrees
+// with the FlowCurveStore confidence the driver recorded, and two same-seed
+// runs write byte-identical audits.
+#include <cstdint>
+#include <cstring>
+#include <initializer_list>
+#include <map>
+#include <memory>
+#include <set>
+#include <span>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "analyzer/curve_store.hpp"
+#include "netsim/upload_channel.hpp"
+#include "obs/lineage.hpp"
+#include "obs/prof.hpp"
+#include "resilience/fault_plan.hpp"
+#include "resilience/reliable.hpp"
+
+namespace umon::obs {
+namespace {
+
+// --- profiler ----------------------------------------------------------------
+
+TEST(Prof, StageNamesRoundTrip) {
+  for (std::size_t i = 0; i < kProfStageCount; ++i) {
+    const auto stage = static_cast<ProfStage>(i);
+    EXPECT_EQ(parse_prof_stage(to_string(stage)), stage) << to_string(stage);
+  }
+  EXPECT_EQ(parse_prof_stage("not_a_stage"), ProfStage::kCount);
+  EXPECT_EQ(parse_prof_stage(""), ProfStage::kCount);
+}
+
+TEST(Prof, DisabledScopeRecordsNothing) {
+  prof_disable();
+  prof_reset();
+  for (int i = 0; i < 1000; ++i) {
+    UMON_PROF_SCOPE(kQueryExec);
+  }
+  EXPECT_TRUE(prof_snapshot().empty());
+  std::ostringstream folded;
+  prof_write_folded(folded);
+  EXPECT_TRUE(folded.str().empty());
+}
+
+TEST(Prof, NestedScopesFoldIntoStacks) {
+  prof_enable();
+  prof_reset();
+  // Period-1 stages sample every call, so counts are exact regardless of
+  // the thread-local call phase prof_reset() deliberately keeps.
+  constexpr int kIters = 10;
+  for (int i = 0; i < kIters; ++i) {
+    ProfScope outer(ProfStage::kEpochFlush);
+    ProfScope inner(ProfStage::kQueryExec);
+  }
+  const auto snap = prof_snapshot();
+  prof_disable();
+  std::uint64_t flush_samples = 0, query_samples = 0;
+  for (const auto& s : snap) {
+    if (s.stage == ProfStage::kEpochFlush) flush_samples = s.samples;
+    if (s.stage == ProfStage::kQueryExec) query_samples = s.samples;
+  }
+  EXPECT_EQ(flush_samples, static_cast<std::uint64_t>(kIters));
+  EXPECT_EQ(query_samples, static_cast<std::uint64_t>(kIters));
+
+  std::ostringstream folded;
+  prof_write_folded(folded);
+  const std::string text = folded.str();
+  // The nesting is visible as a two-frame stack under the umon root.
+  EXPECT_NE(text.find("umon;epoch_flush "), std::string::npos) << text;
+  EXPECT_NE(text.find("umon;epoch_flush;query_exec "), std::string::npos)
+      << text;
+}
+
+TEST(Prof, HistogramBucketsMatchSampleCount) {
+  prof_enable();
+  prof_reset();
+  for (int i = 0; i < 8; ++i) {
+    ProfScope s(ProfStage::kUplinkEncode);
+  }
+  const auto snap = prof_snapshot();
+  prof_disable();
+  for (const auto& s : snap) {
+    if (s.stage != ProfStage::kUplinkEncode) continue;
+    std::uint64_t total = 0;
+    for (std::uint64_t b : s.hist) total += b;
+    EXPECT_EQ(total, s.samples);
+    return;
+  }
+  FAIL() << "kUplinkEncode missing from snapshot";
+}
+
+// --- lineage tracker ---------------------------------------------------------
+
+TEST(Lineage, VerdictIsWorstWins) {
+  LineageTracker t;
+  t.on_uplink_flush(2, 7, /*reports=*/3, /*payloads=*/1, /*sim_ns=*/500,
+                    /*wfrom=*/28, /*wto=*/32);
+  t.on_verdict(2, 7, Verdict::kRetransmitted);
+  t.on_verdict(2, 7, Verdict::kCovered);  // downgrade: ignored
+  auto snap = t.snapshot();
+  ASSERT_EQ(snap.size(), 1u);
+  EXPECT_EQ(snap[0].verdict, Verdict::kRetransmitted);
+  t.on_verdict(2, 7, Verdict::kLost);  // upgrade: wins
+  snap = t.snapshot();
+  EXPECT_EQ(snap[0].verdict, Verdict::kLost);
+  EXPECT_EQ(snap[0].host, 2u);
+  EXPECT_EQ(snap[0].epoch, 7u);
+  EXPECT_EQ(snap[0].flush_ns, 500u);
+  EXPECT_EQ(snap[0].wfrom, 28u);
+  EXPECT_EQ(snap[0].wto, 32u);
+}
+
+TEST(Lineage, FrameTapsAccumulate) {
+  LineageTracker t;
+  t.on_frame_sent(1, 4);
+  t.on_frame_sent(1, 4);
+  t.on_frame_retransmitted(1, 4);
+  t.on_frame_expired(1, 4, /*evicted=*/true);
+  t.on_frame_expired(1, 4, /*evicted=*/false);
+  t.on_frame_acked(1, 4);
+  t.on_frame_delivered(1, 4, /*duplicate=*/false);
+  t.on_frame_delivered(1, 4, /*duplicate=*/true);
+  const auto snap = t.snapshot();
+  ASSERT_EQ(snap.size(), 1u);
+  EXPECT_EQ(snap[0].frames_sent, 2u);
+  EXPECT_EQ(snap[0].retransmits, 1u);
+  EXPECT_EQ(snap[0].frames_expired, 1u);
+  EXPECT_EQ(snap[0].frames_evicted, 1u);
+  EXPECT_EQ(snap[0].frames_acked, 1u);
+  EXPECT_EQ(snap[0].frames_delivered, 1u);  // the duplicate is not a delivery
+  EXPECT_EQ(snap[0].duplicates, 1u);
+}
+
+TEST(Lineage, SpillAttributionFollowsLastIngest) {
+  LineageTracker t;
+  t.on_analyzer_ingest(0, 3, /*fragments=*/5, /*wire_bytes=*/400);
+  t.on_store_spill(/*records=*/2, /*bytes=*/128);
+  t.on_analyzer_ingest(1, 3, /*fragments=*/4, /*wire_bytes=*/300);
+  t.on_store_spill(/*records=*/7, /*bytes=*/512);
+  const auto snap = t.snapshot();
+  ASSERT_EQ(snap.size(), 2u);
+  EXPECT_EQ(snap[0].host, 0u);
+  EXPECT_EQ(snap[0].spill_records, 2u);
+  EXPECT_EQ(snap[0].spill_bytes, 128u);
+  EXPECT_EQ(snap[1].host, 1u);
+  EXPECT_EQ(snap[1].spill_records, 7u);
+  EXPECT_EQ(snap[1].ingest_fragments, 4u);
+  EXPECT_EQ(snap[1].ingest_bytes, 300u);
+}
+
+TEST(Lineage, AuditJsonlIsSortedWithStableKeyOrder) {
+  LineageTracker t;
+  // Flush out of key order; the audit must come back sorted by
+  // (host, epoch).
+  t.on_uplink_flush(1, 0, 1, 1, 30, 0, 4);
+  t.on_uplink_flush(0, 2, 1, 1, 20, 8, 12);
+  t.on_uplink_flush(0, 1, 1, 1, 10, 4, 8);
+  std::ostringstream os;
+  t.write_audit_jsonl(os);
+  const std::string text = os.str();
+  std::istringstream lines(text);
+  std::string line;
+  std::vector<std::string> got;
+  while (std::getline(lines, line)) got.push_back(line);
+  ASSERT_EQ(got.size(), 3u);
+  EXPECT_EQ(got[0].rfind("{\"host\":0,\"epoch\":1,", 0), 0u) << got[0];
+  EXPECT_EQ(got[1].rfind("{\"host\":0,\"epoch\":2,", 0), 0u) << got[1];
+  EXPECT_EQ(got[2].rfind("{\"host\":1,\"epoch\":0,", 0), 0u) << got[2];
+  // The full documented key order for one record (the obs_check validator
+  // and downstream jq pipelines depend on it).
+  EXPECT_EQ(got[0],
+            "{\"host\":0,\"epoch\":1,\"flush_ns\":10,\"wfrom\":4,\"wto\":8,"
+            "\"reports\":1,\"payloads\":1,\"frames_sent\":0,\"retransmits\":0,"
+            "\"frames_expired\":0,\"frames_evicted\":0,\"frames_acked\":0,"
+            "\"frames_delivered\":0,\"duplicates\":0,\"decode_batches\":0,"
+            "\"decoded_reports\":0,\"decode_shards\":0,"
+            "\"ingest_fragments\":0,\"ingest_bytes\":0,\"spill_records\":0,"
+            "\"spill_bytes\":0,\"verdict\":\"covered\"}");
+}
+
+// Verdict mirrors analyzer::WindowConfidence numerically so the driver can
+// cast between them; a drift here silently mislabels the audit.
+TEST(Lineage, VerdictMirrorsWindowConfidence) {
+  using analyzer::WindowConfidence;
+  EXPECT_EQ(static_cast<int>(Verdict::kCovered),
+            static_cast<int>(WindowConfidence::kCovered));
+  EXPECT_EQ(static_cast<int>(Verdict::kRetransmitted),
+            static_cast<int>(WindowConfidence::kRetransmitted));
+  EXPECT_EQ(static_cast<int>(Verdict::kGapFilled),
+            static_cast<int>(WindowConfidence::kGapFilled));
+  EXPECT_EQ(static_cast<int>(Verdict::kLost),
+            static_cast<int>(WindowConfidence::kLost));
+}
+
+// --- lineage under chaos -----------------------------------------------------
+//
+// A miniature epoch driver (the resilience_test harness with a
+// LineageTracker attached): kHosts x kEpochs payloads ride the reliable
+// link under the corruption-storm chaos plan, the driver seals each epoch
+// into a FlowCurveStore with the confidence mapping umon_sim uses, and the
+// tracker audits every hop.
+
+using resilience::FaultInjector;
+using resilience::FaultPlan;
+using resilience::ReliableConfig;
+using resilience::ReliableLink;
+using resilience::ReliableStats;
+
+constexpr int kHosts = 4;
+constexpr std::uint32_t kEpochs = 25;
+constexpr WindowId kWindowsPerEpoch = 4;
+constexpr Nanos kEpochLen = 100 * kMicro;
+
+/// tools/faultplans/corruption_storm.plan, inlined so the test binary runs
+/// from any directory. Keep in sync with the file the CI chaos job replays.
+FaultPlan corruption_storm_plan() {
+  std::istringstream in(
+      "seed 44\n"
+      "corrupt   from=1ms to=6ms prob=0.3 bits=3\n"
+      "duplicate from=0 to=20ms prob=0.1\n");
+  std::string err;
+  auto plan = FaultPlan::parse(in, &err);
+  EXPECT_TRUE(plan.has_value()) << err;
+  return *plan;
+}
+
+FlowKey host_flow(int host) {
+  FlowKey f;
+  f.src_ip = 0x0A000000u | static_cast<std::uint32_t>(host);
+  f.dst_ip = 0x0A0000FE;
+  f.src_port = 7001;
+  f.dst_port = 4791;
+  f.proto = 17;
+  return f;
+}
+
+std::vector<std::uint8_t> encode_epoch_payload(int host, std::uint32_t epoch) {
+  std::vector<std::uint8_t> out;
+  for (WindowId i = 0; i < kWindowsPerEpoch; ++i) {
+    const WindowId w = static_cast<WindowId>(epoch) * kWindowsPerEpoch + i;
+    const double v = 100.0 + host * 17.0 + epoch * 3.0;
+    const std::size_t pos = out.size();
+    out.resize(pos + 16);
+    std::memcpy(out.data() + pos, &w, 8);
+    std::memcpy(out.data() + pos + 8, &v, 8);
+  }
+  return out;
+}
+
+void decode_into_store(int host, std::span<const std::uint8_t> payload,
+                       analyzer::FlowCurveStore& store) {
+  ASSERT_EQ(payload.size() % 16, 0u);
+  std::vector<std::pair<WindowId, double>> windows;
+  for (std::size_t i = 0; i + 16 <= payload.size(); i += 16) {
+    WindowId w;
+    double v;
+    std::memcpy(&w, payload.data() + i, 8);
+    std::memcpy(&v, payload.data() + i + 8, 8);
+    windows.emplace_back(w, v);
+  }
+  store.add_sparse(host_flow(host), windows);
+}
+
+struct ChaosRun {
+  analyzer::FlowCurveStore store;
+  std::vector<EpochLineage> lineage;
+  std::string audit;
+  ReliableStats stats;
+};
+
+ChaosRun chaos_run() {
+  ChaosRun out;
+  LineageTracker tracker;
+
+  netsim::UploadChannelConfig fwd;
+  fwd.base_delay = 20 * kMicro;
+  fwd.seed = 1;
+  netsim::UploadChannelConfig rev;
+  rev.base_delay = 20 * kMicro;
+  rev.seed = 0xAC4BAC5ULL;
+  netsim::UploadChannel forward(fwd, nullptr);
+  netsim::UploadChannel reverse(rev, nullptr);
+  ReliableLink link{ReliableConfig{}, forward, &reverse};
+  link.set_lineage(&tracker);
+  forward.set_sink([&link](netsim::UploadChannel::Delivery&& d) {
+    link.on_forward_delivery(std::move(d));
+  });
+  reverse.set_sink([&link](netsim::UploadChannel::Delivery&& d) {
+    link.on_reverse_delivery(std::move(d));
+  });
+
+  FaultInjector inj(corruption_storm_plan());
+  forward.set_fault_hook(
+      [&inj](int host, Nanos now, std::vector<std::uint8_t>& payload) {
+        const auto a = inj.on_send(host, now, payload);
+        netsim::SendFault f;
+        f.drop = a.drop;
+        f.duplicates = a.duplicates;
+        f.extra_delay = a.extra_delay;
+        return f;
+      });
+
+  std::set<std::pair<int, std::uint32_t>> delivered;
+  link.set_deliver_hook([&](int host, std::uint32_t epoch,
+                            std::vector<std::uint8_t>&& payload) {
+    if (!delivered.insert({host, epoch}).second) return;
+    decode_into_store(host, payload, out.store);
+  });
+
+  Nanos t = 0;
+  for (std::uint32_t e = 0; e < kEpochs; ++e) {
+    t = static_cast<Nanos>(e) * kEpochLen;
+    for (int host = 0; host < kHosts; ++host) {
+      const WindowId w0 = static_cast<WindowId>(e) * kWindowsPerEpoch;
+      tracker.on_uplink_flush(static_cast<std::uint32_t>(host), e,
+                              /*reports=*/kWindowsPerEpoch, /*payloads=*/1,
+                              static_cast<std::uint64_t>(t), w0,
+                              w0 + kWindowsPerEpoch);
+      link.send(host, e, encode_epoch_payload(host, e), t);
+    }
+    forward.advance_to(t);
+    reverse.advance_to(t);
+    link.tick(t);
+  }
+  for (int i = 0; i < 4000 && !link.all_settled(); ++i) {
+    t += 50 * kMicro;
+    forward.advance_to(t);
+    reverse.advance_to(t);
+    link.tick(t);
+  }
+  forward.flush();
+  reverse.flush();
+  link.tick(t + kMilli);
+  link.expire_outstanding();
+
+  // The driver's seal step: epoch status -> audit verdict AND curve-store
+  // confidence, through the same mapping umon_sim applies.
+  using analyzer::WindowConfidence;
+  for (std::uint32_t e = 0; e < kEpochs; ++e) {
+    for (int host = 0; host < kHosts; ++host) {
+      const auto st = link.epoch_status(host, e);
+      Verdict v = Verdict::kCovered;
+      if (!st.recovered) {
+        v = Verdict::kLost;
+      } else if (st.retransmitted) {
+        v = Verdict::kRetransmitted;
+      }
+      tracker.on_verdict(static_cast<std::uint32_t>(host), e, v);
+      const WindowId w0 = static_cast<WindowId>(e) * kWindowsPerEpoch;
+      out.store.mark_windows(w0, w0 + kWindowsPerEpoch,
+                             static_cast<WindowConfidence>(v));
+    }
+  }
+
+  out.stats = link.stats();
+  out.lineage = tracker.snapshot();
+  std::ostringstream audit;
+  tracker.write_audit_jsonl(audit);
+  out.audit = audit.str();
+  return out;
+}
+
+TEST(LineageChaos, AuditVerdictMatchesStoreConfidence) {
+  const ChaosRun run = chaos_run();
+
+  // The storm must have actually stormed, or the property is vacuous.
+  EXPECT_GT(run.stats.frames_corrupt, 0u);
+  EXPECT_GT(run.stats.frames_retransmitted, 0u);
+  EXPECT_GT(run.stats.frames_duplicate, 0u);
+
+  ASSERT_EQ(run.lineage.size(),
+            static_cast<std::size_t>(kHosts) * kEpochs);
+  // Window confidence is global time, not per host: the store carries the
+  // worst verdict of any host's epoch covering the window. Fold the audit
+  // the same way and the two views may never disagree.
+  std::map<WindowId, Verdict> expected;
+  for (const EpochLineage& rec : run.lineage) {
+    for (WindowId w = rec.wfrom; w < rec.wto; ++w) {
+      auto [it, inserted] = expected.emplace(w, rec.verdict);
+      if (!inserted && static_cast<int>(rec.verdict) >
+                           static_cast<int>(it->second)) {
+        it->second = rec.verdict;
+      }
+    }
+  }
+  ASSERT_FALSE(expected.empty());
+  for (const auto& [w, v] : expected) {
+    EXPECT_EQ(static_cast<int>(run.store.confidence(w)),
+              static_cast<int>(v))
+        << "window " << w
+        << ": audit verdict disagrees with store confidence";
+  }
+  std::size_t retransmitted_epochs = 0;
+  for (const EpochLineage& rec : run.lineage) {
+    ASSERT_TRUE(rec.flushed);
+    if (rec.verdict == Verdict::kRetransmitted) {
+      ++retransmitted_epochs;
+      EXPECT_GT(rec.retransmits, 0u)
+          << "epoch " << rec.epoch << " verdict says retransmitted but the "
+          << "frame taps saw no retransmit";
+    }
+    // Conservation: a recovered epoch's frames were delivered exactly once.
+    if (rec.verdict != Verdict::kLost) {
+      EXPECT_GE(rec.frames_delivered, 1u) << "epoch " << rec.epoch;
+    }
+  }
+  EXPECT_GT(retransmitted_epochs, 0u)
+      << "corruption storm recovered without a single retransmitted epoch";
+}
+
+TEST(LineageChaos, SameSeedRunsWriteByteIdenticalAudits) {
+  const ChaosRun a = chaos_run();
+  const ChaosRun b = chaos_run();
+  ASSERT_FALSE(a.audit.empty());
+  EXPECT_EQ(a.audit, b.audit);
+}
+
+}  // namespace
+}  // namespace umon::obs

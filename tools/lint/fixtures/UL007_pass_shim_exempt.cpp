@@ -1,0 +1,8 @@
+// umon-lint-fixture: path=src/obs/prof.cpp
+// The profiler shim itself is the one sanctioned home for the raw cycle
+// counter; its path is on the UL007 allowlist.
+#include <cstdint>
+
+std::uint64_t shim_read_tsc() {
+  return __rdtsc();
+}

@@ -43,6 +43,14 @@ UL006  raw-channel-send      A direct send() on an upload channel outside
                              resilience::ReliableLink (passthrough mode
                              preserves legacy behavior). The wrapper
                              itself and src/netsim/ are exempt.
+UL007  raw-hot-path-clock    rdtsc/__rdtsc/__builtin_ia32_rdtsc/
+                             clock_gettime in a hot-path source outside
+                             the profiler shim (src/obs/prof.{hpp,cpp}).
+                             Ad-hoc timestamping skews the cycle
+                             attribution the profiler maintains and
+                             bypasses its calibration + sampling budget;
+                             wrap the scope in UMON_PROF_SCOPE (or use
+                             telemetry::monotonic_ns off the hot path).
 
 Suppressions
 ------------
@@ -146,6 +154,19 @@ UL006_ALLOWED_PATHS = (
 )
 UL006_RE = re.compile(r"\b\w*[Cc]hannel\w*\s*(?:\.|->)\s*send\s*\(")
 
+# UL007: hot-path directories where raw cycle counters / OS clocks are
+# banned; the profiler shim is the one sanctioned home (it calibrates rdtsc
+# and enforces the sampling budget). src/telemetry is exempt by omission:
+# monotonic_ns() is the sanctioned off-hot-path clock wrapper.
+UL007_HOT_DIRS = ("src/sketch", "src/wavelet", "src/collector", "src/store",
+                  "src/resilience", "src/analyzer", "src/netsim", "src/obs")
+UL007_ALLOWED_PATHS = (
+    "src/obs/prof.hpp",
+    "src/obs/prof.cpp",
+)
+UL007_RE = re.compile(
+    r"\b(__builtin_ia32_rdtscp?|__rdtscp?|rdtscp?|clock_gettime)\s*\(")
+
 ALLOW_RE = re.compile(r"umon-lint:\s*allow\(([^)]*)\)")
 ALLOW_FILE_RE = re.compile(r"umon-lint:\s*allow-file\(([^)]*)\)")
 WIRE_MARKER_RE = re.compile(r"umon-lint:\s*wire-struct\b")
@@ -166,6 +187,9 @@ RULES = {
              "static_cast",
     "UL006": "direct UploadChannel send outside the reliable uplink wrapper; "
              "route payloads through resilience::ReliableLink",
+    "UL007": "raw rdtsc/clock_gettime in a hot-path source outside the "
+             "profiler shim (src/obs/prof.*); use UMON_PROF_SCOPE or "
+             "telemetry::monotonic_ns",
 }
 
 
@@ -515,7 +539,27 @@ def check_ul006(sf: SourceFile) -> list:
     return findings
 
 
-ALL_CHECKS = ("UL001", "UL002", "UL003", "UL004", "UL005", "UL006")
+def check_ul007(sf: SourceFile) -> list:
+    findings = []
+    rel = sf.rel_path.replace(os.sep, "/")
+    if not any(d in rel for d in UL007_HOT_DIRS):
+        return findings
+    if any(rel.endswith(p) for p in UL007_ALLOWED_PATHS):
+        return findings
+    for idx, code in enumerate(sf.code_lines):
+        m = UL007_RE.search(code)
+        if m:
+            findings.append(Finding(
+                sf.rel_path, idx + 1, "UL007",
+                f"raw clock `{m.group(1)}` on a hot path outside the "
+                "profiler shim; wrap the scope in UMON_PROF_SCOPE (the shim "
+                "owns calibration and the sampling budget) or use "
+                "telemetry::monotonic_ns off the hot path",
+                sf.raw_lines[idx].strip()))
+    return findings
+
+
+ALL_CHECKS = ("UL001", "UL002", "UL003", "UL004", "UL005", "UL006", "UL007")
 
 
 def scan_file(path: str, rel_path: str, atomics_allow: list,
@@ -534,6 +578,8 @@ def scan_file(path: str, rel_path: str, atomics_allow: list,
         findings += check_ul005(sf)
     if "UL006" in rules:
         findings += check_ul006(sf)
+    if "UL007" in rules:
+        findings += check_ul007(sf)
     return [f for f in findings if not suppressed(sf, f.line, f.rule)]
 
 
