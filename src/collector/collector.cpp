@@ -330,7 +330,9 @@ void Collector::restart_shard(int shard) {
 
 bool Collector::submit_report_payload(int host, std::uint32_t epoch,
                                       std::vector<std::uint8_t> payload) {
-  std::lock_guard lock(front_mutex_);
+  // The framing scan below is pure local computation (plus atomic telemetry
+  // counters); run it before taking front_mutex_ so a large or malformed
+  // payload never stalls other submitters or the seal drain barrier.
   ins_->payloads_submitted->inc();
 
   const std::span<const std::uint8_t> in(payload);
@@ -386,6 +388,10 @@ bool Collector::submit_report_payload(int host, std::uint32_t epoch,
   }
 
   ins_->reports_scanned->inc(count);
+
+  // State commit + routing: everything past this point must stay ordered
+  // with seal_epoch's drain barrier, which serializes on the same mutex.
+  std::lock_guard lock(front_mutex_);
   bytes_by_host_[host] += payload.size();
   HostSeqState& st = seq_state_[host];
   HostSeqState::EpochRecv& er = st.received_by_epoch[epoch];
@@ -401,6 +407,10 @@ bool Collector::submit_report_payload(int host, std::uint32_t epoch,
     msg.report_count = route_count[s];
     msg.bytes = std::move(route_bytes[s]);
     ShardMsg evicted;
+    // umon-sca: allow(SA002) kBlock backpressure wait must happen under
+    // front_mutex_: the seal drain barrier's FIFO argument needs pushes and
+    // submits ordered by the same lock, and the wait is bounded by worker
+    // drain progress.
     switch (shards_[s]->queue.push(std::move(msg), evicted)) {
       case BatchQueue<ShardMsg>::PushResult::kOk:
         ins_->batches_enqueued->inc();
@@ -439,6 +449,9 @@ void Collector::submit_mirror_batch(
   // becoming the designated mirror worker.
   const std::size_t s = mirror_rr_++ % shards_.size();
   ShardMsg evicted;
+  // umon-sca: allow(SA002) same drain-barrier ordering argument as
+  // submit_report_payload: the bounded kBlock wait must stay under
+  // front_mutex_ so seals observe a FIFO submit/push order.
   switch (shards_[s]->queue.push(std::move(msg), evicted)) {
     case BatchQueue<ShardMsg>::PushResult::kOk:
       ins_->batches_enqueued->inc();

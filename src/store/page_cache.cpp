@@ -135,6 +135,22 @@ void PageCache::mark_clean(std::uint32_t file_id) {
   evict_over_budget();
 }
 
+void PageCache::mark_clean_up_to(std::uint32_t file_id,
+                                 std::uint64_t end_offset) {
+  std::lock_guard lock(mutex_);
+  for (auto& page : lru_) {
+    if ((page.key >> 40) != file_id || page.state != State::kDirty) continue;
+    const std::uint64_t page_index = page.key & ((1ULL << 40) - 1);
+    const std::uint64_t begin = page_index * cfg_.page_bytes;
+    // `data` can be shorter than page_bytes at the tail; the page is durable
+    // only when every resident byte of it is below the synced extent.
+    if (begin + page.data.size() <= end_offset) {
+      page.state = State::kClean;
+    }
+  }
+  evict_over_budget();
+}
+
 void PageCache::drop_file(std::uint32_t file_id) {
   std::lock_guard lock(mutex_);
   for (auto it = lru_.begin(); it != lru_.end();) {

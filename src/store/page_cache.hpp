@@ -77,6 +77,14 @@ class PageCache {
   /// Newly clean pages become evictable, so the budget is re-enforced.
   void mark_clean(std::uint32_t file_id);
 
+  /// Flip dirty pages of `file_id` that lie entirely below `end_offset` to
+  /// clean. Used when the fsync happens outside the store lock: appends that
+  /// landed during the sync dirtied pages at or past `end_offset`, and those
+  /// must stay dirty (cleaning them would let eviction drop acknowledged
+  /// bytes that are not on disk yet). A page straddling `end_offset` stays
+  /// dirty — conservative, it becomes clean at the next seal.
+  void mark_clean_up_to(std::uint32_t file_id, std::uint64_t end_offset);
+
   /// Drop every page of `file_id` (segment unlinked after compaction).
   void drop_file(std::uint32_t file_id);
 

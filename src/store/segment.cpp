@@ -305,13 +305,28 @@ bool SegmentWriter::flush_tail() {
 }
 
 bool SegmentWriter::seal_epoch(std::uint32_t epoch) {
+  if (!seal_prepare(epoch)) return false;
+  if (!seal_sync()) return false;
+  seal_commit();
+  return true;
+}
+
+bool SegmentWriter::seal_prepare(std::uint32_t epoch) {
   if (fd_ < 0) return false;
   (void)append_record(RecordKind::kEpochSeal, epoch, 0, 0, {});
   if (!flush_tail()) return false;
-  if (fsync_on_seal_ && ::fsync(fd_) != 0) return false;
-  if (cache_ != nullptr) cache_->mark_clean(file_id_);
-  ++epochs_sealed_;
+  prepared_end_ = tail_base_;  // everything below this is in the OS cache
   return true;
+}
+
+bool SegmentWriter::seal_sync() const {
+  if (fd_ < 0) return false;
+  return !fsync_on_seal_ || ::fsync(fd_) == 0;
+}
+
+void SegmentWriter::seal_commit() {
+  if (cache_ != nullptr) cache_->mark_clean_up_to(file_id_, prepared_end_);
+  ++epochs_sealed_;
 }
 
 bool SegmentWriter::finish() {

@@ -95,7 +95,25 @@ class SegmentWriter {
 
   /// Append the seal record, pwrite the buffered tail, fsync. Returns false
   /// on an IO error (the tail stays buffered; the epoch is not durable).
+  /// Equivalent to seal_prepare + seal_sync + seal_commit back to back.
   [[nodiscard]] bool seal_epoch(std::uint32_t epoch);
+
+  /// Phase 1 of a split seal: append the kEpochSeal record and pwrite the
+  /// buffered tail (cheap — OS page cache). Records the extent that the
+  /// next seal_sync makes durable. Call with the store lock held.
+  [[nodiscard]] bool seal_prepare(std::uint32_t epoch);
+
+  /// Phase 2: fsync the prepared extent. This is the expensive durability
+  /// stall — call it WITHOUT the store lock so appends and queries proceed.
+  /// Only fd_ is touched; concurrent appends (which buffer and
+  /// write-through) are safe.
+  [[nodiscard]] bool seal_sync() const;
+
+  /// Phase 3: flip page-cache pages fully below the synced extent to clean
+  /// and count the seal. Call with the store lock re-taken after seal_sync
+  /// succeeded. Pages dirtied by appends that ran during the sync stay
+  /// dirty.
+  void seal_commit();
 
   /// Flush any remaining tail and close. Idempotent.
   bool finish();
@@ -124,6 +142,7 @@ class SegmentWriter {
   std::vector<std::uint8_t> tail_;
   std::vector<std::uint8_t> scratch_;
   std::uint32_t epochs_sealed_ = 0;
+  std::uint64_t prepared_end_ = 0;  ///< extent pwritten by seal_prepare
 };
 
 class SegmentReader {

@@ -112,6 +112,8 @@ Store::Store(const StoreConfig& cfg, bool writable)
 
 Store::~Store() {
   std::lock_guard lock(mutex_);
+  // umon-sca: allow(SA002) teardown path, runs once at destruction: the
+  // final flush+fsync+close must be ordered after any in-flight append.
   if (active_ != nullptr) (void)active_->finish();
 }
 
@@ -348,7 +350,7 @@ void Store::mark_confidence(WindowId from, WindowId to,
 }
 
 bool Store::seal_epoch() {
-  std::lock_guard lock(mutex_);
+  std::unique_lock lock(mutex_);
   if (!writable_) return false;
   if (active_ == nullptr && pending_runs_.empty()) {
     // Nothing happened this epoch: advance logically, nothing to make
@@ -365,7 +367,27 @@ bool Store::seal_epoch() {
     active_->append_confidence(epoch_, pending_runs_);
     pending_runs_.clear();
   }
-  if (!active_->seal_epoch(epoch_)) return false;
+  // Split seal: stage the seal record and pwrite the tail under the lock
+  // (cheap, must stay ordered with appends), then release the lock for the
+  // fsync — the expensive durability stall — so concurrent write_through
+  // appends and queries are not serialized behind the disk. seal_commit
+  // only cleans page-cache pages fully below the synced extent, so pages
+  // dirtied while we were unlocked stay dirty and cannot be evicted.
+  //
+  // umon-sca: allow(SA002) seal_prepare's pwrite is a buffered write into
+  // the OS page cache and must stay under mutex_ to order the seal record
+  // after every acknowledged append; the durability stall (fsync) runs
+  // below with the lock released.
+  if (!active_->seal_prepare(epoch_)) return false;
+  SegmentWriter* writer = active_.get();
+  lock.unlock();
+  const bool synced = writer->seal_sync();
+  lock.lock();
+  if (!synced) return false;
+  // Single-sealer: only the sealing thread resets active_ (roll below), so
+  // `writer` is still the live writer here; re-check anyway for safety.
+  if (active_.get() != writer) return false;
+  writer->seal_commit();
   auto seg_it = segments_.find(active_->file_id());
   if (seg_it != segments_.end()) {
     seg_it->second.bytes = active_->bytes();
@@ -377,6 +399,9 @@ bool Store::seal_epoch() {
   ++stats_.epochs_sealed;
   ins_->epochs_sealed->inc();
   ins_->last_sealed->set(static_cast<std::int64_t>(*last_sealed_));
+  // umon-sca: allow(SA002) segment roll is once per cfg_.segment_epochs
+  // seals and the writer's tail was flushed+fsynced by the seal above, so
+  // finish()'s fsync inside the roll is an empty barrier, not a data flush.
   if (active_->epochs_sealed() >= cfg_.segment_epochs) roll_active_locked();
   publish_gauges_locked();
   return true;
@@ -432,6 +457,10 @@ std::size_t Store::maintain() {
   }
   std::size_t done = 0;
   for (const std::uint32_t id : candidates) {
+    // umon-sca: allow(SA002) compaction is a background maintenance pass
+    // (caller-paced, never on the ingest path) that rewrites a sealed
+    // segment; keeping it under mutex_ keeps the index swap atomic versus
+    // queries, and the number of segments it touches per call is bounded.
     if (compact_segment_locked(id)) ++done;
   }
   publish_gauges_locked();

@@ -14,10 +14,10 @@ std::atomic<bool> g_detail_enabled{false};
 std::string series_key(std::string_view name, const Labels& labels) {
   std::string key(name);
   for (const auto& [k, v] : labels) {
-    key.push_back('\x01');
-    key.append(k);
-    key.push_back('\x02');
-    key.append(v);
+    // umon-sca: allow(SA003) key building happens only during instrument
+    // registration (get_or_create); hot callers cache the instrument
+    // pointer and never rebuild a series key.
+    key.append(1, '\x01').append(k).append(1, '\x02').append(v);
   }
   return key;
 }
@@ -58,6 +58,8 @@ std::vector<double> Histogram::latency_us_bounds() {
 MetricRegistry& MetricRegistry::global() {
   // Leaked on purpose: instruments are referenced from function-local statics
   // all over the codebase and must outlive every other static destructor.
+  // umon-sca: allow(SA003) one-time lazy construction behind a static;
+  // every subsequent call is a pointer read.
   static auto* r = new MetricRegistry();
   return *r;
 }
@@ -83,6 +85,8 @@ MetricRegistry::Instrument* MetricRegistry::get_or_create(
       detached->hist = std::make_unique<Histogram>(
           bounds ? *bounds : std::vector<double>{});
     }
+    // umon-sca: allow(SA003) kind-conflict fallback, hit at most once per
+    // misdeclared series; hot callers never reach registration again.
     shard.items.push_back(std::move(detached));
     return shard.items.back().get();
   }
@@ -106,7 +110,10 @@ MetricRegistry::Instrument* MetricRegistry::get_or_create(
       ins->hist = std::make_unique<Histogram>(
           bounds ? *bounds : std::vector<double>{});
     }
+    // umon-sca: allow(SA003) overflow-series creation happens once per name
+    // (subsequent overflows hit the by_key lookup above).
     shard.by_key.emplace(okey, ins.get());
+    // umon-sca: allow(SA003) same once-per-name overflow registration.
     shard.items.push_back(std::move(ins));
     return shard.items.back().get();
   }
@@ -121,7 +128,11 @@ MetricRegistry::Instrument* MetricRegistry::get_or_create(
     ins->hist = std::make_unique<Histogram>(bounds ? *bounds
                                                    : std::vector<double>{});
   }
+  // umon-sca: allow(SA003) series registration is first-call-only; hot
+  // callers cache the instrument pointer behind a function-local static
+  // (see sketch_instruments()) and never re-enter get_or_create.
   shard.by_key.emplace(key, ins.get());
+  // umon-sca: allow(SA003) same first-call-only registration as above.
   shard.items.push_back(std::move(ins));
   return shard.items.back().get();
 }

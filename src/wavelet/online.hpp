@@ -33,6 +33,9 @@ class OnlineHaar {
   void transform(std::uint32_t i, Count c, Sink&& emit) {
     UMON_PROF_SCOPE(kHaarTransform);
     const std::size_t pos_a = i >> levels_;
+    // umon-sca: allow(SA003) grows once per 2^levels windows — amortized
+    // O(1/2^levels) per update, and doubling growth keeps the total number
+    // of reallocations logarithmic in the observation length.
     if (pos_a >= approx_.size()) approx_.resize(pos_a + 1, 0);
     approx_[pos_a] += c;
     for (int l = 0; l < levels_; ++l) {

@@ -9,6 +9,8 @@ bool TopKStore::offer(const DetailCoeff& d) {
   if (d.value == 0) return false;  // lossless drop, not a prune
   if (capacity_ == 0) return true;
   if (heap_.size() < capacity_) {
+    // umon-sca: allow(SA003) bounded by capacity_ and the constructor
+    // reserves exactly that, so this push never reallocates.
     heap_.push_back(d);
     std::push_heap(heap_.begin(), heap_.end(), WeightLess{});
     return false;

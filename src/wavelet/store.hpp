@@ -21,7 +21,11 @@ namespace umon::wavelet {
 /// Ideal weighted top-K store (min-heap on the L2 weight).
 class TopKStore {
  public:
-  explicit TopKStore(std::size_t capacity) : capacity_(capacity) {}
+  explicit TopKStore(std::size_t capacity) : capacity_(capacity) {
+    // All heap storage up front: offer() may push until the heap is full,
+    // and reserving here keeps that growth off the per-coefficient path.
+    heap_.reserve(capacity_);
+  }
 
   /// Offer one finished detail coefficient. Zero-valued coefficients are
   /// dropped losslessly (reconstruction already treats them as zero).

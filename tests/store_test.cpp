@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdint>
 #include <cstdio>
 #include <dirent.h>
@@ -12,7 +13,9 @@
 #include <fstream>
 #include <string>
 #include <sys/stat.h>
+#include <thread>
 #include <unistd.h>
+#include <utility>
 #include <vector>
 
 #include "analyzer/curve_store.hpp"
@@ -905,6 +908,89 @@ TEST(StoreDeterminism, SameSeedSameBytes) {
   }
   ::closedir(d);
   EXPECT_GT(files, 1u);
+}
+
+TEST(StoreConcurrency, WriterSealerQueriesAndMaintainShareOneStore) {
+  // One writer+sealer thread (the store's single-appender invariant), two
+  // query threads, and a compaction thread hammer the same Store. A tiny
+  // page size plus a small clean budget force constant cache churn, and
+  // segment_epochs=4 with aggressive tier ages makes seals, rolls, and
+  // compactions all happen while queries are in flight — the exact window
+  // the split-seal (fsync outside the store lock) opens up. Run under TSan
+  // in CI via `ctest -R "_concurrency$"`.
+  TempDir dir("concurrency");
+  StoreConfig cfg;
+  cfg.dir = dir.path;
+  cfg.page_bytes = 256;
+  cfg.cache_budget_bytes = 4096;
+  cfg.segment_epochs = 4;
+  cfg.tier1_age_epochs = 6;
+  cfg.tier2_age_epochs = 12;
+  auto st = Store::open(cfg);
+  ASSERT_NE(st, nullptr);
+
+  constexpr int kEpochs = 48;
+  constexpr int kFlows = 8;
+  // Release/acquire pair "store-concurrency-stop" (see the [pairs] ledger
+  // in tools/lint/atomics_policy.txt): the writer publishes completion, the
+  // reader threads' acquire loads make every append it did visible to the
+  // final consistency check below.
+  std::atomic<bool> stop{false};
+
+  std::thread writer([&] {
+    for (int e = 0; e < kEpochs; ++e) {
+      for (int i = 0; i < kFlows; ++i) {
+        st->append_sparse(make_flow(static_cast<std::uint32_t>(i)),
+                          std::vector<std::pair<WindowId, double>>{
+                              {e, static_cast<double>(i + 1)}});
+      }
+      EXPECT_TRUE(st->seal_epoch());
+    }
+    stop.store(true, std::memory_order_release);
+  });
+
+  auto query_loop = [&] {
+    QueryEngine engine(*st);
+    std::uint64_t runs = 0;
+    while (!stop.load(std::memory_order_acquire)) {
+      Query q;
+      q.from = 0;
+      q.to = kEpochs + 1;
+      const QueryResult r = engine.run(q);
+      // Sums only grow: every value the writer sealed stays visible.
+      double total = 0;
+      for (double v : r.series) total += v;
+      EXPECT_GE(total, 0.0);
+      ++runs;
+    }
+    EXPECT_GT(runs, 0u);
+  };
+  std::thread q1(query_loop);
+  std::thread q2(query_loop);
+
+  std::thread compactor([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      (void)st->maintain();
+    }
+  });
+
+  writer.join();
+  q1.join();
+  q2.join();
+  compactor.join();
+
+  // Volume is conserved across seals, rolls, and tier rewrites: per epoch
+  // the writer appends 1+2+...+kFlows, over kEpochs epochs.
+  QueryEngine engine(*st);
+  Query q;
+  q.from = 0;
+  q.to = kEpochs + 1;
+  const QueryResult r = engine.run(q);
+  double total = 0;
+  for (double v : r.series) total += v;
+  const double want = static_cast<double>(kEpochs) *
+                      (kFlows * (kFlows + 1) / 2.0);
+  EXPECT_DOUBLE_EQ(total, want);
 }
 
 }  // namespace

@@ -78,11 +78,15 @@ exactly its own rule. Wired into ctest as tier-1 (umon_lint_selftest).
 from __future__ import annotations
 
 import argparse
+import contextlib
 import fnmatch
+import io
 import json
 import os
 import re
+import subprocess
 import sys
+import tempfile
 from dataclasses import dataclass, field
 
 SCHEMA_VERSION = 1
@@ -584,15 +588,60 @@ def scan_file(path: str, rel_path: str, atomics_allow: list,
 
 
 def load_atomics_policy(path: str) -> list:
+    """UL002 relaxed-allowlist globs: every non-comment line before the
+    first `[section]` header. Sections (e.g. `[pairs]`, the umon-sca SA004
+    happens-before ledger) belong to other tools and are skipped here."""
     patterns = []
     if not os.path.exists(path):
         return patterns
     with open(path, "r", encoding="utf-8") as f:
         for line in f:
             line = line.split("#", 1)[0].strip()
+            if re.fullmatch(r"\[\w+\]", line):
+                break
             if line:
                 patterns.append(line)
     return patterns
+
+
+def changed_files(repo_root: str, list_path: str = None) -> list:
+    """Repo-relative source files changed vs HEAD (staged + unstaged) plus
+    untracked ones, for --changed-only. A list file (one path per line)
+    overrides git so the mode is testable without a throwaway repo."""
+    if list_path:
+        with open(list_path, "r", encoding="utf-8") as fh:
+            lines = [ln.strip() for ln in fh]
+        rels = [ln for ln in lines if ln and not ln.startswith("#")]
+    else:
+        rels = []
+        for cmd in (["git", "diff", "--name-only", "HEAD"],
+                    ["git", "ls-files", "--others", "--exclude-standard"]):
+            try:
+                out = subprocess.run(cmd, cwd=repo_root, capture_output=True,
+                                     text=True, check=True).stdout
+            except (OSError, subprocess.CalledProcessError) as err:
+                print(f"umon-lint: --changed-only: {' '.join(cmd)} failed: "
+                      f"{err}", file=sys.stderr)
+                return None
+            rels += out.splitlines()
+    seen = set()
+    picked = []
+    for rel in rels:
+        rel = rel.strip()
+        if not rel or rel in seen or not rel.endswith(SOURCE_EXTENSIONS):
+            continue
+        seen.add(rel)
+        # Stay inside the default scan roots: fixture trees under tools/
+        # trip rules on purpose, and a full-tree run never visits them.
+        # (List-file mode keeps every entry so the self-test can target
+        # its own fixtures.)
+        if not list_path and not rel.startswith(
+                ("src/", "tests/", "bench/", "examples/")):
+            continue
+        # Deleted-but-not-committed files show up in the diff; skip them.
+        if os.path.isfile(os.path.join(repo_root, rel)):
+            picked.append(rel)
+    return sorted(picked)
 
 
 def iter_source_files(roots: list, repo_root: str):
@@ -662,6 +711,7 @@ def run_self_test(fixtures_dir: str) -> int:
         have_fail = any(re.match(rf"{rule}_fail_", fn) for fn in names)
         if not (have_pass and have_fail):
             failures.append(f"{rule}: missing pass and/or fail fixture")
+    failures += check_changed_only(fixtures_dir)
     if failures:
         print("umon-lint self-test FAILED:")
         for f in failures:
@@ -670,6 +720,48 @@ def run_self_test(fixtures_dir: str) -> int:
     print(f"umon-lint self-test OK: {checked} fixtures, "
           f"{len(RULES)} rules covered")
     return 0
+
+
+def check_changed_only(fixtures_dir: str) -> list:
+    """Exercise --changed-only via the --changed-from override: of the two
+    UL001 fixtures (rule UL001 is policy- and path-independent), a list file
+    naming only the fail fixture must scan exactly that one file and trip
+    UL001; an empty list must scan nothing and exit 0."""
+    failures = []
+    policy = os.path.join(fixtures_dir, "atomics_policy.txt")
+    with tempfile.TemporaryDirectory(prefix="umon_lint_chg") as tmp:
+        listing = os.path.join(tmp, "changed.txt")
+        with open(listing, "w", encoding="utf-8") as fh:
+            fh.write("# only the fail fixture is 'changed'\n")
+            fh.write("UL001_fail_raw_literal.cpp\n")
+            fh.write("no_such_file.cpp\n")  # stale diff entry: must be skipped
+        out = io.StringIO()
+        with contextlib.redirect_stdout(out):
+            rc = main(["--changed-from", listing, "--json",
+                       "--repo-root", fixtures_dir,
+                       "--atomics-policy", policy])
+        try:
+            report = json.loads(out.getvalue())
+        except json.JSONDecodeError:
+            return [f"changed-only: --json output not JSON: {out.getvalue()!r}"]
+        if report["files_scanned"] != 1:
+            failures.append("changed-only: expected 1 file scanned, got "
+                            f"{report['files_scanned']}")
+        hit = {f["rule"] for f in report["findings"]}
+        if "UL001" not in hit or rc != 1:
+            failures.append(f"changed-only: expected UL001 + exit 1, got "
+                            f"rules={sorted(hit)} rc={rc}")
+        with open(listing, "w", encoding="utf-8") as fh:
+            fh.write("# nothing changed\n")
+        out = io.StringIO()
+        with contextlib.redirect_stdout(out):
+            rc = main(["--changed-from", listing,
+                       "--repo-root", fixtures_dir,
+                       "--atomics-policy", policy])
+        if rc != 0 or "nothing to scan" not in out.getvalue():
+            failures.append(f"changed-only: empty list should exit 0 with a "
+                            f"nothing-to-scan notice, got rc={rc}")
+    return failures
 
 
 def main(argv=None) -> int:
@@ -695,6 +787,13 @@ def main(argv=None) -> int:
                         help="run the golden fixture suite and exit")
     parser.add_argument("--fixtures", default=None,
                         help="fixtures directory for --self-test")
+    parser.add_argument("--changed-only", action="store_true",
+                        help="scan only files changed vs HEAD (git diff + "
+                             "untracked); fast pre-commit mode")
+    parser.add_argument("--changed-from", default=None, metavar="FILE",
+                        help="with --changed-only semantics, take the "
+                             "changed-file list from FILE (one repo-relative "
+                             "path per line) instead of git")
     args = parser.parse_args(argv)
 
     script_dir = os.path.dirname(os.path.abspath(__file__))
@@ -724,8 +823,22 @@ def main(argv=None) -> int:
         script_dir, "atomics_policy.txt")
     atomics_allow = load_atomics_policy(policy_path)
 
-    paths = args.paths or [os.path.join(repo_root, d)
-                           for d in ("src", "tests", "bench", "examples")]
+    if args.changed_only or args.changed_from:
+        rels = changed_files(repo_root, args.changed_from)
+        if rels is None:
+            return 2
+        if not rels:
+            if args.json:
+                print(json.dumps({"schema_version": SCHEMA_VERSION,
+                                  "files_scanned": 0, "findings": [],
+                                  "counts": {}}, indent=2))
+            else:
+                print("umon-lint: no changed source files, nothing to scan")
+            return 0
+        paths = [os.path.join(repo_root, rel) for rel in rels]
+    else:
+        paths = args.paths or [os.path.join(repo_root, d)
+                               for d in ("src", "tests", "bench", "examples")]
     missing = [p for p in paths if not os.path.exists(p)]
     if missing:
         print(f"umon-lint: no such path(s): {', '.join(missing)}",

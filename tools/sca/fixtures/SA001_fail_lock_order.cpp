@@ -1,0 +1,27 @@
+// SA001 fail: forward() takes order_a_ then order_b_; backward() reaches
+// order_a_ through locked_helper() while holding order_b_ -- a classic
+// two-lock inversion that can deadlock two threads.
+#include <mutex>
+
+class Inverted {
+ public:
+  void forward() {
+    std::lock_guard<std::mutex> a(order_a_);
+    std::lock_guard<std::mutex> b(order_b_);
+    ++work_;
+  }
+  void backward() {
+    std::lock_guard<std::mutex> b(order_b_);
+    locked_helper();
+  }
+
+ private:
+  void locked_helper() {
+    std::lock_guard<std::mutex> a(order_a_);
+    ++work_;
+  }
+
+  std::mutex order_a_;
+  std::mutex order_b_;
+  int work_ = 0;
+};

@@ -1,0 +1,34 @@
+// SA001 pass: every path acquires order_a_ before order_b_, including the
+// interprocedural path through locked_helper(), and the unique_lock is
+// dropped before the second mutex is taken on the late path.
+#include <mutex>
+
+class Orderly {
+ public:
+  void fast_path() {
+    std::lock_guard<std::mutex> a(order_a_);
+    std::lock_guard<std::mutex> b(order_b_);
+    ++work_;
+  }
+  void nested_path() {
+    std::lock_guard<std::mutex> a(order_a_);
+    locked_helper();
+  }
+  void late_path() {
+    std::unique_lock<std::mutex> a(order_a_);
+    ++work_;
+    a.unlock();
+    std::lock_guard<std::mutex> b(order_b_);
+    ++work_;
+  }
+
+ private:
+  void locked_helper() {
+    std::lock_guard<std::mutex> b(order_b_);
+    ++work_;
+  }
+
+  std::mutex order_a_;
+  std::mutex order_b_;
+  int work_ = 0;
+};

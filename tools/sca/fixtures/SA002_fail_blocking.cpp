@@ -1,0 +1,22 @@
+// SA002 fail: seal() reaches ::fsync through flush_locked() while m_ is
+// held -- the seal barrier stalls every other thread on the mutex for the
+// duration of a disk flush.
+#include <mutex>
+#include <unistd.h>
+
+class Blocked {
+ public:
+  void seal(int fd) {
+    std::lock_guard<std::mutex> lock(m_);
+    flush_locked(fd);
+  }
+
+ private:
+  void flush_locked(int fd) {
+    dirty_ = 0;
+    ::fsync(fd);
+  }
+
+  std::mutex m_;
+  int dirty_ = 0;
+};

@@ -1,0 +1,26 @@
+// SA002 pass: the fsync happens after the guard's scope closes, and the
+// condition-variable wait names its own guard (released atomically), so
+// nothing blocks while a mutex is held.
+#include <condition_variable>
+#include <mutex>
+#include <unistd.h>
+
+class Unblocked {
+ public:
+  void flush(int fd) {
+    {
+      std::lock_guard<std::mutex> lock(m_);
+      dirty_ = 0;
+    }
+    ::fsync(fd);
+  }
+  void park() {
+    std::unique_lock<std::mutex> lk(m_);
+    cv_.wait(lk);
+  }
+
+ private:
+  std::mutex m_;
+  std::condition_variable cv_;
+  int dirty_ = 0;
+};

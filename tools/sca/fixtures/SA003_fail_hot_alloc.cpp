@@ -1,0 +1,20 @@
+// SA003 fail: the per-packet hot stage reaches history_.push_back through
+// accumulate() -- an unbounded heap allocation on the packet path.
+#include <cstdint>
+#include <vector>
+#define UMON_PROF_SCOPE(stage)
+
+class HotAlloc {
+ public:
+  void update(std::uint64_t v) {
+    UMON_PROF_SCOPE(kHotStage);
+    accumulate(v);
+  }
+
+ private:
+  void accumulate(std::uint64_t v) {
+    history_.push_back(v);
+  }
+
+  std::vector<std::uint64_t> history_;
+};

@@ -1,0 +1,26 @@
+// SA003 pass: the hot-stage function only touches preallocated storage
+// (helper writes through an index); the allocation lives behind the cold
+// stage, whose sampling period (1) is below the per-packet threshold.
+#include <cstdint>
+#include <vector>
+#define UMON_PROF_SCOPE(stage)
+
+class HotPath {
+ public:
+  void update(std::uint64_t v) {
+    UMON_PROF_SCOPE(kHotStage);
+    accumulate(v);
+  }
+  void roll_epoch() {
+    UMON_PROF_SCOPE(kColdStage);
+    history_.push_back(ring_[0]);
+  }
+
+ private:
+  void accumulate(std::uint64_t v) {
+    ring_[static_cast<std::size_t>(v) & 7] += v;
+  }
+
+  std::uint64_t ring_[8] = {};
+  std::vector<std::uint64_t> history_;
+};

@@ -1,0 +1,13 @@
+// SA004 fail: a default (seq_cst) store with no [pairs] ledger entry --
+// nothing documents which acquire this release pairs with.
+#include <atomic>
+
+class Unledgered {
+ public:
+  void finish() {
+    done_.store(true);
+  }
+
+ private:
+  std::atomic<bool> done_{false};
+};

@@ -1,0 +1,16 @@
+// Fixture stand-in for src/obs/prof.hpp: a two-stage table so the SA003
+// fixtures can mark one function per-packet hot (period 64) and one cold
+// (period 1) without dragging the real profiler in.
+#pragma once
+#include <cstdint>
+
+enum class ProfStage : std::uint8_t {
+  kHotStage = 0,  ///< per-packet (sampled 1-in-64)
+  kColdStage,     ///< per-epoch (sampled every call)
+  kCount
+};
+
+inline constexpr std::uint32_t kProfPeriod[2] = {
+    64,  // kHotStage
+    1,   // kColdStage
+};
