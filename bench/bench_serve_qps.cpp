@@ -1,0 +1,418 @@
+// bench_serve_qps: serving-tier throughput and ingest-overhead bench.
+//
+//   bench_serve_qps [--flows N] [--epochs N] [--trials N] [--dir PATH]
+//                   [--out PATH] [--min-cached-rps X] [--max-overhead-pct X]
+//
+// Three phases over the same seeded synthetic curve stream:
+//
+//   ingest    write-through append + per-epoch seal into a durable store
+//             (the umon_sim --store-dir hot path), no server → baseline
+//             payload MB/s. Best-of-N trials: scheduling noise only ever
+//             inflates a run.
+//   serving   identical ingest with the live plane attached: an epoll
+//             Server + Endpoints over the store being written, per-epoch
+//             snapshot publishes + SSE broadcasts (what umon_sim's
+//             serve_publish does), and a dashboard-cadence scraper thread
+//             polling /metrics + /health over the wire → serving MB/s.
+//             The relative delta is the ingest overhead of serving.
+//   qps       reopen the store read-only behind a fresh server and hammer
+//             /api/v1/query over one keep-alive connection: ping-pong
+//             requests give the serial round-trip rate, pipelined batches
+//             give the cached-throughput rate (every request after the
+//             first hits the serialized-response cache — generation never
+//             moves on a read-only store).
+//
+// The pipelined rate is the capacity claim: it is the per-request cost of
+// the serving stack (parse, route, cache hit, response assembly, socket
+// IO) with syscall round-trips amortized, i.e. what one core of the plane
+// sustains while ingest owns the others. The overhead phase bounds what
+// serving steals from the ingest thread itself. On a single-core runner
+// the scraper's CPU is attributed to the ingest wall clock too, so the
+// overhead number there is an upper bound.
+//
+// Results are persisted as BENCH_serve.json (bench/support/snapshot.hpp)
+// so the perf trajectory is checked in per PR. With --min-cached-rps or
+// --max-overhead-pct the process exits 1 when the measurement misses the
+// budget — the CI gates.
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "analyzer/curve_store.hpp"
+#include "bench/support/snapshot.hpp"
+#include "serve/endpoints.hpp"
+#include "serve/server.hpp"
+#include "store/store.hpp"
+
+namespace {
+
+using namespace umon;
+
+double now_us() {
+  return static_cast<double>(
+             std::chrono::duration_cast<std::chrono::nanoseconds>(
+                 std::chrono::steady_clock::now().time_since_epoch())
+                 .count()) /
+         1e3;
+}
+
+struct Lcg {
+  std::uint64_t s;
+  explicit Lcg(std::uint64_t seed) : s(seed) {}
+  std::uint64_t next() {
+    s = s * 6364136223846793005ULL + 1442695040888963407ULL;
+    return s >> 11;
+  }
+  double uniform() { return static_cast<double>(next() % 100000) / 100000.0; }
+};
+
+FlowKey make_flow(std::uint32_t i) {
+  return FlowKey{10u * 65536u + i, 20u * 65536u + (i % 13),
+                 static_cast<std::uint16_t>(1000 + i), 80, 6};
+}
+
+/// Deterministic synthetic epoch stream (the bench_store_io shape) with a
+/// per-seal hook for the serving variant's publish cadence.
+template <typename OnSeal>
+void feed(analyzer::FlowCurveStore& fcs, store::Store& st, int epochs,
+          int flows, OnSeal&& on_seal) {
+  Lcg rng(1234);
+  for (int e = 0; e < epochs; ++e) {
+    for (int f = 0; f < flows; ++f) {
+      std::vector<std::pair<WindowId, double>> windows;
+      const WindowId base = static_cast<WindowId>(e) * 64;
+      for (WindowId w = 0; w < 64; ++w) {
+        const double r = rng.uniform();
+        if (r < 0.2) {
+          const double burst = r < 0.02 ? 40000.0 : 1500.0;
+          windows.emplace_back(base + w, std::floor(burst * rng.uniform()));
+        }
+      }
+      if (!windows.empty()) fcs.add_sparse(make_flow(f), windows);
+    }
+    if (!st.seal_epoch()) {
+      std::fprintf(stderr, "seal_epoch failed at epoch %d\n", e);
+      std::exit(1);
+    }
+    on_seal(e);
+  }
+}
+
+// --- minimal blocking client (the scraper + qps driver) ---------------------
+
+int dial(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  timeval tv{};
+  tv.tv_sec = 10;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    std::perror("connect");
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+bool send_all(int fd, const std::string& bytes) {
+  std::size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t n =
+        ::send(fd, bytes.data() + off, bytes.size() - off, MSG_NOSIGNAL);
+    if (n <= 0) return false;
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+/// Read one complete Content-Length-framed response off a keep-alive
+/// connection. Returns the total response size in bytes, or 0 on failure.
+std::size_t read_response(int fd, std::string& out) {
+  out.clear();
+  std::size_t header_end = std::string::npos;
+  char buf[8192];
+  while (header_end == std::string::npos) {
+    const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+    if (n <= 0) return 0;
+    out.append(buf, static_cast<std::size_t>(n));
+    header_end = out.find("\r\n\r\n");
+  }
+  const char* cl = std::strstr(out.c_str(), "Content-Length: ");
+  if (cl == nullptr) return 0;
+  const std::size_t want =
+      header_end + 4 +
+      static_cast<std::size_t>(std::strtoull(cl + 16, nullptr, 10));
+  while (out.size() < want) {
+    const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+    if (n <= 0) return 0;
+    out.append(buf, static_cast<std::size_t>(n));
+  }
+  return out.size() == want ? want : 0;
+}
+
+std::string get_request(const char* path) {
+  return std::string("GET ") + path + " HTTP/1.1\r\nHost: bench\r\n\r\n";
+}
+
+bool fresh_dir(const std::string& dir) {
+  const std::string cmd = "rm -rf '" + dir + "'";
+  return std::system(cmd.c_str()) == 0;
+}
+
+/// One timed bare ingest run. Returns elapsed microseconds; `bytes_out`
+/// gets the payload appended.
+double ingest_once(const store::StoreConfig& cfg, int epochs, int flows,
+                   std::uint64_t& bytes_out) {
+  analyzer::FlowCurveStore fcs;
+  auto st = store::Store::open(cfg);
+  if (!st) {
+    std::fprintf(stderr, "cannot open %s\n", cfg.dir.c_str());
+    std::exit(1);
+  }
+  fcs.set_sink(st.get());
+  const double t0 = now_us();
+  feed(fcs, *st, epochs, flows, [](int) {});
+  const double elapsed = now_us() - t0;
+  fcs.set_sink(nullptr);
+  bytes_out = st->stats().append_bytes;
+  return elapsed;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int flows = 96;
+  int epochs = 256;
+  int trials = 3;
+  std::string dir = "bench_serve_qps_dir";
+  std::string out = "BENCH_serve.json";
+  double min_cached_rps = 0;
+  double max_overhead_pct = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) { std::fprintf(stderr, "missing value\n"); std::exit(2); }
+      return argv[++i];
+    };
+    if (arg == "--flows") flows = std::atoi(next());
+    else if (arg == "--epochs") epochs = std::atoi(next());
+    else if (arg == "--trials") trials = std::atoi(next());
+    else if (arg == "--dir") dir = next();
+    else if (arg == "--out") out = next();
+    else if (arg == "--min-cached-rps") min_cached_rps = std::atof(next());
+    else if (arg == "--max-overhead-pct") max_overhead_pct = std::atof(next());
+    else { std::fprintf(stderr, "bad argument: %s\n", arg.c_str()); return 2; }
+  }
+  if (trials < 1) trials = 1;
+
+  store::StoreConfig cfg;
+  cfg.dir = dir;
+  cfg.segment_epochs = 4;
+  cfg.tier1_age_epochs = 0;  // ingest stays pure tier-0, like bench_store_io
+
+  // --- phase 1 + 2: ingest baseline vs serving-attached, interleaved -------
+  double base_us = 0, serve_us = 0;
+  std::uint64_t ingest_bytes = 0;
+  std::uint64_t scrapes = 0;
+  for (int t = 0; t < trials; ++t) {
+    // Baseline leg.
+    if (!fresh_dir(dir)) return 1;
+    std::uint64_t bytes = 0;
+    const double b = ingest_once(cfg, epochs, flows, bytes);
+    if (t == 0 || b < base_us) base_us = b;
+    ingest_bytes = bytes;
+
+    // Serving leg: live plane over the store being written, plus a
+    // dashboard-cadence scraper (every 50 ms — far hotter than a real
+    // Prometheus interval) hitting /metrics and /health over the wire.
+    if (!fresh_dir(dir)) return 1;
+    auto st = store::Store::open(cfg);
+    if (!st) return 1;
+    serve::Server server{serve::ServeConfig{}};
+    serve::Services svc;
+    svc.store = st.get();
+    svc.store_dir = dir;
+    serve::Endpoints endpoints{server, svc};
+    if (!server.start()) return 1;
+
+    // Relaxed on purpose (UL002 allowlist): the join publishes; the flag
+    // only nudges the scraper loop to exit.
+    std::atomic<bool> stop{false};
+    std::atomic<std::uint64_t> scrape_count{0};
+    std::thread scraper([&] {
+      const int fd = dial(server.port());
+      if (fd < 0) return;
+      std::string resp;
+      while (!stop.load(std::memory_order_relaxed)) {
+        if (!send_all(fd, get_request("/metrics")) ||
+            read_response(fd, resp) == 0) {
+          break;
+        }
+        if (!send_all(fd, get_request("/health")) ||
+            read_response(fd, resp) == 0) {
+          break;
+        }
+        scrape_count.fetch_add(1, std::memory_order_relaxed);
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      }
+      ::close(fd);
+    });
+
+    analyzer::FlowCurveStore fcs;
+    fcs.set_sink(st.get());
+    const double t0 = now_us();
+    feed(fcs, *st, epochs, flows, [&](int e) {
+      const std::string tick = "{\"type\":\"tick\",\"epoch\":" +
+                               std::to_string(e) + ",\"healthy\":true}";
+      server.set_snapshot("health_jsonl", tick + "\n");
+      server.set_snapshot("status", tick);
+      server.broadcast_sse("tick", tick);
+    });
+    const double s = now_us() - t0;
+    fcs.set_sink(nullptr);
+    stop.store(true, std::memory_order_relaxed);
+    scraper.join();
+    server.stop();
+    if (t == 0 || s < serve_us) serve_us = s;
+    scrapes += scrape_count.load(std::memory_order_relaxed);
+  }
+  const double ingest_mb = static_cast<double>(ingest_bytes) / 1e6;
+  const double base_mbs = ingest_mb / (base_us / 1e6);
+  const double serve_mbs = ingest_mb / (serve_us / 1e6);
+  const double overhead_pct = (serve_us - base_us) / base_us * 100.0;
+
+  // --- phase 3: cached query throughput -------------------------------------
+  // Read-only reopen: the store generation never moves, so every request
+  // after the first is a serialized-response cache hit.
+  double serial_rps = 0, pipelined_rps = 0;
+  std::uint64_t qps_requests = 0;
+  std::size_t response_bytes = 0;
+  std::uint64_t cache_hits = 0, cache_misses = 0;
+  {
+    auto st = store::Store::open(cfg, nullptr, /*writable=*/false);
+    if (!st) { std::fprintf(stderr, "reopen failed\n"); return 1; }
+    serve::Server server{serve::ServeConfig{}};
+    serve::Services svc;
+    svc.store = st.get();
+    svc.store_dir = dir;
+    serve::Endpoints endpoints{server, svc};
+    if (!server.start()) return 1;
+
+    // A dashboard-shaped query: bounded range, coarse resolution → small
+    // cached body. The rate is then the per-request stack cost, not
+    // loopback bandwidth on a multi-kilobyte series.
+    const std::string req = get_request(
+        "/api/v1/query?op=sum&from_us=0&to_us=4096&resolution=64");
+    const int fd = dial(server.port());
+    if (fd < 0) return 1;
+
+    // Warm: the one engine run + serialization miss.
+    std::string resp;
+    if (!send_all(fd, req) || read_response(fd, resp) == 0 ||
+        resp.rfind("HTTP/1.1 200", 0) != 0) {
+      std::fprintf(stderr, "warm query failed: %.80s\n", resp.c_str());
+      return 1;
+    }
+    response_bytes = resp.size();
+
+    // Serial: ping-pong round trips, one request in flight.
+    const int serial_n = 2000;
+    double t0 = now_us();
+    for (int i = 0; i < serial_n; ++i) {
+      if (!send_all(fd, req) || read_response(fd, resp) != response_bytes) {
+        std::fprintf(stderr, "serial query %d failed\n", i);
+        return 1;
+      }
+    }
+    serial_rps = serial_n / ((now_us() - t0) / 1e6);
+
+    // Pipelined: batches of 64 in flight amortize the syscall round trip;
+    // every response is byte-identical (same cache entry), so framing is
+    // just a byte count.
+    const int batch = 64, batches = 625;
+    std::string burst;
+    for (int i = 0; i < batch; ++i) burst += req;
+    std::string got;
+    char buf[65536];
+    t0 = now_us();
+    for (int b = 0; b < batches; ++b) {
+      if (!send_all(fd, burst)) { std::fprintf(stderr, "burst send failed\n"); return 1; }
+      std::size_t need = static_cast<std::size_t>(batch) * response_bytes;
+      while (need > 0) {
+        const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+        if (n <= 0) { std::fprintf(stderr, "burst read failed\n"); return 1; }
+        need -= static_cast<std::size_t>(n);
+      }
+    }
+    qps_requests = static_cast<std::uint64_t>(batch) * batches;
+    pipelined_rps =
+        static_cast<double>(qps_requests) / ((now_us() - t0) / 1e6);
+    ::close(fd);
+    server.stop();
+    const auto cs = endpoints.cache_stats();
+    cache_hits = cs.hits;
+    cache_misses = cs.misses;
+  }
+
+  std::printf("bench_serve_qps (%d flows x %d epochs, best of %d)\n", flows,
+              epochs, trials);
+  std::printf("  ingest:      %.2f MB bare %.1f ms (%.1f MB/s), serving "
+              "%.1f ms (%.1f MB/s) -> overhead %.2f%% (%llu scrapes)\n",
+              ingest_mb, base_us / 1e3, base_mbs, serve_us / 1e3, serve_mbs,
+              overhead_pct, static_cast<unsigned long long>(scrapes));
+  std::printf("  cached query: serial %.0f rps, pipelined %.0f rps "
+              "(%llu requests, %zu B each, cache %llu hit / %llu miss)\n",
+              serial_rps, pipelined_rps,
+              static_cast<unsigned long long>(qps_requests), response_bytes,
+              static_cast<unsigned long long>(cache_hits),
+              static_cast<unsigned long long>(cache_misses));
+
+  bench::Snapshot snap("serve_qps");
+  snap.set("flows", static_cast<std::uint64_t>(flows));
+  snap.set("epochs", static_cast<std::uint64_t>(epochs));
+  snap.set("ingest_mb", ingest_mb);
+  snap.set("ingest_baseline_mbs", base_mbs);
+  snap.set("ingest_serving_mbs", serve_mbs);
+  snap.set("serve_overhead_pct", overhead_pct);
+  snap.set("scrapes", scrapes);
+  snap.set("serial_query_rps", serial_rps);
+  snap.set("cached_query_rps", pipelined_rps);
+  snap.set("query_response_bytes",
+           static_cast<std::uint64_t>(response_bytes));
+  snap.set("query_cache_hits", cache_hits);
+  snap.set("query_cache_misses", cache_misses);
+  if (!snap.write(out)) {
+    std::fprintf(stderr, "cannot write %s\n", out.c_str());
+    return 1;
+  }
+  std::printf("  snapshot:    %s\n", out.c_str());
+
+  if (min_cached_rps > 0 && pipelined_rps < min_cached_rps) {
+    std::fprintf(stderr, "GATE: cached %.0f rps < %.0f rps\n", pipelined_rps,
+                 min_cached_rps);
+    return 1;
+  }
+  if (max_overhead_pct > 0 && overhead_pct > max_overhead_pct) {
+    std::fprintf(stderr, "GATE: serving overhead %.2f%% > %.2f%%\n",
+                 overhead_pct, max_overhead_pct);
+    return 1;
+  }
+  return 0;
+}

@@ -9,7 +9,7 @@
 // usage: umon_query --store-dir DIR [--from-us T] [--to-us T]
 //                   [--resolution N] [--op sum|avg|max|p99]
 //                   [--host SRC_IP] [--flow SRC:SPORT:DST:DPORT[:PROTO]]
-//                   [--list-flows] [--max-rows N] [--json]
+//                   [--list-flows] [--max-rows N] [--json] [--csv]
 //
 // Times are event-time microseconds; the default range is the union of
 // every stored flow's extent. --resolution is output-bucket width in
@@ -17,21 +17,27 @@
 //
 // The human-readable table is the default. --json switches stdout to one
 // machine-readable JSON object with a stable key order (scripts may diff
-// it byte-for-byte); unlike the table it never truncates at --max-rows,
-// and diagnostics stay on stderr either way.
+// it byte-for-byte); --csv emits the series as comma-separated rows.
+// Both go through store::query_io — the same serializer that backs the
+// umon::serve `/api/v1/query` HTTP endpoint, so the CLI and HTTP bytes
+// cannot drift. Unlike the table, neither truncates at --max-rows, and
+// diagnostics stay on stderr either way.
 //
 // Exit codes: 0 = query ran (even if it matched no data), 1 = store
-// open/read error, 2 = usage error.
+// open/read error, 2 = usage error. The HTTP endpoint maps these to
+// 200 / 503 / 400 (see store/query_io.hpp).
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <iostream>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "common/types.hpp"
 #include "store/query.hpp"
+#include "store/query_io.hpp"
 #include "store/store.hpp"
 
 using namespace umon;
@@ -49,6 +55,7 @@ struct Options {
   bool list_flows = false;
   std::size_t max_rows = 64;
   bool json = false;
+  bool csv = false;
 };
 
 void usage() {
@@ -57,27 +64,8 @@ void usage() {
       "usage: umon_query --store-dir DIR [--from-us T] [--to-us T]\n"
       "                  [--resolution N] [--op sum|avg|max|p99]\n"
       "                  [--host SRC_IP] [--flow SRC:SPORT:DST:DPORT[:PROTO]]\n"
-      "                  [--list-flows] [--max-rows N] [--json]\n"
+      "                  [--list-flows] [--max-rows N] [--json] [--csv]\n"
       "exit codes: 0 query ran (possibly empty), 1 store error, 2 usage\n");
-}
-
-/// Minimal JSON string escape (quotes, backslashes, control bytes).
-std::string json_escape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size());
-  for (const char c : s) {
-    if (c == '"' || c == '\\') {
-      out.push_back('\\');
-      out.push_back(c);
-    } else if (static_cast<unsigned char>(c) < 0x20) {
-      char buf[8];
-      std::snprintf(buf, sizeof buf, "\\u%04x", c);
-      out += buf;
-    } else {
-      out.push_back(c);
-    }
-  }
-  return out;
 }
 
 bool parse_flow(const char* text, FlowKey& out) {
@@ -130,6 +118,8 @@ bool parse(int argc, char** argv, Options& opt) {
       opt.max_rows = static_cast<std::size_t>(std::atoll(v));
     } else if (arg == "--json") {
       opt.json = true;
+    } else if (arg == "--csv") {
+      opt.csv = true;
     } else if (arg == "--help" || arg == "-h") {
       usage();
       std::exit(0);
@@ -139,6 +129,10 @@ bool parse(int argc, char** argv, Options& opt) {
     }
   }
   if (opt.store_dir.empty() || opt.resolution == 0) return false;
+  if (opt.json && opt.csv) {
+    std::fprintf(stderr, "--json and --csv are mutually exclusive\n");
+    return false;
+  }
   return true;
 }
 
@@ -160,75 +154,47 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  const auto flows = st->flows();
-  // Shared JSON preamble: store metadata in a fixed, documented key order.
-  auto json_head = [&] {
-    std::printf("{\"store_dir\":\"%s\",\"segments\":%zu,\"flows\":%zu,"
-                "\"torn_tails\":%zu,\"last_sealed_epoch\":%s",
-                json_escape(opt.store_dir).c_str(), rinfo.segments_opened,
-                flows.size(), rinfo.torn_tails_truncated,
-                rinfo.last_sealed_epoch
-                    ? std::to_string(*rinfo.last_sealed_epoch).c_str()
-                    : "null");
-  };
-  if (!opt.json) {
+  const auto extents = store::flow_extents(*st);
+  const store::StoreHead head =
+      store::make_head(opt.store_dir, rinfo, st->flows().size());
+  if (!opt.json && !opt.csv) {
     std::printf("store %s: %zu segment(s), %zu flow(s), last sealed epoch "
                 "%s\n",
-                opt.store_dir.c_str(), rinfo.segments_opened, flows.size(),
-                rinfo.last_sealed_epoch
-                    ? std::to_string(*rinfo.last_sealed_epoch).c_str()
+                opt.store_dir.c_str(), head.segments, head.flows,
+                head.last_sealed_epoch
+                    ? std::to_string(*head.last_sealed_epoch).c_str()
                     : "none");
-    if (rinfo.torn_tails_truncated > 0) {
+    if (head.torn_tails > 0) {
       std::printf("  (%zu torn tail(s) skipped — writer did not shut down "
                   "cleanly)\n",
-                  rinfo.torn_tails_truncated);
+                  head.torn_tails);
     }
   }
 
   // Default range: the union of every stored flow extent.
   WindowId lo = 0, hi = 0;
-  bool have_extent = false;
-  for (const auto& f : flows) {
-    WindowId first = 0, last = 0;
-    if (!st->flow_extent(f, first, last)) continue;
-    if (!have_extent || first < lo) lo = first;
-    if (!have_extent || last + 1 > hi) hi = last + 1;
-    have_extent = true;
-  }
+  const bool have_extent = store::flow_extent_union(extents, lo, hi);
 
   if (opt.list_flows) {
     if (opt.json) {
-      json_head();
-      std::printf(",\"flow_list\":[");
-      bool first_row = true;
-      for (const auto& f : flows) {
-        WindowId first = 0, last = 0;
-        if (!st->flow_extent(f, first, last)) continue;
-        std::printf("%s{\"flow\":\"%s\",\"first_window\":%lld,"
-                    "\"last_window\":%lld,\"from_us\":%.1f,\"to_us\":%.1f}",
-                    first_row ? "" : ",",
-                    json_escape(f.to_string()).c_str(),
-                    static_cast<long long>(first),
-                    static_cast<long long>(last),
-                    static_cast<double>(window_start(first)) / 1e3,
-                    static_cast<double>(window_start(last + 1)) / 1e3);
-        first_row = false;
-      }
-      std::printf("]}\n");
+      store::write_flow_list_json(std::cout, head, extents);
+      return 0;
+    }
+    if (opt.csv) {
+      store::write_flow_list_csv(std::cout, extents);
       return 0;
     }
     std::size_t shown = 0;
-    for (const auto& f : flows) {
-      WindowId first = 0, last = 0;
-      if (!st->flow_extent(f, first, last)) continue;
+    for (const auto& row : extents) {
       std::printf("  %-32s windows [%lld, %lld]  (%.1f us .. %.1f us)\n",
-                  f.to_string().c_str(), static_cast<long long>(first),
-                  static_cast<long long>(last),
-                  static_cast<double>(window_start(first)) / 1e3,
-                  static_cast<double>(window_start(last + 1)) / 1e3);
-      if (++shown >= opt.max_rows) {
+                  row.flow.to_string().c_str(),
+                  static_cast<long long>(row.first),
+                  static_cast<long long>(row.last),
+                  static_cast<double>(window_start(row.first)) / 1e3,
+                  static_cast<double>(window_start(row.last + 1)) / 1e3);
+      if (++shown >= opt.max_rows && shown < extents.size()) {
         std::printf("  ... (%zu more; raise --max-rows)\n",
-                    flows.size() - shown);
+                    extents.size() - shown);
         break;
       }
     }
@@ -236,8 +202,9 @@ int main(int argc, char** argv) {
   }
   if (!have_extent) {
     if (opt.json) {
-      json_head();
-      std::printf(",\"series\":[]}\n");
+      store::write_empty_json(std::cout, head);
+    } else if (opt.csv) {
+      store::write_query_csv(std::cout, store::QueryResult{});
     } else {
       std::printf("store holds no curve data\n");
     }
@@ -254,24 +221,12 @@ int main(int argc, char** argv) {
 
   store::QueryEngine engine(*st);
   const store::QueryResult r = engine.run(q);
-  const double bucket_us =
-      static_cast<double>(window_length()) * q.resolution / 1e3;
   if (opt.json) {
-    json_head();
-    std::printf(",\"op\":\"%s\",\"from_window\":%lld,\"to_window\":%lld,"
-                "\"resolution\":%u,\"bucket_us\":%.1f,\"flows_matched\":%zu,"
-                "\"series\":[",
-                store::to_string(r.op), static_cast<long long>(r.from),
-                static_cast<long long>(r.to), r.resolution, bucket_us,
-                r.flows_matched);
-    for (std::size_t i = 0; i < r.series.size(); ++i) {
-      const WindowId w = r.from + static_cast<WindowId>(i) * r.resolution;
-      std::printf("%s{\"t_us\":%.1f,\"bytes\":%.1f,\"confidence\":\"%s\"}",
-                  i == 0 ? "" : ",",
-                  static_cast<double>(window_start(w)) / 1e3, r.series[i],
-                  analyzer::to_string(r.confidence[i]));
-    }
-    std::printf("]}\n");
+    store::write_query_json(std::cout, head, r);
+    return 0;
+  }
+  if (opt.csv) {
+    store::write_query_csv(std::cout, r);
     return 0;
   }
   if (r.series.empty()) {
@@ -280,6 +235,8 @@ int main(int argc, char** argv) {
     return 0;
   }
 
+  const double bucket_us =
+      static_cast<double>(window_length()) * q.resolution / 1e3;
   std::printf("\n%s over %zu flow(s), windows [%lld, %lld), "
               "%u windows/bucket (%.1f us)\n",
               store::to_string(r.op), r.flows_matched,

@@ -15,6 +15,7 @@
 //            [--gap-fill] [--require-recovered]
 //            [--store-dir DIR] [--store-tier-budget K]
 //            [--prof-out FILE] [--lineage-out FILE]
+//            [--serve-port N] [--serve-port-file FILE] [--serve-linger S]
 //
 // With --collector-shards (or --report-loss) the host sketches reach the
 // analyzer through the full collection tier — per-host uplink encode, the
@@ -78,6 +79,18 @@
 // umon_query. --store-tier-budget K sets the per-flow-chunk coefficient
 // budget (tier-1 keeps K/2, tier-2 keeps K/4; default 64).
 //
+// --serve-port N embeds the live observability plane (umon::serve): a
+// single-threaded epoll HTTP/1.1 server on 127.0.0.1:N (N=0 picks an
+// ephemeral port; --serve-port-file writes the bound port for scripts)
+// exposing /metrics, /health, /health/alarms, /dashboard, /prof,
+// /lineage[/{host}/{epoch}], /api/v1/query (same parameters and output
+// bytes as umon_query --json/--csv), /api/v1/status, and /api/v1/stream
+// (SSE: per-tick health samples plus curve deltas). Snapshots publish on
+// the simulation's tick cadence — never the wall clock — so the served
+// bytes stay deterministic for a fixed seed. After the report prints,
+// --serve-linger S keeps the server up for at most S seconds (or until
+// GET /api/v1/shutdown) so external scrapers can read the finished run.
+//
 // Example:
 //   ./build/examples/umon_sim --workload hadoop --load 0.35 --sample-bits 4
 //   ./build/examples/umon_sim --collector-shards 4 --report-loss 0.01
@@ -86,6 +99,7 @@
 //   ./build/examples/umon_sim --fault-plan tools/faultplans/burst_loss.plan
 //       --uplink-reliable --health-out chaos.jsonl   (one command line)
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -93,7 +107,9 @@
 #include <map>
 #include <memory>
 #include <set>
+#include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "telemetry/export.hpp"
@@ -113,6 +129,8 @@
 #include "obs/prof.hpp"
 #include "resilience/fault_plan.hpp"
 #include "resilience/reliable.hpp"
+#include "serve/endpoints.hpp"
+#include "serve/server.hpp"
 #include "sketch/wavesketch_full.hpp"
 #include "store/store.hpp"
 #include "uevent/acl.hpp"
@@ -151,7 +169,11 @@ struct Options {
   std::size_t store_tier_budget = 64;
   std::string prof_out;     ///< folded-stack output path ("" = profiler off)
   std::string lineage_out;  ///< lineage audit JSONL path ("" = lineage off)
+  int serve_port = -1;          ///< -1 = serving off; 0 = ephemeral port
+  std::string serve_port_file;  ///< write the bound port here (for scripts)
+  double serve_linger = 0.0;    ///< seconds to keep serving after the run
 
+  [[nodiscard]] bool serve_requested() const { return serve_port >= 0; }
   [[nodiscard]] bool telemetry_requested() const {
     return !metrics_out.empty() || !trace_out.empty();
   }
@@ -251,6 +273,16 @@ bool parse(int argc, char** argv, Options& opt) {
       opt.prof_out = next("--prof-out");
     } else if (arg == "--lineage-out") {
       opt.lineage_out = next("--lineage-out");
+    } else if (arg == "--serve-port") {
+      opt.serve_port = std::atoi(next("--serve-port"));
+      if (opt.serve_port < 0 || opt.serve_port > 0xFFFF) {
+        std::fprintf(stderr, "--serve-port must be 0..65535\n");
+        return false;
+      }
+    } else if (arg == "--serve-port-file") {
+      opt.serve_port_file = next("--serve-port-file");
+    } else if (arg == "--serve-linger") {
+      opt.serve_linger = std::atof(next("--serve-linger"));
     } else if (arg == "--help" || arg == "-h") {
       return false;
     } else {
@@ -279,7 +311,9 @@ int main(int argc, char** argv) {
         "                [--uplink-retx-buffer N] [--gap-fill]\n"
         "                [--require-recovered]\n"
         "                [--store-dir DIR] [--store-tier-budget K]\n"
-        "                [--prof-out FILE] [--lineage-out FILE]\n");
+        "                [--prof-out FILE] [--lineage-out FILE]\n"
+        "                [--serve-port N] [--serve-port-file FILE]\n"
+        "                [--serve-linger SECONDS]\n");
     return 2;
   }
 
@@ -445,6 +479,44 @@ int main(int argc, char** argv) {
     });
   }
 
+  // Live observability plane: the server thread owns every socket; the
+  // driver only publishes snapshot strings and SSE events into it (both
+  // internally synchronized), so nothing here slows the packet path.
+  std::unique_ptr<serve::Server> http_server;
+  std::unique_ptr<serve::Endpoints> http_endpoints;
+  if (opt.serve_requested()) {
+    serve::ServeConfig scfg;
+    scfg.port = static_cast<std::uint16_t>(opt.serve_port);
+    http_server = std::make_unique<serve::Server>(scfg);
+    serve::Services svc;
+    svc.registries.push_back(&telemetry::MetricRegistry::global());
+    if (collector_tier) {
+      svc.registries.push_back(&collector_tier->telemetry_registry());
+    }
+    if (link) svc.registries.push_back(&link->telemetry_registry());
+    if (curve_store) {
+      svc.registries.push_back(&curve_store->telemetry_registry());
+      svc.store = curve_store.get();
+      svc.store_dir = opt.store_dir;
+      svc.store_rinfo = store_recovery;
+    }
+    svc.lineage = lineage.get();
+    http_endpoints = std::make_unique<serve::Endpoints>(*http_server, svc);
+    if (!http_server->start()) {
+      std::fprintf(stderr, "cannot serve on port %d\n", opt.serve_port);
+      return 2;
+    }
+    if (!opt.serve_port_file.empty()) {
+      std::ofstream pf(opt.serve_port_file);
+      if (!pf) {
+        std::fprintf(stderr, "cannot write %s\n",
+                     opt.serve_port_file.c_str());
+        return 2;
+      }
+      pf << http_server->port() << "\n";
+    }
+  }
+
   analyzer::GroundTruth truth;
   std::uint64_t packets = 0;
   net->set_host_tx_hook([&, m = mon.get()](int host, const PacketRecord& r) {
@@ -495,6 +567,57 @@ int main(int argc, char** argv) {
           mon->watermarks().high(health::Stage::kAnalyzerCurve);
       if (hi != health::Watermarks::kUnset) {
         mon->watermarks().note(health::Stage::kStoreSeal, hi);
+      }
+    }
+  };
+
+  // Publish the serve tier's snapshot slots and SSE events. Driven by the
+  // simulation clock (tick boundaries and the end of the run), never the
+  // wall clock, so two same-seed runs serve byte-identical artifacts to
+  // an identical request script.
+  std::uint64_t serve_last_generation = 0;
+  auto serve_publish = [&](Nanos now) {
+    if (!http_server) return;
+    if (mon) {
+      std::ostringstream hj;
+      mon->write_jsonl(hj);
+      http_server->set_snapshot("health_jsonl", hj.str());
+      std::ostringstream ha;
+      mon->write_alarms_jsonl(ha);
+      http_server->set_snapshot("health_alarms", ha.str());
+      std::ostringstream hh;
+      mon->write_html(hh, /*live=*/true);
+      http_server->set_snapshot("health_html", hh.str());
+      std::ostringstream ls;
+      mon->write_live_sample(ls);
+      http_server->broadcast_sse("tick", ls.str());
+    }
+    std::size_t store_flow_count = 0;
+    if (curve_store) store_flow_count = curve_store->flows().size();
+    std::ostringstream st;
+    st << "{\"t_ns\":" << now << ",\"packets\":" << packets
+       << ",\"healthy\":"
+       << (mon == nullptr || mon->healthy() ? "true" : "false");
+    if (curve_store) {
+      st << ",\"store_generation\":" << curve_store->generation()
+         << ",\"store_flows\":" << store_flow_count;
+    }
+    st << "}\n";
+    http_server->set_snapshot("status", st.str());
+    if (curve_store) {
+      const std::uint64_t gen = curve_store->generation();
+      if (gen != serve_last_generation) {
+        serve_last_generation = gen;
+        std::ostringstream cd;
+        cd << "{\"type\":\"curve\",\"t_ns\":" << now
+           << ",\"generation\":" << gen
+           << ",\"flows\":" << store_flow_count;
+        const auto sealed = curve_store->last_sealed_epoch();
+        if (sealed.has_value()) {
+          cd << ",\"last_sealed_epoch\":" << *sealed;
+        }
+        cd << "}";
+        http_server->broadcast_sse("curve", cd.str());
       }
     }
   };
@@ -651,6 +774,7 @@ int main(int argc, char** argv) {
       col.drain();
       store_checkpoint();
       if (mon) mon->tick(t);
+      serve_publish(t);
       if (t >= horizon) break;
     }
     net->finish();
@@ -685,6 +809,7 @@ int main(int argc, char** argv) {
     // accounted, so the closing tick is what lets a loss alarm fire even
     // when the loss only materializes at shutdown.
     if (mon) mon->tick(horizon + tick_len);
+    serve_publish(horizon + tick_len);
   } else {
     net->run_until(horizon);
     net->finish();
@@ -724,6 +849,7 @@ int main(int argc, char** argv) {
       an.ingest_mirrored(scorer.mirrored());
     }
     store_checkpoint();
+    serve_publish(horizon);
   }
 
   std::printf("uMon simulation report\n");
@@ -1105,6 +1231,23 @@ int main(int argc, char** argv) {
                   opt.trace_out.c_str(), rec.snapshot().size(),
                   static_cast<unsigned long long>(rec.dropped()));
     }
+  }
+  if (http_server) {
+    if (opt.serve_linger > 0 && !http_server->shutdown_requested()) {
+      std::printf("\nserving http://127.0.0.1:%u for up to %.1fs "
+                  "(GET /api/v1/shutdown to stop)\n",
+                  http_server->port(), opt.serve_linger);
+      std::fflush(stdout);
+      const auto deadline =
+          std::chrono::steady_clock::now() +
+          std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+              std::chrono::duration<double>(opt.serve_linger));
+      while (!http_server->shutdown_requested() &&
+             std::chrono::steady_clock::now() < deadline) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      }
+    }
+    http_server->stop();
   }
   if (opt.require_recovered && epochs_unrecovered > 0) {
     std::fprintf(stderr,

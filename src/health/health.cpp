@@ -246,7 +246,112 @@ void HealthMonitor::write_jsonl(std::ostream& os) const {
   os << "]}\n";
 }
 
-void HealthMonitor::write_html(std::ostream& os) const {
+void HealthMonitor::write_alarms_jsonl(std::ostream& os) const {
+  for (std::size_t i = 0; i < engine_.specs().size(); ++i) {
+    os << "{\"type\":\"alarm_rule\",\"text\":\""
+       << json_escape(engine_.specs()[i].text) << "\",\"state\":\""
+       << to_string(engine_.state(i))
+       << "\",\"fires\":" << engine_.fire_count(i)
+       << ",\"flaps_suppressed\":" << engine_.flaps_suppressed(i) << "}\n";
+  }
+  for (const AlarmEvent& ev : engine_.events()) {
+    os << "{\"type\":\"alarm\",\"t_ns\":" << ev.t << ",\"rule\":" << ev.rule
+       << ",\"text\":\"" << json_escape(engine_.specs()[ev.rule].text)
+       << "\",\"from\":\"" << to_string(ev.from) << "\",\"to\":\""
+       << to_string(ev.to) << "\",\"value\":" << fmt_double(ev.value)
+       << "}\n";
+  }
+}
+
+namespace {
+
+/// Client side of the live dashboard: subscribe to the serve tier's SSE
+/// feed and update verdict / last-value cells / sparklines in place. When
+/// SSE never connects (proxy stripping, old browser) fall back to polling
+/// the /health JSONL export on a 2s interval and applying the same update.
+void write_live_script(std::ostream& os) {
+  os << R"js(<script>
+(function () {
+  "use strict";
+  var MAX_POINTS = 64;
+  var history = {};
+  function setVerdict(healthy) {
+    var v = document.getElementById("verdict");
+    if (!v || healthy === undefined) return;
+    v.textContent = healthy ? "HEALTHY" : "UNHEALTHY";
+    v.className = healthy ? "ok" : "bad";
+  }
+  function cssEscape(s) {
+    return (window.CSS && CSS.escape) ? CSS.escape(s)
+                                      : s.replace(/["\\]/g, "\\$&");
+  }
+  function apply(sample) {
+    setVerdict(sample.healthy);
+    if (!sample.series) return;
+    for (var key in sample.series) {
+      var row = document.querySelector(
+          'tr[data-series="' + cssEscape(key) + '"]');
+      if (!row) continue;
+      var value = sample.series[key];
+      var cell = row.querySelector(".last");
+      if (cell) cell.textContent = value;
+      var poly = row.querySelector("polyline");
+      if (!poly) continue;
+      var h = history[key] || (history[key] = []);
+      h.push(Number(value));
+      if (h.length > MAX_POINTS) h.shift();
+      if (h.length < 2) continue;
+      var lo = Math.min.apply(null, h);
+      var hi = Math.max.apply(null, h);
+      var span = hi > lo ? hi - lo : 1;
+      var pts = "";
+      for (var i = 0; i < h.length; i++) {
+        var x = i / (h.length - 1) * 138 + 1;
+        var y = 26 - (h[i] - lo) / span * 24;
+        pts += (i ? " " : "") + x.toFixed(1) + "," + y.toFixed(1);
+      }
+      poly.setAttribute("points", pts);
+    }
+  }
+  function poll() {
+    setInterval(function () {
+      fetch("/health").then(function (r) { return r.text(); })
+          .then(function (text) {
+        var sample = { series: {} };
+        text.split("\n").forEach(function (line) {
+          if (!line) return;
+          var obj;
+          try { obj = JSON.parse(line); } catch (e) { return; }
+          if (obj.type === "verdict") sample.healthy = obj.healthy;
+          if (obj.type === "series") {
+            var key = obj.name + (obj.labels ? "{" + obj.labels + "}" : "");
+            sample.series[key] = obj.last_raw;
+          }
+        });
+        apply(sample);
+      }).catch(function () {});
+    }, 2000);
+  }
+  if (window.EventSource) {
+    var es = new EventSource("/api/v1/stream");
+    var gotTick = false;
+    es.addEventListener("tick", function (ev) {
+      gotTick = true;
+      try { apply(JSON.parse(ev.data)); } catch (e) {}
+    });
+    es.onerror = function () {
+      if (!gotTick) { es.close(); poll(); }
+    };
+  } else {
+    poll();
+  }
+})();
+</script>)js";
+}
+
+}  // namespace
+
+void HealthMonitor::write_html(std::ostream& os, bool live) const {
   const bool ok = engine_.healthy();
   os << "<!doctype html><html><head><meta charset=\"utf-8\">"
         "<title>umon health</title><style>"
@@ -265,10 +370,17 @@ void HealthMonitor::write_html(std::ostream& os) const {
         ".lane span{position:absolute;top:0;bottom:0;background:#2f6db3}"
         ".lane b{position:absolute;right:4px;top:-1px;font-weight:normal;"
         "color:#8aa0b0}"
-        "</style></head><body><h1>umon health &mdash; verdict: "
-     << (ok ? "<span class=\"ok\">HEALTHY</span>"
-            : "<span class=\"bad\">UNHEALTHY</span>")
-     << "</h1><p class=\"dim\">ticks=" << sampler_.ticks()
+        "</style></head><body><h1>umon health &mdash; verdict: ";
+  // Live mode tags the verdict so the stream script can flip it in place;
+  // the static branch must keep emitting the exact original bytes.
+  if (live) {
+    os << "<span id=\"verdict\" class=\"" << (ok ? "ok" : "bad") << "\">"
+       << (ok ? "HEALTHY" : "UNHEALTHY") << "</span>";
+  } else {
+    os << (ok ? "<span class=\"ok\">HEALTHY</span>"
+              : "<span class=\"bad\">UNHEALTHY</span>");
+  }
+  os << "</h1><p class=\"dim\">ticks=" << sampler_.ticks()
      << " last_tick=" << fmt_double(static_cast<double>(last_tick_) /
                                     static_cast<double>(kMicro))
      << "us series=" << store_.series_count()
@@ -342,18 +454,46 @@ void HealthMonitor::write_html(std::ostream& os) const {
   os << "<h2>series</h2><table><tr><th>series</th><th>kind</th>"
         "<th>last</th><th>min</th><th>max</th><th>trend</th></tr>";
   for (const auto& [key, entry] : store_.all()) {
-    os << "<tr><td>" << html_escape(key.name);
+    if (live) {
+      // The data-series key matches write_live_sample's JSON keys, so the
+      // stream script can address each row by the sample's map key.
+      std::string k = key.name;
+      if (!key.labels.empty()) k += "{" + key.labels + "}";
+      os << "<tr data-series=\"" << html_escape(k) << "\"><td>"
+         << html_escape(key.name);
+    } else {
+      os << "<tr><td>" << html_escape(key.name);
+    }
     if (!key.labels.empty()) {
       os << "<span class=\"dim\">{" << html_escape(key.labels) << "}</span>";
     }
-    os << "</td><td class=\"dim\">" << to_string(entry.kind) << "</td><td>"
+    os << "</td><td class=\"dim\">" << to_string(entry.kind)
+       << (live ? "</td><td class=\"last\">" : "</td><td>")
        << fmt_double(entry.ring.last()) << "</td><td>"
        << fmt_double(entry.ring.min()) << "</td><td>"
        << fmt_double(entry.ring.max()) << "</td><td>";
     write_sparkline(os, entry.ring);
     os << "</td></tr>";
   }
-  os << "</table></body></html>\n";
+  os << "</table>";
+  if (live) write_live_script(os);
+  os << "</body></html>\n";
+}
+
+void HealthMonitor::write_live_sample(std::ostream& os) const {
+  os << "{\"type\":\"tick\",\"t_ns\":" << last_tick_ << ",\"healthy\":"
+     << (engine_.healthy() ? "true" : "false")
+     << ",\"fires\":" << engine_.total_fires() << ",\"series\":{";
+  bool first = true;
+  for (const auto& [key, entry] : store_.all()) {
+    if (!first) os << ',';
+    first = false;
+    std::string k = key.name;
+    if (!key.labels.empty()) k += "{" + key.labels + "}";
+    os << '"' << json_escape(k) << "\":\"" << fmt_double(entry.ring.last())
+       << '"';
+  }
+  os << "}}";
 }
 
 }  // namespace umon::health

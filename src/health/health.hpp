@@ -90,7 +90,21 @@ class HealthMonitor {
   [[nodiscard]] Nanos last_tick() const { return last_tick_; }
 
   void write_jsonl(std::ostream& os) const;
-  void write_html(std::ostream& os) const;
+  /// Just the alarm plane: one JSON line per rule (state / fires / flaps
+  /// suppressed) then one per transition event — what the serve tier's
+  /// /health/alarms endpoint publishes.
+  void write_alarms_jsonl(std::ostream& os) const;
+  /// Self-contained SVG-sparkline dashboard. `live` additionally tags the
+  /// series rows with data-series attributes and appends a script that
+  /// subscribes to the umon::serve `/api/v1/stream` SSE feed (with a
+  /// /health poll fallback) so sparklines update in place. The default
+  /// (static) output is byte-identical to what it was before live mode
+  /// existed — determinism tests diff it.
+  void write_html(std::ostream& os, bool live = false) const;
+  /// One compact JSON object for the SSE `tick` event: verdict, alarm
+  /// fires, and every series' latest ring value keyed `name{labels}` —
+  /// the same keys the live dashboard rows carry.
+  void write_live_sample(std::ostream& os) const;
 
  private:
   void publish_watermarks(Nanos now);

@@ -156,28 +156,39 @@ std::vector<EpochLineage> LineageTracker::snapshot() const {
   return out;
 }
 
+std::optional<EpochLineage> LineageTracker::find(std::uint32_t host,
+                                                 std::uint32_t epoch) const {
+  std::lock_guard lock(mutex_);
+  const auto it = epochs_.find(key_of(host, epoch));
+  if (it == epochs_.end()) return std::nullopt;
+  return it->second;
+}
+
+void LineageTracker::write_audit_record(std::ostream& os,
+                                        const EpochLineage& e) {
+  os << "{\"host\":" << e.host << ",\"epoch\":" << e.epoch
+     << ",\"flush_ns\":" << e.flush_ns << ",\"wfrom\":" << e.wfrom
+     << ",\"wto\":" << e.wto << ",\"reports\":" << e.reports
+     << ",\"payloads\":" << e.payloads
+     << ",\"frames_sent\":" << e.frames_sent
+     << ",\"retransmits\":" << e.retransmits
+     << ",\"frames_expired\":" << e.frames_expired
+     << ",\"frames_evicted\":" << e.frames_evicted
+     << ",\"frames_acked\":" << e.frames_acked
+     << ",\"frames_delivered\":" << e.frames_delivered
+     << ",\"duplicates\":" << e.duplicates
+     << ",\"decode_batches\":" << e.decode_batches
+     << ",\"decoded_reports\":" << e.decoded_reports
+     << ",\"decode_shards\":" << std::popcount(e.shard_mask)
+     << ",\"ingest_fragments\":" << e.ingest_fragments
+     << ",\"ingest_bytes\":" << e.ingest_bytes
+     << ",\"spill_records\":" << e.spill_records
+     << ",\"spill_bytes\":" << e.spill_bytes << ",\"verdict\":\""
+     << to_string(e.verdict) << "\"}\n";
+}
+
 void LineageTracker::write_audit_jsonl(std::ostream& os) const {
-  for (const EpochLineage& e : snapshot()) {
-    os << "{\"host\":" << e.host << ",\"epoch\":" << e.epoch
-       << ",\"flush_ns\":" << e.flush_ns << ",\"wfrom\":" << e.wfrom
-       << ",\"wto\":" << e.wto << ",\"reports\":" << e.reports
-       << ",\"payloads\":" << e.payloads
-       << ",\"frames_sent\":" << e.frames_sent
-       << ",\"retransmits\":" << e.retransmits
-       << ",\"frames_expired\":" << e.frames_expired
-       << ",\"frames_evicted\":" << e.frames_evicted
-       << ",\"frames_acked\":" << e.frames_acked
-       << ",\"frames_delivered\":" << e.frames_delivered
-       << ",\"duplicates\":" << e.duplicates
-       << ",\"decode_batches\":" << e.decode_batches
-       << ",\"decoded_reports\":" << e.decoded_reports
-       << ",\"decode_shards\":" << std::popcount(e.shard_mask)
-       << ",\"ingest_fragments\":" << e.ingest_fragments
-       << ",\"ingest_bytes\":" << e.ingest_bytes
-       << ",\"spill_records\":" << e.spill_records
-       << ",\"spill_bytes\":" << e.spill_bytes << ",\"verdict\":\""
-       << to_string(e.verdict) << "\"}\n";
-  }
+  for (const EpochLineage& e : snapshot()) write_audit_record(os, e);
 }
 
 }  // namespace umon::obs

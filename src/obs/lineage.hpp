@@ -132,8 +132,17 @@ class LineageTracker {
   /// inside each line. Deterministic for same-seed runs (sim time only).
   void write_audit_jsonl(std::ostream& os) const;
 
+  /// One audit JSONL line for a single record — the exact bytes
+  /// write_audit_jsonl emits for that (host, epoch), so the HTTP
+  /// `/lineage/{host}/{epoch}` endpoint and the audit file cannot drift.
+  static void write_audit_record(std::ostream& os, const EpochLineage& e);
+
   /// Snapshot sorted by (host, epoch).
   [[nodiscard]] std::vector<EpochLineage> snapshot() const;
+
+  /// Copy of one (host, epoch) record, if any taps have touched it.
+  [[nodiscard]] std::optional<EpochLineage> find(std::uint32_t host,
+                                                std::uint32_t epoch) const;
 
  private:
   EpochLineage& entry_locked(std::uint32_t host, std::uint32_t epoch);

@@ -1,0 +1,122 @@
+// umon::serve — route table binding the HTTP server to the subsystems.
+//
+// Endpoints (all GET/HEAD unless noted):
+//
+//   /                      endpoint index (JSON)
+//   /metrics               Prometheus text: process registries + the
+//                          server's own umon_serve_* instruments
+//   /health                latest health JSONL snapshot (driver-published)
+//   /health/alarms         alarm-state JSONL snapshot
+//   /dashboard             live HTML dashboard (SSE-wired sparklines)
+//   /prof                  folded-stack flamegraph lines (obs profiler)
+//   /lineage               full per-epoch audit JSONL
+//   /lineage/{host}/{epoch} one audit record, 404 when untracked
+//   /api/v1/query          store QueryEngine; same params as umon_query
+//                          (from_us, to_us, resolution, op, host, flow*,
+//                          list=flows, format=json|csv)
+//   /api/v1/stream         SSE: per-tick health samples + curve deltas
+//   /api/v1/status         run phase snapshot (driver-published)
+//   /api/v1/shutdown       GET|POST, asks the embedding driver to exit
+//
+// Handlers run on the server thread (see server.hpp), so the query engine
+// and the serialized-response cache here are single-threaded by design.
+// The response cache keys on (query fingerprint, store generation,
+// format) — the same (fingerprint, generation) identity as the engine's
+// own LRU, so it can never serve bytes from a superseded generation.
+//
+// Status mapping for /api/v1/query mirrors the umon_query exit codes
+// (store/query_io.hpp): ran -> 200, store missing/unreadable -> 503,
+// bad parameters -> 400.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "obs/lineage.hpp"
+#include "serve/server.hpp"
+#include "store/query.hpp"
+#include "store/query_io.hpp"
+#include "store/store.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace umon::serve {
+
+/// What the process wires into the route table. Raw pointers are non-owning
+/// and must outlive the Endpoints instance; null members disable their
+/// endpoints (503/404 with a JSON error, never a crash).
+struct Services {
+  /// Exported by /metrics (the server's own registry is appended
+  /// automatically). Pointers must stay valid for the server's lifetime.
+  std::vector<const telemetry::MetricRegistry*> registries;
+  store::Store* store = nullptr;
+  std::string store_dir;
+  store::RecoveryInfo store_rinfo;
+  obs::LineageTracker* lineage = nullptr;
+};
+
+class Endpoints {
+ public:
+  /// Registers the dispatch on `server` (call before server.start()).
+  Endpoints(Server& server, Services services);
+
+  Endpoints(const Endpoints&) = delete;
+  Endpoints& operator=(const Endpoints&) = delete;
+
+  [[nodiscard]] Routed route(const HttpRequest& req);
+
+  struct CacheStats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::size_t entries = 0;
+  };
+  [[nodiscard]] CacheStats cache_stats() const {
+    return CacheStats{cache_hits_->value(), cache_misses_->value(),
+                      cache_.size()};
+  }
+
+  /// Serialized-response LRU capacity (distinct (query, generation,
+  /// format) bodies kept hot for the scrape-heavy read path).
+  static constexpr std::size_t kResponseCacheEntries = 64;
+
+ private:
+  HttpResponse get_metrics();
+  HttpResponse get_snapshot_slot(const std::string& key,
+                                 const char* content_type,
+                                 const char* missing_error);
+  HttpResponse get_prof();
+  HttpResponse get_lineage_all();
+  HttpResponse get_lineage_one(const std::string& path, bool& bad_path);
+  HttpResponse get_query(const HttpRequest& req);
+  HttpResponse get_index();
+
+  struct CacheKey {
+    std::uint64_t fingerprint = 0;
+    std::uint64_t generation = 0;
+    std::uint8_t format = 0;  // 0 json, 1 csv
+    bool operator==(const CacheKey&) const = default;
+  };
+  struct CacheKeyHash {
+    std::size_t operator()(const CacheKey& k) const {
+      return static_cast<std::size_t>(
+          k.fingerprint ^ (k.generation * 0x9E3779B97F4A7C15ull) ^ k.format);
+    }
+  };
+  struct CacheEntry {
+    std::string body;
+    std::list<CacheKey>::iterator lru_pos;
+  };
+
+  Server& server_;
+  Services svc_;
+  std::optional<store::QueryEngine> engine_;
+  std::unordered_map<CacheKey, CacheEntry, CacheKeyHash> cache_;
+  std::list<CacheKey> lru_;  ///< front = most recently used
+  telemetry::Counter* cache_hits_ = nullptr;
+  telemetry::Counter* cache_misses_ = nullptr;
+};
+
+}  // namespace umon::serve

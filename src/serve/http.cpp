@@ -1,0 +1,230 @@
+#include "serve/http.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+namespace umon::serve {
+namespace {
+
+[[nodiscard]] std::string to_lower(std::string_view s) {
+  std::string out(s);
+  std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return out;
+}
+
+[[nodiscard]] std::string_view trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+[[nodiscard]] int hex_val(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+}  // namespace
+
+const std::string* HttpRequest::param(std::string_view key) const {
+  for (const auto& [k, v] : params) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+const std::string* HttpRequest::header(std::string_view name) const {
+  for (const auto& [k, v] : headers) {
+    if (k == name) return &v;
+  }
+  return nullptr;
+}
+
+std::string percent_decode(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '%' && i + 2 < s.size()) {
+      const int hi = hex_val(s[i + 1]);
+      const int lo = hex_val(s[i + 2]);
+      if (hi >= 0 && lo >= 0) {
+        out.push_back(static_cast<char>((hi << 4) | lo));
+        i += 2;
+        continue;
+      }
+    }
+    out.push_back(s[i] == '+' ? ' ' : s[i]);
+  }
+  return out;
+}
+
+ParseStatus parse_request(std::string_view buf, std::size_t max_bytes,
+                          HttpRequest& out) {
+  const std::size_t end = buf.find("\r\n\r\n");
+  if (end == std::string_view::npos) {
+    return buf.size() > max_bytes ? ParseStatus::kTooLarge
+                                  : ParseStatus::kNeedMore;
+  }
+  const std::size_t header_bytes = end + 4;
+  if (header_bytes > max_bytes) return ParseStatus::kTooLarge;
+
+  out = HttpRequest{};
+  out.consumed = header_bytes;
+
+  // Request line: METHOD SP target SP HTTP/1.x
+  std::string_view rest = buf.substr(0, end);
+  const std::size_t line_end = rest.find("\r\n");
+  std::string_view line = rest.substr(0, line_end);
+  const std::size_t sp1 = line.find(' ');
+  const std::size_t sp2 = sp1 == std::string_view::npos
+                              ? std::string_view::npos
+                              : line.find(' ', sp1 + 1);
+  if (sp1 == std::string_view::npos || sp2 == std::string_view::npos) {
+    return ParseStatus::kMalformed;
+  }
+  out.method = std::string(line.substr(0, sp1));
+  out.target = std::string(line.substr(sp1 + 1, sp2 - sp1 - 1));
+  const std::string_view version = line.substr(sp2 + 1);
+  if (version == "HTTP/1.1") {
+    out.http11 = true;
+  } else if (version == "HTTP/1.0") {
+    out.http11 = false;
+  } else {
+    return ParseStatus::kMalformed;
+  }
+  if (out.method.empty() || out.target.empty() || out.target[0] != '/') {
+    return ParseStatus::kMalformed;
+  }
+
+  // Header fields.
+  rest = line_end == std::string_view::npos ? std::string_view{}
+                                            : rest.substr(line_end + 2);
+  while (!rest.empty()) {
+    const std::size_t he = rest.find("\r\n");
+    const std::string_view hline =
+        he == std::string_view::npos ? rest : rest.substr(0, he);
+    rest = he == std::string_view::npos ? std::string_view{}
+                                        : rest.substr(he + 2);
+    if (hline.empty()) break;
+    const std::size_t colon = hline.find(':');
+    if (colon == std::string_view::npos || colon == 0) {
+      return ParseStatus::kMalformed;
+    }
+    out.headers.emplace_back(to_lower(trim(hline.substr(0, colon))),
+                             std::string(trim(hline.substr(colon + 1))));
+  }
+
+  // Header-only protocol: any body signal is rejected, not skipped — a
+  // half-consumed body would corrupt pipelined framing.
+  if (const std::string* cl = out.header("content-length")) {
+    if (*cl != "0") return ParseStatus::kMalformed;
+  }
+  if (out.header("transfer-encoding") != nullptr) {
+    return ParseStatus::kMalformed;
+  }
+
+  out.keep_alive = out.http11;
+  if (const std::string* conn = out.header("connection")) {
+    const std::string c = to_lower(*conn);
+    if (c.find("close") != std::string::npos) out.keep_alive = false;
+    if (c.find("keep-alive") != std::string::npos) out.keep_alive = true;
+  }
+
+  // Split target into decoded path + params.
+  const std::size_t q = out.target.find('?');
+  out.path = percent_decode(std::string_view(out.target).substr(0, q));
+  if (q != std::string::npos) {
+    std::string_view qs = std::string_view(out.target).substr(q + 1);
+    while (!qs.empty()) {
+      const std::size_t amp = qs.find('&');
+      const std::string_view pair =
+          amp == std::string_view::npos ? qs : qs.substr(0, amp);
+      qs = amp == std::string_view::npos ? std::string_view{}
+                                         : qs.substr(amp + 1);
+      if (pair.empty()) continue;
+      const std::size_t eq = pair.find('=');
+      if (eq == std::string_view::npos) {
+        out.params.emplace_back(percent_decode(pair), "");
+      } else {
+        out.params.emplace_back(percent_decode(pair.substr(0, eq)),
+                                percent_decode(pair.substr(eq + 1)));
+      }
+    }
+  }
+  return ParseStatus::kOk;
+}
+
+const char* status_text(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 408: return "Request Timeout";
+    case 431: return "Request Header Fields Too Large";
+    case 503: return "Service Unavailable";
+    default: return "Unknown";
+  }
+}
+
+std::string make_response(int status, std::string_view content_type,
+                          std::string_view body, bool keep_alive) {
+  std::string out;
+  out.reserve(body.size() + 128);
+  out += "HTTP/1.1 ";
+  out += std::to_string(status);
+  out += ' ';
+  out += status_text(status);
+  out += "\r\nContent-Type: ";
+  out += content_type;
+  out += "\r\nContent-Length: ";
+  out += std::to_string(body.size());
+  out += "\r\nConnection: ";
+  out += keep_alive ? "keep-alive" : "close";
+  if (status == 405) out += "\r\nAllow: GET, HEAD";
+  out += "\r\n\r\n";
+  out += body;
+  return out;
+}
+
+std::string make_sse_head() {
+  return "HTTP/1.1 200 OK\r\n"
+         "Content-Type: text/event-stream\r\n"
+         "Cache-Control: no-cache\r\n"
+         "Connection: close\r\n"
+         "\r\n";
+}
+
+std::string make_sse_event(std::string_view name, std::string_view data) {
+  std::string out;
+  out.reserve(data.size() + name.size() + 16);
+  if (!name.empty()) {
+    out += "event: ";
+    out += name;
+    out += '\n';
+  }
+  std::size_t start = 0;
+  while (start <= data.size()) {
+    const std::size_t nl = data.find('\n', start);
+    const std::string_view seg =
+        nl == std::string_view::npos ? data.substr(start)
+                                     : data.substr(start, nl - start);
+    out += "data: ";
+    out += seg;
+    out += '\n';
+    if (nl == std::string_view::npos) break;
+    start = nl + 1;
+    if (start == data.size()) break;  // trailing newline: no empty frame
+  }
+  out += '\n';
+  return out;
+}
+
+}  // namespace umon::serve

@@ -1,0 +1,81 @@
+// umon::serve — HTTP/1.1 request parsing and response building (no I/O).
+//
+// The parser is incremental: feed it whatever bytes have arrived and it
+// answers NeedMore until a full header block is buffered, so the epoll loop
+// can hand it torn requests byte-by-byte. It is deliberately narrow — the
+// serving tier speaks GET/HEAD over header-only requests (no bodies, no
+// chunked uploads, no TLS); anything outside that envelope is rejected
+// early with a precise status instead of being half-understood:
+//
+//   * headers larger than `max_bytes`  -> kTooLarge   (431)
+//   * malformed request line / body    -> kMalformed  (400)
+//
+// Keeping parse and serialize free of sockets makes the torn/pipelined
+// robustness tests plain string tests.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace umon::serve {
+
+struct HttpRequest {
+  std::string method;  ///< uppercase as sent (GET, HEAD, ...)
+  std::string target;  ///< raw request target, e.g. /api/v1/query?op=sum
+  std::string path;    ///< percent-decoded path component
+  /// Percent-decoded query parameters in request order (keys may repeat:
+  /// `--flow` maps to repeated `flow=` params).
+  std::vector<std::pair<std::string, std::string>> params;
+  /// Header fields with lower-cased names, request order.
+  std::vector<std::pair<std::string, std::string>> headers;
+  bool http11 = true;      ///< HTTP/1.1 (else 1.0)
+  bool keep_alive = true;  ///< after Connection header defaults
+  std::size_t consumed = 0;  ///< bytes of input this request used
+
+  /// First value for `key`, or nullptr.
+  [[nodiscard]] const std::string* param(std::string_view key) const;
+  [[nodiscard]] const std::string* header(std::string_view name) const;
+};
+
+enum class ParseStatus : std::uint8_t {
+  kNeedMore = 0,  ///< header block not yet complete; read more bytes
+  kOk,
+  kTooLarge,   ///< header block exceeds max_bytes -> 431
+  kMalformed,  ///< bad request line / header / unexpected body -> 400
+};
+
+/// Parse one request from the front of `buf`. On kOk, `out.consumed` says
+/// how many bytes to pop so a pipelined follow-up can be parsed next.
+[[nodiscard]] ParseStatus parse_request(std::string_view buf,
+                                        std::size_t max_bytes,
+                                        HttpRequest& out);
+
+/// `%41` -> `A`, `+` -> space (query-string convention). Invalid escapes
+/// pass through verbatim.
+[[nodiscard]] std::string percent_decode(std::string_view s);
+
+/// Canonical reason phrase for the handful of statuses the tier emits.
+[[nodiscard]] const char* status_text(int status);
+
+/// Full response bytes: status line, Content-Type/Length, Connection,
+/// CRLF CRLF, body. No Date header — responses must be byte-deterministic
+/// for same-seed replay comparisons.
+[[nodiscard]] std::string make_response(int status,
+                                        std::string_view content_type,
+                                        std::string_view body,
+                                        bool keep_alive);
+
+/// Response head for a Server-Sent Events stream (no Content-Length; the
+/// connection stays open and events follow as `event:`/`data:` frames).
+[[nodiscard]] std::string make_sse_head();
+
+/// One SSE frame: `event: name\n` + one `data:` line per line of `data`
+/// + blank line. Empty `name` omits the event line (default event type).
+[[nodiscard]] std::string make_sse_event(std::string_view name,
+                                         std::string_view data);
+
+}  // namespace umon::serve

@@ -1,0 +1,193 @@
+// umon::serve — single-threaded epoll HTTP/1.1 + SSE server.
+//
+// One background thread owns every socket: it accepts, reads, parses,
+// dispatches, and writes through a level-triggered epoll loop over
+// nonblocking fds. Handlers therefore run on the server thread and may
+// keep single-threaded state (the endpoints layer owns a QueryEngine and
+// a response cache with no locks of their own); anything they touch that
+// other threads write must be internally synchronized (Store is; the
+// snapshot slots below are).
+//
+// Cross-thread surface (driver -> server), designed for the analyzers:
+//
+//   * set_snapshot(key, value): publish a pre-rendered artifact (health
+//     JSONL, dashboard HTML, status line). A mutex guards only the string
+//     map — no syscall ever runs under it (SA002).
+//   * broadcast_sse(event, data): enqueue one event under the same rule;
+//     the eventfd wake that nudges the loop is written *after* the lock
+//     is released. The loop fans the event out to every /api/v1/stream
+//     subscriber, dropping (and counting) per-connection when a slow
+//     consumer's bounded buffer is full — a stuck reader cannot grow
+//     memory or stall ingest.
+//
+// Robustness envelope: request headers are capped (431 past the cap),
+// per-connection buffers are bounded, idle connections are closed after
+// cfg.idle_timeout (slowloris), and stop() drains in-flight response
+// bytes before closing (bounded by cfg.drain_timeout).
+//
+// The server meters itself into its own MetricRegistry
+// (umon_serve_*: request/response/byte counters, connection gauges, and
+// detail-gated per-endpoint latency histograms); export it alongside the
+// process registries to make the serving tier observable through its own
+// /metrics endpoint.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hpp"
+#include "serve/http.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace umon::serve {
+
+struct ServeConfig {
+  std::string bind_addr = "127.0.0.1";
+  std::uint16_t port = 0;  ///< 0 = ephemeral; read back via Server::port()
+  int backlog = 64;
+  /// Request header cap; a connection that buffers more without finishing
+  /// its header block gets 431 and is closed.
+  std::size_t max_request_bytes = 8 * 1024;
+  /// Per-connection outbound buffer cap. A normal response that would
+  /// exceed it closes the connection after the flush; an SSE stream drops
+  /// (and counts) events instead.
+  std::size_t max_buffered_bytes = std::size_t{4} * 1024 * 1024;
+  std::size_t max_connections = 256;
+  /// Close a connection with no forward progress (slowloris guard).
+  Nanos idle_timeout = 5 * kSecond;
+  /// stop() flushes pending response bytes for at most this long.
+  Nanos drain_timeout = 2 * kSecond;
+  /// Comment frame cadence on idle SSE streams (keeps proxies from
+  /// timing the stream out and lets smoke tests observe liveness).
+  Nanos sse_keepalive_period = kSecond;
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "application/json";
+  std::string body;
+  bool sse = false;  ///< switch this connection to an SSE stream
+};
+
+/// What the router returns: the response plus a low-cardinality endpoint
+/// label ("/metrics", "/lineage/{host}/{epoch}", ...) for the per-endpoint
+/// instruments. Unmatched requests leave `endpoint` empty -> "other".
+struct Routed {
+  HttpResponse response;
+  std::string endpoint;
+};
+
+class Server {
+ public:
+  using Dispatch = std::function<Routed(const HttpRequest&)>;
+
+  explicit Server(ServeConfig cfg);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Install the router. Must be called before start().
+  void set_dispatch(Dispatch dispatch) { dispatch_ = std::move(dispatch); }
+
+  /// Bind + listen + spawn the event-loop thread. False on socket errors
+  /// (the failure reason lands on stderr).
+  [[nodiscard]] bool start();
+
+  /// Graceful shutdown: stop accepting, flush in-flight response bytes
+  /// (bounded by cfg.drain_timeout), close everything, join. Idempotent.
+  void stop();
+
+  [[nodiscard]] bool running() const {
+    return running_.load(std::memory_order_relaxed);
+  }
+  /// Actual bound port (resolves cfg.port == 0). Valid after start().
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+
+  // --- cross-thread publishing (any thread) -------------------------------
+  void set_snapshot(const std::string& key, std::string value);
+  [[nodiscard]] std::string snapshot(const std::string& key) const;
+  [[nodiscard]] bool has_snapshot(const std::string& key) const;
+  void broadcast_sse(const std::string& event, const std::string& data);
+
+  // --- shutdown handshake (handler -> embedding driver) -------------------
+  void request_shutdown() {
+    shutdown_requested_.store(true, std::memory_order_relaxed);
+  }
+  [[nodiscard]] bool shutdown_requested() const {
+    return shutdown_requested_.load(std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] telemetry::MetricRegistry& registry() { return registry_; }
+  [[nodiscard]] const ServeConfig& config() const { return cfg_; }
+
+ private:
+  struct Conn {
+    int fd = -1;
+    std::string in;        ///< unparsed request bytes
+    std::string out;       ///< pending response bytes
+    std::size_t out_off = 0;
+    bool sse = false;
+    bool close_after_flush = false;
+    bool want_write = false;  ///< EPOLLOUT currently armed
+    std::uint64_t last_activity_ns = 0;
+  };
+
+  void loop();
+  void accept_ready(std::uint64_t now_ns);
+  void read_ready(Conn& c, std::uint64_t now_ns);
+  void write_ready(Conn& c);
+  void handle_parsed(Conn& c, const HttpRequest& req);
+  void queue_response(Conn& c, int status, const std::string& response);
+  void fan_out_events(std::uint64_t now_ns);
+  void close_conn(int fd);
+  void update_interest(Conn& c);
+  void sweep_idle(std::uint64_t now_ns);
+  void wake();
+
+  ServeConfig cfg_;
+  Dispatch dispatch_;
+  std::thread thread_;
+  int listen_fd_ = -1;
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> stop_{false};
+  std::atomic<bool> running_{false};
+  std::atomic<bool> shutdown_requested_{false};
+
+  // Snapshot slots + SSE queue: shared with publisher threads. The mutex
+  // guards only in-memory strings; socket writes happen on the loop
+  // thread after the guard scope ends (SA002).
+  mutable std::mutex publish_mutex_;
+  std::map<std::string, std::string> snapshots_;
+  std::vector<std::pair<std::string, std::string>> pending_events_;
+
+  std::unordered_map<int, Conn> conns_;  ///< loop thread only
+  std::uint64_t last_keepalive_ns_ = 0;
+
+  telemetry::MetricRegistry registry_;
+  telemetry::Counter* requests_total_ = nullptr;
+  telemetry::Counter* bytes_sent_total_ = nullptr;
+  telemetry::Counter* connections_total_ = nullptr;
+  telemetry::Counter* idle_closed_total_ = nullptr;
+  telemetry::Counter* overflow_closed_total_ = nullptr;
+  telemetry::Counter* sse_events_total_ = nullptr;
+  telemetry::Counter* sse_dropped_total_ = nullptr;
+  telemetry::Gauge* connections_active_ = nullptr;
+  telemetry::Gauge* sse_clients_ = nullptr;
+  /// Per-endpoint instruments, created lazily on the loop thread.
+  std::unordered_map<std::string, telemetry::Counter*> endpoint_requests_;
+  std::unordered_map<std::string, telemetry::Histogram*> endpoint_latency_;
+  std::unordered_map<int, telemetry::Counter*> status_responses_;
+};
+
+}  // namespace umon::serve

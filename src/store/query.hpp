@@ -88,6 +88,11 @@ class QueryEngine {
   [[nodiscard]] CacheStats cache_stats() const {
     return CacheStats{hits_, misses_, cache_.size()};
   }
+
+  /// Stable FNV-1a identity for a query's selection fields. Public so
+  /// outer caches (the HTTP response cache in umon::serve) can key on the
+  /// same (fingerprint, store generation) pair as the engine's own LRU.
+  [[nodiscard]] static std::uint64_t fingerprint(const Query& q);
   void clear_cache() {
     cache_.clear();
     lru_.clear();
@@ -110,7 +115,6 @@ class QueryEngine {
     std::list<CacheKey>::iterator lru_pos;
   };
 
-  [[nodiscard]] static std::uint64_t fingerprint(const Query& q);
   [[nodiscard]] QueryResult execute(const Query& q) const;
 
   Store& store_;

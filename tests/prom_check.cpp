@@ -1,12 +1,20 @@
-// umon_prom_check: validate a Prometheus text exposition file.
+// umon_prom_check: validate a Prometheus text exposition file or scrape.
 //
 //   umon_prom_check FILE [--require PREFIX]...
+//   umon_prom_check --url http://HOST:PORT/metrics [--require PREFIX]...
 //
-// Exit 0 iff the file parses as the text exposition format (HELP/TYPE
+// Exit 0 iff the input parses as the text exposition format (HELP/TYPE
 // comments, `name{labels} value` samples, histogram bucket monotonicity and
 // _sum/_count presence) and at least one sample name starts with each
-// --require prefix. CI runs it over umon_sim --metrics-out to catch exporter
-// regressions without a Prometheus server in the loop.
+// --require prefix. CI runs it over umon_sim --metrics-out (file mode) and
+// over a live umon_sim --serve-port endpoint (--url mode) to catch exporter
+// regressions without a Prometheus server in the loop. --url speaks just
+// enough HTTP/1.1 for a scrape: IPv4 literals or "localhost" only, no TLS.
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <cctype>
 #include <cmath>
 #include <cstdio>
@@ -15,6 +23,7 @@
 #include <fstream>
 #include <map>
 #include <set>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -95,28 +104,124 @@ std::string strip_suffix(const std::string& name, const char* suffix) {
   return name.substr(0, name.size() - n);
 }
 
+/// GET `url` (http://HOST:PORT/path) and return the body, or false on any
+/// transport error or non-200 status.
+bool http_get(const std::string& url, std::string* body) {
+  const std::string scheme = "http://";
+  if (url.rfind(scheme, 0) != 0) {
+    std::fprintf(stderr, "--url wants http://HOST:PORT/path, got %s\n",
+                 url.c_str());
+    return false;
+  }
+  const std::size_t host_start = scheme.size();
+  const std::size_t path_start = url.find('/', host_start);
+  std::string hostport = url.substr(
+      host_start, path_start == std::string::npos ? std::string::npos
+                                                  : path_start - host_start);
+  const std::string path =
+      path_start == std::string::npos ? "/" : url.substr(path_start);
+  const std::size_t colon = hostport.rfind(':');
+  std::string host = colon == std::string::npos ? hostport
+                                                : hostport.substr(0, colon);
+  const unsigned long port =
+      colon == std::string::npos
+          ? 80
+          : std::strtoul(hostport.c_str() + colon + 1, nullptr, 10);
+  if (host == "localhost") host = "127.0.0.1";
+  if (port == 0 || port > 0xFFFF) {
+    std::fprintf(stderr, "bad port in %s\n", url.c_str());
+    return false;
+  }
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    std::fprintf(stderr, "--url host must be an IPv4 literal: %s\n",
+                 host.c_str());
+    return false;
+  }
+  const int fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return false;
+  timeval tv{};
+  tv.tv_sec = 10;
+  setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+  if (connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    std::perror("connect");
+    close(fd);
+    return false;
+  }
+  const std::string req = "GET " + path + " HTTP/1.1\r\nHost: " + host +
+                          "\r\nConnection: close\r\n\r\n";
+  std::size_t off = 0;
+  while (off < req.size()) {
+    const ssize_t n = send(fd, req.data() + off, req.size() - off, 0);
+    if (n <= 0) {
+      close(fd);
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  std::string response;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = recv(fd, buf, sizeof buf, 0);
+    if (n <= 0) break;
+    response.append(buf, static_cast<std::size_t>(n));
+  }
+  close(fd);
+  if (response.rfind("HTTP/1.1 200", 0) != 0 &&
+      response.rfind("HTTP/1.0 200", 0) != 0) {
+    std::fprintf(stderr, "scrape of %s did not return 200: %.64s\n",
+                 url.c_str(), response.c_str());
+    return false;
+  }
+  const std::size_t header_end = response.find("\r\n\r\n");
+  if (header_end == std::string::npos) return false;
+  *body = response.substr(header_end + 4);
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 2) {
-    std::fprintf(stderr,
-                 "usage: umon_prom_check FILE [--require PREFIX]...\n");
-    return 2;
-  }
+  std::string source;  // FILE path, or the URL when --url was given
+  bool from_url = false;
   std::vector<std::string> required;
-  for (int i = 2; i < argc; ++i) {
+  for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--require") == 0 && i + 1 < argc) {
       required.emplace_back(argv[++i]);
+    } else if (std::strcmp(argv[i], "--url") == 0 && i + 1 < argc) {
+      source = argv[++i];
+      from_url = true;
+    } else if (argv[i][0] != '-' && source.empty()) {
+      source = argv[i];
     } else {
       std::fprintf(stderr, "unknown argument '%s'\n", argv[i]);
       return 2;
     }
   }
-  std::ifstream in(argv[1]);
-  if (!in) {
-    std::fprintf(stderr, "cannot read %s\n", argv[1]);
+  if (source.empty()) {
+    std::fprintf(stderr,
+                 "usage: umon_prom_check FILE [--require PREFIX]...\n"
+                 "       umon_prom_check --url http://HOST:PORT/metrics "
+                 "[--require PREFIX]...\n");
     return 2;
   }
+  std::string content;
+  if (from_url) {
+    if (!http_get(source, &content)) return 2;
+  } else {
+    std::ifstream file(source, std::ios::binary);
+    if (!file) {
+      std::fprintf(stderr, "cannot read %s\n", source.c_str());
+      return 2;
+    }
+    std::ostringstream buf;
+    buf << file.rdbuf();
+    content = buf.str();
+  }
+  std::istringstream in(content);
 
   std::map<std::string, std::string> type_of;       // from # TYPE
   std::set<std::string> sample_names;               // every sample seen
@@ -212,9 +317,9 @@ int main(int argc, char** argv) {
   }
 
   if (g_errors > 0) {
-    std::fprintf(stderr, "%d error(s) in %s\n", g_errors, argv[1]);
+    std::fprintf(stderr, "%d error(s) in %s\n", g_errors, source.c_str());
     return 1;
   }
-  std::printf("%s: %zu samples OK\n", argv[1], samples);
+  std::printf("%s: %zu samples OK\n", source.c_str(), samples);
   return 0;
 }

@@ -1,0 +1,185 @@
+// umon_serve_client: minimal scripted HTTP client for the serve-tier tests.
+//
+//   umon_serve_client PORT OUT_FILE PATH...
+//   umon_serve_client PORT --sse PATH NEVENTS TIMEOUT_S
+//
+// PORT is a number or @FILE (read the number from FILE — umon_sim
+// --serve-port-file writes one). Batch mode fetches every PATH over a
+// single keep-alive connection against 127.0.0.1:PORT and appends
+// `### GET PATH\n` + the complete response bytes (status line, headers,
+// body) to OUT_FILE; the serve tier emits no Date header, so two
+// identically scripted runs against same-seed servers must produce
+// byte-identical OUT_FILEs (the serve_determinism test diffs them). SSE
+// mode connects to a text/event-stream PATH and exits 0 once NEVENTS
+// `event:` frames arrived within TIMEOUT_S seconds — the CI smoke that the
+// stream actually streams. Exit 1 on any transport or HTTP failure.
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+namespace {
+
+int dial(unsigned port, int timeout_s) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  timeval tv{};
+  tv.tv_sec = timeout_s;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    std::perror("connect");
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+bool send_all(int fd, const std::string& bytes) {
+  std::size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t n =
+        ::send(fd, bytes.data() + off, bytes.size() - off, MSG_NOSIGNAL);
+    if (n <= 0) return false;
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+/// Read one complete response (headers + Content-Length body) off a
+/// keep-alive connection. Returns false on EOF/timeout/parse failure.
+bool read_response(int fd, std::string& out) {
+  out.clear();
+  std::size_t header_end = std::string::npos;
+  char buf[4096];
+  while (header_end == std::string::npos) {
+    const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+    if (n <= 0) return false;
+    out.append(buf, static_cast<std::size_t>(n));
+    header_end = out.find("\r\n\r\n");
+  }
+  // HEAD is never scripted here, so Content-Length governs the body.
+  const std::string headers = out.substr(0, header_end + 4);
+  std::size_t content_length = 0;
+  const char* cl = std::strstr(headers.c_str(), "Content-Length: ");
+  if (cl == nullptr) return false;  // SSE heads are not batch-fetchable
+  content_length =
+      static_cast<std::size_t>(std::strtoull(cl + 16, nullptr, 10));
+  const std::size_t want = header_end + 4 + content_length;
+  while (out.size() < want) {
+    const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+    if (n <= 0) return false;
+    out.append(buf, static_cast<std::size_t>(n));
+  }
+  return out.size() == want;
+}
+
+unsigned parse_port(const char* arg) {
+  std::string text = arg;
+  if (!text.empty() && text[0] == '@') {
+    std::ifstream in(text.substr(1));
+    if (!in) {
+      std::fprintf(stderr, "cannot read port file %s\n", text.c_str() + 1);
+      return 0;
+    }
+    in >> text;
+  }
+  const unsigned long port = std::strtoul(text.c_str(), nullptr, 10);
+  if (port == 0 || port > 0xFFFF) {
+    std::fprintf(stderr, "bad port '%s'\n", text.c_str());
+    return 0;
+  }
+  return static_cast<unsigned>(port);
+}
+
+int run_sse(unsigned port, const std::string& path, int want_events,
+            int timeout_s) {
+  const int fd = dial(port, timeout_s);
+  if (fd < 0) return 1;
+  if (!send_all(fd, "GET " + path + " HTTP/1.1\r\nHost: t\r\n\r\n")) {
+    ::close(fd);
+    return 1;
+  }
+  std::string got;
+  int events = 0;
+  char buf[4096];
+  while (events < want_events) {
+    const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+    if (n <= 0) {
+      std::fprintf(stderr, "sse: stream ended after %d event(s), wanted %d\n",
+                   events, want_events);
+      ::close(fd);
+      return 1;
+    }
+    got.append(buf, static_cast<std::size_t>(n));
+    // Count complete frames only (a frame ends with a blank line).
+    events = 0;
+    std::size_t at = 0;
+    while ((at = got.find("event: ", at)) != std::string::npos) {
+      const std::size_t end = got.find("\n\n", at);
+      if (end == std::string::npos) break;
+      ++events;
+      at = end + 2;
+    }
+  }
+  ::close(fd);
+  std::printf("sse: %d event frame(s) received\n", events);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 4) {
+    std::fprintf(stderr,
+                 "usage: umon_serve_client PORT OUT_FILE PATH...\n"
+                 "       umon_serve_client PORT --sse PATH NEVENTS "
+                 "TIMEOUT_S\n");
+    return 2;
+  }
+  const unsigned port = parse_port(argv[1]);
+  if (port == 0) return 2;
+
+  if (std::strcmp(argv[2], "--sse") == 0) {
+    if (argc != 6) {
+      std::fprintf(stderr, "--sse wants PATH NEVENTS TIMEOUT_S\n");
+      return 2;
+    }
+    return run_sse(port, argv[3], std::atoi(argv[4]), std::atoi(argv[5]));
+  }
+
+  std::ofstream out(argv[2], std::ios::binary);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", argv[2]);
+    return 2;
+  }
+  const int fd = dial(port, 10);
+  if (fd < 0) return 1;
+  for (int i = 3; i < argc; ++i) {
+    const std::string path = argv[i];
+    if (!send_all(fd, "GET " + path + " HTTP/1.1\r\nHost: t\r\n\r\n")) {
+      std::fprintf(stderr, "send failed for %s\n", path.c_str());
+      ::close(fd);
+      return 1;
+    }
+    std::string response;
+    if (!read_response(fd, response)) {
+      std::fprintf(stderr, "read failed for %s\n", path.c_str());
+      ::close(fd);
+      return 1;
+    }
+    out << "### GET " << path << "\n" << response;
+  }
+  ::close(fd);
+  std::printf("%s: %d response(s) captured\n", argv[2], argc - 3);
+  return 0;
+}

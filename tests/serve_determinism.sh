@@ -1,0 +1,67 @@
+#!/usr/bin/env bash
+# Serve-tier determinism contract: two same-seed umon_sim runs, each
+# serving over HTTP, must answer an identical request script with
+# byte-identical responses (status lines, headers, and bodies — the tier
+# emits no Date header and publishes on simulation time only).
+#
+#   serve_determinism.sh UMON_SIM UMON_SERVE_CLIENT WORK_DIR
+set -eu
+
+SIM=$(readlink -f "$1")
+CLIENT=$(readlink -f "$2")
+WORK=$3
+
+# The request script. Relative --store-dir keeps the store_dir string in
+# the query heads identical across the two working directories.
+PATHS=(
+  /
+  /metrics
+  /health
+  /health/alarms
+  /api/v1/status
+  "/api/v1/query?op=sum"
+  "/api/v1/query?op=avg&resolution=16"
+  "/api/v1/query?op=sum&format=csv"
+  "/api/v1/query?list=flows"
+  /lineage
+  /lineage/0/1
+  /metrics
+  /api/v1/shutdown
+)
+
+run() {
+  local dir=$1
+  rm -rf "$dir"
+  mkdir -p "$dir"
+  (cd "$dir" && exec "$SIM" --workload hadoop --load 0.1 --ms 3 \
+      --sample-bits 4 --collector-shards 2 --report-loss 0.05 \
+      --health-out health.jsonl --lineage-out lineage.jsonl \
+      --store-dir store --serve-port 0 --serve-port-file port.txt \
+      --serve-linger 120 > sim.log 2>&1) &
+  local pid=$!
+  # Wait for the post-run linger phase: every snapshot is final by then.
+  for _ in $(seq 1 480); do
+    if grep -q "^serving http" "$dir/sim.log" 2>/dev/null; then
+      break
+    fi
+    if ! kill -0 "$pid" 2>/dev/null; then
+      echo "umon_sim exited before serving; log:" >&2
+      cat "$dir/sim.log" >&2
+      return 1
+    fi
+    sleep 0.25
+  done
+  "$CLIENT" "@$dir/port.txt" "$dir/responses.txt" "${PATHS[@]}"
+  wait "$pid"
+}
+
+run "$WORK/run_a"
+run "$WORK/run_b"
+
+if ! cmp "$WORK/run_a/responses.txt" "$WORK/run_b/responses.txt"; then
+  echo "served responses differ between same-seed runs" >&2
+  diff <(head -c 20000 "$WORK/run_a/responses.txt") \
+       <(head -c 20000 "$WORK/run_b/responses.txt") | head -40 >&2 || true
+  exit 1
+fi
+echo "serve_determinism: $(wc -c < "$WORK/run_a/responses.txt") bytes identical"

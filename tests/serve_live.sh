@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# Live-scrape smoke: one serving umon_sim run; umon_prom_check must accept
+# a /metrics scrape fetched over the wire (not a file snapshot) with the
+# serving tier's own instruments present, and the SSE stream must deliver
+# at least the hello event frame. Ends the run via the shutdown endpoint.
+#
+#   serve_live.sh UMON_SIM UMON_SERVE_CLIENT UMON_PROM_CHECK WORK_DIR
+set -eu
+
+SIM=$(readlink -f "$1")
+CLIENT=$(readlink -f "$2")
+PROM=$(readlink -f "$3")
+WORK=$4
+
+rm -rf "$WORK"
+mkdir -p "$WORK"
+(cd "$WORK" && exec "$SIM" --workload hadoop --load 0.1 --ms 3 \
+    --sample-bits 4 --collector-shards 2 --report-loss 0.05 \
+    --health-out health.jsonl --store-dir store \
+    --serve-port 0 --serve-port-file port.txt \
+    --serve-linger 120 > sim.log 2>&1) &
+PID=$!
+for _ in $(seq 1 480); do
+  if grep -q "^serving http" "$WORK/sim.log" 2>/dev/null; then
+    break
+  fi
+  if ! kill -0 "$PID" 2>/dev/null; then
+    echo "umon_sim exited before serving; log:" >&2
+    cat "$WORK/sim.log" >&2
+    exit 1
+  fi
+  sleep 0.25
+done
+PORT=$(cat "$WORK/port.txt")
+
+"$PROM" --url "http://127.0.0.1:$PORT/metrics" \
+    --require umon_serve_ --require umon_netsim_ --require umon_sketch_ \
+    --require umon_collector_ --require umon_store_
+"$CLIENT" "$PORT" --sse /api/v1/stream 1 10
+"$CLIENT" "$PORT" "$WORK/shutdown.txt" /api/v1/shutdown
+grep -q '"ok":true' "$WORK/shutdown.txt"
+wait "$PID"
+echo "serve_live: live scrape + SSE smoke OK"
