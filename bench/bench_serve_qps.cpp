@@ -2,6 +2,7 @@
 //
 //   bench_serve_qps [--flows N] [--epochs N] [--trials N] [--dir PATH]
 //                   [--out PATH] [--min-cached-rps X] [--max-overhead-pct X]
+//                   [--max-probe-p99-ms X]
 //
 // Three phases over the same seeded synthetic curve stream:
 //
@@ -21,6 +22,12 @@
 //             give the cached-throughput rate (every request after the
 //             first hits the serialized-response cache — generation never
 //             moves on a read-only store).
+//   overload  4 connections flood pipelined, cache-busting queries at a
+//             server whose admission cap is deliberately small, while a
+//             probe connection ping-pongs /health and /metrics. The plane
+//             must shed the uncached query work (503 + Retry-After, every
+//             one verified) yet keep the probe's p99 round trip flat —
+//             the "cheap endpoints stay on under storm" contract.
 //
 // The pipelined rate is the capacity claim: it is the per-request cost of
 // the serving stack (parse, route, cache hit, response assembly, socket
@@ -39,6 +46,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cmath>
@@ -171,6 +179,31 @@ std::string get_request(const char* path) {
   return std::string("GET ") + path + " HTTP/1.1\r\nHost: bench\r\n\r\n";
 }
 
+/// Pull one Content-Length-framed response out of `stream`, recv-ing more
+/// as needed. Unlike read_response this keeps pipelined leftovers for the
+/// next call. Returns false on socket failure or unframeable bytes.
+bool next_response(int fd, std::string& stream, std::string& resp) {
+  char buf[16384];
+  for (;;) {
+    const std::size_t header_end = stream.find("\r\n\r\n");
+    if (header_end != std::string::npos) {
+      const char* cl = std::strstr(stream.c_str(), "Content-Length: ");
+      if (cl == nullptr || cl > stream.c_str() + header_end) return false;
+      const std::size_t want =
+          header_end + 4 +
+          static_cast<std::size_t>(std::strtoull(cl + 16, nullptr, 10));
+      if (stream.size() >= want) {
+        resp.assign(stream, 0, want);
+        stream.erase(0, want);
+        return true;
+      }
+    }
+    const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+    if (n <= 0) return false;
+    stream.append(buf, static_cast<std::size_t>(n));
+  }
+}
+
 bool fresh_dir(const std::string& dir) {
   const std::string cmd = "rm -rf '" + dir + "'";
   return std::system(cmd.c_str()) == 0;
@@ -205,6 +238,7 @@ int main(int argc, char** argv) {
   std::string out = "BENCH_serve.json";
   double min_cached_rps = 0;
   double max_overhead_pct = 0;
+  double max_probe_p99_ms = 0;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next = [&]() -> const char* {
@@ -218,6 +252,7 @@ int main(int argc, char** argv) {
     else if (arg == "--out") out = next();
     else if (arg == "--min-cached-rps") min_cached_rps = std::atof(next());
     else if (arg == "--max-overhead-pct") max_overhead_pct = std::atof(next());
+    else if (arg == "--max-probe-p99-ms") max_probe_p99_ms = std::atof(next());
     else { std::fprintf(stderr, "bad argument: %s\n", arg.c_str()); return 2; }
   }
   if (trials < 1) trials = 1;
@@ -371,8 +406,118 @@ int main(int argc, char** argv) {
     cache_misses = cs.misses;
   }
 
-  std::printf("bench_serve_qps (%d flows x %d epochs, best of %d)\n", flows,
-              epochs, trials);
+  // --- phase 4: overload ----------------------------------------------------
+  // A small admission cap makes the shed path the common case under the
+  // flood; the probe's cheap endpoints must stay fast regardless.
+  double probe_p50_us = 0, probe_p99_us = 0;
+  std::uint64_t shed_503 = 0, storm_200 = 0;
+  {
+    auto st = store::Store::open(cfg, nullptr, /*writable=*/false);
+    if (!st) { std::fprintf(stderr, "overload reopen failed\n"); return 1; }
+    serve::ServeConfig scfg_over;
+    // With 4 pipelining conns, a cap of 2 admits at most two uncached
+    // walks per connection per event-loop round — the probe's turn comes
+    // back after a handful of milliseconds, not after the whole storm.
+    scfg_over.max_inflight_requests = 2;
+    serve::Server server{scfg_over};
+    serve::Services svc;
+    svc.store = st.get();
+    svc.store_dir = dir;
+    serve::Endpoints endpoints{server, svc};
+    server.set_snapshot("health_jsonl", "{\"healthy\":true}\n");
+    if (!server.start()) return 1;
+
+    const int flood_conns = 4, flood_batches = 40, batch = 16;
+    std::atomic<bool> storm_done{false};
+    std::atomic<std::uint64_t> n200{0}, n503{0}, bad_shed{0};
+    std::vector<std::thread> flooders;
+    flooders.reserve(flood_conns);
+    for (int c = 0; c < flood_conns; ++c) {
+      flooders.emplace_back([&, c] {
+        const int fd = dial(server.port());
+        if (fd < 0) return;
+        std::string stream, resp;
+        for (int b = 0; b < flood_batches; ++b) {
+          // Cache-busting burst: range and resolution vary per request, so
+          // almost every admission decision sees an uncached walk.
+          std::string burst;
+          for (int i = 0; i < batch; ++i) {
+            const int n = b * batch + i;
+            const long to = 64 + ((c * 997 + n * 131) % 1024);
+            burst += get_request(
+                ("/api/v1/query?op=sum&from_us=0&to_us=" + std::to_string(to) +
+                 "&resolution=" + std::to_string(8 << (n % 4)))
+                    .c_str());
+          }
+          if (!send_all(fd, burst)) break;
+          bool dead = false;
+          for (int i = 0; i < batch; ++i) {
+            if (!next_response(fd, stream, resp)) { dead = true; break; }
+            if (resp.rfind("HTTP/1.1 200", 0) == 0) {
+              n200.fetch_add(1, std::memory_order_relaxed);
+            } else if (resp.rfind("HTTP/1.1 503", 0) == 0) {
+              n503.fetch_add(1, std::memory_order_relaxed);
+              if (resp.find("Retry-After: 1\r\n") == std::string::npos) {
+                bad_shed.fetch_add(1, std::memory_order_relaxed);
+              }
+            }
+          }
+          if (dead) break;
+        }
+        ::close(fd);
+      });
+    }
+
+    // The flooders' collective exit is what ends the probe loop; a helper
+    // owns the joins so the main thread is free to run the probe.
+    std::thread joiner([&] {
+      for (auto& f : flooders) f.join();
+      storm_done.store(true, std::memory_order_relaxed);
+    });
+
+    // Probe leg: serial /health + /metrics round trips for as long as the
+    // storm lasts. Every sample is one cheap-endpoint latency under load.
+    std::vector<double> samples;
+    {
+      const int fd = dial(server.port());
+      if (fd < 0) { std::fprintf(stderr, "probe dial failed\n"); return 1; }
+      std::string resp;
+      const std::string health = get_request("/health");
+      const std::string metrics = get_request("/metrics");
+      bool use_health = true;
+      while (!storm_done.load(std::memory_order_relaxed)) {
+        const std::string& req = use_health ? health : metrics;
+        use_health = !use_health;
+        const double t0 = now_us();
+        if (!send_all(fd, req) || read_response(fd, resp) == 0 ||
+            resp.rfind("HTTP/1.1 200", 0) != 0) {
+          std::fprintf(stderr, "probe request failed under load\n");
+          return 1;
+        }
+        samples.push_back(now_us() - t0);
+      }
+      ::close(fd);
+    }
+    joiner.join();
+    server.stop();
+    shed_503 = n503.load(std::memory_order_relaxed);
+    storm_200 = n200.load(std::memory_order_relaxed);
+    if (bad_shed.load(std::memory_order_relaxed) > 0) {
+      std::fprintf(stderr, "%llu shed response(s) missed Retry-After\n",
+                   static_cast<unsigned long long>(
+                       bad_shed.load(std::memory_order_relaxed)));
+      return 1;
+    }
+    if (shed_503 == 0) {
+      std::fprintf(stderr, "overload storm was never shed\n");
+      return 1;
+    }
+    std::sort(samples.begin(), samples.end());
+    if (!samples.empty()) {
+      probe_p50_us = samples[samples.size() / 2];
+      probe_p99_us = samples[(samples.size() * 99) / 100];
+    }
+  }
   std::printf("  ingest:      %.2f MB bare %.1f ms (%.1f MB/s), serving "
               "%.1f ms (%.1f MB/s) -> overhead %.2f%% (%llu scrapes)\n",
               ingest_mb, base_us / 1e3, base_mbs, serve_us / 1e3, serve_mbs,
@@ -383,6 +528,11 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(qps_requests), response_bytes,
               static_cast<unsigned long long>(cache_hits),
               static_cast<unsigned long long>(cache_misses));
+  std::printf("  overload:    %llu shed (503 + Retry-After), %llu served; "
+              "probe p50 %.0f us, p99 %.0f us\n",
+              static_cast<unsigned long long>(shed_503),
+              static_cast<unsigned long long>(storm_200), probe_p50_us,
+              probe_p99_us);
 
   bench::Snapshot snap("serve_qps");
   snap.set("flows", static_cast<std::uint64_t>(flows));
@@ -398,6 +548,10 @@ int main(int argc, char** argv) {
            static_cast<std::uint64_t>(response_bytes));
   snap.set("query_cache_hits", cache_hits);
   snap.set("query_cache_misses", cache_misses);
+  snap.set("overload_shed", shed_503);
+  snap.set("overload_served", storm_200);
+  snap.set("overload_probe_p50_us", probe_p50_us);
+  snap.set("overload_probe_p99_us", probe_p99_us);
   if (!snap.write(out)) {
     std::fprintf(stderr, "cannot write %s\n", out.c_str());
     return 1;
@@ -412,6 +566,11 @@ int main(int argc, char** argv) {
   if (max_overhead_pct > 0 && overhead_pct > max_overhead_pct) {
     std::fprintf(stderr, "GATE: serving overhead %.2f%% > %.2f%%\n",
                  overhead_pct, max_overhead_pct);
+    return 1;
+  }
+  if (max_probe_p99_ms > 0 && probe_p99_us > max_probe_p99_ms * 1e3) {
+    std::fprintf(stderr, "GATE: probe p99 %.0f us > %.1f ms under storm\n",
+                 probe_p99_us, max_probe_p99_ms);
     return 1;
   }
   return 0;

@@ -14,6 +14,8 @@
 //            [--fault-plan FILE] [--uplink-reliable] [--uplink-retx-buffer N]
 //            [--gap-fill] [--require-recovered]
 //            [--store-dir DIR] [--store-tier-budget K]
+//            [--disk-fault-plan FILE] [--scrub-interval N]
+//            [--scrub-audit FILE]
 //            [--prof-out FILE] [--lineage-out FILE]
 //            [--serve-port N] [--serve-port-file FILE] [--serve-linger S]
 //
@@ -57,6 +59,23 @@
 // --require-recovered exits non-zero if any epoch went unrecovered (the CI
 // chaos gate). Either flag implies the collector tier and the chunked
 // simulation loop.
+//
+// --disk-fault-plan FILE feeds the same plan format's `disk-*` directives
+// (write failures, short writes, lying fsyncs, seeded media rot, crash
+// points — see src/store/io.hpp) into the segment store's injectable I/O
+// shim; it requires --store-dir and implies the chunked loop so epoch
+// seals interleave with the workload. --scrub-interval N re-verifies every
+// sealed segment's record CRCs against the raw disk bytes every N ticks
+// (and once at the end of the run); corrupt records are quarantined, their
+// windows flagged lost, and read-repaired from a coarser tier when a
+// shadow survives. --scrub-audit FILE streams one deterministic JSONL line
+// per scrub pass (findings with segment/offset/span and the
+// quarantine/repair outcome). With a store, --require-recovered
+// additionally reopens the store read-only after the run and fails unless
+// that final scrub is clean — the "no corrupt byte is ever served" gate.
+// A `disk-abort` kill point makes the process _exit(86)
+// (store::kDiskAbortExitCode) mid-run; rerun without the plan to watch
+// recovery.
 //
 // --prof-out FILE turns on the always-on cycle profiler (umon::obs): every
 // instrumented hot path — Count-Min update, Haar butterfly, top-K offer,
@@ -132,6 +151,7 @@
 #include "serve/endpoints.hpp"
 #include "serve/server.hpp"
 #include "sketch/wavesketch_full.hpp"
+#include "store/io.hpp"
 #include "store/store.hpp"
 #include "uevent/acl.hpp"
 #include "uevent/detector.hpp"
@@ -167,6 +187,9 @@ struct Options {
   bool require_recovered = false;  ///< exit 1 on any unrecovered epoch
   std::string store_dir;           ///< durable segment store ("" = off)
   std::size_t store_tier_budget = 64;
+  std::string disk_fault_plan;  ///< store I/O chaos schedule ("" = off)
+  int scrub_interval = 0;       ///< scrub every N ticks (0 = end-only)
+  std::string scrub_audit;      ///< scrub findings JSONL path ("" = off)
   std::string prof_out;     ///< folded-stack output path ("" = profiler off)
   std::string lineage_out;  ///< lineage audit JSONL path ("" = lineage off)
   int serve_port = -1;          ///< -1 = serving off; 0 = ephemeral port
@@ -180,7 +203,12 @@ struct Options {
   [[nodiscard]] bool health_requested() const { return !health_out.empty(); }
   [[nodiscard]] bool store_requested() const { return !store_dir.empty(); }
   [[nodiscard]] bool resilience_requested() const {
-    return uplink_reliable || !fault_plan.empty();
+    // A disk-fault plan rides the chunked loop too: per-tick epoch seals
+    // are what give the I/O shim a syscall stream worth faulting.
+    return uplink_reliable || !fault_plan.empty() || !disk_fault_plan.empty();
+  }
+  [[nodiscard]] bool scrub_requested() const {
+    return scrub_interval > 0 || !disk_fault_plan.empty();
   }
   [[nodiscard]] bool lineage_requested() const { return !lineage_out.empty(); }
   /// The chunked loop is what lets faults, retransmits, health samples, and
@@ -269,6 +297,13 @@ bool parse(int argc, char** argv, Options& opt) {
       opt.store_tier_budget =
           static_cast<std::size_t>(std::atoll(next("--store-tier-budget")));
       if (opt.store_tier_budget < 4) opt.store_tier_budget = 4;
+    } else if (arg == "--disk-fault-plan") {
+      opt.disk_fault_plan = next("--disk-fault-plan");
+    } else if (arg == "--scrub-interval") {
+      opt.scrub_interval = std::atoi(next("--scrub-interval"));
+      if (opt.scrub_interval < 0) opt.scrub_interval = 0;
+    } else if (arg == "--scrub-audit") {
+      opt.scrub_audit = next("--scrub-audit");
     } else if (arg == "--prof-out") {
       opt.prof_out = next("--prof-out");
     } else if (arg == "--lineage-out") {
@@ -311,6 +346,8 @@ int main(int argc, char** argv) {
         "                [--uplink-retx-buffer N] [--gap-fill]\n"
         "                [--require-recovered]\n"
         "                [--store-dir DIR] [--store-tier-budget K]\n"
+        "                [--disk-fault-plan FILE] [--scrub-interval N]\n"
+        "                [--scrub-audit FILE]\n"
         "                [--prof-out FILE] [--lineage-out FILE]\n"
         "                [--serve-port N] [--serve-port-file FILE]\n"
         "                [--serve-linger SECONDS]\n");
@@ -362,6 +399,23 @@ int main(int argc, char** argv) {
     }
     injector = std::make_unique<resilience::FaultInjector>(std::move(*plan));
   }
+  // Disk-fault schedule for the segment store. Same plan format, separate
+  // file: the channel injector and the I/O shim each consume their own
+  // seeded stream, so one layer's chaos never perturbs the other's.
+  std::unique_ptr<store::FaultyIo> disk_io;
+  if (!opt.disk_fault_plan.empty()) {
+    if (!opt.store_requested()) {
+      std::fprintf(stderr, "--disk-fault-plan requires --store-dir\n");
+      return 2;
+    }
+    std::string err;
+    auto plan = resilience::FaultPlan::parse_file(opt.disk_fault_plan, &err);
+    if (!plan) {
+      std::fprintf(stderr, "bad --disk-fault-plan: %s\n", err.c_str());
+      return 2;
+    }
+    disk_io = std::make_unique<store::FaultyIo>(*plan);
+  }
 
   // The analyzer and (when requested) the collector tier exist before the
   // simulation starts: health mode streams epochs through them mid-run.
@@ -382,6 +436,7 @@ int main(int argc, char** argv) {
     store::StoreConfig scfg;
     scfg.dir = opt.store_dir;
     scfg.tier_budget = opt.store_tier_budget;
+    scfg.io = disk_io.get();
     curve_store = store::Store::open(scfg, &store_recovery);
     if (!curve_store) {
       std::fprintf(stderr, "cannot open --store-dir %s\n",
@@ -554,14 +609,72 @@ int main(int argc, char** argv) {
   std::uint64_t payloads_dropped = 0;
   const Nanos horizon = opt.duration + 5 * kMilli;
 
+  // Scrub plane: periodic CRC re-verification of the sealed segments
+  // against the raw disk bytes, with every pass accumulated for the report
+  // and (optionally) streamed to a JSONL audit. Everything in the audit is
+  // derived from the seeded simulation — pass index, segment ids, file
+  // offsets — so two same-seed chaos runs write byte-identical audits.
+  store::ScrubReport scrub_total;
+  std::uint64_t scrub_passes = 0;
+  std::ofstream scrub_audit_os;
+  if (!opt.scrub_audit.empty()) {
+    scrub_audit_os.open(opt.scrub_audit);
+    if (!scrub_audit_os) {
+      std::fprintf(stderr, "cannot write %s\n", opt.scrub_audit.c_str());
+      return 1;
+    }
+  }
+  auto run_scrub = [&] {
+    if (!curve_store) return;
+    const store::ScrubReport r = curve_store->scrub();
+    ++scrub_passes;
+    scrub_total.segments_scanned += r.segments_scanned;
+    scrub_total.bytes_scanned += r.bytes_scanned;
+    scrub_total.records_verified += r.records_verified;
+    scrub_total.corrupt_records += r.corrupt_records;
+    scrub_total.chunks_quarantined += r.chunks_quarantined;
+    scrub_total.chunks_repaired += r.chunks_repaired;
+    scrub_total.windows_lost += r.windows_lost;
+    scrub_total.findings.insert(scrub_total.findings.end(),
+                                r.findings.begin(), r.findings.end());
+    if (scrub_audit_os) {
+      scrub_audit_os << "{\"type\":\"scrub\",\"pass\":" << scrub_passes
+                     << ",\"segments\":" << r.segments_scanned
+                     << ",\"bytes\":" << r.bytes_scanned
+                     << ",\"records\":" << r.records_verified
+                     << ",\"corrupt\":" << r.corrupt_records
+                     << ",\"quarantined\":" << r.chunks_quarantined
+                     << ",\"repaired\":" << r.chunks_repaired
+                     << ",\"windows_lost\":" << r.windows_lost
+                     << ",\"findings\":[";
+      for (std::size_t i = 0; i < r.findings.size(); ++i) {
+        const store::ScrubFinding& f = r.findings[i];
+        scrub_audit_os << (i > 0 ? "," : "") << "{\"segment\":" << f.segment_id
+                       << ",\"tier\":" << static_cast<int>(f.tier)
+                       << ",\"offset\":" << f.offset
+                       << ",\"length\":" << f.length
+                       << ",\"quarantined\":" << f.chunks_quarantined
+                       << ",\"repaired\":" << f.chunks_repaired << "}";
+      }
+      scrub_audit_os << "]}\n";
+      scrub_audit_os.flush();
+    }
+  };
+
   // Durability barrier: fsync everything the analyzer has absorbed so far
   // into the segment store, then let the compactor age sealed segments. The
   // store-seal watermark advances to the analyzer-curve frontier — the store
   // just made durable exactly what the analyzer had ingested.
+  std::uint64_t checkpoint_n = 0;
   auto store_checkpoint = [&] {
     if (!curve_store) return;
     (void)curve_store->seal_epoch();
     curve_store->maintain();
+    ++checkpoint_n;
+    if (opt.scrub_interval > 0 &&
+        checkpoint_n % static_cast<std::uint64_t>(opt.scrub_interval) == 0) {
+      run_scrub();
+    }
     if (mon) {
       const Nanos hi =
           mon->watermarks().high(health::Stage::kAnalyzerCurve);
@@ -1010,6 +1123,33 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(fs.stalled_flushes));
   }
 
+  if (disk_io) {
+    const store::DiskFaultStats& ds = disk_io->stats();
+    std::printf("\ndisk fault injection (%s)\n", opt.disk_fault_plan.c_str());
+    std::printf("  syscalls:        %llu pwrites, %llu fsyncs, "
+                "%llu mutating ops\n",
+                static_cast<unsigned long long>(ds.pwrites),
+                static_cast<unsigned long long>(ds.fsyncs),
+                static_cast<unsigned long long>(disk_io->mutating_ops()));
+    std::printf("  injected:        %llu write errors, %llu short writes, "
+                "%llu lying fsyncs (%llu bytes dropped)\n",
+                static_cast<unsigned long long>(ds.write_errors),
+                static_cast<unsigned long long>(ds.short_writes),
+                static_cast<unsigned long long>(ds.fsync_failures),
+                static_cast<unsigned long long>(ds.dropped_bytes));
+    if (ds.corruptions > 0) {
+      std::printf("  media rot:       %llu corruption(s), %llu bit(s) "
+                  "flipped\n",
+                  static_cast<unsigned long long>(ds.corruptions),
+                  static_cast<unsigned long long>(ds.bits_flipped));
+    }
+  }
+
+  // Closing scrub: whatever rot the plan injected after the last periodic
+  // pass must be found, quarantined, and accounted before the report (and
+  // before the --require-recovered verdict).
+  if (curve_store && opt.scrub_requested()) run_scrub();
+
   if (curve_store) {
     const store::StoreStats ss = curve_store->stats();
     std::printf("\ndurable store (%s, tier budget K=%zu)\n",
@@ -1049,6 +1189,32 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(ss.cache.misses),
                 static_cast<unsigned long long>(ss.cache.evictions),
                 ss.cache.hit_ratio());
+    if (ss.seal_failures > 0) {
+      std::printf("  seal failures:   %llu epoch seal(s) hit I/O errors "
+                  "(recovered on reopen)\n",
+                  static_cast<unsigned long long>(ss.seal_failures));
+    }
+    if (scrub_passes > 0) {
+      std::printf("  scrub:           %llu pass(es), %zu record(s) verified "
+                  "(%.2f MB raw)\n",
+                  static_cast<unsigned long long>(scrub_passes),
+                  scrub_total.records_verified,
+                  static_cast<double>(scrub_total.bytes_scanned) / 1e6);
+      if (scrub_total.corrupt_records > 0) {
+        std::printf("  quarantine:      %zu corrupt record(s) -> %zu chunk(s) "
+                    "quarantined, %zu repaired from shadow, %llu window(s) "
+                    "lost\n",
+                    scrub_total.corrupt_records,
+                    scrub_total.chunks_quarantined,
+                    scrub_total.chunks_repaired,
+                    static_cast<unsigned long long>(scrub_total.windows_lost));
+      } else {
+        std::printf("  quarantine:      clean — no corrupt records found\n");
+      }
+      if (!opt.scrub_audit.empty()) {
+        std::printf("  scrub audit:     %s\n", opt.scrub_audit.c_str());
+      }
+    }
     std::printf("  query it back:   umon_query --store-dir %s --op sum\n",
                 opt.store_dir.c_str());
   }
@@ -1254,6 +1420,38 @@ int main(int argc, char** argv) {
                  "--require-recovered: %llu epoch(s) went unrecovered\n",
                  static_cast<unsigned long long>(epochs_unrecovered));
     return 1;
+  }
+  if (opt.require_recovered && opt.store_requested()) {
+    // Post-run store audit: drop the live handle, reopen the directory
+    // read-only through the real kernel I/O (the injected faults are over),
+    // and scrub once more. Recovery must cope with whatever the chaos run
+    // left on disk, and nothing corrupt may remain reachable — a record the
+    // quarantine missed here is a byte a later query would serve.
+    an.set_curve_sink(nullptr);
+    curve_store.reset();
+    store::StoreConfig vcfg;
+    vcfg.dir = opt.store_dir;
+    vcfg.tier_budget = opt.store_tier_budget;
+    store::RecoveryInfo vinfo;
+    const std::unique_ptr<store::Store> verify =
+        store::Store::open(vcfg, &vinfo, /*writable=*/false);
+    if (!verify) {
+      std::fprintf(stderr, "--require-recovered: store %s did not reopen\n",
+                   opt.store_dir.c_str());
+      return 1;
+    }
+    const store::ScrubReport vr = verify->scrub();
+    std::printf("\npost-run store verify: %zu segment(s) reopened, "
+                "%zu record(s) scrubbed, %zu corrupt\n",
+                vinfo.segments_opened, vr.records_verified,
+                vr.corrupt_records);
+    if (vr.corrupt_records > 0) {
+      std::fprintf(stderr,
+                   "--require-recovered: %zu corrupt record(s) still "
+                   "reachable after recovery\n",
+                   vr.corrupt_records);
+      return 1;
+    }
   }
   return 0;
 }

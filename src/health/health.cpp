@@ -107,7 +107,13 @@ std::string HealthMonitor::default_alarms() {
          "collector.batches_shed rate > 0; "
          "telemetry.trace_dropped_spans rate > 0; "
          "resilience.epochs_unrecovered rate > 0; "
-         "store.compaction_lag_segments last > 1 for 1ms";
+         "store.compaction_lag_segments last > 1 for 1ms; "
+         // Durability plane: any corrupt record the scrubber finds (media
+         // rot slipping past the page cache) and any epoch seal that hit an
+         // I/O error should page — both mean windows just went lost-at-best.
+         "store.scrub_corrupt rate > 0; "
+         "store.chunks_quarantined rate > 0; "
+         "store.seal_failures rate > 0";
 }
 
 HealthMonitor::HealthMonitor(const HealthConfig& cfg)

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cerrno>
 #include <fstream>
+#include <initializer_list>
 #include <sstream>
 
 namespace umon::resilience {
@@ -72,15 +74,33 @@ struct Args {
   }
 };
 
-bool fail(std::string* error, int line, const std::string& msg) {
+bool fail(std::string* error, const std::string& source, int line,
+          const std::string& msg) {
   std::ostringstream os;
-  os << "fault plan line " << line << ": " << msg;
+  os << source << ":" << line << ": " << msg;
   if (error != nullptr) *error = os.str();
   return false;
 }
 
-bool parse_line(const std::string& raw, int lineno, FaultPlan* plan,
-                std::string* error) {
+/// Which deterministic occurrence stream a disk directive consumes; two
+/// directives in the same stream with the same `nth` would race for one
+/// syscall — that is the overlap the parser rejects.
+int disk_stream(const DiskFault& d) {
+  switch (d.kind) {
+    case DiskFault::Kind::kFail:
+      return d.op == DiskFault::Op::kWrite ? 0 : 1;
+    case DiskFault::Kind::kShort:
+      return 0;  // shares the pwrite stream with disk-fail op=write
+    case DiskFault::Kind::kCorrupt:
+      return 2;  // durable-fsync (seal) stream
+    case DiskFault::Kind::kAbort:
+      return 3;  // mutating-op stream
+  }
+  return -1;
+}
+
+bool parse_line(const std::string& raw, const std::string& source, int lineno,
+                FaultPlan* plan, std::string* error) {
   std::string line = raw.substr(0, raw.find('#'));
   std::istringstream is(line);
   std::string word;
@@ -98,92 +118,211 @@ bool parse_line(const std::string& raw, int lineno, FaultPlan* plan,
     }
   }
 
+  // Every directive declares its full key set; a stray key is a typo the
+  // operator needs to hear about, not something to silently ignore.
+  auto reject_unknown_keys =
+      [&](std::initializer_list<const char*> allowed) {
+        for (const auto& [k, v] : args.kv) {
+          (void)v;
+          bool ok = false;
+          for (const char* a : allowed) {
+            if (k == a) ok = true;
+          }
+          if (!ok) {
+            return fail(error, source, lineno,
+                        "unknown key '" + (k.empty() ? v : k) + "' for '" +
+                            word + "'");
+          }
+        }
+        return true;
+      };
+
+  auto add_disk = [&](const DiskFault& d) {
+    for (const DiskFault& prev : plan->disk) {
+      if (disk_stream(prev) == disk_stream(d) && prev.nth == d.nth) {
+        std::ostringstream os;
+        os << "overlapping disk directive: occurrence " << d.nth
+           << " of this operation is already claimed";
+        return fail(error, source, lineno, os.str());
+      }
+    }
+    plan->disk.push_back(d);
+    return true;
+  };
+
   auto window = [&](ChannelFault* f) {
     return args.duration("from", &f->from) && args.duration("to", &f->to) &&
            f->to > f->from;
   };
 
   if (word == "seed") {
+    if (!reject_unknown_keys({""})) return false;
     const std::string* v = args.find("");
-    if (v == nullptr) return fail(error, lineno, "seed needs a value");
+    if (v == nullptr) return fail(error, source, lineno, "seed needs a value");
     try {
       plan->seed = std::stoull(*v);
     } catch (...) {
-      return fail(error, lineno, "bad seed value");
+      return fail(error, source, lineno, "bad seed value");
     }
     return true;
   }
   if (word == "burst-loss" || word == "blackout") {
+    if (word == "burst-loss") {
+      if (!reject_unknown_keys({"from", "to", "loss"})) return false;
+    } else {
+      if (!reject_unknown_keys({"from", "to"})) return false;
+    }
     ChannelFault f;
     f.kind = ChannelFault::Kind::kLoss;
     f.prob = 1.0;
-    if (!window(&f)) return fail(error, lineno, "need from=<t> to=<t>");
+    if (!window(&f)) return fail(error, source, lineno, "need from=<t> to=<t>");
     if (word == "burst-loss" && !args.number("loss", &f.prob)) {
-      return fail(error, lineno, "burst-loss needs loss=<prob>");
+      return fail(error, source, lineno, "burst-loss needs loss=<prob>");
     }
     plan->channel.push_back(f);
     return true;
   }
   if (word == "duplicate" || word == "reorder" || word == "corrupt") {
+    if (word == "duplicate") {
+      if (!reject_unknown_keys({"from", "to", "prob"})) return false;
+    } else if (word == "reorder") {
+      if (!reject_unknown_keys({"from", "to", "prob", "jitter"})) return false;
+    } else {
+      if (!reject_unknown_keys({"from", "to", "prob", "bits"})) return false;
+    }
     ChannelFault f;
-    if (!window(&f)) return fail(error, lineno, "need from=<t> to=<t>");
+    if (!window(&f)) return fail(error, source, lineno, "need from=<t> to=<t>");
     if (!args.number("prob", &f.prob)) {
-      return fail(error, lineno, word + " needs prob=<p>");
+      return fail(error, source, lineno, word + " needs prob=<p>");
     }
     if (word == "duplicate") {
       f.kind = ChannelFault::Kind::kDuplicate;
     } else if (word == "reorder") {
       f.kind = ChannelFault::Kind::kReorder;
       if (!args.duration("jitter", &f.extra_jitter) || f.extra_jitter <= 0) {
-        return fail(error, lineno, "reorder needs jitter=<dur>");
+        return fail(error, source, lineno, "reorder needs jitter=<dur>");
       }
     } else {
       f.kind = ChannelFault::Kind::kCorrupt;
       f.bits = 1;
       (void)args.integer("bits", &f.bits);
-      if (f.bits < 1) return fail(error, lineno, "corrupt bits must be >= 1");
+      if (f.bits < 1) {
+        return fail(error, source, lineno, "corrupt bits must be >= 1");
+      }
     }
     plan->channel.push_back(f);
     return true;
   }
   if (word == "stall-host") {
+    if (!reject_unknown_keys({"host", "from", "to"})) return false;
     HostStall s;
     if (!args.integer("host", &s.host) || s.host < 0) {
-      return fail(error, lineno, "stall-host needs host=<n>");
+      return fail(error, source, lineno, "stall-host needs host=<n>");
     }
     if (!args.duration("from", &s.from) || !args.duration("to", &s.to) ||
         s.to <= s.from) {
-      return fail(error, lineno, "need from=<t> to=<t>");
+      return fail(error, source, lineno, "need from=<t> to=<t>");
     }
     plan->stalls.push_back(s);
     return true;
   }
   if (word == "crash-shard") {
+    if (!reject_unknown_keys({"shard", "at", "restart"})) return false;
     ShardCrash c;
     if (!args.integer("shard", &c.shard) || c.shard < 0) {
-      return fail(error, lineno, "crash-shard needs shard=<n>");
+      return fail(error, source, lineno, "crash-shard needs shard=<n>");
     }
     if (!args.duration("at", &c.at)) {
-      return fail(error, lineno, "crash-shard needs at=<t>");
+      return fail(error, source, lineno, "crash-shard needs at=<t>");
     }
     c.restart = 0;
     (void)args.duration("restart", &c.restart);
     plan->crashes.push_back(c);
     return true;
   }
-  return fail(error, lineno, "unknown directive '" + word + "'");
+  if (word == "disk-fail") {
+    if (!reject_unknown_keys({"op", "nth", "errno"})) return false;
+    DiskFault d;
+    d.kind = DiskFault::Kind::kFail;
+    const std::string* op = args.find("op");
+    if (op == nullptr || (*op != "write" && *op != "fsync")) {
+      return fail(error, source, lineno, "disk-fail needs op=write|fsync");
+    }
+    d.op = *op == "write" ? DiskFault::Op::kWrite : DiskFault::Op::kFsync;
+    int nth = 0;
+    if (!args.integer("nth", &nth) || nth < 1) {
+      return fail(error, source, lineno, "disk-fail needs nth=<n> (>= 1)");
+    }
+    d.nth = static_cast<std::uint64_t>(nth);
+    d.err = EIO;
+    if (const std::string* e = args.find("errno")) {
+      if (*e == "eio") {
+        d.err = EIO;
+      } else if (*e == "enospc") {
+        d.err = ENOSPC;
+      } else {
+        return fail(error, source, lineno, "disk-fail errno must be eio|enospc");
+      }
+    }
+    return add_disk(d);
+  }
+  if (word == "disk-short") {
+    if (!reject_unknown_keys({"nth", "bytes"})) return false;
+    DiskFault d;
+    d.kind = DiskFault::Kind::kShort;
+    d.op = DiskFault::Op::kWrite;
+    int nth = 0, bytes = -1;
+    if (!args.integer("nth", &nth) || nth < 1) {
+      return fail(error, source, lineno, "disk-short needs nth=<n> (>= 1)");
+    }
+    if (!args.integer("bytes", &bytes) || bytes < 0) {
+      return fail(error, source, lineno, "disk-short needs bytes=<n> (>= 0)");
+    }
+    d.nth = static_cast<std::uint64_t>(nth);
+    d.bytes = static_cast<std::uint32_t>(bytes);
+    return add_disk(d);
+  }
+  if (word == "disk-corrupt") {
+    if (!reject_unknown_keys({"seal", "bits"})) return false;
+    DiskFault d;
+    d.kind = DiskFault::Kind::kCorrupt;
+    int seal = 0;
+    if (!args.integer("seal", &seal) || seal < 1) {
+      return fail(error, source, lineno, "disk-corrupt needs seal=<n> (>= 1)");
+    }
+    d.nth = static_cast<std::uint64_t>(seal);
+    d.bits = 1;
+    (void)args.integer("bits", &d.bits);
+    if (d.bits < 1) {
+      return fail(error, source, lineno, "disk-corrupt bits must be >= 1");
+    }
+    return add_disk(d);
+  }
+  if (word == "disk-abort") {
+    if (!reject_unknown_keys({"nth"})) return false;
+    DiskFault d;
+    d.kind = DiskFault::Kind::kAbort;
+    d.op = DiskFault::Op::kAny;
+    int nth = 0;
+    if (!args.integer("nth", &nth) || nth < 1) {
+      return fail(error, source, lineno, "disk-abort needs nth=<n> (>= 1)");
+    }
+    d.nth = static_cast<std::uint64_t>(nth);
+    return add_disk(d);
+  }
+  return fail(error, source, lineno, "unknown directive '" + word + "'");
 }
 
 }  // namespace
 
-std::optional<FaultPlan> FaultPlan::parse(std::istream& in,
-                                          std::string* error) {
+std::optional<FaultPlan> FaultPlan::parse(std::istream& in, std::string* error,
+                                          const std::string& source) {
   FaultPlan plan;
   std::string line;
   int lineno = 0;
   while (std::getline(in, line)) {
     ++lineno;
-    if (!parse_line(line, lineno, &plan, error)) return std::nullopt;
+    if (!parse_line(line, source, lineno, &plan, error)) return std::nullopt;
   }
   return plan;
 }
@@ -195,7 +334,7 @@ std::optional<FaultPlan> FaultPlan::parse_file(const std::string& path,
     if (error != nullptr) *error = "cannot open fault plan: " + path;
     return std::nullopt;
   }
-  return parse(in, error);
+  return parse(in, error, path);
 }
 
 FaultAction FaultInjector::on_send(int host, Nanos now,

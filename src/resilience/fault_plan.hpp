@@ -17,8 +17,24 @@
 //   stall-host host=2 from=4ms to=6ms          # host neither flushes nor sends
 //   crash-shard shard=1 at=5ms restart=7ms     # collector shard loses state
 //
+// Disk directives drive the store's injectable file-I/O shim
+// (store::FaultyIo). Counts are 1-based occurrence indices over the whole
+// run, in deterministic syscall order:
+//
+//   disk-fail    op=write nth=3 errno=enospc   # Nth pwrite fails (eio|enospc)
+//   disk-fail    op=fsync nth=2                # Nth fsync "lies": returns -1
+//                                              # and the kernel drops the
+//                                              # not-yet-durable tail
+//   disk-short   nth=4 bytes=7                 # Nth pwrite lands only B bytes
+//   disk-corrupt seal=2 bits=5                 # flip N seeded record bits
+//                                              # after the 2nd durable fsync
+//   disk-abort   nth=9                         # _exit at the Nth mutating
+//                                              # I/O op (crash torture)
+//
 // Directives of the same type may repeat (e.g. several loss bursts); windows
-// are inclusive of `from`, exclusive of `to`.
+// are inclusive of `from`, exclusive of `to`. Two disk directives aiming at
+// the same occurrence of the same operation overlap and are rejected at
+// parse time, as is any unknown directive key.
 #pragma once
 
 #include <cstdint>
@@ -55,20 +71,41 @@ struct ShardCrash {
   Nanos restart = 0;  ///< <= at means the shard never restarts
 };
 
+/// One disk-level fault, consumed by the store's injectable I/O shim.
+struct DiskFault {
+  enum class Kind {
+    kFail,     ///< the Nth matching syscall returns -1 (with `err`)
+    kShort,    ///< the Nth pwrite lands only `bytes` bytes
+    kCorrupt,  ///< after the Nth durable fsync, flip `bits` seeded bits
+    kAbort,    ///< _exit the process at the Nth mutating I/O op
+  };
+  enum class Op { kWrite, kFsync, kAny };
+  Kind kind = Kind::kFail;
+  Op op = Op::kAny;
+  std::uint64_t nth = 0;     ///< 1-based occurrence index
+  int err = 0;               ///< kFail: injected errno (EIO / ENOSPC)
+  std::uint32_t bytes = 0;   ///< kShort: bytes actually written
+  int bits = 1;              ///< kCorrupt: record bits flipped
+};
+
 struct FaultPlan {
   std::uint64_t seed = 1;
   std::vector<ChannelFault> channel;
   std::vector<HostStall> stalls;
   std::vector<ShardCrash> crashes;
+  std::vector<DiskFault> disk;
 
   [[nodiscard]] bool empty() const {
-    return channel.empty() && stalls.empty() && crashes.empty();
+    return channel.empty() && stalls.empty() && crashes.empty() &&
+           disk.empty();
   }
 
-  /// Parse the text format above. Returns nullopt and sets *error (with a
-  /// line number) on the first malformed directive.
-  [[nodiscard]] static std::optional<FaultPlan> parse(std::istream& in,
-                                                      std::string* error);
+  /// Parse the text format above. Returns nullopt and sets *error on the
+  /// first malformed, overlapping, or unknown-key directive; `source` names
+  /// the plan in error messages as `<source>:<line>: <msg>`.
+  [[nodiscard]] static std::optional<FaultPlan> parse(
+      std::istream& in, std::string* error,
+      const std::string& source = "fault plan");
   [[nodiscard]] static std::optional<FaultPlan> parse_file(
       const std::string& path, std::string* error);
 };

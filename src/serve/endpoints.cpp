@@ -57,10 +57,16 @@ Endpoints::Endpoints(Server& server, Services services)
   cache_misses_ = server_.registry().counter(
       "umon_serve_query_cache_misses_total", {},
       "/api/v1/query responses that ran the engine and serializer");
-  server_.set_dispatch([this](const HttpRequest& req) { return route(req); });
+  shed_total_ = server_.registry().counter(
+      "umon_serve_shed_total", {},
+      "uncached /api/v1/query requests refused with 503 + Retry-After by "
+      "the admission controller");
+  server_.set_dispatch([this](const HttpRequest& req, const LoadHint& hint) {
+    return route(req, hint);
+  });
 }
 
-Routed Endpoints::route(const HttpRequest& req) {
+Routed Endpoints::route(const HttpRequest& req, const LoadHint& hint) {
   const bool is_get = req.method == "GET" || req.method == "HEAD";
   const std::string& p = req.path;
 
@@ -105,7 +111,9 @@ Routed Endpoints::route(const HttpRequest& req) {
     HttpResponse r = get_lineage_one(p, bad_path);
     return Routed{std::move(r), "/lineage/{host}/{epoch}"};
   }
-  if (p == "/api/v1/query") return Routed{get_query(req), "/api/v1/query"};
+  if (p == "/api/v1/query") {
+    return Routed{get_query(req, hint), "/api/v1/query"};
+  }
   if (p == "/api/v1/status") {
     return Routed{get_snapshot_slot("status", kJson, "status not published"),
                   "/api/v1/status"};
@@ -182,7 +190,15 @@ HttpResponse Endpoints::get_lineage_one(const std::string& path,
   return HttpResponse{200, kNdjson, oss.str(), false};
 }
 
-HttpResponse Endpoints::get_query(const HttpRequest& req) {
+HttpResponse Endpoints::shed_overloaded() {
+  shed_total_->inc();
+  HttpResponse r = err(503, "overloaded; uncached query shed, retry shortly");
+  r.extra_headers = "Retry-After: 1\r\n";
+  return r;
+}
+
+HttpResponse Endpoints::get_query(const HttpRequest& req,
+                                  const LoadHint& hint) {
   // --- parameter validation (umon_query exit 2 <=> HTTP 400) --------------
   // Runs before the store check to mirror umon_query, where usage errors
   // are reported before the store is opened.
@@ -251,6 +267,9 @@ HttpResponse Endpoints::get_query(const HttpRequest& req) {
   };
 
   if (list_flows) {
+    // The flow listing is never cached and walks every segment index —
+    // always expensive, so it sheds under load.
+    if (hint.shed_expensive) return shed_overloaded();
     const auto extents = store::flow_extents(*svc_.store);
     std::ostringstream oss;
     if (csv) {
@@ -263,6 +282,10 @@ HttpResponse Endpoints::get_query(const HttpRequest& req) {
 
   store::Query q;
   if (!from_us || !to_us) {
+    // The default range needs an extent scan before the cache key can even
+    // be computed, so under load these shed outright; explicit-range
+    // queries below can still be answered from the cache.
+    if (hint.shed_expensive) return shed_overloaded();
     // Default range = union of every flow's extent (the umon_query
     // behavior); only this path needs the extent scan.
     WindowId lo = 0, hi = 0;
@@ -298,6 +321,9 @@ HttpResponse Endpoints::get_query(const HttpRequest& req) {
     lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
     return HttpResponse{200, content_type, it->second.body, false};
   }
+  // Cost-based admission: a miss means engine + serializer work under
+  // load — refuse it and tell the client when to come back.
+  if (hint.shed_expensive) return shed_overloaded();
   cache_misses_->inc();
 
   if (from_us && to_us) {

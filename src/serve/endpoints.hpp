@@ -27,6 +27,12 @@
 // Status mapping for /api/v1/query mirrors the umon_query exit codes
 // (store/query_io.hpp): ran -> 200, store missing/unreadable -> 503,
 // bad parameters -> 400.
+//
+// Admission control: when the server's LoadHint says shed_expensive, any
+// /api/v1/query work that would walk the store (cache misses, list=flows,
+// default-range extent scans) is refused with 503 + `Retry-After: 1`.
+// Cache hits still serve, and every other endpoint — /health, /metrics,
+// /api/v1/status, the SSE stream — stays on regardless of load.
 #pragma once
 
 #include <cstdint>
@@ -66,7 +72,7 @@ class Endpoints {
   Endpoints(const Endpoints&) = delete;
   Endpoints& operator=(const Endpoints&) = delete;
 
-  [[nodiscard]] Routed route(const HttpRequest& req);
+  [[nodiscard]] Routed route(const HttpRequest& req, const LoadHint& hint);
 
   struct CacheStats {
     std::uint64_t hits = 0;
@@ -90,8 +96,9 @@ class Endpoints {
   HttpResponse get_prof();
   HttpResponse get_lineage_all();
   HttpResponse get_lineage_one(const std::string& path, bool& bad_path);
-  HttpResponse get_query(const HttpRequest& req);
+  HttpResponse get_query(const HttpRequest& req, const LoadHint& hint);
   HttpResponse get_index();
+  HttpResponse shed_overloaded();
 
   struct CacheKey {
     std::uint64_t fingerprint = 0;
@@ -117,6 +124,7 @@ class Endpoints {
   std::list<CacheKey> lru_;  ///< front = most recently used
   telemetry::Counter* cache_hits_ = nullptr;
   telemetry::Counter* cache_misses_ = nullptr;
+  telemetry::Counter* shed_total_ = nullptr;
 };
 
 }  // namespace umon::serve

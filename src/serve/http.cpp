@@ -175,9 +175,10 @@ const char* status_text(int status) {
 }
 
 std::string make_response(int status, std::string_view content_type,
-                          std::string_view body, bool keep_alive) {
+                          std::string_view body, bool keep_alive,
+                          std::string_view extra_header_lines) {
   std::string out;
-  out.reserve(body.size() + 128);
+  out.reserve(body.size() + 128 + extra_header_lines.size());
   out += "HTTP/1.1 ";
   out += std::to_string(status);
   out += ' ';
@@ -189,7 +190,9 @@ std::string make_response(int status, std::string_view content_type,
   out += "\r\nConnection: ";
   out += keep_alive ? "keep-alive" : "close";
   if (status == 405) out += "\r\nAllow: GET, HEAD";
-  out += "\r\n\r\n";
+  out += "\r\n";
+  out += extra_header_lines;
+  out += "\r\n";
   out += body;
   return out;
 }

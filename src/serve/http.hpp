@@ -63,11 +63,14 @@ enum class ParseStatus : std::uint8_t {
 
 /// Full response bytes: status line, Content-Type/Length, Connection,
 /// CRLF CRLF, body. No Date header — responses must be byte-deterministic
-/// for same-seed replay comparisons.
+/// for same-seed replay comparisons. `extra_header_lines` is zero or more
+/// pre-formatted `Name: value\r\n` lines (e.g. the admission controller's
+/// `Retry-After: 1\r\n`) spliced in before the blank line.
 [[nodiscard]] std::string make_response(int status,
                                         std::string_view content_type,
                                         std::string_view body,
-                                        bool keep_alive);
+                                        bool keep_alive,
+                                        std::string_view extra_header_lines = {});
 
 /// Response head for a Server-Sent Events stream (no Content-Length; the
 /// connection stays open and events follow as `event:`/`data:` frames).

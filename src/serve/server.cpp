@@ -42,6 +42,9 @@ Server::Server(ServeConfig cfg) : cfg_(std::move(cfg)) {
   sse_dropped_total_ =
       registry_.counter("umon_serve_sse_dropped_total", {},
                         "SSE frames dropped on full subscriber buffers");
+  sse_laggards_closed_total_ = registry_.counter(
+      "umon_serve_sse_laggards_closed_total", {},
+      "SSE subscribers disconnected at the global backlog watermark");
   connections_active_ = registry_.gauge("umon_serve_connections_active", {},
                                         "open connections");
   sse_clients_ = registry_.gauge("umon_serve_sse_clients", {},
@@ -116,6 +119,7 @@ void Server::stop() {
   running_.store(false, std::memory_order_relaxed);
   for (auto& [fd, c] : conns_) ::close(fd);
   conns_.clear();
+  inflight_total_ = 0;
   connections_active_->set(0);
   sse_clients_->set(0);
   if (wake_fd_ >= 0) ::close(wake_fd_);
@@ -158,10 +162,15 @@ void Server::broadcast_sse(const std::string& event, const std::string& data) {
 
 void Server::update_interest(Conn& c) {
   const bool want_write = c.out_off < c.out.size();
-  if (want_write == c.want_write) return;
+  // EPOLLIN must be disarmed while parsing is paused: the loop is
+  // level-triggered, so leaving it armed with unread socket bytes would
+  // spin the loop at 100% CPU instead of exerting TCP backpressure.
+  const bool want_read = !c.read_paused;
+  if (want_write == c.want_write && want_read == c.read_armed) return;
   c.want_write = want_write;
+  c.read_armed = want_read;
   epoll_event ev{};
-  ev.events = EPOLLIN | (want_write ? EPOLLOUT : 0u);
+  ev.events = (want_read ? EPOLLIN : 0u) | (want_write ? EPOLLOUT : 0u);
   ev.data.fd = c.fd;
   ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, c.fd, &ev);
 }
@@ -170,6 +179,7 @@ void Server::close_conn(int fd) {
   const auto it = conns_.find(fd);
   if (it == conns_.end()) return;
   if (it->second.sse) sse_clients_->add(-1);
+  inflight_total_ -= it->second.inflight;
   ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
   ::close(fd);
   conns_.erase(it);
@@ -220,18 +230,25 @@ void Server::queue_response(Conn& c, int status, const std::string& response) {
     c.close_after_flush = true;
   }
   c.out += response;
+  ++c.inflight;
+  ++inflight_total_;
 }
 
 void Server::handle_parsed(Conn& c, const HttpRequest& req) {
   requests_total_->inc();
   Routed routed;
   if (dispatch_) {
+    // Admission hint: the router sheds expensive uncached work when the
+    // global in-flight backlog is at the cap (cheap endpoints stay on).
+    LoadHint hint;
+    hint.inflight = inflight_total_;
+    hint.shed_expensive = inflight_total_ >= cfg_.max_inflight_requests;
     std::string endpoint = "other";
     // Per-endpoint latency is detail-gated: no clock is read when detail
     // is off, which also keeps /metrics byte-deterministic in replay runs.
     const bool timed = telemetry::detail_enabled();
     const std::uint64_t t0_ns = timed ? telemetry::monotonic_ns() : 0;
-    routed = dispatch_(req);
+    routed = dispatch_(req, hint);
     if (!routed.endpoint.empty()) endpoint = routed.endpoint;
     if (timed) {
       auto hit = endpoint_latency_.find(endpoint);
@@ -276,7 +293,8 @@ void Server::handle_parsed(Conn& c, const HttpRequest& req) {
   const bool keep = req.keep_alive && !c.close_after_flush;
   std::string bytes =
       make_response(routed.response.status, routed.response.content_type,
-                    routed.response.body, keep);
+                    routed.response.body, keep,
+                    routed.response.extra_headers);
   if (req.method == "HEAD") {
     const std::size_t head_end = bytes.find("\r\n\r\n");
     if (head_end != std::string::npos) bytes.resize(head_end + 4);
@@ -307,8 +325,21 @@ void Server::read_ready(Conn& c, std::uint64_t now_ns) {
     return;
   }
 
-  // Drain every complete pipelined request already buffered.
+  process_input(c);
+  write_ready(c);  // opportunistic flush; may close c
+}
+
+void Server::process_input(Conn& c) {
+  // Drain complete pipelined requests already buffered, up to the
+  // per-connection in-flight cap.
   while (!c.sse && !c.close_after_flush) {
+    if (c.inflight >= cfg_.max_pipelined_requests) {
+      // Pipelining backpressure: stop parsing — and stop reading the
+      // socket — until the queued responses flush. The sender sees TCP
+      // push back instead of the server buffering without bound.
+      c.read_paused = true;
+      break;
+    }
     HttpRequest req;
     const ParseStatus st = parse_request(c.in, cfg_.max_request_bytes, req);
     if (st == ParseStatus::kNeedMore) break;
@@ -332,34 +363,48 @@ void Server::read_ready(Conn& c, std::uint64_t now_ns) {
     c.in.erase(0, req.consumed);
     handle_parsed(c, req);
   }
-  write_ready(c);  // opportunistic flush; may close c
 }
 
 void Server::write_ready(Conn& c) {
-  while (c.out_off < c.out.size()) {
-    const ssize_t n = ::send(c.fd, c.out.data() + c.out_off,
-                             c.out.size() - c.out_off, MSG_NOSIGNAL);
-    if (n > 0) {
-      c.out_off += static_cast<std::size_t>(n);
-      bytes_sent_total_->inc(static_cast<std::uint64_t>(n));
-      continue;
+  for (;;) {
+    while (c.out_off < c.out.size()) {
+      const ssize_t n = ::send(c.fd, c.out.data() + c.out_off,
+                               c.out.size() - c.out_off, MSG_NOSIGNAL);
+      if (n > 0) {
+        c.out_off += static_cast<std::size_t>(n);
+        bytes_sent_total_->inc(static_cast<std::uint64_t>(n));
+        continue;
+      }
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+        if (c.out_off > kCompactThreshold) {
+          c.out.erase(0, c.out_off);
+          c.out_off = 0;
+        }
+        update_interest(c);
+        return;
+      }
+      close_conn(c.fd);
+      return;
     }
-    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
-    close_conn(c.fd);
-    return;
-  }
-  if (c.out_off >= c.out.size()) {
+    // Fully drained: every queued response has reached the socket.
     c.out.clear();
     c.out_off = 0;
+    inflight_total_ -= c.inflight;
+    c.inflight = 0;
     if (c.close_after_flush) {
       close_conn(c.fd);
       return;
     }
-  } else if (c.out_off > kCompactThreshold) {
-    c.out.erase(0, c.out_off);
-    c.out_off = 0;
+    if (c.read_paused) {
+      // Backlog cleared: resume the requests deferred by the pipelining
+      // cap, then loop to flush whatever they queued.
+      c.read_paused = false;
+      process_input(c);
+      if (c.out_off < c.out.size()) continue;
+    }
+    update_interest(c);
+    return;
   }
-  update_interest(c);
 }
 
 void Server::fan_out_events(std::uint64_t now_ns) {
@@ -386,6 +431,30 @@ void Server::fan_out_events(std::uint64_t now_ns) {
   for (const int fd : flush) {
     const auto it = conns_.find(fd);
     if (it != conns_.end()) write_ready(it->second);
+  }
+  enforce_sse_watermark();
+}
+
+void Server::enforce_sse_watermark() {
+  // Memory watermark: when the aggregate unflushed SSE backlog passes the
+  // cap, disconnect the slowest subscriber (largest backlog) rather than
+  // letting stream memory grow without bound.
+  for (;;) {
+    std::size_t total = 0;
+    int worst_fd = -1;
+    std::size_t worst = 0;
+    for (const auto& [fd, c] : conns_) {
+      if (!c.sse) continue;
+      const std::size_t backlog = c.out.size() - c.out_off;
+      total += backlog;
+      if (backlog > worst) {
+        worst = backlog;
+        worst_fd = fd;
+      }
+    }
+    if (total <= cfg_.sse_total_buffered_bytes || worst_fd < 0) return;
+    sse_laggards_closed_total_->inc();
+    close_conn(worst_fd);
   }
 }
 

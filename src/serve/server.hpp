@@ -25,6 +25,13 @@
 // cfg.idle_timeout (slowloris), and stop() drains in-flight response
 // bytes before closing (bounded by cfg.drain_timeout).
 //
+// Overload protection: each dispatched request carries a LoadHint so the
+// router can shed expensive uncached work (503 + Retry-After) once the
+// global in-flight cap is hit; a per-connection pipelining cap pauses
+// reads (TCP backpressure) instead of buffering responses unboundedly;
+// and a global SSE watermark disconnects the laggard with the largest
+// backlog rather than letting aggregate stream memory grow.
+//
 // The server meters itself into its own MetricRegistry
 // (umon_serve_*: request/response/byte counters, connection gauges, and
 // detail-gated per-endpoint latency histograms); export it alongside the
@@ -68,6 +75,20 @@ struct ServeConfig {
   /// Comment frame cadence on idle SSE streams (keeps proxies from
   /// timing the stream out and lets smoke tests observe liveness).
   Nanos sse_keepalive_period = kSecond;
+  /// Global in-flight cap: once this many responses are queued but not yet
+  /// flushed to their sockets, the dispatcher is told to shed expensive
+  /// (uncached) work; cheap always-on endpoints keep answering. 0 sheds
+  /// everything expensive (useful in tests).
+  std::size_t max_inflight_requests = 64;
+  /// Per-connection pipelining cap: at most this many unflushed responses
+  /// per connection. Past it the server stops *reading* the connection
+  /// until the backlog drains — TCP backpressure instead of unbounded
+  /// response buffering.
+  std::size_t max_pipelined_requests = 8;
+  /// Global SSE memory watermark: when the summed unflushed backlog of all
+  /// SSE subscribers passes it, the laggard with the largest backlog is
+  /// disconnected (and counted) instead of buffering without bound.
+  std::size_t sse_total_buffered_bytes = std::size_t{8} * 1024 * 1024;
 };
 
 struct HttpResponse {
@@ -75,6 +96,17 @@ struct HttpResponse {
   std::string content_type = "application/json";
   std::string body;
   bool sse = false;  ///< switch this connection to an SSE stream
+  /// Pre-formatted `Name: value\r\n` lines appended to the header block
+  /// (e.g. the admission controller's `Retry-After: 1\r\n`).
+  std::string extra_headers;
+};
+
+/// Load snapshot handed to the dispatcher with each request so routing can
+/// do cost-based admission control (shed uncached heavy work under
+/// pressure while keeping /health and /metrics always-on).
+struct LoadHint {
+  std::size_t inflight = 0;    ///< responses queued, not yet flushed
+  bool shed_expensive = false;  ///< at/over the global in-flight cap
 };
 
 /// What the router returns: the response plus a low-cardinality endpoint
@@ -87,7 +119,7 @@ struct Routed {
 
 class Server {
  public:
-  using Dispatch = std::function<Routed(const HttpRequest&)>;
+  using Dispatch = std::function<Routed(const HttpRequest&, const LoadHint&)>;
 
   explicit Server(ServeConfig cfg);
   ~Server();
@@ -137,14 +169,20 @@ class Server {
     std::size_t out_off = 0;
     bool sse = false;
     bool close_after_flush = false;
-    bool want_write = false;  ///< EPOLLOUT currently armed
+    bool want_write = false;   ///< EPOLLOUT currently armed
+    bool read_armed = true;    ///< EPOLLIN currently armed
+    bool read_paused = false;  ///< parsing paused (pipelining backpressure)
+    /// Responses queued on this connection and not yet fully flushed.
+    std::size_t inflight = 0;
     std::uint64_t last_activity_ns = 0;
   };
 
   void loop();
   void accept_ready(std::uint64_t now_ns);
   void read_ready(Conn& c, std::uint64_t now_ns);
+  void process_input(Conn& c);
   void write_ready(Conn& c);
+  void enforce_sse_watermark();
   void handle_parsed(Conn& c, const HttpRequest& req);
   void queue_response(Conn& c, int status, const std::string& response);
   void fan_out_events(std::uint64_t now_ns);
@@ -173,6 +211,8 @@ class Server {
 
   std::unordered_map<int, Conn> conns_;  ///< loop thread only
   std::uint64_t last_keepalive_ns_ = 0;
+  /// Sum of Conn::inflight across connections (loop thread only).
+  std::size_t inflight_total_ = 0;
 
   telemetry::MetricRegistry registry_;
   telemetry::Counter* requests_total_ = nullptr;
@@ -182,6 +222,7 @@ class Server {
   telemetry::Counter* overflow_closed_total_ = nullptr;
   telemetry::Counter* sse_events_total_ = nullptr;
   telemetry::Counter* sse_dropped_total_ = nullptr;
+  telemetry::Counter* sse_laggards_closed_total_ = nullptr;
   telemetry::Gauge* connections_active_ = nullptr;
   telemetry::Gauge* sse_clients_ = nullptr;
   /// Per-endpoint instruments, created lazily on the loop thread.

@@ -1,0 +1,196 @@
+#include "store/io.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+
+#include "store/format.hpp"
+
+namespace umon::store {
+
+namespace {
+
+class RealIo final : public FileIo {
+ public:
+  int open(const char* path, int flags, unsigned mode) override {
+    return ::open(path, flags, mode);
+  }
+  ssize_t pread(int fd, void* buf, std::size_t n, off_t off) override {
+    return ::pread(fd, buf, n, off);
+  }
+  ssize_t pwrite(int fd, const void* buf, std::size_t n, off_t off) override {
+    return ::pwrite(fd, buf, n, off);
+  }
+  int fsync(int fd) override { return ::fsync(fd); }
+  int ftruncate(int fd, off_t len) override { return ::ftruncate(fd, len); }
+  int close(int fd) override { return ::close(fd); }
+  int unlink(const char* path) override { return ::unlink(path); }
+  int rename(const char* from, const char* to) override {
+    return ::rename(from, to);
+  }
+  off_t file_size(int fd) override { return ::lseek(fd, 0, SEEK_END); }
+};
+
+}  // namespace
+
+FileIo& real_io() {
+  static RealIo io;
+  return io;
+}
+
+FaultyIo::FaultyIo(const resilience::FaultPlan& plan)
+    : rng_(plan.seed ^ 0xD15CFA17ULL) {
+  using resilience::DiskFault;
+  for (const DiskFault& f : plan.disk) {
+    switch (f.kind) {
+      case DiskFault::Kind::kFail:
+        if (f.op == DiskFault::Op::kWrite) {
+          write_faults_[f.nth] = f;
+        } else {
+          fsync_faults_[f.nth] = f.err != 0 ? f.err : EIO;
+        }
+        break;
+      case DiskFault::Kind::kShort:
+        write_faults_[f.nth] = f;
+        break;
+      case DiskFault::Kind::kCorrupt:
+        corruptions_[f.nth] = f.bits;
+        break;
+      case DiskFault::Kind::kAbort:
+        aborts_.insert(f.nth);
+        break;
+    }
+  }
+}
+
+void FaultyIo::mutating_op() {
+  ++mutating_n_;
+  if (aborts_.count(mutating_n_) > 0) {
+    // Crash-torture kill point: die without flushing anything, the way a
+    // power cut would. _exit skips every destructor and atexit hook.
+    ::_exit(kDiskAbortExitCode);
+  }
+}
+
+int FaultyIo::open(const char* path, int flags, unsigned mode) {
+  const int fd = ::open(path, flags, mode);
+  if (fd >= 0) {
+    // Whatever is in the file at open is durable as far as this run is
+    // concerned (O_TRUNC creations start at zero).
+    const off_t size = ::lseek(fd, 0, SEEK_END);
+    durable_[fd] = size > 0 ? size : 0;
+  }
+  return fd;
+}
+
+ssize_t FaultyIo::pread(int fd, void* buf, std::size_t n, off_t off) {
+  return ::pread(fd, buf, n, off);
+}
+
+ssize_t FaultyIo::pwrite(int fd, const void* buf, std::size_t n, off_t off) {
+  mutating_op();
+  ++pwrite_n_;
+  ++stats_.pwrites;
+  const auto it = write_faults_.find(pwrite_n_);
+  if (it != write_faults_.end()) {
+    using resilience::DiskFault;
+    if (it->second.kind == DiskFault::Kind::kFail) {
+      ++stats_.write_errors;
+      errno = it->second.err != 0 ? it->second.err : EIO;
+      return -1;
+    }
+    // Short write: only the first `bytes` land; the caller sees the same
+    // return a full signal-interrupted write would produce.
+    ++stats_.short_writes;
+    const std::size_t take =
+        std::min<std::size_t>(n, it->second.bytes);
+    if (take == 0) return 0;
+    return ::pwrite(fd, buf, take, off);
+  }
+  return ::pwrite(fd, buf, n, off);
+}
+
+int FaultyIo::fsync(int fd) {
+  mutating_op();
+  ++fsync_n_;
+  ++stats_.fsyncs;
+  const auto fault = fsync_faults_.find(fsync_n_);
+  if (fault != fsync_faults_.end()) {
+    // fsync lies once: the kernel reports the failure, drops the dirty
+    // pages it could not write, and a later fsync of the same fd succeeds
+    // without resurrecting them. Emulated by truncating back to the extent
+    // the last successful fsync made durable — correct for the store's
+    // append-only writers, which never overwrite durable bytes.
+    ++stats_.fsync_failures;
+    const auto durable = durable_.find(fd);
+    const off_t keep = durable != durable_.end() ? durable->second : 0;
+    const off_t size = ::lseek(fd, 0, SEEK_END);
+    if (size > keep) {
+      stats_.dropped_bytes += static_cast<std::uint64_t>(size - keep);
+      (void)::ftruncate(fd, keep);
+    }
+    errno = fault->second;
+    return -1;
+  }
+  const int rc = ::fsync(fd);
+  if (rc != 0) return rc;
+  const off_t size = ::lseek(fd, 0, SEEK_END);
+  if (size >= 0) durable_[fd] = size;
+  ++durable_fsyncs_;
+  const auto rot = corruptions_.find(durable_fsyncs_);
+  if (rot != corruptions_.end()) corrupt_file(fd, rot->second);
+  return 0;
+}
+
+void FaultyIo::corrupt_file(int fd, int bits) {
+  // Latent media rot: flip seeded bits anywhere in the record body of the
+  // file that just became durable. The fixed segment header is spared so
+  // the file still opens — header rot just makes recovery skip the whole
+  // file, which exercises nothing interesting. Raw syscalls on purpose:
+  // the rot itself must not advance the fault clocks.
+  const off_t size = ::lseek(fd, 0, SEEK_END);
+  const auto lo = static_cast<off_t>(sizeof(SegmentHeader));
+  if (size <= lo) return;
+  ++stats_.corruptions;
+  for (int i = 0; i < bits; ++i) {
+    const off_t at =
+        lo + static_cast<off_t>(rng_.below(static_cast<std::uint64_t>(
+                 size - lo)));
+    std::uint8_t byte = 0;
+    if (::pread(fd, &byte, 1, at) != 1) return;
+    byte = static_cast<std::uint8_t>(byte ^ (1u << rng_.below(8)));
+    if (::pwrite(fd, &byte, 1, at) != 1) return;
+    ++stats_.bits_flipped;
+  }
+}
+
+int FaultyIo::ftruncate(int fd, off_t len) {
+  mutating_op();
+  const int rc = ::ftruncate(fd, len);
+  if (rc == 0) {
+    const auto it = durable_.find(fd);
+    if (it != durable_.end() && it->second > len) it->second = len;
+  }
+  return rc;
+}
+
+int FaultyIo::close(int fd) {
+  durable_.erase(fd);
+  return ::close(fd);
+}
+
+int FaultyIo::unlink(const char* path) {
+  mutating_op();
+  return ::unlink(path);
+}
+
+int FaultyIo::rename(const char* from, const char* to) {
+  mutating_op();
+  return ::rename(from, to);
+}
+
+off_t FaultyIo::file_size(int fd) { return ::lseek(fd, 0, SEEK_END); }
+
+}  // namespace umon::store

@@ -1,0 +1,118 @@
+// umon::store — injectable file I/O.
+//
+// Every syscall the store issues against segment files (writer, reader,
+// page cache, recovery, compaction) goes through a FileIo so a chaos run
+// can interpose deterministic disk faults without touching the store
+// logic. `real_io()` is the passthrough used in production; FaultyIo
+// consumes the `disk-*` directives of a resilience::FaultPlan:
+//
+//   disk-fail  op=write  — the Nth pwrite fails with EIO/ENOSPC
+//   disk-fail  op=fsync  — the Nth fsync "lies once": it returns -1 and the
+//                          bytes written since the last successful fsync are
+//                          dropped from the file (the kernel discarded the
+//                          dirty pages), exactly the failure mode a caller
+//                          that retries fsync and proceeds would miss
+//   disk-short           — the Nth pwrite lands only `bytes` bytes
+//   disk-corrupt         — after the Nth successful fsync, flip seeded bits
+//                          in the durable body of that file (latent media
+//                          rot for the scrubber to find)
+//   disk-abort           — _exit(kDiskAbortExitCode) at the Nth mutating
+//                          I/O op (crash-torture kill points)
+//
+// Occurrence counters are global across all fds, advanced in syscall order,
+// so a (plan, workload) pair replays byte-identically. The mutating entry
+// points share that counter state and are therefore single-threaded by
+// contract (same as resilience::FaultInjector — the sim's store writer is
+// one thread); pread is stateless and safe to call concurrently.
+#pragma once
+
+#include <sys/types.h>
+
+#include <cstdint>
+#include <map>
+#include <set>
+
+#include "common/rng.hpp"
+#include "resilience/fault_plan.hpp"
+
+namespace umon::store {
+
+/// Exit code of a `disk-abort` kill point (distinguishes the injected
+/// crash from a real failure in torture harnesses).
+constexpr int kDiskAbortExitCode = 86;
+
+/// Syscall surface the store needs. Offsets are explicit (pread/pwrite)
+/// so implementations never share file-position state.
+class FileIo {
+ public:
+  virtual ~FileIo() = default;
+
+  virtual int open(const char* path, int flags, unsigned mode) = 0;
+  virtual ssize_t pread(int fd, void* buf, std::size_t n, off_t off) = 0;
+  virtual ssize_t pwrite(int fd, const void* buf, std::size_t n,
+                         off_t off) = 0;
+  virtual int fsync(int fd) = 0;
+  virtual int ftruncate(int fd, off_t len) = 0;
+  virtual int close(int fd) = 0;
+  virtual int unlink(const char* path) = 0;
+  virtual int rename(const char* from, const char* to) = 0;
+  /// Current file size (the reader's open-time probe).
+  virtual off_t file_size(int fd) = 0;
+};
+
+/// Passthrough to the host kernel. Stateless; one shared instance.
+[[nodiscard]] FileIo& real_io();
+
+/// Tally of injected disk faults, for the end-of-run chaos summary.
+struct DiskFaultStats {
+  std::uint64_t pwrites = 0;        ///< pwrite calls observed
+  std::uint64_t fsyncs = 0;         ///< fsync calls observed
+  std::uint64_t write_errors = 0;   ///< injected EIO/ENOSPC
+  std::uint64_t short_writes = 0;   ///< injected short pwrites
+  std::uint64_t fsync_failures = 0; ///< injected lying fsyncs
+  std::uint64_t dropped_bytes = 0;  ///< bytes a lying fsync discarded
+  std::uint64_t corruptions = 0;    ///< disk-corrupt triggers
+  std::uint64_t bits_flipped = 0;   ///< total bits flipped by triggers
+};
+
+/// Deterministic fault-injecting FileIo driven by a FaultPlan's `disk`
+/// directives. See the header comment for the fault model.
+class FaultyIo final : public FileIo {
+ public:
+  explicit FaultyIo(const resilience::FaultPlan& plan);
+
+  int open(const char* path, int flags, unsigned mode) override;
+  ssize_t pread(int fd, void* buf, std::size_t n, off_t off) override;
+  ssize_t pwrite(int fd, const void* buf, std::size_t n, off_t off) override;
+  int fsync(int fd) override;
+  int ftruncate(int fd, off_t len) override;
+  int close(int fd) override;
+  int unlink(const char* path) override;
+  int rename(const char* from, const char* to) override;
+  off_t file_size(int fd) override;
+
+  [[nodiscard]] const DiskFaultStats& stats() const { return stats_; }
+  /// Mutating ops (pwrite/fsync/ftruncate/unlink/rename) observed so far;
+  /// torture harnesses count a reference run to pick abort points.
+  [[nodiscard]] std::uint64_t mutating_ops() const { return mutating_n_; }
+
+ private:
+  /// Advance the mutating-op counter; _exit at a planned abort point.
+  void mutating_op();
+  /// Flip `bits` seeded bits in [kSegmentHeaderBytes, size) of fd's file.
+  void corrupt_file(int fd, int bits);
+
+  std::map<std::uint64_t, resilience::DiskFault> write_faults_;  // by nth
+  std::map<std::uint64_t, int> fsync_faults_;    // nth -> injected errno
+  std::map<std::uint64_t, int> corruptions_;     // nth durable fsync -> bits
+  std::set<std::uint64_t> aborts_;               // nth mutating op
+  std::map<int, off_t> durable_;  ///< per open fd: size at last good fsync
+  Rng rng_;
+  std::uint64_t pwrite_n_ = 0;
+  std::uint64_t fsync_n_ = 0;
+  std::uint64_t durable_fsyncs_ = 0;
+  std::uint64_t mutating_n_ = 0;
+  DiskFaultStats stats_;
+};
+
+}  // namespace umon::store

@@ -6,8 +6,12 @@
 #include <cstring>
 
 #include "obs/prof.hpp"
+#include "store/io.hpp"
 
 namespace umon::store {
+
+PageCache::PageCache(const PageCacheConfig& cfg)
+    : cfg_(cfg), io_(cfg.io != nullptr ? cfg.io : &real_io()) {}
 
 PageCache::Page* PageCache::get_page(std::uint32_t file_id, int fd,
                                      std::uint64_t page_index,
@@ -30,7 +34,7 @@ PageCache::Page* PageCache::get_page(std::uint32_t file_id, int fd,
   const auto off = static_cast<off_t>(page_index * cfg_.page_bytes);
   ssize_t n = 0;
   if (fd >= 0) {
-    n = ::pread(fd, page.data.data(), cfg_.page_bytes, off);
+    n = io_->pread(fd, page.data.data(), cfg_.page_bytes, off);
     if (n < 0) return nullptr;
   }
   if (n == 0 && !allow_partial) return nullptr;

@@ -31,9 +31,12 @@
 
 namespace umon::store {
 
+class FileIo;
+
 struct PageCacheConfig {
   std::size_t page_bytes = 1u << 16;         ///< 64 KiB pages
   std::size_t budget_bytes = 8u << 20;       ///< clean resident budget
+  FileIo* io = nullptr;                      ///< null = real_io()
 };
 
 struct PageCacheStats {
@@ -53,7 +56,7 @@ struct PageCacheStats {
 
 class PageCache {
  public:
-  explicit PageCache(const PageCacheConfig& cfg = {}) : cfg_(cfg) {}
+  explicit PageCache(const PageCacheConfig& cfg = {});
 
   PageCache(const PageCache&) = delete;
   PageCache& operator=(const PageCache&) = delete;
@@ -115,6 +118,7 @@ class PageCache {
   void evict_over_budget();
 
   PageCacheConfig cfg_;
+  FileIo* io_;
   mutable std::mutex mutex_;
   Lru lru_;  ///< front = most recently used
   std::unordered_map<std::uint64_t, Lru::iterator> pages_;

@@ -8,6 +8,7 @@
 #include <type_traits>
 
 #include "resilience/crc32c.hpp"
+#include "store/io.hpp"
 
 namespace umon::store {
 namespace {
@@ -85,6 +86,8 @@ void encode_record_header(const RecordHeader& header,
   put(out, header.payload_crc);
 }
 
+}  // namespace
+
 bool decode_record_header(std::span<const std::uint8_t> in,
                           RecordHeader& header) {
   std::size_t off = 0;
@@ -93,8 +96,6 @@ bool decode_record_header(std::span<const std::uint8_t> in,
          get(in, off, header.flow_hash16) && get(in, off, header.epoch) &&
          get(in, off, header.payload_crc);
 }
-
-}  // namespace
 
 // --- payload codecs ---------------------------------------------------------
 
@@ -217,13 +218,14 @@ std::optional<std::vector<ConfidenceRun>> decode_confidence(
 
 SegmentWriter::SegmentWriter(std::string path, const SegmentHeader& header,
                              PageCache* cache, std::uint32_t file_id,
-                             bool fsync_on_seal)
+                             bool fsync_on_seal, FileIo* io)
     : path_(std::move(path)),
       header_(header),
       cache_(cache),
       file_id_(file_id),
-      fsync_on_seal_(fsync_on_seal) {
-  fd_ = ::open(path_.c_str(), O_CREAT | O_TRUNC | O_RDWR | O_CLOEXEC, 0644);
+      fsync_on_seal_(fsync_on_seal),
+      io_(io != nullptr ? io : &real_io()) {
+  fd_ = io_->open(path_.c_str(), O_CREAT | O_TRUNC | O_RDWR | O_CLOEXEC, 0644);
   if (fd_ < 0) return;
   encode_segment_header(header_, scratch_);
   header_.header_crc = crc32c(scratch_.data(),
@@ -257,6 +259,7 @@ SegmentWriter::AppendRef SegmentWriter::append_record(
   AppendRef ref;
   ref.payload_offset = tail_base_ + frame_begin + kRecordHeaderBytes;
   ref.payload_len = rh.payload_len;
+  ref.payload_crc = rh.payload_crc;
   offset_ = tail_base_ + tail_.size();
   return ref;
 }
@@ -294,8 +297,9 @@ bool SegmentWriter::flush_tail() {
   if (tail_.empty()) return true;
   std::size_t done = 0;
   while (done < tail_.size()) {
-    const ssize_t n = ::pwrite(fd_, tail_.data() + done, tail_.size() - done,
-                               static_cast<off_t>(tail_base_ + done));
+    const ssize_t n = io_->pwrite(fd_, tail_.data() + done,
+                                  tail_.size() - done,
+                                  static_cast<off_t>(tail_base_ + done));
     if (n <= 0) return false;
     done += static_cast<std::size_t>(n);
   }
@@ -321,7 +325,7 @@ bool SegmentWriter::seal_prepare(std::uint32_t epoch) {
 
 bool SegmentWriter::seal_sync() const {
   if (fd_ < 0) return false;
-  return !fsync_on_seal_ || ::fsync(fd_) == 0;
+  return !fsync_on_seal_ || io_->fsync(fd_) == 0;
 }
 
 void SegmentWriter::seal_commit() {
@@ -331,9 +335,13 @@ void SegmentWriter::seal_commit() {
 
 bool SegmentWriter::finish() {
   if (fd_ < 0) return true;
-  const bool ok = flush_tail() && (!fsync_on_seal_ || ::fsync(fd_) == 0);
-  if (cache_ != nullptr) cache_->mark_clean(file_id_);
-  ::close(fd_);
+  const bool ok = flush_tail() && (!fsync_on_seal_ || io_->fsync(fd_) == 0);
+  // Only a successful flush+fsync may clean the file's pages: after a
+  // failed fsync the kernel has dropped dirty pages we cannot see, so the
+  // cache copy is the last trustworthy one — cleaning it would let the
+  // eviction path replace acknowledged bytes with whatever the disk kept.
+  if (ok && cache_ != nullptr) cache_->mark_clean(file_id_);
+  io_->close(fd_);
   fd_ = -1;
   return ok;
 }
@@ -343,30 +351,32 @@ bool SegmentWriter::finish() {
 std::optional<SegmentReader> SegmentReader::open(const std::string& path,
                                                  PageCache* cache,
                                                  std::uint32_t file_id,
-                                                 bool writable) {
+                                                 bool writable, FileIo* io) {
+  if (io == nullptr) io = &real_io();
   const int flags = (writable ? O_RDWR : O_RDONLY) | O_CLOEXEC;
-  const int fd = ::open(path.c_str(), flags);
+  const int fd = io->open(path.c_str(), flags, 0);
   if (fd < 0) return std::nullopt;
-  const off_t size = ::lseek(fd, 0, SEEK_END);
+  const off_t size = io->file_size(fd);
   if (size < static_cast<off_t>(kSegmentHeaderBytes)) {
-    ::close(fd);
+    io->close(fd);
     return std::nullopt;
   }
   std::uint8_t raw[kSegmentHeaderBytes];
-  if (::pread(fd, raw, sizeof(raw), 0) !=
+  if (io->pread(fd, raw, sizeof(raw), 0) !=
       static_cast<ssize_t>(sizeof(raw))) {
-    ::close(fd);
+    io->close(fd);
     return std::nullopt;
   }
   SegmentHeader header;
   if (!decode_segment_header(std::span<const std::uint8_t>(raw, sizeof(raw)),
                              header)) {
-    ::close(fd);
+    io->close(fd);
     return std::nullopt;
   }
   SegmentReader reader;
   reader.header_ = header;
   reader.cache_ = cache;
+  reader.io_ = io;
   reader.file_id_ = file_id;
   reader.fd_ = fd;
   reader.file_size_ = static_cast<std::uint64_t>(size);
@@ -437,8 +447,8 @@ SegmentReader::ScanResult SegmentReader::scan(const RecordFn& fn) {
 
 bool SegmentReader::truncate_to(std::uint64_t end) {
   if (fd_ < 0 || end > file_size_) return false;
-  if (::ftruncate(fd_, static_cast<off_t>(end)) != 0) return false;
-  if (::fsync(fd_) != 0) return false;
+  if (io_->ftruncate(fd_, static_cast<off_t>(end)) != 0) return false;
+  if (io_->fsync(fd_) != 0) return false;
   file_size_ = end;
   if (cache_ != nullptr) cache_->drop_file(file_id_);
   return true;
@@ -456,7 +466,7 @@ bool SegmentReader::read_payload(std::uint64_t payload_offset,
 
 void SegmentReader::close() {
   if (fd_ >= 0) {
-    ::close(fd_);
+    io_->close(fd_);
     fd_ = -1;
   }
 }
@@ -466,6 +476,7 @@ SegmentReader::~SegmentReader() { close(); }
 SegmentReader::SegmentReader(SegmentReader&& other) noexcept
     : header_(other.header_),
       cache_(other.cache_),
+      io_(other.io_),
       file_id_(other.file_id_),
       fd_(other.fd_),
       file_size_(other.file_size_) {
@@ -477,6 +488,7 @@ SegmentReader& SegmentReader::operator=(SegmentReader&& other) noexcept {
     close();
     header_ = other.header_;
     cache_ = other.cache_;
+    io_ = other.io_;
     file_id_ = other.file_id_;
     fd_ = other.fd_;
     file_size_ = other.file_size_;

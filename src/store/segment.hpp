@@ -30,6 +30,8 @@
 
 namespace umon::store {
 
+class FileIo;
+
 /// Decoded kSparseCurve payload: exact (window, bytes) pairs of one flow.
 struct SparseCurveRecord {
   FlowKey flow;
@@ -66,14 +68,18 @@ void encode_confidence(std::span<const ConfidenceRun> runs,
     std::span<const std::uint8_t> in);
 [[nodiscard]] std::optional<std::vector<ConfidenceRun>> decode_confidence(
     std::span<const std::uint8_t> in);
+/// Decode one on-disk record frame header (scrubber's raw walk).
+[[nodiscard]] bool decode_record_header(std::span<const std::uint8_t> in,
+                                        RecordHeader& header);
 
 class SegmentWriter {
  public:
   /// Creates (truncating) `path` and stages the header. Nothing touches the
-  /// disk until the first seal. Check ok() before use.
+  /// disk until the first seal. Check ok() before use. A null `io` means
+  /// real_io().
   SegmentWriter(std::string path, const SegmentHeader& header,
                 PageCache* cache, std::uint32_t file_id,
-                bool fsync_on_seal = true);
+                bool fsync_on_seal = true, FileIo* io = nullptr);
   ~SegmentWriter();
 
   SegmentWriter(const SegmentWriter&) = delete;
@@ -84,6 +90,7 @@ class SegmentWriter {
   struct AppendRef {
     std::uint64_t payload_offset = 0;
     std::uint32_t payload_len = 0;
+    std::uint32_t payload_crc = 0;
   };
 
   AppendRef append_sparse(std::uint32_t epoch, const SparseCurveRecord& rec,
@@ -115,7 +122,10 @@ class SegmentWriter {
   /// dirty.
   void seal_commit();
 
-  /// Flush any remaining tail and close. Idempotent.
+  /// Flush any remaining tail and close. Idempotent. On a failed flush or
+  /// fsync the file's dirty page-cache pages are left dirty: the bytes they
+  /// hold may no longer exist on disk, and cleaning them would let eviction
+  /// replace acknowledged data with whatever the failed disk kept.
   bool finish();
 
   [[nodiscard]] std::uint64_t bytes() const { return offset_; }
@@ -136,6 +146,7 @@ class SegmentWriter {
   PageCache* cache_;
   std::uint32_t file_id_;
   bool fsync_on_seal_;
+  FileIo* io_;
   int fd_ = -1;
   std::uint64_t offset_ = 0;      ///< logical end of the segment
   std::uint64_t tail_base_ = 0;   ///< file offset the tail buffer starts at
@@ -152,7 +163,8 @@ class SegmentReader {
   static std::optional<SegmentReader> open(const std::string& path,
                                            PageCache* cache,
                                            std::uint32_t file_id,
-                                           bool writable = false);
+                                           bool writable = false,
+                                           FileIo* io = nullptr);
 
   struct ScanResult {
     std::uint64_t valid_end = 0;    ///< one past the last clean record
@@ -199,6 +211,7 @@ class SegmentReader {
 
   SegmentHeader header_;
   PageCache* cache_ = nullptr;
+  FileIo* io_ = nullptr;
   std::uint32_t file_id_ = 0;
   int fd_ = -1;
   std::uint64_t file_size_ = 0;

@@ -8,9 +8,14 @@
 #include <cerrno>
 #include <cstdio>
 #include <cstring>
+#include <set>
+
+#include <fcntl.h>
 
 #include "obs/lineage.hpp"
 #include "obs/prof.hpp"
+#include "resilience/crc32c.hpp"
+#include "store/io.hpp"
 #include "store/tier.hpp"
 #include "wavelet/haar.hpp"
 
@@ -83,6 +88,18 @@ struct Store::Instruments {
     compaction_lag = reg.gauge(
         "umon_store_compaction_lag_segments", {},
         "Sealed segments old enough for the next tier but not yet rewritten");
+    seal_failures = reg.counter("umon_store_seal_failures_total", {},
+                                "Epoch seals that failed on disk IO");
+    scrub_passes = reg.counter("umon_store_scrub_passes_total", {},
+                               "Completed scrub passes");
+    scrub_records = reg.counter("umon_store_scrub_records_total", {},
+                                "Records whose on-disk CRC re-verified clean");
+    scrub_corrupt = reg.counter("umon_store_scrub_corrupt_total", {},
+                                "Corrupt records found by scrub");
+    quarantined = reg.counter("umon_store_chunks_quarantined_total", {},
+                              "Corrupt chunks removed from the serving index");
+    repaired = reg.counter("umon_store_chunks_repaired_total", {},
+                           "Quarantined chunks replaced by a coarser shadow");
   }
 
   telemetry::Counter* appends = nullptr;
@@ -102,12 +119,19 @@ struct Store::Instruments {
   telemetry::Gauge* cache_dirty = nullptr;
   telemetry::Gauge* last_sealed = nullptr;
   telemetry::Gauge* compaction_lag = nullptr;
+  telemetry::Counter* seal_failures = nullptr;
+  telemetry::Counter* scrub_passes = nullptr;
+  telemetry::Counter* scrub_records = nullptr;
+  telemetry::Counter* scrub_corrupt = nullptr;
+  telemetry::Counter* quarantined = nullptr;
+  telemetry::Counter* repaired = nullptr;
 };
 
 Store::Store(const StoreConfig& cfg, bool writable)
     : cfg_(cfg),
       writable_(writable),
-      cache_(PageCacheConfig{cfg.page_bytes, cfg.cache_budget_bytes}),
+      io_(cfg.io != nullptr ? cfg.io : &real_io()),
+      cache_(PageCacheConfig{cfg.page_bytes, cfg.cache_budget_bytes, io_}),
       ins_(std::make_unique<Instruments>(registry_)) {}
 
 Store::~Store() {
@@ -144,7 +168,7 @@ bool Store::recover(RecoveryInfo* info) {
     const std::string path = cfg_.dir + "/" + name;
     if (name.size() > 4 && name.compare(name.size() - 4, 4, ".tmp") == 0) {
       // Interrupted compaction output: the source still has the data.
-      if (writable_ && ::unlink(path.c_str()) == 0) ++ri.tmp_files_removed;
+      if (writable_ && io_->unlink(path.c_str()) == 0) ++ri.tmp_files_removed;
       continue;
     }
     std::uint32_t id = 0;
@@ -159,7 +183,7 @@ bool Store::recover(RecoveryInfo* info) {
   // rename and unlink — the source must go or its records double-count.
   std::map<std::uint32_t, SegmentReader> readers;
   for (auto& [id, f] : found) {
-    auto reader = SegmentReader::open(f.path, &cache_, id, writable_);
+    auto reader = SegmentReader::open(f.path, &cache_, id, writable_, io_);
     if (!reader.has_value() || reader->header().segment_id != id) {
       continue;  // unreadable header: leave the file for forensics
     }
@@ -170,7 +194,7 @@ bool Store::recover(RecoveryInfo* info) {
     if (replaces != kReplacesNone && readers.count(replaces) > 0) {
       auto victim = readers.find(replaces);
       victim->second.close();
-      if (writable_ && ::unlink(found[replaces].path.c_str()) == 0) {
+      if (writable_ && io_->unlink(found[replaces].path.c_str()) == 0) {
         ++ri.stale_sources_unlinked;
       }
       readers.erase(victim);
@@ -194,7 +218,7 @@ bool Store::recover(RecoveryInfo* info) {
     if (scan.sealed_end <= kSegmentHeaderBytes) {
       // No durable epoch: nothing in this file is trustworthy.
       reader.close();
-      if (writable_ && ::unlink(found[id].path.c_str()) == 0) {
+      if (writable_ && io_->unlink(found[id].path.c_str()) == 0) {
         ++ri.empty_segments_removed;
       }
       continue;
@@ -234,6 +258,7 @@ void Store::index_record(std::uint32_t segment_id, const RecordHeader& rh,
   ref.segment_id = segment_id;
   ref.payload_offset = payload_offset;
   ref.payload_len = rh.payload_len;
+  ref.payload_crc = rh.payload_crc;
   ref.kind = kind;
   ref.confidence = static_cast<WindowConfidence>(rh.confidence);
   ref.epoch = rh.epoch;
@@ -287,7 +312,7 @@ void Store::ensure_writer() {
   header.base_epoch = epoch_;
   const std::string path = cfg_.dir + "/" + segment_file_name(id, 0);
   active_ = std::make_unique<SegmentWriter>(path, header, &cache_, id,
-                                            cfg_.fsync_on_seal);
+                                            cfg_.fsync_on_seal, io_);
   Segment seg;
   seg.header = active_->header();
   seg.path = path;
@@ -322,6 +347,7 @@ void Store::append_sparse(
   ref.segment_id = active_->file_id();
   ref.payload_offset = at.payload_offset;
   ref.payload_len = at.payload_len;
+  ref.payload_crc = at.payload_crc;
   ref.kind = RecordKind::kSparseCurve;
   ref.confidence = worst;
   ref.epoch = epoch_;
@@ -340,8 +366,13 @@ void Store::append_sparse(
 
 void Store::mark_confidence(WindowId from, WindowId to,
                             WindowConfidence conf) {
-  if (conf == WindowConfidence::kCovered || from >= to) return;
   std::lock_guard lock(mutex_);
+  mark_confidence_locked(from, to, conf);
+}
+
+void Store::mark_confidence_locked(WindowId from, WindowId to,
+                                   WindowConfidence conf) {
+  if (conf == WindowConfidence::kCovered || from >= to) return;
   for (WindowId w = from; w < to; ++w) {
     auto [it, inserted] = marks_.try_emplace(w, conf);
     if (!inserted) it->second = worse(it->second, conf);
@@ -378,12 +409,26 @@ bool Store::seal_epoch() {
   // the OS page cache and must stay under mutex_ to order the seal record
   // after every acknowledged append; the durability stall (fsync) runs
   // below with the lock released.
-  if (!active_->seal_prepare(epoch_)) return false;
+  if (!active_->seal_prepare(epoch_)) {
+    // umon-sca: allow(SA002) seal-failure path (see fail_active_locked)
+    fail_active_locked();
+    return false;
+  }
   SegmentWriter* writer = active_.get();
   lock.unlock();
   const bool synced = writer->seal_sync();
   lock.lock();
-  if (!synced) return false;
+  if (!synced) {
+    // Failed fsync: the kernel may have dropped dirty pages we will never
+    // see again, so nothing past the previous durable seal can be trusted.
+    // seal_commit is NOT called — mark_clean_up_to must never run for an
+    // extent the disk did not acknowledge. Roll the writer off the damaged
+    // file, reconcile the index with what actually survived on disk, and
+    // flag the acknowledged-but-lost windows.
+    // umon-sca: allow(SA002) seal-failure path (see fail_active_locked)
+    if (active_.get() == writer) fail_active_locked();
+    return false;
+  }
   // Single-sealer: only the sealing thread resets active_ (roll below), so
   // `writer` is still the live writer here; re-check anyway for safety.
   if (active_.get() != writer) return false;
@@ -411,11 +456,21 @@ void Store::roll_active_locked() {
   if (active_ == nullptr) return;
   const std::uint32_t id = active_->file_id();
   const std::string path = active_->path();
-  (void)active_->finish();
+  const bool finished = active_->finish();
   active_.reset();
+  if (!finished) {
+    // The close-time flush/fsync failed: bytes past the last durable seal
+    // may be gone. Fall back to the reconcile path instead of trusting the
+    // in-memory index.
+    ++stats_.seal_failures;
+    ins_->seal_failures->inc();
+    cache_.drop_file(id);
+    reconcile_failed_segment_locked(id, path);
+    return;
+  }
   auto it = segments_.find(id);
   if (it == segments_.end()) return;
-  auto reader = SegmentReader::open(path, &cache_, id, writable_);
+  auto reader = SegmentReader::open(path, &cache_, id, writable_, io_);
   if (reader.has_value()) {
     it->second.reader = std::move(*reader);
   } else {
@@ -433,6 +488,86 @@ void Store::roll_active_locked() {
   }
 }
 
+void Store::fail_active_locked() {
+  if (active_ == nullptr) return;
+  const std::uint32_t id = active_->file_id();
+  const std::string path = active_->path();
+  ++stats_.seal_failures;
+  ins_->seal_failures->inc();
+  // finish() will not mark pages clean after its own flush/fsync fails, but
+  // those dirty pages hold bytes whose on-disk fate is unknown — drop them
+  // so every later read reflects the durable truth re-established below.
+  //
+  // umon-sca: allow(SA002) seal-failure path, at most once per failed seal:
+  // the store is in a damaged state and must not serve reads until the
+  // index matches the disk again, so the reconcile IO stays under mutex_.
+  (void)active_->finish();
+  active_.reset();
+  cache_.drop_file(id);
+  reconcile_failed_segment_locked(id, path);
+}
+
+void Store::reconcile_failed_segment_locked(std::uint32_t id,
+                                            const std::string& path) {
+  auto seg_it = segments_.find(id);
+  // Probe the durable prefix: everything up to the last verified seal on
+  // disk survived; everything after it is gone or untrustworthy.
+  //
+  // umon-sca: allow(SA002) failure path (see fail_active_locked).
+  auto reader = SegmentReader::open(path, &cache_, id, writable_, io_);
+  std::uint64_t sealed_end = 0;
+  std::optional<std::uint32_t> durable_epoch;
+  if (reader.has_value()) {
+    const SegmentReader::ScanResult scan = reader->scan(nullptr);
+    sealed_end = scan.sealed_end;
+    durable_epoch = scan.max_sealed_epoch;
+  }
+  const bool keep = reader.has_value() && sealed_end > kSegmentHeaderBytes;
+
+  // Drop index entries the durable prefix no longer backs and flag their
+  // windows: they were acknowledged to the writer but the disk lost them.
+  for (auto& [packed, entry] : flows_) {
+    auto& chunks = entry.chunks;
+    std::size_t kept = 0;
+    for (ChunkRef& c : chunks) {
+      const bool survives = keep && c.segment_id == id && durable_epoch &&
+                            c.epoch <= *durable_epoch;
+      if (c.segment_id != id || survives) {
+        chunks[kept++] = c;
+        continue;
+      }
+      mark_confidence_locked(c.w0, c.w1 + 1, WindowConfidence::kLost);
+    }
+    chunks.resize(kept);
+  }
+
+  if (keep) {
+    if (sealed_end < reader->file_size()) (void)reader->truncate_to(sealed_end);
+    Segment seg;
+    seg.header = reader->header();
+    seg.path = path;
+    seg.bytes = sealed_end;
+    seg.max_epoch = durable_epoch.value_or(reader->header().base_epoch);
+    seg.reader = std::move(*reader);
+    if (seg_it != segments_.end()) {
+      seg_it->second = std::move(seg);
+    } else {
+      segments_.emplace(id, std::move(seg));
+    }
+  } else {
+    if (reader.has_value()) reader->close();
+    (void)io_->unlink(path.c_str());
+    cache_.drop_file(id);
+    if (seg_it != segments_.end()) {
+      segments_.erase(seg_it);
+      ++stats_.segments_removed;
+      ins_->segments_removed->inc();
+    }
+  }
+  ++generation_;
+  publish_gauges_locked();
+}
+
 int Store::fd_for_segment(std::uint32_t segment_id) const {
   if (active_ != nullptr && active_->file_id() == segment_id) {
     return active_->fd();
@@ -445,10 +580,21 @@ int Store::fd_for_segment(std::uint32_t segment_id) const {
 std::size_t Store::maintain() {
   std::lock_guard lock(mutex_);
   if (!writable_ || cfg_.tier1_age_epochs == 0) return 0;
+  swap_due_shadows_locked();
+  // Segments entangled in a pending shadow pair sit out this round: the
+  // source must not be compacted twice (two outputs naming the same
+  // replaces_segment_id would double-count after a crash) and the shadow
+  // itself is not authoritative yet.
+  std::set<std::uint32_t> shadowed;
+  for (const Shadow& sh : shadows_) {
+    shadowed.insert(sh.source_id);
+    shadowed.insert(sh.shadow_id);
+  }
   std::vector<std::uint32_t> candidates;
   for (const auto& [id, seg] : segments_) {
     if (!seg.reader.has_value()) continue;  // active segment
     if (seg.header.tier >= 2) continue;
+    if (shadowed.count(id) > 0) continue;
     const std::uint32_t age =
         epoch_ > seg.max_epoch ? epoch_ - seg.max_epoch : 0;
     const std::uint32_t need = seg.header.tier == 0 ? cfg_.tier1_age_epochs
@@ -538,7 +684,8 @@ bool Store::compact_segment_locked(std::uint32_t segment_id) {
   const std::string final_path =
       cfg_.dir + "/" + segment_file_name(new_id, new_tier);
   const std::string tmp_path = final_path + ".tmp";
-  SegmentWriter writer(tmp_path, header, &cache_, new_id, cfg_.fsync_on_seal);
+  SegmentWriter writer(tmp_path, header, &cache_, new_id, cfg_.fsync_on_seal,
+                       io_);
   if (!writer.ok()) return false;
 
   const std::uint32_t out_epoch = src.max_epoch;
@@ -606,6 +753,7 @@ bool Store::compact_segment_locked(std::uint32_t segment_id) {
       ref.segment_id = new_id;
       ref.payload_offset = at.payload_offset;
       ref.payload_len = at.payload_len;
+      ref.payload_crc = at.payload_crc;
       ref.kind = RecordKind::kCoeffCurve;
       ref.confidence = fa.worst;
       ref.epoch = out_epoch;
@@ -619,7 +767,7 @@ bool Store::compact_segment_locked(std::uint32_t segment_id) {
     writer.append_confidence(out_epoch, runs);
   }
   if (!writer.seal_epoch(out_epoch) || !writer.finish()) {
-    ::unlink(tmp_path.c_str());
+    (void)io_->unlink(tmp_path.c_str());
     cache_.drop_file(new_id);
     return false;
   }
@@ -628,44 +776,61 @@ bool Store::compact_segment_locked(std::uint32_t segment_id) {
   // Commit point: after the rename the new segment is authoritative (its
   // header names the source via replaces_segment_id, so a crash before the
   // unlink is healed at the next open).
-  if (::rename(tmp_path.c_str(), final_path.c_str()) != 0) {
-    ::unlink(tmp_path.c_str());
+  if (io_->rename(tmp_path.c_str(), final_path.c_str()) != 0) {
+    (void)io_->unlink(tmp_path.c_str());
     cache_.drop_file(new_id);
     return false;
   }
-  auto reader = SegmentReader::open(final_path, &cache_, new_id, writable_);
+  auto reader = SegmentReader::open(final_path, &cache_, new_id, writable_,
+                                    io_);
   if (!reader.has_value()) {
     // The renamed output does not read back (IO loss): disown it and keep
     // the source authoritative. Leaving it on disk would let the next
     // maintain() compact the source again, producing two survivors that
     // both replace the same segment id — recovery would keep both and
     // double-count every record.
-    ::unlink(final_path.c_str());
+    (void)io_->unlink(final_path.c_str());
     cache_.drop_file(new_id);
     return false;
   }
 
-  // Swap the index over, then unlink the source.
-  for (auto& [packed, entry] : flows_) {
-    auto& chunks = entry.chunks;
-    chunks.erase(std::remove_if(chunks.begin(), chunks.end(),
-                                [segment_id](const ChunkRef& c) {
-                                  return c.segment_id == segment_id;
-                                }),
-                 chunks.end());
-    const auto fresh = new_chunks.find(packed);
-    if (fresh != new_chunks.end()) {
-      chunks.insert(chunks.end(), fresh->second.begin(), fresh->second.end());
-    }
-  }
   Segment out;
   out.header = reader->header();
   out.path = final_path;
   out.bytes = out_bytes;
   out.max_epoch = out_epoch;
   out.reader = std::move(*reader);
-  remove_segment_locked(segment_id);
-  segments_.emplace(new_id, std::move(out));
+
+  if (cfg_.repair_grace_epochs > 0) {
+    // Read-repair grace: the exact source keeps serving (and stays on
+    // disk); the coarse output waits in the wings. A crash in this window
+    // is safe — recovery sees replaces_segment_id and keeps exactly one of
+    // the pair (the coarse copy).
+    segments_.emplace(new_id, std::move(out));
+    Shadow sh;
+    sh.source_id = segment_id;
+    sh.shadow_id = new_id;
+    sh.swap_epoch = epoch_ + cfg_.repair_grace_epochs;
+    sh.chunks = std::move(new_chunks);
+    shadows_.push_back(std::move(sh));
+  } else {
+    // Swap the index over, then unlink the source.
+    for (auto& [packed, entry] : flows_) {
+      auto& chunks = entry.chunks;
+      chunks.erase(std::remove_if(chunks.begin(), chunks.end(),
+                                  [segment_id](const ChunkRef& c) {
+                                    return c.segment_id == segment_id;
+                                  }),
+                   chunks.end());
+      const auto fresh = new_chunks.find(packed);
+      if (fresh != new_chunks.end()) {
+        chunks.insert(chunks.end(), fresh->second.begin(),
+                      fresh->second.end());
+      }
+    }
+    remove_segment_locked(segment_id);
+    segments_.emplace(new_id, std::move(out));
+  }
   ++generation_;
 
   ++stats_.segments_created;
@@ -689,11 +854,130 @@ void Store::remove_segment_locked(std::uint32_t segment_id) {
   auto it = segments_.find(segment_id);
   if (it == segments_.end()) return;
   if (it->second.reader.has_value()) it->second.reader->close();
-  ::unlink(it->second.path.c_str());
+  (void)io_->unlink(it->second.path.c_str());
   cache_.drop_file(segment_id);
   segments_.erase(it);
   ++stats_.segments_removed;
   ins_->segments_removed->inc();
+}
+
+void Store::swap_due_shadows_locked() {
+  for (std::size_t i = 0; i < shadows_.size();) {
+    if (epoch_ < shadows_[i].swap_epoch) {
+      ++i;
+      continue;
+    }
+    const Shadow sh = std::move(shadows_[i]);
+    shadows_.erase(shadows_.begin() + static_cast<std::ptrdiff_t>(i));
+    // Grace expired: the coarse copy becomes authoritative. Chunks promoted
+    // early (read-repair) are already in the index — skip them.
+    for (auto& [packed, entry] : flows_) {
+      auto& chunks = entry.chunks;
+      chunks.erase(std::remove_if(chunks.begin(), chunks.end(),
+                                  [&sh](const ChunkRef& c) {
+                                    return c.segment_id == sh.source_id;
+                                  }),
+                   chunks.end());
+    }
+    for (const auto& [packed, fresh] : sh.chunks) {
+      auto fit = flows_.find(packed);
+      if (fit == flows_.end()) continue;
+      auto& chunks = fit->second.chunks;
+      for (const ChunkRef& ref : fresh) {
+        const bool present = std::any_of(
+            chunks.begin(), chunks.end(), [&ref](const ChunkRef& c) {
+              return c.segment_id == ref.segment_id &&
+                     c.payload_offset == ref.payload_offset;
+            });
+        if (!present) chunks.push_back(ref);
+      }
+    }
+    // umon-sca: allow(SA002) background maintenance, bounded per call (see
+    // maintain): unlinking the expired source keeps the swap atomic versus
+    // queries.
+    remove_segment_locked(sh.source_id);
+    ++generation_;
+  }
+}
+
+void Store::quarantine_chunks_locked(std::uint64_t packed,
+                                     const std::vector<ChunkRef>& bad,
+                                     std::size_t* repaired,
+                                     std::uint64_t* windows_lost) {
+  auto fit = flows_.find(packed);
+  if (fit == flows_.end()) return;
+  auto& chunks = fit->second.chunks;
+  auto same_chunk = [](const ChunkRef& a, const ChunkRef& b) {
+    return a.segment_id == b.segment_id &&
+           a.payload_offset == b.payload_offset;
+  };
+  for (const ChunkRef& b : bad) {
+    const bool present = std::any_of(
+        chunks.begin(), chunks.end(),
+        [&](const ChunkRef& c) { return same_chunk(c, b); });
+    if (!present) continue;  // an earlier repair already replaced it
+    ++stats_.chunks_quarantined;
+    ins_->quarantined->inc();
+
+    // Read-repair: a still-live shadow of this segment may hold a coarser
+    // copy of the same windows. Promote every covering shadow chunk; each
+    // promotion replaces ALL of the flow's source chunks it overlaps (the
+    // coarse chunk re-aggregates them — serving both would double-count
+    // the volume).
+    bool repaired_this = false;
+    for (Shadow& sh : shadows_) {
+      if (sh.source_id != b.segment_id) continue;
+      const auto scit = sh.chunks.find(packed);
+      if (scit == sh.chunks.end()) break;
+      std::vector<std::uint8_t> buf;
+      for (const ChunkRef& sc : scit->second) {
+        if (sc.w1 < b.w0 || sc.w0 > b.w1) continue;
+        // Trust the shadow bytes only after their own CRC verifies — the
+        // rot could have hit both copies.
+        buf.resize(sc.payload_len);
+        const int fd = fd_for_segment(sc.segment_id);
+        if (!cache_.read(sc.segment_id, fd, sc.payload_offset,
+                         std::span<std::uint8_t>(buf)) ||
+            resilience::crc32c(buf.data(), buf.size()) != sc.payload_crc) {
+          continue;
+        }
+        chunks.erase(std::remove_if(chunks.begin(), chunks.end(),
+                                    [&](const ChunkRef& c) {
+                                      return c.segment_id == b.segment_id &&
+                                             c.w1 >= sc.w0 && c.w0 <= sc.w1;
+                                    }),
+                     chunks.end());
+        const bool already = std::any_of(
+            chunks.begin(), chunks.end(),
+            [&](const ChunkRef& c) { return same_chunk(c, sc); });
+        if (!already) {
+          ChunkRef promoted = sc;
+          promoted.confidence =
+              worse(promoted.confidence, WindowConfidence::kGapFilled);
+          chunks.push_back(promoted);
+        }
+        mark_confidence_locked(sc.w0, sc.w1 + 1,
+                               WindowConfidence::kGapFilled);
+        repaired_this = true;
+      }
+      break;
+    }
+    if (repaired_this) {
+      ++stats_.chunks_repaired;
+      ins_->repaired->inc();
+      if (repaired != nullptr) ++*repaired;
+    } else {
+      chunks.erase(std::remove_if(chunks.begin(), chunks.end(),
+                                  [&](const ChunkRef& c) {
+                                    return same_chunk(c, b);
+                                  }),
+                   chunks.end());
+      mark_confidence_locked(b.w0, b.w1 + 1, WindowConfidence::kLost);
+      if (windows_lost != nullptr) {
+        *windows_lost += static_cast<std::uint64_t>(b.w1 - b.w0 + 1);
+      }
+    }
+  }
 }
 
 void Store::publish_gauges_locked() {
@@ -758,11 +1042,19 @@ void Store::visit_flow(const FlowKey& flow, WindowId from, WindowId to,
                    });
 
   std::vector<std::uint8_t> buf;
+  std::vector<ChunkRef> bad;
   for (const ChunkRef* c : order) {
     const int fd = fd_for_segment(c->segment_id);
     buf.resize(c->payload_len);
     if (!cache_.read(c->segment_id, fd, c->payload_offset,
                      std::span<std::uint8_t>(buf))) {
+      continue;
+    }
+    // Never serve a byte that fails its frame CRC: rot that crept onto the
+    // disk since the seal (and past the cache) is quarantined, not
+    // returned.
+    if (resilience::crc32c(buf.data(), buf.size()) != c->payload_crc) {
+      bad.push_back(*c);
       continue;
     }
     const auto seg = segments_.find(c->segment_id);
@@ -782,6 +1074,144 @@ void Store::visit_flow(const FlowKey& flow, WindowId from, WindowId to,
       fn(view);
     }
   }
+  if (!bad.empty()) {
+    // Quarantine inline: the offending read already skipped the bytes;
+    // removing the chunks (and promoting any surviving shadow copies)
+    // makes the next query see the repaired view, and the generation bump
+    // invalidates every cached response assembled before the rot surfaced.
+    quarantine_chunks_locked(flow.packed(), bad, nullptr, nullptr);
+    ++generation_;
+  }
+}
+
+std::vector<Store::ScrubTarget> Store::scrub_snapshot() const {
+  std::lock_guard lock(mutex_);
+  std::vector<ScrubTarget> targets;
+  for (const auto& [id, seg] : segments_) {
+    if (!seg.reader.has_value()) continue;  // active writer: tail unsealed
+    targets.push_back(ScrubTarget{id, seg.header.tier, seg.path, seg.bytes});
+  }
+  return targets;
+}
+
+void Store::scrub_commit(const std::vector<ScrubDamage>& damaged,
+                         ScrubReport* report) {
+  std::lock_guard lock(mutex_);
+  bool changed = false;
+  for (const ScrubDamage& d : damaged) {
+    const auto sit = segments_.find(d.target.id);
+    if (sit == segments_.end() || !sit->second.reader.has_value() ||
+        sit->second.path != d.target.path ||
+        sit->second.bytes != d.target.bytes) {
+      continue;  // compacted or rewritten since the snapshot: findings stale
+    }
+    for (const auto& [off, len] : d.ranges) {
+      ScrubFinding finding;
+      finding.segment_id = d.target.id;
+      finding.tier = d.target.tier;
+      finding.offset = off;
+      finding.length = len;
+      const std::uint64_t q_before = stats_.chunks_quarantined;
+      const std::uint64_t r_before = stats_.chunks_repaired;
+      for (auto& [packed, entry] : flows_) {
+        std::vector<ChunkRef> bad;
+        for (const ChunkRef& c : entry.chunks) {
+          if (c.segment_id != d.target.id) continue;
+          const std::uint64_t frame_begin =
+              c.payload_offset - kRecordHeaderBytes;
+          const std::uint64_t frame_end = c.payload_offset + c.payload_len;
+          if (frame_end <= off || frame_begin >= off + len) continue;
+          bad.push_back(c);
+        }
+        if (!bad.empty()) {
+          std::size_t repaired = 0;
+          quarantine_chunks_locked(packed, bad, &repaired,
+                                   &report->windows_lost);
+        }
+      }
+      finding.chunks_quarantined =
+          static_cast<std::size_t>(stats_.chunks_quarantined - q_before);
+      finding.chunks_repaired =
+          static_cast<std::size_t>(stats_.chunks_repaired - r_before);
+      report->chunks_quarantined += finding.chunks_quarantined;
+      report->chunks_repaired += finding.chunks_repaired;
+      if (finding.chunks_quarantined > 0 || finding.chunks_repaired > 0) {
+        changed = true;
+      }
+      report->findings.push_back(finding);
+    }
+  }
+  ++stats_.scrub_passes;
+  stats_.scrub_corrupt_records += report->corrupt_records;
+  ins_->scrub_passes->inc();
+  ins_->scrub_records->inc(report->records_verified);
+  ins_->scrub_corrupt->inc(report->corrupt_records);
+  if (changed) ++generation_;
+  publish_gauges_locked();
+}
+
+ScrubReport Store::scrub() {
+  ScrubReport report;
+  const std::vector<ScrubTarget> targets = scrub_snapshot();
+
+  // Raw CRC walk, no store lock held: scrub competes with queries and the
+  // writer for disk bandwidth only, never for the index. The walk reads
+  // through its own fd — NOT the page cache — because the cache may still
+  // hold the good pre-rot copy of a page and would mask on-disk damage.
+  std::vector<ScrubDamage> damaged;
+  std::vector<std::uint8_t> buf;
+  for (const ScrubTarget& t : targets) {
+    const int fd = io_->open(t.path.c_str(), O_RDONLY | O_CLOEXEC, 0);
+    if (fd < 0) continue;  // compacted away since the snapshot
+    ++report.segments_scanned;
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> ranges;
+    std::uint64_t pos = kSegmentHeaderBytes;
+    while (pos + kRecordHeaderBytes <= t.bytes) {
+      std::uint8_t raw[kRecordHeaderBytes];
+      RecordHeader rh;
+      if (io_->pread(fd, raw, sizeof(raw), static_cast<off_t>(pos)) !=
+              static_cast<ssize_t>(sizeof(raw)) ||
+          !decode_record_header(
+              std::span<const std::uint8_t>(raw, sizeof(raw)), rh) ||
+          !valid_record_kind(rh.kind) ||
+          rh.payload_len > kMaxRecordPayload ||
+          pos + kRecordHeaderBytes + rh.payload_len > t.bytes) {
+        // The framing itself is destroyed: record lengths chain, so
+        // nothing at or past this offset can be walked — treat the whole
+        // tail as corrupt.
+        ranges.emplace_back(pos, t.bytes - pos);
+        ++report.corrupt_records;
+        break;
+      }
+      buf.resize(rh.payload_len);
+      bool ok = true;
+      if (rh.payload_len > 0 &&
+          io_->pread(fd, buf.data(), rh.payload_len,
+                     static_cast<off_t>(pos + kRecordHeaderBytes)) !=
+              static_cast<ssize_t>(rh.payload_len)) {
+        ok = false;
+      }
+      if (ok &&
+          resilience::crc32c(buf.data(), buf.size()) != rh.payload_crc) {
+        ok = false;
+      }
+      if (ok) {
+        ++report.records_verified;
+      } else {
+        ranges.emplace_back(pos, kRecordHeaderBytes + rh.payload_len);
+        ++report.corrupt_records;
+      }
+      pos += kRecordHeaderBytes + rh.payload_len;
+    }
+    report.bytes_scanned += t.bytes;
+    io_->close(fd);
+    if (!ranges.empty()) {
+      damaged.push_back(ScrubDamage{t, std::move(ranges)});
+    }
+  }
+
+  scrub_commit(damaged, &report);
+  return report;
 }
 
 std::vector<FlowKey> Store::flows() const {

@@ -63,6 +63,16 @@ struct StoreConfig {
   std::size_t max_chunk_windows = 1u << 12;
   int window_shift = kDefaultWindowShift;
   bool fsync_on_seal = true;
+  /// Keep a compaction source alive (still serving, still on disk) for this
+  /// many epochs after its coarse replacement lands, as a read-repair
+  /// shadow: if scrub or a query finds rot in the exact copy during the
+  /// grace window, the coarse copy is promoted instead of losing the
+  /// windows. 0 = swap immediately (no shadow). A crash during the grace
+  /// window keeps only the coarse copy (recovery unlinks the source its
+  /// replacement names), which is the same outcome as an expired grace.
+  std::uint32_t repair_grace_epochs = 0;
+  /// File-I/O shim every store syscall routes through; null = real_io().
+  FileIo* io = nullptr;
 };
 
 struct RecoveryInfo {
@@ -90,8 +100,35 @@ struct StoreStats {
   std::uint64_t compactions_tier2 = 0;
   std::uint64_t compaction_input_bytes = 0;
   std::uint64_t compaction_output_bytes = 0;
+  std::uint64_t seal_failures = 0;        ///< epoch seals that failed IO
+  std::uint64_t scrub_passes = 0;
+  std::uint64_t scrub_corrupt_records = 0;
+  std::uint64_t chunks_quarantined = 0;   ///< corrupt chunks never served again
+  std::uint64_t chunks_repaired = 0;      ///< promoted from a coarser shadow
   TierUsage tiers[3];
   PageCacheStats cache;
+};
+
+/// One corrupt byte range found by a scrub pass (audit JSONL row).
+struct ScrubFinding {
+  std::uint32_t segment_id = 0;
+  std::uint8_t tier = 0;
+  std::uint64_t offset = 0;   ///< file offset of the corrupt span
+  std::uint64_t length = 0;
+  std::size_t chunks_quarantined = 0;
+  std::size_t chunks_repaired = 0;
+};
+
+/// Outcome of one Store::scrub pass.
+struct ScrubReport {
+  std::size_t segments_scanned = 0;
+  std::uint64_t bytes_scanned = 0;
+  std::size_t records_verified = 0;
+  std::size_t corrupt_records = 0;
+  std::size_t chunks_quarantined = 0;
+  std::size_t chunks_repaired = 0;
+  std::uint64_t windows_lost = 0;  ///< windows downgraded to kLost, no repair
+  std::vector<ScrubFinding> findings;
 };
 
 /// One decoded chunk handed to a visit_flow callback. Exactly one of
@@ -143,9 +180,19 @@ class Store : public analyzer::CurveSink {
   /// the active segment per config. Returns false on IO failure.
   [[nodiscard]] bool seal_epoch();
 
-  /// Compact every sealed segment old enough for the next tier. Returns
-  /// the number of segments rewritten.
+  /// Compact every sealed segment old enough for the next tier (and swap
+  /// in shadow replacements whose grace expired). Returns the number of
+  /// segments rewritten.
   std::size_t maintain();
+
+  /// One scrub pass: re-verify every sealed segment's record CRCs against
+  /// the raw disk bytes (bypassing the page cache, which may still hold the
+  /// good pre-rot copy). Corrupt records are quarantined — removed from the
+  /// index so they can never be served — their windows downgraded to
+  /// `lost`, and, when a read-repair shadow covers them, replaced by the
+  /// coarser copy at `gap_filled` confidence. The CRC walk runs without the
+  /// store lock; only the snapshot and the quarantine/repair commit lock.
+  ScrubReport scrub();
 
   // --- read path ------------------------------------------------------------
   /// Decode every chunk of `flow` overlapping [from, to) in tier order
@@ -187,6 +234,7 @@ class Store : public analyzer::CurveSink {
     std::uint32_t segment_id = 0;
     std::uint64_t payload_offset = 0;
     std::uint32_t payload_len = 0;
+    std::uint32_t payload_crc = 0;  ///< re-verified on every read
     RecordKind kind = RecordKind::kSparseCurve;
     analyzer::WindowConfidence confidence =
         analyzer::WindowConfidence::kCovered;
@@ -208,6 +256,16 @@ class Store : public analyzer::CurveSink {
     std::optional<SegmentReader> reader;  ///< sealed segments only
   };
 
+  /// A compaction output serving as read-repair insurance: its chunks stay
+  /// out of the flow index until the grace window expires (the exact source
+  /// keeps serving), unless rot in the source promotes them early.
+  struct Shadow {
+    std::uint32_t source_id = 0;
+    std::uint32_t shadow_id = 0;
+    std::uint32_t swap_epoch = 0;  ///< maintain() swaps at/after this epoch
+    std::unordered_map<std::uint64_t, std::vector<ChunkRef>> chunks;
+  };
+
   struct Instruments;
 
   Store(const StoreConfig& cfg, bool writable);
@@ -219,6 +277,43 @@ class Store : public analyzer::CurveSink {
                     std::size_t* records = nullptr);
   void ensure_writer();
   void roll_active_locked();
+  /// Seal failed: close the active writer, drop its cache pages, re-open
+  /// the file to its durable prefix, and flag what was acknowledged but
+  /// lost as kLost.
+  void fail_active_locked();
+  /// Reconcile the index of segment `id` with the disk after its writer
+  /// failed: keep chunks the durable prefix still covers, drop the rest.
+  void reconcile_failed_segment_locked(std::uint32_t id,
+                                       const std::string& path);
+  void mark_confidence_locked(WindowId from, WindowId to,
+                              analyzer::WindowConfidence conf);
+  /// Remove `bad` chunks of flow `packed` from the index; promote covering
+  /// shadow chunks where a read-repair shadow survives, flag kLost where
+  /// none does. Returns repaired/lost tallies through the out-params.
+  void quarantine_chunks_locked(std::uint64_t packed,
+                                const std::vector<ChunkRef>& bad,
+                                std::size_t* repaired,
+                                std::uint64_t* windows_lost);
+  /// Swap shadow replacements whose grace window expired.
+  void swap_due_shadows_locked();
+
+  struct ScrubTarget {
+    std::uint32_t id = 0;
+    std::uint8_t tier = 0;
+    std::string path;
+    std::uint64_t bytes = 0;
+  };
+  struct ScrubDamage {
+    ScrubTarget target;
+    /// Corrupt [offset, offset+length) spans found by the raw walk.
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> ranges;
+  };
+  /// Phase 1 of scrub: snapshot the sealed segments (locks internally).
+  [[nodiscard]] std::vector<ScrubTarget> scrub_snapshot() const;
+  /// Phase 3 of scrub: re-validate the snapshot and quarantine/repair
+  /// (locks internally). The raw CRC walk between them holds no lock.
+  void scrub_commit(const std::vector<ScrubDamage>& damaged,
+                    ScrubReport* report);
   [[nodiscard]] int fd_for_segment(std::uint32_t segment_id) const;
   /// Rewrite `seg` as a tier-(seg.tier+1) segment; returns false on IO
   /// failure (the source is left untouched).
@@ -229,9 +324,11 @@ class Store : public analyzer::CurveSink {
   StoreConfig cfg_;
   bool writable_;
   obs::LineageTracker* lineage_ = nullptr;
+  FileIo* io_;
   mutable std::mutex mutex_;
   PageCache cache_;
   std::map<std::uint32_t, Segment> segments_;  ///< by segment id, all tiers
+  std::vector<Shadow> shadows_;  ///< pending read-repair replacements
   std::unique_ptr<SegmentWriter> active_;
   std::uint32_t next_segment_id_ = 1;
   std::uint32_t epoch_ = 0;

@@ -190,14 +190,73 @@ TEST(FaultPlan, RejectsMalformedDirectives) {
       "burst-loss from=2ms to=1ms loss=x\n",  // non-numeric value
       "seed\n",                             // seed without a value
       "stall-host host=zz from=0 to=1ms\n",   // non-numeric host
+      "burst-loss from=2ms to=4ms loss=0.5 color=red\n",  // unknown key
+      "disk-fail op=write\n",                 // missing nth
+      "disk-fail op=mmap nth=1\n",            // unknown op
+      "disk-fail op=write nth=1 errno=ebadf\n",  // unsupported errno
+      "disk-short nth=2\n",                   // missing bytes
+      "disk-corrupt seal=1 bits=0\n",         // zero bits
+      "disk-abort nth=0\n",                   // nth is 1-based
+      "disk-abort nth=3 when=later\n",        // unknown key
   };
   for (const char* text : bad) {
     std::istringstream in(text);
     std::string err;
     EXPECT_FALSE(FaultPlan::parse(in, &err).has_value()) << text;
-    EXPECT_NE(err.find("line 1"), std::string::npos)
+    EXPECT_NE(err.find(":1:"), std::string::npos)
         << "error for '" << text << "' lacks a line number: " << err;
   }
+}
+
+TEST(FaultPlan, ErrorsNameTheSourceFile) {
+  std::istringstream in("warp-core from=0 to=1ms\n");
+  std::string err;
+  EXPECT_FALSE(FaultPlan::parse(in, &err, "chaos/broken.plan").has_value());
+  EXPECT_NE(err.find("chaos/broken.plan:1:"), std::string::npos) << err;
+}
+
+TEST(FaultPlan, ParsesDiskDirectives) {
+  std::istringstream in(R"(seed 42
+disk-fail  op=write nth=3
+disk-fail  op=fsync nth=2 errno=enospc
+disk-short nth=5 bytes=7
+disk-corrupt seal=2 bits=4
+disk-abort nth=11
+)");
+  std::string err;
+  auto plan = FaultPlan::parse(in, &err);
+  ASSERT_TRUE(plan.has_value()) << err;
+  ASSERT_EQ(plan->disk.size(), 5u);
+  EXPECT_EQ(plan->disk[0].kind, DiskFault::Kind::kFail);
+  EXPECT_EQ(plan->disk[0].op, DiskFault::Op::kWrite);
+  EXPECT_EQ(plan->disk[0].nth, 3u);
+  EXPECT_EQ(plan->disk[1].op, DiskFault::Op::kFsync);
+  EXPECT_EQ(plan->disk[1].err, ENOSPC);
+  EXPECT_EQ(plan->disk[2].kind, DiskFault::Kind::kShort);
+  EXPECT_EQ(plan->disk[2].bytes, 7u);
+  EXPECT_EQ(plan->disk[3].kind, DiskFault::Kind::kCorrupt);
+  EXPECT_EQ(plan->disk[3].nth, 2u);
+  EXPECT_EQ(plan->disk[3].bits, 4);
+  EXPECT_EQ(plan->disk[4].kind, DiskFault::Kind::kAbort);
+  EXPECT_EQ(plan->disk[4].nth, 11u);
+}
+
+TEST(FaultPlan, RejectsOverlappingDiskDirectives) {
+  // Two faults planned for the same occurrence of the same stream would be
+  // order-dependent; the parser rejects them with both line numbers known.
+  std::istringstream in(
+      "disk-fail op=write nth=3\n"
+      "disk-short nth=3 bytes=1\n");
+  std::string err;
+  EXPECT_FALSE(FaultPlan::parse(in, &err).has_value());
+  EXPECT_NE(err.find(":2:"), std::string::npos) << err;
+  // Same nth on different streams is fine.
+  std::istringstream ok(
+      "disk-fail op=write nth=3\n"
+      "disk-fail op=fsync nth=3\n"
+      "disk-corrupt seal=3 bits=1\n"
+      "disk-abort nth=3\n");
+  EXPECT_TRUE(FaultPlan::parse(ok, &err).has_value()) << err;
 }
 
 TEST(FaultPlan, EmptyPlanIsValidAndEmpty) {

@@ -4,16 +4,20 @@
 // shutdown handshake), response determinism across identically scripted
 // servers, and a TSan-targeted concurrency stress (ServeConcurrency.*).
 #include <arpa/inet.h>
+#include <dirent.h>
 #include <netinet/in.h>
 #include <sys/socket.h>
+#include <sys/stat.h>
 #include <unistd.h>
 
 #include <atomic>
 #include <chrono>
+#include <cstdio>
 #include <cstring>
 #include <memory>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -338,6 +342,215 @@ TEST_F(ServeHttpSocket, ShutdownHandshakeReachesDriver) {
       fetch(server_->port(), get_request("/api/v1/shutdown"));
   EXPECT_NE(r.find("{\"ok\":true}"), std::string::npos);
   EXPECT_TRUE(server_->shutdown_requested());
+}
+
+// --- overload protection ----------------------------------------------------
+
+/// Self-cleaning scratch directory for the query-shedding tests (they need
+/// a real store so /api/v1/query reaches the admission controller).
+struct TempDir {
+  std::string path;
+  explicit TempDir(const std::string& tag) {
+    char buf[256];
+    std::snprintf(buf, sizeof(buf), "./serve_test_%s_%d", tag.c_str(),
+                  static_cast<int>(::getpid()));
+    path = buf;
+    remove_all();
+    ::mkdir(path.c_str(), 0755);
+  }
+  ~TempDir() { remove_all(); }
+  void remove_all() const {
+    DIR* d = ::opendir(path.c_str());
+    if (d != nullptr) {
+      while (dirent* e = ::readdir(d)) {
+        const std::string name = e->d_name;
+        if (name == "." || name == "..") continue;
+        ::unlink((path + "/" + name).c_str());
+      }
+      ::closedir(d);
+    }
+    ::rmdir(path.c_str());
+  }
+};
+
+std::unique_ptr<store::Store> make_query_store(const std::string& dir) {
+  store::StoreConfig cfg;
+  cfg.dir = dir;
+  auto st = store::Store::open(cfg);
+  EXPECT_NE(st, nullptr);
+  if (st) {
+    const FlowKey flow{1, 2, 80, 443, 6};
+    const std::vector<std::pair<WindowId, double>> wins = {{10, 1.0},
+                                                           {11, 2.0}};
+    st->append_sparse(flow, wins);
+    EXPECT_TRUE(st->seal_epoch());
+  }
+  return st;
+}
+
+HttpRequest parsed(const std::string& target) {
+  HttpRequest req;
+  EXPECT_EQ(parse_request("GET " + target + " HTTP/1.1\r\n\r\n", 8192, req),
+            ParseStatus::kOk)
+      << target;
+  return req;
+}
+
+std::uint64_t counter_value(telemetry::MetricRegistry& reg,
+                            std::string_view name) {
+  for (const auto& s : reg.snapshot()) {
+    if (s.name == name) return s.counter_value;
+  }
+  return 0;
+}
+
+TEST(ServeOverload, AdmissionShedsUncachedKeepsCacheAndCheapEndpoints) {
+  TempDir dir("shed_route");
+  auto st = make_query_store(dir.path);
+  ASSERT_NE(st, nullptr);
+  Server server{ServeConfig{}};
+  Services svc;
+  svc.store = st.get();
+  svc.store_dir = dir.path;
+  Endpoints ep{server, svc};
+
+  LoadHint calm;
+  LoadHint storm;
+  storm.inflight = 99;
+  storm.shed_expensive = true;
+
+  const std::string q = "/api/v1/query?op=sum&from_us=0&to_us=100000";
+  // Calm: the miss runs the engine and primes the response cache.
+  EXPECT_EQ(ep.route(parsed(q), calm).response.status, 200);
+  // Overloaded: the cache hit is cheap and still serves.
+  EXPECT_EQ(ep.route(parsed(q), storm).response.status, 200);
+  // Overloaded: a miss (different resolution), list=flows, and the
+  // default-range extent scan are all expensive -> 503 + Retry-After.
+  const HttpResponse miss =
+      ep.route(parsed(q + "&resolution=16"), storm).response;
+  EXPECT_EQ(miss.status, 503);
+  EXPECT_EQ(miss.extra_headers, "Retry-After: 1\r\n");
+  EXPECT_EQ(ep.route(parsed("/api/v1/query?list=flows"), storm)
+                .response.status,
+            503);
+  EXPECT_EQ(ep.route(parsed("/api/v1/query?op=sum"), storm).response.status,
+            503);
+  // Cheap always-on endpoints are never shed.
+  EXPECT_EQ(ep.route(parsed("/metrics"), storm).response.status, 200);
+  EXPECT_EQ(ep.route(parsed("/"), storm).response.status, 200);
+  EXPECT_EQ(counter_value(server.registry(), "umon_serve_shed_total"), 3u);
+}
+
+TEST(ServeOverload, SocketShedCarriesRetryAfterHeader) {
+  TempDir dir("shed_sock");
+  auto st = make_query_store(dir.path);
+  ASSERT_NE(st, nullptr);
+  ServeConfig cfg;
+  cfg.port = 0;
+  cfg.max_inflight_requests = 0;  // every dispatch sees shed_expensive
+  Server server{cfg};
+  Services svc;
+  svc.store = st.get();
+  svc.store_dir = dir.path;
+  Endpoints ep{server, svc};
+  ASSERT_TRUE(server.start());
+
+  const std::string shed = fetch(
+      server.port(),
+      get_request("/api/v1/query?op=sum&from_us=0&to_us=100000"));
+  EXPECT_NE(shed.find("HTTP/1.1 503"), std::string::npos);
+  EXPECT_NE(shed.find("Retry-After: 1\r\n"), std::string::npos);
+  // /metrics answers under the same load policy and reports the shed.
+  const std::string metrics = fetch(server.port(), get_request("/metrics"));
+  EXPECT_NE(metrics.find("HTTP/1.1 200"), std::string::npos);
+  EXPECT_NE(metrics.find("umon_serve_shed_total 1"), std::string::npos);
+  server.stop();
+}
+
+TEST_F(ServeHttpSocket, PipeliningBackpressureStillAnswersEveryRequest) {
+  ServeConfig cfg;
+  cfg.max_pipelined_requests = 2;
+  Start(cfg);
+  const int fd = dial(server_->port());
+  ASSERT_GE(fd, 0);
+  std::string burst;
+  for (int i = 0; i < 11; ++i) burst += get_request("/", /*keep_alive=*/true);
+  burst += get_request("/");  // Connection: close terminates the batch
+  send_all(fd, burst);
+  const std::string r = recv_to_eof(fd);
+  ::close(fd);
+  // The cap pauses reads instead of dropping requests: all 12 answer, in
+  // order, across pause/resume cycles.
+  std::size_t count = 0;
+  for (std::size_t pos = r.find("HTTP/1.1 200"); pos != std::string::npos;
+       pos = r.find("HTTP/1.1 200", pos + 1)) {
+    ++count;
+  }
+  EXPECT_EQ(count, 12u);
+}
+
+TEST(ServeOverload, SseLaggardIsClosedAtGlobalWatermark) {
+  ServeConfig cfg;
+  cfg.port = 0;
+  cfg.sse_total_buffered_bytes = 256 * 1024;
+  // The per-connection drop cap must sit above the flood volume, or the
+  // coalesced frame batch is dropped before it ever lands in the backlog
+  // and the global watermark (the behavior under test) never engages.
+  cfg.max_buffered_bytes = std::size_t{64} * 1024 * 1024;
+  // Keepalives off the critical path: an idle comment frame every second
+  // would feed the drain loop below forever.
+  cfg.sse_keepalive_period = 60 * kSecond;
+  Server server{cfg};
+  Services svc;
+  Endpoints ep{server, svc};
+  ASSERT_TRUE(server.start());
+
+  // Subscriber with a tiny receive buffer that stops reading: the kernel
+  // path saturates, so the server-side backlog must grow.
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  const int rcvbuf = 4096;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &rcvbuf, sizeof rcvbuf);
+  timeval tv{};
+  tv.tv_sec = 5;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(server.port());
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr),
+            0);
+  send_all(fd, get_request("/api/v1/stream", /*keep_alive=*/true));
+  const std::string head = recv_until(fd, "\r\n\r\n");
+  ASSERT_NE(head.find("text/event-stream"), std::string::npos);
+
+  // Flood without reading. The kernel send buffer can autotune into the
+  // megabytes on loopback, so the flood must comfortably exceed it before
+  // the server-visible backlog grows past the watermark.
+  const std::string payload(8192, 'x');
+  for (int i = 0; i < 1500; ++i) server.broadcast_sse("tick", payload);
+
+  // The laggard must be disconnected, not buffered unboundedly: drain
+  // whatever the kernel already accepted, then hit EOF. The deadline (plus
+  // the 5 s per-recv timeout) bounds the test if the close never comes.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(20);
+  bool eof = false;
+  char buf[16 * 1024];
+  while (std::chrono::steady_clock::now() < deadline) {
+    const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+    if (n == 0) {
+      eof = true;
+      break;
+    }
+    if (n < 0) break;  // recv timeout: no close and no data — give up
+  }
+  ::close(fd);
+  EXPECT_TRUE(eof) << "laggard was never disconnected";
+  EXPECT_GT(counter_value(server.registry(),
+                          "umon_serve_sse_laggards_closed_total"),
+            0u);
+  server.stop();
 }
 
 // --- determinism ------------------------------------------------------------
